@@ -1,0 +1,346 @@
+//! The actuation array: electrodes, per-pixel memory and its mapping to the
+//! electric-field boundary conditions.
+
+use crate::error::ArrayError;
+use crate::pixel::{PixelCell, SensorSite};
+use crate::technology::TechnologyNode;
+use labchip_physics::field::{ElectrodePhase, ElectrodePlane};
+use labchip_units::{Euros, GridCoord, GridDims, Meters, Volts};
+use serde::{Deserialize, Serialize};
+
+/// A programmable CMOS actuation array.
+///
+/// The array owns one [`PixelCell`] per electrode; programming the array
+/// means writing the per-pixel phase memory. [`ActuatorArray::to_electrode_plane`]
+/// exports the programmed state as the boundary conditions consumed by the
+/// field models of `labchip-physics`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActuatorArray {
+    dims: GridDims,
+    technology: TechnologyNode,
+    pitch: Meters,
+    chamber_height: Meters,
+    use_io_drivers: bool,
+    pixels: Vec<PixelCell>,
+}
+
+impl ActuatorArray {
+    /// Default chamber (liquid gap) height between the electrode plane and
+    /// the lid, in micrometres.
+    pub const DEFAULT_CHAMBER_HEIGHT_UM: f64 = 80.0;
+
+    /// Creates an array with the node's cell-sized default pitch (for 25 µm
+    /// cells) and the default chamber height.
+    pub fn new(dims: GridDims, technology: TechnologyNode) -> Self {
+        let pitch = technology.electrode_pitch_for_cells(Meters::from_micrometers(25.0));
+        Self::with_geometry(
+            dims,
+            technology,
+            pitch,
+            Meters::from_micrometers(Self::DEFAULT_CHAMBER_HEIGHT_UM),
+        )
+    }
+
+    /// Creates an array with explicit pitch and chamber height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty or the geometry is non-positive.
+    pub fn with_geometry(
+        dims: GridDims,
+        technology: TechnologyNode,
+        pitch: Meters,
+        chamber_height: Meters,
+    ) -> Self {
+        assert!(dims.count() > 0, "array must have at least one electrode");
+        assert!(pitch.get() > 0.0 && chamber_height.get() > 0.0);
+        Self {
+            dims,
+            technology,
+            pitch,
+            chamber_height,
+            use_io_drivers: false,
+            pixels: vec![PixelCell::new(); dims.count() as usize],
+        }
+    }
+
+    /// The paper's chip: a 320×320 array (102,400 electrodes) at 20 µm pitch
+    /// in 0.35 µm CMOS with embedded capacitive sensors.
+    pub fn date05_reference() -> Self {
+        let mut array = Self::with_geometry(
+            GridDims::new(320, 320),
+            TechnologyNode::cmos_350nm(),
+            Meters::from_micrometers(20.0),
+            Meters::from_micrometers(Self::DEFAULT_CHAMBER_HEIGHT_UM),
+        );
+        array.install_sensors(SensorSite::Capacitive);
+        array
+    }
+
+    /// Array dimensions.
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Number of electrodes.
+    #[inline]
+    pub fn electrode_count(&self) -> u64 {
+        self.dims.count()
+    }
+
+    /// Electrode pitch.
+    #[inline]
+    pub fn pitch(&self) -> Meters {
+        self.pitch
+    }
+
+    /// Chamber height.
+    #[inline]
+    pub fn chamber_height(&self) -> Meters {
+        self.chamber_height
+    }
+
+    /// The technology node the array is built in.
+    #[inline]
+    pub fn technology(&self) -> &TechnologyNode {
+        &self.technology
+    }
+
+    /// Whether the electrode drivers use the thick-oxide I/O devices (higher
+    /// drive voltage at the cost of area).
+    #[inline]
+    pub fn uses_io_drivers(&self) -> bool {
+        self.use_io_drivers
+    }
+
+    /// Enables or disables thick-oxide I/O drivers.
+    pub fn set_io_drivers(&mut self, enabled: bool) {
+        self.use_io_drivers = enabled;
+    }
+
+    /// Drive amplitude available to the electrodes.
+    pub fn drive_voltage(&self) -> Volts {
+        self.technology.max_drive_voltage(self.use_io_drivers)
+    }
+
+    /// Installs the same sensor type under every electrode.
+    pub fn install_sensors(&mut self, sensor: SensorSite) {
+        for p in &mut self.pixels {
+            p.sensor = sensor;
+        }
+    }
+
+    /// Access to one pixel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::OutOfBounds`] if the coordinate is outside the
+    /// array.
+    pub fn pixel(&self, at: GridCoord) -> Result<&PixelCell, ArrayError> {
+        if !self.dims.contains(at) {
+            return Err(self.out_of_bounds(at));
+        }
+        Ok(&self.pixels[self.dims.index_of(at)])
+    }
+
+    /// Programmed phase of one electrode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::OutOfBounds`] if the coordinate is outside the
+    /// array.
+    pub fn phase(&self, at: GridCoord) -> Result<ElectrodePhase, ArrayError> {
+        self.pixel(at).map(|p| p.phase)
+    }
+
+    /// Programs the phase of one electrode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::OutOfBounds`] if the coordinate is outside the
+    /// array.
+    pub fn set_phase(&mut self, at: GridCoord, phase: ElectrodePhase) -> Result<(), ArrayError> {
+        if !self.dims.contains(at) {
+            return Err(self.out_of_bounds(at));
+        }
+        let idx = self.dims.index_of(at);
+        self.pixels[idx].phase = phase;
+        Ok(())
+    }
+
+    /// Resets every electrode to the in-phase state.
+    pub fn reset(&mut self) {
+        for p in &mut self.pixels {
+            p.phase = ElectrodePhase::InPhase;
+        }
+    }
+
+    /// Number of electrodes currently programmed to counter-phase.
+    pub fn counter_phase_count(&self) -> usize {
+        self.pixels
+            .iter()
+            .filter(|p| p.phase == ElectrodePhase::CounterPhase)
+            .count()
+    }
+
+    /// Coordinates of all counter-phase electrodes (cage sites when using
+    /// single-electrode cages).
+    pub fn counter_phase_sites(&self) -> Vec<GridCoord> {
+        self.dims
+            .iter()
+            .filter(|c| self.pixels[self.dims.index_of(*c)].phase == ElectrodePhase::CounterPhase)
+            .collect()
+    }
+
+    /// Total configuration memory of the array in bits.
+    pub fn memory_bits(&self) -> u64 {
+        self.electrode_count() * PixelCell::MEMORY_BITS as u64
+    }
+
+    /// Active-area silicon cost of this array (excluding mask NRE).
+    pub fn die_cost(&self) -> Euros {
+        self.technology.die_cost(self.electrode_count(), self.pitch)
+    }
+
+    /// Exports the programmed state as field-model boundary conditions.
+    pub fn to_electrode_plane(&self) -> ElectrodePlane {
+        let mut plane = ElectrodePlane::new(
+            self.dims,
+            self.pitch,
+            self.drive_voltage(),
+            self.chamber_height,
+        );
+        for (i, pixel) in self.pixels.iter().enumerate() {
+            if pixel.phase != ElectrodePhase::InPhase {
+                plane.set_phase(self.dims.coord_of(i), pixel.phase);
+            }
+        }
+        plane
+    }
+
+    /// Counts the differences (electrodes whose phase changed) between this
+    /// array state and another of identical dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::PatternDoesNotFit`] if the dimensions differ.
+    pub fn diff_count(&self, other: &ActuatorArray) -> Result<usize, ArrayError> {
+        if self.dims != other.dims {
+            return Err(ArrayError::PatternDoesNotFit {
+                reason: format!("dimensions differ: {} vs {}", self.dims, other.dims),
+            });
+        }
+        Ok(self
+            .pixels
+            .iter()
+            .zip(other.pixels.iter())
+            .filter(|(a, b)| a.phase != b.phase)
+            .count())
+    }
+
+    fn out_of_bounds(&self, coord: GridCoord) -> ArrayError {
+        ArrayError::OutOfBounds {
+            coord,
+            cols: self.dims.cols,
+            rows: self.dims.rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ActuatorArray {
+        ActuatorArray::with_geometry(
+            GridDims::square(16),
+            TechnologyNode::cmos_350nm(),
+            Meters::from_micrometers(20.0),
+            Meters::from_micrometers(80.0),
+        )
+    }
+
+    #[test]
+    fn reference_chip_matches_paper_scale() {
+        let chip = ActuatorArray::date05_reference();
+        assert!(chip.electrode_count() > 100_000);
+        assert_eq!(chip.pitch(), Meters::from_micrometers(20.0));
+        assert_eq!(chip.drive_voltage(), Volts::new(3.3));
+        assert_eq!(chip.memory_bits(), 102_400 * 2);
+        assert_eq!(chip.pixel(GridCoord::new(0, 0)).unwrap().sensor, SensorSite::Capacitive);
+    }
+
+    #[test]
+    fn programming_and_reset_round_trip() {
+        let mut chip = small();
+        let site = GridCoord::new(5, 7);
+        chip.set_phase(site, ElectrodePhase::CounterPhase).unwrap();
+        assert_eq!(chip.phase(site).unwrap(), ElectrodePhase::CounterPhase);
+        assert_eq!(chip.counter_phase_count(), 1);
+        assert_eq!(chip.counter_phase_sites(), vec![site]);
+        chip.reset();
+        assert_eq!(chip.counter_phase_count(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_an_error() {
+        let mut chip = small();
+        let outside = GridCoord::new(16, 0);
+        assert!(matches!(chip.phase(outside), Err(ArrayError::OutOfBounds { .. })));
+        assert!(matches!(
+            chip.set_phase(outside, ElectrodePhase::CounterPhase),
+            Err(ArrayError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn exported_plane_reflects_programmed_phases() {
+        let mut chip = small();
+        chip.set_phase(GridCoord::new(3, 3), ElectrodePhase::CounterPhase)
+            .unwrap();
+        chip.set_phase(GridCoord::new(8, 8), ElectrodePhase::Floating)
+            .unwrap();
+        let plane = chip.to_electrode_plane();
+        assert_eq!(plane.phase(GridCoord::new(3, 3)), ElectrodePhase::CounterPhase);
+        assert_eq!(plane.phase(GridCoord::new(8, 8)), ElectrodePhase::Floating);
+        assert_eq!(plane.phase(GridCoord::new(0, 0)), ElectrodePhase::InPhase);
+        assert_eq!(plane.amplitude(), Volts::new(3.3));
+        assert_eq!(plane.pitch(), chip.pitch());
+    }
+
+    #[test]
+    fn io_drivers_raise_drive_voltage() {
+        let mut chip = ActuatorArray::with_geometry(
+            GridDims::square(8),
+            TechnologyNode::cmos_180nm(),
+            Meters::from_micrometers(20.0),
+            Meters::from_micrometers(80.0),
+        );
+        assert_eq!(chip.drive_voltage(), Volts::new(1.8));
+        chip.set_io_drivers(true);
+        assert!(chip.uses_io_drivers());
+        assert_eq!(chip.drive_voltage(), Volts::new(3.3));
+        assert_eq!(chip.to_electrode_plane().amplitude(), Volts::new(3.3));
+    }
+
+    #[test]
+    fn diff_count_counts_changed_pixels() {
+        let a = small();
+        let mut b = small();
+        b.set_phase(GridCoord::new(1, 1), ElectrodePhase::CounterPhase).unwrap();
+        b.set_phase(GridCoord::new(2, 2), ElectrodePhase::Floating).unwrap();
+        assert_eq!(a.diff_count(&b).unwrap(), 2);
+        assert_eq!(a.diff_count(&a).unwrap(), 0);
+        let other = ActuatorArray::new(GridDims::square(8), TechnologyNode::cmos_350nm());
+        assert!(a.diff_count(&other).is_err());
+    }
+
+    #[test]
+    fn die_cost_positive_and_scales_with_size() {
+        let small_chip = small();
+        let big = ActuatorArray::date05_reference();
+        assert!(small_chip.die_cost().get() > 0.0);
+        assert!(big.die_cost().get() > small_chip.die_cost().get());
+    }
+}

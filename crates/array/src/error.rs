@@ -1,0 +1,78 @@
+//! Error type for the array crate.
+
+use labchip_units::GridCoord;
+use std::fmt;
+
+/// Errors produced by the actuation-array models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayError {
+    /// A coordinate fell outside the electrode array.
+    OutOfBounds {
+        /// The offending coordinate.
+        coord: GridCoord,
+        /// Array columns.
+        cols: u32,
+        /// Array rows.
+        rows: u32,
+    },
+    /// The requested pattern cannot be placed on the array.
+    PatternDoesNotFit {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// A configuration value was outside its valid range.
+    InvalidConfiguration {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::OutOfBounds { coord, cols, rows } => {
+                write!(f, "coordinate {coord} outside {cols}x{rows} array")
+            }
+            ArrayError::PatternDoesNotFit { reason } => {
+                write!(f, "pattern does not fit the array: {reason}")
+            }
+            ArrayError::InvalidConfiguration { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArrayError::OutOfBounds {
+            coord: GridCoord::new(400, 2),
+            cols: 320,
+            rows: 320,
+        };
+        assert!(e.to_string().contains("320x320"));
+        let e = ArrayError::PatternDoesNotFit {
+            reason: "spacing larger than array".into(),
+        };
+        assert!(e.to_string().contains("spacing"));
+        let e = ArrayError::InvalidConfiguration {
+            name: "clock",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("clock"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArrayError>();
+    }
+}

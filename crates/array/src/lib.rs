@@ -1,0 +1,47 @@
+//! # labchip-array
+//!
+//! Model of the CMOS sensor/actuator array at the heart of the DATE'05
+//! paper's biochip: a regular grid of more than 100,000 electrodes, each with
+//! a small amount of local memory that selects whether the electrode is
+//! driven in phase or in counter-phase with the lid, plus the row/column
+//! programming interface, timing and power models, and the technology-node
+//! trade-offs that drive the paper's "older generation technologies may best
+//! fit your purpose" argument.
+//!
+//! ## Example
+//!
+//! ```
+//! use labchip_array::prelude::*;
+//! use labchip_units::GridDims;
+//!
+//! // The paper's chip: >100,000 electrodes in a mature 0.35 µm technology.
+//! let chip = ActuatorArray::new(GridDims::new(320, 320), TechnologyNode::cmos_350nm());
+//! assert!(chip.electrode_count() > 100_000);
+//! assert!(chip.technology().supply_voltage.get() > 3.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod addressing;
+pub mod chip;
+pub mod error;
+pub mod pattern;
+pub mod pixel;
+pub mod power;
+pub mod technology;
+pub mod timing;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::addressing::{ProgrammingInterface, ScanOrder, UpdatePlan};
+    pub use crate::chip::ActuatorArray;
+    pub use crate::error::ArrayError;
+    pub use crate::pattern::{CagePattern, PatternKind};
+    pub use crate::pixel::PixelCell;
+    pub use crate::power::PowerModel;
+    pub use crate::technology::TechnologyNode;
+    pub use crate::timing::TimingBudget;
+}
+
+pub use error::ArrayError;

@@ -1,0 +1,314 @@
+//! Voltage-pattern generation.
+//!
+//! A "pattern" decides which electrodes are driven in counter-phase — i.e.
+//! where DEP cages form. The paper's headline claim (§1) is that programming
+//! the array creates *tens of thousands* of cages simultaneously and that
+//! changing the pattern *shifts* the cages, dragging the trapped cells along.
+
+use crate::chip::ActuatorArray;
+use crate::error::ArrayError;
+use labchip_physics::field::ElectrodePhase;
+use labchip_units::{GridCoord, GridDims};
+use serde::{Deserialize, Serialize};
+
+/// The supported families of cage patterns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// No cages: every electrode in phase.
+    Uniform,
+    /// One cage at the given electrode.
+    SingleCage(GridCoord),
+    /// A regular lattice of cages with the given period (in electrodes) in
+    /// both directions, starting at the given offset. A period of `p` yields
+    /// roughly `cols*rows/p²` cages.
+    Lattice {
+        /// Lattice period in electrodes (≥ 2 so that each cage keeps in-phase
+        /// neighbours).
+        period: u32,
+        /// Offset of the first cage from the array origin.
+        offset: GridCoord,
+    },
+    /// An explicit list of cage sites.
+    Custom(Vec<GridCoord>),
+}
+
+/// A cage pattern bound to an array size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CagePattern {
+    dims: GridDims,
+    kind: PatternKind,
+    sites: Vec<GridCoord>,
+}
+
+impl CagePattern {
+    /// Builds a pattern of the given kind for an array of the given size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::PatternDoesNotFit`] when the pattern refers to
+    /// electrodes outside the array or uses an invalid period, and
+    /// [`ArrayError::InvalidConfiguration`] for a lattice period below 2.
+    pub fn new(dims: GridDims, kind: PatternKind) -> Result<Self, ArrayError> {
+        let sites = match &kind {
+            PatternKind::Uniform => Vec::new(),
+            PatternKind::SingleCage(at) => {
+                if !dims.contains(*at) {
+                    return Err(ArrayError::PatternDoesNotFit {
+                        reason: format!("cage site {at} outside {dims}"),
+                    });
+                }
+                vec![*at]
+            }
+            PatternKind::Lattice { period, offset } => {
+                if *period < 2 {
+                    return Err(ArrayError::InvalidConfiguration {
+                        name: "period",
+                        reason: "lattice period must be at least 2 electrodes".into(),
+                    });
+                }
+                if !dims.contains(*offset) {
+                    return Err(ArrayError::PatternDoesNotFit {
+                        reason: format!("lattice offset {offset} outside {dims}"),
+                    });
+                }
+                let mut sites = Vec::new();
+                let mut y = offset.y;
+                while y < dims.rows {
+                    let mut x = offset.x;
+                    while x < dims.cols {
+                        sites.push(GridCoord::new(x, y));
+                        x += period;
+                    }
+                    y += period;
+                }
+                sites
+            }
+            PatternKind::Custom(list) => {
+                for c in list {
+                    if !dims.contains(*c) {
+                        return Err(ArrayError::PatternDoesNotFit {
+                            reason: format!("cage site {c} outside {dims}"),
+                        });
+                    }
+                }
+                let mut sites = list.clone();
+                sites.sort_unstable();
+                sites.dedup();
+                sites
+            }
+        };
+        Ok(Self { dims, kind, sites })
+    }
+
+    /// Convenience constructor for the standard cage lattice used in the
+    /// scale experiment (E1): period 3, offset (1,1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the array is smaller than the offset.
+    pub fn standard_lattice(dims: GridDims) -> Result<Self, ArrayError> {
+        Self::new(
+            dims,
+            PatternKind::Lattice {
+                period: 3,
+                offset: GridCoord::new(1, 1),
+            },
+        )
+    }
+
+    /// The array size this pattern was built for.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// The pattern kind.
+    pub fn kind(&self) -> &PatternKind {
+        &self.kind
+    }
+
+    /// The cage sites (counter-phase electrodes), sorted row-major for
+    /// lattices and custom patterns.
+    pub fn cage_sites(&self) -> &[GridCoord] {
+        &self.sites
+    }
+
+    /// Number of cages in the pattern.
+    pub fn cage_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Returns a copy of the pattern translated by `(dx, dy)` electrodes.
+    /// Cage sites that would leave the array are dropped — this mirrors the
+    /// hardware, where a cage shifted past the array edge releases its cell.
+    pub fn shifted(&self, dx: i32, dy: i32) -> Self {
+        let sites: Vec<GridCoord> = self
+            .sites
+            .iter()
+            .filter_map(|c| c.offset(dx, dy))
+            .filter(|c| self.dims.contains(*c))
+            .collect();
+        Self {
+            dims: self.dims,
+            kind: PatternKind::Custom(sites.clone()),
+            sites,
+        }
+    }
+
+    /// Writes the pattern into an actuator array: cage sites become
+    /// counter-phase, every other electrode in-phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::PatternDoesNotFit`] if the array dimensions do
+    /// not match the pattern.
+    pub fn apply_to(&self, array: &mut ActuatorArray) -> Result<(), ArrayError> {
+        if array.dims() != self.dims {
+            return Err(ArrayError::PatternDoesNotFit {
+                reason: format!(
+                    "pattern built for {} but array is {}",
+                    self.dims,
+                    array.dims()
+                ),
+            });
+        }
+        array.reset();
+        for &site in &self.sites {
+            array.set_phase(site, ElectrodePhase::CounterPhase)?;
+        }
+        Ok(())
+    }
+
+    /// Minimum Chebyshev distance between any two cage sites, or `None` for
+    /// patterns with fewer than two cages. Cages closer than 2 electrodes
+    /// merge into a single trap, so this is a pattern-quality check.
+    pub fn min_cage_separation(&self) -> Option<u32> {
+        if self.sites.len() < 2 {
+            return None;
+        }
+        let mut min = u32::MAX;
+        // Patterns are at most tens of thousands of sites; an O(n²) check is
+        // only used in tests and validation, not in the simulation loop.
+        for (i, a) in self.sites.iter().enumerate() {
+            for b in &self.sites[i + 1..] {
+                min = min.min(a.chebyshev(*b));
+            }
+        }
+        Some(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::TechnologyNode;
+
+    #[test]
+    fn uniform_pattern_has_no_cages() {
+        let p = CagePattern::new(GridDims::square(16), PatternKind::Uniform).unwrap();
+        assert_eq!(p.cage_count(), 0);
+        assert!(p.min_cage_separation().is_none());
+    }
+
+    #[test]
+    fn single_cage_pattern() {
+        let dims = GridDims::square(16);
+        let p = CagePattern::new(dims, PatternKind::SingleCage(GridCoord::new(8, 8))).unwrap();
+        assert_eq!(p.cage_count(), 1);
+        assert!(CagePattern::new(dims, PatternKind::SingleCage(GridCoord::new(16, 0))).is_err());
+    }
+
+    #[test]
+    fn lattice_pattern_counts() {
+        let dims = GridDims::square(9);
+        let p = CagePattern::new(
+            dims,
+            PatternKind::Lattice {
+                period: 3,
+                offset: GridCoord::new(1, 1),
+            },
+        )
+        .unwrap();
+        // Cages at x,y in {1,4,7} → 9 cages.
+        assert_eq!(p.cage_count(), 9);
+        assert_eq!(p.min_cage_separation(), Some(3));
+    }
+
+    #[test]
+    fn paper_scale_lattice_creates_tens_of_thousands_of_cages() {
+        // E1/C1: a 320×320 array programmed with the standard lattice hosts
+        // more than 10,000 simultaneous cages.
+        let p = CagePattern::standard_lattice(GridDims::new(320, 320)).unwrap();
+        assert!(p.cage_count() > 10_000, "got {}", p.cage_count());
+        assert!(p.cage_count() < 102_400);
+    }
+
+    #[test]
+    fn lattice_period_below_two_is_invalid() {
+        let err = CagePattern::new(
+            GridDims::square(8),
+            PatternKind::Lattice {
+                period: 1,
+                offset: GridCoord::new(0, 0),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ArrayError::InvalidConfiguration { .. }));
+    }
+
+    #[test]
+    fn custom_pattern_deduplicates_and_validates() {
+        let dims = GridDims::square(8);
+        let p = CagePattern::new(
+            dims,
+            PatternKind::Custom(vec![
+                GridCoord::new(2, 2),
+                GridCoord::new(2, 2),
+                GridCoord::new(5, 5),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(p.cage_count(), 2);
+        assert!(CagePattern::new(
+            dims,
+            PatternKind::Custom(vec![GridCoord::new(9, 0)])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn shift_moves_cages_and_drops_at_edges() {
+        let dims = GridDims::square(8);
+        let p = CagePattern::new(
+            dims,
+            PatternKind::Custom(vec![GridCoord::new(1, 1), GridCoord::new(7, 7)]),
+        )
+        .unwrap();
+        let shifted = p.shifted(1, 0);
+        assert_eq!(shifted.cage_count(), 1);
+        assert_eq!(shifted.cage_sites(), &[GridCoord::new(2, 1)]);
+        let back = p.shifted(-2, 0);
+        // (1,1) → underflow dropped; (7,7) → (5,7).
+        assert_eq!(back.cage_sites(), &[GridCoord::new(5, 7)]);
+    }
+
+    #[test]
+    fn apply_writes_phases_into_array() {
+        let dims = GridDims::square(9);
+        let mut array = ActuatorArray::with_geometry(
+            dims,
+            TechnologyNode::cmos_350nm(),
+            labchip_units::Meters::from_micrometers(20.0),
+            labchip_units::Meters::from_micrometers(80.0),
+        );
+        let p = CagePattern::standard_lattice(dims).unwrap();
+        p.apply_to(&mut array).unwrap();
+        assert_eq!(array.counter_phase_count(), p.cage_count());
+        // Re-applying a shifted pattern reprograms cleanly.
+        let shifted = p.shifted(1, 0);
+        shifted.apply_to(&mut array).unwrap();
+        assert_eq!(array.counter_phase_count(), shifted.cage_count());
+        // Mismatched dimensions are rejected.
+        let wrong = CagePattern::standard_lattice(GridDims::square(8)).unwrap();
+        assert!(wrong.apply_to(&mut array).is_err());
+    }
+}

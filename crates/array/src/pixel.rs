@@ -1,0 +1,147 @@
+//! Per-pixel circuitry model.
+//!
+//! Each electrode site of the paper's chip contains a small static memory
+//! that selects the drive phase, the analogue switches routing one of the two
+//! drive phases (or nothing) to the electrode plate, and optionally an
+//! embedded sensor front-end (photodiode or capacitance-sensing amplifier).
+
+use crate::technology::TechnologyNode;
+use labchip_physics::field::ElectrodePhase;
+use labchip_units::Meters;
+use serde::{Deserialize, Serialize};
+
+/// Which embedded sensor (if any) a pixel carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SensorSite {
+    /// No sensor under this electrode.
+    #[default]
+    None,
+    /// Optical sensor (photodiode + readout).
+    Optical,
+    /// Capacitive sensor (electrode doubles as sense plate).
+    Capacitive,
+}
+
+/// State and structure of one actuation pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PixelCell {
+    /// Programmed drive phase.
+    pub phase: ElectrodePhase,
+    /// Embedded sensor.
+    pub sensor: SensorSite,
+}
+
+impl PixelCell {
+    /// A freshly reset pixel: in-phase drive, no sensor.
+    pub fn new() -> Self {
+        Self {
+            phase: ElectrodePhase::InPhase,
+            sensor: SensorSite::None,
+        }
+    }
+
+    /// A pixel with a capacitive sensor, as in the ISSCC'04 readout chip.
+    pub fn with_capacitive_sensor() -> Self {
+        Self {
+            phase: ElectrodePhase::InPhase,
+            sensor: SensorSite::Capacitive,
+        }
+    }
+
+    /// A pixel with an optical sensor.
+    pub fn with_optical_sensor() -> Self {
+        Self {
+            phase: ElectrodePhase::InPhase,
+            sensor: SensorSite::Optical,
+        }
+    }
+
+    /// Memory bits stored in the pixel: 2 bits encode the three phase states
+    /// (in-phase / counter-phase / floating).
+    pub const MEMORY_BITS: u32 = 2;
+
+    /// Approximate transistor count of the pixel for area estimation:
+    /// 2 SRAM bits (12 T), phase multiplexer (6 T), plus the sensor
+    /// front-end when present.
+    pub fn transistor_count(&self) -> u32 {
+        let base = 12 + 6;
+        match self.sensor {
+            SensorSite::None => base,
+            SensorSite::Optical => base + 4,
+            SensorSite::Capacitive => base + 10,
+        }
+    }
+
+    /// Estimated silicon area of the pixel logic in the given technology,
+    /// using 50 F² per transistor (F = feature size), typical of dense
+    /// custom layout. The point of this estimate is to confirm the logic
+    /// fits under a cell-sized electrode even on old nodes.
+    pub fn logic_area(&self, node: &TechnologyNode) -> f64 {
+        let f = node.feature_size.get();
+        self.transistor_count() as f64 * 50.0 * f * f
+    }
+
+    /// Returns `true` when the pixel logic fits under an electrode of the
+    /// given pitch in the given technology.
+    pub fn fits_under_electrode(&self, node: &TechnologyNode, pitch: Meters) -> bool {
+        self.logic_area(node) <= pitch.get() * pitch.get()
+    }
+}
+
+impl Default for PixelCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_pixel_is_in_phase_without_sensor() {
+        let p = PixelCell::new();
+        assert_eq!(p.phase, ElectrodePhase::InPhase);
+        assert_eq!(p.sensor, SensorSite::None);
+        assert_eq!(p, PixelCell::default());
+    }
+
+    #[test]
+    fn sensor_variants_increase_transistor_count() {
+        let bare = PixelCell::new();
+        let optical = PixelCell::with_optical_sensor();
+        let capacitive = PixelCell::with_capacitive_sensor();
+        assert!(optical.transistor_count() > bare.transistor_count());
+        assert!(capacitive.transistor_count() > optical.transistor_count());
+    }
+
+    #[test]
+    fn pixel_fits_under_cell_sized_electrode_even_on_old_nodes() {
+        // The paper's point: at a 20-35 µm pitch even 1.0 µm CMOS has plenty
+        // of room for the pixel logic.
+        let pixel = PixelCell::with_capacitive_sensor();
+        for node in TechnologyNode::ladder() {
+            let pitch = node.electrode_pitch_for_cells(Meters::from_micrometers(25.0));
+            assert!(
+                pixel.fits_under_electrode(&node, pitch),
+                "pixel does not fit on {}",
+                node.name
+            );
+        }
+    }
+
+    #[test]
+    fn pixel_does_not_fit_under_tiny_electrode_on_old_node() {
+        let pixel = PixelCell::with_capacitive_sensor();
+        let node = TechnologyNode::cmos_1000nm();
+        assert!(!pixel.fits_under_electrode(&node, Meters::from_micrometers(1.5)));
+    }
+
+    #[test]
+    fn logic_area_shrinks_with_feature_size() {
+        let pixel = PixelCell::new();
+        let old = pixel.logic_area(&TechnologyNode::cmos_1000nm());
+        let new = pixel.logic_area(&TechnologyNode::cmos_130nm());
+        assert!(new < old);
+    }
+}

@@ -1,0 +1,116 @@
+//! Power estimation of the actuation array.
+//!
+//! The dominant term is the dynamic power of driving every electrode plate
+//! (plus its driver) at the DEP excitation frequency; the per-pixel leakage
+//! of the chosen technology node adds a static floor.
+
+use crate::chip::ActuatorArray;
+use labchip_units::{Hertz, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Power model of a programmed actuation array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// DEP drive (excitation) frequency.
+    pub drive_frequency: Hertz,
+    /// Fraction of electrodes actively toggling (floating electrodes do not
+    /// switch).
+    pub active_fraction: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model at the given drive frequency with every
+    /// electrode active.
+    pub fn new(drive_frequency: Hertz) -> Self {
+        Self {
+            drive_frequency,
+            active_fraction: 1.0,
+        }
+    }
+
+    /// Dynamic (switching) power of the array: `N_active · C · V² · f`.
+    pub fn dynamic_power(&self, array: &ActuatorArray) -> Watts {
+        let n = array.electrode_count() as f64 * self.active_fraction.clamp(0.0, 1.0);
+        let c = array.technology().electrode_capacitance;
+        let v = array.drive_voltage().get();
+        Watts::new(n * c * v * v * self.drive_frequency.get())
+    }
+
+    /// Static leakage power of the pixel array.
+    pub fn leakage_power(&self, array: &ActuatorArray) -> Watts {
+        Watts::new(array.electrode_count() as f64 * array.technology().pixel_leakage)
+    }
+
+    /// Total power (dynamic + leakage).
+    pub fn total_power(&self, array: &ActuatorArray) -> Watts {
+        self.dynamic_power(array) + self.leakage_power(array)
+    }
+
+    /// Power density over the active array area, in W/m² — relevant because
+    /// dissipated power heats the sample liquid sitting directly on the die.
+    pub fn power_density(&self, array: &ActuatorArray) -> f64 {
+        let area = array.electrode_count() as f64 * array.pitch().get() * array.pitch().get();
+        self.total_power(array).get() / area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::TechnologyNode;
+    use labchip_units::GridDims;
+
+    #[test]
+    fn paper_chip_dissipates_tens_of_milliwatts() {
+        // 102,400 electrodes × 80 fF × (3.3 V)² × 1 MHz ≈ 90 mW: consistent
+        // with a chip that must not cook the cells sitting on it.
+        let chip = ActuatorArray::date05_reference();
+        let model = PowerModel::new(Hertz::from_megahertz(1.0));
+        let p = model.total_power(&chip);
+        assert!(p.as_milliwatts() > 10.0 && p.as_milliwatts() < 500.0, "P = {p}");
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_frequency_and_voltage_squared() {
+        let chip = ActuatorArray::date05_reference();
+        let slow = PowerModel::new(Hertz::from_kilohertz(100.0));
+        let fast = PowerModel::new(Hertz::from_megahertz(1.0));
+        let ratio = fast.dynamic_power(&chip).get() / slow.dynamic_power(&chip).get();
+        assert!((ratio - 10.0).abs() < 1e-9);
+
+        let mut lv = ActuatorArray::new(GridDims::new(320, 320), TechnologyNode::cmos_130nm());
+        lv.install_sensors(crate::pixel::SensorSite::Capacitive);
+        let hv = ActuatorArray::date05_reference();
+        let m = PowerModel::new(Hertz::from_megahertz(1.0));
+        // Same electrode count: the 1.2 V chip burns far less drive power —
+        // the flip side of its weaker DEP force.
+        assert!(m.dynamic_power(&lv).get() < m.dynamic_power(&hv).get());
+    }
+
+    #[test]
+    fn floating_electrodes_reduce_dynamic_power() {
+        let chip = ActuatorArray::date05_reference();
+        let full = PowerModel::new(Hertz::from_megahertz(1.0));
+        let half = PowerModel {
+            active_fraction: 0.5,
+            ..full
+        };
+        assert!((half.dynamic_power(&chip).get() / full.dynamic_power(&chip).get() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_grows_on_newer_nodes() {
+        let old = ActuatorArray::new(GridDims::new(320, 320), TechnologyNode::cmos_350nm());
+        let new = ActuatorArray::new(GridDims::new(320, 320), TechnologyNode::cmos_90nm());
+        let m = PowerModel::new(Hertz::from_megahertz(1.0));
+        assert!(m.leakage_power(&new).get() > m.leakage_power(&old).get());
+    }
+
+    #[test]
+    fn power_density_is_modest() {
+        let chip = ActuatorArray::date05_reference();
+        let m = PowerModel::new(Hertz::from_megahertz(1.0));
+        // Well below 1 W/cm² = 1e4 W/m².
+        assert!(m.power_density(&chip) < 1e4);
+    }
+}

@@ -1,0 +1,241 @@
+//! CMOS technology-node models.
+//!
+//! The paper's §2 makes a point that is unusual for microelectronics: for a
+//! DEP biochip the **older** technology node is often the better choice,
+//! because the actuation force scales with the supply voltage squared and the
+//! electrode pitch is fixed by cell size (20–30 µm), so the area advantage of
+//! a deep-submicron node buys nothing. This module encodes the supply
+//! voltage, geometry and cost figures needed to quantify that argument.
+
+use labchip_units::{Euros, Meters, Volts};
+use serde::{Deserialize, Serialize};
+
+/// A CMOS technology node and the parameters relevant to a biochip design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyNode {
+    /// Human-readable name, e.g. `"0.35 um CMOS"`.
+    pub name: String,
+    /// Drawn minimum feature size.
+    pub feature_size: Meters,
+    /// Nominal core supply voltage — the maximum electrode drive amplitude.
+    pub supply_voltage: Volts,
+    /// Maximum tolerated I/O voltage (thick-oxide devices), if higher than
+    /// the core supply; the electrode drivers can use it.
+    pub io_voltage: Volts,
+    /// Minimum achievable electrode pitch given the per-pixel logic
+    /// (memory + drivers + optional sensor front-end).
+    pub min_electrode_pitch: Meters,
+    /// Wafer-amortised silicon cost per square millimetre of die.
+    pub cost_per_mm2: Euros,
+    /// Mask-set (NRE) cost for a full prototype run.
+    pub mask_set_cost: Euros,
+    /// Typical fabrication turnaround in days.
+    pub fabrication_days: f64,
+    /// Per-pixel leakage power in watts.
+    pub pixel_leakage: f64,
+    /// Capacitance switched per electrode per transition (driver + electrode
+    /// plate), in farads.
+    pub electrode_capacitance: f64,
+}
+
+impl TechnologyNode {
+    /// 1.0 µm CMOS: 5 V supply, very cheap masks, long obsolete for digital
+    /// logic but attractive for high-voltage actuation.
+    pub fn cmos_1000nm() -> Self {
+        Self {
+            name: "1.0 um CMOS".into(),
+            feature_size: Meters::from_nanometers(1_000.0),
+            supply_voltage: Volts::new(5.0),
+            io_voltage: Volts::new(5.0),
+            min_electrode_pitch: Meters::from_micrometers(40.0),
+            cost_per_mm2: Euros::new(0.05),
+            mask_set_cost: Euros::from_kilo_euros(15.0),
+            fabrication_days: 45.0,
+            pixel_leakage: 5e-12,
+            electrode_capacitance: 120e-15,
+        }
+    }
+
+    /// 0.35 µm CMOS: 3.3 V supply — the node of the paper's chip (JSSC'03).
+    pub fn cmos_350nm() -> Self {
+        Self {
+            name: "0.35 um CMOS".into(),
+            feature_size: Meters::from_nanometers(350.0),
+            supply_voltage: Volts::new(3.3),
+            io_voltage: Volts::new(5.0),
+            min_electrode_pitch: Meters::from_micrometers(20.0),
+            cost_per_mm2: Euros::new(0.12),
+            mask_set_cost: Euros::from_kilo_euros(60.0),
+            fabrication_days: 60.0,
+            pixel_leakage: 20e-12,
+            electrode_capacitance: 80e-15,
+        }
+    }
+
+    /// 0.18 µm CMOS: 1.8 V core supply, 3.3 V I/O devices.
+    pub fn cmos_180nm() -> Self {
+        Self {
+            name: "0.18 um CMOS".into(),
+            feature_size: Meters::from_nanometers(180.0),
+            supply_voltage: Volts::new(1.8),
+            io_voltage: Volts::new(3.3),
+            min_electrode_pitch: Meters::from_micrometers(12.0),
+            cost_per_mm2: Euros::new(0.25),
+            mask_set_cost: Euros::from_kilo_euros(150.0),
+            fabrication_days: 70.0,
+            pixel_leakage: 60e-12,
+            electrode_capacitance: 60e-15,
+        }
+    }
+
+    /// 0.13 µm CMOS: 1.2 V core supply, 2.5 V I/O devices.
+    pub fn cmos_130nm() -> Self {
+        Self {
+            name: "0.13 um CMOS".into(),
+            feature_size: Meters::from_nanometers(130.0),
+            supply_voltage: Volts::new(1.2),
+            io_voltage: Volts::new(2.5),
+            min_electrode_pitch: Meters::from_micrometers(10.0),
+            cost_per_mm2: Euros::new(0.45),
+            mask_set_cost: Euros::from_kilo_euros(350.0),
+            fabrication_days: 80.0,
+            pixel_leakage: 150e-12,
+            electrode_capacitance: 45e-15,
+        }
+    }
+
+    /// 90 nm CMOS: 1.0 V core supply, 2.5 V I/O devices.
+    pub fn cmos_90nm() -> Self {
+        Self {
+            name: "90 nm CMOS".into(),
+            feature_size: Meters::from_nanometers(90.0),
+            supply_voltage: Volts::new(1.0),
+            io_voltage: Volts::new(2.5),
+            min_electrode_pitch: Meters::from_micrometers(8.0),
+            cost_per_mm2: Euros::new(0.80),
+            mask_set_cost: Euros::from_kilo_euros(800.0),
+            fabrication_days: 90.0,
+            pixel_leakage: 400e-12,
+            electrode_capacitance: 35e-15,
+        }
+    }
+
+    /// The standard ladder of nodes used in the technology-sweep experiment
+    /// (E2), from the oldest/highest-voltage to the newest/lowest-voltage.
+    pub fn ladder() -> Vec<Self> {
+        vec![
+            Self::cmos_1000nm(),
+            Self::cmos_350nm(),
+            Self::cmos_180nm(),
+            Self::cmos_130nm(),
+            Self::cmos_90nm(),
+        ]
+    }
+
+    /// Maximum electrode drive amplitude: core supply, or the I/O voltage if
+    /// thick-oxide drivers are used.
+    pub fn max_drive_voltage(&self, use_io_devices: bool) -> Volts {
+        if use_io_devices {
+            self.io_voltage.max(self.supply_voltage)
+        } else {
+            self.supply_voltage
+        }
+    }
+
+    /// Relative DEP force figure of merit: `V²` at the chosen drive voltage,
+    /// normalised to the 0.35 µm node at its core supply. The paper's claim
+    /// is that this figure *falls* as the technology advances.
+    pub fn dep_figure_of_merit(&self, use_io_devices: bool) -> f64 {
+        let reference = Self::cmos_350nm().supply_voltage.squared();
+        self.max_drive_voltage(use_io_devices).squared() / reference
+    }
+
+    /// Effective electrode pitch for a chip that must host cells of the given
+    /// diameter: the pitch is set by biology (cell size), never below the
+    /// node's minimum pitch. This is the paper's point that there is "no need
+    /// to make an array with electrode pitch much smaller" than the cell.
+    pub fn electrode_pitch_for_cells(&self, cell_diameter: Meters) -> Meters {
+        self.min_electrode_pitch.max(cell_diameter)
+    }
+
+    /// Die cost of an array of `electrodes` electrodes at `pitch`, excluding
+    /// mask NRE.
+    pub fn die_cost(&self, electrodes: u64, pitch: Meters) -> Euros {
+        let area_mm2 = electrodes as f64 * pitch.get() * pitch.get() * 1e6;
+        // 30 % periphery overhead (pads, row/column drivers, readout).
+        self.cost_per_mm2 * (area_mm2 * 1.3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_ordered_by_feature_size_and_voltage() {
+        let ladder = TechnologyNode::ladder();
+        assert_eq!(ladder.len(), 5);
+        for pair in ladder.windows(2) {
+            assert!(pair[0].feature_size > pair[1].feature_size);
+            assert!(pair[0].supply_voltage >= pair[1].supply_voltage);
+            assert!(pair[0].mask_set_cost < pair[1].mask_set_cost);
+        }
+    }
+
+    #[test]
+    fn older_nodes_have_higher_dep_figure_of_merit() {
+        // The paper's §2 claim: actuation (∝ V²) favours older technology.
+        let old = TechnologyNode::cmos_1000nm();
+        let reference = TechnologyNode::cmos_350nm();
+        let new = TechnologyNode::cmos_130nm();
+        assert!(old.dep_figure_of_merit(false) > reference.dep_figure_of_merit(false));
+        assert!(reference.dep_figure_of_merit(false) > new.dep_figure_of_merit(false));
+        // At core voltages the 1.0 µm node is (5/3.3)² ≈ 2.3× the reference.
+        assert!((old.dep_figure_of_merit(false) - (5.0f64 / 3.3).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_devices_recover_some_drive_voltage() {
+        let node = TechnologyNode::cmos_180nm();
+        assert!(node.max_drive_voltage(true) > node.max_drive_voltage(false));
+        assert_eq!(node.max_drive_voltage(true), Volts::new(3.3));
+    }
+
+    #[test]
+    fn electrode_pitch_is_set_by_cell_size_not_lithography() {
+        // A 25 µm cell needs a ≥25 µm pitch on every node: the finer
+        // lithography of newer nodes buys nothing.
+        let cell = Meters::from_micrometers(25.0);
+        for node in TechnologyNode::ladder() {
+            let pitch = node.electrode_pitch_for_cells(cell);
+            assert!(pitch >= cell);
+        }
+        // Only the 1.0 µm node is actually limited by its own pitch floor.
+        let coarse = TechnologyNode::cmos_1000nm();
+        assert_eq!(
+            coarse.electrode_pitch_for_cells(cell),
+            coarse.min_electrode_pitch
+        );
+    }
+
+    #[test]
+    fn die_cost_grows_with_electrode_count_and_node_cost() {
+        let node = TechnologyNode::cmos_350nm();
+        let small = node.die_cost(10_000, Meters::from_micrometers(20.0));
+        let large = node.die_cost(100_000, Meters::from_micrometers(20.0));
+        assert!(large.get() > small.get() * 9.0);
+        let newer = TechnologyNode::cmos_90nm().die_cost(100_000, Meters::from_micrometers(20.0));
+        assert!(newer.get() > large.get());
+    }
+
+    #[test]
+    fn paper_chip_area_is_plausible() {
+        // 320x320 electrodes at 20 µm pitch is a 6.4 mm x 6.4 mm active area,
+        // i.e. a ~50 mm² die including periphery — a realistic chip.
+        let node = TechnologyNode::cmos_350nm();
+        let cost = node.die_cost(320 * 320, Meters::from_micrometers(20.0));
+        let area_mm2 = 320.0f64 * 320.0 * 20e-6 * 20e-6 * 1e6 * 1.3;
+        assert!(area_mm2 > 40.0 && area_mm2 < 70.0);
+        assert!(cost.get() > 1.0 && cost.get() < 20.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Electronics-versus-mechanics timing budget.
+//!
+//! The paper's second consideration (§2): "typical speeds related to transfer
+//! of mass (or heat) are quite slow compared to electronic timescale. There
+//! is room to exploit this creatively." This module quantifies the slack: how
+//! much electronic work (array programming, sensor scanning, averaging) fits
+//! inside one mechanical cage step.
+
+use crate::addressing::ProgrammingInterface;
+use labchip_units::{GridDims, Meters, MetersPerSecond, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Timing budget of one cage-step cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingBudget {
+    /// Duration of one mechanical cage step (the time the cell needs to
+    /// follow the cage to the next electrode).
+    pub cage_step_period: Seconds,
+    /// Time to reprogram the array for the next step.
+    pub programming_time: Seconds,
+    /// Time to scan the sensor array once.
+    pub sensor_scan_time: Seconds,
+    /// Number of sensor frames that fit in the remaining slack (available
+    /// for averaging).
+    pub frames_available_for_averaging: u32,
+}
+
+impl TimingBudget {
+    /// Computes the budget for moving cells at `cell_speed` across an array
+    /// of pitch `pitch`, reprogramming through `iface` and scanning sensors
+    /// in `sensor_scan_time` per frame.
+    pub fn compute(
+        dims: GridDims,
+        pitch: Meters,
+        cell_speed: MetersPerSecond,
+        iface: &ProgrammingInterface,
+        sensor_scan_time: Seconds,
+    ) -> Self {
+        let cage_step_period = pitch / cell_speed;
+        let programming_time = iface.full_frame_time(dims);
+        let slack = (cage_step_period - programming_time).max(Seconds::ZERO);
+        let frames = if sensor_scan_time.get() > 0.0 {
+            (slack.get() / sensor_scan_time.get()).floor() as u32
+        } else {
+            u32::MAX
+        };
+        Self {
+            cage_step_period,
+            programming_time,
+            sensor_scan_time,
+            frames_available_for_averaging: frames,
+        }
+    }
+
+    /// Ratio of the mechanical step period to the electronics busy time
+    /// (programming + one sensor scan). Values ≫ 1 are the paper's "plenty of
+    /// time" observation.
+    pub fn slack_ratio(&self) -> f64 {
+        let busy = self.programming_time.get() + self.sensor_scan_time.get();
+        if busy <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.cage_step_period.get() / busy
+        }
+    }
+
+    /// Returns `true` when the electronics keeps up with the requested cell
+    /// speed (the array can be reprogrammed and scanned at least once per
+    /// step).
+    pub fn is_feasible(&self) -> bool {
+        self.programming_time + self.sensor_scan_time <= self.cage_step_period
+    }
+
+    /// The maximum cell speed the electronics could sustain (one programming
+    /// pass plus one sensor scan per step) at the given pitch.
+    pub fn max_sustainable_speed(&self, pitch: Meters) -> MetersPerSecond {
+        let busy = self.programming_time + self.sensor_scan_time;
+        if busy.get() <= 0.0 {
+            MetersPerSecond::new(f64::INFINITY)
+        } else {
+            pitch / busy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_budget(speed_um_s: f64) -> TimingBudget {
+        TimingBudget::compute(
+            GridDims::new(320, 320),
+            Meters::from_micrometers(20.0),
+            MetersPerSecond::from_micrometers_per_second(speed_um_s),
+            &ProgrammingInterface::date05_reference(),
+            Seconds::from_millis(5.0),
+        )
+    }
+
+    #[test]
+    fn cells_are_slow_compared_to_electronics() {
+        // C4: at 50 µm/s a cage step takes 0.4 s, while reprogramming the
+        // whole array takes well under 1 ms — a slack ratio of ~70×.
+        let b = reference_budget(50.0);
+        assert!(b.cage_step_period.as_millis() > 100.0);
+        assert!(b.programming_time.as_millis() < 1.5);
+        assert!(b.slack_ratio() > 10.0, "slack = {}", b.slack_ratio());
+        assert!(b.is_feasible());
+    }
+
+    #[test]
+    fn slack_buys_sensor_averaging_frames() {
+        // The slack can be spent on averaging sensor frames (E4): at 10 µm/s
+        // there is room for hundreds of 5 ms frames per step.
+        let slow = reference_budget(10.0);
+        let fast = reference_budget(100.0);
+        assert!(slow.frames_available_for_averaging > fast.frames_available_for_averaging);
+        assert!(slow.frames_available_for_averaging > 100);
+        assert!(fast.frames_available_for_averaging >= 1);
+    }
+
+    #[test]
+    fn electronics_limited_speed_is_far_above_biology() {
+        let b = reference_budget(50.0);
+        let vmax = b.max_sustainable_speed(Meters::from_micrometers(20.0));
+        // The electronics alone could sustain millimetres per second; the
+        // 10-100 µm/s of the paper is set by the physics, not the chip.
+        assert!(vmax.as_micrometers_per_second() > 1_000.0);
+    }
+
+    #[test]
+    fn infeasible_when_speed_is_absurd() {
+        let b = TimingBudget::compute(
+            GridDims::new(320, 320),
+            Meters::from_micrometers(20.0),
+            MetersPerSecond::new(1.0),
+            &ProgrammingInterface::date05_reference(),
+            Seconds::from_millis(5.0),
+        );
+        assert!(!b.is_feasible());
+        assert_eq!(b.frames_available_for_averaging, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the actuation-array crate.
+
+use labchip_array::addressing::ProgrammingInterface;
+use labchip_array::chip::ActuatorArray;
+use labchip_array::pattern::{CagePattern, PatternKind};
+use labchip_array::power::PowerModel;
+use labchip_array::technology::TechnologyNode;
+use labchip_physics::field::ElectrodePhase;
+use labchip_units::{GridCoord, GridDims, Hertz, Meters};
+use proptest::prelude::*;
+
+fn node_strategy() -> impl Strategy<Value = TechnologyNode> {
+    prop_oneof![
+        Just(TechnologyNode::cmos_1000nm()),
+        Just(TechnologyNode::cmos_350nm()),
+        Just(TechnologyNode::cmos_180nm()),
+        Just(TechnologyNode::cmos_130nm()),
+        Just(TechnologyNode::cmos_90nm()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Programming then reading back any electrode returns the written phase,
+    /// and resetting clears every counter-phase electrode.
+    #[test]
+    fn program_read_back_round_trip(side in 4u32..40, x in 0u32..40, y in 0u32..40) {
+        let side = side.max(4);
+        let mut chip = ActuatorArray::new(GridDims::square(side), TechnologyNode::cmos_350nm());
+        let coord = GridCoord::new(x % side, y % side);
+        chip.set_phase(coord, ElectrodePhase::CounterPhase).unwrap();
+        prop_assert_eq!(chip.phase(coord).unwrap(), ElectrodePhase::CounterPhase);
+        prop_assert_eq!(chip.counter_phase_count(), 1);
+        chip.reset();
+        prop_assert_eq!(chip.counter_phase_count(), 0);
+    }
+
+    /// The exported electrode plane always mirrors the programmed state.
+    #[test]
+    fn exported_plane_matches_array(side in 4u32..24, seed in 0u64..1000) {
+        let dims = GridDims::square(side.max(4));
+        let mut chip = ActuatorArray::new(dims, TechnologyNode::cmos_350nm());
+        // Pseudo-random but deterministic pattern from the seed.
+        for c in dims.iter() {
+            if (c.x as u64 * 31 + c.y as u64 * 17 + seed) % 7 == 0 {
+                chip.set_phase(c, ElectrodePhase::CounterPhase).unwrap();
+            }
+        }
+        let plane = chip.to_electrode_plane();
+        for c in dims.iter() {
+            prop_assert_eq!(plane.phase(c), chip.phase(c).unwrap());
+        }
+        prop_assert_eq!(plane.amplitude(), chip.drive_voltage());
+    }
+
+    /// Lattice cage counts are within one row/column of the analytic estimate
+    /// and never violate the minimum separation implied by the period.
+    #[test]
+    fn lattice_counts_and_separation(side in 8u32..64, period in 2u32..6) {
+        let dims = GridDims::square(side);
+        let pattern = CagePattern::new(
+            dims,
+            PatternKind::Lattice { period, offset: GridCoord::new(1, 1) },
+        ).unwrap();
+        let per_axis = (side - 1).div_ceil(period) as usize;
+        prop_assert!(pattern.cage_count() <= per_axis * per_axis);
+        prop_assert!(pattern.cage_count() >= (per_axis.saturating_sub(1)) * (per_axis.saturating_sub(1)));
+        if pattern.cage_count() >= 2 {
+            prop_assert_eq!(pattern.min_cage_separation(), Some(period));
+        }
+    }
+
+    /// Shifting a pattern never increases the cage count and keeps every cage
+    /// on the array.
+    #[test]
+    fn shifted_patterns_stay_on_the_array(side in 8u32..48, dx in -5i32..5, dy in -5i32..5) {
+        let dims = GridDims::square(side);
+        let pattern = CagePattern::standard_lattice(dims).unwrap();
+        let shifted = pattern.shifted(dx, dy);
+        prop_assert!(shifted.cage_count() <= pattern.cage_count());
+        for site in shifted.cage_sites() {
+            prop_assert!(dims.contains(*site));
+        }
+    }
+
+    /// Full-frame programming time scales linearly with the number of rows
+    /// and is always positive.
+    #[test]
+    fn programming_time_scales_with_rows(cols in 8u32..400, rows in 8u32..400) {
+        let iface = ProgrammingInterface::date05_reference();
+        let one = iface.full_frame_time(GridDims::new(cols, rows));
+        let double = iface.full_frame_time(GridDims::new(cols, rows * 2));
+        prop_assert!(one.get() > 0.0);
+        prop_assert!((double.get() / one.get() - 2.0).abs() < 1e-9);
+    }
+
+    /// Dynamic power scales linearly with frequency and quadratically with
+    /// drive voltage for every node.
+    #[test]
+    fn power_scaling_laws(node in node_strategy(), f_mhz in 0.1f64..10.0) {
+        let chip = ActuatorArray::new(GridDims::square(64), node);
+        let p1 = PowerModel::new(Hertz::from_megahertz(f_mhz)).dynamic_power(&chip);
+        let p2 = PowerModel::new(Hertz::from_megahertz(2.0 * f_mhz)).dynamic_power(&chip);
+        prop_assert!((p2.get() / p1.get() - 2.0).abs() < 1e-9);
+    }
+
+    /// The electrode pitch chosen for a cell never goes below the node's
+    /// lithographic floor nor below the cell diameter.
+    #[test]
+    fn pitch_respects_cell_and_node(node in node_strategy(), cell_um in 5.0f64..40.0) {
+        let cell = Meters::from_micrometers(cell_um);
+        let pitch = node.electrode_pitch_for_cells(cell);
+        prop_assert!(pitch >= cell);
+        prop_assert!(pitch >= node.min_electrode_pitch);
+    }
+}

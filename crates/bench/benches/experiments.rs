@@ -1,0 +1,171 @@
+//! Criterion benches: one group per paper experiment (E1–E9).
+//!
+//! Each bench runs the corresponding experiment with a reduced configuration
+//! so that `cargo bench` completes in minutes; the `report` binary runs the
+//! full default configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use labchip::experiments::{
+    e1_scale, e2_technology, e3_motion, e4_sensing, e5_designflow, e6_fabrication, e7_routing,
+    e8_centering, e9_assay,
+};
+use labchip_array::technology::TechnologyNode;
+use labchip_units::Seconds;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configure<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group
+}
+
+fn bench_e1_scale(c: &mut Criterion) {
+    let mut group = configure(c, "e1_array_scale");
+    for side in [128u32, 320] {
+        let config = e1_scale::Config {
+            sides: vec![side],
+            ..e1_scale::Config::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(side), &config, |b, cfg| {
+            b.iter(|| black_box(e1_scale::run(cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_e2_technology(c: &mut Criterion) {
+    let mut group = configure(c, "e2_technology_voltage");
+    for (label, node) in [
+        ("cmos_350nm", TechnologyNode::cmos_350nm()),
+        ("cmos_130nm", TechnologyNode::cmos_130nm()),
+    ] {
+        let config = e2_technology::Config {
+            nodes: vec![node],
+            ..e2_technology::Config::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            b.iter(|| black_box(e2_technology::run(cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_e3_motion(c: &mut Criterion) {
+    let mut group = configure(c, "e3_motion_timescales");
+    for speed in [50.0f64, 200.0] {
+        let config = e3_motion::Config {
+            speeds_um_s: vec![speed],
+            travel_steps: 3,
+            dt: Seconds::from_millis(2.0),
+            ..e3_motion::Config::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{speed}um_s")),
+            &config,
+            |b, cfg| {
+                b.iter(|| black_box(e3_motion::run(cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_e4_sensing(c: &mut Criterion) {
+    let mut group = configure(c, "e4_sensor_averaging");
+    for frames in [4u32, 64] {
+        let config = e4_sensing::Config {
+            frame_counts: vec![frames],
+            trials: 500,
+            ..e4_sensing::Config::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(frames), &config, |b, cfg| {
+            b.iter(|| black_box(e4_sensing::run(cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_e5_designflow(c: &mut Criterion) {
+    let mut group = configure(c, "e5_designflow_compare");
+    for trials in [50u32, 200] {
+        let config = e5_designflow::Config {
+            trials,
+            ..e5_designflow::Config::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &config, |b, cfg| {
+            b.iter(|| black_box(e5_designflow::run(cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_e6_fabrication(c: &mut Criterion) {
+    let mut group = configure(c, "e6_fabrication_cost");
+    let config = e6_fabrication::Config::default();
+    group.bench_function("all_processes", |b| {
+        b.iter(|| black_box(e6_fabrication::run(&config)));
+    });
+    group.finish();
+}
+
+fn bench_e7_routing(c: &mut Criterion) {
+    let mut group = configure(c, "e7_parallel_routing");
+    for particles in [20usize, 60] {
+        let config = e7_routing::Config {
+            array_side: 48,
+            particle_counts: vec![particles],
+            ..e7_routing::Config::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(particles),
+            &config,
+            |b, cfg| {
+                b.iter(|| black_box(e7_routing::run(cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_e8_centering(c: &mut Criterion) {
+    let mut group = configure(c, "e8_design_centering");
+    let config = e8_centering::Config::default();
+    group.bench_function("yield_recovery", |b| {
+        b.iter(|| black_box(e8_centering::run(&config)));
+    });
+    group.finish();
+}
+
+fn bench_e9_assay(c: &mut Criterion) {
+    let mut group = configure(c, "e9_full_assay");
+    for cells in [4u32, 9] {
+        let config = e9_assay::Config {
+            cells,
+            ..e9_assay::Config::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &config, |b, cfg| {
+            b.iter(|| black_box(e9_assay::run(cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_e1_scale,
+    bench_e2_technology,
+    bench_e3_motion,
+    bench_e4_sensing,
+    bench_e5_designflow,
+    bench_e6_fabrication,
+    bench_e7_routing,
+    bench_e8_centering,
+    bench_e9_assay
+);
+criterion_main!(experiments);

@@ -1,0 +1,198 @@
+//! Criterion benches of the computational kernels the experiments rest on:
+//! field evaluation, Clausius–Mossotti spectra, the Laplace reference solver,
+//! particle-dynamics stepping, channel-network solving and the cage router.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use labchip_fluidics::channel::{ChannelNetwork, NodeId};
+use labchip_fluidics::flow::RectangularChannel;
+use labchip_manipulation::routing::{Router, RoutingStrategy};
+use labchip_physics::dep::DepForceModel;
+use labchip_physics::dynamics::{ForceBalance, OverdampedIntegrator, ParticleState};
+use labchip_physics::field::laplace::LaplaceSolver;
+use labchip_physics::field::superposition::SuperpositionField;
+use labchip_physics::field::{ElectrodePhase, ElectrodePlane, FieldModel};
+use labchip_physics::medium::Medium;
+use labchip_physics::particle::Particle;
+use labchip_units::{
+    GridCoord, GridDims, GridRect, Hertz, Meters, Pascals, PascalSeconds, Seconds, Vec3, Volts,
+    WATER_VISCOSITY,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cage_plane(side: u32) -> ElectrodePlane {
+    let mut plane = ElectrodePlane::new(
+        GridDims::square(side),
+        Meters::from_micrometers(20.0),
+        Volts::new(3.3),
+        Meters::from_micrometers(80.0),
+    );
+    plane.set_phase(GridCoord::new(side / 2, side / 2), ElectrodePhase::CounterPhase);
+    plane
+}
+
+fn bench_field_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_field_evaluation");
+    group.measurement_time(Duration::from_secs(3));
+    for side in [16u32, 320] {
+        let field = SuperpositionField::new(cage_plane(side));
+        let probe = Vec3::new(
+            field.plane().width() / 2.0,
+            field.plane().height() / 2.0,
+            30e-6,
+        );
+        group.bench_with_input(BenchmarkId::new("grad_e_squared", side), &field, |b, f| {
+            b.iter(|| black_box(f.grad_e_squared(black_box(probe))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_clausius_mossotti(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_clausius_mossotti");
+    group.measurement_time(Duration::from_secs(2));
+    let medium = Medium::physiological_low_conductivity();
+    let cell = Particle::viable_cell(Meters::from_micrometers(10.0));
+    group.bench_function("viable_cell_spectrum_50_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..50 {
+                let f = Hertz::new(1e3 * 10f64.powf(i as f64 * 0.12));
+                acc += cell.cm_re(&medium, f);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_laplace_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_laplace_solver");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    let plane = cage_plane(7);
+    let region = GridRect::new(GridCoord::new(0, 0), GridCoord::new(6, 6));
+    group.bench_function("7x7_region", |b| {
+        b.iter(|| black_box(LaplaceSolver::solve(&plane, region).expect("converges")));
+    });
+    group.finish();
+}
+
+fn bench_particle_dynamics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_particle_dynamics");
+    group.measurement_time(Duration::from_secs(3));
+    let field = SuperpositionField::new(cage_plane(16));
+    let medium = Medium::physiological_low_conductivity();
+    let cell = Particle::viable_cell(Meters::from_micrometers(10.0));
+    let balance = ForceBalance::new(&cell, &medium, Hertz::from_kilohertz(10.0));
+    let integrator = OverdampedIntegrator::new(
+        Seconds::from_millis(1.0),
+        Meters::from_micrometers(10.0),
+        Meters::from_micrometers(70.0),
+    );
+    let start = ParticleState::at(Vec3::new(170e-6, 170e-6, 30e-6));
+    group.bench_function("100_steps", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            black_box(integrator.run(&field, &balance, start, 100, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn bench_dep_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_dep_force");
+    group.measurement_time(Duration::from_secs(2));
+    let field = SuperpositionField::new(cage_plane(16));
+    let medium = Medium::physiological_low_conductivity();
+    let cell = Particle::viable_cell(Meters::from_micrometers(10.0));
+    let dep = DepForceModel::new(&cell, &medium, Hertz::from_kilohertz(10.0));
+    let probe = Vec3::new(170e-6, 170e-6, 30e-6);
+    group.bench_function("single_point", |b| {
+        b.iter(|| black_box(dep.force(&field, black_box(probe))));
+    });
+    group.finish();
+}
+
+fn bench_channel_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_channel_network");
+    group.measurement_time(Duration::from_secs(3));
+    for nodes in [8u32, 32] {
+        group.bench_with_input(BenchmarkId::new("ladder", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let mut net = ChannelNetwork::new();
+                net.set_viscosity(PascalSeconds::new(WATER_VISCOSITY));
+                let geom = RectangularChannel::new(
+                    Meters::from_micrometers(200.0),
+                    Meters::from_micrometers(50.0),
+                    Meters::from_millimeters(2.0),
+                )
+                .expect("valid channel");
+                // A ladder network: two rails with rungs.
+                for i in 0..n {
+                    net.add_segment(NodeId(i), NodeId(i + 1), geom);
+                    net.add_segment(NodeId(100 + i), NodeId(100 + i + 1), geom);
+                    net.add_segment(NodeId(i), NodeId(100 + i), geom);
+                }
+                net.set_pressure(NodeId(0), Pascals::new(1_000.0));
+                net.set_pressure(NodeId(100 + n), Pascals::new(0.0));
+                black_box(net.solve().expect("well posed"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_router");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    for particles in [16usize, 48] {
+        let config = labchip::experiments::e7_routing::Config {
+            array_side: 48,
+            ..labchip::experiments::e7_routing::Config::default()
+        };
+        let problem = labchip::experiments::e7_routing::generate_problem(&config, particles);
+        group.bench_with_input(
+            BenchmarkId::new("astar", particles),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    black_box(
+                        Router::new(RoutingStrategy::PrioritizedAStar)
+                            .solve(problem)
+                            .expect("valid problem"),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy", particles),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    black_box(
+                        Router::new(RoutingStrategy::Greedy)
+                            .solve(problem)
+                            .expect("valid problem"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_field_evaluation,
+    bench_clausius_mossotti,
+    bench_laplace_solver,
+    bench_particle_dynamics,
+    bench_dep_force,
+    bench_channel_network,
+    bench_router
+);
+criterion_main!(kernels);

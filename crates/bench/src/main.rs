@@ -1,0 +1,41 @@
+//! `report` — regenerates every experiment table of the DATE'05 reproduction.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p labchip-bench --bin report            # all experiments
+//! cargo run --release -p labchip-bench --bin report -- e2 e5   # a subset
+//! ```
+//!
+//! The output is the markdown quoted in `EXPERIMENTS.md`.
+
+use labchip::experiments::Experiment;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<Experiment> = if args.is_empty() {
+        Experiment::all().to_vec()
+    } else {
+        args.iter()
+            .filter_map(|a| {
+                let parsed = Experiment::from_id(a);
+                if parsed.is_none() {
+                    eprintln!("unknown experiment id `{a}` (expected E1..E9)");
+                }
+                parsed
+            })
+            .collect()
+    };
+
+    println!("# labchip experiment report");
+    println!();
+    println!(
+        "Reproduction of \"New Perspectives and Opportunities From the Wild West of \
+         Microelectronic Biochips\" (Manaresi et al., DATE 2005)."
+    );
+    println!();
+    for experiment in selected {
+        let table = experiment.run_default();
+        println!("{table}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Unified error type of the facade crate.
+
+use std::fmt;
+
+/// Errors surfaced by the `labchip` facade.
+#[derive(Debug)]
+pub enum ChipError {
+    /// An error from the actuation-array layer.
+    Array(labchip_array::ArrayError),
+    /// An error from the physics layer.
+    Physics(labchip_physics::PhysicsError),
+    /// An error from the sensing layer.
+    Sensing(labchip_sensing::SensingError),
+    /// An error from the fluidics layer.
+    Fluidics(labchip_fluidics::FluidicsError),
+    /// An error from the manipulation layer.
+    Manipulation(labchip_manipulation::ManipulationError),
+    /// An error from the design-flow layer.
+    DesignFlow(labchip_designflow::DesignFlowError),
+    /// An inconsistency detected at the facade level.
+    Configuration {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipError::Array(e) => write!(f, "array error: {e}"),
+            ChipError::Physics(e) => write!(f, "physics error: {e}"),
+            ChipError::Sensing(e) => write!(f, "sensing error: {e}"),
+            ChipError::Fluidics(e) => write!(f, "fluidics error: {e}"),
+            ChipError::Manipulation(e) => write!(f, "manipulation error: {e}"),
+            ChipError::DesignFlow(e) => write!(f, "design-flow error: {e}"),
+            ChipError::Configuration { reason } => write!(f, "configuration error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ChipError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChipError::Array(e) => Some(e),
+            ChipError::Physics(e) => Some(e),
+            ChipError::Sensing(e) => Some(e),
+            ChipError::Fluidics(e) => Some(e),
+            ChipError::Manipulation(e) => Some(e),
+            ChipError::DesignFlow(e) => Some(e),
+            ChipError::Configuration { .. } => None,
+        }
+    }
+}
+
+impl From<labchip_array::ArrayError> for ChipError {
+    fn from(e: labchip_array::ArrayError) -> Self {
+        ChipError::Array(e)
+    }
+}
+
+impl From<labchip_physics::PhysicsError> for ChipError {
+    fn from(e: labchip_physics::PhysicsError) -> Self {
+        ChipError::Physics(e)
+    }
+}
+
+impl From<labchip_sensing::SensingError> for ChipError {
+    fn from(e: labchip_sensing::SensingError) -> Self {
+        ChipError::Sensing(e)
+    }
+}
+
+impl From<labchip_fluidics::FluidicsError> for ChipError {
+    fn from(e: labchip_fluidics::FluidicsError) -> Self {
+        ChipError::Fluidics(e)
+    }
+}
+
+impl From<labchip_manipulation::ManipulationError> for ChipError {
+    fn from(e: labchip_manipulation::ManipulationError) -> Self {
+        ChipError::Manipulation(e)
+    }
+}
+
+impl From<labchip_designflow::DesignFlowError> for ChipError {
+    fn from(e: labchip_designflow::DesignFlowError) -> Self {
+        ChipError::DesignFlow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ChipError = labchip_array::ArrayError::InvalidConfiguration {
+            name: "clock",
+            reason: "must be positive".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("array error"));
+        assert!(e.source().is_some());
+
+        let e = ChipError::Configuration {
+            reason: "mismatched chamber".into(),
+        };
+        assert!(e.to_string().contains("mismatched chamber"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChipError>();
+    }
+}

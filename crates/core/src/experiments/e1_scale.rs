@@ -1,0 +1,185 @@
+//! E1 — array scale: ">100,000 electrodes … tens of thousands of DEP cages".
+//!
+//! Sweeps the array size from a small test chip up to (and beyond) the
+//! paper's 320×320 device and reports, for each size: the electrode count,
+//! the number of simultaneous cages under the standard lattice patterns, the
+//! configuration memory, the full-frame programming time and the silicon die
+//! cost.
+
+use crate::experiments::ExperimentTable;
+use labchip_array::addressing::ProgrammingInterface;
+use labchip_array::pattern::{CagePattern, PatternKind};
+use labchip_array::pixel::PixelCell;
+use labchip_array::technology::TechnologyNode;
+use labchip_units::{GridCoord, GridDims, Meters};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the scale sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Array sides to sweep (square arrays).
+    pub sides: Vec<u32>,
+    /// Cage-lattice period for the dense pattern.
+    pub dense_period: u32,
+    /// Cage-lattice period for the moving-cage pattern.
+    pub sparse_period: u32,
+    /// Technology node used for cost figures.
+    pub technology: TechnologyNode,
+    /// Electrode pitch.
+    pub pitch: Meters,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sides: vec![64, 128, 256, 320, 512],
+            dense_period: 2,
+            sparse_period: 3,
+            technology: TechnologyNode::cmos_350nm(),
+            pitch: Meters::from_micrometers(20.0),
+        }
+    }
+}
+
+/// One row of the scale sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleRow {
+    /// Array side (electrodes).
+    pub side: u32,
+    /// Total electrodes.
+    pub electrodes: u64,
+    /// Cages under the dense lattice.
+    pub dense_cages: usize,
+    /// Cages under the sparse (moving) lattice.
+    pub sparse_cages: usize,
+    /// Configuration memory in bits.
+    pub memory_bits: u64,
+    /// Full-frame programming time in milliseconds.
+    pub frame_program_ms: f64,
+    /// Die cost in euros (active area, excluding mask NRE).
+    pub die_cost_euros: f64,
+}
+
+/// Result of the scale sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Results {
+    /// One row per array size.
+    pub rows: Vec<ScaleRow>,
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Results {
+    let iface = ProgrammingInterface::date05_reference();
+    let rows = config
+        .sides
+        .iter()
+        .map(|&side| {
+            let dims = GridDims::square(side);
+            let dense = CagePattern::new(
+                dims,
+                PatternKind::Lattice {
+                    period: config.dense_period,
+                    offset: GridCoord::new(1, 1),
+                },
+            )
+            .expect("lattice period >= 2 always fits");
+            let sparse = CagePattern::new(
+                dims,
+                PatternKind::Lattice {
+                    period: config.sparse_period,
+                    offset: GridCoord::new(1, 1),
+                },
+            )
+            .expect("lattice period >= 2 always fits");
+            ScaleRow {
+                side,
+                electrodes: dims.count(),
+                dense_cages: dense.cage_count(),
+                sparse_cages: sparse.cage_count(),
+                memory_bits: dims.count() * PixelCell::MEMORY_BITS as u64,
+                frame_program_ms: iface.full_frame_time(dims).as_millis(),
+                die_cost_euros: config.technology.die_cost(dims.count(), config.pitch).get(),
+            }
+        })
+        .collect();
+    Results { rows }
+}
+
+impl Results {
+    /// The row matching the paper's 320×320 chip, if it was swept.
+    pub fn paper_scale_row(&self) -> Option<&ScaleRow> {
+        self.rows.iter().find(|r| r.side == 320)
+    }
+
+    /// Renders the result as a report table.
+    pub fn to_table(&self) -> ExperimentTable {
+        ExperimentTable::new(
+            "E1",
+            "Array scale: electrodes, simultaneous DEP cages, memory and programming time",
+            vec![
+                "array".into(),
+                "electrodes".into(),
+                "cages (dense)".into(),
+                "cages (moving)".into(),
+                "memory [bit]".into(),
+                "frame program [ms]".into(),
+                "die cost [EUR]".into(),
+            ],
+            self.rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        format!("{0}x{0}", r.side),
+                        r.electrodes.to_string(),
+                        r.dense_cages.to_string(),
+                        r.sparse_cages.to_string(),
+                        r.memory_bits.to_string(),
+                        format!("{:.2}", r.frame_program_ms),
+                        format!("{:.0}", r.die_cost_euros),
+                    ]
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_claims_hold() {
+        let results = run(&Config::default());
+        let row = results.paper_scale_row().expect("320x320 is swept by default");
+        // C1: more than 100,000 electrodes.
+        assert!(row.electrodes > 100_000);
+        // C1: tens of thousands of simultaneous cages.
+        assert!(row.dense_cages > 20_000);
+        assert!(row.sparse_cages > 10_000);
+        // §2: programming the whole array is a sub-millisecond affair.
+        assert!(row.frame_program_ms < 1.5);
+        // The configuration memory is a modest few hundred kilobits.
+        assert!(row.memory_bits < 1_000_000);
+    }
+
+    #[test]
+    fn counts_scale_quadratically_with_side() {
+        let results = run(&Config::default());
+        let r64 = &results.rows[0];
+        let r128 = &results.rows[1];
+        assert_eq!(r64.side, 64);
+        assert_eq!(r128.side, 128);
+        assert_eq!(r128.electrodes, 4 * r64.electrodes);
+        assert!(r128.dense_cages > 3 * r64.dense_cages);
+        assert!(r128.die_cost_euros > 3.0 * r64.die_cost_euros);
+    }
+
+    #[test]
+    fn table_has_one_row_per_side() {
+        let config = Config::default();
+        let table = run(&config).to_table();
+        assert_eq!(table.row_count(), config.sides.len());
+        assert_eq!(table.columns.len(), 7);
+        assert!(table.to_string().contains("320x320"));
+    }
+}

@@ -1,0 +1,215 @@
+//! E4 — sensor averaging: "trade time of execution for quality of the
+//! results, e.g. averaging sensors output for thermal noise reduction".
+//!
+//! For a sweep of frame counts `N`, the experiment reports the effective
+//! noise, the detection SNR, the theoretical and simulated occupancy-error
+//! rates, the total scan time of the full array, and whether that scan still
+//! fits inside one cage step at the reference 50 µm/s motion — i.e. whether
+//! the quality is indeed free.
+
+use crate::experiments::ExperimentTable;
+use labchip_sensing::averaging::FrameAverager;
+use labchip_sensing::capacitive::CapacitiveSensor;
+use labchip_sensing::detect::Detector;
+use labchip_sensing::scan::ScanTiming;
+use labchip_units::{GridDims, Seconds};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the averaging sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Frame counts to sweep.
+    pub frame_counts: Vec<u32>,
+    /// Sensing channel model.
+    pub sensor: CapacitiveSensor,
+    /// Readout timing.
+    pub scan: ScanTiming,
+    /// Array size scanned.
+    pub dims: GridDims,
+    /// Simulated detection trials per state per point.
+    pub trials: u32,
+    /// Cage-step period the scan must fit into (reference motion), seconds.
+    pub step_period: Seconds,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            frame_counts: vec![1, 2, 4, 8, 16, 32, 64, 128],
+            sensor: CapacitiveSensor::date05_reference(),
+            scan: ScanTiming::date05_reference(),
+            dims: GridDims::new(320, 320),
+            trials: 4_000,
+            step_period: Seconds::new(0.4),
+            seed: 11,
+        }
+    }
+}
+
+/// One row of the averaging sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AveragingRow {
+    /// Number of frames averaged.
+    pub frames: u32,
+    /// Effective RMS noise after averaging (volts).
+    pub effective_noise: f64,
+    /// Detection SNR (signal separation over effective noise).
+    pub snr: f64,
+    /// Theoretical error probability.
+    pub theoretical_error: f64,
+    /// Simulated error rate.
+    pub simulated_error: f64,
+    /// Total scan time of the full array, milliseconds.
+    pub scan_time_ms: f64,
+    /// Whether the scan fits inside one cage step.
+    pub fits_in_step: bool,
+}
+
+/// Result of the averaging sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Results {
+    /// One row per frame count.
+    pub rows: Vec<AveragingRow>,
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Results {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let sensor = &config.sensor;
+    let detector = Detector::new(
+        0.0,
+        sensor
+            .signal_for(labchip_sensing::detect::Occupancy::Occupied)
+            .get(),
+    )
+    .expect("occupied and empty levels always differ");
+
+    let rows = config
+        .frame_counts
+        .iter()
+        .map(|&frames| {
+            let averager = FrameAverager::new(frames);
+            let effective_noise = averager.effective_noise(&sensor.noise);
+            let snr = detector.separation() / effective_noise;
+            let theoretical_error = detector.error_probability(effective_noise);
+            let simulated_error =
+                averager.detection_error_rate(&detector, &sensor.noise, config.trials, &mut rng);
+            let scan_time = config.scan.averaged_scan_time(config.dims, &averager);
+            AveragingRow {
+                frames,
+                effective_noise,
+                snr,
+                theoretical_error,
+                simulated_error,
+                scan_time_ms: scan_time.as_millis(),
+                fits_in_step: scan_time <= config.step_period,
+            }
+        })
+        .collect();
+    Results { rows }
+}
+
+impl Results {
+    /// The largest frame count whose scan still fits in one cage step.
+    pub fn max_frames_in_step(&self) -> Option<u32> {
+        self.rows
+            .iter()
+            .filter(|r| r.fits_in_step)
+            .map(|r| r.frames)
+            .max()
+    }
+
+    /// Renders the result as a report table.
+    pub fn to_table(&self) -> ExperimentTable {
+        ExperimentTable::new(
+            "E4",
+            "Sensor frame averaging: SNR and detection error vs scan time",
+            vec![
+                "frames".into(),
+                "noise [mV]".into(),
+                "SNR".into(),
+                "error (theory)".into(),
+                "error (sim)".into(),
+                "scan time [ms]".into(),
+                "fits in step".into(),
+            ],
+            self.rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.frames.to_string(),
+                        format!("{:.3}", r.effective_noise * 1e3),
+                        format!("{:.1}", r.snr),
+                        format!("{:.2e}", r.theoretical_error),
+                        format!("{:.2e}", r.simulated_error),
+                        format!("{:.1}", r.scan_time_ms),
+                        if r.fits_in_step { "yes".into() } else { "no".into() },
+                    ]
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> Config {
+        Config {
+            frame_counts: vec![1, 4, 16, 64],
+            trials: 2_000,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn snr_grows_and_error_falls_with_averaging() {
+        let results = run(&quick_config());
+        for pair in results.rows.windows(2) {
+            assert!(pair[1].snr > pair[0].snr);
+            assert!(pair[1].effective_noise < pair[0].effective_noise);
+            assert!(pair[1].theoretical_error <= pair[0].theoretical_error);
+            assert!(pair[1].scan_time_ms > pair[0].scan_time_ms);
+        }
+        // SNR improves roughly as sqrt(N) until the flicker floor bites:
+        // from 1 to 16 frames the gain should be close to 4x.
+        let gain = results.rows[2].snr / results.rows[0].snr;
+        assert!(gain > 2.5 && gain < 4.5, "gain = {gain}");
+    }
+
+    #[test]
+    fn simulation_matches_theory() {
+        let results = run(&quick_config());
+        for row in &results.rows {
+            let tolerance = 0.03 + 3.0 * row.theoretical_error;
+            assert!(
+                (row.simulated_error - row.theoretical_error).abs() < tolerance,
+                "N={}: simulated {} vs theoretical {}",
+                row.frames,
+                row.simulated_error,
+                row.theoretical_error
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_averaging_still_fits_in_a_cage_step() {
+        // The paper's point: the quality is essentially free because the
+        // mechanics is so slow. At 50 µm/s (0.4 s per step) dozens of frames
+        // fit.
+        let results = run(&quick_config());
+        assert!(results.max_frames_in_step().unwrap_or(0) >= 64);
+    }
+
+    #[test]
+    fn table_shape() {
+        let table = run(&quick_config()).to_table();
+        assert_eq!(table.row_count(), 4);
+        assert_eq!(table.columns.len(), 7);
+    }
+}

@@ -1,0 +1,204 @@
+//! E5 — design-flow comparison (Fig. 1 vs Fig. 2): "it is often faster to
+//! build and test a prototype than to simulate it".
+//!
+//! Runs the Monte-Carlo project model under both flows for a sweep of
+//! parameter-uncertainty levels, reporting time-to-working-prototype and cost
+//! statistics. The expected shape: at 2005-level uncertainty the
+//! prototype-in-the-loop flow converges in a fraction of the calendar time;
+//! as parameter knowledge improves the gap narrows.
+
+use crate::experiments::ExperimentTable;
+use labchip_designflow::flows::FlowParameters;
+use labchip_designflow::montecarlo::MonteCarloComparison;
+use labchip_fluidics::uncertainty::FluidicParameters;
+use serde::{Deserialize, Serialize};
+
+/// One uncertainty scenario of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario label.
+    pub label: String,
+    /// Parameter knowledge at project start.
+    pub parameters: FluidicParameters,
+}
+
+/// Configuration of the flow comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Scenarios to sweep.
+    pub scenarios: Vec<Scenario>,
+    /// Monte-Carlo trials per flow per scenario.
+    pub trials: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            scenarios: vec![
+                Scenario {
+                    label: "literature 2005".into(),
+                    parameters: FluidicParameters::literature_2005(),
+                },
+                Scenario {
+                    label: "after characterization".into(),
+                    parameters: FluidicParameters::after_prototype_characterization(),
+                },
+            ],
+            trials: 400,
+            seed: 2005,
+        }
+    }
+}
+
+/// One row of the comparison (one scenario).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Mean calendar days, simulate-first flow.
+    pub simulate_first_days: f64,
+    /// Mean calendar days, prototype-in-the-loop flow.
+    pub prototype_days: f64,
+    /// Mean cost (kEUR), simulate-first flow.
+    pub simulate_first_keur: f64,
+    /// Mean cost (kEUR), prototype flow.
+    pub prototype_keur: f64,
+    /// Mean fabrication iterations, simulate-first flow.
+    pub simulate_first_iterations: f64,
+    /// Mean fabrication iterations, prototype flow.
+    pub prototype_iterations: f64,
+    /// Calendar-time speed-up of the prototype flow.
+    pub speedup: f64,
+}
+
+/// Result of the flow comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Results {
+    /// One row per scenario.
+    pub rows: Vec<FlowRow>,
+}
+
+/// Runs the comparison.
+pub fn run(config: &Config) -> Results {
+    let rows = config
+        .scenarios
+        .iter()
+        .map(|scenario| {
+            let mut comparison = MonteCarloComparison {
+                parameters: FlowParameters {
+                    initial_parameters: scenario.parameters,
+                    ..FlowParameters::date05_reference()
+                },
+                trials: config.trials,
+                seed: config.seed,
+            };
+            comparison.parameters.initial_parameters = scenario.parameters;
+            let outcome = comparison.run().expect("reference parameters are valid");
+            FlowRow {
+                scenario: scenario.label.clone(),
+                simulate_first_days: outcome.simulate_first.mean_duration.as_days(),
+                prototype_days: outcome.prototype_in_loop.mean_duration.as_days(),
+                simulate_first_keur: outcome.simulate_first.mean_cost.as_kilo_euros(),
+                prototype_keur: outcome.prototype_in_loop.mean_cost.as_kilo_euros(),
+                simulate_first_iterations: outcome.simulate_first.mean_iterations,
+                prototype_iterations: outcome.prototype_in_loop.mean_iterations,
+                speedup: outcome.speedup(),
+            }
+        })
+        .collect();
+    Results { rows }
+}
+
+impl Results {
+    /// Renders the result as a report table.
+    pub fn to_table(&self) -> ExperimentTable {
+        ExperimentTable::new(
+            "E5",
+            "Design-flow comparison (Fig. 1 vs Fig. 2): time and cost to a working fluidic prototype",
+            vec![
+                "scenario".into(),
+                "sim-first [days]".into(),
+                "prototype [days]".into(),
+                "sim-first [kEUR]".into(),
+                "prototype [kEUR]".into(),
+                "sim-first [iters]".into(),
+                "prototype [iters]".into(),
+                "speed-up".into(),
+            ],
+            self.rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.scenario.clone(),
+                        format!("{:.0}", r.simulate_first_days),
+                        format!("{:.0}", r.prototype_days),
+                        format!("{:.1}", r.simulate_first_keur),
+                        format!("{:.1}", r.prototype_keur),
+                        format!("{:.1}", r.simulate_first_iterations),
+                        format!("{:.1}", r.prototype_iterations),
+                        format!("{:.2}x", r.speedup),
+                    ]
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> Config {
+        Config {
+            trials: 200,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn prototype_flow_wins_under_2005_uncertainty() {
+        let results = run(&quick_config());
+        let row = &results.rows[0];
+        assert_eq!(row.scenario, "literature 2005");
+        // The paper's claim, as a number: prototyping converges well over
+        // 1.5x faster in calendar time, despite using more iterations.
+        assert!(row.speedup > 1.5, "speedup = {:.2}", row.speedup);
+        assert!(row.prototype_days < row.simulate_first_days);
+        assert!(row.prototype_iterations >= row.simulate_first_iterations);
+    }
+
+    #[test]
+    fn better_knowledge_helps_both_flows() {
+        // With well-characterised parameters both flows need fewer spins and
+        // less calendar time; the prototype flow still wins on time because
+        // its iterations stay an order of magnitude shorter.
+        let results = run(&quick_config());
+        let before = &results.rows[0];
+        let after = &results.rows[1];
+        assert!(after.simulate_first_iterations <= before.simulate_first_iterations);
+        assert!(after.prototype_iterations <= before.prototype_iterations);
+        assert!(after.simulate_first_days <= before.simulate_first_days);
+        assert!(after.prototype_days <= before.prototype_days);
+        assert!(after.speedup > 1.0);
+    }
+
+    #[test]
+    fn durations_and_costs_are_positive_and_plausible() {
+        let results = run(&quick_config());
+        for row in &results.rows {
+            assert!(row.simulate_first_days > 10.0 && row.simulate_first_days < 2_000.0);
+            assert!(row.prototype_days > 3.0 && row.prototype_days < 1_000.0);
+            assert!(row.simulate_first_keur > 0.5);
+            assert!(row.prototype_keur > 0.5);
+        }
+    }
+
+    #[test]
+    fn table_shape() {
+        let table = run(&quick_config()).to_table();
+        assert_eq!(table.row_count(), 2);
+        assert_eq!(table.columns.len(), 8);
+    }
+}

@@ -1,0 +1,191 @@
+//! E6 — fabrication economics: "two-three days from design to device … very
+//! low cost both for the masks (few euros) and overall set-up for fabrication
+//! (tens of thousands euros)".
+//!
+//! Compares the dry-film-resist process of the paper's reference [5] against
+//! PDMS soft lithography, wet-etched glass and (for contrast) a CMOS
+//! prototype run: turnaround, mask cost, set-up cost and per-device cost at
+//! several batch sizes.
+
+use crate::experiments::ExperimentTable;
+use labchip_fluidics::fabrication::{FabricationProcess, ProcessKind};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the fabrication comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Processes to compare.
+    pub processes: Vec<ProcessKind>,
+    /// Batch sizes for the per-device cost figures.
+    pub batch_sizes: Vec<u32>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            processes: vec![
+                ProcessKind::DryFilmResist,
+                ProcessKind::PdmsSoftLithography,
+                ProcessKind::GlassEtching,
+                ProcessKind::CmosPrototype,
+            ],
+            batch_sizes: vec![1, 10, 100],
+        }
+    }
+}
+
+/// One row (one process) of the comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricationRow {
+    /// Process name.
+    pub process: String,
+    /// Turnaround in days.
+    pub turnaround_days: f64,
+    /// Mask cost in euros.
+    pub mask_cost_eur: f64,
+    /// Set-up cost in kilo-euros.
+    pub setup_cost_keur: f64,
+    /// Minimum feature in micrometres.
+    pub min_feature_um: f64,
+    /// Per-device cost (euros) at each configured batch size, mask included,
+    /// set-up excluded.
+    pub per_device_eur: Vec<f64>,
+}
+
+/// Result of the comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Results {
+    /// Batch sizes the per-device costs refer to.
+    pub batch_sizes: Vec<u32>,
+    /// One row per process.
+    pub rows: Vec<FabricationRow>,
+}
+
+/// Runs the comparison.
+pub fn run(config: &Config) -> Results {
+    let rows = config
+        .processes
+        .iter()
+        .map(|&kind| {
+            let process = FabricationProcess::preset(kind);
+            let per_device = config
+                .batch_sizes
+                .iter()
+                .map(|&batch| process.quote(batch, false).cost_per_device().get())
+                .collect();
+            FabricationRow {
+                process: process.name.clone(),
+                turnaround_days: process.turnaround.as_days(),
+                mask_cost_eur: process.mask_cost.get(),
+                setup_cost_keur: process.setup_cost.as_kilo_euros(),
+                min_feature_um: process.min_feature().as_micrometers(),
+                per_device_eur: per_device,
+            }
+        })
+        .collect();
+    Results {
+        batch_sizes: config.batch_sizes.clone(),
+        rows,
+    }
+}
+
+impl Results {
+    /// The dry-film-resist row (the paper's process), if swept.
+    pub fn dry_film_row(&self) -> Option<&FabricationRow> {
+        self.rows.iter().find(|r| r.process.contains("dry film"))
+    }
+
+    /// Renders the result as a report table.
+    pub fn to_table(&self) -> ExperimentTable {
+        let mut columns = vec![
+            "process".to_string(),
+            "turnaround [days]".to_string(),
+            "mask [EUR]".to_string(),
+            "set-up [kEUR]".to_string(),
+            "min feature [um]".to_string(),
+        ];
+        for batch in &self.batch_sizes {
+            columns.push(format!("EUR/device @{batch}"));
+        }
+        ExperimentTable::new(
+            "E6",
+            "Fabrication processes: turnaround, mask cost, set-up and per-device cost",
+            columns,
+            self.rows
+                .iter()
+                .map(|r| {
+                    let mut row = vec![
+                        r.process.clone(),
+                        format!("{:.1}", r.turnaround_days),
+                        format!("{:.0}", r.mask_cost_eur),
+                        format!("{:.0}", r.setup_cost_keur),
+                        format!("{:.1}", r.min_feature_um),
+                    ];
+                    for cost in &r.per_device_eur {
+                        row.push(format!("{:.0}", cost));
+                    }
+                    row
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dry_film_matches_the_papers_numbers() {
+        let results = run(&Config::default());
+        let dry = results.dry_film_row().expect("dry film resist is swept");
+        // C6: 2-3 days, masks of a few euros, set-up of tens of kEUR.
+        assert!(dry.turnaround_days >= 2.0 && dry.turnaround_days <= 3.0);
+        assert!(dry.mask_cost_eur < 10.0);
+        assert!(dry.setup_cost_keur >= 10.0 && dry.setup_cost_keur <= 100.0);
+    }
+
+    #[test]
+    fn dry_film_is_fastest_and_cheapest_fluidic_option() {
+        let results = run(&Config::default());
+        let dry = results.dry_film_row().unwrap();
+        for row in &results.rows {
+            if row.process == dry.process {
+                continue;
+            }
+            assert!(row.turnaround_days >= dry.turnaround_days);
+            assert!(row.mask_cost_eur >= dry.mask_cost_eur);
+        }
+    }
+
+    #[test]
+    fn per_device_cost_falls_with_batch_size() {
+        let results = run(&Config::default());
+        for row in &results.rows {
+            for pair in row.per_device_eur.windows(2) {
+                assert!(pair[1] <= pair[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn cmos_contrast_is_orders_of_magnitude() {
+        let results = run(&Config::default());
+        let dry = results.dry_film_row().unwrap();
+        let cmos = results
+            .rows
+            .iter()
+            .find(|r| r.process.contains("CMOS"))
+            .unwrap();
+        assert!(cmos.turnaround_days > 20.0 * dry.turnaround_days);
+        assert!(cmos.mask_cost_eur > 1_000.0 * dry.mask_cost_eur);
+    }
+
+    #[test]
+    fn table_shape() {
+        let config = Config::default();
+        let table = run(&config).to_table();
+        assert_eq!(table.row_count(), config.processes.len());
+        assert_eq!(table.columns.len(), 5 + config.batch_sizes.len());
+    }
+}

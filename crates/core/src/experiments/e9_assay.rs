@@ -1,0 +1,254 @@
+//! E9 — the assembled device (Fig. 3) runs an end-to-end assay.
+//!
+//! A complete single-cell isolation assay is executed against the packaged
+//! chip model: load a sample, scan the sensors, isolate the target cell,
+//! wash the rest to the waste edge, recover the target. The result is the
+//! time budget split between fluidic handling, sensing and cage motion — the
+//! system-level confirmation that mass transfer, not electronics, dominates
+//! the experiment (and that the packaged device has everything it needs).
+
+use crate::experiments::ExperimentTable;
+use labchip_array::pattern::{CagePattern, PatternKind};
+use labchip_fluidics::fabrication::{FabricationProcess, ProcessKind};
+use labchip_fluidics::packaging::PackagingStack;
+use labchip_manipulation::cage::ParticleId;
+use labchip_manipulation::ops::Manipulator;
+use labchip_manipulation::protocol::{Protocol, ProtocolExecutor, ProtocolStep};
+use labchip_sensing::averaging::FrameAverager;
+use labchip_sensing::scan::ScanTiming;
+use labchip_units::{GridCoord, GridDims, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the end-to-end assay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Array side of the working region used by the assay.
+    pub array_side: u32,
+    /// Number of cells loaded.
+    pub cells: u32,
+    /// Frames averaged per detection scan.
+    pub detection_frames: u32,
+    /// Sample loading time (pipetting, settling, trapping).
+    pub load_time: Seconds,
+    /// Recovery handling time.
+    pub recover_time: Seconds,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            array_side: 32,
+            cells: 9,
+            detection_frames: 32,
+            load_time: Seconds::from_minutes(3.0),
+            recover_time: Seconds::from_minutes(1.0),
+        }
+    }
+}
+
+/// Result of the end-to-end assay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Results {
+    /// Cells loaded.
+    pub cells_loaded: u32,
+    /// Cells recovered.
+    pub cells_recovered: usize,
+    /// Total cage steps executed.
+    pub cage_steps: usize,
+    /// Time spent in fluidic handling.
+    pub fluidics: Seconds,
+    /// Time spent scanning sensors.
+    pub sensing: Seconds,
+    /// Time spent moving cages.
+    pub motion: Seconds,
+    /// Packaged-device assembly turnaround (dry-film process).
+    pub device_turnaround: Seconds,
+    /// Packaged-device incremental cost in euros.
+    pub device_cost_eur: f64,
+}
+
+/// Runs the assay.
+pub fn run(config: &Config) -> Results {
+    let dims = GridDims::square(config.array_side);
+
+    // Load sites: a lattice in the central region, enough for the requested
+    // number of cells.
+    let lattice = CagePattern::new(
+        dims,
+        PatternKind::Lattice {
+            period: 4,
+            offset: GridCoord::new(2, 2),
+        },
+    )
+    .expect("period-4 lattice is valid");
+    let sites: Vec<GridCoord> = lattice
+        .cage_sites()
+        .iter()
+        .copied()
+        .take(config.cells as usize)
+        .collect();
+    let load_pattern =
+        CagePattern::new(dims, PatternKind::Custom(sites)).expect("sites are on the array");
+
+    // Detection scan time: full-array scan with the configured averaging.
+    let scan_time = ScanTiming::date05_reference()
+        .averaged_scan_time(dims, &FrameAverager::new(config.detection_frames));
+
+    let target = ParticleId(0);
+    let protocol = Protocol::new("single-cell isolation")
+        .with_step(ProtocolStep::LoadSample {
+            pattern: load_pattern,
+            handling_time: config.load_time,
+        })
+        .with_step(ProtocolStep::Detect { scan_time })
+        .with_step(ProtocolStep::Isolate { id: target })
+        .with_step(ProtocolStep::Detect { scan_time })
+        .with_step(ProtocolStep::Wash { keep: vec![target] })
+        .with_step(ProtocolStep::Recover {
+            id: target,
+            handling_time: config.recover_time,
+        });
+
+    let mut manipulator = Manipulator::new(dims);
+    let report = ProtocolExecutor::new(&mut manipulator)
+        .run(&protocol)
+        .expect("the reference assay is executable");
+
+    // The physical device the assay runs on (Fig. 3).
+    let stack = PackagingStack::date05_reference();
+    let process = FabricationProcess::preset(ProcessKind::DryFilmResist);
+
+    Results {
+        cells_loaded: config.cells,
+        cells_recovered: report.recovered.len(),
+        cage_steps: report.cage_steps,
+        fluidics: report.time.fluidics,
+        sensing: report.time.sensing,
+        motion: report.time.motion,
+        device_turnaround: stack.assembly_turnaround(&process),
+        device_cost_eur: stack.assembly_cost(&process).get(),
+    }
+}
+
+impl Results {
+    /// Total assay time.
+    pub fn total_time(&self) -> Seconds {
+        self.fluidics + self.sensing + self.motion
+    }
+
+    /// Renders the result as a report table.
+    pub fn to_table(&self) -> ExperimentTable {
+        let total = self.total_time();
+        let percent = |part: Seconds| {
+            if total.get() > 0.0 {
+                format!("{:.1}%", 100.0 * part.get() / total.get())
+            } else {
+                "0%".into()
+            }
+        };
+        ExperimentTable::new(
+            "E9",
+            "End-to-end single-cell isolation assay on the packaged device",
+            vec!["quantity".into(), "value".into(), "share of assay".into()],
+            vec![
+                vec![
+                    "cells loaded".into(),
+                    self.cells_loaded.to_string(),
+                    "-".into(),
+                ],
+                vec![
+                    "cells recovered".into(),
+                    self.cells_recovered.to_string(),
+                    "-".into(),
+                ],
+                vec![
+                    "cage steps".into(),
+                    self.cage_steps.to_string(),
+                    "-".into(),
+                ],
+                vec![
+                    "fluidic handling".into(),
+                    format!("{:.1} min", self.fluidics.as_minutes()),
+                    percent(self.fluidics),
+                ],
+                vec![
+                    "sensor scanning".into(),
+                    format!("{:.1} ms", self.sensing.as_millis()),
+                    percent(self.sensing),
+                ],
+                vec![
+                    "cage motion".into(),
+                    format!("{:.1} min", self.motion.as_minutes()),
+                    percent(self.motion),
+                ],
+                vec![
+                    "total assay".into(),
+                    format!("{:.1} min", total.as_minutes()),
+                    "100%".into(),
+                ],
+                vec![
+                    "device turnaround".into(),
+                    format!("{:.1} days", self.device_turnaround.as_days()),
+                    "-".into(),
+                ],
+                vec![
+                    "device cost".into(),
+                    format!("{:.0} EUR", self.device_cost_eur),
+                    "-".into(),
+                ],
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assay_completes_and_recovers_the_target() {
+        let results = run(&Config::default());
+        assert_eq!(results.cells_recovered, 1);
+        assert!(results.cage_steps > 0);
+        assert!(results.total_time().as_minutes() > 3.0);
+    }
+
+    #[test]
+    fn fluidics_dominates_then_motion_then_sensing() {
+        // The system-level restatement of C4: mass transfer (handling and
+        // cage motion) dwarfs the electronics time.
+        let results = run(&Config::default());
+        assert!(results.fluidics > results.motion);
+        assert!(results.motion > results.sensing);
+        assert!(results.sensing.get() < 5.0, "sensing = {} s", results.sensing.get());
+    }
+
+    #[test]
+    fn packaged_device_is_days_and_tens_of_euros() {
+        let results = run(&Config::default());
+        assert!(results.device_turnaround.as_days() < 5.0);
+        assert!(results.device_cost_eur < 60.0);
+    }
+
+    #[test]
+    fn more_cells_mean_more_cage_steps() {
+        let small = run(&Config {
+            cells: 4,
+            ..Config::default()
+        });
+        let large = run(&Config {
+            cells: 16,
+            ..Config::default()
+        });
+        assert!(large.cage_steps >= small.cage_steps);
+        assert_eq!(large.cells_recovered, 1);
+    }
+
+    #[test]
+    fn table_shape() {
+        let table = run(&Config::default()).to_table();
+        assert_eq!(table.columns.len(), 3);
+        assert_eq!(table.row_count(), 9);
+        assert!(table.to_string().contains("cells recovered"));
+    }
+}

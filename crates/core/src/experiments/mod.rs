@@ -1,0 +1,241 @@
+//! The experiment harness: one module per claim/figure of the paper.
+//!
+//! The DATE'05 paper is a position paper without numbered tables, so the
+//! reproduction defines one experiment per quantitative claim or figure (see
+//! `DESIGN.md` and `EXPERIMENTS.md` at the repository root):
+//!
+//! | id | claim | module |
+//! |----|-------|--------|
+//! | E1 | >100,000 electrodes, tens of thousands of cages | [`e1_scale`] |
+//! | E2 | DEP force ∝ V²: older nodes win | [`e2_technology`] |
+//! | E3 | cells move at 10–100 µm/s; electronics has huge slack | [`e3_motion`] |
+//! | E4 | averaging sensor output buys SNR with spare time | [`e4_sensing`] |
+//! | E5 | prototyping beats simulation for fluidics (Fig. 1 vs 2) | [`e5_designflow`] |
+//! | E6 | dry-film resist: days and euros per iteration | [`e6_fabrication`] |
+//! | E7 | pattern-shift manipulation at scale (router vs baseline) | [`e7_routing`] |
+//! | E8 | design centering buys yield (Fig. 1 dashed loop) | [`e8_centering`] |
+//! | E9 | the assembled device runs a full assay (Fig. 3) | [`e9_assay`] |
+//!
+//! Every experiment exposes a `Config` (with defaults matching the paper's
+//! scenario), a typed result, and a conversion into a generic
+//! [`ExperimentTable`] that the `report` binary prints and `EXPERIMENTS.md`
+//! quotes.
+
+pub mod e1_scale;
+pub mod e2_technology;
+pub mod e3_motion;
+pub mod e4_sensing;
+pub mod e5_designflow;
+pub mod e6_fabrication;
+pub mod e7_routing;
+pub mod e8_centering;
+pub mod e9_assay;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rendered experiment result: an identifier, a caption and a plain table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentTable {
+    /// Experiment identifier (`"E1"` … `"E9"`).
+    pub id: String,
+    /// One-line caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows, one `Vec<String>` per row, same arity as `columns`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates a table, checking that every row has the right arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row's length differs from the number of columns — that is
+    /// a bug in the experiment code, not a runtime condition.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<String>,
+        rows: Vec<Vec<String>>,
+    ) -> Self {
+        let columns_len = columns.len();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                columns_len,
+                "row {i} has {} cells but the table has {columns_len} columns",
+                row.len()
+            );
+        }
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns,
+            rows,
+        }
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for ExperimentTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect();
+        writeln!(f, "| {} |", header.join(" | "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", rule.join("-|-"))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A uniform handle over every experiment, used by the `report` binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Experiment {
+    /// E1 — array scale.
+    E1Scale,
+    /// E2 — technology/voltage sweep.
+    E2Technology,
+    /// E3 — motion timescales.
+    E3Motion,
+    /// E4 — sensor averaging.
+    E4Sensing,
+    /// E5 — design-flow comparison.
+    E5DesignFlow,
+    /// E6 — fabrication cost/turnaround.
+    E6Fabrication,
+    /// E7 — parallel routing.
+    E7Routing,
+    /// E8 — design centering.
+    E8Centering,
+    /// E9 — end-to-end assay.
+    E9Assay,
+}
+
+impl Experiment {
+    /// All experiments in order.
+    pub fn all() -> [Experiment; 9] {
+        [
+            Experiment::E1Scale,
+            Experiment::E2Technology,
+            Experiment::E3Motion,
+            Experiment::E4Sensing,
+            Experiment::E5DesignFlow,
+            Experiment::E6Fabrication,
+            Experiment::E7Routing,
+            Experiment::E8Centering,
+            Experiment::E9Assay,
+        ]
+    }
+
+    /// The experiment identifier (`"E1"` … `"E9"`).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Experiment::E1Scale => "E1",
+            Experiment::E2Technology => "E2",
+            Experiment::E3Motion => "E3",
+            Experiment::E4Sensing => "E4",
+            Experiment::E5DesignFlow => "E5",
+            Experiment::E6Fabrication => "E6",
+            Experiment::E7Routing => "E7",
+            Experiment::E8Centering => "E8",
+            Experiment::E9Assay => "E9",
+        }
+    }
+
+    /// Runs the experiment with its default (paper-scenario) configuration
+    /// and returns the rendered table.
+    pub fn run_default(&self) -> ExperimentTable {
+        match self {
+            Experiment::E1Scale => e1_scale::run(&e1_scale::Config::default()).to_table(),
+            Experiment::E2Technology => {
+                e2_technology::run(&e2_technology::Config::default()).to_table()
+            }
+            Experiment::E3Motion => e3_motion::run(&e3_motion::Config::default()).to_table(),
+            Experiment::E4Sensing => e4_sensing::run(&e4_sensing::Config::default()).to_table(),
+            Experiment::E5DesignFlow => {
+                e5_designflow::run(&e5_designflow::Config::default()).to_table()
+            }
+            Experiment::E6Fabrication => {
+                e6_fabrication::run(&e6_fabrication::Config::default()).to_table()
+            }
+            Experiment::E7Routing => e7_routing::run(&e7_routing::Config::default()).to_table(),
+            Experiment::E8Centering => {
+                e8_centering::run(&e8_centering::Config::default()).to_table()
+            }
+            Experiment::E9Assay => e9_assay::run(&e9_assay::Config::default()).to_table(),
+        }
+    }
+
+    /// Parses an identifier like `"e3"` or `"E3"`.
+    pub fn from_id(id: &str) -> Option<Experiment> {
+        Experiment::all()
+            .into_iter()
+            .find(|e| e.id().eq_ignore_ascii_case(id.trim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_includes_all_cells() {
+        let table = ExperimentTable::new(
+            "E0",
+            "demo",
+            vec!["a".into(), "b".into()],
+            vec![vec!["1".into(), "2".into()], vec!["30".into(), "40".into()]],
+        );
+        let rendered = table.to_string();
+        assert!(rendered.contains("E0"));
+        assert!(rendered.contains("| 1 "));
+        assert!(rendered.contains("40"));
+        assert_eq!(table.row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn mismatched_row_arity_panics() {
+        let _ = ExperimentTable::new(
+            "E0",
+            "demo",
+            vec!["a".into(), "b".into()],
+            vec![vec!["1".into()]],
+        );
+    }
+
+    #[test]
+    fn experiment_ids_round_trip() {
+        for e in Experiment::all() {
+            assert_eq!(Experiment::from_id(e.id()), Some(e));
+            assert_eq!(Experiment::from_id(&e.id().to_lowercase()), Some(e));
+        }
+        assert_eq!(Experiment::from_id("E42"), None);
+    }
+}

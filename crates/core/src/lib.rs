@@ -1,0 +1,60 @@
+//! # labchip
+//!
+//! Facade crate of the `labchip` workspace: a digital twin of the CMOS
+//! dielectrophoresis (DEP) biochip described in *"New Perspectives and
+//! Opportunities From the Wild West of Microelectronic Biochips"* (Manaresi
+//! et al., DATE 2005), together with the experiment harness that reproduces
+//! every quantitative claim of that paper.
+//!
+//! The heavy lifting lives in the substrate crates —
+//! [`labchip_physics`] (fields, DEP, particle dynamics),
+//! [`labchip_array`] (the CMOS actuation array),
+//! [`labchip_sensing`] (optical/capacitive readout),
+//! [`labchip_fluidics`] (chambers, channels, fabrication, packaging),
+//! [`labchip_manipulation`] (cage routing and assay protocols) and
+//! [`labchip_designflow`] (Fig. 1 vs Fig. 2 flow comparison). This crate
+//! composes them into a [`Biochip`](biochip::Biochip), a time-stepped
+//! [`ChipSimulator`](simulator::ChipSimulator) and the [`experiments`]
+//! module (E1–E9).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use labchip::prelude::*;
+//! use labchip_units::GridCoord;
+//!
+//! // The paper's reference chip: >100,000 electrodes, 0.35 µm CMOS.
+//! let mut chip = Biochip::date05_reference();
+//! assert!(chip.array().electrode_count() > 100_000);
+//!
+//! // Program a single cage and check that a viable cell is trapped there.
+//! chip.program_single_cage(GridCoord::new(160, 160))?;
+//! let summary = chip.cage_summary(GridCoord::new(160, 160))?;
+//! assert!(summary.is_trap);
+//! # Ok::<(), labchip::ChipError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod biochip;
+pub mod error;
+pub mod experiments;
+pub mod simulator;
+
+/// Convenient re-exports of the most commonly used types across the whole
+/// workspace.
+pub mod prelude {
+    pub use crate::biochip::{Biochip, BiochipBuilder, CageSummary};
+    pub use crate::error::ChipError;
+    pub use crate::experiments::{Experiment, ExperimentTable};
+    pub use crate::simulator::{ChipSimulator, SimulatedParticle, SimulationConfig};
+    pub use labchip_array::prelude::*;
+    pub use labchip_designflow::prelude::*;
+    pub use labchip_fluidics::prelude::*;
+    pub use labchip_manipulation::prelude::*;
+    pub use labchip_physics::prelude::*;
+    pub use labchip_sensing::prelude::*;
+}
+
+pub use error::ChipError;

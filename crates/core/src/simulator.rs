@@ -1,0 +1,296 @@
+//! Time-stepped full-chip simulation.
+//!
+//! The [`ChipSimulator`] carries a population of particles through the
+//! chamber under the field of the currently programmed pattern: DEP,
+//! gravity, drag and Brownian motion, with the pattern free to change between
+//! steps (that is how cages — and the cells inside them — are dragged across
+//! the chip).
+
+use crate::biochip::Biochip;
+use crate::error::ChipError;
+use labchip_physics::dynamics::{ForceBalance, OverdampedIntegrator, ParticleState};
+use labchip_physics::field::superposition::SuperpositionField;
+use labchip_physics::particle::Particle;
+use labchip_sensing::detect::{Occupancy, OccupancyMap};
+use labchip_units::{GridCoord, Meters, Seconds, Vec3};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the time-stepped simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Integration time step.
+    pub dt: Seconds,
+    /// Whether Brownian motion is included.
+    pub brownian: bool,
+    /// RNG seed (simulations are reproducible for a given seed).
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            dt: Seconds::from_millis(1.0),
+            brownian: true,
+            seed: 0,
+        }
+    }
+}
+
+/// One simulated particle and its trajectory state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulatedParticle {
+    /// The particle model.
+    pub particle: Particle,
+    /// Its current dynamic state.
+    pub state: ParticleState,
+}
+
+/// The time-stepped chip simulator.
+#[derive(Debug)]
+pub struct ChipSimulator {
+    chip: Biochip,
+    config: SimulationConfig,
+    particles: Vec<SimulatedParticle>,
+    field: SuperpositionField,
+    rng: ChaCha8Rng,
+    elapsed: Seconds,
+}
+
+impl ChipSimulator {
+    /// Creates a simulator over a chip (the current pattern is captured; call
+    /// [`ChipSimulator::refresh_field`] after reprogramming).
+    pub fn new(chip: Biochip, config: SimulationConfig) -> Self {
+        let field = chip.field_model();
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        Self {
+            chip,
+            config,
+            particles: Vec::new(),
+            field,
+            rng,
+            elapsed: Seconds::ZERO,
+        }
+    }
+
+    /// The chip under simulation.
+    pub fn chip(&self) -> &Biochip {
+        &self.chip
+    }
+
+    /// Mutable access to the chip (reprogram patterns between steps); call
+    /// [`ChipSimulator::refresh_field`] afterwards.
+    pub fn chip_mut(&mut self) -> &mut Biochip {
+        &mut self.chip
+    }
+
+    /// Rebuilds the field model from the chip's current pattern.
+    pub fn refresh_field(&mut self) {
+        self.field = self.chip.field_model();
+    }
+
+    /// Simulated time elapsed so far.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// The simulated particles.
+    pub fn particles(&self) -> &[SimulatedParticle] {
+        &self.particles
+    }
+
+    /// Adds a particle at a position in chamber coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::Configuration`] when the position lies outside
+    /// the chamber.
+    pub fn add_particle(&mut self, particle: Particle, position: Vec3) -> Result<usize, ChipError> {
+        let plane = self.chip.array().to_electrode_plane();
+        let h = self.chip.array().chamber_height().get();
+        if position.x < 0.0
+            || position.y < 0.0
+            || position.x > plane.width()
+            || position.y > plane.height()
+            || position.z < 0.0
+            || position.z > h
+        {
+            return Err(ChipError::Configuration {
+                reason: format!("particle position {position:?} outside the chamber"),
+            });
+        }
+        self.particles.push(SimulatedParticle {
+            particle,
+            state: ParticleState::at(position),
+        });
+        Ok(self.particles.len() - 1)
+    }
+
+    /// Adds the chip's reference particle levitated above an electrode.
+    ///
+    /// # Errors
+    ///
+    /// See [`ChipSimulator::add_particle`].
+    pub fn add_reference_particle_at(&mut self, site: GridCoord) -> Result<usize, ChipError> {
+        let center = self.chip.array().to_electrode_plane().electrode_center(site);
+        let z = 1.2 * self.chip.array().pitch().get();
+        let particle = *self.chip.reference_particle();
+        self.add_particle(particle, Vec3::new(center.x, center.y, z))
+    }
+
+    /// Advances the simulation by `steps` integration steps.
+    pub fn run(&mut self, steps: usize) {
+        let radius_floor = self
+            .particles
+            .iter()
+            .map(|p| p.particle.radius)
+            .fold(Meters::from_micrometers(1.0), Meters::max);
+        let integrator = OverdampedIntegrator::new(
+            self.config.dt,
+            radius_floor,
+            Meters::new(self.chip.array().chamber_height().get() - radius_floor.get()),
+        );
+        for _ in 0..steps {
+            for simulated in &mut self.particles {
+                let mut balance = ForceBalance::new(
+                    &simulated.particle,
+                    self.chip.medium(),
+                    self.chip.drive_frequency(),
+                );
+                balance.brownian_enabled = self.config.brownian;
+                simulated.state =
+                    integrator.step(&self.field, &balance, &simulated.state, &mut self.rng);
+            }
+            self.elapsed += self.config.dt;
+        }
+    }
+
+    /// Advances the simulation by a wall-clock duration.
+    pub fn run_for(&mut self, duration: Seconds) {
+        let steps = (duration.get() / self.config.dt.get()).ceil() as usize;
+        self.run(steps);
+    }
+
+    /// The electrode each particle currently sits above (`None` when it has
+    /// drifted off the array).
+    pub fn particle_sites(&self) -> Vec<Option<GridCoord>> {
+        let plane = self.chip.array().to_electrode_plane();
+        self.particles
+            .iter()
+            .map(|p| plane.electrode_at(p.state.position.x, p.state.position.y))
+            .collect()
+    }
+
+    /// Builds the ground-truth occupancy map from the particle positions —
+    /// what a perfect sensor would report.
+    pub fn true_occupancy(&self) -> OccupancyMap {
+        let mut map = OccupancyMap::new(self.chip.array().dims());
+        for site in self.particle_sites().into_iter().flatten() {
+            map.set(site, Occupancy::Occupied);
+        }
+        map
+    }
+
+    /// Lateral distance of particle `index` from the centre of electrode
+    /// `site`, in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn lateral_distance_from(&self, index: usize, site: GridCoord) -> f64 {
+        let center = self.chip.array().to_electrode_plane().electrode_center(site);
+        (self.particles[index].state.position.xy() - center.xy()).norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biochip::Biochip;
+
+    fn simulator_with_cage() -> (ChipSimulator, GridCoord) {
+        let mut chip = Biochip::small_reference(16);
+        let site = GridCoord::new(8, 8);
+        chip.program_single_cage(site).unwrap();
+        let sim = ChipSimulator::new(
+            chip,
+            SimulationConfig {
+                dt: Seconds::from_millis(0.5),
+                brownian: true,
+                seed: 42,
+            },
+        );
+        (sim, site)
+    }
+
+    #[test]
+    fn trapped_particle_stays_in_its_cage() {
+        let (mut sim, site) = simulator_with_cage();
+        let idx = sim.add_reference_particle_at(site).unwrap();
+        sim.run_for(Seconds::new(1.0));
+        let distance = sim.lateral_distance_from(idx, site);
+        assert!(
+            distance < 20e-6,
+            "particle drifted {} um from its cage",
+            distance * 1e6
+        );
+        assert!((sim.elapsed().get() - 1.0).abs() < 1e-3);
+        // The occupancy map sees the particle at (or next to) the cage site.
+        let occupancy = sim.true_occupancy();
+        assert!(occupancy.occupied_count() >= 1);
+    }
+
+    #[test]
+    fn cage_shift_drags_the_particle_along() {
+        // The paper's C2 claim in miniature: shift the cage one electrode and
+        // the trapped cell follows.
+        let (mut sim, site) = simulator_with_cage();
+        let idx = sim.add_reference_particle_at(site).unwrap();
+        sim.run_for(Seconds::new(0.5));
+        // Shift the cage one electrode in +x.
+        let new_site = GridCoord::new(site.x + 1, site.y);
+        sim.chip_mut().program_single_cage(new_site).unwrap();
+        sim.refresh_field();
+        sim.run_for(Seconds::new(1.5));
+        let distance_new = sim.lateral_distance_from(idx, new_site);
+        let distance_old = sim.lateral_distance_from(idx, site);
+        assert!(
+            distance_new < distance_old,
+            "particle did not follow the cage: {} um from new site vs {} um from old",
+            distance_new * 1e6,
+            distance_old * 1e6
+        );
+        assert!(distance_new < 20e-6);
+    }
+
+    #[test]
+    fn particles_outside_the_chamber_are_rejected() {
+        let (mut sim, _) = simulator_with_cage();
+        let cell = *sim.chip().reference_particle();
+        assert!(sim.add_particle(cell, Vec3::new(-1e-3, 0.0, 40e-6)).is_err());
+        assert!(sim
+            .add_particle(cell, Vec3::new(10e-6, 10e-6, 1e-3))
+            .is_err());
+    }
+
+    #[test]
+    fn untrapped_particle_sediments_without_brownian() {
+        let mut chip = Biochip::small_reference(16);
+        chip.array_mut().reset();
+        let mut sim = ChipSimulator::new(
+            chip,
+            SimulationConfig {
+                dt: Seconds::from_millis(0.5),
+                brownian: false,
+                seed: 1,
+            },
+        );
+        let cell = *sim.chip().reference_particle();
+        let idx = sim
+            .add_particle(cell, Vec3::new(160e-6, 160e-6, 60e-6))
+            .unwrap();
+        sim.run_for(Seconds::new(2.0));
+        assert!(sim.particles()[idx].state.position.z < 60e-6);
+    }
+}

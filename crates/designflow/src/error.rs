@@ -1,0 +1,59 @@
+//! Error type for the design-flow crate.
+
+use std::fmt;
+
+/// Errors produced by the design-flow models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignFlowError {
+    /// A configuration value was outside its valid range.
+    InvalidConfiguration {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the constraint.
+        reason: String,
+    },
+    /// A project failed to converge within the allowed number of iterations.
+    NoConvergence {
+        /// Iterations attempted.
+        iterations: u32,
+    },
+}
+
+impl fmt::Display for DesignFlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignFlowError::InvalidConfiguration { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            DesignFlowError::NoConvergence { iterations } => {
+                write!(f, "project did not converge within {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesignFlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DesignFlowError::InvalidConfiguration {
+            name: "margin",
+            reason: "must be positive".into()
+        }
+        .to_string()
+        .contains("margin"));
+        assert!(DesignFlowError::NoConvergence { iterations: 40 }
+            .to_string()
+            .contains("40"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DesignFlowError>();
+    }
+}

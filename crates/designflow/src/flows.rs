@@ -1,0 +1,350 @@
+//! The two design flows, as executable models.
+//!
+//! A "project" is the task of converging one fluidic/packaging design (e.g.
+//! the chamber and channel geometry of Fig. 3) to a working prototype. Under
+//! the **simulate-first** flow each attempt spends a long simulation campaign
+//! before committing to fabrication; whether the fabricated device actually
+//! works is then a draw against the simulation fidelity, which is limited by
+//! parameter uncertainty. Under the **prototype-in-the-loop** flow each
+//! iteration is a quick design revision plus a cheap, fast fabrication and a
+//! test; every tested prototype improves the team's knowledge of the
+//! unknown parameters, so the per-iteration success probability ramps up.
+
+use crate::error::DesignFlowError;
+use labchip_fluidics::fabrication::FabricationProcess;
+use labchip_fluidics::uncertainty::{FluidicParameters, SimulationFidelity};
+use labchip_units::{Euros, Seconds};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which flow a project follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowKind {
+    /// Fig. 1: simulate until spec, then fabricate and test.
+    SimulateFirst,
+    /// Fig. 2: fabricate and test inside the loop, simulation assists.
+    PrototypeInLoop,
+}
+
+/// Parameters of a design project.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowParameters {
+    /// Fabrication process used for prototypes.
+    pub process: FabricationProcess,
+    /// Number of devices built per fabrication run.
+    pub devices_per_run: u32,
+    /// Parameter knowledge at project start.
+    pub initial_parameters: FluidicParameters,
+    /// Design margin budgeted by the designer (relative).
+    pub design_margin: f64,
+    /// Calendar time of one full simulation campaign (simulate-first flow).
+    pub simulation_campaign: Seconds,
+    /// Calendar time of a quick design revision (prototype flow), including
+    /// the light simulation used to interpret the previous test.
+    pub revision_time: Seconds,
+    /// Calendar time to test one batch of prototypes.
+    pub test_time: Seconds,
+    /// Engineering cost per calendar day of design/simulation/test work.
+    pub engineer_cost_per_day: Euros,
+    /// Fractional reduction of every parameter uncertainty per tested
+    /// prototype batch (what testing real devices teaches you).
+    pub learning_rate: f64,
+    /// Maximum iterations before a project is abandoned.
+    pub max_iterations: u32,
+}
+
+impl FlowParameters {
+    /// The DATE'05 scenario: dry-film-resist prototypes, 2005-level parameter
+    /// uncertainty, a 15-working-day simulation campaign versus 1-day
+    /// revisions, and a 20 % learning effect per tested batch.
+    pub fn date05_reference() -> Self {
+        Self {
+            process: FabricationProcess::preset(
+                labchip_fluidics::fabrication::ProcessKind::DryFilmResist,
+            ),
+            devices_per_run: 5,
+            initial_parameters: FluidicParameters::literature_2005(),
+            design_margin: 0.3,
+            simulation_campaign: Seconds::from_days(15.0),
+            revision_time: Seconds::from_days(1.0),
+            test_time: Seconds::from_days(1.0),
+            engineer_cost_per_day: Euros::new(600.0),
+            learning_rate: 0.2,
+            max_iterations: 40,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignFlowError::InvalidConfiguration`] for out-of-range
+    /// values.
+    pub fn validate(&self) -> Result<(), DesignFlowError> {
+        if !(0.0..1.0).contains(&self.learning_rate) {
+            return Err(DesignFlowError::InvalidConfiguration {
+                name: "learning_rate",
+                reason: "must be in [0, 1)".into(),
+            });
+        }
+        if self.design_margin <= 0.0 {
+            return Err(DesignFlowError::InvalidConfiguration {
+                name: "design_margin",
+                reason: "must be positive".into(),
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(DesignFlowError::InvalidConfiguration {
+                name: "max_iterations",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of running one project.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProjectOutcome {
+    /// Flow that was followed.
+    pub flow: FlowKind,
+    /// Whether a working prototype was reached within the iteration budget.
+    pub converged: bool,
+    /// Iterations (fabrication runs) used.
+    pub iterations: u32,
+    /// Total calendar time.
+    pub duration: Seconds,
+    /// Total cost (engineering + fabrication).
+    pub cost: Euros,
+}
+
+/// Executable model of a design flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignFlow {
+    kind: FlowKind,
+    params: FlowParameters,
+}
+
+impl DesignFlow {
+    /// Creates a flow model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parameter-validation error, if any.
+    pub fn new(kind: FlowKind, params: FlowParameters) -> Result<Self, DesignFlowError> {
+        params.validate()?;
+        Ok(Self { kind, params })
+    }
+
+    /// The flow kind.
+    pub fn kind(&self) -> FlowKind {
+        self.kind
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &FlowParameters {
+        &self.params
+    }
+
+    /// Scales every parameter uncertainty down by the learning accumulated
+    /// after `tested_batches` prototype batches.
+    fn parameters_after_learning(&self, tested_batches: u32) -> FluidicParameters {
+        let factor = (1.0 - self.params.learning_rate).powi(tested_batches as i32);
+        let scale = |u: labchip_units::Uncertain| {
+            labchip_units::Uncertain::new(u.nominal(), u.relative_sigma() * factor)
+        };
+        let p = self.params.initial_parameters;
+        FluidicParameters {
+            contact_angle: scale(p.contact_angle),
+            evaporation_coefficient: scale(p.evaporation_coefficient),
+            electrothermal_coupling: scale(p.electrothermal_coupling),
+            ac_electroosmosis: scale(p.ac_electroosmosis),
+            cell_dielectric: scale(p.cell_dielectric),
+            surface_fouling: scale(p.surface_fouling),
+        }
+    }
+
+    /// Probability that the design of iteration `iteration` (0-based) works
+    /// when prototyped.
+    fn success_probability(&self, iteration: u32) -> f64 {
+        match self.kind {
+            FlowKind::SimulateFirst => {
+                // The campaign squeezes everything the current parameter
+                // knowledge allows; residual risk is the simulation's
+                // false-pass probability. Learning only comes from the
+                // (expensive) prototypes already tested.
+                let params = self.parameters_after_learning(iteration);
+                let fidelity = SimulationFidelity::new(&params, self.params.design_margin);
+                1.0 - fidelity.false_pass_probability()
+            }
+            FlowKind::PrototypeInLoop => {
+                // A quick revision starts from weaker analysis (half the
+                // margin effectively verified), but every tested batch feeds
+                // measured parameters back into the next revision.
+                let params = self.parameters_after_learning(iteration);
+                let fidelity =
+                    SimulationFidelity::new(&params, self.params.design_margin * 0.5);
+                1.0 - fidelity.false_pass_probability()
+            }
+        }
+    }
+
+    /// Calendar time of one iteration (everything up to and including the
+    /// test of the fabricated batch).
+    fn iteration_time(&self) -> Seconds {
+        let design_phase = match self.kind {
+            FlowKind::SimulateFirst => self.params.simulation_campaign,
+            FlowKind::PrototypeInLoop => self.params.revision_time,
+        };
+        design_phase + self.params.process.turnaround + self.params.test_time
+    }
+
+    /// Cost of one iteration.
+    fn iteration_cost(&self) -> Euros {
+        let design_phase_days = match self.kind {
+            FlowKind::SimulateFirst => self.params.simulation_campaign.as_days(),
+            FlowKind::PrototypeInLoop => self.params.revision_time.as_days(),
+        };
+        let engineering_days = design_phase_days + self.params.test_time.as_days();
+        let engineering = self.params.engineer_cost_per_day * engineering_days;
+        let fabrication = self
+            .params
+            .process
+            .quote(self.params.devices_per_run, false)
+            .total_cost();
+        engineering + fabrication
+    }
+
+    /// Runs one project to convergence (or abandonment), drawing prototype
+    /// outcomes from the caller's RNG.
+    pub fn run_project<R: Rng + ?Sized>(&self, rng: &mut R) -> ProjectOutcome {
+        let mut duration = Seconds::ZERO;
+        let mut cost = Euros::ZERO;
+        for iteration in 0..self.params.max_iterations {
+            duration += self.iteration_time();
+            cost += self.iteration_cost();
+            let p = self.success_probability(iteration);
+            if rng.gen::<f64>() < p {
+                return ProjectOutcome {
+                    flow: self.kind,
+                    converged: true,
+                    iterations: iteration + 1,
+                    duration,
+                    cost,
+                };
+            }
+        }
+        ProjectOutcome {
+            flow: self.kind,
+            converged: false,
+            iterations: self.params.max_iterations,
+            duration,
+            cost,
+        }
+    }
+
+    /// Expected (mean-field) number of iterations to converge, ignoring the
+    /// iteration cap — a quick analytic cross-check of the Monte Carlo.
+    pub fn expected_iterations(&self) -> f64 {
+        let mut expectation = 0.0;
+        let mut survival = 1.0;
+        for iteration in 0..200u32 {
+            let p = self.success_probability(iteration);
+            expectation += survival * p * (iteration + 1) as f64;
+            survival *= 1.0 - p;
+        }
+        expectation + survival * 200.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn flows() -> (DesignFlow, DesignFlow) {
+        let params = FlowParameters::date05_reference();
+        (
+            DesignFlow::new(FlowKind::SimulateFirst, params.clone()).unwrap(),
+            DesignFlow::new(FlowKind::PrototypeInLoop, params).unwrap(),
+        )
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut p = FlowParameters::date05_reference();
+        p.learning_rate = 1.5;
+        assert!(DesignFlow::new(FlowKind::SimulateFirst, p).is_err());
+        let mut p = FlowParameters::date05_reference();
+        p.design_margin = 0.0;
+        assert!(DesignFlow::new(FlowKind::SimulateFirst, p).is_err());
+        let mut p = FlowParameters::date05_reference();
+        p.max_iterations = 0;
+        assert!(DesignFlow::new(FlowKind::SimulateFirst, p).is_err());
+    }
+
+    #[test]
+    fn prototype_iterations_are_much_shorter() {
+        let (sim, proto) = flows();
+        // Simulate-first: 15 d campaign + 2.5 d fab + 1 d test ≈ 18.5 days.
+        // Prototype-in-loop: 1 d revision + 2.5 d fab + 1 d test = 4.5 days.
+        assert!(sim.iteration_time().as_days() > 3.0 * proto.iteration_time().as_days());
+    }
+
+    #[test]
+    fn learning_improves_success_probability() {
+        let (_, proto) = flows();
+        let first = proto.success_probability(0);
+        let fifth = proto.success_probability(5);
+        assert!(fifth > first);
+        assert!(first > 0.0 && first < 1.0);
+    }
+
+    #[test]
+    fn simulate_first_has_higher_per_attempt_success() {
+        // The campaign does buy confidence per attempt...
+        let (sim, proto) = flows();
+        assert!(sim.success_probability(0) > proto.success_probability(0));
+    }
+
+    #[test]
+    fn but_prototype_flow_converges_faster_in_calendar_time() {
+        // ...yet the paper's claim holds: cheap fast iterations win overall.
+        let (sim, proto) = flows();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let trials = 300;
+        let mean_days = |flow: &DesignFlow, rng: &mut ChaCha8Rng| {
+            (0..trials)
+                .map(|_| flow.run_project(rng).duration.as_days())
+                .sum::<f64>()
+                / trials as f64
+        };
+        let sim_days = mean_days(&sim, &mut rng);
+        let proto_days = mean_days(&proto, &mut rng);
+        assert!(
+            proto_days < sim_days,
+            "prototype flow {proto_days:.1} d should beat simulate-first {sim_days:.1} d"
+        );
+    }
+
+    #[test]
+    fn projects_converge_and_account_cost() {
+        let (sim, proto) = flows();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for flow in [&sim, &proto] {
+            let outcome = flow.run_project(&mut rng);
+            assert!(outcome.iterations >= 1);
+            assert!(outcome.duration.get() > 0.0);
+            assert!(outcome.cost.get() > 0.0);
+        }
+    }
+
+    #[test]
+    fn expected_iterations_is_finite_and_at_least_one() {
+        let (sim, proto) = flows();
+        assert!(sim.expected_iterations() >= 1.0);
+        assert!(proto.expected_iterations() >= 1.0);
+        assert!(proto.expected_iterations() < 50.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # labchip-designflow
+//!
+//! Quantitative models of the two design flows contrasted by the DATE'05
+//! paper:
+//!
+//! * **Fig. 1 — the electronic flow**: simulate until the specification is
+//!   met, then fabricate and test, treating a fabrication re-spin as the
+//!   expensive exception;
+//! * **Fig. 2 — the fluidic/packaging flow**: fabrication and testing sit
+//!   *inside* the design loop, because a prototype takes days and a few
+//!   euros, while trustworthy simulation would require parameters nobody
+//!   knows.
+//!
+//! The [`flows`] module models a design project under either flow, the
+//! [`montecarlo`] module compares their convergence time and cost
+//! distributions (experiment E5), and [`centering`] implements the
+//! design-centering loop that the electronic flow uses to buy yield
+//! (experiment E8).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod centering;
+pub mod error;
+pub mod flows;
+pub mod montecarlo;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::centering::{CenteringOutcome, DesignCentering, PerformanceSpec};
+    pub use crate::error::DesignFlowError;
+    pub use crate::flows::{DesignFlow, FlowKind, FlowParameters, ProjectOutcome};
+    pub use crate::montecarlo::{FlowComparison, MonteCarloComparison};
+}
+
+pub use error::DesignFlowError;

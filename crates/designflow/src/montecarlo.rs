@@ -1,0 +1,190 @@
+//! Monte-Carlo comparison of the two design flows (experiment E5).
+
+use crate::flows::{DesignFlow, FlowKind, FlowParameters, ProjectOutcome};
+use crate::error::DesignFlowError;
+use labchip_units::{Euros, Seconds};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one flow over many simulated projects.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowStatistics {
+    /// The flow these statistics describe.
+    pub flow: FlowKind,
+    /// Number of simulated projects.
+    pub trials: u32,
+    /// Fraction of projects that converged within the iteration budget.
+    pub convergence_rate: f64,
+    /// Mean number of fabrication iterations.
+    pub mean_iterations: f64,
+    /// Mean calendar time.
+    pub mean_duration: Seconds,
+    /// 90th-percentile calendar time.
+    pub p90_duration: Seconds,
+    /// Mean total cost.
+    pub mean_cost: Euros,
+}
+
+impl FlowStatistics {
+    fn from_outcomes(flow: FlowKind, outcomes: &[ProjectOutcome]) -> Self {
+        let trials = outcomes.len() as u32;
+        let converged = outcomes.iter().filter(|o| o.converged).count();
+        let mean_iterations =
+            outcomes.iter().map(|o| o.iterations as f64).sum::<f64>() / trials as f64;
+        let mean_duration =
+            outcomes.iter().map(|o| o.duration).sum::<Seconds>() / trials as f64;
+        let mean_cost = outcomes.iter().map(|o| o.cost).sum::<Euros>() / trials as f64;
+        let mut durations: Vec<f64> = outcomes.iter().map(|o| o.duration.get()).collect();
+        durations.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let p90_index = ((durations.len() as f64 * 0.9).ceil() as usize).saturating_sub(1);
+        Self {
+            flow,
+            trials,
+            convergence_rate: converged as f64 / trials as f64,
+            mean_iterations,
+            mean_duration,
+            p90_duration: Seconds::new(durations[p90_index]),
+            mean_cost,
+        }
+    }
+}
+
+/// The result of comparing both flows on the same project parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowComparison {
+    /// Statistics of the simulate-first (Fig. 1) flow.
+    pub simulate_first: FlowStatistics,
+    /// Statistics of the prototype-in-the-loop (Fig. 2) flow.
+    pub prototype_in_loop: FlowStatistics,
+}
+
+impl FlowComparison {
+    /// Calendar-time speed-up of the prototype flow over the simulate-first
+    /// flow (mean durations).
+    pub fn speedup(&self) -> f64 {
+        self.simulate_first.mean_duration.get() / self.prototype_in_loop.mean_duration.get()
+    }
+
+    /// Cost ratio (simulate-first over prototype flow).
+    pub fn cost_ratio(&self) -> f64 {
+        self.simulate_first.mean_cost.get() / self.prototype_in_loop.mean_cost.get()
+    }
+}
+
+/// Runs the Monte-Carlo comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloComparison {
+    /// Project parameters shared by both flows.
+    pub parameters: FlowParameters,
+    /// Number of simulated projects per flow.
+    pub trials: u32,
+    /// RNG seed (the comparison is deterministic for a given seed).
+    pub seed: u64,
+}
+
+impl MonteCarloComparison {
+    /// Creates a comparison with the reference parameters.
+    pub fn date05_reference(trials: u32, seed: u64) -> Self {
+        Self {
+            parameters: FlowParameters::date05_reference(),
+            trials,
+            seed,
+        }
+    }
+
+    /// Runs both flows and summarises the outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parameter-validation error, if any.
+    pub fn run(&self) -> Result<FlowComparison, DesignFlowError> {
+        let sim_flow = DesignFlow::new(FlowKind::SimulateFirst, self.parameters.clone())?;
+        let proto_flow = DesignFlow::new(FlowKind::PrototypeInLoop, self.parameters.clone())?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+
+        let sim_outcomes: Vec<ProjectOutcome> =
+            (0..self.trials).map(|_| sim_flow.run_project(&mut rng)).collect();
+        let proto_outcomes: Vec<ProjectOutcome> = (0..self.trials)
+            .map(|_| proto_flow.run_project(&mut rng))
+            .collect();
+
+        Ok(FlowComparison {
+            simulate_first: FlowStatistics::from_outcomes(FlowKind::SimulateFirst, &sim_outcomes),
+            prototype_in_loop: FlowStatistics::from_outcomes(
+                FlowKind::PrototypeInLoop,
+                &proto_outcomes,
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_reproduces_the_papers_claim() {
+        // E5: under 2005-level parameter uncertainty and dry-film-resist
+        // prototyping, the prototype-in-the-loop flow converges in less
+        // calendar time than the simulate-first flow.
+        let comparison = MonteCarloComparison::date05_reference(400, 1).run().unwrap();
+        assert!(
+            comparison.speedup() > 1.5,
+            "speedup = {:.2}",
+            comparison.speedup()
+        );
+        // Both flows almost always converge eventually.
+        assert!(comparison.simulate_first.convergence_rate > 0.95);
+        assert!(comparison.prototype_in_loop.convergence_rate > 0.95);
+        // The prototype flow uses more fabrication iterations — it wins on
+        // time despite more spins, because each spin is cheap and fast.
+        assert!(
+            comparison.prototype_in_loop.mean_iterations
+                >= comparison.simulate_first.mean_iterations
+        );
+    }
+
+    #[test]
+    fn comparison_is_deterministic_for_a_seed() {
+        let a = MonteCarloComparison::date05_reference(100, 7).run().unwrap();
+        let b = MonteCarloComparison::date05_reference(100, 7).run().unwrap();
+        assert_eq!(a, b);
+        let c = MonteCarloComparison::date05_reference(100, 8).run().unwrap();
+        assert!(a != c);
+    }
+
+    #[test]
+    fn statistics_are_internally_consistent() {
+        let comparison = MonteCarloComparison::date05_reference(200, 3).run().unwrap();
+        for stats in [comparison.simulate_first, comparison.prototype_in_loop] {
+            assert_eq!(stats.trials, 200);
+            assert!(stats.mean_iterations >= 1.0);
+            assert!(stats.p90_duration >= stats.mean_duration * 0.5);
+            assert!(stats.mean_cost.get() > 0.0);
+            assert!((0.0..=1.0).contains(&stats.convergence_rate));
+        }
+        assert!(comparison.cost_ratio() > 0.0);
+    }
+
+    #[test]
+    fn better_parameter_knowledge_reduces_iterations_for_both_flows() {
+        // If the parameters were already well characterised, both flows need
+        // fewer spins and finish sooner — the paper's argument is about the
+        // poor state of parameter knowledge, not about prototyping being
+        // intrinsically superior.
+        let mut well_known = MonteCarloComparison::date05_reference(300, 5);
+        well_known.parameters.initial_parameters =
+            labchip_fluidics::uncertainty::FluidicParameters::after_prototype_characterization();
+        let informed = well_known.run().unwrap();
+        let baseline = MonteCarloComparison::date05_reference(300, 5).run().unwrap();
+        assert!(
+            informed.simulate_first.mean_iterations <= baseline.simulate_first.mean_iterations
+        );
+        assert!(
+            informed.prototype_in_loop.mean_iterations
+                <= baseline.prototype_in_loop.mean_iterations
+        );
+        assert!(informed.simulate_first.mean_duration <= baseline.simulate_first.mean_duration);
+    }
+}

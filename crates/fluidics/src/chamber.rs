@@ -1,0 +1,145 @@
+//! The sample microchamber.
+//!
+//! The paper's chip holds a ~4 µl drop of cell suspension in a chamber formed
+//! by the chip surface, a patterned dry-resist spacer and an ITO-coated glass
+//! lid (Fig. 3). The chamber geometry sets the liquid volume, the number of
+//! cells it can hold at a given concentration, and the electrode-to-lid gap
+//! that the field models use.
+
+use crate::error::FluidicsError;
+use labchip_units::{CubicMeters, Meters};
+use serde::{Deserialize, Serialize};
+
+/// A rectangular microchamber above the active array area.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Microchamber {
+    /// Chamber footprint length (x).
+    pub length: Meters,
+    /// Chamber footprint width (y).
+    pub width: Meters,
+    /// Chamber height (electrode plane to lid), set by the resist spacer.
+    pub height: Meters,
+}
+
+impl Microchamber {
+    /// Creates a chamber from its dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FluidicsError::InvalidParameter`] if any dimension is not
+    /// strictly positive.
+    pub fn new(length: Meters, width: Meters, height: Meters) -> Result<Self, FluidicsError> {
+        for (name, v) in [("length", length), ("width", width), ("height", height)] {
+            if v.get() <= 0.0 {
+                return Err(FluidicsError::InvalidParameter {
+                    name,
+                    reason: "chamber dimensions must be positive".into(),
+                });
+            }
+        }
+        Ok(Self {
+            length,
+            width,
+            height,
+        })
+    }
+
+    /// The paper's reference chamber: 7 mm × 7 mm footprint over the 6.4 mm
+    /// array, 80 µm high — about 4 µl of liquid.
+    pub fn date05_reference() -> Self {
+        Self {
+            length: Meters::from_millimeters(7.0),
+            width: Meters::from_millimeters(7.0),
+            height: Meters::from_micrometers(80.0),
+        }
+    }
+
+    /// Chamber volume.
+    pub fn volume(&self) -> CubicMeters {
+        CubicMeters::new(self.length.get() * self.width.get() * self.height.get())
+    }
+
+    /// Footprint area in m².
+    pub fn footprint_area(&self) -> f64 {
+        self.length.get() * self.width.get()
+    }
+
+    /// Expected number of cells in the chamber for a suspension of
+    /// `cells_per_microliter`.
+    pub fn expected_cell_count(&self, cells_per_microliter: f64) -> f64 {
+        cells_per_microliter * self.volume().as_microliters()
+    }
+
+    /// Cell concentration (cells/µl) needed to have on average one cell per
+    /// `cages` cages.
+    pub fn concentration_for_occupancy(&self, cages: u64, cells_per_cage: f64) -> f64 {
+        cages as f64 * cells_per_cage / self.volume().as_microliters()
+    }
+
+    /// Height-to-minimum-lateral-dimension aspect ratio; a sanity figure for
+    /// bonding and filling.
+    pub fn aspect_ratio(&self) -> f64 {
+        self.height.get() / self.length.get().min(self.width.get())
+    }
+}
+
+impl Default for Microchamber {
+    fn default() -> Self {
+        Self::date05_reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_chamber_holds_about_four_microliters() {
+        // C1: "a drop of liquid (~4 µl) on top of the chip".
+        let chamber = Microchamber::date05_reference();
+        let v = chamber.volume().as_microliters();
+        assert!(v > 3.0 && v < 5.0, "volume = {v} ul");
+    }
+
+    #[test]
+    fn invalid_dimensions_are_rejected() {
+        assert!(Microchamber::new(
+            Meters::new(0.0),
+            Meters::from_millimeters(1.0),
+            Meters::from_micrometers(50.0)
+        )
+        .is_err());
+        assert!(Microchamber::new(
+            Meters::from_millimeters(1.0),
+            Meters::from_millimeters(-1.0),
+            Meters::from_micrometers(50.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cell_counts_scale_with_concentration() {
+        let chamber = Microchamber::date05_reference();
+        let sparse = chamber.expected_cell_count(100.0);
+        let dense = chamber.expected_cell_count(10_000.0);
+        assert!((dense / sparse - 100.0).abs() < 1e-9);
+        // At 10,000 cells/µl a 4 µl chamber holds ~40,000 cells — the
+        // "tens of thousands" the cage array is sized for.
+        assert!(dense > 10_000.0);
+    }
+
+    #[test]
+    fn concentration_for_one_cell_per_cage() {
+        let chamber = Microchamber::date05_reference();
+        let conc = chamber.concentration_for_occupancy(10_000, 1.0);
+        let check = chamber.expected_cell_count(conc);
+        assert!((check - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn chamber_is_a_thin_slab() {
+        let chamber = Microchamber::date05_reference();
+        assert!(chamber.aspect_ratio() < 0.05);
+        assert!(chamber.footprint_area() > 0.0);
+    }
+}

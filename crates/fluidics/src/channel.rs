@@ -1,0 +1,376 @@
+//! Lumped channel-network solver.
+//!
+//! A microfluidic circuit is modelled as a graph of nodes connected by
+//! channel segments, each with a hydraulic resistance. Pressures are imposed
+//! at boundary nodes (inlets/outlets); the interior pressures and all segment
+//! flow rates follow from mass conservation — the exact analogue of nodal
+//! analysis of a resistor network, solved here by Gaussian elimination.
+
+use crate::error::FluidicsError;
+use crate::flow::RectangularChannel;
+use labchip_units::{PascalSeconds, Pascals};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// A channel segment between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSegment {
+    /// Upstream node.
+    pub from: NodeId,
+    /// Downstream node.
+    pub to: NodeId,
+    /// Channel geometry.
+    pub geometry: RectangularChannel,
+}
+
+/// A channel network under construction.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChannelNetwork {
+    segments: Vec<ChannelSegment>,
+    boundary_pressures: HashMap<u32, f64>,
+    viscosity: Option<PascalSeconds>,
+}
+
+/// Solved pressures and flows of a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSolution {
+    pressures: HashMap<u32, f64>,
+    /// Flow rate through each segment (m³/s), positive from `from` to `to`,
+    /// in the order the segments were added.
+    flows: Vec<f64>,
+}
+
+impl ChannelNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the working-fluid viscosity.
+    pub fn set_viscosity(&mut self, viscosity: PascalSeconds) {
+        self.viscosity = Some(viscosity);
+    }
+
+    /// Adds a channel segment between two nodes.
+    pub fn add_segment(&mut self, from: NodeId, to: NodeId, geometry: RectangularChannel) {
+        self.segments.push(ChannelSegment { from, to, geometry });
+    }
+
+    /// Imposes a boundary pressure at a node (inlet or outlet).
+    pub fn set_pressure(&mut self, node: NodeId, pressure: Pascals) {
+        self.boundary_pressures.insert(node.0, pressure.get());
+    }
+
+    /// The segments added so far.
+    pub fn segments(&self) -> &[ChannelSegment] {
+        &self.segments
+    }
+
+    /// Solves the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FluidicsError::IllPosedNetwork`] when no boundary pressure
+    /// is set, the network is empty, or the nodal system is singular
+    /// (disconnected unknowns), and [`FluidicsError::InvalidParameter`] when
+    /// the viscosity has not been set.
+    pub fn solve(&self) -> Result<FlowSolution, FluidicsError> {
+        let viscosity = self.viscosity.ok_or(FluidicsError::InvalidParameter {
+            name: "viscosity",
+            reason: "call set_viscosity before solving".into(),
+        })?;
+        if self.segments.is_empty() {
+            return Err(FluidicsError::IllPosedNetwork {
+                reason: "network has no segments".into(),
+            });
+        }
+        if self.boundary_pressures.is_empty() {
+            return Err(FluidicsError::IllPosedNetwork {
+                reason: "no boundary pressure set".into(),
+            });
+        }
+
+        // Collect nodes and split into knowns (boundary) and unknowns.
+        let mut nodes: Vec<u32> = self
+            .segments
+            .iter()
+            .flat_map(|s| [s.from.0, s.to.0])
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let unknowns: Vec<u32> = nodes
+            .iter()
+            .copied()
+            .filter(|n| !self.boundary_pressures.contains_key(n))
+            .collect();
+        let index: HashMap<u32, usize> = unknowns.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+
+        let n = unknowns.len();
+        let mut matrix = vec![vec![0.0_f64; n]; n];
+        let mut rhs = vec![0.0_f64; n];
+
+        for seg in &self.segments {
+            let g = 1.0 / seg.geometry.hydraulic_resistance(viscosity);
+            let a = seg.from.0;
+            let b = seg.to.0;
+            for (this, other) in [(a, b), (b, a)] {
+                if let Some(&i) = index.get(&this) {
+                    matrix[i][i] += g;
+                    if let Some(&j) = index.get(&other) {
+                        matrix[i][j] -= g;
+                    } else {
+                        rhs[i] += g * self.boundary_pressures[&other];
+                    }
+                }
+            }
+        }
+
+        let solution = if n > 0 {
+            gaussian_elimination(matrix, rhs).ok_or(FluidicsError::IllPosedNetwork {
+                reason: "singular nodal system (disconnected node?)".into(),
+            })?
+        } else {
+            Vec::new()
+        };
+
+        let mut pressures: HashMap<u32, f64> = self.boundary_pressures.clone();
+        for (i, node) in unknowns.iter().enumerate() {
+            pressures.insert(*node, solution[i]);
+        }
+
+        let flows = self
+            .segments
+            .iter()
+            .map(|seg| {
+                let dp = pressures[&seg.from.0] - pressures[&seg.to.0];
+                dp / seg.geometry.hydraulic_resistance(viscosity)
+            })
+            .collect();
+
+        Ok(FlowSolution { pressures, flows })
+    }
+}
+
+impl FlowSolution {
+    /// Pressure at a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FluidicsError::UnknownElement`] for a node that was not part
+    /// of the solved network.
+    pub fn pressure(&self, node: NodeId) -> Result<Pascals, FluidicsError> {
+        self.pressures
+            .get(&node.0)
+            .map(|p| Pascals::new(*p))
+            .ok_or_else(|| FluidicsError::UnknownElement {
+                what: format!("node {}", node.0),
+            })
+    }
+
+    /// Flow rate (m³/s) through the `i`-th added segment, positive from
+    /// `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FluidicsError::UnknownElement`] for an out-of-range index.
+    pub fn segment_flow(&self, i: usize) -> Result<f64, FluidicsError> {
+        self.flows.get(i).copied().ok_or_else(|| FluidicsError::UnknownElement {
+            what: format!("segment {i}"),
+        })
+    }
+
+    /// All segment flows, in insertion order.
+    pub fn flows(&self) -> &[f64] {
+        &self.flows
+    }
+
+    /// Net volumetric imbalance at a node (should be ~0 for interior nodes).
+    pub fn node_imbalance(&self, node: NodeId, network: &ChannelNetwork) -> f64 {
+        let mut net = 0.0;
+        for (seg, q) in network.segments().iter().zip(self.flows.iter()) {
+            if seg.to == node {
+                net += q;
+            }
+            if seg.from == node {
+                net -= q;
+            }
+        }
+        net
+    }
+}
+
+/// Dense Gaussian elimination with partial pivoting; returns `None` for a
+/// singular system.
+fn gaussian_elimination(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot_row = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot_row][col].abs() < 1e-30 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        // Eliminate.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labchip_units::{Meters, WATER_VISCOSITY};
+
+    fn channel(width_um: f64, length_mm: f64) -> RectangularChannel {
+        RectangularChannel::new(
+            Meters::from_micrometers(width_um),
+            Meters::from_micrometers(50.0),
+            Meters::from_millimeters(length_mm),
+        )
+        .unwrap()
+    }
+
+    fn viscosity() -> PascalSeconds {
+        PascalSeconds::new(WATER_VISCOSITY)
+    }
+
+    #[test]
+    fn single_channel_matches_hagen_poiseuille() {
+        let mut net = ChannelNetwork::new();
+        net.set_viscosity(viscosity());
+        let geom = channel(200.0, 10.0);
+        net.add_segment(NodeId(0), NodeId(1), geom);
+        net.set_pressure(NodeId(0), Pascals::new(1_000.0));
+        net.set_pressure(NodeId(1), Pascals::new(0.0));
+        let sol = net.solve().unwrap();
+        let expected = geom.flow_rate(Pascals::new(1_000.0), viscosity());
+        assert!((sol.segment_flow(0).unwrap() / expected - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_channels_split_pressure() {
+        // Two identical channels in series: the midpoint sits at half the
+        // driving pressure and both carry the same flow.
+        let mut net = ChannelNetwork::new();
+        net.set_viscosity(viscosity());
+        net.add_segment(NodeId(0), NodeId(1), channel(200.0, 10.0));
+        net.add_segment(NodeId(1), NodeId(2), channel(200.0, 10.0));
+        net.set_pressure(NodeId(0), Pascals::new(2_000.0));
+        net.set_pressure(NodeId(2), Pascals::new(0.0));
+        let sol = net.solve().unwrap();
+        assert!((sol.pressure(NodeId(1)).unwrap().get() - 1_000.0).abs() < 1e-6);
+        assert!((sol.segment_flow(0).unwrap() - sol.segment_flow(1).unwrap()).abs() < 1e-18);
+        // Mass is conserved at the interior node.
+        assert!(sol.node_imbalance(NodeId(1), &net).abs() < 1e-18);
+    }
+
+    #[test]
+    fn parallel_channels_split_flow_by_conductance() {
+        // A wide and a narrow channel in parallel: the wide one takes more
+        // flow, in the ratio of their conductances.
+        let mut net = ChannelNetwork::new();
+        net.set_viscosity(viscosity());
+        let wide = channel(300.0, 10.0);
+        let narrow = channel(100.0, 10.0);
+        net.add_segment(NodeId(0), NodeId(1), wide);
+        net.add_segment(NodeId(0), NodeId(1), narrow);
+        net.set_pressure(NodeId(0), Pascals::new(1_000.0));
+        net.set_pressure(NodeId(1), Pascals::new(0.0));
+        let sol = net.solve().unwrap();
+        let q_wide = sol.segment_flow(0).unwrap();
+        let q_narrow = sol.segment_flow(1).unwrap();
+        assert!(q_wide > q_narrow);
+        let expected_ratio = narrow.hydraulic_resistance(viscosity())
+            / wide.hydraulic_resistance(viscosity());
+        assert!((q_wide / q_narrow / expected_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h_bridge_network_conserves_mass_everywhere() {
+        // Inlet splits into two branches that rejoin before the outlet, with
+        // a bridge channel between the midpoints.
+        let mut net = ChannelNetwork::new();
+        net.set_viscosity(viscosity());
+        net.add_segment(NodeId(0), NodeId(1), channel(200.0, 5.0));
+        net.add_segment(NodeId(0), NodeId(2), channel(150.0, 5.0));
+        net.add_segment(NodeId(1), NodeId(2), channel(100.0, 2.0));
+        net.add_segment(NodeId(1), NodeId(3), channel(150.0, 5.0));
+        net.add_segment(NodeId(2), NodeId(3), channel(200.0, 5.0));
+        net.set_pressure(NodeId(0), Pascals::new(500.0));
+        net.set_pressure(NodeId(3), Pascals::new(0.0));
+        let sol = net.solve().unwrap();
+        for node in [NodeId(1), NodeId(2)] {
+            assert!(
+                sol.node_imbalance(node, &net).abs() < 1e-18,
+                "mass not conserved at {node:?}"
+            );
+        }
+        // Pressures decrease monotonically from inlet to outlet.
+        let p0 = sol.pressure(NodeId(0)).unwrap().get();
+        let p3 = sol.pressure(NodeId(3)).unwrap().get();
+        for node in [NodeId(1), NodeId(2)] {
+            let p = sol.pressure(node).unwrap().get();
+            assert!(p < p0 && p > p3);
+        }
+    }
+
+    #[test]
+    fn ill_posed_networks_are_rejected() {
+        // Missing viscosity.
+        let mut net = ChannelNetwork::new();
+        net.add_segment(NodeId(0), NodeId(1), channel(200.0, 10.0));
+        net.set_pressure(NodeId(0), Pascals::new(100.0));
+        assert!(matches!(
+            net.solve(),
+            Err(FluidicsError::InvalidParameter { name: "viscosity", .. })
+        ));
+        // No boundary pressure.
+        let mut net = ChannelNetwork::new();
+        net.set_viscosity(viscosity());
+        net.add_segment(NodeId(0), NodeId(1), channel(200.0, 10.0));
+        assert!(matches!(net.solve(), Err(FluidicsError::IllPosedNetwork { .. })));
+        // Empty network.
+        let mut net = ChannelNetwork::new();
+        net.set_viscosity(viscosity());
+        net.set_pressure(NodeId(0), Pascals::new(100.0));
+        assert!(matches!(net.solve(), Err(FluidicsError::IllPosedNetwork { .. })));
+    }
+
+    #[test]
+    fn unknown_elements_in_solution_are_errors() {
+        let mut net = ChannelNetwork::new();
+        net.set_viscosity(viscosity());
+        net.add_segment(NodeId(0), NodeId(1), channel(200.0, 10.0));
+        net.set_pressure(NodeId(0), Pascals::new(100.0));
+        net.set_pressure(NodeId(1), Pascals::new(0.0));
+        let sol = net.solve().unwrap();
+        assert!(sol.pressure(NodeId(9)).is_err());
+        assert!(sol.segment_flow(5).is_err());
+        assert_eq!(sol.flows().len(), 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Design-rule checking for fluidic mask layouts.
+//!
+//! The rules are those of a thick-resist lamination process: minimum feature
+//! width (limited by the printed-transparency mask resolution), minimum
+//! spacing between features on the same layer, a maximum resist aspect ratio
+//! (tall narrow walls collapse during lamination), and a layer-count limit.
+
+use crate::fabrication::FabricationProcess;
+use crate::layout::{MaskLayer, MaskLayout};
+use labchip_units::Meters;
+use serde::{Deserialize, Serialize};
+
+/// The rule set a layout is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignRules {
+    /// Minimum drawn feature width.
+    pub min_feature: Meters,
+    /// Minimum spacing between features on the same layer.
+    pub min_spacing: Meters,
+    /// Structural (resist) thickness the features will be built in.
+    pub resist_thickness: Meters,
+    /// Maximum height/width aspect ratio of a free-standing feature.
+    pub max_aspect_ratio: f64,
+    /// Maximum number of mask layers the process supports.
+    pub max_layers: usize,
+}
+
+impl DesignRules {
+    /// Derives the rule set from a fabrication process at a given resist
+    /// thickness.
+    pub fn for_process(process: &FabricationProcess, resist_thickness: Meters) -> Self {
+        Self {
+            min_feature: process.min_feature(),
+            min_spacing: process.min_feature(),
+            resist_thickness,
+            max_aspect_ratio: process.max_aspect_ratio(),
+            max_layers: process.max_layers(),
+        }
+    }
+}
+
+/// One rule violation found in a layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DrcViolation {
+    /// A feature is narrower than the minimum width.
+    FeatureTooSmall {
+        /// Index of the feature in the layout.
+        feature: usize,
+        /// Its smallest dimension.
+        dimension: Meters,
+        /// The rule limit.
+        limit: Meters,
+    },
+    /// Two same-layer features are closer than the minimum spacing without
+    /// overlapping (overlap is treated as intentional merging).
+    SpacingTooSmall {
+        /// Index of the first feature.
+        first: usize,
+        /// Index of the second feature.
+        second: usize,
+        /// Measured separation.
+        separation: Meters,
+        /// The rule limit.
+        limit: Meters,
+    },
+    /// A feature's aspect ratio (resist thickness / width) is too high.
+    AspectRatioTooHigh {
+        /// Index of the feature.
+        feature: usize,
+        /// Computed aspect ratio.
+        aspect_ratio: f64,
+        /// The rule limit.
+        limit: f64,
+    },
+    /// The layout uses more mask layers than the process offers.
+    TooManyLayers {
+        /// Layers used by the layout.
+        used: usize,
+        /// Layers available.
+        available: usize,
+    },
+}
+
+/// Result of checking a layout.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DrcReport {
+    violations: Vec<DrcViolation>,
+}
+
+impl DrcReport {
+    /// All violations found.
+    pub fn violations(&self) -> &[DrcViolation] {
+        &self.violations
+    }
+
+    /// `true` when the layout is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations.
+    pub fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// `true` when there are no violations (alias of [`DrcReport::is_clean`]
+    /// for collection-like call sites).
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl DesignRules {
+    /// Checks a layout against the rules.
+    pub fn check(&self, layout: &MaskLayout) -> DrcReport {
+        let mut violations = Vec::new();
+
+        if layout.layer_count() > self.max_layers {
+            violations.push(DrcViolation::TooManyLayers {
+                used: layout.layer_count(),
+                available: self.max_layers,
+            });
+        }
+
+        for (i, f) in layout.features().iter().enumerate() {
+            let dim = f.min_dimension();
+            if dim < self.min_feature {
+                violations.push(DrcViolation::FeatureTooSmall {
+                    feature: i,
+                    dimension: dim,
+                    limit: self.min_feature,
+                });
+            }
+            let aspect = self.resist_thickness.get() / dim.get();
+            if aspect > self.max_aspect_ratio {
+                violations.push(DrcViolation::AspectRatioTooHigh {
+                    feature: i,
+                    aspect_ratio: aspect,
+                    limit: self.max_aspect_ratio,
+                });
+            }
+        }
+
+        for layer in [MaskLayer::Fluidic, MaskLayer::Access] {
+            let on_layer: Vec<(usize, &_)> = layout
+                .features()
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.layer == layer)
+                .collect();
+            for a in 0..on_layer.len() {
+                for b in a + 1..on_layer.len() {
+                    let (ia, fa) = on_layer[a];
+                    let (ib, fb) = on_layer[b];
+                    if fa.rect.intersects(&fb.rect) {
+                        continue;
+                    }
+                    let sep = fa.rect.separation(&fb.rect);
+                    if sep < self.min_spacing.get() {
+                        violations.push(DrcViolation::SpacingTooSmall {
+                            first: ia,
+                            second: ib,
+                            separation: Meters::new(sep),
+                            limit: self.min_spacing,
+                        });
+                    }
+                }
+            }
+        }
+
+        DrcReport { violations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabrication::ProcessKind;
+    use crate::layout::{FeatureRole, MaskFeature};
+    use labchip_units::{Rect, Vec2};
+
+    fn dry_film_rules() -> DesignRules {
+        DesignRules::for_process(
+            &FabricationProcess::preset(ProcessKind::DryFilmResist),
+            Meters::from_micrometers(80.0),
+        )
+    }
+
+    #[test]
+    fn reference_layout_is_clean_for_dry_film_resist() {
+        let report = dry_film_rules().check(&MaskLayout::date05_reference());
+        assert!(report.is_clean(), "violations: {:?}", report.violations());
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn narrow_feature_is_flagged() {
+        let mut layout = MaskLayout::new();
+        layout.add(MaskFeature {
+            layer: MaskLayer::Fluidic,
+            role: FeatureRole::Channel,
+            rect: Rect::from_origin_size(Vec2::ZERO, 5e-3, 20e-6),
+        });
+        let report = dry_film_rules().check(&layout);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, DrcViolation::FeatureTooSmall { .. })));
+        // A 20 µm channel in 80 µm resist also violates the aspect limit.
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, DrcViolation::AspectRatioTooHigh { .. })));
+    }
+
+    #[test]
+    fn close_features_are_flagged_but_overlaps_are_not() {
+        let rules = dry_film_rules();
+        let mut layout = MaskLayout::new();
+        layout.add(MaskFeature {
+            layer: MaskLayer::Fluidic,
+            role: FeatureRole::Chamber,
+            rect: Rect::from_origin_size(Vec2::ZERO, 2e-3, 2e-3),
+        });
+        layout.add(MaskFeature {
+            layer: MaskLayer::Fluidic,
+            role: FeatureRole::Chamber,
+            rect: Rect::from_origin_size(Vec2::new(2.02e-3, 0.0), 2e-3, 2e-3),
+        });
+        let report = rules.check(&layout);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, DrcViolation::SpacingTooSmall { .. })));
+
+        // Overlapping features merge intentionally: no spacing violation.
+        let mut merged = MaskLayout::new();
+        merged.add(MaskFeature {
+            layer: MaskLayer::Fluidic,
+            role: FeatureRole::Chamber,
+            rect: Rect::from_origin_size(Vec2::ZERO, 2e-3, 2e-3),
+        });
+        merged.add(MaskFeature {
+            layer: MaskLayer::Fluidic,
+            role: FeatureRole::Channel,
+            rect: Rect::from_origin_size(Vec2::new(1.5e-3, 0.5e-3), 2e-3, 0.5e-3),
+        });
+        assert!(rules.check(&merged).is_clean());
+    }
+
+    #[test]
+    fn features_on_different_layers_do_not_interact() {
+        let rules = dry_film_rules();
+        let mut layout = MaskLayout::new();
+        layout.add(MaskFeature {
+            layer: MaskLayer::Fluidic,
+            role: FeatureRole::Chamber,
+            rect: Rect::from_origin_size(Vec2::ZERO, 2e-3, 2e-3),
+        });
+        layout.add(MaskFeature {
+            layer: MaskLayer::Access,
+            role: FeatureRole::Port,
+            rect: Rect::from_origin_size(Vec2::new(2.01e-3, 0.0), 1e-3, 1e-3),
+        });
+        assert!(rules.check(&layout).is_clean());
+    }
+
+    #[test]
+    fn layer_limit_is_enforced() {
+        let single_layer_rules = DesignRules {
+            max_layers: 1,
+            ..dry_film_rules()
+        };
+        let report = single_layer_rules.check(&MaskLayout::date05_reference());
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, DrcViolation::TooManyLayers { used: 2, available: 1 })));
+    }
+}

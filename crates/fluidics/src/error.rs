@@ -1,0 +1,73 @@
+//! Error type for the fluidics crate.
+
+use std::fmt;
+
+/// Errors produced by the fluidic models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FluidicsError {
+    /// A parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the constraint.
+        reason: String,
+    },
+    /// A channel network was ill-posed (disconnected, no pressure reference,
+    /// singular system).
+    IllPosedNetwork {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A referenced node or feature does not exist.
+    UnknownElement {
+        /// Description of the missing element.
+        what: String,
+    },
+}
+
+impl fmt::Display for FluidicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FluidicsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            FluidicsError::IllPosedNetwork { reason } => {
+                write!(f, "ill-posed channel network: {reason}")
+            }
+            FluidicsError::UnknownElement { what } => write!(f, "unknown element: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FluidicsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(FluidicsError::InvalidParameter {
+            name: "width",
+            reason: "must be positive".into()
+        }
+        .to_string()
+        .contains("width"));
+        assert!(FluidicsError::IllPosedNetwork {
+            reason: "no pressure reference".into()
+        }
+        .to_string()
+        .contains("pressure"));
+        assert!(FluidicsError::UnknownElement {
+            what: "node 7".into()
+        }
+        .to_string()
+        .contains("node 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FluidicsError>();
+    }
+}

@@ -1,0 +1,290 @@
+//! Fabrication-process models and cost/turnaround quotes.
+//!
+//! The paper's §3 and its reference [5] (Vulto et al., dry film resist) claim
+//! a **2–3 day design-to-device turnaround**, **mask costs of a few euros**
+//! (printed transparencies) and a total set-up of **tens of thousands of
+//! euros** — to be contrasted with clean-room glass etching or even CMOS
+//! prototyping. These models quantify that comparison (experiment E6) and
+//! feed the design-flow study (E5).
+
+use crate::error::FluidicsError;
+use crate::layout::MaskLayout;
+use labchip_units::{Euros, Meters, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// The fabrication process families compared in the paper's context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessKind {
+    /// Dry-film photoresist laminated and patterned on the chip/glass
+    /// (the paper's ref [5]).
+    DryFilmResist,
+    /// PDMS soft lithography cast on an SU-8 master.
+    PdmsSoftLithography,
+    /// Wet-etched and thermally bonded glass.
+    GlassEtching,
+    /// Full-custom CMOS run (for reference: the electronic part's economics).
+    CmosPrototype,
+}
+
+/// A fabrication process with its economic and capability figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricationProcess {
+    /// Which family this is.
+    pub kind: ProcessKind,
+    /// Human-readable name.
+    pub name: String,
+    /// Cost of one mask set.
+    pub mask_cost: Euros,
+    /// One-off equipment/set-up cost of the whole flow.
+    pub setup_cost: Euros,
+    /// Incremental per-device material and labour cost.
+    pub unit_cost: Euros,
+    /// Design-to-device turnaround.
+    pub turnaround: Seconds,
+    /// Minimum printable feature.
+    min_feature: Meters,
+    /// Maximum structural aspect ratio (height/width).
+    max_aspect_ratio: f64,
+    /// Number of structural layers supported.
+    max_layers: usize,
+}
+
+impl FabricationProcess {
+    /// Returns the reference parameters for a process family, matching the
+    /// figures quoted in the paper and its references.
+    pub fn preset(kind: ProcessKind) -> Self {
+        match kind {
+            ProcessKind::DryFilmResist => Self {
+                kind,
+                name: "dry film resist lamination".into(),
+                mask_cost: Euros::new(5.0),
+                setup_cost: Euros::from_kilo_euros(30.0),
+                unit_cost: Euros::new(8.0),
+                turnaround: Seconds::from_days(2.5),
+                min_feature: Meters::from_micrometers(100.0),
+                max_aspect_ratio: 2.0,
+                max_layers: 2,
+            },
+            ProcessKind::PdmsSoftLithography => Self {
+                kind,
+                name: "PDMS soft lithography".into(),
+                mask_cost: Euros::new(150.0),
+                setup_cost: Euros::from_kilo_euros(80.0),
+                unit_cost: Euros::new(15.0),
+                turnaround: Seconds::from_days(7.0),
+                min_feature: Meters::from_micrometers(20.0),
+                max_aspect_ratio: 5.0,
+                max_layers: 2,
+            },
+            ProcessKind::GlassEtching => Self {
+                kind,
+                name: "wet-etched bonded glass".into(),
+                mask_cost: Euros::new(800.0),
+                setup_cost: Euros::from_kilo_euros(500.0),
+                unit_cost: Euros::new(60.0),
+                turnaround: Seconds::from_days(30.0),
+                min_feature: Meters::from_micrometers(50.0),
+                max_aspect_ratio: 0.5,
+                max_layers: 2,
+            },
+            ProcessKind::CmosPrototype => Self {
+                kind,
+                name: "CMOS multi-project-wafer prototype".into(),
+                mask_cost: Euros::from_kilo_euros(60.0),
+                setup_cost: Euros::from_kilo_euros(250.0),
+                unit_cost: Euros::new(50.0),
+                turnaround: Seconds::from_days(90.0),
+                min_feature: Meters::from_nanometers(350.0),
+                max_aspect_ratio: 1.0,
+                max_layers: 6,
+            },
+        }
+    }
+
+    /// All fluidic process presets (excluding the CMOS reference).
+    pub fn fluidic_presets() -> Vec<Self> {
+        vec![
+            Self::preset(ProcessKind::DryFilmResist),
+            Self::preset(ProcessKind::PdmsSoftLithography),
+            Self::preset(ProcessKind::GlassEtching),
+        ]
+    }
+
+    /// Minimum printable feature size.
+    pub fn min_feature(&self) -> Meters {
+        self.min_feature
+    }
+
+    /// Maximum structural aspect ratio.
+    pub fn max_aspect_ratio(&self) -> f64 {
+        self.max_aspect_ratio
+    }
+
+    /// Number of structural layers supported.
+    pub fn max_layers(&self) -> usize {
+        self.max_layers
+    }
+
+    /// Checks that a layout is manufacturable in this process (feature size
+    /// and layer count only; full geometric DRC lives in [`crate::drc`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FluidicsError::InvalidParameter`] naming the first violated
+    /// capability.
+    pub fn check_capability(&self, layout: &MaskLayout) -> Result<(), FluidicsError> {
+        if layout.layer_count() > self.max_layers {
+            return Err(FluidicsError::InvalidParameter {
+                name: "layers",
+                reason: format!(
+                    "layout uses {} layers but {} supports {}",
+                    layout.layer_count(),
+                    self.name,
+                    self.max_layers
+                ),
+            });
+        }
+        if let Some(min) = layout.min_feature_size() {
+            if min < self.min_feature {
+                return Err(FluidicsError::InvalidParameter {
+                    name: "min_feature",
+                    reason: format!(
+                        "layout minimum feature {:.0} um below process limit {:.0} um",
+                        min.as_micrometers(),
+                        self.min_feature.as_micrometers()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces a quote for one prototype iteration of `devices` devices,
+    /// assuming the set-up already exists (`include_setup = false`) or must
+    /// be amortised into this quote (`true`).
+    pub fn quote(&self, devices: u32, include_setup: bool) -> FabricationQuote {
+        let setup = if include_setup {
+            self.setup_cost
+        } else {
+            Euros::ZERO
+        };
+        FabricationQuote {
+            process: self.kind,
+            devices,
+            mask_cost: self.mask_cost,
+            setup_cost: setup,
+            unit_cost_total: self.unit_cost * devices as f64,
+            turnaround: self.turnaround,
+        }
+    }
+}
+
+/// A cost/turnaround quote for one fabrication iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricationQuote {
+    /// Process used.
+    pub process: ProcessKind,
+    /// Number of devices built.
+    pub devices: u32,
+    /// Mask cost of this iteration.
+    pub mask_cost: Euros,
+    /// Set-up cost included in this quote (zero when amortised elsewhere).
+    pub setup_cost: Euros,
+    /// Total incremental device cost.
+    pub unit_cost_total: Euros,
+    /// Calendar time from design freeze to devices in hand.
+    pub turnaround: Seconds,
+}
+
+impl FabricationQuote {
+    /// Total cost of the iteration.
+    pub fn total_cost(&self) -> Euros {
+        self.mask_cost + self.setup_cost + self.unit_cost_total
+    }
+
+    /// Cost per device.
+    pub fn cost_per_device(&self) -> Euros {
+        if self.devices == 0 {
+            self.total_cost()
+        } else {
+            self.total_cost() / self.devices as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dry_film_matches_paper_figures() {
+        // C6: 2-3 days turnaround, masks of a few euros, set-up of tens of
+        // thousands of euros.
+        let p = FabricationProcess::preset(ProcessKind::DryFilmResist);
+        assert!(p.turnaround.as_days() >= 2.0 && p.turnaround.as_days() <= 3.0);
+        assert!(p.mask_cost.get() < 10.0);
+        assert!(p.setup_cost.as_kilo_euros() >= 10.0 && p.setup_cost.as_kilo_euros() < 100.0);
+    }
+
+    #[test]
+    fn dry_film_is_fastest_and_cheapest_per_iteration() {
+        let dry = FabricationProcess::preset(ProcessKind::DryFilmResist);
+        let pdms = FabricationProcess::preset(ProcessKind::PdmsSoftLithography);
+        let glass = FabricationProcess::preset(ProcessKind::GlassEtching);
+        assert!(dry.turnaround < pdms.turnaround);
+        assert!(pdms.turnaround < glass.turnaround);
+        let q_dry = dry.quote(5, false);
+        let q_glass = glass.quote(5, false);
+        assert!(q_dry.total_cost() < q_glass.total_cost());
+    }
+
+    #[test]
+    fn fluidic_iterations_are_orders_of_magnitude_cheaper_than_cmos() {
+        // The asymmetry behind Fig. 1 vs Fig. 2: a fluidic respin costs tens
+        // of euros and days; a CMOS respin costs tens of thousands and months.
+        let dry = FabricationProcess::preset(ProcessKind::DryFilmResist).quote(5, false);
+        let cmos = FabricationProcess::preset(ProcessKind::CmosPrototype).quote(5, false);
+        assert!(cmos.total_cost() / dry.total_cost() > 100.0);
+        assert!(cmos.turnaround.as_days() / dry.turnaround.as_days() > 10.0);
+    }
+
+    #[test]
+    fn quote_accounting_adds_up() {
+        let p = FabricationProcess::preset(ProcessKind::PdmsSoftLithography);
+        let q = p.quote(10, true);
+        let expected = p.mask_cost + p.setup_cost + p.unit_cost * 10.0;
+        assert!((q.total_cost().get() - expected.get()).abs() < 1e-9);
+        assert!((q.cost_per_device().get() - expected.get() / 10.0).abs() < 1e-9);
+        let zero = p.quote(0, false);
+        assert_eq!(zero.cost_per_device(), zero.total_cost());
+    }
+
+    #[test]
+    fn capability_check_accepts_reference_layout() {
+        let layout = MaskLayout::date05_reference();
+        for p in FabricationProcess::fluidic_presets() {
+            assert!(
+                p.check_capability(&layout).is_ok(),
+                "{} rejected the reference layout",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn capability_check_rejects_too_fine_features() {
+        use crate::layout::{FeatureRole, MaskFeature, MaskLayer};
+        use labchip_units::{Rect, Vec2};
+        let mut layout = MaskLayout::new();
+        layout.add(MaskFeature {
+            layer: MaskLayer::Fluidic,
+            role: FeatureRole::Channel,
+            rect: Rect::from_origin_size(Vec2::ZERO, 1e-3, 30e-6),
+        });
+        let dry = FabricationProcess::preset(ProcessKind::DryFilmResist);
+        assert!(dry.check_capability(&layout).is_err());
+        // PDMS resolves 20 µm features, so it accepts the same layout.
+        let pdms = FabricationProcess::preset(ProcessKind::PdmsSoftLithography);
+        assert!(pdms.check_capability(&layout).is_ok());
+    }
+}

@@ -1,0 +1,200 @@
+//! Single-channel laminar-flow relations.
+//!
+//! Microfluidic channels at the ~100 µm scale operate at Reynolds numbers far
+//! below 1: flow is laminar, pressure-driven flow follows the Hagen–Poiseuille
+//! law, and mixing is diffusion-limited (high Péclet number). These relations
+//! are the building blocks of the lumped channel-network solver.
+
+use crate::error::FluidicsError;
+use labchip_units::{Meters, MetersPerSecond, PascalSeconds, Pascals};
+use serde::{Deserialize, Serialize};
+
+/// A straight channel of rectangular cross-section.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RectangularChannel {
+    /// Channel width (in the mask plane).
+    pub width: Meters,
+    /// Channel height (resist thickness).
+    pub height: Meters,
+    /// Channel length.
+    pub length: Meters,
+}
+
+impl RectangularChannel {
+    /// Creates a channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FluidicsError::InvalidParameter`] for non-positive
+    /// dimensions.
+    pub fn new(width: Meters, height: Meters, length: Meters) -> Result<Self, FluidicsError> {
+        for (name, v) in [("width", width), ("height", height), ("length", length)] {
+            if v.get() <= 0.0 {
+                return Err(FluidicsError::InvalidParameter {
+                    name,
+                    reason: "channel dimensions must be positive".into(),
+                });
+            }
+        }
+        Ok(Self {
+            width,
+            height,
+            length,
+        })
+    }
+
+    /// Cross-sectional area.
+    pub fn cross_section(&self) -> f64 {
+        self.width.get() * self.height.get()
+    }
+
+    /// Hydraulic diameter `2wh/(w+h)`.
+    pub fn hydraulic_diameter(&self) -> Meters {
+        Meters::new(2.0 * self.width.get() * self.height.get() / (self.width.get() + self.height.get()))
+    }
+
+    /// Hydraulic resistance for a rectangular duct (first-order series
+    /// approximation, accurate to a few percent for aspect ratios ≤ 1):
+    /// `R = 12 η L / (w h³ (1 − 0.63 h/w))`, with `h ≤ w`.
+    pub fn hydraulic_resistance(&self, viscosity: PascalSeconds) -> f64 {
+        let (w, h) = if self.width.get() >= self.height.get() {
+            (self.width.get(), self.height.get())
+        } else {
+            (self.height.get(), self.width.get())
+        };
+        let correction = 1.0 - 0.63 * h / w;
+        12.0 * viscosity.get() * self.length.get() / (w * h.powi(3) * correction)
+    }
+
+    /// Volumetric flow rate (m³/s) under a pressure drop.
+    pub fn flow_rate(&self, delta_p: Pascals, viscosity: PascalSeconds) -> f64 {
+        delta_p.get() / self.hydraulic_resistance(viscosity)
+    }
+
+    /// Mean flow velocity under a pressure drop.
+    pub fn mean_velocity(&self, delta_p: Pascals, viscosity: PascalSeconds) -> MetersPerSecond {
+        MetersPerSecond::new(self.flow_rate(delta_p, viscosity) / self.cross_section())
+    }
+}
+
+/// Reynolds number `ρ v D_h / η` of a flow in a channel of hydraulic diameter
+/// `hydraulic_diameter`.
+pub fn reynolds_number(
+    density: f64,
+    velocity: MetersPerSecond,
+    hydraulic_diameter: Meters,
+    viscosity: PascalSeconds,
+) -> f64 {
+    density * velocity.get() * hydraulic_diameter.get() / viscosity.get()
+}
+
+/// Péclet number `v L / D` comparing advection with diffusion over length
+/// `characteristic_length` for a species of diffusivity `diffusivity` (m²/s).
+pub fn peclet_number(
+    velocity: MetersPerSecond,
+    characteristic_length: Meters,
+    diffusivity: f64,
+) -> f64 {
+    velocity.get() * characteristic_length.get() / diffusivity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labchip_units::{WATER_DENSITY, WATER_VISCOSITY};
+
+    fn reference_channel() -> RectangularChannel {
+        // A typical dry-resist channel: 200 µm wide, 50 µm high, 10 mm long.
+        RectangularChannel::new(
+            Meters::from_micrometers(200.0),
+            Meters::from_micrometers(50.0),
+            Meters::from_millimeters(10.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_dimensions_rejected() {
+        assert!(RectangularChannel::new(
+            Meters::new(0.0),
+            Meters::from_micrometers(50.0),
+            Meters::from_millimeters(1.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn hydraulic_resistance_order_of_magnitude() {
+        // R ≈ 12·0.89e-3·0.01 / (200e-6·(50e-6)³·(1-0.63·0.25)) ≈ 5e12 Pa·s/m³.
+        let r = reference_channel().hydraulic_resistance(PascalSeconds::new(WATER_VISCOSITY));
+        assert!(r > 1e12 && r < 1e13, "R = {r:.3e}");
+    }
+
+    #[test]
+    fn kilopascal_drives_microliter_per_minute_flows() {
+        // The useful operating point of such chips: ~1 kPa drives a fraction
+        // of a µl/s through the channel.
+        let ch = reference_channel();
+        let q = ch.flow_rate(Pascals::new(1_000.0), PascalSeconds::new(WATER_VISCOSITY));
+        let ul_per_min = q * 1e9 * 60.0;
+        assert!(ul_per_min > 1.0 && ul_per_min < 100.0, "Q = {ul_per_min} ul/min");
+    }
+
+    #[test]
+    fn flow_is_deeply_laminar() {
+        // C5 context: at mm/s velocities in 100 µm channels Re ≪ 1, so CFD
+        // turbulence is never the issue — unknown parameters are.
+        let ch = reference_channel();
+        let v = ch.mean_velocity(Pascals::new(1_000.0), PascalSeconds::new(WATER_VISCOSITY));
+        let re = reynolds_number(
+            WATER_DENSITY,
+            v,
+            ch.hydraulic_diameter(),
+            PascalSeconds::new(WATER_VISCOSITY),
+        );
+        assert!(re < 10.0, "Re = {re}");
+    }
+
+    #[test]
+    fn transport_is_advection_dominated_for_cells() {
+        // Cells diffuse so slowly (D ≈ 2.5e-14 m²/s) that Pe ≫ 1 even at
+        // 10 µm/s: they go where the flow and the DEP take them.
+        let pe = peclet_number(
+            MetersPerSecond::from_micrometers_per_second(10.0),
+            Meters::from_micrometers(100.0),
+            2.5e-14,
+        );
+        assert!(pe > 1_000.0);
+    }
+
+    #[test]
+    fn resistance_is_symmetric_in_width_height_swap() {
+        let a = RectangularChannel::new(
+            Meters::from_micrometers(200.0),
+            Meters::from_micrometers(50.0),
+            Meters::from_millimeters(5.0),
+        )
+        .unwrap();
+        let b = RectangularChannel::new(
+            Meters::from_micrometers(50.0),
+            Meters::from_micrometers(200.0),
+            Meters::from_millimeters(5.0),
+        )
+        .unwrap();
+        let visc = PascalSeconds::new(WATER_VISCOSITY);
+        assert!((a.hydraulic_resistance(visc) / b.hydraulic_resistance(visc) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrower_channels_resist_more() {
+        let visc = PascalSeconds::new(WATER_VISCOSITY);
+        let wide = reference_channel();
+        let narrow = RectangularChannel::new(
+            Meters::from_micrometers(100.0),
+            Meters::from_micrometers(50.0),
+            Meters::from_millimeters(10.0),
+        )
+        .unwrap();
+        assert!(narrow.hydraulic_resistance(visc) > wide.hydraulic_resistance(visc));
+    }
+}

@@ -1,0 +1,204 @@
+//! Mask layout for fluidic structures.
+//!
+//! The paper's §3 notes that "fluidic design typically requires a simple mask
+//! layout (one or two layers)" with feature sizes around a hundred
+//! micrometres. A layout here is a small set of rectangular features on one
+//! or two layers; it feeds the design-rule checker and the fabrication cost
+//! model.
+
+use labchip_units::{Meters, Rect, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// The mask layer a feature is drawn on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MaskLayer {
+    /// First (and often only) structural layer — the channel/chamber resist.
+    Fluidic,
+    /// Optional second layer — vias, lid openings or a second resist level.
+    Access,
+}
+
+/// Function of a drawn feature, used for reporting and DRC context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureRole {
+    /// A flow channel.
+    Channel,
+    /// A chamber or reservoir.
+    Chamber,
+    /// An inlet/outlet port.
+    Port,
+    /// An alignment or dicing aid.
+    Alignment,
+}
+
+/// One rectangular feature of the layout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaskFeature {
+    /// Layer the feature is drawn on.
+    pub layer: MaskLayer,
+    /// Function of the feature.
+    pub role: FeatureRole,
+    /// Geometry in chip coordinates (metres).
+    pub rect: Rect,
+}
+
+impl MaskFeature {
+    /// Smaller of the two lateral dimensions.
+    pub fn min_dimension(&self) -> Meters {
+        Meters::new(self.rect.width().min(self.rect.height()))
+    }
+}
+
+/// A complete fluidic mask layout.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MaskLayout {
+    features: Vec<MaskFeature>,
+}
+
+impl MaskLayout {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A reference layout for the DATE'05 packaging: a 7×7 mm chamber over
+    /// the array, two 500 µm-wide feed channels and two 1.5 mm inlet/outlet
+    /// ports on the access layer.
+    pub fn date05_reference() -> Self {
+        let mut layout = Self::new();
+        let chamber_origin = Vec2::new(1.5e-3, 1.5e-3);
+        layout.add(MaskFeature {
+            layer: MaskLayer::Fluidic,
+            role: FeatureRole::Chamber,
+            rect: Rect::from_origin_size(chamber_origin, 7.0e-3, 7.0e-3),
+        });
+        layout.add(MaskFeature {
+            layer: MaskLayer::Fluidic,
+            role: FeatureRole::Channel,
+            rect: Rect::from_origin_size(Vec2::new(0.0, 4.75e-3), 1.5e-3, 0.5e-3),
+        });
+        layout.add(MaskFeature {
+            layer: MaskLayer::Fluidic,
+            role: FeatureRole::Channel,
+            rect: Rect::from_origin_size(Vec2::new(8.5e-3, 4.75e-3), 1.5e-3, 0.5e-3),
+        });
+        layout.add(MaskFeature {
+            layer: MaskLayer::Access,
+            role: FeatureRole::Port,
+            rect: Rect::from_origin_size(Vec2::new(-1.5e-3, 4.0e-3), 1.5e-3, 1.5e-3),
+        });
+        layout.add(MaskFeature {
+            layer: MaskLayer::Access,
+            role: FeatureRole::Port,
+            rect: Rect::from_origin_size(Vec2::new(10.0e-3, 4.0e-3), 1.5e-3, 1.5e-3),
+        });
+        layout
+    }
+
+    /// Adds a feature.
+    pub fn add(&mut self, feature: MaskFeature) {
+        self.features.push(feature);
+    }
+
+    /// All features.
+    pub fn features(&self) -> &[MaskFeature] {
+        &self.features
+    }
+
+    /// Features on one layer.
+    pub fn features_on(&self, layer: MaskLayer) -> impl Iterator<Item = &MaskFeature> {
+        self.features.iter().filter(move |f| f.layer == layer)
+    }
+
+    /// Number of distinct layers used.
+    pub fn layer_count(&self) -> usize {
+        let mut layers: Vec<MaskLayer> = self.features.iter().map(|f| f.layer).collect();
+        layers.sort();
+        layers.dedup();
+        layers.len()
+    }
+
+    /// Smallest drawn feature dimension, or `None` for an empty layout.
+    pub fn min_feature_size(&self) -> Option<Meters> {
+        self.features
+            .iter()
+            .map(|f| f.min_dimension())
+            .min_by(|a, b| a.partial_cmp(b).expect("dimensions are finite"))
+    }
+
+    /// Bounding box of the whole layout, or `None` for an empty layout.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let first = self.features.first()?.rect;
+        Some(self.features.iter().skip(1).fold(first, |acc, f| {
+            Rect::new(
+                Vec2::new(acc.min.x.min(f.rect.min.x), acc.min.y.min(f.rect.min.y)),
+                Vec2::new(acc.max.x.max(f.rect.max.x), acc.max.y.max(f.rect.max.y)),
+            )
+        }))
+    }
+
+    /// Total drawn area (sum of feature areas, overlaps counted twice) in m².
+    pub fn drawn_area(&self) -> f64 {
+        self.features.iter().map(|f| f.rect.area()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_layout_uses_two_layers_and_coarse_features() {
+        // C5: "a simple mask layout (one or two layers)" with ~100 µm+
+        // features.
+        let layout = MaskLayout::date05_reference();
+        assert!(layout.layer_count() <= 2);
+        let min = layout.min_feature_size().unwrap();
+        assert!(
+            min.as_micrometers() >= 100.0,
+            "min feature = {} um",
+            min.as_micrometers()
+        );
+        assert_eq!(layout.features_on(MaskLayer::Access).count(), 2);
+        assert_eq!(layout.features().len(), 5);
+    }
+
+    #[test]
+    fn empty_layout_has_no_metrics() {
+        let layout = MaskLayout::new();
+        assert!(layout.min_feature_size().is_none());
+        assert!(layout.bounding_box().is_none());
+        assert_eq!(layout.layer_count(), 0);
+        assert_eq!(layout.drawn_area(), 0.0);
+    }
+
+    #[test]
+    fn bounding_box_covers_all_features() {
+        let layout = MaskLayout::date05_reference();
+        let bbox = layout.bounding_box().unwrap();
+        for f in layout.features() {
+            assert!(bbox.contains(f.rect.min));
+            assert!(bbox.contains(f.rect.max));
+        }
+        // About a centimetre across — the scale of a packaged hybrid chip.
+        assert!(bbox.width() > 5e-3 && bbox.width() < 20e-3);
+    }
+
+    #[test]
+    fn drawn_area_is_dominated_by_the_chamber() {
+        let layout = MaskLayout::date05_reference();
+        let chamber_area = 7.0e-3 * 7.0e-3;
+        assert!(layout.drawn_area() >= chamber_area);
+        assert!(layout.drawn_area() < 2.0 * chamber_area);
+    }
+
+    #[test]
+    fn min_dimension_of_feature() {
+        let f = MaskFeature {
+            layer: MaskLayer::Fluidic,
+            role: FeatureRole::Channel,
+            rect: Rect::from_origin_size(Vec2::ZERO, 2e-3, 0.3e-3),
+        };
+        assert!((f.min_dimension().as_micrometers() - 300.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! # labchip-fluidics
+//!
+//! Microfluidic and packaging substrate of the `labchip` workspace.
+//!
+//! The DATE'05 paper's §3 argues that the fluidic and packaging side of a
+//! biochip is where the conventional simulate-first design flow breaks down:
+//! the physics is multi-domain, the governing parameters (wettability,
+//! evaporation, electro-thermal flow, cell properties) are poorly known, yet
+//! the structures themselves are coarse (~100 µm features, one or two mask
+//! layers) and can be fabricated in days for a few euros of mask cost. This
+//! crate provides the models needed to reason about that argument:
+//!
+//! * the sample **microchamber** and its geometry ([`chamber`]),
+//! * pressure-driven **channel networks** solved with lumped hydraulic
+//!   resistances ([`channel`], [`flow`]),
+//! * 1–2 layer **mask layouts** and their **design rules** ([`layout`],
+//!   [`drc`]),
+//! * **fabrication process** models — dry film resist, PDMS soft lithography,
+//!   wet-etched glass — with cost and turnaround figures ([`fabrication`]),
+//! * the hybrid **packaging stack** of Fig. 3 ([`packaging`]),
+//! * the **parameter uncertainty** description that makes fluidic simulation
+//!   "a research topic in itself" ([`uncertainty`]).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod chamber;
+pub mod channel;
+pub mod drc;
+pub mod error;
+pub mod fabrication;
+pub mod flow;
+pub mod layout;
+pub mod packaging;
+pub mod uncertainty;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::chamber::Microchamber;
+    pub use crate::channel::{ChannelNetwork, ChannelSegment, FlowSolution, NodeId};
+    pub use crate::drc::{DesignRules, DrcReport, DrcViolation};
+    pub use crate::error::FluidicsError;
+    pub use crate::fabrication::{FabricationProcess, FabricationQuote, ProcessKind};
+    pub use crate::flow::{peclet_number, reynolds_number, RectangularChannel};
+    pub use crate::layout::{MaskLayer, MaskLayout, MaskFeature};
+    pub use crate::packaging::{PackagingStack, StackLayer};
+    pub use crate::uncertainty::{FluidicParameters, SimulationFidelity};
+}
+
+pub use error::FluidicsError;

@@ -1,0 +1,193 @@
+//! The hybrid packaging stack of Fig. 3.
+//!
+//! The assembled device is a sandwich: the CMOS die at the bottom, a
+//! patterned dry-resist spacer defining the chamber walls, and an ITO-coated
+//! glass lid that doubles as the counter-electrode. Packaging also provides
+//! the electrical connection (wire bonds outside the wet area) and the
+//! fluidic ports.
+
+use crate::error::FluidicsError;
+use crate::fabrication::FabricationProcess;
+use labchip_units::{Euros, Meters, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// One layer of the packaging stack, bottom to top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StackLayer {
+    /// The CMOS sensor/actuator die.
+    CmosDie,
+    /// Patterned dry-film resist spacer forming the chamber walls.
+    ResistSpacer,
+    /// ITO-coated glass lid (transparent counter-electrode).
+    ItoGlassLid,
+    /// Printed-circuit carrier with wire bonds and fluidic ports.
+    Carrier,
+}
+
+/// A packaging stack description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackagingStack {
+    layers: Vec<StackLayer>,
+    /// Resist spacer thickness — this *is* the chamber height.
+    pub spacer_thickness: Meters,
+    /// Lid thickness.
+    pub lid_thickness: Meters,
+    /// Whether the lid is conductive (ITO) and can act as counter-electrode.
+    pub conductive_lid: bool,
+}
+
+impl PackagingStack {
+    /// The Fig. 3 reference stack: carrier, CMOS die, 80 µm resist spacer,
+    /// 500 µm ITO glass lid.
+    pub fn date05_reference() -> Self {
+        Self {
+            layers: vec![
+                StackLayer::Carrier,
+                StackLayer::CmosDie,
+                StackLayer::ResistSpacer,
+                StackLayer::ItoGlassLid,
+            ],
+            spacer_thickness: Meters::from_micrometers(80.0),
+            lid_thickness: Meters::from_micrometers(500.0),
+            conductive_lid: true,
+        }
+    }
+
+    /// The layers, bottom to top.
+    pub fn layers(&self) -> &[StackLayer] {
+        &self.layers
+    }
+
+    /// Chamber height implied by the stack (the spacer thickness).
+    pub fn chamber_height(&self) -> Meters {
+        self.spacer_thickness
+    }
+
+    /// Validates that the stack can actually work as a DEP biochip package:
+    /// it must contain a die, a spacer and a lid (in that vertical order),
+    /// and the lid must be conductive to serve as the counter-electrode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FluidicsError::InvalidParameter`] describing the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), FluidicsError> {
+        let position = |layer: StackLayer| self.layers.iter().position(|l| *l == layer);
+        let die = position(StackLayer::CmosDie).ok_or(FluidicsError::InvalidParameter {
+            name: "layers",
+            reason: "stack is missing the CMOS die".into(),
+        })?;
+        let spacer = position(StackLayer::ResistSpacer).ok_or(FluidicsError::InvalidParameter {
+            name: "layers",
+            reason: "stack is missing the resist spacer".into(),
+        })?;
+        let lid = position(StackLayer::ItoGlassLid).ok_or(FluidicsError::InvalidParameter {
+            name: "layers",
+            reason: "stack is missing the glass lid".into(),
+        })?;
+        if !(die < spacer && spacer < lid) {
+            return Err(FluidicsError::InvalidParameter {
+                name: "layers",
+                reason: "layers must be ordered die < spacer < lid".into(),
+            });
+        }
+        if !self.conductive_lid {
+            return Err(FluidicsError::InvalidParameter {
+                name: "conductive_lid",
+                reason: "the lid must be ITO-coated to act as the counter-electrode".into(),
+            });
+        }
+        if self.spacer_thickness.get() <= 0.0 {
+            return Err(FluidicsError::InvalidParameter {
+                name: "spacer_thickness",
+                reason: "spacer thickness must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Assembly turnaround for one packaged device using the given spacer
+    /// process (lamination/bonding dominates; dicing and wire bonding add a
+    /// fixed day).
+    pub fn assembly_turnaround(&self, spacer_process: &FabricationProcess) -> Seconds {
+        spacer_process.turnaround + Seconds::from_days(1.0)
+    }
+
+    /// Incremental cost of one packaged device (spacer unit cost + lid +
+    /// carrier + bonding labour).
+    pub fn assembly_cost(&self, spacer_process: &FabricationProcess) -> Euros {
+        let lid = Euros::new(3.0);
+        let carrier = Euros::new(6.0);
+        let bonding = Euros::new(10.0);
+        spacer_process.unit_cost + lid + carrier + bonding
+    }
+}
+
+impl Default for PackagingStack {
+    fn default() -> Self {
+        Self::date05_reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabrication::ProcessKind;
+
+    #[test]
+    fn reference_stack_validates() {
+        let stack = PackagingStack::date05_reference();
+        assert!(stack.validate().is_ok());
+        assert_eq!(stack.layers().len(), 4);
+        assert_eq!(stack.chamber_height(), Meters::from_micrometers(80.0));
+    }
+
+    #[test]
+    fn missing_or_misordered_layers_are_rejected() {
+        let mut no_lid = PackagingStack::date05_reference();
+        no_lid.layers.retain(|l| *l != StackLayer::ItoGlassLid);
+        assert!(no_lid.validate().is_err());
+
+        let mut wrong_order = PackagingStack::date05_reference();
+        wrong_order.layers = vec![
+            StackLayer::Carrier,
+            StackLayer::ResistSpacer,
+            StackLayer::CmosDie,
+            StackLayer::ItoGlassLid,
+        ];
+        assert!(wrong_order.validate().is_err());
+    }
+
+    #[test]
+    fn non_conductive_lid_is_rejected() {
+        let mut stack = PackagingStack::date05_reference();
+        stack.conductive_lid = false;
+        assert!(stack.validate().is_err());
+    }
+
+    #[test]
+    fn zero_spacer_is_rejected() {
+        let mut stack = PackagingStack::date05_reference();
+        stack.spacer_thickness = Meters::new(0.0);
+        assert!(stack.validate().is_err());
+    }
+
+    #[test]
+    fn assembly_with_dry_film_takes_days_not_weeks() {
+        // F3 + C6: a complete packaged prototype in a few days.
+        let stack = PackagingStack::date05_reference();
+        let dry = FabricationProcess::preset(ProcessKind::DryFilmResist);
+        let t = stack.assembly_turnaround(&dry);
+        assert!(t.as_days() < 5.0, "turnaround = {} days", t.as_days());
+        let cost = stack.assembly_cost(&dry);
+        assert!(cost.get() < 50.0, "cost = {cost}");
+    }
+
+    #[test]
+    fn glass_based_assembly_is_much_slower() {
+        let stack = PackagingStack::date05_reference();
+        let dry = FabricationProcess::preset(ProcessKind::DryFilmResist);
+        let glass = FabricationProcess::preset(ProcessKind::GlassEtching);
+        assert!(stack.assembly_turnaround(&glass) > stack.assembly_turnaround(&dry) * 5.0);
+    }
+}

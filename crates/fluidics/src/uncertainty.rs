@@ -1,0 +1,227 @@
+//! Parameter uncertainty of fluidic simulation.
+//!
+//! The paper's central §3 observation: meaningful multi-physics simulation of
+//! a biochip "demands a lot of input parameters which are uncertain or
+//! completely unknown, thus making simulation pretty much a research topic in
+//! itself". This module gives that statement a concrete form — a set of
+//! governing parameters, each an [`Uncertain`] value — and a fidelity model
+//! mapping parameter uncertainty to the probability that a simulation-based
+//! design decision turns out wrong when the prototype is finally built.
+
+use labchip_units::Uncertain;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Draws a standard-normal deviate with the Box–Muller transform.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// The governing fluidic/bio parameters and their uncertainties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FluidicParameters {
+    /// Contact angle / wettability of the resist and glass surfaces (degrees).
+    pub contact_angle: Uncertain,
+    /// Evaporation mass-transfer coefficient (relative).
+    pub evaporation_coefficient: Uncertain,
+    /// Electro-thermal flow coupling coefficient (relative).
+    pub electrothermal_coupling: Uncertain,
+    /// AC electro-osmotic mobility (relative).
+    pub ac_electroosmosis: Uncertain,
+    /// Cell membrane capacitance / dielectric spread (relative).
+    pub cell_dielectric: Uncertain,
+    /// Surface fouling / protein adsorption rate (relative).
+    pub surface_fouling: Uncertain,
+}
+
+impl FluidicParameters {
+    /// The literature state of the art circa 2005: most surface- and
+    /// cell-related parameters known only to within tens of percent.
+    pub fn literature_2005() -> Self {
+        Self {
+            contact_angle: Uncertain::new(70.0, 0.20),
+            evaporation_coefficient: Uncertain::new(1.0, 0.30),
+            electrothermal_coupling: Uncertain::new(1.0, 0.50),
+            ac_electroosmosis: Uncertain::new(1.0, 0.60),
+            cell_dielectric: Uncertain::new(1.0, 0.25),
+            surface_fouling: Uncertain::new(1.0, 0.70),
+        }
+    }
+
+    /// The same parameters after a characterisation campaign on prototypes
+    /// (what the Fig. 2 flow produces as a side effect of testing real
+    /// devices): spreads reduced several-fold.
+    pub fn after_prototype_characterization() -> Self {
+        Self {
+            contact_angle: Uncertain::new(70.0, 0.05),
+            evaporation_coefficient: Uncertain::new(1.0, 0.08),
+            electrothermal_coupling: Uncertain::new(1.0, 0.15),
+            ac_electroosmosis: Uncertain::new(1.0, 0.20),
+            cell_dielectric: Uncertain::new(1.0, 0.10),
+            surface_fouling: Uncertain::new(1.0, 0.25),
+        }
+    }
+
+    /// All parameters as a slice of (name, value) pairs.
+    pub fn as_list(&self) -> [(&'static str, Uncertain); 6] {
+        [
+            ("contact_angle", self.contact_angle),
+            ("evaporation_coefficient", self.evaporation_coefficient),
+            ("electrothermal_coupling", self.electrothermal_coupling),
+            ("ac_electroosmosis", self.ac_electroosmosis),
+            ("cell_dielectric", self.cell_dielectric),
+            ("surface_fouling", self.surface_fouling),
+        ]
+    }
+
+    /// Combined relative uncertainty of a performance prediction that depends
+    /// multiplicatively on every parameter (root sum of squares of the
+    /// relative sigmas).
+    pub fn combined_relative_sigma(&self) -> f64 {
+        self.as_list()
+            .iter()
+            .map(|(_, u)| u.relative_sigma().powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Default for FluidicParameters {
+    fn default() -> Self {
+        Self::literature_2005()
+    }
+}
+
+/// Maps parameter uncertainty to the reliability of simulation-driven design
+/// decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationFidelity {
+    /// Combined relative one-sigma error of the simulation prediction.
+    pub prediction_sigma: f64,
+    /// Relative design margin the designer budgets for (e.g. 0.2 = the design
+    /// still works if performance is 20 % below prediction).
+    pub design_margin: f64,
+}
+
+impl SimulationFidelity {
+    /// Builds the fidelity model for a parameter set and design margin.
+    pub fn new(parameters: &FluidicParameters, design_margin: f64) -> Self {
+        Self {
+            prediction_sigma: parameters.combined_relative_sigma(),
+            design_margin,
+        }
+    }
+
+    /// Probability that a design that simulates as "working" fails on the
+    /// real prototype: the probability that the true performance falls more
+    /// than `design_margin` below the prediction, under a Gaussian error of
+    /// `prediction_sigma`.
+    pub fn false_pass_probability(&self) -> f64 {
+        if self.prediction_sigma <= 0.0 {
+            return 0.0;
+        }
+        gaussian_tail(self.design_margin / self.prediction_sigma)
+    }
+
+    /// Samples whether one simulation-approved design actually works when
+    /// prototyped.
+    pub fn sample_prototype_outcome<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        let error = self.prediction_sigma * standard_normal(rng);
+        // The design fails if reality underperforms the prediction by more
+        // than the margin.
+        error > -self.design_margin
+    }
+}
+
+/// Gaussian upper-tail probability (Abramowitz & Stegun erfc approximation).
+fn gaussian_tail(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.327_591_1 * x.abs() / std::f64::consts::SQRT_2);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let val = 0.5 * poly * (-(x / std::f64::consts::SQRT_2).powi(2)).exp();
+    if x >= 0.0 {
+        val
+    } else {
+        1.0 - val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn literature_parameters_are_poorly_known() {
+        let p = FluidicParameters::literature_2005();
+        // Combined uncertainty above 100 % — simulation really is a research
+        // topic in itself.
+        assert!(p.combined_relative_sigma() > 1.0);
+        for (_, u) in p.as_list() {
+            assert!(u.relative_sigma() > 0.0);
+        }
+    }
+
+    #[test]
+    fn prototyping_shrinks_uncertainty() {
+        let before = FluidicParameters::literature_2005();
+        let after = FluidicParameters::after_prototype_characterization();
+        assert!(after.combined_relative_sigma() < before.combined_relative_sigma() / 2.0);
+    }
+
+    #[test]
+    fn false_pass_probability_grows_with_uncertainty() {
+        let uncertain = SimulationFidelity::new(&FluidicParameters::literature_2005(), 0.3);
+        let confident =
+            SimulationFidelity::new(&FluidicParameters::after_prototype_characterization(), 0.3);
+        assert!(uncertain.false_pass_probability() > confident.false_pass_probability());
+        // With 2005-level uncertainty, a sizeable fraction of simulation-
+        // approved designs fail on first silicon/glass.
+        assert!(uncertain.false_pass_probability() > 0.3);
+        assert!(confident.false_pass_probability() < 0.25);
+    }
+
+    #[test]
+    fn zero_uncertainty_never_fails() {
+        let perfect = SimulationFidelity {
+            prediction_sigma: 0.0,
+            design_margin: 0.1,
+        };
+        assert_eq!(perfect.false_pass_probability(), 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(perfect.sample_prototype_outcome(&mut rng));
+    }
+
+    #[test]
+    fn sampled_outcomes_match_probability() {
+        let fidelity = SimulationFidelity::new(&FluidicParameters::literature_2005(), 0.3);
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let trials = 20_000;
+        let failures = (0..trials)
+            .filter(|_| !fidelity.sample_prototype_outcome(&mut rng))
+            .count();
+        let observed = failures as f64 / trials as f64;
+        let expected = fidelity.false_pass_probability();
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "observed {observed} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn larger_margin_reduces_failures() {
+        let p = FluidicParameters::literature_2005();
+        let tight = SimulationFidelity::new(&p, 0.1);
+        let generous = SimulationFidelity::new(&p, 1.0);
+        assert!(generous.false_pass_probability() < tight.false_pass_probability());
+    }
+}

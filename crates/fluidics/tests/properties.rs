@@ -1,0 +1,115 @@
+//! Property-based tests for the fluidics crate.
+
+use labchip_fluidics::chamber::Microchamber;
+use labchip_fluidics::channel::{ChannelNetwork, NodeId};
+use labchip_fluidics::fabrication::{FabricationProcess, ProcessKind};
+use labchip_fluidics::flow::RectangularChannel;
+use labchip_fluidics::uncertainty::{FluidicParameters, SimulationFidelity};
+use labchip_units::{Meters, PascalSeconds, Pascals, Uncertain, WATER_VISCOSITY};
+use proptest::prelude::*;
+
+fn channel(width_um: f64, height_um: f64, length_mm: f64) -> RectangularChannel {
+    RectangularChannel::new(
+        Meters::from_micrometers(width_um),
+        Meters::from_micrometers(height_um),
+        Meters::from_millimeters(length_mm),
+    )
+    .expect("positive dimensions")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hydraulic resistance is positive, increases with length and decreases
+    /// with height.
+    #[test]
+    fn resistance_monotonicity(
+        width in 60.0f64..500.0,
+        height in 20.0f64..100.0,
+        length in 1.0f64..30.0,
+    ) {
+        let visc = PascalSeconds::new(WATER_VISCOSITY);
+        let base = channel(width, height, length).hydraulic_resistance(visc);
+        prop_assert!(base > 0.0 && base.is_finite());
+        let longer = channel(width, height, length * 2.0).hydraulic_resistance(visc);
+        prop_assert!((longer / base - 2.0).abs() < 1e-9);
+        let taller = channel(width, height * 1.5, length).hydraulic_resistance(visc);
+        prop_assert!(taller < base);
+    }
+
+    /// A two-segment series network conserves mass and drops the full
+    /// pressure across the two segments in proportion to their resistance.
+    #[test]
+    fn series_network_conserves_mass(
+        w1 in 80.0f64..400.0,
+        w2 in 80.0f64..400.0,
+        pressure in 100.0f64..10_000.0,
+    ) {
+        let visc = PascalSeconds::new(WATER_VISCOSITY);
+        let mut net = ChannelNetwork::new();
+        net.set_viscosity(visc);
+        let a = channel(w1, 50.0, 5.0);
+        let b = channel(w2, 50.0, 5.0);
+        net.add_segment(NodeId(0), NodeId(1), a);
+        net.add_segment(NodeId(1), NodeId(2), b);
+        net.set_pressure(NodeId(0), Pascals::new(pressure));
+        net.set_pressure(NodeId(2), Pascals::new(0.0));
+        let sol = net.solve().unwrap();
+        let q0 = sol.segment_flow(0).unwrap();
+        let q1 = sol.segment_flow(1).unwrap();
+        prop_assert!((q0 - q1).abs() <= 1e-9 * q0.abs().max(1e-30));
+        prop_assert!(sol.node_imbalance(NodeId(1), &net).abs() <= 1e-9 * q0.abs().max(1e-30));
+        // Midpoint pressure lies strictly between the boundaries.
+        let mid = sol.pressure(NodeId(1)).unwrap().get();
+        prop_assert!(mid > 0.0 && mid < pressure);
+    }
+
+    /// Chamber volume scales linearly with each dimension and the expected
+    /// cell count with concentration.
+    #[test]
+    fn chamber_volume_scaling(l_mm in 1.0f64..20.0, w_mm in 1.0f64..20.0, h_um in 20.0f64..500.0, conc in 1.0f64..1e5) {
+        let chamber = Microchamber::new(
+            Meters::from_millimeters(l_mm),
+            Meters::from_millimeters(w_mm),
+            Meters::from_micrometers(h_um),
+        ).unwrap();
+        let doubled = Microchamber::new(
+            Meters::from_millimeters(2.0 * l_mm),
+            Meters::from_millimeters(w_mm),
+            Meters::from_micrometers(h_um),
+        ).unwrap();
+        prop_assert!((doubled.volume().get() / chamber.volume().get() - 2.0).abs() < 1e-9);
+        let cells = chamber.expected_cell_count(conc);
+        prop_assert!((cells / conc - chamber.volume().as_microliters()).abs() < 1e-9 * cells.max(1.0));
+    }
+
+    /// Per-device cost never increases with batch size, for every process.
+    #[test]
+    fn per_device_cost_monotone(batch in 1u32..500) {
+        for process in FabricationProcess::fluidic_presets() {
+            let small = process.quote(batch, false).cost_per_device();
+            let large = process.quote(batch + 10, false).cost_per_device();
+            prop_assert!(large <= small + labchip_units::Euros::new(1e-9));
+        }
+    }
+
+    /// The false-pass probability is a probability, grows with uncertainty
+    /// and shrinks with margin.
+    #[test]
+    fn fidelity_probability_behaviour(scale in 0.1f64..3.0, margin in 0.05f64..1.0) {
+        let base = FluidicParameters::literature_2005();
+        let scaled = FluidicParameters {
+            contact_angle: Uncertain::new(base.contact_angle.nominal(), base.contact_angle.relative_sigma() * scale),
+            evaporation_coefficient: Uncertain::new(1.0, base.evaporation_coefficient.relative_sigma() * scale),
+            electrothermal_coupling: Uncertain::new(1.0, base.electrothermal_coupling.relative_sigma() * scale),
+            ac_electroosmosis: Uncertain::new(1.0, base.ac_electroosmosis.relative_sigma() * scale),
+            cell_dielectric: Uncertain::new(1.0, base.cell_dielectric.relative_sigma() * scale),
+            surface_fouling: Uncertain::new(1.0, base.surface_fouling.relative_sigma() * scale),
+        };
+        let f = SimulationFidelity::new(&scaled, margin);
+        let p = f.false_pass_probability();
+        prop_assert!((0.0..=1.0).contains(&p));
+        let wider_margin = SimulationFidelity::new(&scaled, margin * 2.0);
+        prop_assert!(wider_margin.false_pass_probability() <= p + 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Integration: the assembled chip, its timing budget and its power, checked
+//! against the headline numbers of the paper.
+
+use labchip::prelude::*;
+use labchip_array::timing::TimingBudget;
+use labchip_units::{GridCoord, MetersPerSecond, Seconds};
+
+#[test]
+fn paper_reference_chip_is_internally_consistent() {
+    let chip = Biochip::date05_reference();
+
+    // C1: >100,000 electrodes under a ~4 µl chamber.
+    assert!(chip.array().electrode_count() > 100_000);
+    let volume = chip.chamber().volume().as_microliters();
+    assert!(volume > 3.0 && volume < 5.0);
+
+    // The chamber height used by the field models is the packaging spacer.
+    assert_eq!(
+        chip.array().chamber_height(),
+        chip.packaging().chamber_height()
+    );
+
+    // The chip dissipates tens of milliwatts — it will not cook the sample:
+    // the temperature rise from its power density is far below 1 K/s of
+    // heating even if all of it went into the liquid.
+    assert!(chip.total_power().as_milliwatts() < 200.0);
+}
+
+#[test]
+fn programming_a_full_lattice_creates_tens_of_thousands_of_cages() {
+    let mut chip = Biochip::date05_reference();
+    let pattern = CagePattern::standard_lattice(chip.array().dims()).expect("lattice fits");
+    chip.program_pattern(&pattern).expect("pattern applies");
+    assert!(chip.cage_count() > 10_000);
+    // Reprogramming the whole array takes well under the time of one cage
+    // step at any realistic cell speed.
+    assert!(chip.frame_program_time() < Seconds::from_millis(2.0));
+}
+
+#[test]
+fn electronics_budget_fits_easily_inside_the_mechanics() {
+    let chip = Biochip::date05_reference();
+    let budget = TimingBudget::compute(
+        chip.array().dims(),
+        chip.array().pitch(),
+        MetersPerSecond::from_micrometers_per_second(50.0),
+        chip.programming(),
+        chip.frame_scan_time(),
+    );
+    assert!(budget.is_feasible());
+    assert!(budget.slack_ratio() > 10.0);
+    assert!(budget.frames_available_for_averaging >= 32);
+}
+
+#[test]
+fn cage_summary_reports_a_usable_trap_on_the_large_array() {
+    // Same analysis as the small-array unit tests, but on the real 320x320
+    // device: the truncated field model keeps this tractable.
+    let mut chip = Biochip::date05_reference();
+    let site = GridCoord::new(160, 160);
+    chip.program_single_cage(site).expect("site exists");
+    let summary = chip.cage_summary(site).expect("cage programmed");
+    assert!(summary.is_trap);
+    assert!(summary.holding_force.as_piconewtons() > 1.0);
+    let height = summary.levitation_height.expect("cell levitates");
+    assert!(height.as_micrometers() > 10.0 && height.as_micrometers() < 80.0);
+}
+
+#[test]
+fn packaged_device_stack_supports_the_chamber_and_the_field_model() {
+    let chip = Biochip::date05_reference();
+    chip.packaging().validate().expect("reference stack is valid");
+    // The lid is conductive, so the field model's counter-electrode
+    // assumption holds.
+    assert!(chip.packaging().conductive_lid);
+    // The layout used for the packaging passes the dry-film design rules.
+    let layout = MaskLayout::date05_reference();
+    let process = FabricationProcess::preset(ProcessKind::DryFilmResist);
+    let rules = DesignRules::for_process(&process, chip.packaging().spacer_thickness);
+    assert!(rules.check(&layout).is_clean());
+    assert!(process.check_capability(&layout).is_ok());
+}

@@ -1,0 +1,106 @@
+//! Integration: manipulation layer → actuation array. Every frame produced by
+//! a manipulation operation is a programmable electrode pattern, and the
+//! complete assay remains executable on the chip facade.
+
+use labchip::prelude::*;
+use labchip_units::{GridCoord, GridDims, Seconds};
+
+#[test]
+fn every_motion_frame_is_programmable_on_the_array() {
+    let dims = GridDims::square(24);
+    let mut manipulator = Manipulator::new(dims);
+    manipulator
+        .grid_mut()
+        .place(ParticleId(1), GridCoord::new(3, 3))
+        .unwrap();
+    manipulator
+        .grid_mut()
+        .place(ParticleId(2), GridCoord::new(3, 12))
+        .unwrap();
+    let report = manipulator
+        .move_group(&[
+            (ParticleId(1), GridCoord::new(20, 3)),
+            (ParticleId(2), GridCoord::new(20, 12)),
+        ])
+        .expect("routing succeeds");
+
+    // Program every intermediate frame onto a chip of the same size: if any
+    // frame were invalid the facade would reject it.
+    let mut chip = BiochipBuilder::new()
+        .dims(dims)
+        .build()
+        .expect("valid configuration");
+    for frame in &report.frames {
+        chip.program_pattern(frame).expect("frame is programmable");
+        assert_eq!(chip.cage_count(), frame.cage_count());
+        assert_eq!(frame.cage_count(), 2, "no cage is lost or merged");
+    }
+}
+
+#[test]
+fn assay_protocol_runs_on_the_same_grid_the_chip_exposes() {
+    let chip = Biochip::small_reference(32);
+    let dims = chip.array().dims();
+
+    let sites: Vec<GridCoord> = CagePattern::new(
+        dims,
+        labchip_array::pattern::PatternKind::Lattice {
+            period: 6,
+            offset: GridCoord::new(3, 3),
+        },
+    )
+    .unwrap()
+    .cage_sites()
+    .iter()
+    .copied()
+    .take(6)
+    .collect();
+    let pattern =
+        CagePattern::new(dims, labchip_array::pattern::PatternKind::Custom(sites)).unwrap();
+
+    let scan_time = chip
+        .scan_timing()
+        .averaged_scan_time(dims, &FrameAverager::new(16));
+    let protocol = Protocol::new("integration assay")
+        .with_step(ProtocolStep::LoadSample {
+            pattern,
+            handling_time: Seconds::from_minutes(2.0),
+        })
+        .with_step(ProtocolStep::Detect { scan_time })
+        .with_step(ProtocolStep::Isolate { id: ParticleId(2) })
+        .with_step(ProtocolStep::Wash {
+            keep: vec![ParticleId(2)],
+        })
+        .with_step(ProtocolStep::Recover {
+            id: ParticleId(2),
+            handling_time: Seconds::from_minutes(1.0),
+        });
+
+    let mut manipulator = Manipulator::new(dims);
+    let report = ProtocolExecutor::new(&mut manipulator)
+        .run(&protocol)
+        .expect("assay executes");
+    assert_eq!(report.recovered, vec![ParticleId(2)]);
+    assert!(report.time.fluidics > report.time.motion);
+    assert!(report.time.motion > report.time.sensing);
+
+    // The final state of the manipulation is programmable on the chip.
+    let mut chip = chip;
+    chip.program_pattern(&manipulator.grid().to_pattern())
+        .expect("final pattern programmable");
+    assert_eq!(chip.cage_count(), manipulator.grid().particle_count());
+}
+
+#[test]
+fn routed_plans_respect_the_cage_separation_at_every_step() {
+    let config = labchip::experiments::e7_routing::Config {
+        array_side: 32,
+        ..labchip::experiments::e7_routing::Config::default()
+    };
+    let problem = labchip::experiments::e7_routing::generate_problem(&config, 20);
+    let outcome = Router::new(RoutingStrategy::PrioritizedAStar)
+        .solve(&problem)
+        .expect("valid problem");
+    assert!(outcome.success_rate(problem.requests.len()) > 0.9);
+    assert!(outcome.is_conflict_free(problem.min_separation));
+}

@@ -1,0 +1,41 @@
+//! # labchip-manipulation
+//!
+//! Cell-manipulation layer of the `labchip` workspace: the software that
+//! turns "move this cell there" into sequences of electrode patterns.
+//!
+//! The DATE'05 paper's chip creates a DEP cage above each counter-phase
+//! electrode and moves a cage — with its trapped cell — by shifting the
+//! voltage pattern one electrode at a time (§1). At the scale of tens of
+//! thousands of simultaneous cages the interesting problems are software
+//! problems: route many cells concurrently without letting their cages merge,
+//! sequence merge/split/isolate operations, and schedule whole assay
+//! protocols. This crate provides:
+//!
+//! * the [`cage`] grid tracking which electrode hosts which particle,
+//! * conflict-free multi-particle [`routing`] (space–time A* with reservation
+//!   tables, plus a greedy baseline),
+//! * high-level [`ops`] (move, merge, isolate, park, wash),
+//! * an assay [`protocol`] description and executor,
+//! * throughput [`metrics`].
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cage;
+pub mod error;
+pub mod metrics;
+pub mod ops;
+pub mod protocol;
+pub mod routing;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::cage::{CageGrid, ParticleId};
+    pub use crate::error::ManipulationError;
+    pub use crate::metrics::ThroughputReport;
+    pub use crate::ops::Manipulator;
+    pub use crate::protocol::{Protocol, ProtocolExecutor, ProtocolReport, ProtocolStep};
+    pub use crate::routing::{Router, RoutingOutcome, RoutingProblem, RoutingStrategy};
+}
+
+pub use error::ManipulationError;

@@ -1,0 +1,402 @@
+//! High-level manipulation operations.
+//!
+//! The [`Manipulator`] owns a [`CageGrid`] and executes operations on it:
+//! moving a particle to a target cage, merging two particles into one cage
+//! (e.g. forcing cell–cell or cell–bead contact), isolating a particle away
+//! from a crowd, parking groups, and washing (moving every non-target
+//! particle to a disposal edge). Every operation is executed step by step
+//! through the conflict rules of the grid, and the resulting timeline of
+//! patterns is what the actuation array ultimately plays back.
+
+use crate::cage::{CageGrid, ParticleId};
+use crate::error::ManipulationError;
+use crate::routing::{Router, RoutingProblem, RoutingRequest, RoutingStrategy};
+use labchip_array::pattern::CagePattern;
+use labchip_units::{GridCoord, GridDims, Meters, MetersPerSecond, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Result of executing one operation: the per-step cage patterns and summary
+/// figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperationReport {
+    /// Cage pattern to program at each step (one entry per cage step,
+    /// including the final state).
+    pub frames: Vec<CagePattern>,
+    /// Number of cage steps the operation took.
+    pub steps: usize,
+    /// Total individual cage moves across all particles.
+    pub moves: usize,
+    /// Wall-clock duration at the configured cage-step period.
+    pub duration: Seconds,
+}
+
+/// Executes high-level operations on a cage grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manipulator {
+    grid: CageGrid,
+    router: Router,
+    /// Electrode pitch (used to convert steps into travel distance).
+    pub pitch: Meters,
+    /// Speed at which a cell reliably follows its cage.
+    pub cell_speed: MetersPerSecond,
+}
+
+impl Manipulator {
+    /// Creates a manipulator over an empty grid with the DATE'05 reference
+    /// geometry (20 µm pitch) and a 50 µm/s cell-following speed.
+    pub fn new(dims: GridDims) -> Self {
+        Self {
+            grid: CageGrid::new(dims),
+            router: Router::new(RoutingStrategy::PrioritizedAStar),
+            pitch: Meters::from_micrometers(20.0),
+            cell_speed: MetersPerSecond::from_micrometers_per_second(50.0),
+        }
+    }
+
+    /// Replaces the routing strategy.
+    pub fn set_strategy(&mut self, strategy: RoutingStrategy) {
+        self.router = Router::new(strategy);
+    }
+
+    /// Read access to the cage grid.
+    pub fn grid(&self) -> &CageGrid {
+        &self.grid
+    }
+
+    /// Mutable access to the cage grid (loading samples, manual placement).
+    pub fn grid_mut(&mut self) -> &mut CageGrid {
+        &mut self.grid
+    }
+
+    /// Duration of one cage step at the configured speed.
+    pub fn step_period(&self) -> Seconds {
+        self.pitch / self.cell_speed
+    }
+
+    /// Routes a set of particles to target cages simultaneously and applies
+    /// the motion to the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManipulationError::RoutingFailed`] when any particle cannot
+    /// be routed; the grid is left unchanged in that case.
+    pub fn move_group(
+        &mut self,
+        targets: &[(ParticleId, GridCoord)],
+    ) -> Result<OperationReport, ManipulationError> {
+        let mut requests = Vec::with_capacity(targets.len());
+        for (id, goal) in targets {
+            requests.push(RoutingRequest {
+                id: *id,
+                start: self.grid.position(*id)?,
+                goal: *goal,
+            });
+        }
+        // Particles that are not being moved are static obstacles: model them
+        // as zero-length requests so the router keeps everyone apart.
+        for (id, pos) in self.grid.particles() {
+            if !targets.iter().any(|(t, _)| *t == id) {
+                requests.push(RoutingRequest {
+                    id,
+                    start: pos,
+                    goal: pos,
+                });
+            }
+        }
+
+        let mut problem = RoutingProblem::new(self.grid.dims(), requests);
+        problem.min_separation = self.grid.min_separation();
+        let outcome = self.router.solve(&problem)?;
+
+        let moved_ids: Vec<ParticleId> = targets.iter().map(|(id, _)| *id).collect();
+        let failed: Vec<ParticleId> = moved_ids
+            .iter()
+            .copied()
+            .filter(|id| !outcome.paths.iter().any(|p| p.id == *id))
+            .collect();
+        if !failed.is_empty() {
+            return Err(ManipulationError::RoutingFailed {
+                unrouted: failed.len(),
+                reason: format!("could not route particles {failed:?}"),
+            });
+        }
+
+        // Play the paths back onto the grid, recording one pattern per step.
+        // Every step is applied synchronously, as the hardware does when it
+        // reprograms the whole electrode pattern in one frame.
+        let mut frames = Vec::with_capacity(outcome.makespan + 1);
+        frames.push(self.grid.to_pattern());
+        for t in 1..=outcome.makespan {
+            let mut moves = Vec::new();
+            for path in &outcome.paths {
+                let next = path.position_at(t);
+                let current = self.grid.position(path.id)?;
+                if next != current {
+                    moves.push((path.id, next));
+                }
+            }
+            self.grid.apply_step(&moves)?;
+            frames.push(self.grid.to_pattern());
+        }
+
+        Ok(OperationReport {
+            steps: outcome.makespan,
+            moves: outcome.total_moves,
+            duration: self.step_period() * outcome.makespan as f64,
+            frames,
+        })
+    }
+
+    /// Moves a single particle to a target cage.
+    ///
+    /// # Errors
+    ///
+    /// See [`Manipulator::move_group`].
+    pub fn move_particle(
+        &mut self,
+        id: ParticleId,
+        goal: GridCoord,
+    ) -> Result<OperationReport, ManipulationError> {
+        self.move_group(&[(id, goal)])
+    }
+
+    /// Brings `a` and `b` into the same cage (cell–cell contact): `b` is
+    /// routed to a cage adjacent to `a`, then the two cages are merged by
+    /// placing `b` on top of `a`'s electrode. After the merge both ids map to
+    /// the same position.
+    ///
+    /// # Errors
+    ///
+    /// See [`Manipulator::move_group`]; additionally fails if no approach
+    /// cage adjacent to `a` is available.
+    pub fn merge(
+        &mut self,
+        a: ParticleId,
+        b: ParticleId,
+    ) -> Result<OperationReport, ManipulationError> {
+        let target = self.grid.position(a)?;
+        let sep = self.grid.min_separation();
+        // Find an approach cage exactly `sep` away from `a` (the closest
+        // allowed position), preferring the direction `b` is coming from.
+        let from = self.grid.position(b)?;
+        let mut candidates: Vec<GridCoord> = self
+            .grid
+            .dims()
+            .iter()
+            .filter(|c| target.chebyshev(*c) == sep && self.grid.is_free_for(*c, &[b]))
+            .collect();
+        candidates.sort_by_key(|c| c.manhattan(from));
+        let approach = candidates.first().copied().ok_or_else(|| {
+            ManipulationError::SiteConflict {
+                coord: target,
+                reason: "no free approach cage around the merge target".into(),
+            }
+        })?;
+
+        let mut report = self.move_particle(b, approach)?;
+
+        // Final merge: collapse the two cages into one. This intentionally
+        // bypasses the separation rule — merging is the one operation that
+        // wants the traps to coalesce — so the grid is updated by removing
+        // and re-placing `b` at `a`'s electrode without the separation check.
+        let merge_steps = approach.chebyshev(target) as usize;
+        self.grid.place_merged(b, target);
+        report.steps += merge_steps;
+        report.moves += merge_steps;
+        report.duration += self.step_period() * merge_steps as f64;
+        report.frames.push(self.grid.to_pattern());
+        Ok(report)
+    }
+
+    /// Moves `id` to the most isolated free cage along the array edge —
+    /// used to separate a target cell from the crowd before recovery.
+    ///
+    /// # Errors
+    ///
+    /// See [`Manipulator::move_group`]; fails when no edge cage is free.
+    pub fn isolate(&mut self, id: ParticleId) -> Result<OperationReport, ManipulationError> {
+        let dims = self.grid.dims();
+        let others: Vec<GridCoord> = self
+            .grid
+            .particles()
+            .iter()
+            .filter(|(other, _)| *other != id)
+            .map(|(_, pos)| *pos)
+            .collect();
+        // Candidate edge cages, scored by distance to the nearest other
+        // particle (larger is better).
+        let mut best: Option<(u32, GridCoord)> = None;
+        for c in dims.iter() {
+            let on_edge =
+                c.x == 0 || c.y == 0 || c.x == dims.cols - 1 || c.y == dims.rows - 1;
+            if !on_edge || !self.grid.is_free_for(c, &[id]) {
+                continue;
+            }
+            let clearance = others.iter().map(|o| o.chebyshev(c)).min().unwrap_or(u32::MAX);
+            if best.is_none_or(|(b, _)| clearance > b) {
+                best = Some((clearance, c));
+            }
+        }
+        let (_, target) = best.ok_or(ManipulationError::SiteConflict {
+            coord: GridCoord::new(0, 0),
+            reason: "no free edge cage available for isolation".into(),
+        })?;
+        self.move_particle(id, target)
+    }
+
+    /// Moves every particle *except* the listed targets to the rightmost
+    /// column region (the waste side), emptying the working area.
+    ///
+    /// # Errors
+    ///
+    /// See [`Manipulator::move_group`].
+    pub fn wash_except(
+        &mut self,
+        keep: &[ParticleId],
+    ) -> Result<OperationReport, ManipulationError> {
+        let dims = self.grid.dims();
+        let sep = self.grid.min_separation();
+        let discard: Vec<ParticleId> = self
+            .grid
+            .particles()
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|id| !keep.contains(id))
+            .collect();
+        // Assign waste slots along the right edge, spaced by the separation.
+        let mut targets = Vec::new();
+        let mut slot_index = 0u32;
+        for id in &discard {
+            let column = dims.cols - 1 - (slot_index / (dims.rows / sep)) * sep;
+            let row = (slot_index % (dims.rows / sep)) * sep;
+            targets.push((*id, GridCoord::new(column, row)));
+            slot_index += 1;
+        }
+        if targets.is_empty() {
+            return Ok(OperationReport {
+                frames: vec![self.grid.to_pattern()],
+                steps: 0,
+                moves: 0,
+                duration: Seconds::ZERO,
+            });
+        }
+        self.move_group(&targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manipulator_with(particles: &[(u64, (u32, u32))]) -> Manipulator {
+        let mut m = Manipulator::new(GridDims::square(24));
+        for (id, (x, y)) in particles {
+            m.grid_mut()
+                .place(ParticleId(*id), GridCoord::new(*x, *y))
+                .unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn move_particle_produces_one_frame_per_step() {
+        let mut m = manipulator_with(&[(1, (2, 2))]);
+        let report = m.move_particle(ParticleId(1), GridCoord::new(10, 2)).unwrap();
+        assert_eq!(report.steps, 8);
+        assert_eq!(report.frames.len(), report.steps + 1);
+        assert_eq!(
+            m.grid().position(ParticleId(1)).unwrap(),
+            GridCoord::new(10, 2)
+        );
+        // At 50 µm/s and 20 µm pitch a step takes 0.4 s.
+        assert!((report.duration.get() - 8.0 * 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn move_group_keeps_everyone_apart() {
+        let mut m = manipulator_with(&[(1, (2, 2)), (2, (2, 10)), (3, (20, 6))]);
+        let report = m
+            .move_group(&[
+                (ParticleId(1), GridCoord::new(18, 2)),
+                (ParticleId(2), GridCoord::new(18, 10)),
+            ])
+            .unwrap();
+        assert!(report.steps >= 16);
+        assert_eq!(
+            m.grid().position(ParticleId(1)).unwrap(),
+            GridCoord::new(18, 2)
+        );
+        assert_eq!(
+            m.grid().position(ParticleId(3)).unwrap(),
+            GridCoord::new(20, 6),
+            "unmoved particles stay put"
+        );
+    }
+
+    #[test]
+    fn merge_brings_particles_into_one_cage() {
+        let mut m = manipulator_with(&[(1, (10, 10)), (2, (3, 10))]);
+        let report = m.merge(ParticleId(1), ParticleId(2)).unwrap();
+        assert!(report.steps > 0);
+        let a = m.grid().position(ParticleId(1)).unwrap();
+        let b = m.grid().position(ParticleId(2)).unwrap();
+        assert_eq!(a, b, "after merging both particles share a cage");
+        assert_eq!(a, GridCoord::new(10, 10));
+    }
+
+    #[test]
+    fn isolate_moves_particle_to_a_clear_edge() {
+        let mut m = manipulator_with(&[(1, (10, 10)), (2, (12, 10)), (3, (10, 12))]);
+        let report = m.isolate(ParticleId(1)).unwrap();
+        assert!(report.steps > 0);
+        let pos = m.grid().position(ParticleId(1)).unwrap();
+        let dims = m.grid().dims();
+        assert!(
+            pos.x == 0 || pos.y == 0 || pos.x == dims.cols - 1 || pos.y == dims.rows - 1,
+            "isolated particle should sit on the array edge, got {pos}"
+        );
+        // And it should now be far from the others.
+        for other in [ParticleId(2), ParticleId(3)] {
+            let d = m.grid().position(other).unwrap().chebyshev(pos);
+            assert!(d >= 5, "isolation left particles only {d} cages apart");
+        }
+    }
+
+    #[test]
+    fn wash_except_clears_everything_but_the_target() {
+        let mut m = manipulator_with(&[(1, (10, 10)), (2, (6, 6)), (3, (14, 14))]);
+        let report = m.wash_except(&[ParticleId(1)]).unwrap();
+        assert!(report.steps > 0);
+        assert_eq!(
+            m.grid().position(ParticleId(1)).unwrap(),
+            GridCoord::new(10, 10),
+            "the kept particle does not move"
+        );
+        let dims = m.grid().dims();
+        for id in [ParticleId(2), ParticleId(3)] {
+            let pos = m.grid().position(id).unwrap();
+            assert!(
+                pos.x >= dims.cols - 1 - m.grid().min_separation(),
+                "washed particle {id:?} should be near the waste edge, got {pos}"
+            );
+        }
+        // Washing with nothing to wash is a no-op.
+        let mut only_one = manipulator_with(&[(9, (5, 5))]);
+        let noop = only_one.wash_except(&[ParticleId(9)]).unwrap();
+        assert_eq!(noop.steps, 0);
+    }
+
+    #[test]
+    fn moving_an_unknown_particle_fails() {
+        let mut m = manipulator_with(&[(1, (2, 2))]);
+        assert!(m.move_particle(ParticleId(99), GridCoord::new(5, 5)).is_err());
+    }
+
+    #[test]
+    fn step_period_follows_speed() {
+        let mut m = manipulator_with(&[]);
+        assert!((m.step_period().get() - 0.4).abs() < 1e-9);
+        m.cell_speed = MetersPerSecond::from_micrometers_per_second(100.0);
+        assert!((m.step_period().get() - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,355 @@
+//! Assay protocols: declarative sequences of manipulation steps.
+//!
+//! A protocol is the software artefact a biologist would actually write: load
+//! the sample, detect where the cells are, isolate the interesting ones, move
+//! them to the recovery port, discard the rest. The executor turns each step
+//! into [`Manipulator`] operations and accounts for the time spent in each
+//! phase — producing the electronics/mechanics/fluidics time breakdown of the
+//! end-to-end experiment (E9).
+
+use crate::cage::ParticleId;
+use crate::error::ManipulationError;
+use crate::ops::Manipulator;
+use labchip_array::pattern::CagePattern;
+use labchip_units::{GridCoord, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// One step of an assay protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProtocolStep {
+    /// Load particles at the sites of a cage pattern (sample injection plus
+    /// initial trapping), taking the given fluidic handling time.
+    LoadSample {
+        /// Where the particles end up trapped.
+        pattern: CagePattern,
+        /// Fluidic handling time (pipetting, settling, trapping).
+        handling_time: Seconds,
+    },
+    /// Scan the sensors to build the occupancy map; `scan_time` is the total
+    /// (averaged) scan duration.
+    Detect {
+        /// Total sensor scan time, including averaging.
+        scan_time: Seconds,
+    },
+    /// Move one particle to a target cage.
+    Move {
+        /// Which particle.
+        id: ParticleId,
+        /// Where it must go.
+        goal: GridCoord,
+    },
+    /// Move a group of particles concurrently.
+    MoveGroup {
+        /// (particle, goal) pairs.
+        targets: Vec<(ParticleId, GridCoord)>,
+    },
+    /// Bring two particles into the same cage.
+    Merge {
+        /// The stationary particle.
+        keep: ParticleId,
+        /// The particle routed into the shared cage.
+        bring: ParticleId,
+    },
+    /// Isolate a particle to a clear edge cage.
+    Isolate {
+        /// Which particle.
+        id: ParticleId,
+    },
+    /// Move every particle except the listed ones towards the waste edge.
+    Wash {
+        /// Particles to keep in place.
+        keep: Vec<ParticleId>,
+    },
+    /// Remove a particle from the chip (recovered through the outlet),
+    /// taking the given fluidic handling time.
+    Recover {
+        /// Which particle.
+        id: ParticleId,
+        /// Fluidic handling time.
+        handling_time: Seconds,
+    },
+}
+
+/// A named list of protocol steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Protocol {
+    /// Human-readable name.
+    pub name: String,
+    /// The steps, executed in order.
+    pub steps: Vec<ProtocolStep>,
+}
+
+impl Protocol {
+    /// Creates an empty protocol.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends a step (builder style).
+    pub fn with_step(mut self, step: ProtocolStep) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the protocol has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Where the time of a protocol went.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Fluidic handling (loading, recovery).
+    pub fluidics: Seconds,
+    /// Sensor scanning and averaging.
+    pub sensing: Seconds,
+    /// Cage motion (the mechanics of dragging cells).
+    pub motion: Seconds,
+}
+
+impl TimeBreakdown {
+    /// Total protocol duration.
+    pub fn total(&self) -> Seconds {
+        self.fluidics + self.sensing + self.motion
+    }
+}
+
+/// Result of executing a protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolReport {
+    /// Protocol name.
+    pub name: String,
+    /// Steps executed.
+    pub steps_executed: usize,
+    /// Total cage steps across all motion operations.
+    pub cage_steps: usize,
+    /// Time breakdown by phase.
+    pub time: TimeBreakdown,
+    /// Particles recovered (removed from the chip).
+    pub recovered: Vec<ParticleId>,
+}
+
+/// Executes protocols against a [`Manipulator`].
+#[derive(Debug)]
+pub struct ProtocolExecutor<'a> {
+    manipulator: &'a mut Manipulator,
+}
+
+impl<'a> ProtocolExecutor<'a> {
+    /// Creates an executor borrowing the manipulator.
+    pub fn new(manipulator: &'a mut Manipulator) -> Self {
+        Self { manipulator }
+    }
+
+    /// Runs a protocol to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first operation error; the manipulator state reflects the
+    /// steps executed up to that point.
+    pub fn run(&mut self, protocol: &Protocol) -> Result<ProtocolReport, ManipulationError> {
+        let mut time = TimeBreakdown::default();
+        let mut cage_steps = 0usize;
+        let mut recovered = Vec::new();
+        let mut next_particle_id = 0u64;
+
+        for step in &protocol.steps {
+            match step {
+                ProtocolStep::LoadSample {
+                    pattern,
+                    handling_time,
+                } => {
+                    if pattern.dims() != self.manipulator.grid().dims() {
+                        return Err(ManipulationError::InvalidProtocol {
+                            reason: format!(
+                                "load pattern built for {} but the chip is {}",
+                                pattern.dims(),
+                                self.manipulator.grid().dims()
+                            ),
+                        });
+                    }
+                    let ids = self
+                        .manipulator
+                        .grid_mut()
+                        .load_from_pattern(pattern, next_particle_id)?;
+                    next_particle_id += ids.len() as u64;
+                    time.fluidics += *handling_time;
+                }
+                ProtocolStep::Detect { scan_time } => {
+                    time.sensing += *scan_time;
+                }
+                ProtocolStep::Move { id, goal } => {
+                    let report = self.manipulator.move_particle(*id, *goal)?;
+                    cage_steps += report.steps;
+                    time.motion += report.duration;
+                }
+                ProtocolStep::MoveGroup { targets } => {
+                    let report = self.manipulator.move_group(targets)?;
+                    cage_steps += report.steps;
+                    time.motion += report.duration;
+                }
+                ProtocolStep::Merge { keep, bring } => {
+                    let report = self.manipulator.merge(*keep, *bring)?;
+                    cage_steps += report.steps;
+                    time.motion += report.duration;
+                }
+                ProtocolStep::Isolate { id } => {
+                    let report = self.manipulator.isolate(*id)?;
+                    cage_steps += report.steps;
+                    time.motion += report.duration;
+                }
+                ProtocolStep::Wash { keep } => {
+                    let report = self.manipulator.wash_except(keep)?;
+                    cage_steps += report.steps;
+                    time.motion += report.duration;
+                }
+                ProtocolStep::Recover { id, handling_time } => {
+                    self.manipulator.grid_mut().remove(*id)?;
+                    recovered.push(*id);
+                    time.fluidics += *handling_time;
+                }
+            }
+        }
+
+        Ok(ProtocolReport {
+            name: protocol.name.clone(),
+            steps_executed: protocol.steps.len(),
+            cage_steps,
+            time,
+            recovered,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labchip_array::pattern::PatternKind;
+    use labchip_units::GridDims;
+
+    fn load_pattern(dims: GridDims) -> CagePattern {
+        CagePattern::new(
+            dims,
+            PatternKind::Custom(vec![
+                GridCoord::new(4, 4),
+                GridCoord::new(10, 4),
+                GridCoord::new(16, 4),
+            ]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_protocol_runs_and_accounts_time() {
+        let dims = GridDims::square(24);
+        let mut manipulator = Manipulator::new(dims);
+        let protocol = Protocol::new("isolate-and-recover")
+            .with_step(ProtocolStep::LoadSample {
+                pattern: load_pattern(dims),
+                handling_time: Seconds::from_minutes(2.0),
+            })
+            .with_step(ProtocolStep::Detect {
+                scan_time: Seconds::from_millis(200.0),
+            })
+            .with_step(ProtocolStep::Move {
+                id: ParticleId(0),
+                goal: GridCoord::new(4, 18),
+            })
+            .with_step(ProtocolStep::Isolate { id: ParticleId(1) })
+            .with_step(ProtocolStep::Wash {
+                keep: vec![ParticleId(0), ParticleId(1)],
+            })
+            .with_step(ProtocolStep::Recover {
+                id: ParticleId(1),
+                handling_time: Seconds::from_minutes(1.0),
+            });
+
+        let mut executor = ProtocolExecutor::new(&mut manipulator);
+        let report = executor.run(&protocol).unwrap();
+
+        assert_eq!(report.steps_executed, 6);
+        assert!(report.cage_steps > 0);
+        assert_eq!(report.recovered, vec![ParticleId(1)]);
+        // Fluidics dominates the budget: 3 minutes of handling vs seconds of
+        // motion and milliseconds of sensing — the paper's "mass transfer is
+        // slow" observation at assay level.
+        assert!(report.time.fluidics > report.time.motion);
+        assert!(report.time.motion > report.time.sensing);
+        assert!((report.time.total().get()
+            - (report.time.fluidics.get() + report.time.sensing.get() + report.time.motion.get()))
+        .abs()
+            < 1e-9);
+        // The recovered particle is gone from the grid.
+        assert!(manipulator.grid().position(ParticleId(1)).is_err());
+        assert_eq!(manipulator.grid().particle_count(), 2);
+    }
+
+    #[test]
+    fn mismatched_load_pattern_is_rejected() {
+        let mut manipulator = Manipulator::new(GridDims::square(24));
+        let protocol = Protocol::new("bad-load").with_step(ProtocolStep::LoadSample {
+            pattern: load_pattern(GridDims::square(30)),
+            handling_time: Seconds::from_minutes(1.0),
+        });
+        let err = ProtocolExecutor::new(&mut manipulator)
+            .run(&protocol)
+            .unwrap_err();
+        assert!(matches!(err, ManipulationError::InvalidProtocol { .. }));
+    }
+
+    #[test]
+    fn recovering_unknown_particle_fails() {
+        let mut manipulator = Manipulator::new(GridDims::square(24));
+        let protocol = Protocol::new("bad-recover").with_step(ProtocolStep::Recover {
+            id: ParticleId(3),
+            handling_time: Seconds::from_minutes(1.0),
+        });
+        assert!(ProtocolExecutor::new(&mut manipulator).run(&protocol).is_err());
+    }
+
+    #[test]
+    fn protocol_builder_accessors() {
+        let p = Protocol::new("empty");
+        assert!(p.is_empty());
+        let p = p.with_step(ProtocolStep::Detect {
+            scan_time: Seconds::from_millis(1.0),
+        });
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert_eq!(p.name, "empty");
+    }
+
+    #[test]
+    fn merge_step_in_protocol() {
+        let dims = GridDims::square(24);
+        let mut manipulator = Manipulator::new(dims);
+        let pattern = CagePattern::new(
+            dims,
+            PatternKind::Custom(vec![GridCoord::new(5, 5), GridCoord::new(15, 5)]),
+        )
+        .unwrap();
+        let protocol = Protocol::new("merge")
+            .with_step(ProtocolStep::LoadSample {
+                pattern,
+                handling_time: Seconds::from_minutes(1.0),
+            })
+            .with_step(ProtocolStep::Merge {
+                keep: ParticleId(0),
+                bring: ParticleId(1),
+            });
+        let report = ProtocolExecutor::new(&mut manipulator).run(&protocol).unwrap();
+        assert!(report.cage_steps > 0);
+        let a = manipulator.grid().position(ParticleId(0)).unwrap();
+        let b = manipulator.grid().position(ParticleId(1)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,705 @@
+//! Conflict-free multi-particle routing.
+//!
+//! Moving one cage is trivial; moving thousands of cages concurrently without
+//! letting any two traps merge is a path-planning problem. Two planners are
+//! provided:
+//!
+//! * [`RoutingStrategy::PrioritizedAStar`] — space–time A\* with reservation
+//!   tables: particles are planned one at a time (longest distance first),
+//!   each treating the already-planned particles as moving obstacles and the
+//!   not-yet-planned ones as static obstacles at their start positions;
+//! * [`RoutingStrategy::Greedy`] — the obvious baseline: every step, every
+//!   particle moves towards its goal if the next cage is free, otherwise it
+//!   waits. Cheap, but it livelocks as density grows — which is exactly the
+//!   comparison experiment E7 reports.
+
+use crate::cage::ParticleId;
+use crate::error::ManipulationError;
+use labchip_units::{GridCoord, GridDims};
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// One routing request: take a particle from `start` to `goal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingRequest {
+    /// The particle to move.
+    pub id: ParticleId,
+    /// Its current cage.
+    pub start: GridCoord,
+    /// The cage it must end up in.
+    pub goal: GridCoord,
+}
+
+/// A complete multi-particle routing problem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingProblem {
+    /// Electrode-grid dimensions.
+    pub dims: GridDims,
+    /// Minimum Chebyshev separation between any two cages at any time.
+    pub min_separation: u32,
+    /// The requests to satisfy.
+    pub requests: Vec<RoutingRequest>,
+    /// Planning horizon in cage steps.
+    pub max_steps: usize,
+}
+
+impl RoutingProblem {
+    /// Creates a problem with the default separation (2) and a horizon of
+    /// four grid diameters.
+    pub fn new(dims: GridDims, requests: Vec<RoutingRequest>) -> Self {
+        Self {
+            dims,
+            min_separation: 2,
+            requests,
+            max_steps: 4 * (dims.cols + dims.rows) as usize,
+        }
+    }
+
+    /// Validates that starts and goals are in bounds and mutually compatible
+    /// with the separation rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManipulationError::OutOfBounds`] or
+    /// [`ManipulationError::SiteConflict`] describing the first problem.
+    pub fn validate(&self) -> Result<(), ManipulationError> {
+        for r in &self.requests {
+            for c in [r.start, r.goal] {
+                if !self.dims.contains(c) {
+                    return Err(ManipulationError::OutOfBounds { coord: c });
+                }
+            }
+        }
+        for (i, a) in self.requests.iter().enumerate() {
+            for b in &self.requests[i + 1..] {
+                if a.start.chebyshev(b.start) < self.min_separation {
+                    return Err(ManipulationError::SiteConflict {
+                        coord: b.start,
+                        reason: format!("starts of #{} and #{} too close", a.id.0, b.id.0),
+                    });
+                }
+                if a.goal.chebyshev(b.goal) < self.min_separation {
+                    return Err(ManipulationError::SiteConflict {
+                        coord: b.goal,
+                        reason: format!("goals of #{} and #{} too close", a.id.0, b.id.0),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The planner to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RoutingStrategy {
+    /// Space–time A\* with reservations (the proposed planner).
+    #[default]
+    PrioritizedAStar,
+    /// Step-synchronous greedy motion (the baseline).
+    Greedy,
+}
+
+/// The planned trajectory of one particle. `positions[t]` is the cage at
+/// step `t`; once the goal is reached the particle stays there.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParticlePath {
+    /// The particle this path belongs to.
+    pub id: ParticleId,
+    /// Cage position at every step from 0 to the end of the path.
+    pub positions: Vec<GridCoord>,
+}
+
+impl ParticlePath {
+    /// Position at step `t` (clamped to the final position).
+    pub fn position_at(&self, t: usize) -> GridCoord {
+        self.positions[t.min(self.positions.len() - 1)]
+    }
+
+    /// Number of actual moves (steps where the position changes).
+    pub fn move_count(&self) -> usize {
+        self.positions
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count()
+    }
+
+    /// Number of steps until the final position is first reached.
+    pub fn arrival_step(&self) -> usize {
+        let last = *self.positions.last().expect("paths are never empty");
+        self.positions
+            .iter()
+            .position(|p| *p == last && self.positions.iter().skip(1).all(|_| true))
+            .map(|_| {
+                // First index from which the position never changes again.
+                let mut arrival = self.positions.len() - 1;
+                while arrival > 0 && self.positions[arrival - 1] == last {
+                    arrival -= 1;
+                }
+                arrival
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// Result of solving a routing problem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingOutcome {
+    /// Paths of the particles that were routed successfully.
+    pub paths: Vec<ParticlePath>,
+    /// Particles that could not be routed within the horizon.
+    pub unrouted: Vec<ParticleId>,
+    /// Number of steps until the last routed particle reaches its goal.
+    pub makespan: usize,
+    /// Total number of individual cage moves across all particles.
+    pub total_moves: usize,
+}
+
+impl RoutingOutcome {
+    /// Fraction of requests that were routed.
+    pub fn success_rate(&self, total_requests: usize) -> f64 {
+        if total_requests == 0 {
+            1.0
+        } else {
+            self.paths.len() as f64 / total_requests as f64
+        }
+    }
+
+    /// Returns `true` when every pair of routed particles respects the
+    /// separation rule at every step — the correctness invariant of the
+    /// planner.
+    pub fn is_conflict_free(&self, min_separation: u32) -> bool {
+        let horizon = self.makespan.max(1);
+        for t in 0..=horizon {
+            for (i, a) in self.paths.iter().enumerate() {
+                for b in &self.paths[i + 1..] {
+                    if a.position_at(t).chebyshev(b.position_at(t)) < min_separation {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Multi-particle router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Router {
+    /// Strategy to use.
+    pub strategy: RoutingStrategy,
+}
+
+impl Router {
+    /// Creates a router using the given strategy.
+    pub fn new(strategy: RoutingStrategy) -> Self {
+        Self { strategy }
+    }
+
+    /// Solves a routing problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of an ill-formed problem; an unsolvable
+    /// but well-formed problem is reported through
+    /// [`RoutingOutcome::unrouted`] instead.
+    pub fn solve(&self, problem: &RoutingProblem) -> Result<RoutingOutcome, ManipulationError> {
+        problem.validate()?;
+        let outcome = match self.strategy {
+            RoutingStrategy::PrioritizedAStar => prioritized_astar(problem),
+            RoutingStrategy::Greedy => greedy(problem),
+        };
+        Ok(outcome)
+    }
+}
+
+fn finalize(paths: Vec<ParticlePath>, unrouted: Vec<ParticleId>) -> RoutingOutcome {
+    let makespan = paths.iter().map(|p| p.arrival_step()).max().unwrap_or(0);
+    let total_moves = paths.iter().map(|p| p.move_count()).sum();
+    RoutingOutcome {
+        paths,
+        unrouted,
+        makespan,
+        total_moves,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prioritized space-time A*
+// ---------------------------------------------------------------------------
+
+#[derive(PartialEq, Eq)]
+struct OpenNode {
+    f: usize,
+    t: usize,
+    coord: GridCoord,
+}
+
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert to get smallest f first.
+        other
+            .f
+            .cmp(&self.f)
+            .then_with(|| other.t.cmp(&self.t))
+            .then_with(|| other.coord.cmp(&self.coord))
+    }
+}
+
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reservation table of already-planned particles (space–time blocked zones).
+struct Reservations {
+    min_separation: i32,
+    /// Blocked cells per time step.
+    dynamic: Vec<HashSet<GridCoord>>,
+}
+
+impl Reservations {
+    fn new(horizon: usize, min_separation: u32) -> Self {
+        Self {
+            min_separation: min_separation as i32,
+            dynamic: vec![HashSet::new(); horizon + 2],
+        }
+    }
+
+    fn block_zone(set: &mut HashSet<GridCoord>, center: GridCoord, radius: i32) {
+        for dy in -(radius - 1)..radius {
+            for dx in -(radius - 1)..radius {
+                if let Some(c) = center.offset(dx, dy) {
+                    set.insert(c);
+                }
+            }
+        }
+    }
+
+    fn add_path(&mut self, path: &ParticlePath) {
+        let horizon = self.dynamic.len();
+        for t in 0..horizon {
+            let pos = path.position_at(t);
+            Self::block_zone(&mut self.dynamic[t], pos, self.min_separation);
+        }
+    }
+
+    fn is_free(&self, coord: GridCoord, t: usize) -> bool {
+        let t = t.min(self.dynamic.len() - 1);
+        !self.dynamic[t].contains(&coord)
+    }
+
+    /// Whether a particle parked at `coord` from step `t` onwards stays clear
+    /// of every later reservation.
+    fn is_free_forever(&self, coord: GridCoord, t: usize) -> bool {
+        (t..self.dynamic.len()).all(|step| self.is_free(coord, step))
+    }
+}
+
+/// Attempts to plan every pending request in priority order against the
+/// reservations of the already-routed paths; when `treat_pending_as_static`
+/// is set, the starts of the *other* still-pending particles are treated as
+/// permanent obstacles (conservative), otherwise they are ignored
+/// (optimistic). Returns the requests that remain unplanned.
+fn plan_round<'a>(
+    problem: &RoutingProblem,
+    paths: &mut Vec<ParticlePath>,
+    pending: Vec<&'a RoutingRequest>,
+    treat_pending_as_static: bool,
+) -> Vec<&'a RoutingRequest> {
+    let mut queue = pending;
+    queue.sort_by_key(|r| std::cmp::Reverse(r.start.manhattan(r.goal)));
+
+    let mut reservations = Reservations::new(problem.max_steps, problem.min_separation);
+    for path in paths.iter() {
+        reservations.add_path(path);
+    }
+    // Particles of this round that have not been planned yet sit parked at
+    // their starts; they shrink away as planning progresses.
+    let mut parked: Vec<(ParticleId, GridCoord)> = if treat_pending_as_static {
+        queue.iter().map(|r| (r.id, r.start)).collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut remaining: Vec<&RoutingRequest> = Vec::new();
+    for request in queue {
+        let others: Vec<GridCoord> = parked
+            .iter()
+            .filter(|(id, _)| *id != request.id)
+            .map(|(_, c)| *c)
+            .collect();
+        match space_time_astar(problem, request, &reservations, &others) {
+            Some(path) => {
+                reservations.add_path(&path);
+                parked.retain(|(id, _)| *id != request.id);
+                paths.push(path);
+            }
+            None => remaining.push(request),
+        }
+    }
+    remaining
+}
+
+/// Demotes routed (moving) paths that pass too close to a particle that is
+/// still parked at its start, returning the demoted requests to the pending
+/// pool so the plan stays physically executable.
+fn repair_demote<'a>(
+    problem: &'a RoutingProblem,
+    paths: &mut Vec<ParticlePath>,
+    pending: &mut Vec<&'a RoutingRequest>,
+) {
+    loop {
+        let parked: Vec<GridCoord> = pending.iter().map(|r| r.start).collect();
+        let mut demoted = Vec::new();
+        paths.retain(|path| {
+            if path.positions.len() == 1 {
+                return true;
+            }
+            let conflicts = parked.iter().any(|obstacle| {
+                (0..=problem.max_steps)
+                    .any(|t| path.position_at(t).chebyshev(*obstacle) < problem.min_separation)
+            });
+            if conflicts {
+                demoted.push(path.id);
+                false
+            } else {
+                true
+            }
+        });
+        if demoted.is_empty() {
+            break;
+        }
+        for id in demoted {
+            let request = problem
+                .requests
+                .iter()
+                .find(|r| r.id == id)
+                .expect("demoted ids come from the request list");
+            pending.push(request);
+        }
+    }
+}
+
+fn prioritized_astar(problem: &RoutingProblem) -> RoutingOutcome {
+    // Stationary requests (start == goal) are hard obstacles: they are
+    // trivially "routed" and reserved in every round.
+    let (stationary, moving): (Vec<&RoutingRequest>, Vec<&RoutingRequest>) = problem
+        .requests
+        .iter()
+        .partition(|r| r.start == r.goal);
+
+    let mut paths: Vec<ParticlePath> = stationary
+        .iter()
+        .map(|request| ParticlePath {
+            id: request.id,
+            positions: vec![request.start],
+        })
+        .collect();
+
+    let mut pending: Vec<&RoutingRequest> = moving;
+
+    // Conservative "peeling" rounds: plan whoever can reach their goal while
+    // treating the rest as parked; every round the planned paths vacate space
+    // for the next layer. When a round makes no progress, fall back to one
+    // optimistic round (needed for mutual exchanges) followed by a repair
+    // pass, and keep going while something improves.
+    const MAX_ROUNDS: usize = 16;
+    for _ in 0..MAX_ROUNDS {
+        if pending.is_empty() {
+            break;
+        }
+        let before = pending.len();
+        pending = plan_round(problem, &mut paths, pending, true);
+        if pending.len() < before {
+            continue;
+        }
+        // Stuck: optimistic round + repair.
+        pending = plan_round(problem, &mut paths, pending, false);
+        repair_demote(problem, &mut paths, &mut pending);
+        if pending.len() >= before {
+            break;
+        }
+    }
+
+    let unrouted: Vec<ParticleId> = {
+        let mut ids: Vec<ParticleId> = pending.iter().map(|r| r.id).collect();
+        ids.sort();
+        ids
+    };
+    paths.sort_by_key(|p| p.id);
+    finalize(paths, unrouted)
+}
+
+fn space_time_astar(
+    problem: &RoutingProblem,
+    request: &RoutingRequest,
+    reservations: &Reservations,
+    parked_obstacles: &[GridCoord],
+) -> Option<ParticlePath> {
+    let horizon = problem.max_steps;
+    let dims = problem.dims;
+    let start = request.start;
+    let goal = request.goal;
+    let sep = problem.min_separation;
+
+    let clear_of_parked =
+        |c: GridCoord| parked_obstacles.iter().all(|p| p.chebyshev(c) >= sep);
+    if !clear_of_parked(goal) {
+        return None;
+    }
+
+    let heuristic = |c: GridCoord| c.manhattan(goal) as usize;
+
+    let mut open = BinaryHeap::new();
+    let mut best_g: HashMap<(GridCoord, usize), usize> = HashMap::new();
+    let mut parent: HashMap<(GridCoord, usize), (GridCoord, usize)> = HashMap::new();
+
+    open.push(OpenNode {
+        f: heuristic(start),
+        t: 0,
+        coord: start,
+    });
+    best_g.insert((start, 0), 0);
+
+    while let Some(OpenNode { t, coord, .. }) = open.pop() {
+        if coord == goal && reservations.is_free_forever(goal, t) {
+            // Reconstruct.
+            let mut positions = vec![coord];
+            let mut key = (coord, t);
+            while let Some(prev) = parent.get(&key) {
+                positions.push(prev.0);
+                key = *prev;
+            }
+            positions.reverse();
+            return Some(ParticlePath {
+                id: request.id,
+                positions,
+            });
+        }
+        if t >= horizon {
+            continue;
+        }
+        let candidates = [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)];
+        for (dx, dy) in candidates {
+            let Some(next) = coord.offset(dx, dy) else {
+                continue;
+            };
+            if !dims.contains(next) {
+                continue;
+            }
+            if !reservations.is_free(next, t + 1) || !clear_of_parked(next) {
+                continue;
+            }
+            let g = t + 1;
+            let key = (next, g);
+            if best_g.get(&key).is_none_or(|&existing| g < existing) {
+                best_g.insert(key, g);
+                parent.insert(key, (coord, t));
+                open.push(OpenNode {
+                    f: g + heuristic(next),
+                    t: g,
+                    coord: next,
+                });
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Greedy baseline
+// ---------------------------------------------------------------------------
+
+fn greedy(problem: &RoutingProblem) -> RoutingOutcome {
+    let sep = problem.min_separation;
+    let mut positions: Vec<GridCoord> = problem.requests.iter().map(|r| r.start).collect();
+    let mut histories: Vec<Vec<GridCoord>> = positions.iter().map(|p| vec![*p]).collect();
+
+    for _ in 0..problem.max_steps {
+        let mut any_moved = false;
+        for i in 0..positions.len() {
+            let goal = problem.requests[i].goal;
+            let current = positions[i];
+            if current == goal {
+                continue;
+            }
+            // Candidate neighbours sorted by resulting distance to goal.
+            let mut candidates: Vec<GridCoord> = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+                .iter()
+                .filter_map(|(dx, dy)| current.offset(*dx, *dy))
+                .filter(|c| problem.dims.contains(*c))
+                .filter(|c| c.manhattan(goal) < current.manhattan(goal))
+                .collect();
+            candidates.sort_by_key(|c| c.manhattan(goal));
+            let chosen = candidates.into_iter().find(|candidate| {
+                positions
+                    .iter()
+                    .enumerate()
+                    .all(|(j, other)| j == i || other.chebyshev(*candidate) >= sep)
+            });
+            if let Some(next) = chosen {
+                positions[i] = next;
+                any_moved = true;
+            }
+        }
+        for (i, p) in positions.iter().enumerate() {
+            histories[i].push(*p);
+        }
+        let all_arrived = positions
+            .iter()
+            .zip(problem.requests.iter())
+            .all(|(p, r)| *p == r.goal);
+        if all_arrived || !any_moved {
+            break;
+        }
+    }
+
+    let mut paths = Vec::new();
+    let mut unrouted = Vec::new();
+    for (i, request) in problem.requests.iter().enumerate() {
+        if positions[i] == request.goal {
+            paths.push(ParticlePath {
+                id: request.id,
+                positions: histories[i].clone(),
+            });
+        } else {
+            unrouted.push(request.id);
+        }
+    }
+    paths.sort_by_key(|p| p.id);
+    finalize(paths, unrouted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, start: (u32, u32), goal: (u32, u32)) -> RoutingRequest {
+        RoutingRequest {
+            id: ParticleId(id),
+            start: GridCoord::new(start.0, start.1),
+            goal: GridCoord::new(goal.0, goal.1),
+        }
+    }
+
+    #[test]
+    fn single_particle_takes_shortest_path() {
+        let problem = RoutingProblem::new(GridDims::square(16), vec![request(1, (1, 1), (9, 5))]);
+        let outcome = Router::new(RoutingStrategy::PrioritizedAStar)
+            .solve(&problem)
+            .unwrap();
+        assert!(outcome.unrouted.is_empty());
+        assert_eq!(outcome.paths.len(), 1);
+        // Manhattan distance is 12: the path should take exactly 12 moves.
+        assert_eq!(outcome.paths[0].move_count(), 12);
+        assert_eq!(outcome.makespan, 12);
+        assert!(outcome.is_conflict_free(problem.min_separation));
+    }
+
+    #[test]
+    fn crossing_particles_avoid_each_other() {
+        // Two particles swapping sides of the array must not let their cages
+        // merge at any step.
+        let problem = RoutingProblem::new(
+            GridDims::square(16),
+            vec![request(1, (1, 8), (14, 8)), request(2, (14, 8), (1, 8))],
+        );
+        let outcome = Router::new(RoutingStrategy::PrioritizedAStar)
+            .solve(&problem)
+            .unwrap();
+        assert!(outcome.unrouted.is_empty(), "unrouted: {:?}", outcome.unrouted);
+        assert!(outcome.is_conflict_free(problem.min_separation));
+        // Someone had to detour: total moves exceed the sum of Manhattan
+        // distances? (Not necessarily, but makespan is at least the distance.)
+        assert!(outcome.makespan >= 13);
+    }
+
+    #[test]
+    fn many_particles_route_conflict_free() {
+        // A column of particles all moving to the opposite side.
+        let mut requests = Vec::new();
+        for (i, y) in (1..14).step_by(3).enumerate() {
+            requests.push(request(i as u64, (1, y), (14, y)));
+        }
+        let problem = RoutingProblem::new(GridDims::square(16), requests.clone());
+        let outcome = Router::new(RoutingStrategy::PrioritizedAStar)
+            .solve(&problem)
+            .unwrap();
+        assert_eq!(outcome.paths.len(), requests.len());
+        assert!(outcome.is_conflict_free(problem.min_separation));
+        assert_eq!(outcome.success_rate(requests.len()), 1.0);
+        assert!(outcome.total_moves >= requests.len() * 13);
+    }
+
+    #[test]
+    fn astar_beats_greedy_in_a_congested_corridor() {
+        // Head-on traffic in a narrow strip: greedy livelocks, A* resolves it.
+        let dims = GridDims::new(20, 5);
+        let requests = vec![
+            request(1, (1, 2), (18, 2)),
+            request(2, (18, 2), (1, 2)),
+            request(3, (1, 0), (18, 0)),
+            request(4, (18, 4), (1, 4)),
+        ];
+        let problem = RoutingProblem::new(dims, requests.clone());
+        let astar = Router::new(RoutingStrategy::PrioritizedAStar)
+            .solve(&problem)
+            .unwrap();
+        let greedy = Router::new(RoutingStrategy::Greedy).solve(&problem).unwrap();
+        assert!(astar.paths.len() >= greedy.paths.len());
+        assert!(astar.paths.len() >= 3, "A* routed only {}", astar.paths.len());
+        assert!(astar.is_conflict_free(problem.min_separation));
+    }
+
+    #[test]
+    fn greedy_handles_disjoint_traffic() {
+        let problem = RoutingProblem::new(
+            GridDims::square(16),
+            vec![request(1, (1, 1), (10, 1)), request(2, (1, 8), (10, 8))],
+        );
+        let outcome = Router::new(RoutingStrategy::Greedy).solve(&problem).unwrap();
+        assert!(outcome.unrouted.is_empty());
+        assert!(outcome.is_conflict_free(problem.min_separation));
+        assert_eq!(outcome.total_moves, 18);
+    }
+
+    #[test]
+    fn invalid_problems_are_rejected() {
+        // Goal outside the grid.
+        let p = RoutingProblem::new(GridDims::square(8), vec![request(1, (0, 0), (9, 0))]);
+        assert!(Router::default().solve(&p).is_err());
+        // Starts too close together.
+        let p = RoutingProblem::new(
+            GridDims::square(8),
+            vec![request(1, (1, 1), (6, 6)), request(2, (2, 1), (6, 1))],
+        );
+        assert!(Router::default().solve(&p).is_err());
+    }
+
+    #[test]
+    fn unreachable_goal_is_reported_not_fatal() {
+        // The goal sits inside the separation zone of another particle's
+        // goal... instead use a horizon too short to reach the goal.
+        let mut problem =
+            RoutingProblem::new(GridDims::square(16), vec![request(1, (0, 0), (15, 15))]);
+        problem.max_steps = 5;
+        let outcome = Router::default().solve(&problem).unwrap();
+        assert_eq!(outcome.paths.len(), 0);
+        assert_eq!(outcome.unrouted, vec![ParticleId(1)]);
+        assert_eq!(outcome.success_rate(1), 0.0);
+    }
+
+    #[test]
+    fn path_accessors_are_consistent() {
+        let problem = RoutingProblem::new(GridDims::square(16), vec![request(7, (2, 2), (5, 2))]);
+        let outcome = Router::default().solve(&problem).unwrap();
+        let path = &outcome.paths[0];
+        assert_eq!(path.id, ParticleId(7));
+        assert_eq!(path.position_at(0), GridCoord::new(2, 2));
+        assert_eq!(path.position_at(100), GridCoord::new(5, 2));
+        assert_eq!(path.arrival_step(), 3);
+        assert_eq!(path.move_count(), 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! Brownian motion of suspended particles.
+//!
+//! Thermal agitation sets the noise floor of any single-cell manipulation:
+//! the DEP trap stiffness must produce a confinement much tighter than the
+//! free diffusion length over the manipulation timescale, and the detection
+//! electronics must average over it (paper §2: trade execution time for
+//! quality of results).
+
+use crate::drag::StokesDrag;
+use crate::medium::Medium;
+use crate::particle::Particle;
+use labchip_units::{Seconds, Vec3, BOLTZMANN};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Draws a standard-normal deviate with the Box–Muller transform.
+///
+/// Kept local (rather than depending on `rand_distr`) because a single
+/// Gaussian sampler is all the workspace needs.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Brownian-motion model for one particle in one medium.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrownianMotion {
+    diffusion: f64,
+    temperature: f64,
+}
+
+impl BrownianMotion {
+    /// Builds the model from the Stokes–Einstein relation `D = kT / γ`.
+    pub fn new(particle: &Particle, medium: &Medium) -> Self {
+        let gamma = StokesDrag::new(particle, medium).coefficient();
+        Self {
+            diffusion: BOLTZMANN * medium.temperature.get() / gamma,
+            temperature: medium.temperature.get(),
+        }
+    }
+
+    /// Diffusion coefficient in m²/s.
+    #[inline]
+    pub fn diffusion_coefficient(&self) -> f64 {
+        self.diffusion
+    }
+
+    /// RMS displacement along one axis after time `dt`: `√(2 D dt)`.
+    #[inline]
+    pub fn rms_displacement(&self, dt: Seconds) -> f64 {
+        (2.0 * self.diffusion * dt.get()).sqrt()
+    }
+
+    /// Thermal energy `kT` in joules.
+    #[inline]
+    pub fn thermal_energy(&self) -> f64 {
+        BOLTZMANN * self.temperature
+    }
+
+    /// Samples a random 3-D displacement over `dt` using the caller's RNG.
+    pub fn sample_displacement<R: Rng + ?Sized>(&self, dt: Seconds, rng: &mut R) -> Vec3 {
+        let sigma = self.rms_displacement(dt);
+        Vec3::new(
+            sigma * standard_normal(rng),
+            sigma * standard_normal(rng),
+            sigma * standard_normal(rng),
+        )
+    }
+
+    /// Equipartition estimate of the RMS confinement of a particle held in a
+    /// harmonic trap of stiffness `k` (N/m): `√(kT / k)`.
+    pub fn trap_confinement(&self, stiffness: f64) -> f64 {
+        if stiffness <= 0.0 {
+            f64::INFINITY
+        } else {
+            (self.thermal_energy() / stiffness).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labchip_units::Meters;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model() -> BrownianMotion {
+        BrownianMotion::new(
+            &Particle::viable_cell(Meters::from_micrometers(10.0)),
+            &Medium::physiological_low_conductivity(),
+        )
+    }
+
+    #[test]
+    fn diffusion_coefficient_order_of_magnitude() {
+        // kT/γ for a 10 µm-radius sphere in water ≈ 2.5e-14 m²/s.
+        let b = model();
+        assert!(b.diffusion_coefficient() > 1e-14 && b.diffusion_coefficient() < 1e-13);
+    }
+
+    #[test]
+    fn rms_displacement_grows_with_sqrt_time() {
+        let b = model();
+        let d1 = b.rms_displacement(Seconds::new(1.0));
+        let d4 = b.rms_displacement(Seconds::new(4.0));
+        assert!((d4 / d1 - 2.0).abs() < 1e-9);
+        // Over 1 s a big cell diffuses a fraction of a micrometre — far less
+        // than the 10-100 µm/s directed DEP motion, which is why the DEP drag
+        // dominates transport.
+        assert!(d1 < 1e-6);
+    }
+
+    #[test]
+    fn smaller_particles_diffuse_faster() {
+        let medium = Medium::physiological_low_conductivity();
+        let big = BrownianMotion::new(&Particle::viable_cell(Meters::from_micrometers(10.0)), &medium);
+        let small =
+            BrownianMotion::new(&Particle::polystyrene_bead(Meters::from_micrometers(1.0)), &medium);
+        assert!(small.diffusion_coefficient() > big.diffusion_coefficient());
+    }
+
+    #[test]
+    fn sampled_displacements_have_correct_scale() {
+        let b = model();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let dt = Seconds::new(1.0);
+        let n = 2_000;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let d = b.sample_displacement(dt, &mut rng);
+            sum_sq += d.x * d.x;
+        }
+        let measured_rms = (sum_sq / n as f64).sqrt();
+        let expected = b.rms_displacement(dt);
+        assert!(
+            (measured_rms / expected - 1.0).abs() < 0.1,
+            "measured {measured_rms:.3e} expected {expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn trap_confinement_shrinks_with_stiffness() {
+        let b = model();
+        let loose = b.trap_confinement(1e-9);
+        let tight = b.trap_confinement(1e-6);
+        assert!(tight < loose);
+        assert_eq!(b.trap_confinement(0.0), f64::INFINITY);
+        // A DEP cage with ~1e-7 N/m stiffness confines a cell to well under a
+        // micrometre RMS — tight compared to the 20 µm pitch.
+        assert!(b.trap_confinement(1e-7) < 1e-6);
+    }
+}

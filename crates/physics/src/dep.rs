@@ -1,0 +1,292 @@
+//! Dielectrophoretic force, trap stiffness and holding force.
+//!
+//! The time-averaged DEP force on a small sphere in a non-uniform RMS field
+//! is `F = 2π ε_m R³ Re[K] ∇|E_rms|²`. The paper's §2 leans on two of its
+//! properties: the force scales with the **square of the drive voltage**
+//! (hence older, higher-voltage technology nodes are attractive) and, for
+//! negative `Re[K]`, it pushes particles towards field minima — the cages.
+
+use crate::field::FieldModel;
+use crate::medium::Medium;
+use crate::particle::Particle;
+use labchip_units::{Hertz, Newtons, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Precomputed DEP force model for one particle type in one medium at one
+/// drive frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepForceModel {
+    prefactor: f64,
+    cm_re: f64,
+}
+
+impl DepForceModel {
+    /// Builds the force model from particle, medium and drive frequency.
+    pub fn new(particle: &Particle, medium: &Medium, frequency: Hertz) -> Self {
+        let cm_re = particle.cm_re(medium, frequency);
+        let prefactor = 2.0
+            * std::f64::consts::PI
+            * medium.absolute_permittivity()
+            * particle.radius.get().powi(3)
+            * cm_re;
+        Self { prefactor, cm_re }
+    }
+
+    /// Real part of the Clausius–Mossotti factor used by this model.
+    #[inline]
+    pub fn cm_re(&self) -> f64 {
+        self.cm_re
+    }
+
+    /// `2π ε_m R³ Re[K]` in SI units — multiply by `∇|E|²` to get the force.
+    #[inline]
+    pub fn prefactor(&self) -> f64 {
+        self.prefactor
+    }
+
+    /// Returns `true` when the particle is in the negative-DEP regime (pushed
+    /// towards field minima, i.e. trappable in a cage).
+    #[inline]
+    pub fn is_negative_dep(&self) -> bool {
+        self.cm_re < 0.0
+    }
+
+    /// DEP force vector at `position` in the given field.
+    pub fn force<F: FieldModel + ?Sized>(&self, field: &F, position: Vec3) -> Vec3 {
+        field.grad_e_squared(position) * self.prefactor
+    }
+
+    /// Magnitude of the DEP force at `position`.
+    pub fn force_magnitude<F: FieldModel + ?Sized>(&self, field: &F, position: Vec3) -> Newtons {
+        Newtons::new(self.force(field, position).norm())
+    }
+
+    /// DEP potential energy `U = −2π ε_m R³ Re[K] |E|²` at `position`; for
+    /// negative DEP this has minima where `|E|²` has minima.
+    pub fn potential_energy<F: FieldModel + ?Sized>(&self, field: &F, position: Vec3) -> f64 {
+        -self.prefactor * field.e_squared(position)
+    }
+}
+
+/// Quantitative characterisation of one DEP cage (trap).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrapAnalysis {
+    /// Location of the `|E|²` minimum (the cage centre).
+    pub minimum: Vec3,
+    /// `|E|²` at the minimum, (V/m)².
+    pub e_squared_at_minimum: f64,
+    /// Lateral trap stiffness (N/m): restoring force per unit lateral
+    /// displacement, evaluated near the minimum.
+    pub lateral_stiffness: f64,
+    /// Maximum lateral restoring (holding) force towards the cage centre on
+    /// the segment from the centre towards the next cage site.
+    pub holding_force: Newtons,
+}
+
+impl TrapAnalysis {
+    /// Analyses the trap around `seed` (a first guess for the cage centre,
+    /// e.g. one pitch above the counter-phase electrode).
+    ///
+    /// `lateral_extent` bounds the search for the minimum and the holding
+    /// force scan (typically one electrode pitch); `vertical_range` bounds
+    /// the z search (typically the chamber height).
+    pub fn analyze<F: FieldModel + ?Sized>(
+        field: &F,
+        dep: &DepForceModel,
+        seed: Vec3,
+        lateral_extent: f64,
+        vertical_range: (f64, f64),
+    ) -> Self {
+        let minimum = find_local_minimum(field, seed, lateral_extent, vertical_range);
+        let e_squared_at_minimum = field.e_squared(minimum);
+
+        // Stiffness: numerically differentiate the restoring force a small
+        // lateral step away from the minimum.
+        let dx = lateral_extent * 0.05;
+        let f_plus = dep.force(field, Vec3::new(minimum.x + dx, minimum.y, minimum.z));
+        let f_minus = dep.force(field, Vec3::new(minimum.x - dx, minimum.y, minimum.z));
+        // For a restoring trap f_plus.x < 0 and f_minus.x > 0; stiffness is
+        // -dFx/dx > 0.
+        let lateral_stiffness = -(f_plus.x - f_minus.x) / (2.0 * dx);
+
+        // Holding force: the strongest pull back towards the centre along the
+        // +x escape path.
+        let mut holding: f64 = 0.0;
+        let steps = 24;
+        for i in 1..=steps {
+            let x = minimum.x + lateral_extent * i as f64 / steps as f64;
+            let f = dep.force(field, Vec3::new(x, minimum.y, minimum.z));
+            // Restoring component points in -x.
+            holding = holding.max(-f.x);
+        }
+
+        Self {
+            minimum,
+            e_squared_at_minimum,
+            lateral_stiffness,
+            holding_force: Newtons::new(holding.max(0.0)),
+        }
+    }
+}
+
+/// Coarse-to-fine search for the local minimum of `|E|²` around `seed`.
+fn find_local_minimum<F: FieldModel + ?Sized>(
+    field: &F,
+    seed: Vec3,
+    lateral_extent: f64,
+    vertical_range: (f64, f64),
+) -> Vec3 {
+    let mut best = seed;
+    let mut best_val = field.e_squared(seed);
+    let mut lateral = lateral_extent;
+    let mut z_lo = vertical_range.0;
+    let mut z_hi = vertical_range.1;
+
+    for _ in 0..4 {
+        let n = 6;
+        for iz in 0..=n {
+            let z = z_lo + (z_hi - z_lo) * iz as f64 / n as f64;
+            for iy in -(n as i32) / 2..=(n as i32) / 2 {
+                for ix in -(n as i32) / 2..=(n as i32) / 2 {
+                    let p = Vec3::new(
+                        best.x + lateral * ix as f64 / n as f64,
+                        best.y + lateral * iy as f64 / n as f64,
+                        z,
+                    );
+                    let v = field.e_squared(p);
+                    if v < best_val {
+                        best_val = v;
+                        best = p;
+                    }
+                }
+            }
+        }
+        // Narrow the search around the current best.
+        lateral *= 0.4;
+        let z_span = (z_hi - z_lo) * 0.4;
+        z_lo = (best.z - z_span / 2.0).max(vertical_range.0);
+        z_hi = (best.z + z_span / 2.0).min(vertical_range.1);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::superposition::SuperpositionField;
+    use crate::field::{ElectrodePhase, ElectrodePlane};
+    use labchip_units::{GridCoord, GridDims, Meters, Volts};
+
+    fn cage_setup(amplitude: f64) -> (SuperpositionField, Vec3) {
+        let mut plane = ElectrodePlane::new(
+            GridDims::square(9),
+            Meters::from_micrometers(20.0),
+            Volts::new(amplitude),
+            Meters::from_micrometers(80.0),
+        );
+        plane.set_phase(GridCoord::new(4, 4), ElectrodePhase::CounterPhase);
+        let c = plane.electrode_center(GridCoord::new(4, 4));
+        (SuperpositionField::new(plane), c)
+    }
+
+    fn cell_model(amplitude: f64) -> (SuperpositionField, Vec3, DepForceModel) {
+        let (field, c) = cage_setup(amplitude);
+        let medium = Medium::physiological_low_conductivity();
+        let cell = Particle::viable_cell(Meters::from_micrometers(10.0));
+        // 10 kHz: strongly negative DEP for a viable cell in this buffer.
+        let dep = DepForceModel::new(&cell, &medium, Hertz::from_kilohertz(10.0));
+        (field, c, dep)
+    }
+
+    #[test]
+    fn negative_dep_cell_is_pulled_towards_cage_center() {
+        let (field, c, dep) = cell_model(3.3);
+        assert!(dep.is_negative_dep());
+        let pitch = 20e-6;
+        // Displaced to +x of the cage centre at cage height: force should
+        // point back in -x.
+        let p = Vec3::new(c.x + 0.4 * pitch, c.y, 1.5 * pitch);
+        let f = dep.force(&field, p);
+        assert!(f.x < 0.0, "expected restoring force, got {:?}", f);
+    }
+
+    #[test]
+    fn dep_force_is_piconewton_scale() {
+        // Single-cell DEP forces on this kind of chip are tens of fN to tens
+        // of pN; anything wildly outside that range indicates a unit bug.
+        let (field, c, dep) = cell_model(3.3);
+        let p = Vec3::new(c.x + 10e-6, c.y, 30e-6);
+        let f = dep.force_magnitude(&field, p);
+        assert!(
+            f.as_piconewtons() > 1e-3 && f.as_piconewtons() < 1e4,
+            "force = {} pN",
+            f.as_piconewtons()
+        );
+    }
+
+    #[test]
+    fn force_scales_with_voltage_squared() {
+        let (field_hi, c, dep) = cell_model(5.0);
+        let (field_lo, _, _) = cell_model(1.2);
+        let p = Vec3::new(c.x + 10e-6, c.y, 30e-6);
+        let f_hi = dep.force_magnitude(&field_hi, p).get();
+        let f_lo = dep.force_magnitude(&field_lo, p).get();
+        let expected = (5.0f64 / 1.2).powi(2);
+        assert!(
+            ((f_hi / f_lo) / expected - 1.0).abs() < 1e-6,
+            "ratio {} vs expected {expected}",
+            f_hi / f_lo
+        );
+    }
+
+    #[test]
+    fn force_scales_with_radius_cubed() {
+        let medium = Medium::physiological_low_conductivity();
+        let small = Particle::viable_cell(Meters::from_micrometers(5.0));
+        let large = Particle::viable_cell(Meters::from_micrometers(10.0));
+        let f = Hertz::from_kilohertz(10.0);
+        let dep_small = DepForceModel::new(&small, &medium, f);
+        let dep_large = DepForceModel::new(&large, &medium, f);
+        let ratio = dep_large.prefactor() / dep_small.prefactor();
+        assert!((ratio - 8.0).abs() < 0.2, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn potential_energy_minimum_at_cage() {
+        let (field, c, dep) = cell_model(3.3);
+        let pitch = 20e-6;
+        let z = 1.5 * pitch;
+        let u_center = dep.potential_energy(&field, Vec3::new(c.x, c.y, z));
+        let u_away = dep.potential_energy(&field, Vec3::new(c.x + 1.5 * pitch, c.y, z));
+        assert!(u_center < u_away);
+    }
+
+    #[test]
+    fn trap_analysis_finds_cage_above_electrode() {
+        let (field, c, dep) = cell_model(3.3);
+        let pitch = 20e-6;
+        let analysis = TrapAnalysis::analyze(
+            &field,
+            &dep,
+            Vec3::new(c.x, c.y, 1.5 * pitch),
+            pitch,
+            (0.3 * pitch, 80e-6 - 0.3 * pitch),
+        );
+        // The minimum must stay laterally near the counter-phase electrode.
+        assert!((analysis.minimum.x - c.x).abs() < pitch);
+        assert!((analysis.minimum.y - c.y).abs() < pitch);
+        // It must be a real trap: positive stiffness and holding force.
+        assert!(analysis.lateral_stiffness > 0.0);
+        assert!(analysis.holding_force.get() > 0.0);
+        assert!(analysis.e_squared_at_minimum >= 0.0);
+    }
+
+    #[test]
+    fn positive_dep_particle_is_not_negative_dep() {
+        // A viable cell at 5 MHz in low-conductivity buffer is pDEP.
+        let medium = Medium::physiological_low_conductivity();
+        let cell = Particle::viable_cell(Meters::from_micrometers(10.0));
+        let dep = DepForceModel::new(&cell, &medium, Hertz::from_megahertz(5.0));
+        assert!(!dep.is_negative_dep());
+    }
+}

@@ -1,0 +1,184 @@
+//! Complex permittivities and the Clausius–Mossotti factor.
+//!
+//! The dielectrophoretic force on a spherical particle of radius `R` in a
+//! medium of absolute permittivity `ε_m` is
+//!
+//! ```text
+//! F_DEP = 2π ε_m R³ · Re[K(ω)] · ∇|E_rms|²
+//! ```
+//!
+//! where `K(ω)` is the Clausius–Mossotti (CM) factor computed from the
+//! complex permittivities of particle and medium. Its real part is bounded
+//! to `(-0.5, 1.0)`; a negative value means the particle is pushed towards
+//! field minima (negative DEP, the regime the paper's chip uses to hold cells
+//! in levitated cages).
+
+use crate::complex::Complex;
+use labchip_units::VACUUM_PERMITTIVITY;
+use serde::{Deserialize, Serialize};
+
+/// A complex permittivity `ε* = ε₀εᵣ − j σ/ω`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComplexPermittivity {
+    value: Complex,
+}
+
+impl ComplexPermittivity {
+    /// Builds a complex permittivity from relative permittivity,
+    /// conductivity (S/m) and angular frequency (rad/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega` is not strictly positive.
+    pub fn new(relative_permittivity: f64, conductivity: f64, omega: f64) -> Self {
+        assert!(omega > 0.0, "angular frequency must be positive");
+        Self {
+            value: Complex::new(
+                VACUUM_PERMITTIVITY * relative_permittivity,
+                -conductivity / omega,
+            ),
+        }
+    }
+
+    /// Builds directly from a complex value (F/m).
+    pub fn from_complex(value: Complex) -> Self {
+        Self { value }
+    }
+
+    /// The underlying complex value in F/m.
+    #[inline]
+    pub fn value(&self) -> Complex {
+        self.value
+    }
+}
+
+/// Clausius–Mossotti factor `K = (ε_p* − ε_m*) / (ε_p* + 2 ε_m*)`.
+pub fn clausius_mossotti(
+    particle: ComplexPermittivity,
+    medium: ComplexPermittivity,
+) -> Complex {
+    let p = particle.value();
+    let m = medium.value();
+    (p - m) / (p + m * 2.0)
+}
+
+/// DEP crossover frequency: the frequency at which `Re[K(ω)]` changes sign,
+/// found by bisection over the given range. Returns `None` when the sign of
+/// `Re[K]` is the same at both ends of the range.
+///
+/// `re_k` is a closure mapping angular frequency (rad/s) to `Re[K]`.
+pub fn crossover_frequency<F>(re_k: F, omega_lo: f64, omega_hi: f64) -> Option<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    let f_lo = re_k(omega_lo);
+    let f_hi = re_k(omega_hi);
+    if f_lo == 0.0 {
+        return Some(omega_lo);
+    }
+    if f_hi == 0.0 {
+        return Some(omega_hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return None;
+    }
+    // Bisection in log-frequency space: CM spectra vary over decades.
+    let mut lo = omega_lo.ln();
+    let mut hi = omega_hi.ln();
+    let mut s_lo = f_lo.signum();
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let v = re_k(mid.exp());
+        if v == 0.0 {
+            return Some(mid.exp());
+        }
+        if v.signum() == s_lo {
+            lo = mid;
+            s_lo = v.signum();
+        } else {
+            hi = mid;
+        }
+        if (hi - lo).abs() < 1e-12 {
+            break;
+        }
+    }
+    Some((0.5 * (lo + hi)).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm_re(eps_p: f64, sig_p: f64, eps_m: f64, sig_m: f64, omega: f64) -> f64 {
+        clausius_mossotti(
+            ComplexPermittivity::new(eps_p, sig_p, omega),
+            ComplexPermittivity::new(eps_m, sig_m, omega),
+        )
+        .re
+    }
+
+    #[test]
+    fn cm_factor_is_bounded() {
+        // For any physical parameters Re[K] must lie in (-0.5, 1.0].
+        let omegas = [1e3, 1e5, 1e7, 1e9];
+        let params = [
+            (2.5, 1e-4, 78.5, 0.03),
+            (60.0, 0.5, 78.5, 1.5),
+            (10.0, 1e-6, 78.5, 1e-4),
+        ];
+        for &omega in &omegas {
+            for &(ep, sp, em, sm) in &params {
+                let k = cm_re(ep, sp, em, sm, omega);
+                assert!(k > -0.5 - 1e-9 && k <= 1.0 + 1e-9, "K = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn polystyrene_bead_shows_negative_dep_at_high_frequency() {
+        // Polystyrene: eps_r = 2.5, very low conductivity. In a conductive
+        // medium Re[K] is negative at high frequency (insulating particle).
+        let omega = 2.0 * std::f64::consts::PI * 10e6;
+        let k = cm_re(2.5, 1e-4, 78.5, 0.03, omega);
+        assert!(k < 0.0);
+        // The theoretical limit at high frequency is (2.5-78.5)/(2.5+157) ≈ -0.476.
+        assert!((k - (2.5 - 78.5) / (2.5 + 2.0 * 78.5)).abs() < 0.05);
+    }
+
+    #[test]
+    fn conductive_particle_shows_positive_dep_at_low_frequency() {
+        // A particle more conductive than the medium experiences positive DEP
+        // at low frequencies where conductivities dominate.
+        let omega = 2.0 * std::f64::consts::PI * 1e3;
+        let k = cm_re(60.0, 0.5, 78.5, 0.03, omega);
+        assert!(k > 0.0);
+    }
+
+    #[test]
+    fn crossover_found_for_conductive_particle() {
+        // Same particle as above: positive DEP at low f, negative at high f
+        // (permittivity of particle below medium) => a crossover must exist.
+        let re_k = |omega: f64| cm_re(60.0, 0.5, 78.5, 0.03, omega);
+        let lo = 2.0 * std::f64::consts::PI * 1e3;
+        let hi = 2.0 * std::f64::consts::PI * 1e9;
+        let cross = crossover_frequency(re_k, lo, hi).expect("crossover expected");
+        assert!(cross > lo && cross < hi);
+        assert!(re_k(cross * 0.5).signum() != re_k(cross * 2.0).signum());
+    }
+
+    #[test]
+    fn no_crossover_when_sign_constant() {
+        // Polystyrene in low-conductivity buffer is negative-DEP at all
+        // relevant frequencies above ~100 kHz.
+        let re_k = |omega: f64| cm_re(2.5, 1e-4, 78.5, 0.03, omega);
+        let lo = 2.0 * std::f64::consts::PI * 1e6;
+        let hi = 2.0 * std::f64::consts::PI * 1e9;
+        assert!(crossover_frequency(re_k, lo, hi).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "angular frequency")]
+    fn zero_frequency_rejected() {
+        let _ = ComplexPermittivity::new(78.5, 0.03, 0.0);
+    }
+}

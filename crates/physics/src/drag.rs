@@ -1,0 +1,172 @@
+//! Viscous drag and sedimentation.
+//!
+//! At the micrometre scale the Reynolds number is ≪ 1, so particle motion is
+//! overdamped: velocity is proportional to force through the Stokes drag
+//! coefficient `γ = 6πηR`. This is why cells move at the 10–100 µm/s speeds
+//! quoted in the paper rather than accelerating ballistically.
+
+use crate::medium::Medium;
+use crate::particle::Particle;
+use labchip_units::{MetersPerSecond, Newtons, Vec3, STANDARD_GRAVITY};
+use serde::{Deserialize, Serialize};
+
+/// Stokes drag model for a spherical particle in a medium.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StokesDrag {
+    gamma: f64,
+    radius: f64,
+}
+
+impl StokesDrag {
+    /// Builds the drag model from particle radius and medium viscosity.
+    pub fn new(particle: &Particle, medium: &Medium) -> Self {
+        let radius = particle.radius.get();
+        Self {
+            gamma: 6.0 * std::f64::consts::PI * medium.viscosity.get() * radius,
+            radius,
+        }
+    }
+
+    /// Drag coefficient `γ = 6πηR` in N·s/m.
+    #[inline]
+    pub fn coefficient(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Drag coefficient including Faxén's wall correction for motion parallel
+    /// to a wall at distance `gap` between particle surface and wall.
+    ///
+    /// The correction diverges as the particle touches the wall; `gap` is
+    /// clamped to 1 % of the radius.
+    pub fn coefficient_near_wall(&self, gap: f64) -> f64 {
+        let h = self.radius + gap.max(self.radius * 0.01);
+        let ratio = self.radius / h;
+        // Faxén series for translation parallel to a plane wall.
+        let correction = 1.0
+            - (9.0 / 16.0) * ratio
+            + (1.0 / 8.0) * ratio.powi(3)
+            - (45.0 / 256.0) * ratio.powi(4)
+            - (1.0 / 16.0) * ratio.powi(5);
+        self.gamma / correction.max(0.05)
+    }
+
+    /// Terminal velocity under a constant force (free solution, no wall).
+    #[inline]
+    pub fn terminal_velocity(&self, force: Newtons) -> MetersPerSecond {
+        MetersPerSecond::new(force.get() / self.gamma)
+    }
+
+    /// Velocity vector resulting from a force vector.
+    #[inline]
+    pub fn velocity_from_force(&self, force: Vec3) -> Vec3 {
+        force / self.gamma
+    }
+
+    /// Drag force opposing a velocity `v` (N).
+    #[inline]
+    pub fn force_at_velocity(&self, velocity: MetersPerSecond) -> Newtons {
+        Newtons::new(self.gamma * velocity.get())
+    }
+}
+
+/// Net gravity minus buoyancy force on a particle in a medium. Positive z is
+/// *up* (away from the chip), so the returned vector points down for a
+/// particle denser than the medium.
+pub fn sedimentation_force(particle: &Particle, medium: &Medium) -> Vec3 {
+    let delta_rho = particle.density.get() - medium.density.get();
+    let f = -delta_rho * particle.volume() * STANDARD_GRAVITY;
+    Vec3::new(0.0, 0.0, f)
+}
+
+/// Magnitude of the sedimentation (weight minus buoyancy) force.
+pub fn sedimentation_force_magnitude(particle: &Particle, medium: &Medium) -> Newtons {
+    Newtons::new(sedimentation_force(particle, medium).norm())
+}
+
+/// Sedimentation terminal velocity (signed, negative = sinking).
+pub fn sedimentation_velocity(particle: &Particle, medium: &Medium) -> MetersPerSecond {
+    let drag = StokesDrag::new(particle, medium);
+    MetersPerSecond::new(sedimentation_force(particle, medium).z / drag.coefficient())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labchip_units::Meters;
+
+    fn cell_and_medium() -> (Particle, Medium) {
+        (
+            Particle::viable_cell(Meters::from_micrometers(10.0)),
+            Medium::physiological_low_conductivity(),
+        )
+    }
+
+    #[test]
+    fn drag_coefficient_order_of_magnitude() {
+        let (cell, medium) = cell_and_medium();
+        let drag = StokesDrag::new(&cell, &medium);
+        // 6π * 0.89e-3 * 10e-6 ≈ 1.7e-7 N·s/m.
+        assert!(drag.coefficient() > 1e-7 && drag.coefficient() < 3e-7);
+    }
+
+    #[test]
+    fn piconewton_force_gives_micrometer_per_second_velocity() {
+        // This is the paper's §2 timescale claim: DEP forces of a few pN move
+        // cells at roughly 10-100 µm/s.
+        let (cell, medium) = cell_and_medium();
+        let drag = StokesDrag::new(&cell, &medium);
+        let v = drag.terminal_velocity(Newtons::from_piconewtons(5.0));
+        let um_s = v.as_micrometers_per_second();
+        assert!(um_s > 5.0 && um_s < 100.0, "v = {um_s} um/s");
+    }
+
+    #[test]
+    fn wall_correction_increases_drag() {
+        let (cell, medium) = cell_and_medium();
+        let drag = StokesDrag::new(&cell, &medium);
+        let far = drag.coefficient_near_wall(100e-6);
+        let near = drag.coefficient_near_wall(0.5e-6);
+        assert!(far >= drag.coefficient() * 0.99);
+        assert!(near > far, "near-wall drag must exceed far-wall drag");
+        assert!(near < drag.coefficient() * 10.0, "correction should stay bounded");
+    }
+
+    #[test]
+    fn velocity_from_force_is_parallel_to_force() {
+        let (cell, medium) = cell_and_medium();
+        let drag = StokesDrag::new(&cell, &medium);
+        let f = Vec3::new(1e-12, -2e-12, 0.5e-12);
+        let v = drag.velocity_from_force(f);
+        let cross = f.cross(v).norm();
+        assert!(cross < 1e-24);
+        assert!(v.dot(f) > 0.0);
+    }
+
+    #[test]
+    fn sedimentation_points_down_and_is_sub_piconewton_scale() {
+        let (cell, medium) = cell_and_medium();
+        let f = sedimentation_force(&cell, &medium);
+        assert!(f.z < 0.0);
+        let mag = sedimentation_force_magnitude(&cell, &medium);
+        // Δρ≈53 kg/m³, V≈4.2e-15 m³ → ≈2.2 pN for a 10 µm-radius cell.
+        assert!(mag.as_piconewtons() > 0.5 && mag.as_piconewtons() < 10.0);
+    }
+
+    #[test]
+    fn sedimentation_velocity_is_slow() {
+        let (cell, medium) = cell_and_medium();
+        let v = sedimentation_velocity(&cell, &medium);
+        assert!(v.get() < 0.0, "cells sink");
+        let um_s = v.as_micrometers_per_second().abs();
+        assert!(um_s > 1.0 && um_s < 50.0, "v = {um_s} um/s");
+    }
+
+    #[test]
+    fn drag_force_opposes_motion_linearly() {
+        let (cell, medium) = cell_and_medium();
+        let drag = StokesDrag::new(&cell, &medium);
+        let f1 = drag.force_at_velocity(MetersPerSecond::from_micrometers_per_second(10.0));
+        let f2 = drag.force_at_velocity(MetersPerSecond::from_micrometers_per_second(20.0));
+        assert!((f2.get() / f1.get() - 2.0).abs() < 1e-12);
+    }
+}

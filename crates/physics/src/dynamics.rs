@@ -1,0 +1,387 @@
+//! Overdamped particle dynamics.
+//!
+//! At cell scale inertia is negligible (the velocity relaxation time is
+//! microseconds), so the equation of motion reduces to a force balance:
+//! `v = F_total / γ` plus Brownian noise. The integrator advances particle
+//! positions with that rule and records trajectories for analysis.
+
+use crate::brownian::BrownianMotion;
+use crate::dep::DepForceModel;
+use crate::drag::{sedimentation_force, StokesDrag};
+use crate::field::FieldModel;
+use crate::medium::Medium;
+use crate::particle::Particle;
+use labchip_units::{Meters, MetersPerSecond, Seconds, Vec3};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous state of a simulated particle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParticleState {
+    /// Position in chamber coordinates (metres), z = 0 at the electrode plane.
+    pub position: Vec3,
+    /// Velocity from the last force balance (m/s).
+    pub velocity: Vec3,
+    /// Simulated time.
+    pub time: Seconds,
+}
+
+impl ParticleState {
+    /// Creates a state at rest at `position`, time zero.
+    pub fn at(position: Vec3) -> Self {
+        Self {
+            position,
+            velocity: Vec3::ZERO,
+            time: Seconds::ZERO,
+        }
+    }
+}
+
+/// The set of forces acting on a particle, combined into a net force.
+#[derive(Debug, Clone, Copy)]
+pub struct ForceBalance {
+    dep: DepForceModel,
+    drag: StokesDrag,
+    sedimentation: Vec3,
+    /// Externally imposed flow velocity of the medium (drag force is computed
+    /// relative to it).
+    pub flow_velocity: Vec3,
+    /// Whether Brownian noise is added during integration.
+    pub brownian_enabled: bool,
+    brownian: BrownianMotion,
+}
+
+impl ForceBalance {
+    /// Builds the balance for one particle type in one medium at the given
+    /// DEP drive frequency.
+    pub fn new(particle: &Particle, medium: &Medium, frequency: labchip_units::Hertz) -> Self {
+        Self {
+            dep: DepForceModel::new(particle, medium, frequency),
+            drag: StokesDrag::new(particle, medium),
+            sedimentation: sedimentation_force(particle, medium),
+            flow_velocity: Vec3::ZERO,
+            brownian_enabled: true,
+            brownian: BrownianMotion::new(particle, medium),
+        }
+    }
+
+    /// The DEP model in use.
+    pub fn dep(&self) -> &DepForceModel {
+        &self.dep
+    }
+
+    /// The drag model in use.
+    pub fn drag(&self) -> &StokesDrag {
+        &self.drag
+    }
+
+    /// The Brownian model in use.
+    pub fn brownian(&self) -> &BrownianMotion {
+        &self.brownian
+    }
+
+    /// Deterministic net force (DEP + sedimentation + flow drag) at a
+    /// position.
+    pub fn net_force<F: FieldModel + ?Sized>(&self, field: &F, position: Vec3) -> Vec3 {
+        self.dep.force(field, position)
+            + self.sedimentation
+            + self.flow_velocity * self.drag.coefficient()
+    }
+
+    /// Deterministic drift velocity at a position.
+    pub fn drift_velocity<F: FieldModel + ?Sized>(&self, field: &F, position: Vec3) -> Vec3 {
+        self.net_force(field, position) / self.drag.coefficient()
+    }
+}
+
+/// Explicit overdamped (Euler–Maruyama) integrator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverdampedIntegrator {
+    /// Time step.
+    pub dt: Seconds,
+    /// Lower bound on z (particles cannot cross the chip surface); the
+    /// particle radius is the natural choice.
+    pub floor_z: Meters,
+    /// Upper bound on z (the lid), minus the particle radius.
+    pub ceiling_z: Meters,
+}
+
+impl OverdampedIntegrator {
+    /// Creates an integrator with the given step and vertical bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive or the bounds are inverted.
+    pub fn new(dt: Seconds, floor_z: Meters, ceiling_z: Meters) -> Self {
+        assert!(dt.get() > 0.0, "time step must be positive");
+        assert!(
+            ceiling_z.get() > floor_z.get(),
+            "ceiling must be above floor"
+        );
+        Self {
+            dt,
+            floor_z,
+            ceiling_z,
+        }
+    }
+
+    /// Advances one step, returning the new state.
+    pub fn step<F, R>(
+        &self,
+        field: &F,
+        balance: &ForceBalance,
+        state: &ParticleState,
+        rng: &mut R,
+    ) -> ParticleState
+    where
+        F: FieldModel + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let drift = balance.drift_velocity(field, state.position);
+        let mut displacement = drift * self.dt.get();
+        if balance.brownian_enabled {
+            displacement += balance.brownian().sample_displacement(self.dt, rng);
+        }
+        let mut position = state.position + displacement;
+        position.z = position.z.clamp(self.floor_z.get(), self.ceiling_z.get());
+        ParticleState {
+            position,
+            velocity: displacement / self.dt.get(),
+            time: state.time + self.dt,
+        }
+    }
+
+    /// Runs `steps` integration steps, recording the trajectory.
+    pub fn run<F, R>(
+        &self,
+        field: &F,
+        balance: &ForceBalance,
+        initial: ParticleState,
+        steps: usize,
+        rng: &mut R,
+    ) -> Trajectory
+    where
+        F: FieldModel + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut states = Vec::with_capacity(steps + 1);
+        states.push(initial);
+        let mut current = initial;
+        for _ in 0..steps {
+            current = self.step(field, balance, &current, rng);
+            states.push(current);
+        }
+        Trajectory { states }
+    }
+}
+
+/// A recorded particle trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    states: Vec<ParticleState>,
+}
+
+impl Trajectory {
+    /// The recorded states, in time order.
+    pub fn states(&self) -> &[ParticleState] {
+        &self.states
+    }
+
+    /// First state.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a trajectory always contains at least the initial state.
+    pub fn first(&self) -> &ParticleState {
+        &self.states[0]
+    }
+
+    /// Last state.
+    pub fn last(&self) -> &ParticleState {
+        self.states.last().expect("trajectory is never empty")
+    }
+
+    /// Total simulated duration.
+    pub fn duration(&self) -> Seconds {
+        self.last().time - self.first().time
+    }
+
+    /// Net displacement from start to end.
+    pub fn net_displacement(&self) -> Vec3 {
+        self.last().position - self.first().position
+    }
+
+    /// Path length along the trajectory.
+    pub fn path_length(&self) -> Meters {
+        let mut total = 0.0;
+        for pair in self.states.windows(2) {
+            total += (pair[1].position - pair[0].position).norm();
+        }
+        Meters::new(total)
+    }
+
+    /// Average speed along the path.
+    pub fn mean_speed(&self) -> MetersPerSecond {
+        let d = self.duration();
+        if d.get() <= 0.0 {
+            MetersPerSecond::ZERO
+        } else {
+            MetersPerSecond::new(self.path_length().get() / d.get())
+        }
+    }
+
+    /// Maximum lateral (xy) distance from a reference point over the whole
+    /// trajectory — used to decide whether a particle stayed trapped.
+    pub fn max_lateral_excursion(&self, reference: Vec3) -> Meters {
+        let max = self
+            .states
+            .iter()
+            .map(|s| (s.position.xy() - reference.xy()).norm())
+            .fold(0.0_f64, f64::max);
+        Meters::new(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::superposition::SuperpositionField;
+    use crate::field::{ElectrodePhase, ElectrodePlane};
+    use labchip_units::{GridCoord, GridDims, Hertz, Volts};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (SuperpositionField, ForceBalance, Vec3) {
+        let mut plane = ElectrodePlane::new(
+            GridDims::square(9),
+            Meters::from_micrometers(20.0),
+            Volts::new(3.3),
+            Meters::from_micrometers(80.0),
+        );
+        plane.set_phase(GridCoord::new(4, 4), ElectrodePhase::CounterPhase);
+        let cage = plane.electrode_center(GridCoord::new(4, 4));
+        let field = SuperpositionField::new(plane);
+        let medium = Medium::physiological_low_conductivity();
+        let cell = Particle::viable_cell(Meters::from_micrometers(10.0));
+        let balance = ForceBalance::new(&cell, &medium, Hertz::from_kilohertz(10.0));
+        (field, balance, cage)
+    }
+
+    fn integrator() -> OverdampedIntegrator {
+        // The cage is a stiff trap (k/γ relaxation time of a few ms), so the
+        // explicit integrator needs sub-millisecond steps to stay stable.
+        OverdampedIntegrator::new(
+            Seconds::from_millis(0.5),
+            Meters::from_micrometers(10.0),
+            Meters::from_micrometers(70.0),
+        )
+    }
+
+    #[test]
+    fn trapped_cell_stays_near_cage_center() {
+        let (field, balance, cage) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let start = ParticleState::at(Vec3::new(cage.x + 5e-6, cage.y, 30e-6));
+        let traj = integrator().run(&field, &balance, start, 2_000, &mut rng);
+        let excursion = traj.max_lateral_excursion(Vec3::new(cage.x, cage.y, 0.0));
+        assert!(
+            excursion.as_micrometers() < 20.0,
+            "cell escaped the cage: {} um",
+            excursion.as_micrometers()
+        );
+        // The cell also settles at a levitated height above the chip floor.
+        assert!(traj.last().position.z > 10e-6);
+    }
+
+    #[test]
+    fn untrapped_region_lets_cell_sediment() {
+        // On a uniform plane (no cage programmed) the DEP force vanishes and
+        // the cell sinks towards the chip under gravity.
+        let plane = ElectrodePlane::new(
+            GridDims::square(9),
+            Meters::from_micrometers(20.0),
+            Volts::new(3.3),
+            Meters::from_micrometers(80.0),
+        );
+        let field = SuperpositionField::new(plane);
+        let medium = Medium::physiological_low_conductivity();
+        let cell = Particle::viable_cell(Meters::from_micrometers(10.0));
+        let mut balance = ForceBalance::new(&cell, &medium, Hertz::from_kilohertz(10.0));
+        balance.brownian_enabled = false;
+        let start = ParticleState::at(Vec3::new(90e-6, 90e-6, 60e-6));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let traj = integrator().run(&field, &balance, start, 300, &mut rng);
+        assert!(traj.last().position.z < start.position.z);
+    }
+
+    #[test]
+    fn drift_velocity_matches_force_over_gamma() {
+        let (field, balance, cage) = setup();
+        let p = Vec3::new(cage.x + 10e-6, cage.y, 30e-6);
+        let f = balance.net_force(&field, p);
+        let v = balance.drift_velocity(&field, p);
+        let gamma = balance.drag().coefficient();
+        assert!((v.x - f.x / gamma).abs() < 1e-15);
+        assert!((v.z - f.z / gamma).abs() < 1e-15);
+    }
+
+    #[test]
+    fn imposed_flow_advects_particle() {
+        // On a uniform (cage-free) plane the lateral DEP force vanishes by
+        // symmetry, so an imposed flow carries the cell along.
+        let plane = ElectrodePlane::new(
+            GridDims::square(9),
+            Meters::from_micrometers(20.0),
+            Volts::new(3.3),
+            Meters::from_micrometers(80.0),
+        );
+        let center = Vec3::new(90e-6, 90e-6, 40e-6);
+        let field = SuperpositionField::new(plane);
+        let medium = Medium::physiological_low_conductivity();
+        let cell = Particle::viable_cell(Meters::from_micrometers(10.0));
+        let mut balance = ForceBalance::new(&cell, &medium, Hertz::from_kilohertz(10.0));
+        balance.brownian_enabled = false;
+        balance.flow_velocity = Vec3::new(50e-6, 0.0, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let traj = integrator().run(&field, &balance, ParticleState::at(center), 200, &mut rng);
+        assert!(traj.net_displacement().x > 0.0);
+        // Carried at roughly the flow speed: 50 µm/s for 0.1 s ≈ 5 µm.
+        let expected = 50e-6 * traj.duration().get();
+        assert!((traj.net_displacement().x - expected).abs() < 0.5 * expected);
+    }
+
+    #[test]
+    fn trajectory_metrics_are_consistent() {
+        let (field, balance, cage) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let start = ParticleState::at(Vec3::new(cage.x, cage.y, 30e-6));
+        let traj = integrator().run(&field, &balance, start, 50, &mut rng);
+        assert_eq!(traj.states().len(), 51);
+        assert!((traj.duration().get() - 50.0 * 0.5e-3).abs() < 1e-9);
+        assert!(traj.path_length().get() >= traj.net_displacement().norm() - 1e-12);
+        assert!(traj.mean_speed().get() >= 0.0);
+    }
+
+    #[test]
+    fn integrator_clamps_to_chamber() {
+        let (field, mut balance, cage) = setup();
+        balance.brownian_enabled = false;
+        let start = ParticleState::at(Vec3::new(cage.x + 70e-6, cage.y + 70e-6, 10.5e-6));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let traj = integrator().run(&field, &balance, start, 500, &mut rng);
+        for s in traj.states() {
+            assert!(s.position.z >= 10e-6 - 1e-12);
+            assert!(s.position.z <= 70e-6 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time step")]
+    fn zero_time_step_rejected() {
+        let _ = OverdampedIntegrator::new(
+            Seconds::ZERO,
+            Meters::from_micrometers(10.0),
+            Meters::from_micrometers(70.0),
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the physics crate.
+
+use std::fmt;
+
+/// Errors produced by the physics models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicsError {
+    /// A parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// Name of the solver.
+        solver: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+    /// A query was made outside the domain covered by a field model.
+    OutOfDomain {
+        /// Description of the query location.
+        what: String,
+    },
+}
+
+impl fmt::Display for PhysicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysicsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            PhysicsError::NoConvergence {
+                solver,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver `{solver}` did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            PhysicsError::OutOfDomain { what } => write!(f, "query outside model domain: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PhysicsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PhysicsError::InvalidParameter {
+            name: "radius",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("radius"));
+        let e = PhysicsError::NoConvergence {
+            solver: "sor",
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("sor"));
+        let e = PhysicsError::OutOfDomain {
+            what: "z < 0".into(),
+        };
+        assert!(e.to_string().contains("z < 0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PhysicsError>();
+    }
+}

@@ -1,0 +1,376 @@
+//! Finite-difference Laplace solver.
+//!
+//! Solves `∇²Φ = 0` on a uniform 3-D grid spanning a rectangular sub-region
+//! of the chamber, with Dirichlet boundary conditions on the electrode plane
+//! (z = 0, the programmed signed voltages) and on the lid (z = h), and
+//! homogeneous Neumann conditions on the four lateral faces. Successive
+//! over-relaxation (SOR) is used; the result is exposed through the
+//! [`FieldModel`] trait via trilinear interpolation.
+//!
+//! This model is the accuracy reference for the fast
+//! [`SuperpositionField`](super::superposition::SuperpositionField); it is
+//! meant for small regions (a few cages), not for the whole 100,000-electrode
+//! array.
+
+use super::{ElectrodePlane, FieldModel};
+use crate::error::PhysicsError;
+use labchip_units::{GridRect, Vec3};
+
+/// Finite-difference solution of the chamber potential over a sub-region of
+/// the electrode plane.
+#[derive(Debug, Clone)]
+pub struct LaplaceSolver {
+    /// Grid origin in chip coordinates (metres).
+    origin: (f64, f64),
+    /// Grid spacing in metres (same in x, y, z).
+    spacing: f64,
+    /// Number of nodes in x, y, z.
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Potential at each node, index `x + nx*(y + ny*z)`.
+    phi: Vec<f64>,
+    /// Iterations actually used.
+    iterations: usize,
+    /// Final residual (max absolute update of the last sweep).
+    residual: f64,
+}
+
+/// Configuration for the SOR iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Nodes per electrode pitch in the lateral directions.
+    pub nodes_per_pitch: usize,
+    /// Maximum SOR sweeps.
+    pub max_iterations: usize,
+    /// Convergence threshold on the maximum absolute update per sweep (volts).
+    pub tolerance: f64,
+    /// Over-relaxation factor in `(1, 2)`.
+    pub omega: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            nodes_per_pitch: 4,
+            max_iterations: 4_000,
+            tolerance: 1e-5,
+            omega: 1.8,
+        }
+    }
+}
+
+impl LaplaceSolver {
+    /// Solves the potential over the sub-region `region` (in electrode
+    /// coordinates, inclusive) of `plane` using the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::NoConvergence`] when the SOR iteration does
+    /// not reach the requested tolerance, and
+    /// [`PhysicsError::InvalidParameter`] for nonsensical configurations.
+    pub fn solve(plane: &ElectrodePlane, region: GridRect) -> Result<Self, PhysicsError> {
+        Self::solve_with(plane, region, SolverConfig::default())
+    }
+
+    /// Solves with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`LaplaceSolver::solve`].
+    pub fn solve_with(
+        plane: &ElectrodePlane,
+        region: GridRect,
+        config: SolverConfig,
+    ) -> Result<Self, PhysicsError> {
+        if config.nodes_per_pitch < 2 {
+            return Err(PhysicsError::InvalidParameter {
+                name: "nodes_per_pitch",
+                reason: "must be at least 2".into(),
+            });
+        }
+        if !(1.0..2.0).contains(&config.omega) {
+            return Err(PhysicsError::InvalidParameter {
+                name: "omega",
+                reason: "must lie in [1, 2)".into(),
+            });
+        }
+        if !plane.dims().contains(region.min) || !plane.dims().contains(region.max) {
+            return Err(PhysicsError::OutOfDomain {
+                what: format!("region {region:?} outside electrode array {}", plane.dims()),
+            });
+        }
+
+        let pitch = plane.pitch().get();
+        let spacing = pitch / config.nodes_per_pitch as f64;
+        let cells_x = (region.max.x - region.min.x + 1) as usize;
+        let cells_y = (region.max.y - region.min.y + 1) as usize;
+        let nx = cells_x * config.nodes_per_pitch + 1;
+        let ny = cells_y * config.nodes_per_pitch + 1;
+        let nz = ((plane.chamber_height().get() / spacing).round() as usize).max(2) + 1;
+        let origin = (region.min.x as f64 * pitch, region.min.y as f64 * pitch);
+
+        let mut phi = vec![0.0_f64; nx * ny * nz];
+        let idx = |x: usize, y: usize, z: usize| x + nx * (y + ny * z);
+
+        // Dirichlet boundary: bottom plane takes the signed electrode
+        // voltages, top plane the lid voltage. Initialise the interior with a
+        // linear blend to speed up convergence.
+        let lid_v = plane.lid_voltage().get();
+        let mut bottom = vec![0.0_f64; nx * ny];
+        for yi in 0..ny {
+            for xi in 0..nx {
+                let x = origin.0 + xi as f64 * spacing;
+                let y = origin.1 + yi as f64 * spacing;
+                let v = plane
+                    .electrode_at(x.min(plane.width() - 1e-12), y.min(plane.height() - 1e-12))
+                    .map(|c| plane.signed_voltage(c).get())
+                    .unwrap_or(0.0);
+                bottom[xi + nx * yi] = v;
+            }
+        }
+        for zi in 0..nz {
+            let t = zi as f64 / (nz - 1) as f64;
+            for yi in 0..ny {
+                for xi in 0..nx {
+                    let v_bottom = bottom[xi + nx * yi];
+                    phi[idx(xi, yi, zi)] = (1.0 - t) * v_bottom + t * lid_v;
+                }
+            }
+        }
+
+        // SOR sweeps over interior nodes; lateral faces get mirror (Neumann)
+        // treatment by clamping neighbour indices.
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+        for sweep in 0..config.max_iterations {
+            let mut max_update: f64 = 0.0;
+            for zi in 1..nz - 1 {
+                for yi in 0..ny {
+                    for xi in 0..nx {
+                        let xm = xi.saturating_sub(1);
+                        let xp = (xi + 1).min(nx - 1);
+                        let ym = yi.saturating_sub(1);
+                        let yp = (yi + 1).min(ny - 1);
+                        let neighbours = phi[idx(xm, yi, zi)]
+                            + phi[idx(xp, yi, zi)]
+                            + phi[idx(xi, ym, zi)]
+                            + phi[idx(xi, yp, zi)]
+                            + phi[idx(xi, yi, zi - 1)]
+                            + phi[idx(xi, yi, zi + 1)];
+                        let target = neighbours / 6.0;
+                        let old = phi[idx(xi, yi, zi)];
+                        let new = old + config.omega * (target - old);
+                        max_update = max_update.max((new - old).abs());
+                        phi[idx(xi, yi, zi)] = new;
+                    }
+                }
+            }
+            iterations = sweep + 1;
+            residual = max_update;
+            if max_update < config.tolerance {
+                break;
+            }
+        }
+
+        if residual >= config.tolerance {
+            return Err(PhysicsError::NoConvergence {
+                solver: "laplace-sor",
+                iterations,
+                residual,
+            });
+        }
+
+        Ok(Self {
+            origin,
+            spacing,
+            nx,
+            ny,
+            nz,
+            phi,
+            iterations,
+            residual,
+        })
+    }
+
+    /// Number of SOR sweeps used.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Residual of the final sweep.
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Grid spacing in metres.
+    pub fn spacing(&self) -> f64 {
+        self.spacing
+    }
+
+    /// Number of nodes in (x, y, z).
+    pub fn node_counts(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    fn node(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.phi[x + self.nx * (y + self.ny * z)]
+    }
+
+    /// Trilinear interpolation of the stored potential; points outside the
+    /// solved box are clamped to it.
+    fn interpolate(&self, p: Vec3) -> f64 {
+        let fx = ((p.x - self.origin.0) / self.spacing).clamp(0.0, (self.nx - 1) as f64);
+        let fy = ((p.y - self.origin.1) / self.spacing).clamp(0.0, (self.ny - 1) as f64);
+        let fz = (p.z / self.spacing).clamp(0.0, (self.nz - 1) as f64);
+        let x0 = fx.floor() as usize;
+        let y0 = fy.floor() as usize;
+        let z0 = fz.floor() as usize;
+        let x1 = (x0 + 1).min(self.nx - 1);
+        let y1 = (y0 + 1).min(self.ny - 1);
+        let z1 = (z0 + 1).min(self.nz - 1);
+        let tx = fx - x0 as f64;
+        let ty = fy - y0 as f64;
+        let tz = fz - z0 as f64;
+
+        let lerp = |a: f64, b: f64, t: f64| a + (b - a) * t;
+        let c00 = lerp(self.node(x0, y0, z0), self.node(x1, y0, z0), tx);
+        let c10 = lerp(self.node(x0, y1, z0), self.node(x1, y1, z0), tx);
+        let c01 = lerp(self.node(x0, y0, z1), self.node(x1, y0, z1), tx);
+        let c11 = lerp(self.node(x0, y1, z1), self.node(x1, y1, z1), tx);
+        let c0 = lerp(c00, c10, ty);
+        let c1 = lerp(c01, c11, ty);
+        lerp(c0, c1, tz)
+    }
+}
+
+impl FieldModel for LaplaceSolver {
+    fn potential(&self, p: Vec3) -> f64 {
+        self.interpolate(p)
+    }
+
+    fn differentiation_step(&self) -> f64 {
+        self.spacing * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::ElectrodePhase;
+    use labchip_units::{GridCoord, GridDims, GridRect, Meters, Volts};
+
+    fn small_plane_with_cage() -> (ElectrodePlane, GridRect) {
+        let mut plane = ElectrodePlane::new(
+            GridDims::square(7),
+            Meters::from_micrometers(20.0),
+            Volts::new(3.3),
+            Meters::from_micrometers(60.0),
+        );
+        plane.set_phase(GridCoord::new(3, 3), ElectrodePhase::CounterPhase);
+        let region = GridRect::new(GridCoord::new(0, 0), GridCoord::new(6, 6));
+        (plane, region)
+    }
+
+    #[test]
+    fn solver_converges_on_small_region() {
+        let (plane, region) = small_plane_with_cage();
+        let solved = LaplaceSolver::solve(&plane, region).expect("convergence");
+        assert!(solved.iterations() > 0);
+        assert!(solved.residual() < 1e-4);
+        let (nx, ny, nz) = solved.node_counts();
+        assert!(nx > 10 && ny > 10 && nz > 3);
+    }
+
+    #[test]
+    fn boundary_values_are_respected() {
+        let (plane, region) = small_plane_with_cage();
+        let solved = LaplaceSolver::solve(&plane, region).expect("convergence");
+        // Near the bottom above the cage electrode: close to -V.
+        let c = plane.electrode_center(GridCoord::new(3, 3));
+        let phi_bottom = solved.potential(Vec3::new(c.x, c.y, 0.0));
+        assert!((phi_bottom - (-3.3)).abs() < 0.3, "phi = {phi_bottom}");
+        // At the lid: close to the lid voltage.
+        let phi_top = solved.potential(Vec3::new(c.x, c.y, plane.chamber_height().get()));
+        assert!((phi_top - plane.lid_voltage().get()).abs() < 0.3, "phi = {phi_top}");
+    }
+
+    #[test]
+    fn interior_satisfies_maximum_principle() {
+        let (plane, region) = small_plane_with_cage();
+        let solved = LaplaceSolver::solve(&plane, region).expect("convergence");
+        let v = plane.amplitude().get();
+        for &z in &[10e-6, 30e-6, 50e-6] {
+            for &x in &[20e-6, 70e-6, 120e-6] {
+                let phi = solved.potential(Vec3::new(x, 70e-6, z));
+                assert!(phi.abs() <= v + 1e-6, "phi = {phi}");
+            }
+        }
+    }
+
+    #[test]
+    fn cage_minimum_matches_superposition_model_location() {
+        // The reference solver and the fast model must agree on which
+        // electrode hosts the |E|² minimum.
+        use crate::field::superposition::SuperpositionField;
+        let (plane, region) = small_plane_with_cage();
+        let solved = LaplaceSolver::solve(&plane, region).expect("convergence");
+        let fast = SuperpositionField::new(plane.clone());
+        let pitch = plane.pitch().get();
+        let z = 1.2 * pitch;
+        let mut best_ref = (f64::INFINITY, GridCoord::new(0, 0));
+        let mut best_fast = (f64::INFINITY, GridCoord::new(0, 0));
+        for c in GridRect::new(GridCoord::new(1, 1), GridCoord::new(5, 5)).iter() {
+            let pos = plane.electrode_center(c);
+            let probe = Vec3::new(pos.x, pos.y, z);
+            let e_ref = solved.e_squared(probe);
+            let e_fast = fast.e_squared(probe);
+            if e_ref < best_ref.0 {
+                best_ref = (e_ref, c);
+            }
+            if e_fast < best_fast.0 {
+                best_fast = (e_fast, c);
+            }
+        }
+        assert_eq!(best_ref.1, GridCoord::new(3, 3));
+        assert_eq!(best_fast.1, best_ref.1);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let (plane, region) = small_plane_with_cage();
+        let bad_nodes = SolverConfig {
+            nodes_per_pitch: 1,
+            ..SolverConfig::default()
+        };
+        assert!(matches!(
+            LaplaceSolver::solve_with(&plane, region, bad_nodes),
+            Err(PhysicsError::InvalidParameter { name: "nodes_per_pitch", .. })
+        ));
+        let bad_omega = SolverConfig {
+            omega: 2.5,
+            ..SolverConfig::default()
+        };
+        assert!(matches!(
+            LaplaceSolver::solve_with(&plane, region, bad_omega),
+            Err(PhysicsError::InvalidParameter { name: "omega", .. })
+        ));
+        let out_of_range = GridRect::new(GridCoord::new(0, 0), GridCoord::new(20, 20));
+        assert!(matches!(
+            LaplaceSolver::solve(&plane, out_of_range),
+            Err(PhysicsError::OutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn too_few_iterations_reports_no_convergence() {
+        let (plane, region) = small_plane_with_cage();
+        let config = SolverConfig {
+            max_iterations: 1,
+            tolerance: 1e-12,
+            ..SolverConfig::default()
+        };
+        let err = LaplaceSolver::solve_with(&plane, region, config).unwrap_err();
+        assert!(matches!(err, PhysicsError::NoConvergence { .. }));
+    }
+}

@@ -1,0 +1,331 @@
+//! Quasi-static electric-field models above the electrode array.
+//!
+//! The chip drives every electrode with a sinusoidal voltage that is either
+//! **in phase** or in **counter-phase** with respect to the conductive lid
+//! (and may leave electrodes floating). Because all phases are 0 or π, the
+//! spatial part of the potential is a real field `Φ(r)` obtained by solving
+//! Laplace's equation with signed boundary amplitudes, and the time-averaged
+//! squared field is `|E_rms|² = |∇Φ|²` when `Φ` is built from RMS amplitudes.
+//!
+//! Two interchangeable models implement [`FieldModel`]:
+//!
+//! * [`superposition::SuperpositionField`] — a fast, closed-form
+//!   approximation based on patch (Poisson-kernel) superposition, suitable
+//!   for whole-array simulations with thousands of cages;
+//! * [`laplace::LaplaceSolver`] — a finite-difference Laplace solution on a
+//!   3-D grid, used as the accuracy reference for small regions.
+
+pub mod laplace;
+pub mod superposition;
+
+use labchip_units::{GridCoord, GridDims, Meters, Vec3, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Drive phase of one electrode relative to the lid counter-electrode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ElectrodePhase {
+    /// Driven with the same phase as the reference sinusoid (+V).
+    #[default]
+    InPhase,
+    /// Driven in counter-phase (−V). In the paper's architecture a cage forms
+    /// above a counter-phase electrode surrounded by in-phase neighbours.
+    CounterPhase,
+    /// Left floating / high impedance (contributes no drive; modelled as 0 V).
+    Floating,
+}
+
+impl ElectrodePhase {
+    /// Signed multiplier applied to the drive amplitude.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            ElectrodePhase::InPhase => 1.0,
+            ElectrodePhase::CounterPhase => -1.0,
+            ElectrodePhase::Floating => 0.0,
+        }
+    }
+
+    /// Logical inverse (floating stays floating).
+    #[inline]
+    pub fn inverted(self) -> Self {
+        match self {
+            ElectrodePhase::InPhase => ElectrodePhase::CounterPhase,
+            ElectrodePhase::CounterPhase => ElectrodePhase::InPhase,
+            ElectrodePhase::Floating => ElectrodePhase::Floating,
+        }
+    }
+}
+
+/// Boundary-condition description of the programmed electrode plane plus the
+/// lid: everything a field model needs to know about the chip state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElectrodePlane {
+    dims: GridDims,
+    pitch: Meters,
+    amplitude: Volts,
+    lid_voltage: Volts,
+    chamber_height: Meters,
+    phases: Vec<ElectrodePhase>,
+}
+
+impl ElectrodePlane {
+    /// Creates a plane with every electrode in phase (no cages programmed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch`, `amplitude` scale or `chamber_height` are not
+    /// strictly positive, or if the grid is empty.
+    pub fn new(dims: GridDims, pitch: Meters, amplitude: Volts, chamber_height: Meters) -> Self {
+        assert!(dims.count() > 0, "electrode grid must be non-empty");
+        assert!(pitch.get() > 0.0, "pitch must be positive");
+        assert!(chamber_height.get() > 0.0, "chamber height must be positive");
+        Self {
+            dims,
+            pitch,
+            amplitude,
+            lid_voltage: -amplitude,
+            chamber_height,
+            phases: vec![ElectrodePhase::InPhase; dims.count() as usize],
+        }
+    }
+
+    /// Grid dimensions of the electrode array.
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Electrode pitch.
+    #[inline]
+    pub fn pitch(&self) -> Meters {
+        self.pitch
+    }
+
+    /// RMS drive amplitude.
+    #[inline]
+    pub fn amplitude(&self) -> Volts {
+        self.amplitude
+    }
+
+    /// Lid (counter-electrode) RMS voltage. Defaults to `-amplitude`, i.e.
+    /// the lid is driven in counter-phase as in the paper's chip.
+    #[inline]
+    pub fn lid_voltage(&self) -> Volts {
+        self.lid_voltage
+    }
+
+    /// Sets the lid voltage.
+    pub fn set_lid_voltage(&mut self, v: Volts) {
+        self.lid_voltage = v;
+    }
+
+    /// Height of the liquid chamber between electrode plane and lid.
+    #[inline]
+    pub fn chamber_height(&self) -> Meters {
+        self.chamber_height
+    }
+
+    /// Phase programmed on one electrode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the array.
+    #[inline]
+    pub fn phase(&self, at: GridCoord) -> ElectrodePhase {
+        self.phases[self.dims.index_of(at)]
+    }
+
+    /// Programs the phase of one electrode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the array.
+    pub fn set_phase(&mut self, at: GridCoord, phase: ElectrodePhase) {
+        let idx = self.dims.index_of(at);
+        self.phases[idx] = phase;
+    }
+
+    /// Programs every electrode to the same phase.
+    pub fn fill(&mut self, phase: ElectrodePhase) {
+        self.phases.fill(phase);
+    }
+
+    /// Signed RMS voltage of one electrode (amplitude × phase sign).
+    #[inline]
+    pub fn signed_voltage(&self, at: GridCoord) -> Volts {
+        self.amplitude * self.phase(at).sign()
+    }
+
+    /// Physical centre of an electrode in chip-plane coordinates (z = 0).
+    #[inline]
+    pub fn electrode_center(&self, at: GridCoord) -> Vec3 {
+        at.to_position(self.pitch.get()).with_z(0.0)
+    }
+
+    /// Electrode grid cell containing a chip-plane position, if inside the
+    /// array.
+    pub fn electrode_at(&self, x: f64, y: f64) -> Option<GridCoord> {
+        if x < 0.0 || y < 0.0 {
+            return None;
+        }
+        let cx = (x / self.pitch.get()).floor() as u64;
+        let cy = (y / self.pitch.get()).floor() as u64;
+        if cx >= self.dims.cols as u64 || cy >= self.dims.rows as u64 {
+            None
+        } else {
+            Some(GridCoord::new(cx as u32, cy as u32))
+        }
+    }
+
+    /// Number of counter-phase electrodes (a proxy for the number of
+    /// programmed cages when using single-electrode cages).
+    pub fn counter_phase_count(&self) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| **p == ElectrodePhase::CounterPhase)
+            .count()
+    }
+
+    /// Iterates over all `(coordinate, phase)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GridCoord, ElectrodePhase)> + '_ {
+        self.dims.iter().map(move |c| (c, self.phase(c)))
+    }
+
+    /// Total chip-plane extent in x (metres).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.dims.cols as f64 * self.pitch.get()
+    }
+
+    /// Total chip-plane extent in y (metres).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.dims.rows as f64 * self.pitch.get()
+    }
+}
+
+/// A model of the spatial electric field produced by an [`ElectrodePlane`].
+pub trait FieldModel {
+    /// Spatial (RMS) potential `Φ` at a point, in volts.
+    fn potential(&self, p: Vec3) -> f64;
+
+    /// Step used for numerical differentiation, in metres.
+    fn differentiation_step(&self) -> f64;
+
+    /// Electric field `E = −∇Φ` at a point, by central differences.
+    fn field(&self, p: Vec3) -> Vec3 {
+        let h = self.differentiation_step();
+        let dx = (self.potential(Vec3::new(p.x + h, p.y, p.z))
+            - self.potential(Vec3::new(p.x - h, p.y, p.z)))
+            / (2.0 * h);
+        let dy = (self.potential(Vec3::new(p.x, p.y + h, p.z))
+            - self.potential(Vec3::new(p.x, p.y - h, p.z)))
+            / (2.0 * h);
+        let dz = (self.potential(Vec3::new(p.x, p.y, p.z + h))
+            - self.potential(Vec3::new(p.x, p.y, p.z - h)))
+            / (2.0 * h);
+        Vec3::new(-dx, -dy, -dz)
+    }
+
+    /// Squared RMS field magnitude `|E_rms|²` at a point, in (V/m)².
+    fn e_squared(&self, p: Vec3) -> f64 {
+        self.field(p).norm_squared()
+    }
+
+    /// Gradient of `|E_rms|²` at a point, by central differences.
+    fn grad_e_squared(&self, p: Vec3) -> Vec3 {
+        let h = self.differentiation_step();
+        let gx = (self.e_squared(Vec3::new(p.x + h, p.y, p.z))
+            - self.e_squared(Vec3::new(p.x - h, p.y, p.z)))
+            / (2.0 * h);
+        let gy = (self.e_squared(Vec3::new(p.x, p.y + h, p.z))
+            - self.e_squared(Vec3::new(p.x, p.y - h, p.z)))
+            / (2.0 * h);
+        let gz = (self.e_squared(Vec3::new(p.x, p.y, p.z + h))
+            - self.e_squared(Vec3::new(p.x, p.y, p.z - h)))
+            / (2.0 * h);
+        Vec3::new(gx, gy, gz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane() -> ElectrodePlane {
+        ElectrodePlane::new(
+            GridDims::square(8),
+            Meters::from_micrometers(20.0),
+            Volts::new(3.3),
+            Meters::from_micrometers(80.0),
+        )
+    }
+
+    #[test]
+    fn phase_signs() {
+        assert_eq!(ElectrodePhase::InPhase.sign(), 1.0);
+        assert_eq!(ElectrodePhase::CounterPhase.sign(), -1.0);
+        assert_eq!(ElectrodePhase::Floating.sign(), 0.0);
+        assert_eq!(
+            ElectrodePhase::InPhase.inverted(),
+            ElectrodePhase::CounterPhase
+        );
+        assert_eq!(
+            ElectrodePhase::Floating.inverted(),
+            ElectrodePhase::Floating
+        );
+    }
+
+    #[test]
+    fn plane_programs_phases() {
+        let mut p = plane();
+        assert_eq!(p.counter_phase_count(), 0);
+        p.set_phase(GridCoord::new(3, 3), ElectrodePhase::CounterPhase);
+        assert_eq!(p.phase(GridCoord::new(3, 3)), ElectrodePhase::CounterPhase);
+        assert_eq!(p.counter_phase_count(), 1);
+        assert_eq!(
+            p.signed_voltage(GridCoord::new(3, 3)),
+            Volts::new(-3.3)
+        );
+        p.fill(ElectrodePhase::Floating);
+        assert_eq!(p.counter_phase_count(), 0);
+        assert_eq!(p.signed_voltage(GridCoord::new(0, 0)), Volts::new(0.0));
+    }
+
+    #[test]
+    fn electrode_lookup_round_trips() {
+        let p = plane();
+        let c = GridCoord::new(5, 2);
+        let pos = p.electrode_center(c);
+        assert_eq!(p.electrode_at(pos.x, pos.y), Some(c));
+        assert_eq!(p.electrode_at(-1e-6, 0.0), None);
+        assert_eq!(p.electrode_at(1.0, 1.0), None);
+    }
+
+    #[test]
+    fn lid_defaults_to_counter_phase_of_drive() {
+        let p = plane();
+        assert_eq!(p.lid_voltage(), Volts::new(-3.3));
+        let mut p2 = plane();
+        p2.set_lid_voltage(Volts::new(0.0));
+        assert_eq!(p2.lid_voltage(), Volts::new(0.0));
+    }
+
+    #[test]
+    fn geometric_extent() {
+        let p = plane();
+        assert!((p.width() - 160e-6).abs() < 1e-12);
+        assert!((p.height() - 160e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch")]
+    fn zero_pitch_rejected() {
+        let _ = ElectrodePlane::new(
+            GridDims::square(4),
+            Meters::new(0.0),
+            Volts::new(3.3),
+            Meters::from_micrometers(80.0),
+        );
+    }
+}

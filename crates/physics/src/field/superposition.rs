@@ -1,0 +1,302 @@
+//! Fast closed-form field approximation by patch superposition.
+//!
+//! Each electrode is treated as a square patch on the z = 0 plane held at its
+//! programmed signed RMS voltage. The potential at a point inside the chamber
+//! is approximated in two steps:
+//!
+//! 1. the **bottom-plane trace** at height `z` is the normalised half-space
+//!    Poisson-kernel average of the nearby patches,
+//!    `φ_b(x,y,z) = Σ_i w_i·V_i / Σ_i w_i` with
+//!    `w_i = A_e · z / (2π (ρ_i² + z²)^{3/2})`, which reproduces the lateral
+//!    smoothing of the electrode pattern with height;
+//! 2. the chamber potential blends linearly towards the lid voltage,
+//!    `Φ(p) = (1 − z/h)·φ_b(p) + (z/h)·V_lid`, which is exact for a uniform
+//!    electrode pattern (parallel-plate field `2V/h` when the lid is driven in
+//!    counter-phase) and keeps the potential bounded by the boundary voltages.
+//!
+//! The model reproduces the qualitative cage structure — a local minimum of
+//! `|E|²` forms above a counter-phase electrode surrounded by in-phase
+//! neighbours — and the exact `V²` scaling of `|E|²`. Absolute accuracy is
+//! traded for speed; the finite-difference
+//! [`LaplaceSolver`](super::laplace::LaplaceSolver) serves as the reference.
+//!
+//! Patches farther than `cutoff_cells` pitches from the query point are
+//! ignored — the kernel decays as `ρ⁻³`, so the truncation error is small and
+//! evaluation cost is independent of the array size. This is what makes
+//! whole-array (>100,000 electrode) simulations tractable.
+
+use super::{ElectrodePlane, FieldModel};
+use labchip_units::{GridCoord, Vec3};
+
+/// Superposition-of-patches field model over an [`ElectrodePlane`].
+#[derive(Debug, Clone)]
+pub struct SuperpositionField {
+    plane: ElectrodePlane,
+    cutoff_cells: u32,
+}
+
+impl SuperpositionField {
+    /// Default truncation radius, in electrode pitches.
+    pub const DEFAULT_CUTOFF_CELLS: u32 = 6;
+
+    /// Creates a field model over the given programmed plane with the default
+    /// truncation radius.
+    pub fn new(plane: ElectrodePlane) -> Self {
+        Self::with_cutoff(plane, Self::DEFAULT_CUTOFF_CELLS)
+    }
+
+    /// Creates a field model with an explicit truncation radius (in pitches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff_cells` is zero.
+    pub fn with_cutoff(plane: ElectrodePlane, cutoff_cells: u32) -> Self {
+        assert!(cutoff_cells > 0, "cutoff must be at least one cell");
+        Self {
+            plane,
+            cutoff_cells,
+        }
+    }
+
+    /// The programmed electrode plane this model reads from.
+    pub fn plane(&self) -> &ElectrodePlane {
+        &self.plane
+    }
+
+    /// Mutable access to the plane, e.g. to reprogram phases between steps.
+    pub fn plane_mut(&mut self) -> &mut ElectrodePlane {
+        &mut self.plane
+    }
+
+    /// Truncation radius in cells.
+    pub fn cutoff_cells(&self) -> u32 {
+        self.cutoff_cells
+    }
+
+    fn kernel(area: f64, rho_sq: f64, dist: f64) -> f64 {
+        // Half-space Poisson kernel integrated over a patch of area `area`,
+        // approximated by the kernel at the patch centre. Clamp the distance
+        // to avoid the singularity exactly on the boundary plane.
+        let d = dist.max(1e-9);
+        area * d / (2.0 * std::f64::consts::PI * (rho_sq + d * d).powf(1.5))
+    }
+
+    fn local_cells(&self, p: Vec3) -> impl Iterator<Item = GridCoord> + '_ {
+        let pitch = self.plane.pitch().get();
+        let dims = self.plane.dims();
+        let cutoff = self.cutoff_cells as i64;
+        let cx = (p.x / pitch).floor() as i64;
+        let cy = (p.y / pitch).floor() as i64;
+        let x0 = (cx - cutoff).max(0) as u32;
+        let x1 = ((cx + cutoff).max(0) as u64).min(dims.cols as u64 - 1) as u32;
+        let y0 = (cy - cutoff).max(0) as u32;
+        let y1 = ((cy + cutoff).max(0) as u64).min(dims.rows as u64 - 1) as u32;
+        (y0..=y1).flat_map(move |y| (x0..=x1).map(move |x| GridCoord::new(x, y)))
+    }
+}
+
+impl FieldModel for SuperpositionField {
+    fn potential(&self, p: Vec3) -> f64 {
+        let pitch = self.plane.pitch().get();
+        let area = pitch * pitch;
+        let h = self.plane.chamber_height().get();
+        let z = p.z.clamp(0.0, h);
+        let lid_v = self.plane.lid_voltage().get();
+
+        // Bottom-plane trace: Poisson-kernel weighted average of the nearby
+        // electrode voltages at height z.
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for c in self.local_cells(p) {
+            let center = self.plane.electrode_center(c);
+            let rho_sq = (p.x - center.x).powi(2) + (p.y - center.y).powi(2);
+            let w = Self::kernel(area, rho_sq, z);
+            weighted += w * self.plane.signed_voltage(c).get();
+            total += w;
+        }
+        let phi_bottom = if total == 0.0 { 0.0 } else { weighted / total };
+
+        // Linear blend towards the lid.
+        let t = z / h;
+        (1.0 - t) * phi_bottom + t * lid_v
+    }
+
+    fn differentiation_step(&self) -> f64 {
+        self.plane.pitch().get() * 0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::ElectrodePhase;
+    use labchip_units::{GridDims, Meters, Volts};
+
+    fn cage_plane(n: u32) -> ElectrodePlane {
+        let mut plane = ElectrodePlane::new(
+            GridDims::square(n),
+            Meters::from_micrometers(20.0),
+            Volts::new(3.3),
+            Meters::from_micrometers(80.0),
+        );
+        // Single cage at the array centre.
+        let c = GridCoord::new(n / 2, n / 2);
+        plane.set_phase(c, ElectrodePhase::CounterPhase);
+        plane
+    }
+
+    fn cage_center_xy(plane: &ElectrodePlane) -> (f64, f64) {
+        let n = plane.dims().cols;
+        let c = GridCoord::new(n / 2, n / 2);
+        let pos = plane.electrode_center(c);
+        (pos.x, pos.y)
+    }
+
+    #[test]
+    fn potential_is_bounded_by_boundary_voltages() {
+        let plane = cage_plane(9);
+        let model = SuperpositionField::new(plane);
+        let v = model.plane().amplitude().get();
+        for &z_frac in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            for &x_frac in &[0.2, 0.5, 0.8] {
+                let p = Vec3::new(
+                    x_frac * model.plane().width(),
+                    0.5 * model.plane().height(),
+                    z_frac * model.plane().chamber_height().get(),
+                );
+                let phi = model.potential(p);
+                assert!(phi <= v + 1e-9 && phi >= -v - 1e-9, "phi = {phi}");
+            }
+        }
+    }
+
+    #[test]
+    fn potential_near_electrode_approaches_its_voltage() {
+        let plane = cage_plane(9);
+        let (cx, cy) = cage_center_xy(&plane);
+        let model = SuperpositionField::new(plane);
+        // Just above the counter-phase electrode the potential should be
+        // strongly negative (close to -V).
+        let phi = model.potential(Vec3::new(cx, cy, 0.5e-6));
+        assert!(phi < -0.8 * model.plane().amplitude().get(), "phi = {phi}");
+        // Just above an in-phase electrode far from the cage it should be
+        // strongly positive.
+        let phi_in = model.potential(Vec3::new(
+            cx + 3.0 * model.plane().pitch().get(),
+            cy,
+            0.5e-6,
+        ));
+        assert!(phi_in > 0.5 * model.plane().amplitude().get(), "phi = {phi_in}");
+    }
+
+    #[test]
+    fn cage_has_field_minimum_above_counter_phase_electrode() {
+        let plane = cage_plane(9);
+        let (cx, cy) = cage_center_xy(&plane);
+        let model = SuperpositionField::new(plane);
+        let pitch = model.plane().pitch().get();
+        let z = 1.5 * pitch;
+        let e_center = model.e_squared(Vec3::new(cx, cy, z));
+        // |E|² above the cage centre must be lower than above the in-phase
+        // neighbours at the same height: that is what makes it a trap for
+        // negative-DEP particles.
+        for &(dx, dy) in &[(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0)] {
+            let e_nb = model.e_squared(Vec3::new(cx + 1.5 * dx * pitch, cy + 1.5 * dy * pitch, z));
+            assert!(
+                e_center < e_nb,
+                "cage centre |E|^2 {e_center:.3e} not below neighbour {e_nb:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn field_scales_linearly_with_voltage_so_e_squared_scales_quadratically() {
+        // This is the paper's §2 argument: DEP force ∝ V², so halving the
+        // supply voltage (newer technology node) costs 4× in force.
+        let mut lo = cage_plane(9);
+        lo.set_lid_voltage(Volts::new(-1.2));
+        let hi = cage_plane(9);
+        let lo = {
+            let mut p = ElectrodePlane::new(
+                lo.dims(),
+                lo.pitch(),
+                Volts::new(1.2),
+                lo.chamber_height(),
+            );
+            p.set_phase(GridCoord::new(4, 4), ElectrodePhase::CounterPhase);
+            p
+        };
+        let (cx, cy) = cage_center_xy(&hi);
+        let m_hi = SuperpositionField::new(hi);
+        let m_lo = SuperpositionField::new(lo);
+        let probe = Vec3::new(cx + 10e-6, cy, 30e-6);
+        let ratio_v = 3.3f64 / 1.2;
+        let ratio_e2 = m_hi.e_squared(probe) / m_lo.e_squared(probe);
+        assert!(
+            (ratio_e2 / (ratio_v * ratio_v) - 1.0).abs() < 1e-6,
+            "expected quadratic scaling, got ratio {ratio_e2}"
+        );
+    }
+
+    #[test]
+    fn grad_e_squared_points_away_from_cage_center_laterally() {
+        let plane = cage_plane(9);
+        let (cx, cy) = cage_center_xy(&plane);
+        let model = SuperpositionField::new(plane);
+        let pitch = model.plane().pitch().get();
+        // A little off-centre, |E|² increases away from the cage, so the
+        // lateral gradient points outward; nDEP force (−K∇|E|²) then points
+        // back in. Restoring behaviour is what we check here.
+        let p = Vec3::new(cx + 0.3 * pitch, cy, 1.5 * pitch);
+        let g = model.grad_e_squared(p);
+        assert!(g.x > 0.0, "expected outward gradient, got {}", g.x);
+    }
+
+    #[test]
+    fn uniform_plane_has_negligible_lateral_field() {
+        // With every electrode in phase the lateral field should nearly
+        // vanish by symmetry (away from the array edges).
+        let plane = ElectrodePlane::new(
+            GridDims::square(15),
+            Meters::from_micrometers(20.0),
+            Volts::new(3.3),
+            Meters::from_micrometers(80.0),
+        );
+        let model = SuperpositionField::new(plane);
+        let p = Vec3::new(
+            0.5 * model.plane().width(),
+            0.5 * model.plane().height(),
+            40e-6,
+        );
+        let e = model.field(p);
+        assert!(e.x.abs() < 0.02 * e.z.abs() + 1.0);
+        assert!(e.y.abs() < 0.02 * e.z.abs() + 1.0);
+        // The vertical field should be roughly 2V / h.
+        let expected = 2.0 * 3.3 / 80e-6;
+        assert!((e.z.abs() - expected).abs() / expected < 0.5, "Ez = {}", e.z);
+    }
+
+    #[test]
+    fn cutoff_must_be_positive() {
+        let plane = cage_plane(5);
+        let result = std::panic::catch_unwind(|| SuperpositionField::with_cutoff(plane, 0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn evaluation_cost_is_independent_of_array_size() {
+        // Not a timing test: just confirm large arrays are usable by
+        // evaluating a point on a 200x200 (40,000 electrode) plane.
+        let mut plane = ElectrodePlane::new(
+            GridDims::square(200),
+            Meters::from_micrometers(20.0),
+            Volts::new(3.3),
+            Meters::from_micrometers(80.0),
+        );
+        plane.set_phase(GridCoord::new(100, 100), ElectrodePhase::CounterPhase);
+        let model = SuperpositionField::new(plane);
+        let c = model.plane().electrode_center(GridCoord::new(100, 100));
+        let e2 = model.e_squared(Vec3::new(c.x, c.y, 30e-6));
+        assert!(e2.is_finite() && e2 > 0.0);
+    }
+}

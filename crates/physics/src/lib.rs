@@ -1,0 +1,70 @@
+//! # labchip-physics
+//!
+//! Physics substrate for the `labchip` workspace: everything needed to model
+//! the dielectrophoretic (DEP) manipulation of single cells above a CMOS
+//! electrode array, as described in the DATE'05 paper "New Perspectives and
+//! Opportunities From the Wild West of Microelectronic Biochips".
+//!
+//! The crate provides:
+//!
+//! * complex permittivities and the **Clausius–Mossotti factor** of
+//!   homogeneous beads and single-shell cell models ([`dielectric`],
+//!   [`particle`]),
+//! * quasi-static **electric-field models** above a programmed electrode
+//!   array — a fast analytic superposition model and a finite-difference
+//!   Laplace solver ([`field`]),
+//! * the **DEP force**, trap stiffness and holding force ([`dep`]),
+//! * Stokes **drag**, sedimentation, **Brownian motion** and Joule-heating /
+//!   evaporation side effects ([`drag`], [`brownian`], [`thermal`]),
+//! * overdamped **particle dynamics** integration and levitation-equilibrium
+//!   solving ([`dynamics`], [`levitation`]).
+//!
+//! ## Example: a cell in a DEP cage
+//!
+//! ```
+//! use labchip_physics::prelude::*;
+//! use labchip_units::{Hertz, Meters, Vec3, Volts};
+//!
+//! let medium = Medium::physiological_low_conductivity();
+//! let cell = Particle::viable_cell(Meters::from_micrometers(10.0));
+//! // Negative DEP at 10 kHz in a low-conductivity buffer: the cell is pushed
+//! // towards field minima, i.e. into the cage.
+//! let cm = cell.clausius_mossotti(&medium, Hertz::from_kilohertz(10.0));
+//! assert!(cm.re < 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod brownian;
+pub mod complex;
+pub mod dep;
+pub mod dielectric;
+pub mod drag;
+pub mod dynamics;
+pub mod error;
+pub mod field;
+pub mod levitation;
+pub mod medium;
+pub mod particle;
+pub mod thermal;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::brownian::BrownianMotion;
+    pub use crate::complex::Complex;
+    pub use crate::dep::{DepForceModel, TrapAnalysis};
+    pub use crate::dielectric::{clausius_mossotti, crossover_frequency, ComplexPermittivity};
+    pub use crate::drag::StokesDrag;
+    pub use crate::dynamics::{ForceBalance, OverdampedIntegrator, ParticleState, Trajectory};
+    pub use crate::error::PhysicsError;
+    pub use crate::field::laplace::LaplaceSolver;
+    pub use crate::field::superposition::SuperpositionField;
+    pub use crate::field::{ElectrodePhase, ElectrodePlane, FieldModel};
+    pub use crate::levitation::LevitationSolver;
+    pub use crate::medium::Medium;
+    pub use crate::particle::{Particle, ParticleKind, ShellModel};
+    pub use crate::thermal::{EvaporationModel, JouleHeating};
+}
+
+pub use error::PhysicsError;

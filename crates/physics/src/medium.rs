@@ -1,0 +1,157 @@
+//! Suspension-medium models.
+//!
+//! Cells are manipulated while suspended in an aqueous buffer inside the
+//! ~4 µl microchamber. For DEP the relevant medium properties are its
+//! permittivity and conductivity (which set the Clausius–Mossotti factor and
+//! the Joule heating), plus viscosity, density and temperature for drag,
+//! sedimentation and Brownian motion.
+
+use crate::dielectric::ComplexPermittivity;
+use labchip_units::{
+    Kelvin, KilogramsPerCubicMeter, PascalSeconds, SiemensPerMeter, VACUUM_PERMITTIVITY,
+    WATER_DENSITY, WATER_RELATIVE_PERMITTIVITY, WATER_VISCOSITY,
+};
+use serde::{Deserialize, Serialize};
+
+/// An aqueous suspension medium.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Medium {
+    /// Relative permittivity (dimensionless).
+    pub relative_permittivity: f64,
+    /// Electrical conductivity.
+    pub conductivity: SiemensPerMeter,
+    /// Dynamic viscosity.
+    pub viscosity: PascalSeconds,
+    /// Mass density.
+    pub density: KilogramsPerCubicMeter,
+    /// Temperature.
+    pub temperature: Kelvin,
+}
+
+impl Medium {
+    /// Creates a custom medium.
+    pub fn new(
+        relative_permittivity: f64,
+        conductivity: SiemensPerMeter,
+        viscosity: PascalSeconds,
+        density: KilogramsPerCubicMeter,
+        temperature: Kelvin,
+    ) -> Self {
+        Self {
+            relative_permittivity,
+            conductivity,
+            viscosity,
+            density,
+            temperature,
+        }
+    }
+
+    /// A low-conductivity isotonic buffer (~280 mOsm mannitol/sucrose based),
+    /// the standard choice for negative-DEP cell manipulation as used by the
+    /// paper's chip. Conductivity ≈ 30 mS/m.
+    pub fn physiological_low_conductivity() -> Self {
+        Self {
+            relative_permittivity: WATER_RELATIVE_PERMITTIVITY,
+            conductivity: SiemensPerMeter::new(0.03),
+            viscosity: PascalSeconds::new(WATER_VISCOSITY),
+            density: KilogramsPerCubicMeter::new(WATER_DENSITY),
+            temperature: Kelvin::from_celsius(25.0),
+        }
+    }
+
+    /// Standard phosphate-buffered saline (PBS), conductivity ≈ 1.5 S/m.
+    /// DEP in PBS is almost always negative and heating is severe; useful as
+    /// a contrast case.
+    pub fn phosphate_buffered_saline() -> Self {
+        Self {
+            relative_permittivity: WATER_RELATIVE_PERMITTIVITY,
+            conductivity: SiemensPerMeter::new(1.5),
+            viscosity: PascalSeconds::new(WATER_VISCOSITY),
+            density: KilogramsPerCubicMeter::new(1_005.0),
+            temperature: Kelvin::from_celsius(25.0),
+        }
+    }
+
+    /// Deionised water, conductivity ≈ 0.1 mS/m.
+    pub fn deionized_water() -> Self {
+        Self {
+            relative_permittivity: WATER_RELATIVE_PERMITTIVITY,
+            conductivity: SiemensPerMeter::new(1e-4),
+            viscosity: PascalSeconds::new(WATER_VISCOSITY),
+            density: KilogramsPerCubicMeter::new(WATER_DENSITY),
+            temperature: Kelvin::from_celsius(25.0),
+        }
+    }
+
+    /// Absolute permittivity ε = ε₀·εᵣ, in F/m.
+    #[inline]
+    pub fn absolute_permittivity(&self) -> f64 {
+        VACUUM_PERMITTIVITY * self.relative_permittivity
+    }
+
+    /// Complex permittivity at angular frequency `omega` (rad/s).
+    #[inline]
+    pub fn complex_permittivity(&self, omega: f64) -> ComplexPermittivity {
+        ComplexPermittivity::new(
+            self.relative_permittivity,
+            self.conductivity.get(),
+            omega,
+        )
+    }
+
+    /// Returns a copy with a different conductivity.
+    pub fn with_conductivity(mut self, conductivity: SiemensPerMeter) -> Self {
+        self.conductivity = conductivity;
+        self
+    }
+
+    /// Returns a copy with a different temperature.
+    pub fn with_temperature(mut self, temperature: Kelvin) -> Self {
+        self.temperature = temperature;
+        self
+    }
+}
+
+impl Default for Medium {
+    fn default() -> Self {
+        Self::physiological_low_conductivity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_conductivity() {
+        let di = Medium::deionized_water();
+        let low = Medium::physiological_low_conductivity();
+        let pbs = Medium::phosphate_buffered_saline();
+        assert!(di.conductivity < low.conductivity);
+        assert!(low.conductivity < pbs.conductivity);
+    }
+
+    #[test]
+    fn absolute_permittivity_is_eps0_times_relative() {
+        let m = Medium::default();
+        let expected = VACUUM_PERMITTIVITY * m.relative_permittivity;
+        assert!((m.absolute_permittivity() - expected).abs() < 1e-20);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let m = Medium::default()
+            .with_conductivity(SiemensPerMeter::new(0.5))
+            .with_temperature(Kelvin::from_celsius(37.0));
+        assert_eq!(m.conductivity, SiemensPerMeter::new(0.5));
+        assert!((m.temperature.as_celsius() - 37.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_permittivity_has_negative_imaginary_part() {
+        let m = Medium::default();
+        let eps = m.complex_permittivity(2.0 * std::f64::consts::PI * 1e6);
+        assert!(eps.value().re > 0.0);
+        assert!(eps.value().im < 0.0);
+    }
+}

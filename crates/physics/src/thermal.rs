@@ -1,0 +1,225 @@
+//! Joule heating, electro-thermal flow and evaporation.
+//!
+//! The paper's §3 lists "heating and evaporation, electro-thermal flow, AC
+//! electro-osmosis" among the effects that make fluidic simulation hard.
+//! These reduced-order models capture their magnitude so that the full-chip
+//! simulator and the design-flow study can reason about them without CFD.
+
+use crate::medium::Medium;
+use labchip_units::{
+    CubicMeters, Kelvin, Meters, Seconds, Volts, Watts, WATER_LATENT_HEAT,
+    WATER_THERMAL_CONDUCTIVITY,
+};
+use serde::{Deserialize, Serialize};
+
+/// Joule heating of the chamber liquid by the AC drive field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JouleHeating {
+    conductivity: f64,
+    thermal_conductivity: f64,
+}
+
+impl JouleHeating {
+    /// Builds the model from the medium conductivity, using water's thermal
+    /// conductivity for the heat path.
+    pub fn new(medium: &Medium) -> Self {
+        Self {
+            conductivity: medium.conductivity.get(),
+            thermal_conductivity: WATER_THERMAL_CONDUCTIVITY,
+        }
+    }
+
+    /// Volumetric power density `σ |E_rms|²` (W/m³) at a point with the given
+    /// squared RMS field.
+    #[inline]
+    pub fn power_density(&self, e_squared: f64) -> f64 {
+        self.conductivity * e_squared
+    }
+
+    /// Classical order-of-magnitude estimate of the steady-state temperature
+    /// rise in a microelectrode chamber driven with RMS voltage `v_rms`:
+    /// `ΔT ≈ σ V_rms² / (8 k)`.
+    pub fn temperature_rise(&self, v_rms: Volts) -> Kelvin {
+        Kelvin::new(self.conductivity * v_rms.squared() / (8.0 * self.thermal_conductivity))
+    }
+
+    /// Total power dissipated in a chamber of volume `volume` with average
+    /// squared field `e_squared_avg`.
+    pub fn total_power(&self, e_squared_avg: f64, volume: CubicMeters) -> Watts {
+        Watts::new(self.power_density(e_squared_avg) * volume.get())
+    }
+
+    /// Characteristic electro-thermal slip velocity scale (m/s) for a chamber
+    /// of height `h`, temperature rise `delta_t` and drive `v_rms`. A
+    /// reduced-order scaling of the Ramos/Castellanos expressions: the point
+    /// is to know when it competes with the 10–100 µm/s DEP transport.
+    pub fn electrothermal_velocity_scale(
+        &self,
+        medium: &Medium,
+        v_rms: Volts,
+        delta_t: Kelvin,
+        chamber_height: Meters,
+    ) -> f64 {
+        // Fractional changes of conductivity and permittivity with
+        // temperature (≈2 %/K and -0.4 %/K for water).
+        let beta = 0.02 * delta_t.get();
+        let eps = medium.absolute_permittivity();
+        // U ~ (ε β E² h) / η with E ~ V/h.
+        let e = v_rms.get() / chamber_height.get();
+        eps * beta * e * e * chamber_height.get() / medium.viscosity.get() * 0.1
+    }
+}
+
+/// Evaporation of the open sample drop / chamber.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvaporationModel {
+    /// Relative humidity of the ambient air (0–1).
+    pub relative_humidity: f64,
+    /// Exposed liquid surface area (m²).
+    pub exposed_area: f64,
+    /// Empirical mass-transfer coefficient (kg/(m²·s) at zero humidity,
+    /// room temperature).
+    pub transfer_coefficient: f64,
+}
+
+impl EvaporationModel {
+    /// A 4 µl sessile drop exposed to lab air at 45 % relative humidity —
+    /// the uncovered-chip situation the paper's packaging solves.
+    pub fn open_drop_4ul() -> Self {
+        Self {
+            relative_humidity: 0.45,
+            // A 4 µl hemispherical drop has a radius of ~1.24 mm and an
+            // exposed cap area of ~9.7 mm².
+            exposed_area: 9.7e-6,
+            transfer_coefficient: 1.2e-4,
+        }
+    }
+
+    /// A packaged microchamber with only small vent openings.
+    pub fn packaged_chamber() -> Self {
+        Self {
+            relative_humidity: 0.9,
+            exposed_area: 0.1e-6,
+            transfer_coefficient: 1.2e-4,
+        }
+    }
+
+    /// Evaporated volume after `duration` at ambient temperature `temp`.
+    ///
+    /// The rate grows roughly exponentially with temperature (≈7 %/K above
+    /// 25 °C, a Clausius–Clapeyron linearisation).
+    pub fn evaporated_volume(&self, duration: Seconds, temp: Kelvin) -> CubicMeters {
+        let t_factor = (0.07 * (temp.as_celsius() - 25.0)).exp();
+        let mass_rate =
+            self.transfer_coefficient * (1.0 - self.relative_humidity) * self.exposed_area * t_factor;
+        let volume_rate = mass_rate / 997.0;
+        CubicMeters::new(volume_rate * duration.get())
+    }
+
+    /// Time for the given volume to evaporate completely at temperature
+    /// `temp`.
+    pub fn time_to_dry(&self, volume: CubicMeters, temp: Kelvin) -> Seconds {
+        let per_second = self.evaporated_volume(Seconds::new(1.0), temp).get();
+        if per_second <= 0.0 {
+            Seconds::new(f64::INFINITY)
+        } else {
+            Seconds::new(volume.get() / per_second)
+        }
+    }
+
+    /// Cooling power carried away by evaporation at temperature `temp`.
+    pub fn evaporative_cooling(&self, temp: Kelvin) -> Watts {
+        let volume_rate = self.evaporated_volume(Seconds::new(1.0), temp).get();
+        Watts::new(volume_rate * 997.0 * WATER_LATENT_HEAT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heating_scales_with_conductivity_and_voltage_squared() {
+        let low = JouleHeating::new(&Medium::physiological_low_conductivity());
+        let pbs = JouleHeating::new(&Medium::phosphate_buffered_saline());
+        let v = Volts::new(3.3);
+        assert!(pbs.temperature_rise(v).get() > low.temperature_rise(v).get() * 10.0);
+        let r1 = low.temperature_rise(Volts::new(2.0)).get();
+        let r2 = low.temperature_rise(Volts::new(4.0)).get();
+        assert!((r2 / r1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_conductivity_buffer_keeps_heating_mild() {
+        // One reason the paper's chip uses a low-conductivity buffer: at a
+        // 3.3 V drive the temperature rise stays well under 1 K.
+        let h = JouleHeating::new(&Medium::physiological_low_conductivity());
+        assert!(h.temperature_rise(Volts::new(3.3)).get() < 1.0);
+        // In PBS the same drive would heat noticeably.
+        let pbs = JouleHeating::new(&Medium::phosphate_buffered_saline());
+        assert!(pbs.temperature_rise(Volts::new(3.3)).get() > 1.0);
+    }
+
+    #[test]
+    fn power_density_and_total_power_consistent() {
+        let h = JouleHeating::new(&Medium::physiological_low_conductivity());
+        let e2 = (3.3f64 / 80e-6).powi(2);
+        let vol = CubicMeters::from_microliters(4.0);
+        let total = h.total_power(e2, vol);
+        assert!((total.get() - h.power_density(e2) * vol.get()).abs() < 1e-15);
+        assert!(total.get() > 0.0);
+    }
+
+    #[test]
+    fn electrothermal_velocity_small_in_low_conductivity_buffer() {
+        let medium = Medium::physiological_low_conductivity();
+        let h = JouleHeating::new(&medium);
+        let dt = h.temperature_rise(Volts::new(3.3));
+        let u = h.electrothermal_velocity_scale(
+            &medium,
+            Volts::new(3.3),
+            dt,
+            Meters::from_micrometers(80.0),
+        );
+        // Should not overwhelm the 10-100 µm/s DEP transport.
+        assert!(u < 100e-6, "u = {u} m/s");
+    }
+
+    #[test]
+    fn open_drop_evaporates_in_tens_of_minutes() {
+        // The 4 µl drop of the paper dries out on the tens-of-minutes scale
+        // when uncovered — a key packaging constraint.
+        let e = EvaporationModel::open_drop_4ul();
+        let t = e.time_to_dry(CubicMeters::from_microliters(4.0), Kelvin::from_celsius(25.0));
+        assert!(
+            t.as_minutes() > 2.0 && t.as_minutes() < 600.0,
+            "time to dry = {} min",
+            t.as_minutes()
+        );
+    }
+
+    #[test]
+    fn packaging_slows_evaporation_dramatically() {
+        let open = EvaporationModel::open_drop_4ul();
+        let packaged = EvaporationModel::packaged_chamber();
+        let vol = CubicMeters::from_microliters(4.0);
+        let temp = Kelvin::from_celsius(25.0);
+        assert!(packaged.time_to_dry(vol, temp).get() > 20.0 * open.time_to_dry(vol, temp).get());
+    }
+
+    #[test]
+    fn warmer_samples_evaporate_faster() {
+        let e = EvaporationModel::open_drop_4ul();
+        let cold = e.evaporated_volume(Seconds::from_minutes(10.0), Kelvin::from_celsius(20.0));
+        let warm = e.evaporated_volume(Seconds::from_minutes(10.0), Kelvin::from_celsius(37.0));
+        assert!(warm.get() > cold.get());
+    }
+
+    #[test]
+    fn evaporative_cooling_is_positive_but_small() {
+        let e = EvaporationModel::open_drop_4ul();
+        let p = e.evaporative_cooling(Kelvin::from_celsius(25.0));
+        assert!(p.get() > 0.0);
+        assert!(p.get() < 1.0, "cooling power {p}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the physics crate.
+
+use labchip_physics::prelude::*;
+use labchip_units::{GridCoord, GridDims, Hertz, Meters, SiemensPerMeter, Vec3, Volts};
+use proptest::prelude::*;
+
+fn cage_field(amplitude: f64, pitch_um: f64) -> (SuperpositionField, Vec3) {
+    let mut plane = ElectrodePlane::new(
+        GridDims::square(9),
+        Meters::from_micrometers(pitch_um),
+        Volts::new(amplitude),
+        Meters::from_micrometers(4.0 * pitch_um),
+    );
+    plane.set_phase(GridCoord::new(4, 4), ElectrodePhase::CounterPhase);
+    let c = plane.electrode_center(GridCoord::new(4, 4));
+    (SuperpositionField::new(plane), c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Re[K] is bounded to (-0.5, 1.0] for any physical parameters.
+    #[test]
+    fn clausius_mossotti_factor_is_bounded(
+        eps_p in 2.0f64..90.0,
+        sig_p in 1e-7f64..2.0,
+        sig_m in 1e-5f64..2.0,
+        log_f in 3.0f64..9.0,
+    ) {
+        let particle = Particle::new(
+            Meters::from_micrometers(8.0),
+            labchip_units::KilogramsPerCubicMeter::new(1_050.0),
+            ParticleKind::Homogeneous { relative_permittivity: eps_p, conductivity: sig_p },
+        );
+        let medium = Medium::physiological_low_conductivity()
+            .with_conductivity(SiemensPerMeter::new(sig_m));
+        let k = particle.cm_re(&medium, Hertz::new(10f64.powf(log_f)));
+        prop_assert!(k > -0.5 - 1e-9 && k <= 1.0 + 1e-9, "K = {}", k);
+    }
+
+    /// The shelled-cell model must also stay within the physical CM bounds.
+    #[test]
+    fn shelled_cell_cm_factor_is_bounded(
+        radius_um in 3.0f64..15.0,
+        mem_cond in 1e-8f64..1e-2,
+        cyt_cond in 0.05f64..1.0,
+        log_f in 3.0f64..8.5,
+    ) {
+        let shell = ShellModel {
+            membrane_conductivity: mem_cond,
+            cytoplasm_conductivity: cyt_cond,
+            ..ShellModel::viable_mammalian()
+        };
+        let particle = Particle::new(
+            Meters::from_micrometers(radius_um),
+            labchip_units::KilogramsPerCubicMeter::new(1_050.0),
+            ParticleKind::ShelledCell(shell),
+        );
+        let medium = Medium::physiological_low_conductivity();
+        let k = particle.cm_re(&medium, Hertz::new(10f64.powf(log_f)));
+        prop_assert!(k > -0.5 - 1e-6 && k <= 1.0 + 1e-6, "K = {}", k);
+    }
+
+    /// The superposition potential never exceeds the applied boundary
+    /// voltages (discrete maximum principle).
+    #[test]
+    fn potential_respects_maximum_principle(
+        amplitude in 0.5f64..6.0,
+        x_frac in 0.05f64..0.95,
+        y_frac in 0.05f64..0.95,
+        z_frac in 0.01f64..0.99,
+    ) {
+        let (field, _) = cage_field(amplitude, 20.0);
+        let p = Vec3::new(
+            x_frac * field.plane().width(),
+            y_frac * field.plane().height(),
+            z_frac * field.plane().chamber_height().get(),
+        );
+        let phi = field.potential(p);
+        prop_assert!(phi.abs() <= amplitude + 1e-9, "phi = {}", phi);
+    }
+
+    /// |E|² scales exactly with V² in the linear field model — the paper's
+    /// "DEP force depends on voltage squared" argument.
+    #[test]
+    fn e_squared_scales_quadratically_with_voltage(
+        v1 in 0.5f64..3.0,
+        scale in 1.1f64..4.0,
+        x_off in -30.0f64..30.0,
+        z_um in 10.0f64..70.0,
+    ) {
+        let v2 = v1 * scale;
+        let (f1, c) = cage_field(v1, 20.0);
+        let (f2, _) = cage_field(v2, 20.0);
+        let p = Vec3::new(c.x + x_off * 1e-6, c.y, z_um * 1e-6);
+        let e1 = f1.e_squared(p);
+        let e2 = f2.e_squared(p);
+        if e1 > 1e-3 {
+            prop_assert!((e2 / e1 / (scale * scale) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// DEP force magnitude scales with the cube of the particle radius.
+    #[test]
+    fn dep_prefactor_scales_with_radius_cubed(r1_um in 2.0f64..8.0, scale in 1.2f64..3.0) {
+        let medium = Medium::physiological_low_conductivity();
+        let f = Hertz::from_kilohertz(10.0);
+        let p1 = Particle::polystyrene_bead(Meters::from_micrometers(r1_um));
+        let p2 = Particle::polystyrene_bead(Meters::from_micrometers(r1_um * scale));
+        let d1 = DepForceModel::new(&p1, &medium, f).prefactor().abs();
+        let d2 = DepForceModel::new(&p2, &medium, f).prefactor().abs();
+        prop_assert!((d2 / d1 / scale.powi(3) - 1.0).abs() < 1e-6);
+    }
+
+    /// Stokes terminal velocity is linear in force and inversely proportional
+    /// to radius.
+    #[test]
+    fn terminal_velocity_scaling(force_pn in 0.1f64..100.0, radius_um in 2.0f64..15.0) {
+        let medium = Medium::physiological_low_conductivity();
+        let cell = Particle::viable_cell(Meters::from_micrometers(radius_um));
+        let drag = StokesDrag::new(&cell, &medium);
+        let f = labchip_units::Newtons::from_piconewtons(force_pn);
+        let v = drag.terminal_velocity(f);
+        prop_assert!(v.get() > 0.0);
+        let v2 = drag.terminal_velocity(f * 2.0);
+        prop_assert!((v2.get() / v.get() - 2.0).abs() < 1e-9);
+    }
+
+    /// Brownian RMS displacement grows with the square root of time.
+    #[test]
+    fn brownian_rms_sqrt_time(radius_um in 1.0f64..15.0, t in 0.01f64..10.0, scale in 1.5f64..9.0) {
+        let medium = Medium::physiological_low_conductivity();
+        let cell = Particle::viable_cell(Meters::from_micrometers(radius_um));
+        let b = BrownianMotion::new(&cell, &medium);
+        let d1 = b.rms_displacement(labchip_units::Seconds::new(t));
+        let d2 = b.rms_displacement(labchip_units::Seconds::new(t * scale));
+        prop_assert!((d2 / d1 / scale.sqrt() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Analogue-to-digital conversion of the sensor outputs.
+
+use crate::error::SensingError;
+use labchip_units::Volts;
+use serde::{Deserialize, Serialize};
+
+/// A uniform mid-rise quantiser with saturation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    bits: u8,
+    full_scale: Volts,
+}
+
+impl Adc {
+    /// Creates an ADC with the given resolution and full-scale input range
+    /// `[-full_scale, +full_scale]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensingError::InvalidConfiguration`] for a resolution
+    /// outside `1..=24` bits or a non-positive full scale.
+    pub fn new(bits: u8, full_scale: Volts) -> Result<Self, SensingError> {
+        if !(1..=24).contains(&bits) {
+            return Err(SensingError::InvalidConfiguration {
+                name: "bits",
+                reason: format!("resolution must be 1..=24 bits, got {bits}"),
+            });
+        }
+        if full_scale.get() <= 0.0 {
+            return Err(SensingError::InvalidConfiguration {
+                name: "full_scale",
+                reason: "full scale must be positive".into(),
+            });
+        }
+        Ok(Self { bits, full_scale })
+    }
+
+    /// The 10-bit, ±50 mV converter used by the reference readout chain.
+    pub fn date05_reference() -> Self {
+        Self {
+            bits: 10,
+            full_scale: Volts::from_millivolts(50.0),
+        }
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Full-scale input (half range).
+    pub fn full_scale(&self) -> Volts {
+        self.full_scale
+    }
+
+    /// Number of quantisation levels.
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Size of one least-significant bit in volts.
+    pub fn lsb(&self) -> Volts {
+        self.full_scale * 2.0 / self.levels() as f64
+    }
+
+    /// Converts an input voltage to a signed code, saturating at the range
+    /// limits.
+    pub fn quantize(&self, input: Volts) -> i32 {
+        let max_code = (self.levels() / 2) as i32 - 1;
+        let min_code = -(self.levels() as i32 / 2);
+        let code = (input.get() / self.lsb().get()).round() as i64;
+        code.clamp(min_code as i64, max_code as i64) as i32
+    }
+
+    /// Reconstructs the voltage corresponding to a code (mid-tread).
+    pub fn to_voltage(&self, code: i32) -> Volts {
+        self.lsb() * code as f64
+    }
+
+    /// RMS quantisation noise, `LSB/√12`.
+    pub fn quantization_noise_rms(&self) -> Volts {
+        self.lsb() / 12f64.sqrt()
+    }
+}
+
+impl Default for Adc {
+    fn default() -> Self {
+        Self::date05_reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Adc::new(10, Volts::new(1.0)).is_ok());
+        assert!(Adc::new(0, Volts::new(1.0)).is_err());
+        assert!(Adc::new(30, Volts::new(1.0)).is_err());
+        assert!(Adc::new(10, Volts::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn quantize_round_trips_within_one_lsb() {
+        let adc = Adc::date05_reference();
+        for mv in [-40.0, -12.3, 0.0, 3.3, 25.0, 49.0] {
+            let v = Volts::from_millivolts(mv);
+            let reconstructed = adc.to_voltage(adc.quantize(v));
+            assert!(
+                (reconstructed - v).abs() <= adc.lsb(),
+                "input {mv} mV reconstructed {} mV",
+                reconstructed.as_millivolts()
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_codes() {
+        let adc = Adc::date05_reference();
+        let big = adc.quantize(Volts::new(10.0));
+        let small = adc.quantize(Volts::new(-10.0));
+        assert_eq!(big, (adc.levels() / 2) as i32 - 1);
+        assert_eq!(small, -(adc.levels() as i32 / 2));
+    }
+
+    #[test]
+    fn more_bits_mean_finer_lsb_and_less_noise() {
+        let coarse = Adc::new(8, Volts::new(1.0)).unwrap();
+        let fine = Adc::new(12, Volts::new(1.0)).unwrap();
+        assert!(fine.lsb() < coarse.lsb());
+        assert!(fine.quantization_noise_rms() < coarse.quantization_noise_rms());
+        assert_eq!(fine.levels(), 4096);
+    }
+
+    #[test]
+    fn quantization_noise_formula() {
+        let adc = Adc::new(10, Volts::new(1.0)).unwrap();
+        let expected = adc.lsb().get() / 12f64.sqrt();
+        assert!((adc.quantization_noise_rms().get() - expected).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,185 @@
+//! Frame averaging: trading scan time for signal-to-noise ratio.
+//!
+//! This is the concrete instance of the paper's §2 observation that the slow
+//! mechanics leaves the electronics with time to spare: instead of one sensor
+//! frame per decision, acquire `N` frames and average them. The random noise
+//! falls as `1/√N`, the detection error rate falls with it, and the cost is a
+//! scan time proportional to `N` — which is affordable because the cells are
+//! barely moving on that timescale.
+
+use crate::detect::{Detector, Occupancy};
+use crate::noise::{standard_normal, NoiseModel};
+use labchip_units::Seconds;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An averaging readout configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameAverager {
+    frames: u32,
+}
+
+impl FrameAverager {
+    /// Creates an averager over `frames` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn new(frames: u32) -> Self {
+        assert!(frames > 0, "must average at least one frame");
+        Self { frames }
+    }
+
+    /// Number of frames averaged.
+    pub fn frames(&self) -> u32 {
+        self.frames
+    }
+
+    /// SNR improvement factor over a single frame (`√N`).
+    pub fn snr_gain(&self) -> f64 {
+        (self.frames as f64).sqrt()
+    }
+
+    /// Total acquisition time for one averaged reading.
+    pub fn total_time(&self, frame_time: Seconds) -> Seconds {
+        frame_time * self.frames as f64
+    }
+
+    /// Effective RMS noise of the averaged reading for the given per-frame
+    /// noise model (offset assumed calibrated away).
+    pub fn effective_noise(&self, noise: &NoiseModel) -> f64 {
+        noise.averaged_rms_calibrated(self.frames)
+    }
+
+    /// Produces one averaged measurement of a site whose noise-free level is
+    /// `signal`, by simulating the individual frames.
+    pub fn measure<R: Rng + ?Sized>(&self, signal: f64, noise: &NoiseModel, rng: &mut R) -> f64 {
+        // Flicker noise is correlated across the burst of frames: draw once.
+        let flicker = noise.flicker_rms * standard_normal(rng);
+        let mut acc = 0.0;
+        for _ in 0..self.frames {
+            acc += signal + flicker + noise.sample_random(rng);
+        }
+        acc / self.frames as f64
+    }
+
+    /// Runs a detection experiment: `trials` sites per true state, measured
+    /// with this averager and classified by `detector`. Returns the observed
+    /// error rate.
+    pub fn detection_error_rate<R: Rng + ?Sized>(
+        &self,
+        detector: &Detector,
+        noise: &NoiseModel,
+        trials: u32,
+        rng: &mut R,
+    ) -> f64 {
+        let mut errors = 0u64;
+        for &truth in &[Occupancy::Empty, Occupancy::Occupied] {
+            let level = match truth {
+                Occupancy::Empty => detector.empty_level,
+                Occupancy::Occupied => detector.occupied_level,
+            };
+            for _ in 0..trials {
+                let measured = self.measure(level, noise, rng);
+                if detector.classify(measured) != truth {
+                    errors += 1;
+                }
+            }
+        }
+        errors as f64 / (2 * trials) as f64
+    }
+}
+
+impl Default for FrameAverager {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn snr_gain_is_sqrt_n() {
+        assert_eq!(FrameAverager::new(1).snr_gain(), 1.0);
+        assert_eq!(FrameAverager::new(4).snr_gain(), 2.0);
+        assert_eq!(FrameAverager::new(64).snr_gain(), 8.0);
+    }
+
+    #[test]
+    fn total_time_scales_linearly() {
+        let frame = Seconds::from_millis(5.0);
+        assert_eq!(
+            FrameAverager::new(16).total_time(frame),
+            Seconds::from_millis(80.0)
+        );
+    }
+
+    #[test]
+    fn averaged_measurement_variance_shrinks() {
+        let noise = NoiseModel {
+            thermal_rms: 1.0,
+            shot_rms: 0.0,
+            flicker_rms: 0.0,
+            offset_sigma: 0.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let single = FrameAverager::new(1);
+        let many = FrameAverager::new(64);
+        let var = |avg: &FrameAverager, rng: &mut ChaCha8Rng| {
+            let n = 800;
+            let mut sum_sq = 0.0;
+            for _ in 0..n {
+                let m = avg.measure(0.0, &noise, rng);
+                sum_sq += m * m;
+            }
+            sum_sq / n as f64
+        };
+        let v1 = var(&single, &mut rng);
+        let v64 = var(&many, &mut rng);
+        assert!(
+            v64 < v1 / 30.0,
+            "expected ~64x variance reduction, got {v1:.3} -> {v64:.3}"
+        );
+    }
+
+    #[test]
+    fn detection_error_rate_improves_with_averaging() {
+        // The E4 experiment in miniature: a marginal single-frame SNR becomes
+        // a reliable detector after averaging.
+        let noise = NoiseModel {
+            thermal_rms: 0.8,
+            shot_rms: 0.0,
+            flicker_rms: 0.0,
+            offset_sigma: 0.0,
+        };
+        let detector = Detector::new(0.0, 1.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let single = FrameAverager::new(1).detection_error_rate(&detector, &noise, 3_000, &mut rng);
+        let averaged =
+            FrameAverager::new(32).detection_error_rate(&detector, &noise, 3_000, &mut rng);
+        assert!(single > 0.1, "single-frame error {single}");
+        assert!(averaged < 0.02, "averaged error {averaged}");
+    }
+
+    #[test]
+    fn flicker_noise_sets_an_averaging_floor() {
+        let noise = NoiseModel {
+            thermal_rms: 1.0,
+            shot_rms: 0.0,
+            flicker_rms: 0.5,
+            offset_sigma: 0.0,
+        };
+        let avg = FrameAverager::new(10_000);
+        assert!(avg.effective_noise(&noise) >= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_rejected() {
+        let _ = FrameAverager::new(0);
+    }
+}

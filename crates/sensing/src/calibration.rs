@@ -1,0 +1,182 @@
+//! Fixed-pattern-noise calibration.
+//!
+//! Pixel-to-pixel offset spread (fixed-pattern noise, FPN) does not average
+//! away with repeated frames of the *same* scene; it is removed by
+//! subtracting a reference frame acquired with an empty chamber — a step the
+//! real chips perform at the start of every assay.
+
+use crate::error::SensingError;
+use crate::noise::NoiseModel;
+use labchip_units::{GridCoord, GridDims};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A per-pixel offset map and the operations to build and apply it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OffsetCalibration {
+    dims: GridDims,
+    offsets: Vec<f64>,
+}
+
+impl OffsetCalibration {
+    /// Creates an identity (all-zero) calibration.
+    pub fn identity(dims: GridDims) -> Self {
+        Self {
+            dims,
+            offsets: vec![0.0; dims.count() as usize],
+        }
+    }
+
+    /// Samples a static offset per pixel from the noise model — this plays
+    /// the role of the chip's as-fabricated mismatch.
+    pub fn sample_fixed_pattern<R: Rng + ?Sized>(
+        dims: GridDims,
+        noise: &NoiseModel,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            dims,
+            offsets: (0..dims.count()).map(|_| noise.sample_offset(rng)).collect(),
+        }
+    }
+
+    /// Builds a calibration by averaging `frames` reference frames of an
+    /// empty chamber whose true per-pixel offsets are `fixed_pattern`.
+    /// More reference frames give a cleaner estimate.
+    pub fn from_reference_frames<R: Rng + ?Sized>(
+        fixed_pattern: &OffsetCalibration,
+        noise: &NoiseModel,
+        frames: u32,
+        rng: &mut R,
+    ) -> Self {
+        let n = frames.max(1);
+        let offsets = fixed_pattern
+            .offsets
+            .iter()
+            .map(|&true_offset| {
+                let mut acc = 0.0;
+                for _ in 0..n {
+                    acc += true_offset + noise.sample_random(rng);
+                }
+                acc / n as f64
+            })
+            .collect();
+        Self {
+            dims: fixed_pattern.dims,
+            offsets,
+        }
+    }
+
+    /// Map dimensions.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// The stored offset for one pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the map.
+    pub fn offset(&self, at: GridCoord) -> f64 {
+        self.offsets[self.dims.index_of(at)]
+    }
+
+    /// Applies the calibration to a raw per-pixel reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the map.
+    pub fn correct(&self, at: GridCoord, raw: f64) -> f64 {
+        raw - self.offset(at)
+    }
+
+    /// RMS of the residual offsets after subtracting `self` from the true
+    /// `fixed_pattern` — the figure of merit of a calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensingError::ShapeMismatch`] if the dimensions differ.
+    pub fn residual_rms(&self, fixed_pattern: &OffsetCalibration) -> Result<f64, SensingError> {
+        if self.dims != fixed_pattern.dims {
+            return Err(SensingError::ShapeMismatch {
+                what: format!("calibration {} vs pattern {}", self.dims, fixed_pattern.dims),
+            });
+        }
+        let n = self.offsets.len() as f64;
+        let sum_sq: f64 = self
+            .offsets
+            .iter()
+            .zip(fixed_pattern.offsets.iter())
+            .map(|(est, truth)| (truth - est).powi(2))
+            .sum();
+        Ok((sum_sq / n).sqrt())
+    }
+
+    /// RMS of the raw fixed-pattern offsets (what an uncalibrated readout
+    /// suffers).
+    pub fn rms(&self) -> f64 {
+        let n = self.offsets.len() as f64;
+        (self.offsets.iter().map(|o| o * o).sum::<f64>() / n).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn noise() -> NoiseModel {
+        NoiseModel {
+            thermal_rms: 1.0e-3,
+            shot_rms: 0.0,
+            flicker_rms: 0.0,
+            offset_sigma: 5.0e-3,
+        }
+    }
+
+    #[test]
+    fn identity_calibration_changes_nothing() {
+        let cal = OffsetCalibration::identity(GridDims::square(8));
+        assert_eq!(cal.offset(GridCoord::new(3, 3)), 0.0);
+        assert_eq!(cal.correct(GridCoord::new(3, 3), 0.42), 0.42);
+        assert_eq!(cal.rms(), 0.0);
+    }
+
+    #[test]
+    fn sampled_fixed_pattern_has_declared_spread() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let fp = OffsetCalibration::sample_fixed_pattern(GridDims::square(64), &noise(), &mut rng);
+        assert!((fp.rms() / 5.0e-3 - 1.0).abs() < 0.1, "rms = {}", fp.rms());
+    }
+
+    #[test]
+    fn reference_frame_calibration_reduces_fixed_pattern_noise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let dims = GridDims::square(32);
+        let fp = OffsetCalibration::sample_fixed_pattern(dims, &noise(), &mut rng);
+        let cal = OffsetCalibration::from_reference_frames(&fp, &noise(), 64, &mut rng);
+        let residual = cal.residual_rms(&fp).unwrap();
+        // The residual must be far below the raw FPN and close to the
+        // reference-frame noise floor (1 mV / √64 ≈ 0.125 mV).
+        assert!(residual < fp.rms() / 5.0, "residual {residual} vs raw {}", fp.rms());
+        assert!(residual < 0.5e-3);
+    }
+
+    #[test]
+    fn more_reference_frames_give_better_calibration() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let dims = GridDims::square(32);
+        let fp = OffsetCalibration::sample_fixed_pattern(dims, &noise(), &mut rng);
+        let coarse = OffsetCalibration::from_reference_frames(&fp, &noise(), 2, &mut rng);
+        let fine = OffsetCalibration::from_reference_frames(&fp, &noise(), 128, &mut rng);
+        assert!(fine.residual_rms(&fp).unwrap() < coarse.residual_rms(&fp).unwrap());
+    }
+
+    #[test]
+    fn mismatched_dimensions_are_rejected() {
+        let a = OffsetCalibration::identity(GridDims::square(8));
+        let b = OffsetCalibration::identity(GridDims::square(9));
+        assert!(a.residual_rms(&b).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Capacitive particle sensing.
+//!
+//! In the capacitive readout of the paper's chip family (ISSCC'04) each
+//! electrode doubles as a sense plate: the presence of a cell above the
+//! electrode displaces conductive medium and changes the electrode-to-lid
+//! capacitance by a few femtofarads. A charge amplifier converts the
+//! capacitance change into an output voltage.
+
+use crate::detect::Occupancy;
+use crate::noise::NoiseModel;
+use labchip_units::{Farads, Meters, Volts, VACUUM_PERMITTIVITY, WATER_RELATIVE_PERMITTIVITY};
+use serde::{Deserialize, Serialize};
+
+/// A per-electrode capacitive sensing channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacitiveSensor {
+    /// Electrode side length (the sense plate is the electrode itself).
+    pub electrode_size: Meters,
+    /// Distance from electrode to the lid counter-electrode.
+    pub chamber_height: Meters,
+    /// Relative permittivity of the particle (a cell is mostly water but its
+    /// interior is screened by the membrane at the sense frequency; an
+    /// effective value of ~50 captures the contrast).
+    pub particle_relative_permittivity: f64,
+    /// Radius of the particle the channel is sized for.
+    pub particle_radius: Meters,
+    /// Charge-amplifier conversion gain, volts of output per farad of
+    /// capacitance change.
+    pub gain_volts_per_farad: f64,
+    /// Noise of the channel, referred to the amplifier output.
+    pub noise: NoiseModel,
+}
+
+impl CapacitiveSensor {
+    /// The reference design: 20 µm electrode, 80 µm chamber, 10 µm-radius
+    /// cells, 10 mV/fF conversion gain and the default noise budget.
+    pub fn date05_reference() -> Self {
+        Self {
+            electrode_size: Meters::from_micrometers(20.0),
+            chamber_height: Meters::from_micrometers(80.0),
+            particle_relative_permittivity: 50.0,
+            particle_radius: Meters::from_micrometers(10.0),
+            gain_volts_per_farad: 10e-3 / 1e-15,
+            noise: NoiseModel::default(),
+        }
+    }
+
+    /// Baseline electrode-to-lid capacitance with only medium above the
+    /// electrode (parallel-plate approximation).
+    pub fn baseline_capacitance(&self) -> Farads {
+        let area = self.electrode_size.get() * self.electrode_size.get();
+        Farads::new(
+            VACUUM_PERMITTIVITY * WATER_RELATIVE_PERMITTIVITY * area / self.chamber_height.get(),
+        )
+    }
+
+    /// Capacitance change caused by a particle of the configured radius
+    /// centred above the electrode. The particle replaces a slab of medium of
+    /// thickness equal to its diameter over the fraction of the electrode
+    /// area it shadows, with its own (lower) permittivity — a series-plate
+    /// approximation that captures the few-femtofarad magnitude seen on real
+    /// chips.
+    pub fn delta_capacitance(&self, occupancy: Occupancy) -> Farads {
+        match occupancy {
+            Occupancy::Empty => Farads::new(0.0),
+            Occupancy::Occupied => {
+                let electrode_area = self.electrode_size.get() * self.electrode_size.get();
+                let shadow = (std::f64::consts::PI * self.particle_radius.get().powi(2))
+                    .min(electrode_area);
+                let h = self.chamber_height.get();
+                let t = (2.0 * self.particle_radius.get()).min(h * 0.9);
+                let eps_m = WATER_RELATIVE_PERMITTIVITY;
+                let eps_p = self.particle_relative_permittivity;
+                // Series combination over the shadowed area: medium of
+                // thickness (h - t) in series with particle of thickness t.
+                let c_medium_full = VACUUM_PERMITTIVITY * eps_m * shadow / h;
+                let c_series = VACUUM_PERMITTIVITY * shadow
+                    / ((h - t) / eps_m + t / eps_p);
+                Farads::new(c_series - c_medium_full)
+            }
+        }
+    }
+
+    /// Noise-free output voltage of the channel for the given occupancy
+    /// (relative to the empty-chamber baseline).
+    pub fn signal_for(&self, occupancy: Occupancy) -> Volts {
+        Volts::new(self.delta_capacitance(occupancy).get() * self.gain_volts_per_farad)
+    }
+
+    /// Signal separation between occupied and empty states — the quantity the
+    /// detector thresholds.
+    pub fn signal_separation(&self) -> Volts {
+        (self.signal_for(Occupancy::Occupied) - self.signal_for(Occupancy::Empty)).abs()
+    }
+
+    /// Single-frame signal-to-noise ratio (separation over per-frame random
+    /// noise RMS).
+    pub fn single_frame_snr(&self) -> f64 {
+        self.signal_separation().get() / self.noise.random_rms()
+    }
+}
+
+impl Default for CapacitiveSensor {
+    fn default() -> Self {
+        Self::date05_reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_capacitance_is_femtofarad_scale() {
+        let s = CapacitiveSensor::date05_reference();
+        let c = s.baseline_capacitance();
+        assert!(
+            c.as_femtofarads() > 1.0 && c.as_femtofarads() < 20.0,
+            "C = {} fF",
+            c.as_femtofarads()
+        );
+    }
+
+    #[test]
+    fn cell_presence_changes_capacitance_by_femtofarads() {
+        let s = CapacitiveSensor::date05_reference();
+        let dc = s.delta_capacitance(Occupancy::Occupied);
+        assert!(dc.get() < 0.0, "a low-permittivity cell reduces capacitance");
+        assert!(
+            dc.as_femtofarads().abs() > 0.05 && dc.as_femtofarads().abs() < 10.0,
+            "dC = {} fF",
+            dc.as_femtofarads()
+        );
+        assert_eq!(s.delta_capacitance(Occupancy::Empty).get(), 0.0);
+    }
+
+    #[test]
+    fn signal_separation_is_millivolt_scale() {
+        let s = CapacitiveSensor::date05_reference();
+        let sep = s.signal_separation();
+        assert!(sep.as_millivolts() > 0.5 && sep.as_millivolts() < 100.0, "sep = {sep}");
+    }
+
+    #[test]
+    fn bigger_cells_give_bigger_signals() {
+        let small = CapacitiveSensor {
+            particle_radius: Meters::from_micrometers(5.0),
+            ..CapacitiveSensor::date05_reference()
+        };
+        let large = CapacitiveSensor {
+            particle_radius: Meters::from_micrometers(12.0),
+            ..CapacitiveSensor::date05_reference()
+        };
+        assert!(large.signal_separation() > small.signal_separation());
+    }
+
+    #[test]
+    fn single_frame_snr_is_modest() {
+        // The whole point of frame averaging (E4): one frame alone gives an
+        // SNR in the single digits.
+        let s = CapacitiveSensor::date05_reference();
+        let snr = s.single_frame_snr();
+        assert!(snr > 1.0 && snr < 100.0, "SNR = {snr}");
+    }
+
+    #[test]
+    fn occupied_signal_differs_from_empty() {
+        let s = CapacitiveSensor::date05_reference();
+        assert!(s.signal_for(Occupancy::Occupied) != s.signal_for(Occupancy::Empty));
+    }
+}

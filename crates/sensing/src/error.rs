@@ -1,0 +1,57 @@
+//! Error type for the sensing crate.
+
+use std::fmt;
+
+/// Errors produced by the sensing models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensingError {
+    /// A configuration value was outside its valid range.
+    InvalidConfiguration {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the constraint.
+        reason: String,
+    },
+    /// Two data structures that must have matching shapes did not.
+    ShapeMismatch {
+        /// Description of the mismatch.
+        what: String,
+    },
+}
+
+impl fmt::Display for SensingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensingError::InvalidConfiguration { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            SensingError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SensingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SensingError::InvalidConfiguration {
+            name: "bits",
+            reason: "must be 1..=24".into(),
+        };
+        assert!(e.to_string().contains("bits"));
+        let e = SensingError::ShapeMismatch {
+            what: "map 10x10 vs frame 8x8".into(),
+        };
+        assert!(e.to_string().contains("10x10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SensingError>();
+    }
+}

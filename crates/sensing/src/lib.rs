@@ -1,0 +1,51 @@
+//! # labchip-sensing
+//!
+//! Models of the per-electrode particle sensors of the DATE'05 biochip: the
+//! optical (photodiode) and capacitive front-ends, their noise sources, the
+//! readout ADC, frame averaging, detection thresholds and calibration.
+//!
+//! The paper's §2 argues that, because cells move slowly, there is time to
+//! "trade time of execution for quality of the results, e.g. averaging
+//! sensors output for thermal noise reduction". The [`averaging`] and
+//! [`detect`] modules quantify exactly that trade: SNR grows as `√N` with the
+//! number of averaged frames and the detection error rate falls accordingly,
+//! at the price of a proportionally longer scan time.
+//!
+//! ## Example
+//!
+//! ```
+//! use labchip_sensing::prelude::*;
+//!
+//! let sensor = CapacitiveSensor::date05_reference();
+//! // A 10 µm-radius cell sitting in the cage produces a clearly defined
+//! // capacitance change relative to an empty cage.
+//! assert!(sensor.signal_separation().as_millivolts() > 0.5);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod adc;
+pub mod averaging;
+pub mod calibration;
+pub mod capacitive;
+pub mod detect;
+pub mod error;
+pub mod noise;
+pub mod optical;
+pub mod scan;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::adc::Adc;
+    pub use crate::averaging::FrameAverager;
+    pub use crate::calibration::OffsetCalibration;
+    pub use crate::capacitive::CapacitiveSensor;
+    pub use crate::detect::{DetectionStats, Detector, Occupancy, OccupancyMap};
+    pub use crate::error::SensingError;
+    pub use crate::noise::NoiseModel;
+    pub use crate::optical::OpticalSensor;
+    pub use crate::scan::ScanTiming;
+}
+
+pub use error::SensingError;

@@ -1,0 +1,174 @@
+//! Noise sources of the sensor front-end.
+//!
+//! The dominant contributions at the per-pixel level are the thermal (kTC and
+//! amplifier) noise, shot noise of the photodiode current, 1/f (flicker)
+//! noise of the MOS front-end, and the static pixel-to-pixel offset spread
+//! (fixed-pattern noise). Frame averaging reduces the random terms as `1/√N`
+//! but leaves fixed-pattern noise untouched — that is what calibration is
+//! for.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Draws a standard-normal deviate with the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Input-referred noise description of one sensing channel, in units of the
+/// sensor output (volts at the front-end output).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// RMS thermal (white) noise per frame.
+    pub thermal_rms: f64,
+    /// RMS shot-noise contribution per frame.
+    pub shot_rms: f64,
+    /// RMS flicker (1/f) noise per frame; correlated between frames, so it is
+    /// *not* reduced by short-term averaging.
+    pub flicker_rms: f64,
+    /// One-sigma pixel-to-pixel offset spread (fixed-pattern noise).
+    pub offset_sigma: f64,
+}
+
+impl NoiseModel {
+    /// A quiet channel with only thermal noise.
+    pub fn thermal_only(thermal_rms: f64) -> Self {
+        Self {
+            thermal_rms,
+            shot_rms: 0.0,
+            flicker_rms: 0.0,
+            offset_sigma: 0.0,
+        }
+    }
+
+    /// Total RMS of the per-frame random noise (thermal + shot, in
+    /// quadrature). Flicker and offset are handled separately because they do
+    /// not average down the same way.
+    pub fn random_rms(&self) -> f64 {
+        (self.thermal_rms.powi(2) + self.shot_rms.powi(2)).sqrt()
+    }
+
+    /// Effective RMS noise after averaging `frames` frames: random terms fall
+    /// as `1/√N`, flicker stays, offset stays (until calibrated away).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn averaged_rms(&self, frames: u32) -> f64 {
+        assert!(frames > 0, "must average at least one frame");
+        let random = self.random_rms() / (frames as f64).sqrt();
+        (random.powi(2) + self.flicker_rms.powi(2) + self.offset_sigma.powi(2)).sqrt()
+    }
+
+    /// Effective RMS noise after averaging `frames` frames *and* removing the
+    /// static offset with a calibration frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn averaged_rms_calibrated(&self, frames: u32) -> f64 {
+        assert!(frames > 0, "must average at least one frame");
+        let random = self.random_rms() / (frames as f64).sqrt();
+        (random.powi(2) + self.flicker_rms.powi(2)).sqrt()
+    }
+
+    /// Samples the random (per-frame) noise for one reading.
+    pub fn sample_random<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.random_rms() * standard_normal(rng)
+    }
+
+    /// Samples a static per-pixel offset (drawn once per pixel, reused for
+    /// every frame).
+    pub fn sample_offset<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.offset_sigma * standard_normal(rng)
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self {
+            thermal_rms: 1.0e-3,
+            shot_rms: 0.3e-3,
+            flicker_rms: 0.1e-3,
+            offset_sigma: 2.0e-3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_rms_adds_in_quadrature() {
+        let n = NoiseModel {
+            thermal_rms: 3.0,
+            shot_rms: 4.0,
+            flicker_rms: 0.0,
+            offset_sigma: 0.0,
+        };
+        assert!((n.random_rms() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging_reduces_random_noise_as_sqrt_n() {
+        let n = NoiseModel::thermal_only(1.0);
+        assert!((n.averaged_rms(1) - 1.0).abs() < 1e-12);
+        assert!((n.averaged_rms(4) - 0.5).abs() < 1e-12);
+        assert!((n.averaged_rms(16) - 0.25).abs() < 1e-12);
+        assert!((n.averaged_rms(100) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging_does_not_remove_offset_but_calibration_does() {
+        let n = NoiseModel {
+            thermal_rms: 1.0,
+            shot_rms: 0.0,
+            flicker_rms: 0.0,
+            offset_sigma: 2.0,
+        };
+        // With heavy averaging the residual is dominated by the offset.
+        assert!((n.averaged_rms(10_000) - 2.0).abs() < 0.01);
+        // Calibration removes it.
+        assert!(n.averaged_rms_calibrated(10_000) < 0.05);
+    }
+
+    #[test]
+    fn flicker_floor_limits_averaging() {
+        let n = NoiseModel {
+            thermal_rms: 1.0,
+            shot_rms: 0.0,
+            flicker_rms: 0.2,
+            offset_sigma: 0.0,
+        };
+        // Averaging cannot push the noise below the flicker floor.
+        assert!(n.averaged_rms_calibrated(1_000_000) >= 0.2);
+    }
+
+    #[test]
+    fn sampled_noise_matches_declared_rms() {
+        let n = NoiseModel::thermal_only(0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let samples = 5_000;
+        let var: f64 = (0..samples)
+            .map(|_| n.sample_random(&mut rng).powi(2))
+            .sum::<f64>()
+            / samples as f64;
+        assert!((var.sqrt() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_rejected() {
+        let _ = NoiseModel::default().averaged_rms(0);
+    }
+}

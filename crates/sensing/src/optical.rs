@@ -1,0 +1,139 @@
+//! Optical particle sensing.
+//!
+//! The optical variant of the per-electrode sensor is a photodiode below a
+//! transparent electrode: a particle levitating above the pixel shadows part
+//! of the illumination and lowers the photocurrent. The model works in
+//! photocurrent relative units and converts to an output voltage through the
+//! integration time and conversion gain.
+
+use crate::detect::Occupancy;
+use crate::noise::NoiseModel;
+use labchip_units::{Meters, Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// A per-electrode optical sensing channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpticalSensor {
+    /// Photodiode (pixel) side length.
+    pub pixel_size: Meters,
+    /// Radius of the particle being detected.
+    pub particle_radius: Meters,
+    /// Fraction of the light blocked by the particle over its shadow area
+    /// (cells are semi-transparent; beads are nearly opaque).
+    pub particle_opacity: f64,
+    /// Full-scale photodiode output voltage with unobstructed illumination
+    /// and the nominal integration time.
+    pub full_scale: Volts,
+    /// Nominal integration time producing `full_scale` output.
+    pub nominal_integration: Seconds,
+    /// Noise of the channel, referred to the output.
+    pub noise: NoiseModel,
+}
+
+impl OpticalSensor {
+    /// The reference design: 20 µm pixel, 10 µm-radius semi-transparent cell,
+    /// 1 V full-scale at 1 ms integration.
+    pub fn date05_reference() -> Self {
+        Self {
+            pixel_size: Meters::from_micrometers(20.0),
+            particle_radius: Meters::from_micrometers(10.0),
+            particle_opacity: 0.35,
+            full_scale: Volts::new(1.0),
+            nominal_integration: Seconds::from_millis(1.0),
+            noise: NoiseModel::default(),
+        }
+    }
+
+    /// Fraction of the pixel area shadowed by the particle (0–1).
+    pub fn shadow_fraction(&self) -> f64 {
+        let pixel_area = self.pixel_size.get() * self.pixel_size.get();
+        let shadow = std::f64::consts::PI * self.particle_radius.get().powi(2);
+        (shadow / pixel_area).min(1.0)
+    }
+
+    /// Noise-free output voltage for the given occupancy at the given
+    /// integration time (linear in integration time until full scale).
+    pub fn signal_for(&self, occupancy: Occupancy, integration: Seconds) -> Volts {
+        let scale = (integration.get() / self.nominal_integration.get()).min(1.5);
+        let attenuation = match occupancy {
+            Occupancy::Empty => 1.0,
+            Occupancy::Occupied => 1.0 - self.shadow_fraction() * self.particle_opacity,
+        };
+        (self.full_scale * attenuation * scale).min(self.full_scale * 1.5)
+    }
+
+    /// Signal separation between empty and occupied states at the nominal
+    /// integration time.
+    pub fn signal_separation(&self) -> Volts {
+        (self.signal_for(Occupancy::Empty, self.nominal_integration)
+            - self.signal_for(Occupancy::Occupied, self.nominal_integration))
+        .abs()
+    }
+
+    /// Single-frame signal-to-noise ratio.
+    pub fn single_frame_snr(&self) -> f64 {
+        self.signal_separation().get() / self.noise.random_rms()
+    }
+}
+
+impl Default for OpticalSensor {
+    fn default() -> Self {
+        Self::date05_reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn particle_shadow_reduces_signal() {
+        let s = OpticalSensor::date05_reference();
+        let empty = s.signal_for(Occupancy::Empty, s.nominal_integration);
+        let occupied = s.signal_for(Occupancy::Occupied, s.nominal_integration);
+        assert!(occupied < empty);
+        assert!(s.signal_separation().get() > 0.0);
+    }
+
+    #[test]
+    fn shadow_fraction_saturates_at_one() {
+        let s = OpticalSensor {
+            particle_radius: Meters::from_micrometers(30.0),
+            ..OpticalSensor::date05_reference()
+        };
+        assert_eq!(s.shadow_fraction(), 1.0);
+        let small = OpticalSensor {
+            particle_radius: Meters::from_micrometers(2.0),
+            ..OpticalSensor::date05_reference()
+        };
+        assert!(small.shadow_fraction() < 0.05);
+    }
+
+    #[test]
+    fn longer_integration_increases_signal_up_to_saturation() {
+        let s = OpticalSensor::date05_reference();
+        let short = s.signal_for(Occupancy::Empty, Seconds::from_millis(0.5));
+        let nominal = s.signal_for(Occupancy::Empty, Seconds::from_millis(1.0));
+        let long = s.signal_for(Occupancy::Empty, Seconds::from_millis(10.0));
+        assert!(short < nominal);
+        assert!(long <= s.full_scale * 1.5);
+    }
+
+    #[test]
+    fn opaque_beads_are_easier_to_see_than_cells() {
+        let cell = OpticalSensor::date05_reference();
+        let bead = OpticalSensor {
+            particle_opacity: 0.9,
+            ..cell
+        };
+        assert!(bead.signal_separation() > cell.signal_separation());
+        assert!(bead.single_frame_snr() > cell.single_frame_snr());
+    }
+
+    #[test]
+    fn single_frame_snr_is_finite_and_positive() {
+        let s = OpticalSensor::date05_reference();
+        let snr = s.single_frame_snr();
+        assert!(snr.is_finite() && snr > 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Readout scan timing.
+//!
+//! The sensor array is read out row by row through column-parallel
+//! converters. The full-frame scan time, together with the number of frames
+//! averaged, is the electronics side of the time budget that the slow cell
+//! motion leaves almost entirely free (paper §2).
+
+use crate::averaging::FrameAverager;
+use labchip_units::{GridDims, Hertz, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Timing of the sensor readout chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScanTiming {
+    /// Conversion rate of each column ADC.
+    pub adc_rate: Hertz,
+    /// Number of column-parallel ADCs (columns are multiplexed onto them).
+    pub parallel_adcs: u32,
+    /// Per-row settling overhead before conversions start.
+    pub row_settle: Seconds,
+}
+
+impl ScanTiming {
+    /// The reference readout: 1 MS/s column ADCs, 32 in parallel, 2 µs row
+    /// settling.
+    pub fn date05_reference() -> Self {
+        Self {
+            adc_rate: Hertz::from_megahertz(1.0),
+            parallel_adcs: 32,
+            row_settle: Seconds::from_micros(2.0),
+        }
+    }
+
+    /// Time to read one row of `cols` pixels.
+    pub fn row_time(&self, cols: u32) -> Seconds {
+        let conversions_per_adc = (cols as f64 / self.parallel_adcs.max(1) as f64).ceil();
+        self.row_settle + Seconds::new(conversions_per_adc / self.adc_rate.get())
+    }
+
+    /// Time to scan one full frame of a `dims` array.
+    pub fn frame_time(&self, dims: GridDims) -> Seconds {
+        self.row_time(dims.cols) * dims.rows as f64
+    }
+
+    /// Time to acquire an averaged occupancy map with the given averager.
+    pub fn averaged_scan_time(&self, dims: GridDims, averager: &FrameAverager) -> Seconds {
+        averager.total_time(self.frame_time(dims))
+    }
+
+    /// Sustainable frame rate.
+    pub fn frame_rate(&self, dims: GridDims) -> f64 {
+        1.0 / self.frame_time(dims).get()
+    }
+}
+
+impl Default for ScanTiming {
+    fn default() -> Self {
+        Self::date05_reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_frame_scan_is_milliseconds() {
+        // Reading all 102,400 sensors takes a few milliseconds — fast
+        // compared with the ~0.4 s cage step at 50 µm/s.
+        let t = ScanTiming::date05_reference().frame_time(GridDims::new(320, 320));
+        assert!(t.as_millis() > 0.5 && t.as_millis() < 20.0, "t = {} ms", t.as_millis());
+    }
+
+    #[test]
+    fn row_time_accounts_for_multiplexing() {
+        let timing = ScanTiming::date05_reference();
+        // 320 columns / 32 ADCs = 10 conversions at 1 µs + 2 µs settle.
+        let t = timing.row_time(320);
+        assert!((t.as_micros() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_parallel_adcs_scan_faster() {
+        let slow = ScanTiming {
+            parallel_adcs: 8,
+            ..ScanTiming::date05_reference()
+        };
+        let fast = ScanTiming {
+            parallel_adcs: 64,
+            ..ScanTiming::date05_reference()
+        };
+        let dims = GridDims::new(320, 320);
+        assert!(fast.frame_time(dims) < slow.frame_time(dims));
+        assert!(fast.frame_rate(dims) > slow.frame_rate(dims));
+    }
+
+    #[test]
+    fn averaging_multiplies_scan_time() {
+        let timing = ScanTiming::date05_reference();
+        let dims = GridDims::new(320, 320);
+        let one = timing.averaged_scan_time(dims, &FrameAverager::new(1));
+        let sixteen = timing.averaged_scan_time(dims, &FrameAverager::new(16));
+        assert!((sixteen.get() / one.get() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_heavy_averaging_fits_in_a_cage_step() {
+        // 64-frame averaging of the full array still completes in well under
+        // the ~0.4 s cage step period at 50 µm/s — the paper's "plenty of
+        // time" claim, quantified.
+        let timing = ScanTiming::date05_reference();
+        let t = timing.averaged_scan_time(GridDims::new(320, 320), &FrameAverager::new(64));
+        assert!(t.get() < 0.4, "t = {} s", t.get());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the sensing crate.
+
+use labchip_sensing::adc::Adc;
+use labchip_sensing::averaging::FrameAverager;
+use labchip_sensing::capacitive::CapacitiveSensor;
+use labchip_sensing::detect::{gaussian_tail, Detector, Occupancy};
+use labchip_sensing::noise::NoiseModel;
+use labchip_sensing::scan::ScanTiming;
+use labchip_units::{GridDims, Meters, Volts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Gaussian tail is a valid, monotonically decreasing probability.
+    #[test]
+    fn gaussian_tail_is_monotone_probability(x in -6.0f64..6.0, dx in 0.01f64..3.0) {
+        let p1 = gaussian_tail(x);
+        let p2 = gaussian_tail(x + dx);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 <= p1 + 1e-12);
+    }
+
+    /// Averaging N frames never increases the effective noise, and the
+    /// calibrated noise never exceeds the uncalibrated one.
+    #[test]
+    fn averaging_is_monotone(thermal in 0.1f64..5.0, flicker in 0.0f64..1.0, offset in 0.0f64..3.0, n in 1u32..256) {
+        let noise = NoiseModel {
+            thermal_rms: thermal,
+            shot_rms: 0.0,
+            flicker_rms: flicker,
+            offset_sigma: offset,
+        };
+        prop_assert!(noise.averaged_rms(n + 1) <= noise.averaged_rms(n) + 1e-12);
+        prop_assert!(noise.averaged_rms_calibrated(n) <= noise.averaged_rms(n) + 1e-12);
+        prop_assert!(noise.averaged_rms_calibrated(n) >= flicker - 1e-12);
+    }
+
+    /// ADC quantisation round-trips within one LSB inside the full-scale
+    /// range and saturates outside it.
+    #[test]
+    fn adc_round_trip_within_one_lsb(bits in 4u8..16, input_mv in -200.0f64..200.0) {
+        let adc = Adc::new(bits, Volts::from_millivolts(100.0)).unwrap();
+        let input = Volts::from_millivolts(input_mv);
+        let reconstructed = adc.to_voltage(adc.quantize(input));
+        if input_mv.abs() <= 99.0 {
+            prop_assert!((reconstructed - input).abs() <= adc.lsb());
+        } else {
+            prop_assert!(reconstructed.abs() <= Volts::from_millivolts(100.0).abs());
+        }
+    }
+
+    /// Detection error probability decreases when the separation grows or the
+    /// noise shrinks, and the detector classifies noise-free levels
+    /// correctly for either polarity.
+    #[test]
+    fn detector_is_consistent(empty in -1.0f64..1.0, delta in 0.05f64..2.0, noise in 0.01f64..1.0, polarity in proptest::bool::ANY) {
+        let occupied = if polarity { empty + delta } else { empty - delta };
+        let d = Detector::new(empty, occupied).unwrap();
+        prop_assert_eq!(d.classify(occupied), Occupancy::Occupied);
+        prop_assert_eq!(d.classify(empty), Occupancy::Empty);
+        let p_err = d.error_probability(noise);
+        prop_assert!((0.0..=0.5 + 1e-9).contains(&p_err));
+        prop_assert!(d.error_probability(noise * 0.5) <= p_err + 1e-12);
+    }
+
+    /// SNR gain of the averager is exactly sqrt(N) and the scan time is
+    /// proportional to N.
+    #[test]
+    fn averager_scaling(n in 1u32..512) {
+        let avg = FrameAverager::new(n);
+        prop_assert!((avg.snr_gain() - (n as f64).sqrt()).abs() < 1e-12);
+        let timing = ScanTiming::date05_reference();
+        let dims = GridDims::new(64, 64);
+        let total = timing.averaged_scan_time(dims, &avg);
+        let single = timing.frame_time(dims);
+        prop_assert!((total.get() / single.get() - n as f64).abs() < 1e-9);
+    }
+
+    /// Bigger particles always give at least as much capacitive signal, and
+    /// the signal separation is finite and positive.
+    #[test]
+    fn capacitive_signal_monotone_in_radius(r1_um in 2.0f64..9.0, extra_um in 0.5f64..6.0) {
+        let small = CapacitiveSensor {
+            particle_radius: Meters::from_micrometers(r1_um),
+            ..CapacitiveSensor::date05_reference()
+        };
+        let large = CapacitiveSensor {
+            particle_radius: Meters::from_micrometers(r1_um + extra_um),
+            ..CapacitiveSensor::date05_reference()
+        };
+        prop_assert!(large.signal_separation() >= small.signal_separation());
+        prop_assert!(small.signal_separation().get() > 0.0);
+        prop_assert!(small.signal_separation().get().is_finite());
+    }
+}

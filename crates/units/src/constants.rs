@@ -1,0 +1,61 @@
+//! Physical constants used across the workspace.
+//!
+//! Values follow CODATA 2018. Only the constants actually needed by the DEP,
+//! sensing and fluidic models are exposed.
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge, C.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Vacuum permittivity, F/m.
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_812_8e-12;
+
+/// Relative permittivity of water at room temperature (dimensionless).
+pub const WATER_RELATIVE_PERMITTIVITY: f64 = 78.5;
+
+/// Dynamic viscosity of water at 25 °C, Pa·s.
+pub const WATER_VISCOSITY: f64 = 0.89e-3;
+
+/// Density of water, kg/m³.
+pub const WATER_DENSITY: f64 = 997.0;
+
+/// Density of a typical mammalian cell, kg/m³.
+pub const CELL_DENSITY: f64 = 1_050.0;
+
+/// Density of polystyrene (beads used as cell surrogates), kg/m³.
+pub const POLYSTYRENE_DENSITY: f64 = 1_055.0;
+
+/// Standard gravitational acceleration, m/s².
+pub const STANDARD_GRAVITY: f64 = 9.806_65;
+
+/// Room temperature, K.
+pub const ROOM_TEMPERATURE_K: f64 = 298.15;
+
+/// Latent heat of vaporisation of water, J/kg.
+pub const WATER_LATENT_HEAT: f64 = 2.26e6;
+
+/// Thermal conductivity of water, W/(m·K).
+pub const WATER_THERMAL_CONDUCTIVITY: f64 = 0.6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_physical() {
+        assert!(BOLTZMANN > 1e-23 && BOLTZMANN < 2e-23);
+        assert!(VACUUM_PERMITTIVITY > 8e-12 && VACUUM_PERMITTIVITY < 9e-12);
+        assert!(WATER_RELATIVE_PERMITTIVITY > 70.0 && WATER_RELATIVE_PERMITTIVITY < 90.0);
+        assert!(CELL_DENSITY > WATER_DENSITY);
+        assert!(STANDARD_GRAVITY > 9.0 && STANDARD_GRAVITY < 10.0);
+    }
+
+    #[test]
+    fn thermal_voltage_sanity() {
+        // kT/q at room temperature should be about 25.7 mV.
+        let vt = BOLTZMANN * ROOM_TEMPERATURE_K / ELEMENTARY_CHARGE;
+        assert!(vt > 0.024 && vt < 0.027);
+    }
+}

@@ -1,0 +1,203 @@
+//! Cost and effort quantities for the design-flow and fabrication models.
+//!
+//! The paper's §3 argues about fabrication economics in euros and turnaround
+//! in days; keeping these as distinct types prevents accidentally mixing money
+//! with effort.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Monetary cost in euros.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Euros(f64);
+
+impl Euros {
+    /// Zero cost.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates a cost in euros.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Creates a cost expressed in thousands of euros.
+    #[inline]
+    pub fn from_kilo_euros(k: f64) -> Self {
+        Self(k * 1_000.0)
+    }
+
+    /// Returns the raw value in euros.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in thousands of euros.
+    #[inline]
+    pub fn as_kilo_euros(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Larger of two costs.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Smaller of two costs.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Euros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} EUR", self.0)
+    }
+}
+
+impl Add for Euros {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Euros {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Euros {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Euros {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Euros {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Div<Euros> for Euros {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Euros) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Euros {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+/// Engineering effort in person-days.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct PersonDays(f64);
+
+impl PersonDays {
+    /// Zero effort.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates an effort value in person-days.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw value in person-days.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PersonDays {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} person-days", self.0)
+    }
+}
+
+impl Add for PersonDays {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for PersonDays {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for PersonDays {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Sum for PersonDays {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euros_arithmetic() {
+        let mask = Euros::new(5.0);
+        let setup = Euros::from_kilo_euros(30.0);
+        let total = mask + setup;
+        assert!((total.get() - 30_005.0).abs() < 1e-9);
+        assert!((setup.as_kilo_euros() - 30.0).abs() < 1e-12);
+        assert!((setup / mask - 6000.0).abs() < 1e-9);
+        let batch: Euros = (0..10).map(|_| mask).sum();
+        assert!((batch.get() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn euros_display_and_ordering() {
+        assert_eq!(format!("{}", Euros::new(12.5)), "12.50 EUR");
+        assert!(Euros::new(1.0) < Euros::new(2.0));
+        assert_eq!(Euros::new(1.0).max(Euros::new(2.0)), Euros::new(2.0));
+    }
+
+    #[test]
+    fn person_days_accumulate() {
+        let mut effort = PersonDays::new(1.5);
+        effort += PersonDays::new(2.5);
+        assert!((effort.get() - 4.0).abs() < 1e-12);
+        let scaled = effort * 2.0;
+        assert!((scaled.get() - 8.0).abs() < 1e-12);
+    }
+}

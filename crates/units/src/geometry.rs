@@ -1,0 +1,373 @@
+//! Small 2-D / 3-D vector and rectangle types.
+//!
+//! The particle-dynamics and field models work in continuous 3-D coordinates
+//! above the chip surface (z = 0 at the electrode plane, z grows towards the
+//! lid); the mask-layout and layout-DRC code works with 2-D rectangles in the
+//! chip plane.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D vector (metres by convention, but unit-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+}
+
+/// A 2-D point; alias of [`Vec2`] for readability at call sites.
+pub type Point2 = Vec2;
+
+/// A 3-D vector (metres by convention, but unit-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+/// A 3-D point; alias of [`Vec3`] for readability at call sites.
+pub type Point3 = Vec3;
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Self) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, other: Self) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Unit vector in the same direction, or zero if the norm is zero.
+    #[inline]
+    pub fn normalized(self) -> Self {
+        let n = self.norm();
+        if n == 0.0 {
+            Self::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Lifts into 3-D with the given z component.
+    #[inline]
+    pub fn with_z(self, z: f64) -> Vec3 {
+        Vec3::new(self.x, self.y, z)
+    }
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Self) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, other: Self) -> Self {
+        Self::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, other: Self) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Unit vector in the same direction, or zero if the norm is zero.
+    #[inline]
+    pub fn normalized(self) -> Self {
+        let n = self.norm();
+        if n == 0.0 {
+            Self::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Projection onto the chip plane (drops z).
+    #[inline]
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Returns `true` when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+macro_rules! vec_ops {
+    ($t:ty { $($field:ident),+ }) => {
+        impl Add for $t {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self { $($field: self.$field + rhs.$field),+ }
+            }
+        }
+        impl AddAssign for $t {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                $(self.$field += rhs.$field;)+
+            }
+        }
+        impl Sub for $t {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self { $($field: self.$field - rhs.$field),+ }
+            }
+        }
+        impl SubAssign for $t {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                $(self.$field -= rhs.$field;)+
+            }
+        }
+        impl Neg for $t {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self { $($field: -self.$field),+ }
+            }
+        }
+        impl Mul<f64> for $t {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self { $($field: self.$field * rhs),+ }
+            }
+        }
+        impl Mul<$t> for f64 {
+            type Output = $t;
+            #[inline]
+            fn mul(self, rhs: $t) -> $t {
+                rhs * self
+            }
+        }
+        impl Div<f64> for $t {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self { $($field: self.$field / rhs),+ }
+            }
+        }
+    };
+}
+
+vec_ops!(Vec2 { x, y });
+vec_ops!(Vec3 { x, y, z });
+
+/// An axis-aligned rectangle in the chip plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum-x, minimum-y corner.
+    pub min: Vec2,
+    /// Maximum-x, maximum-y corner.
+    pub max: Vec2,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners, normalising their order.
+    pub fn new(a: Vec2, b: Vec2) -> Self {
+        Self {
+            min: Vec2::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Vec2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle from origin and size.
+    pub fn from_origin_size(origin: Vec2, width: f64, height: f64) -> Self {
+        Self::new(origin, origin + Vec2::new(width, height))
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point.
+    #[inline]
+    pub fn center(&self) -> Vec2 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` when the two rectangles overlap (sharing only an edge
+    /// counts as overlapping).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Minimum edge-to-edge separation from another, non-overlapping
+    /// rectangle. Returns 0.0 when they overlap.
+    pub fn separation(&self, other: &Rect) -> f64 {
+        let dx = (other.min.x - self.max.x).max(self.min.x - other.max.x).max(0.0);
+        let dy = (other.min.y - self.max.y).max(self.min.y - other.max.y).max(0.0);
+        dx.hypot(dy)
+    }
+
+    /// Grows the rectangle by `margin` on every side.
+    pub fn inflate(&self, margin: f64) -> Rect {
+        Rect {
+            min: self.min - Vec2::new(margin, margin),
+            max: self.max + Vec2::new(margin, margin),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_basics() {
+        let a = Vec2::new(3.0, 4.0);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        assert!((a.normalized().norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+        assert!((a.dot(Vec2::new(1.0, 0.0)) - 3.0).abs() < 1e-12);
+        assert!((a.distance(Vec2::ZERO) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(0.5, 0.5, 0.5);
+        assert_eq!(a + b, Vec3::new(1.5, 2.5, 3.5));
+        assert_eq!(a - b, Vec3::new(0.5, 1.5, 2.5));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn rect_contains_and_intersects() {
+        let r = Rect::from_origin_size(Vec2::ZERO, 10.0, 5.0);
+        assert!((r.area() - 50.0).abs() < 1e-12);
+        assert!(r.contains(Vec2::new(5.0, 2.5)));
+        assert!(!r.contains(Vec2::new(11.0, 2.0)));
+        let s = Rect::from_origin_size(Vec2::new(9.0, 4.0), 5.0, 5.0);
+        assert!(r.intersects(&s));
+        let t = Rect::from_origin_size(Vec2::new(20.0, 20.0), 1.0, 1.0);
+        assert!(!r.intersects(&t));
+        assert!(r.separation(&t) > 0.0);
+        assert_eq!(r.separation(&s), 0.0);
+    }
+
+    #[test]
+    fn rect_inflate_and_center() {
+        let r = Rect::from_origin_size(Vec2::new(1.0, 1.0), 2.0, 2.0);
+        assert_eq!(r.center(), Vec2::new(2.0, 2.0));
+        let g = r.inflate(1.0);
+        assert_eq!(g.min, Vec2::new(0.0, 0.0));
+        assert_eq!(g.max, Vec2::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn vec_projection_helpers() {
+        let p = Vec2::new(1.0, 2.0).with_z(3.0);
+        assert_eq!(p, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(p.xy(), Vec2::new(1.0, 2.0));
+        assert!(p.is_finite());
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+    }
+}

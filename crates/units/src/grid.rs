@@ -1,0 +1,345 @@
+//! Integer grid coordinates for the electrode / cage arrays.
+//!
+//! The paper's chip is a regular 2-D array of electrodes; DEP cages live on a
+//! coarser grid derived from it. Both are addressed with [`GridCoord`]s
+//! inside [`GridDims`]-sized grids.
+
+use crate::geometry::Vec2;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A coordinate on an integer grid (column `x`, row `y`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct GridCoord {
+    /// Column index.
+    pub x: u32,
+    /// Row index.
+    pub y: u32,
+}
+
+impl GridCoord {
+    /// Creates a coordinate.
+    #[inline]
+    pub const fn new(x: u32, y: u32) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (L1) distance to another coordinate.
+    #[inline]
+    pub fn manhattan(self, other: Self) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// Chebyshev (L∞) distance to another coordinate.
+    #[inline]
+    pub fn chebyshev(self, other: Self) -> u32 {
+        self.x.abs_diff(other.x).max(self.y.abs_diff(other.y))
+    }
+
+    /// Converts to a continuous position given a grid `pitch` (metres per
+    /// cell), placing the coordinate at the cell centre.
+    #[inline]
+    pub fn to_position(self, pitch: f64) -> Vec2 {
+        Vec2::new((self.x as f64 + 0.5) * pitch, (self.y as f64 + 0.5) * pitch)
+    }
+
+    /// Offsets the coordinate by a signed delta, returning `None` on
+    /// underflow.
+    pub fn offset(self, dx: i32, dy: i32) -> Option<Self> {
+        let x = self.x as i64 + dx as i64;
+        let y = self.y as i64 + dy as i64;
+        if x < 0 || y < 0 || x > u32::MAX as i64 || y > u32::MAX as i64 {
+            None
+        } else {
+            Some(Self::new(x as u32, y as u32))
+        }
+    }
+}
+
+impl fmt::Display for GridCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(u32, u32)> for GridCoord {
+    fn from((x, y): (u32, u32)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+/// Dimensions of a rectangular grid.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct GridDims {
+    /// Number of columns.
+    pub cols: u32,
+    /// Number of rows.
+    pub rows: u32,
+}
+
+impl GridDims {
+    /// Creates grid dimensions.
+    #[inline]
+    pub const fn new(cols: u32, rows: u32) -> Self {
+        Self { cols, rows }
+    }
+
+    /// Creates square grid dimensions.
+    #[inline]
+    pub const fn square(side: u32) -> Self {
+        Self {
+            cols: side,
+            rows: side,
+        }
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub const fn count(self) -> u64 {
+        self.cols as u64 * self.rows as u64
+    }
+
+    /// Returns `true` when the coordinate lies inside the grid.
+    #[inline]
+    pub const fn contains(self, c: GridCoord) -> bool {
+        c.x < self.cols && c.y < self.rows
+    }
+
+    /// Row-major linear index of a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the grid.
+    #[inline]
+    pub fn index_of(self, c: GridCoord) -> usize {
+        assert!(self.contains(c), "coordinate {c} outside grid {self:?}");
+        c.y as usize * self.cols as usize + c.x as usize
+    }
+
+    /// Coordinate corresponding to a row-major linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    pub fn coord_of(self, index: usize) -> GridCoord {
+        assert!(index < self.count() as usize, "index out of range");
+        GridCoord::new((index % self.cols as usize) as u32, (index / self.cols as usize) as u32)
+    }
+
+    /// Iterator over all coordinates in row-major order.
+    pub fn iter(self) -> impl Iterator<Item = GridCoord> {
+        (0..self.rows).flat_map(move |y| (0..self.cols).map(move |x| GridCoord::new(x, y)))
+    }
+
+    /// 4-neighbourhood of a coordinate, clipped to the grid.
+    pub fn neighbors4(self, c: GridCoord) -> Neighbors4 {
+        Neighbors4 {
+            dims: self,
+            center: c,
+            next: 0,
+        }
+    }
+
+    /// 8-neighbourhood of a coordinate, clipped to the grid.
+    pub fn neighbors8(self, c: GridCoord) -> Neighbors8 {
+        Neighbors8 {
+            dims: self,
+            center: c,
+            next: 0,
+        }
+    }
+}
+
+impl fmt::Display for GridDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.cols, self.rows)
+    }
+}
+
+const OFFSETS4: [(i32, i32); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+const OFFSETS8: [(i32, i32); 8] = [
+    (1, 0),
+    (-1, 0),
+    (0, 1),
+    (0, -1),
+    (1, 1),
+    (1, -1),
+    (-1, 1),
+    (-1, -1),
+];
+
+/// Iterator over the in-bounds 4-neighbours of a coordinate.
+#[derive(Debug, Clone)]
+pub struct Neighbors4 {
+    dims: GridDims,
+    center: GridCoord,
+    next: usize,
+}
+
+impl Iterator for Neighbors4 {
+    type Item = GridCoord;
+
+    fn next(&mut self) -> Option<GridCoord> {
+        while self.next < OFFSETS4.len() {
+            let (dx, dy) = OFFSETS4[self.next];
+            self.next += 1;
+            if let Some(c) = self.center.offset(dx, dy) {
+                if self.dims.contains(c) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over the in-bounds 8-neighbours of a coordinate.
+#[derive(Debug, Clone)]
+pub struct Neighbors8 {
+    dims: GridDims,
+    center: GridCoord,
+    next: usize,
+}
+
+impl Iterator for Neighbors8 {
+    type Item = GridCoord;
+
+    fn next(&mut self) -> Option<GridCoord> {
+        while self.next < OFFSETS8.len() {
+            let (dx, dy) = OFFSETS8[self.next];
+            self.next += 1;
+            if let Some(c) = self.center.offset(dx, dy) {
+                if self.dims.contains(c) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A rectangular region of a grid, inclusive of both corners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct GridRect {
+    /// Lower-left (minimum) corner.
+    pub min: GridCoord,
+    /// Upper-right (maximum) corner, inclusive.
+    pub max: GridCoord,
+}
+
+impl GridRect {
+    /// Creates a region from two corners, normalising their order.
+    pub fn new(a: GridCoord, b: GridCoord) -> Self {
+        Self {
+            min: GridCoord::new(a.x.min(b.x), a.y.min(b.y)),
+            max: GridCoord::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Number of cells covered.
+    pub fn count(&self) -> u64 {
+        (self.max.x - self.min.x + 1) as u64 * (self.max.y - self.min.y + 1) as u64
+    }
+
+    /// Returns `true` when the coordinate lies inside the region.
+    pub fn contains(&self, c: GridCoord) -> bool {
+        c.x >= self.min.x && c.x <= self.max.x && c.y >= self.min.y && c.y <= self.max.y
+    }
+
+    /// Iterator over all coordinates in the region, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = GridCoord> {
+        let (minx, maxx, miny, maxy) = (self.min.x, self.max.x, self.min.y, self.max.y);
+        (miny..=maxy).flat_map(move |y| (minx..=maxx).map(move |x| GridCoord::new(x, y)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = GridCoord::new(2, 3);
+        let b = GridCoord::new(5, 1);
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(a.chebyshev(b), 3);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn offset_clips_at_zero() {
+        let c = GridCoord::new(0, 0);
+        assert_eq!(c.offset(-1, 0), None);
+        assert_eq!(c.offset(1, 2), Some(GridCoord::new(1, 2)));
+    }
+
+    #[test]
+    fn dims_indexing_round_trips() {
+        let d = GridDims::new(7, 5);
+        assert_eq!(d.count(), 35);
+        for i in 0..d.count() as usize {
+            assert_eq!(d.index_of(d.coord_of(i)), i);
+        }
+        assert!(d.contains(GridCoord::new(6, 4)));
+        assert!(!d.contains(GridCoord::new(7, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn index_of_out_of_bounds_panics() {
+        GridDims::new(2, 2).index_of(GridCoord::new(2, 0));
+    }
+
+    #[test]
+    fn neighbours_at_corner_and_interior() {
+        let d = GridDims::new(4, 4);
+        let corner: Vec<_> = d.neighbors4(GridCoord::new(0, 0)).collect();
+        assert_eq!(corner.len(), 2);
+        let interior: Vec<_> = d.neighbors4(GridCoord::new(1, 1)).collect();
+        assert_eq!(interior.len(), 4);
+        let diag: Vec<_> = d.neighbors8(GridCoord::new(0, 0)).collect();
+        assert_eq!(diag.len(), 3);
+        let full: Vec<_> = d.neighbors8(GridCoord::new(2, 2)).collect();
+        assert_eq!(full.len(), 8);
+    }
+
+    #[test]
+    fn grid_iteration_covers_all_cells() {
+        let d = GridDims::square(3);
+        let cells: Vec<_> = d.iter().collect();
+        assert_eq!(cells.len(), 9);
+        assert_eq!(cells[0], GridCoord::new(0, 0));
+        assert_eq!(cells[8], GridCoord::new(2, 2));
+    }
+
+    #[test]
+    fn rect_region() {
+        let r = GridRect::new(GridCoord::new(3, 4), GridCoord::new(1, 2));
+        assert_eq!(r.min, GridCoord::new(1, 2));
+        assert_eq!(r.max, GridCoord::new(3, 4));
+        assert_eq!(r.count(), 9);
+        assert!(r.contains(GridCoord::new(2, 3)));
+        assert!(!r.contains(GridCoord::new(0, 0)));
+        assert_eq!(r.iter().count(), 9);
+    }
+
+    #[test]
+    fn to_position_is_cell_centre() {
+        let pitch = 20e-6;
+        let p = GridCoord::new(0, 1).to_position(pitch);
+        assert!((p.x - 10e-6).abs() < 1e-12);
+        assert!((p.y - 30e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_array_has_over_100k_electrodes() {
+        // The DATE'05 paper claims an array of more than 100,000 electrodes.
+        let dims = GridDims::new(320, 320);
+        assert!(dims.count() > 100_000);
+    }
+}

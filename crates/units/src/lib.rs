@@ -1,0 +1,48 @@
+//! # labchip-units
+//!
+//! Foundation crate of the `labchip` workspace: strongly-typed physical
+//! quantities, small vector/geometry types, grid coordinates for electrode
+//! arrays, and values-with-uncertainty.
+//!
+//! The DATE'05 paper this workspace reproduces ("New Perspectives and
+//! Opportunities From the Wild West of Microelectronic Biochips", Manaresi et
+//! al.) argues repeatedly in terms of *orders of magnitude*: electrode pitch
+//! versus cell size (tens of micrometres), DEP force scaling with the square
+//! of the supply voltage, cell velocities of 10–100 µm/s versus electronic
+//! timescales of nanoseconds, fabrication turnaround of days versus weeks.
+//! Mixing up units in such arguments is fatal, so every crate in the
+//! workspace talks in the newtypes defined here.
+//!
+//! ## Example
+//!
+//! ```
+//! use labchip_units::{Meters, Volts, Seconds};
+//!
+//! let pitch = Meters::from_micrometers(20.0);
+//! let supply = Volts::new(3.3);
+//! let step = Seconds::from_millis(10.0);
+//! assert!(pitch.as_micrometers() > 10.0);
+//! assert!(supply.get() * supply.get() > 10.0);
+//! assert_eq!(step.as_millis(), 10.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod constants;
+pub mod cost;
+pub mod geometry;
+pub mod grid;
+pub mod si;
+pub mod uncertainty;
+
+pub use constants::*;
+pub use cost::{Euros, PersonDays};
+pub use geometry::{Point2, Point3, Rect, Vec2, Vec3};
+pub use grid::{GridCoord, GridDims, GridRect, Neighbors4, Neighbors8};
+pub use si::{
+    Amperes, Celsius, CubicMeters, Farads, Hertz, Kelvin, Kilograms, KilogramsPerCubicMeter,
+    Meters, MetersPerSecond, Newtons, PascalSeconds, Pascals, Seconds, SiemensPerMeter, Volts,
+    VoltsPerMeter, Watts,
+};
+pub use uncertainty::Uncertain;

@@ -1,0 +1,176 @@
+//! Values with attached uncertainty.
+//!
+//! The paper's §3 stresses that fluidic simulation "demands a lot of input
+//! parameters which are uncertain or completely unknown". The design-flow
+//! comparison models this directly: every fluidic parameter is an
+//! [`Uncertain`] value with a nominal and a relative spread, and the
+//! simulate-first flow has to make decisions on samples from that spread.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A nominal value with a one-sigma relative uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Uncertain {
+    nominal: f64,
+    relative_sigma: f64,
+}
+
+impl Uncertain {
+    /// Creates an exactly-known value.
+    pub const fn exact(nominal: f64) -> Self {
+        Self {
+            nominal,
+            relative_sigma: 0.0,
+        }
+    }
+
+    /// Creates a value with the given relative one-sigma spread
+    /// (`0.1` = 10 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relative_sigma` is negative or not finite.
+    pub fn new(nominal: f64, relative_sigma: f64) -> Self {
+        assert!(
+            relative_sigma.is_finite() && relative_sigma >= 0.0,
+            "relative sigma must be finite and non-negative"
+        );
+        Self {
+            nominal,
+            relative_sigma,
+        }
+    }
+
+    /// The nominal (best-guess) value.
+    #[inline]
+    pub const fn nominal(self) -> f64 {
+        self.nominal
+    }
+
+    /// The relative one-sigma spread.
+    #[inline]
+    pub const fn relative_sigma(self) -> f64 {
+        self.relative_sigma
+    }
+
+    /// The absolute one-sigma spread.
+    #[inline]
+    pub fn sigma(self) -> f64 {
+        self.nominal.abs() * self.relative_sigma
+    }
+
+    /// Returns `true` when the value carries no uncertainty.
+    #[inline]
+    pub fn is_exact(self) -> bool {
+        self.relative_sigma == 0.0
+    }
+
+    /// Draws one sample using a caller-provided standard-normal deviate.
+    ///
+    /// Keeping the random number generation outside of this type lets callers
+    /// choose their RNG and keeps this crate dependency-free.
+    #[inline]
+    pub fn sample_with(self, standard_normal: f64) -> f64 {
+        self.nominal + self.sigma() * standard_normal
+    }
+
+    /// Worst-case low value at `n_sigma` standard deviations.
+    #[inline]
+    pub fn low(self, n_sigma: f64) -> f64 {
+        self.nominal - n_sigma * self.sigma()
+    }
+
+    /// Worst-case high value at `n_sigma` standard deviations.
+    #[inline]
+    pub fn high(self, n_sigma: f64) -> f64 {
+        self.nominal + n_sigma * self.sigma()
+    }
+
+    /// Scales the nominal value, preserving the relative uncertainty.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Self {
+        Self {
+            nominal: self.nominal * factor,
+            relative_sigma: self.relative_sigma,
+        }
+    }
+
+    /// Combines two independent uncertain values multiplicatively
+    /// (relative sigmas add in quadrature).
+    pub fn combine_mul(self, other: Self) -> Self {
+        Self {
+            nominal: self.nominal * other.nominal,
+            relative_sigma: (self.relative_sigma.powi(2) + other.relative_sigma.powi(2)).sqrt(),
+        }
+    }
+}
+
+impl fmt::Display for Uncertain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_exact() {
+            write!(f, "{}", self.nominal)
+        } else {
+            write!(f, "{} ± {:.1}%", self.nominal, self.relative_sigma * 100.0)
+        }
+    }
+}
+
+impl From<f64> for Uncertain {
+    fn from(value: f64) -> Self {
+        Self::exact(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_have_zero_spread() {
+        let v = Uncertain::exact(42.0);
+        assert!(v.is_exact());
+        assert_eq!(v.sigma(), 0.0);
+        assert_eq!(v.sample_with(3.0), 42.0);
+        assert_eq!(v.low(3.0), 42.0);
+        assert_eq!(v.high(3.0), 42.0);
+    }
+
+    #[test]
+    fn sampling_scales_with_sigma() {
+        let v = Uncertain::new(100.0, 0.2);
+        assert_eq!(v.sigma(), 20.0);
+        assert_eq!(v.sample_with(1.0), 120.0);
+        assert_eq!(v.sample_with(-2.0), 60.0);
+        assert_eq!(v.low(1.0), 80.0);
+        assert_eq!(v.high(2.0), 140.0);
+    }
+
+    #[test]
+    fn combine_mul_adds_in_quadrature() {
+        let a = Uncertain::new(10.0, 0.3);
+        let b = Uncertain::new(2.0, 0.4);
+        let c = a.combine_mul(b);
+        assert_eq!(c.nominal(), 20.0);
+        assert!((c.relative_sigma() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_preserves_relative_sigma() {
+        let v = Uncertain::new(5.0, 0.1).scale(4.0);
+        assert_eq!(v.nominal(), 20.0);
+        assert_eq!(v.relative_sigma(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative sigma")]
+    fn negative_sigma_rejected() {
+        let _ = Uncertain::new(1.0, -0.1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Uncertain::exact(3.0)), "3");
+        assert_eq!(format!("{}", Uncertain::new(3.0, 0.25)), "3 ± 25.0%");
+    }
+}

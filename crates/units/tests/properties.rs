@@ -1,0 +1,78 @@
+//! Property-based tests for the units crate.
+
+use labchip_units::{GridCoord, GridDims, Meters, Rect, Seconds, Uncertain, Vec2, Vec3};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e9f64..1e9f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-9f64..1e9f64
+}
+
+proptest! {
+    #[test]
+    fn length_conversion_round_trip(um in positive()) {
+        let l = Meters::from_micrometers(um);
+        prop_assert!((l.as_micrometers() - um).abs() <= um.abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn time_addition_is_commutative(a in finite(), b in finite()) {
+        let x = Seconds::new(a) + Seconds::new(b);
+        let y = Seconds::new(b) + Seconds::new(a);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn vec3_norm_is_non_negative(x in finite(), y in finite(), z in finite()) {
+        prop_assert!(Vec3::new(x, y, z).norm() >= 0.0);
+    }
+
+    #[test]
+    fn vec3_triangle_inequality(
+        ax in finite(), ay in finite(), az in finite(),
+        bx in finite(), by in finite(), bz in finite(),
+    ) {
+        let a = Vec3::new(ax, ay, az);
+        let b = Vec3::new(bx, by, bz);
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-6);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm_or_zero(x in finite(), y in finite()) {
+        let v = Vec2::new(x, y);
+        let n = v.normalized().norm();
+        prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_index_round_trip(cols in 1u32..200, rows in 1u32..200, x in 0u32..200, y in 0u32..200) {
+        let dims = GridDims::new(cols, rows);
+        let coord = GridCoord::new(x % cols, y % rows);
+        prop_assert_eq!(dims.coord_of(dims.index_of(coord)), coord);
+    }
+
+    #[test]
+    fn manhattan_is_symmetric(ax in 0u32..1000, ay in 0u32..1000, bx in 0u32..1000, by in 0u32..1000) {
+        let a = GridCoord::new(ax, ay);
+        let b = GridCoord::new(bx, by);
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert!(a.chebyshev(b) <= a.manhattan(b));
+    }
+
+    #[test]
+    fn rect_contains_its_center(x in finite(), y in finite(), w in positive(), h in positive()) {
+        let r = Rect::from_origin_size(Vec2::new(x, y), w.min(1e6), h.min(1e6));
+        prop_assert!(r.contains(r.center()));
+        prop_assert!(r.area() >= 0.0);
+    }
+
+    #[test]
+    fn uncertain_bounds_bracket_nominal(nominal in finite(), sigma in 0.0f64..2.0) {
+        let v = Uncertain::new(nominal, sigma);
+        prop_assert!(v.low(1.0) <= v.nominal() + 1e-9);
+        prop_assert!(v.high(1.0) >= v.nominal() - 1e-9);
+    }
+}

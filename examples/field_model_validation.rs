@@ -1,0 +1,102 @@
+//! Validation of the fast field model against the finite-difference reference
+//! solver: where the cage sits, how deep it is, and where a trapped viable
+//! cell levitates according to each model.
+//!
+//! This is the ablation behind the workspace's central approximation — the
+//! whole-array simulations use the truncated patch-superposition model, and
+//! this example shows what is (and is not) lost relative to solving Laplace's
+//! equation on a grid.
+//!
+//! Run with `cargo run --release --example field_model_validation`.
+
+use labchip::prelude::*;
+use labchip_units::{GridCoord, GridDims, GridRect, Hertz, Meters, Vec3, Volts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 7x7 electrode region with one cage in the middle: small enough for
+    // the finite-difference solver, representative of any cage in the array.
+    let mut plane = ElectrodePlane::new(
+        GridDims::square(7),
+        Meters::from_micrometers(20.0),
+        Volts::new(3.3),
+        Meters::from_micrometers(80.0),
+    );
+    let cage = GridCoord::new(3, 3);
+    plane.set_phase(cage, ElectrodePhase::CounterPhase);
+    let center = plane.electrode_center(cage);
+
+    let fast = SuperpositionField::new(plane.clone());
+    let reference = LaplaceSolver::solve(
+        &plane,
+        GridRect::new(GridCoord::new(0, 0), GridCoord::new(6, 6)),
+    )?;
+    println!(
+        "reference solver: {} SOR sweeps, residual {:.1e} V",
+        reference.iterations(),
+        reference.residual()
+    );
+    println!();
+
+    // 1. Vertical |E|^2 profile above the cage centre.
+    println!("  z [um]   |E| fast [kV/m]   |E| reference [kV/m]");
+    for z_um in [5.0, 10.0, 20.0, 30.0, 40.0, 60.0, 75.0] {
+        let p = Vec3::new(center.x, center.y, z_um * 1e-6);
+        println!(
+            "  {:>5.0}   {:>14.1}   {:>19.1}",
+            z_um,
+            fast.e_squared(p).sqrt() / 1e3,
+            reference.e_squared(p).sqrt() / 1e3,
+        );
+    }
+    println!();
+
+    // 2. Both models must locate the |E|^2 minimum over the counter-phase
+    //    electrode (that is what makes it a cage).
+    let probe_height = 24e-6;
+    let minimum_of = |field: &dyn FieldModel| {
+        let mut best = (f64::INFINITY, GridCoord::new(0, 0));
+        for c in GridRect::new(GridCoord::new(1, 1), GridCoord::new(5, 5)).iter() {
+            let pos = plane.electrode_center(c);
+            let e2 = field.e_squared(Vec3::new(pos.x, pos.y, probe_height));
+            if e2 < best.0 {
+                best = (e2, c);
+            }
+        }
+        best.1
+    };
+    println!(
+        "cage location  — fast model: {}, reference: {} (programmed at {})",
+        minimum_of(&fast),
+        minimum_of(&reference),
+        cage
+    );
+
+    // 3. Levitation height of a viable cell according to each model.
+    let cell = Particle::viable_cell(Meters::from_micrometers(10.0));
+    let medium = Medium::physiological_low_conductivity();
+    let solver = LevitationSolver::new(
+        &cell,
+        &medium,
+        Hertz::from_kilohertz(10.0),
+        Meters::from_micrometers(11.0),
+        Meters::from_micrometers(70.0),
+    );
+    let fast_height = solver.solve(&fast, (center.x, center.y));
+    let ref_height = solver.solve(&reference, (center.x, center.y));
+    println!(
+        "levitation height — fast model: {}, reference: {}",
+        fast_height
+            .map(|p| format!("{:.1} um", p.height.as_micrometers()))
+            .unwrap_or_else(|| "none".into()),
+        ref_height
+            .map(|p| format!("{:.1} um", p.height.as_micrometers()))
+            .unwrap_or_else(|| "none".into()),
+    );
+    println!();
+    println!(
+        "Both models agree on the trap location and on stable levitation; the fast\n\
+         model is what makes 100,000-electrode simulations affordable, the reference\n\
+         solver is what keeps it honest."
+    );
+    Ok(())
+}

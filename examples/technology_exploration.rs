@@ -1,0 +1,56 @@
+//! Technology exploration: why the paper argues that "older generation
+//! technologies may best fit your purpose" — and what thick-oxide I/O
+//! drivers buy back on newer nodes.
+//!
+//! Run with `cargo run --example technology_exploration`.
+
+use labchip::experiments::e2_technology;
+use labchip::prelude::*;
+
+fn main() {
+    // The E2 experiment: sweep the node ladder at core supply voltages.
+    let core_only = e2_technology::run(&e2_technology::Config::default());
+    println!("{}", core_only.to_table());
+
+    // The same sweep with thick-oxide I/O drivers enabled: part of the force
+    // comes back, at the price of bigger per-pixel drivers.
+    let with_io = e2_technology::run(&e2_technology::Config {
+        use_io_drivers: true,
+        ..e2_technology::Config::default()
+    });
+    println!(
+        "{}",
+        ExperimentTable::new(
+            "E2b",
+            "Same sweep with thick-oxide I/O drivers",
+            with_io.to_table().columns,
+            with_io.to_table().rows,
+        )
+    );
+
+    // The headline numbers the paper's argument rests on.
+    let old = core_only.row_for("0.35").expect("0.35 um node swept");
+    let new = core_only.row_for("0.13").expect("0.13 um node swept");
+    println!(
+        "moving from 0.35 um/3.3 V to 0.13 um/1.2 V costs {:.0}x in DEP force\n\
+         ({:.1} pN -> {:.1} pN holding force) while the mask set gets {:.0}x dearer.",
+        old.holding_force_pn / new.holding_force_pn.max(1e-9),
+        old.holding_force_pn,
+        new.holding_force_pn,
+        new.mask_set_cost_keur / old.mask_set_cost_keur,
+    );
+
+    // Pixel-level sanity: the per-pixel logic fits under a cell-sized
+    // electrode on every node, so the old node gives up nothing.
+    let pixel = PixelCell::with_capacitive_sensor();
+    for node in TechnologyNode::ladder() {
+        let pitch = node.electrode_pitch_for_cells(labchip_units::Meters::from_micrometers(25.0));
+        println!(
+            "{:<14} pixel logic {:>6.0} um^2 under a {:>3.0} um electrode ({:>5.1}% of the pitch area)",
+            node.name,
+            pixel.logic_area(&node) * 1e12,
+            pitch.as_micrometers(),
+            100.0 * pixel.logic_area(&node) / (pitch.get() * pitch.get()),
+        );
+    }
+}
