@@ -160,7 +160,10 @@ mod tests {
         // 320 columns × 2 bits = 640 bits / 32-bit bus = 20 cycles + 4 = 24.
         assert_eq!(iface.cycles_per_row(320), 24);
         // Non-multiple widths round up.
-        assert_eq!(iface.cycles_per_row(17), (17.0f64 * 2.0 / 32.0).ceil() as u64 + 4);
+        assert_eq!(
+            iface.cycles_per_row(17),
+            (17.0f64 * 2.0 / 32.0).ceil() as u64 + 4
+        );
     }
 
     #[test]

@@ -268,7 +268,10 @@ mod tests {
         assert_eq!(chip.pitch(), Meters::from_micrometers(20.0));
         assert_eq!(chip.drive_voltage(), Volts::new(3.3));
         assert_eq!(chip.memory_bits(), 102_400 * 2);
-        assert_eq!(chip.pixel(GridCoord::new(0, 0)).unwrap().sensor, SensorSite::Capacitive);
+        assert_eq!(
+            chip.pixel(GridCoord::new(0, 0)).unwrap().sensor,
+            SensorSite::Capacitive
+        );
     }
 
     #[test]
@@ -287,7 +290,10 @@ mod tests {
     fn out_of_bounds_access_is_an_error() {
         let mut chip = small();
         let outside = GridCoord::new(16, 0);
-        assert!(matches!(chip.phase(outside), Err(ArrayError::OutOfBounds { .. })));
+        assert!(matches!(
+            chip.phase(outside),
+            Err(ArrayError::OutOfBounds { .. })
+        ));
         assert!(matches!(
             chip.set_phase(outside, ElectrodePhase::CounterPhase),
             Err(ArrayError::OutOfBounds { .. })
@@ -302,7 +308,10 @@ mod tests {
         chip.set_phase(GridCoord::new(8, 8), ElectrodePhase::Floating)
             .unwrap();
         let plane = chip.to_electrode_plane();
-        assert_eq!(plane.phase(GridCoord::new(3, 3)), ElectrodePhase::CounterPhase);
+        assert_eq!(
+            plane.phase(GridCoord::new(3, 3)),
+            ElectrodePhase::CounterPhase
+        );
         assert_eq!(plane.phase(GridCoord::new(8, 8)), ElectrodePhase::Floating);
         assert_eq!(plane.phase(GridCoord::new(0, 0)), ElectrodePhase::InPhase);
         assert_eq!(plane.amplitude(), Volts::new(3.3));
@@ -328,8 +337,10 @@ mod tests {
     fn diff_count_counts_changed_pixels() {
         let a = small();
         let mut b = small();
-        b.set_phase(GridCoord::new(1, 1), ElectrodePhase::CounterPhase).unwrap();
-        b.set_phase(GridCoord::new(2, 2), ElectrodePhase::Floating).unwrap();
+        b.set_phase(GridCoord::new(1, 1), ElectrodePhase::CounterPhase)
+            .unwrap();
+        b.set_phase(GridCoord::new(2, 2), ElectrodePhase::Floating)
+            .unwrap();
         assert_eq!(a.diff_count(&b).unwrap(), 2);
         assert_eq!(a.diff_count(&a).unwrap(), 0);
         let other = ActuatorArray::new(GridDims::square(8), TechnologyNode::cmos_350nm());

@@ -268,11 +268,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.cage_count(), 2);
-        assert!(CagePattern::new(
-            dims,
-            PatternKind::Custom(vec![GridCoord::new(9, 0)])
-        )
-        .is_err());
+        assert!(CagePattern::new(dims, PatternKind::Custom(vec![GridCoord::new(9, 0)])).is_err());
     }
 
     #[test]

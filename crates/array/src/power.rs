@@ -67,7 +67,10 @@ mod tests {
         let chip = ActuatorArray::date05_reference();
         let model = PowerModel::new(Hertz::from_megahertz(1.0));
         let p = model.total_power(&chip);
-        assert!(p.as_milliwatts() > 10.0 && p.as_milliwatts() < 500.0, "P = {p}");
+        assert!(
+            p.as_milliwatts() > 10.0 && p.as_milliwatts() < 500.0,
+            "P = {p}"
+        );
     }
 
     #[test]
@@ -95,7 +98,9 @@ mod tests {
             active_fraction: 0.5,
             ..full
         };
-        assert!((half.dynamic_power(&chip).get() / full.dynamic_power(&chip).get() - 0.5).abs() < 1e-9);
+        assert!(
+            (half.dynamic_power(&chip).get() / full.dynamic_power(&chip).get() - 0.5).abs() < 1e-9
+        );
     }
 
     #[test]

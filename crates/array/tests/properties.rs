@@ -43,7 +43,7 @@ proptest! {
         let mut chip = ActuatorArray::new(dims, TechnologyNode::cmos_350nm());
         // Pseudo-random but deterministic pattern from the seed.
         for c in dims.iter() {
-            if (c.x as u64 * 31 + c.y as u64 * 17 + seed) % 7 == 0 {
+            if (c.x as u64 * 31 + c.y as u64 * 17 + seed).is_multiple_of(7) {
                 chip.set_phase(c, ElectrodePhase::CounterPhase).unwrap();
             }
         }

@@ -122,13 +122,9 @@ fn bench_e7_routing(c: &mut Criterion) {
             particle_counts: vec![particles],
             ..e7_routing::Config::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(particles),
-            &config,
-            |b, cfg| {
-                b.iter(|| black_box(e7_routing::run(cfg)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(particles), &config, |b, cfg| {
+            b.iter(|| black_box(e7_routing::run(cfg)));
+        });
     }
     group.finish();
 }

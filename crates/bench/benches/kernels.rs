@@ -3,35 +3,25 @@
 //! particle-dynamics stepping, channel-network solving and the cage router.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use labchip_bench::{cage_plane, populated_simulator};
 use labchip_fluidics::channel::{ChannelNetwork, NodeId};
 use labchip_fluidics::flow::RectangularChannel;
 use labchip_manipulation::routing::{Router, RoutingStrategy};
 use labchip_physics::dep::DepForceModel;
 use labchip_physics::dynamics::{ForceBalance, OverdampedIntegrator, ParticleState};
+use labchip_physics::field::cache::FieldCache;
 use labchip_physics::field::laplace::LaplaceSolver;
 use labchip_physics::field::superposition::SuperpositionField;
-use labchip_physics::field::{ElectrodePhase, ElectrodePlane, FieldModel};
+use labchip_physics::field::FieldModel;
 use labchip_physics::medium::Medium;
 use labchip_physics::particle::Particle;
 use labchip_units::{
-    GridCoord, GridDims, GridRect, Hertz, Meters, Pascals, PascalSeconds, Seconds, Vec3, Volts,
-    WATER_VISCOSITY,
+    GridCoord, GridRect, Hertz, Meters, PascalSeconds, Pascals, Seconds, Vec3, WATER_VISCOSITY,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
 use std::time::Duration;
-
-fn cage_plane(side: u32) -> ElectrodePlane {
-    let mut plane = ElectrodePlane::new(
-        GridDims::square(side),
-        Meters::from_micrometers(20.0),
-        Volts::new(3.3),
-        Meters::from_micrometers(80.0),
-    );
-    plane.set_phase(GridCoord::new(side / 2, side / 2), ElectrodePhase::CounterPhase);
-    plane
-}
 
 fn bench_field_evaluation(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel_field_evaluation");
@@ -43,8 +33,54 @@ fn bench_field_evaluation(c: &mut Criterion) {
             field.plane().height() / 2.0,
             30e-6,
         );
+        // Analytic single-pass Hessian kernel vs the 6-point finite-difference
+        // chain it replaced — kept benchmarked side-by-side as the speedup
+        // reference (the `_fd` path is 36 potential sweeps per query).
         group.bench_with_input(BenchmarkId::new("grad_e_squared", side), &field, |b, f| {
             b.iter(|| black_box(f.grad_e_squared(black_box(probe))));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("grad_e_squared_fd", side),
+            &field,
+            |b, f| {
+                b.iter(|| black_box(f.grad_e_squared_fd(black_box(probe))));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("e_squared", side), &field, |b, f| {
+            b.iter(|| black_box(f.e_squared(black_box(probe))));
+        });
+    }
+    // Trilinear cache lookups amortise the kernel sweep for whole-array runs.
+    let field = SuperpositionField::new(cage_plane(16));
+    let cache = FieldCache::build(&field);
+    let probe = Vec3::new(
+        field.plane().width() / 2.0 + 3.1e-6,
+        field.plane().height() / 2.0 - 2.3e-6,
+        31e-6,
+    );
+    group.bench_function("field_cache_grad_lookup", |b| {
+        b.iter(|| black_box(cache.grad_e_squared(black_box(probe))));
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_step_1000_particles");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    // 1000 cells spread over a 64x64 array with a cage lattice; one bench
+    // iteration advances every particle one step. Thread counts are pinned
+    // per benchmark to expose the rayon scaling (results are bit-identical
+    // across counts; only the wall clock changes).
+    for threads in [1usize, 0] {
+        let label = if threads == 0 {
+            "all_cores".to_string()
+        } else {
+            threads.to_string()
+        };
+        let mut sim = populated_simulator(threads, 1000);
+        group.bench_function(BenchmarkId::new("threads", label), |b| {
+            b.iter(|| sim.run(1));
         });
     }
     group.finish();
@@ -188,6 +224,7 @@ fn bench_router(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_field_evaluation,
+    bench_simulator,
     bench_clausius_mossotti,
     bench_laplace_solver,
     bench_particle_dynamics,

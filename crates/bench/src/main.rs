@@ -1,18 +1,39 @@
-//! `report` — regenerates every experiment table of the DATE'05 reproduction.
+//! `report` — regenerates every experiment table of the DATE'05 reproduction,
+//! and emits the machine-readable field-kernel benchmark file.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p labchip-bench --bin report            # all experiments
 //! cargo run --release -p labchip-bench --bin report -- e2 e5   # a subset
+//! cargo run --release -p labchip-bench --bin report -- bench-fields [OUT.json]
 //! ```
 //!
-//! The output is the markdown quoted in `EXPERIMENTS.md`.
+//! The experiment output is the markdown quoted in `EXPERIMENTS.md`. The
+//! `bench-fields` subcommand times the field-evaluation kernels and the
+//! particle-stepping loop and writes `BENCH_fields.json` (one object per
+//! kernel with ns/op, plus simulator step throughput per thread count) so
+//! successive PRs accumulate a perf trajectory.
 
 use labchip::experiments::Experiment;
+use labchip_bench::{cage_field, populated_simulator};
+use labchip_physics::field::cache::FieldCache;
+use labchip_physics::field::FieldModel;
+use labchip_units::Vec3;
+use std::hint::black_box;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-fields") {
+        let out = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_fields.json".into());
+        bench_fields(&out);
+        return;
+    }
+
     let selected: Vec<Experiment> = if args.is_empty() {
         Experiment::all().to_vec()
     } else {
@@ -38,4 +59,146 @@ fn main() {
         let table = experiment.run_default();
         println!("{table}");
     }
+}
+
+/// Median ns/op of `f`, adaptively batched.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // Calibrate a batch size costing ≳1 ms.
+    let mut batch = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if t0.elapsed().as_micros() >= 1_000 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut samples = Vec::with_capacity(32);
+    for _ in 0..32 {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn bench_fields(out_path: &str) {
+    // Fail fast on an unwritable destination — the measurements below take
+    // a minute and would otherwise be thrown away at the final write.
+    if let Err(err) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out_path)
+    {
+        eprintln!("cannot write benchmark output `{out_path}`: {err}");
+        std::process::exit(1);
+    }
+    let mut entries: Vec<(String, f64)> = Vec::new();
+
+    for side in [16u32, 320] {
+        let field = cage_field(side);
+        let probe = Vec3::new(
+            field.plane().width() / 2.0,
+            field.plane().height() / 2.0,
+            30e-6,
+        );
+        entries.push((
+            format!("kernel_field_evaluation/potential/{side}"),
+            time_ns(|| {
+                black_box(field.potential(black_box(probe)));
+            }),
+        ));
+        entries.push((
+            format!("kernel_field_evaluation/e_squared/{side}"),
+            time_ns(|| {
+                black_box(field.e_squared(black_box(probe)));
+            }),
+        ));
+        entries.push((
+            format!("kernel_field_evaluation/grad_e_squared/{side}"),
+            time_ns(|| {
+                black_box(field.grad_e_squared(black_box(probe)));
+            }),
+        ));
+        entries.push((
+            format!("kernel_field_evaluation/grad_e_squared_fd/{side}"),
+            time_ns(|| {
+                black_box(field.grad_e_squared_fd(black_box(probe)));
+            }),
+        ));
+    }
+
+    {
+        let field = cage_field(16);
+        let cache = FieldCache::build(&field);
+        let probe = Vec3::new(163.1e-6, 157.7e-6, 31e-6);
+        entries.push((
+            "kernel_field_evaluation/field_cache_grad_lookup".into(),
+            time_ns(|| {
+                black_box(cache.grad_e_squared(black_box(probe)));
+            }),
+        ));
+    }
+
+    // Simulator step throughput: particle-steps per second, 1000 particles.
+    let mut throughput: Vec<(String, f64)> = Vec::new();
+    for threads in [1usize, 0] {
+        let mut sim = populated_simulator(threads, 1000);
+        let ns_per_step = time_ns(|| sim.run(1));
+        let label = if threads == 0 { "all_cores" } else { "1" };
+        entries.push((
+            format!("simulator_step_1000_particles/threads/{label}"),
+            ns_per_step,
+        ));
+        throughput.push((
+            format!("particle_steps_per_second/threads/{label}"),
+            1000.0 / (ns_per_step * 1e-9),
+        ));
+    }
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (id, ns)) in entries.iter().enumerate() {
+        let sep = if i + 1 < entries.len() || !throughput.is_empty() {
+            ","
+        } else {
+            ""
+        };
+        json.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"ns_per_op\": {ns:.2}}}{sep}\n"
+        ));
+    }
+    for (i, (id, value)) in throughput.iter().enumerate() {
+        let sep = if i + 1 < throughput.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"value\": {value:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write benchmark json");
+
+    let speedup = {
+        let find = |needle: &str| {
+            entries
+                .iter()
+                .find(|(id, _)| id == needle)
+                .map(|(_, ns)| *ns)
+        };
+        match (
+            find("kernel_field_evaluation/grad_e_squared_fd/320"),
+            find("kernel_field_evaluation/grad_e_squared/320"),
+        ) {
+            (Some(fd), Some(analytic)) if analytic > 0.0 => fd / analytic,
+            _ => f64::NAN,
+        }
+    };
+    println!(
+        "wrote {out_path} ({} entries)",
+        entries.len() + throughput.len()
+    );
+    println!("analytic grad_e_squared speedup over finite differences (side 320): {speedup:.1}x");
 }

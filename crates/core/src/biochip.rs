@@ -10,6 +10,7 @@ use labchip_array::technology::TechnologyNode;
 use labchip_fluidics::chamber::Microchamber;
 use labchip_fluidics::packaging::PackagingStack;
 use labchip_physics::dep::{DepForceModel, TrapAnalysis};
+use labchip_physics::field::cache::FieldCache;
 use labchip_physics::field::superposition::SuperpositionField;
 use labchip_physics::field::{ElectrodePhase, FieldModel};
 use labchip_physics::levitation::LevitationSolver;
@@ -143,9 +144,10 @@ impl BiochipBuilder {
                 ),
             });
         }
-        let pitch = self
-            .pitch
-            .unwrap_or_else(|| self.technology.electrode_pitch_for_cells(Meters::from_micrometers(25.0)));
+        let pitch = self.pitch.unwrap_or_else(|| {
+            self.technology
+                .electrode_pitch_for_cells(Meters::from_micrometers(25.0))
+        });
         let mut array =
             ActuatorArray::with_geometry(self.dims, self.technology, pitch, chamber_height);
         array.install_sensors(self.sensors);
@@ -293,6 +295,15 @@ impl Biochip {
         SuperpositionField::new(self.array.to_electrode_plane())
     }
 
+    /// Samples the current field onto a [`FieldCache`] lattice for bulk
+    /// particle stepping. See the cache module docs for the direct-vs-cached
+    /// trade-off; after reprogramming, use [`FieldCache::mark_dirty`] +
+    /// [`FieldCache::refresh`] with a fresh [`Biochip::field_model`] rather
+    /// than rebuilding.
+    pub fn field_cache(&self) -> FieldCache {
+        FieldCache::build(&self.field_model())
+    }
+
     /// The DEP force model of the reference particle in this chip's medium
     /// and drive.
     pub fn dep_model(&self) -> DepForceModel {
@@ -374,11 +385,8 @@ impl Biochip {
         }
         let field = self.field_model();
         let center = self.array.to_electrode_plane().electrode_center(site);
-        let probe = labchip_units::Vec3::new(
-            center.x,
-            center.y,
-            0.5 * self.array.chamber_height().get(),
-        );
+        let probe =
+            labchip_units::Vec3::new(center.x, center.y, 0.5 * self.array.chamber_height().get());
         Ok(field.e_squared(probe).sqrt())
     }
 }

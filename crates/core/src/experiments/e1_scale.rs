@@ -11,7 +11,9 @@ use labchip_array::addressing::ProgrammingInterface;
 use labchip_array::pattern::{CagePattern, PatternKind};
 use labchip_array::pixel::PixelCell;
 use labchip_array::technology::TechnologyNode;
-use labchip_units::{GridCoord, GridDims, Meters};
+use labchip_physics::field::superposition::SuperpositionField;
+use labchip_physics::field::{ElectrodePhase, ElectrodePlane, FieldModel};
+use labchip_units::{GridCoord, GridDims, Meters, Vec3};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the scale sweep.
@@ -58,6 +60,12 @@ pub struct ScaleRow {
     pub frame_program_ms: f64,
     /// Die cost in euros (active area, excluding mask NRE).
     pub die_cost_euros: f64,
+    /// |E| probed 1.2 pitches above a central cage on the full-size plane,
+    /// in kV/m. Constant across sides (the cage is local physics); the point
+    /// of the column is that the probe stays cheap at every scale, because
+    /// field construction is one flat voltage-buffer sweep and evaluation is
+    /// cutoff-bounded.
+    pub cage_field_kv_m: f64,
 }
 
 /// Result of the scale sweep.
@@ -65,6 +73,23 @@ pub struct ScaleRow {
 pub struct Results {
     /// One row per array size.
     pub rows: Vec<ScaleRow>,
+}
+
+/// |E| (kV/m) above a single cage programmed at the centre of a full-size
+/// plane — exercises whole-array field construction at every swept scale.
+fn cage_field_probe(dims: GridDims, config: &Config) -> f64 {
+    let mut plane = ElectrodePlane::new(
+        dims,
+        config.pitch,
+        config.technology.supply_voltage,
+        Meters::from_micrometers(80.0),
+    );
+    let cage = GridCoord::new(dims.cols / 2, dims.rows / 2);
+    plane.set_phase(cage, ElectrodePhase::CounterPhase);
+    let field = SuperpositionField::new(plane);
+    let center = field.plane().electrode_center(cage);
+    let probe = Vec3::new(center.x, center.y, 1.2 * config.pitch.get());
+    field.e_squared(probe).sqrt() * 1e-3
 }
 
 /// Runs the sweep.
@@ -99,6 +124,7 @@ pub fn run(config: &Config) -> Results {
                 memory_bits: dims.count() * PixelCell::MEMORY_BITS as u64,
                 frame_program_ms: iface.full_frame_time(dims).as_millis(),
                 die_cost_euros: config.technology.die_cost(dims.count(), config.pitch).get(),
+                cage_field_kv_m: cage_field_probe(dims, config),
             }
         })
         .collect();
@@ -124,6 +150,7 @@ impl Results {
                 "memory [bit]".into(),
                 "frame program [ms]".into(),
                 "die cost [EUR]".into(),
+                "cage |E| [kV/m]".into(),
             ],
             self.rows
                 .iter()
@@ -136,6 +163,7 @@ impl Results {
                         r.memory_bits.to_string(),
                         format!("{:.2}", r.frame_program_ms),
                         format!("{:.0}", r.die_cost_euros),
+                        format!("{:.1}", r.cage_field_kv_m),
                     ]
                 })
                 .collect(),
@@ -150,7 +178,9 @@ mod tests {
     #[test]
     fn paper_scale_claims_hold() {
         let results = run(&Config::default());
-        let row = results.paper_scale_row().expect("320x320 is swept by default");
+        let row = results
+            .paper_scale_row()
+            .expect("320x320 is swept by default");
         // C1: more than 100,000 electrodes.
         assert!(row.electrodes > 100_000);
         // C1: tens of thousands of simultaneous cages.
@@ -160,6 +190,9 @@ mod tests {
         assert!(row.frame_program_ms < 1.5);
         // The configuration memory is a modest few hundred kilobits.
         assert!(row.memory_bits < 1_000_000);
+        // The cage field is tens-to-hundreds of kV/m and costs the same to
+        // probe at 100k electrodes as at 4k.
+        assert!(row.cage_field_kv_m > 10.0 && row.cage_field_kv_m < 1_000.0);
     }
 
     #[test]
@@ -170,6 +203,9 @@ mod tests {
         assert_eq!(r64.side, 64);
         assert_eq!(r128.side, 128);
         assert_eq!(r128.electrodes, 4 * r64.electrodes);
+        // The cage is local physics: the probe must not depend on array size.
+        let rel = (r128.cage_field_kv_m - r64.cage_field_kv_m).abs() / r64.cage_field_kv_m;
+        assert!(rel < 1e-9, "cage field drifted with array size: {rel}");
         assert!(r128.dense_cages > 3 * r64.dense_cages);
         assert!(r128.die_cost_euros > 3.0 * r64.die_cost_euros);
     }
@@ -179,7 +215,7 @@ mod tests {
         let config = Config::default();
         let table = run(&config).to_table();
         assert_eq!(table.row_count(), config.sides.len());
-        assert_eq!(table.columns.len(), 7);
+        assert_eq!(table.columns.len(), 8);
         assert!(table.to_string().contains("320x320"));
     }
 }

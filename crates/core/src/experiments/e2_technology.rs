@@ -96,7 +96,11 @@ fn analyze_node(node: &TechnologyNode, config: &Config) -> TechnologyRow {
 /// Runs the sweep.
 pub fn run(config: &Config) -> Results {
     Results {
-        rows: config.nodes.iter().map(|n| analyze_node(n, config)).collect(),
+        rows: config
+            .nodes
+            .iter()
+            .map(|n| analyze_node(n, config))
+            .collect(),
     }
 }
 
@@ -131,7 +135,11 @@ impl Results {
                         format!("{:.0}", r.pitch_um),
                         format!("{:.1}", r.holding_force_pn),
                         format!("{:.2e}", r.stiffness),
-                        if r.levitates { "yes".into() } else { "no".into() },
+                        if r.levitates {
+                            "yes".into()
+                        } else {
+                            "no".into()
+                        },
                         format!("{:.1}", r.levitation_height_um),
                         format!("{:.2}", r.dep_figure_of_merit),
                         format!("{:.0}", r.mask_set_cost_keur),

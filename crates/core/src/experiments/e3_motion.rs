@@ -29,6 +29,10 @@ pub struct Config {
     pub dt: Seconds,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the particle loop (0 = all cores). The experiment
+    /// steps a single cell, so the default pins one worker and avoids
+    /// spawn overhead; population-scale assays raise it.
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -39,6 +43,7 @@ impl Default for Config {
             array_side: 16,
             dt: Seconds::from_millis(1.0),
             seed: 7,
+            threads: 1,
         }
     }
 }
@@ -72,7 +77,8 @@ pub struct Results {
 fn run_speed(config: &Config, speed_um_s: f64) -> MotionRow {
     let mut chip = Biochip::small_reference(config.array_side);
     let start = GridCoord::new(2, config.array_side / 2);
-    chip.program_single_cage(start).expect("start electrode exists");
+    chip.program_single_cage(start)
+        .expect("start electrode exists");
     let pitch = chip.array().pitch();
     let pitch_m = pitch.get();
 
@@ -94,7 +100,8 @@ fn run_speed(config: &Config, speed_um_s: f64) -> MotionRow {
             brownian: true,
             seed: config.seed,
         },
-    );
+    )
+    .with_threads(config.threads);
     let idx = sim
         .add_reference_particle_at(start)
         .expect("start site is on the array");

@@ -147,7 +147,11 @@ impl Results {
                         format!("{:.2e}", r.theoretical_error),
                         format!("{:.2e}", r.simulated_error),
                         format!("{:.1}", r.scan_time_ms),
-                        if r.fits_in_step { "yes".into() } else { "no".into() },
+                        if r.fits_in_step {
+                            "yes".into()
+                        } else {
+                            "no".into()
+                        },
                     ]
                 })
                 .collect(),

@@ -164,7 +164,11 @@ fn run_one(config: &Config, particles: usize, strategy: RoutingStrategy) -> Rout
 pub fn run(config: &Config) -> Results {
     let mut rows = Vec::new();
     for &particles in &config.particle_counts {
-        rows.push(run_one(config, particles, RoutingStrategy::PrioritizedAStar));
+        rows.push(run_one(
+            config,
+            particles,
+            RoutingStrategy::PrioritizedAStar,
+        ));
         rows.push(run_one(config, particles, RoutingStrategy::Greedy));
     }
     Results { rows }

@@ -161,11 +161,7 @@ impl Results {
                     self.cells_recovered.to_string(),
                     "-".into(),
                 ],
-                vec![
-                    "cage steps".into(),
-                    self.cage_steps.to_string(),
-                    "-".into(),
-                ],
+                vec!["cage steps".into(), self.cage_steps.to_string(), "-".into()],
                 vec![
                     "fluidic handling".into(),
                     format!("{:.1} min", self.fluidics.as_minutes()),
@@ -220,7 +216,11 @@ mod tests {
         let results = run(&Config::default());
         assert!(results.fluidics > results.motion);
         assert!(results.motion > results.sensing);
-        assert!(results.sensing.get() < 5.0, "sensing = {} s", results.sensing.get());
+        assert!(
+            results.sensing.get() < 5.0,
+            "sensing = {} s",
+            results.sensing.get()
+        );
     }
 
     #[test]

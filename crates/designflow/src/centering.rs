@@ -85,7 +85,10 @@ pub struct CenteringOutcome {
 impl CenteringOutcome {
     /// Yield of the first iteration (the un-centred design).
     pub fn initial_yield(&self) -> f64 {
-        self.iterations.first().map(|i| i.yield_estimate).unwrap_or(0.0)
+        self.iterations
+            .first()
+            .map(|i| i.yield_estimate)
+            .unwrap_or(0.0)
     }
 
     /// Absolute yield improvement from first to last iteration.
@@ -204,8 +207,12 @@ mod tests {
     #[test]
     fn tighter_specs_yield_less() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let loose = DesignCentering::reference(3.0).unwrap().yield_at(0.0, &mut rng);
-        let tight = DesignCentering::reference(1.0).unwrap().yield_at(0.0, &mut rng);
+        let loose = DesignCentering::reference(3.0)
+            .unwrap()
+            .yield_at(0.0, &mut rng);
+        let tight = DesignCentering::reference(1.0)
+            .unwrap()
+            .yield_at(0.0, &mut rng);
         assert!(loose > tight);
     }
 

@@ -182,8 +182,7 @@ impl DesignFlow {
                 // margin effectively verified), but every tested batch feeds
                 // measured parameters back into the next revision.
                 let params = self.parameters_after_learning(iteration);
-                let fidelity =
-                    SimulationFidelity::new(&params, self.params.design_margin * 0.5);
+                let fidelity = SimulationFidelity::new(&params, self.params.design_margin * 0.5);
                 1.0 - fidelity.false_pass_probability()
             }
         }

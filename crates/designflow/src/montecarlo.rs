@@ -1,7 +1,7 @@
 //! Monte-Carlo comparison of the two design flows (experiment E5).
 
-use crate::flows::{DesignFlow, FlowKind, FlowParameters, ProjectOutcome};
 use crate::error::DesignFlowError;
+use crate::flows::{DesignFlow, FlowKind, FlowParameters, ProjectOutcome};
 use labchip_units::{Euros, Seconds};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -32,8 +32,7 @@ impl FlowStatistics {
         let converged = outcomes.iter().filter(|o| o.converged).count();
         let mean_iterations =
             outcomes.iter().map(|o| o.iterations as f64).sum::<f64>() / trials as f64;
-        let mean_duration =
-            outcomes.iter().map(|o| o.duration).sum::<Seconds>() / trials as f64;
+        let mean_duration = outcomes.iter().map(|o| o.duration).sum::<Seconds>() / trials as f64;
         let mean_cost = outcomes.iter().map(|o| o.cost).sum::<Euros>() / trials as f64;
         let mut durations: Vec<f64> = outcomes.iter().map(|o| o.duration.get()).collect();
         durations.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
@@ -103,8 +102,9 @@ impl MonteCarloComparison {
         let proto_flow = DesignFlow::new(FlowKind::PrototypeInLoop, self.parameters.clone())?;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
 
-        let sim_outcomes: Vec<ProjectOutcome> =
-            (0..self.trials).map(|_| sim_flow.run_project(&mut rng)).collect();
+        let sim_outcomes: Vec<ProjectOutcome> = (0..self.trials)
+            .map(|_| sim_flow.run_project(&mut rng))
+            .collect();
         let proto_outcomes: Vec<ProjectOutcome> = (0..self.trials)
             .map(|_| proto_flow.run_project(&mut rng))
             .collect();
@@ -128,7 +128,9 @@ mod tests {
         // E5: under 2005-level parameter uncertainty and dry-film-resist
         // prototyping, the prototype-in-the-loop flow converges in less
         // calendar time than the simulate-first flow.
-        let comparison = MonteCarloComparison::date05_reference(400, 1).run().unwrap();
+        let comparison = MonteCarloComparison::date05_reference(400, 1)
+            .run()
+            .unwrap();
         assert!(
             comparison.speedup() > 1.5,
             "speedup = {:.2}",
@@ -147,16 +149,24 @@ mod tests {
 
     #[test]
     fn comparison_is_deterministic_for_a_seed() {
-        let a = MonteCarloComparison::date05_reference(100, 7).run().unwrap();
-        let b = MonteCarloComparison::date05_reference(100, 7).run().unwrap();
+        let a = MonteCarloComparison::date05_reference(100, 7)
+            .run()
+            .unwrap();
+        let b = MonteCarloComparison::date05_reference(100, 7)
+            .run()
+            .unwrap();
         assert_eq!(a, b);
-        let c = MonteCarloComparison::date05_reference(100, 8).run().unwrap();
+        let c = MonteCarloComparison::date05_reference(100, 8)
+            .run()
+            .unwrap();
         assert!(a != c);
     }
 
     #[test]
     fn statistics_are_internally_consistent() {
-        let comparison = MonteCarloComparison::date05_reference(200, 3).run().unwrap();
+        let comparison = MonteCarloComparison::date05_reference(200, 3)
+            .run()
+            .unwrap();
         for stats in [comparison.simulate_first, comparison.prototype_in_loop] {
             assert_eq!(stats.trials, 200);
             assert!(stats.mean_iterations >= 1.0);
@@ -177,10 +187,10 @@ mod tests {
         well_known.parameters.initial_parameters =
             labchip_fluidics::uncertainty::FluidicParameters::after_prototype_characterization();
         let informed = well_known.run().unwrap();
-        let baseline = MonteCarloComparison::date05_reference(300, 5).run().unwrap();
-        assert!(
-            informed.simulate_first.mean_iterations <= baseline.simulate_first.mean_iterations
-        );
+        let baseline = MonteCarloComparison::date05_reference(300, 5)
+            .run()
+            .unwrap();
+        assert!(informed.simulate_first.mean_iterations <= baseline.simulate_first.mean_iterations);
         assert!(
             informed.prototype_in_loop.mean_iterations
                 <= baseline.prototype_in_loop.mean_iterations

@@ -107,7 +107,8 @@ impl ChannelNetwork {
             .copied()
             .filter(|n| !self.boundary_pressures.contains_key(n))
             .collect();
-        let index: HashMap<u32, usize> = unknowns.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let index: HashMap<u32, usize> =
+            unknowns.iter().enumerate().map(|(i, n)| (*n, i)).collect();
 
         let n = unknowns.len();
         let mut matrix = vec![vec![0.0_f64; n]; n];
@@ -178,9 +179,12 @@ impl FlowSolution {
     ///
     /// Returns [`FluidicsError::UnknownElement`] for an out-of-range index.
     pub fn segment_flow(&self, i: usize) -> Result<f64, FluidicsError> {
-        self.flows.get(i).copied().ok_or_else(|| FluidicsError::UnknownElement {
-            what: format!("segment {i}"),
-        })
+        self.flows
+            .get(i)
+            .copied()
+            .ok_or_else(|| FluidicsError::UnknownElement {
+                what: format!("segment {i}"),
+            })
     }
 
     /// All segment flows, in insertion order.
@@ -205,6 +209,7 @@ impl FlowSolution {
 
 /// Dense Gaussian elimination with partial pivoting; returns `None` for a
 /// singular system.
+#[allow(clippy::needless_range_loop)] // Gaussian elimination needs two rows of `a` at once
 fn gaussian_elimination(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
@@ -305,8 +310,8 @@ mod tests {
         let q_wide = sol.segment_flow(0).unwrap();
         let q_narrow = sol.segment_flow(1).unwrap();
         assert!(q_wide > q_narrow);
-        let expected_ratio = narrow.hydraulic_resistance(viscosity())
-            / wide.hydraulic_resistance(viscosity());
+        let expected_ratio =
+            narrow.hydraulic_resistance(viscosity()) / wide.hydraulic_resistance(viscosity());
         assert!((q_wide / q_narrow / expected_ratio - 1.0).abs() < 1e-9);
     }
 
@@ -347,18 +352,27 @@ mod tests {
         net.set_pressure(NodeId(0), Pascals::new(100.0));
         assert!(matches!(
             net.solve(),
-            Err(FluidicsError::InvalidParameter { name: "viscosity", .. })
+            Err(FluidicsError::InvalidParameter {
+                name: "viscosity",
+                ..
+            })
         ));
         // No boundary pressure.
         let mut net = ChannelNetwork::new();
         net.set_viscosity(viscosity());
         net.add_segment(NodeId(0), NodeId(1), channel(200.0, 10.0));
-        assert!(matches!(net.solve(), Err(FluidicsError::IllPosedNetwork { .. })));
+        assert!(matches!(
+            net.solve(),
+            Err(FluidicsError::IllPosedNetwork { .. })
+        ));
         // Empty network.
         let mut net = ChannelNetwork::new();
         net.set_viscosity(viscosity());
         net.set_pressure(NodeId(0), Pascals::new(100.0));
-        assert!(matches!(net.solve(), Err(FluidicsError::IllPosedNetwork { .. })));
+        assert!(matches!(
+            net.solve(),
+            Err(FluidicsError::IllPosedNetwork { .. })
+        ));
     }
 
     #[test]

@@ -272,9 +272,12 @@ mod tests {
             ..dry_film_rules()
         };
         let report = single_layer_rules.check(&MaskLayout::date05_reference());
-        assert!(report
-            .violations()
-            .iter()
-            .any(|v| matches!(v, DrcViolation::TooManyLayers { used: 2, available: 1 })));
+        assert!(report.violations().iter().any(|v| matches!(
+            v,
+            DrcViolation::TooManyLayers {
+                used: 2,
+                available: 1
+            }
+        )));
     }
 }

@@ -50,7 +50,9 @@ impl RectangularChannel {
 
     /// Hydraulic diameter `2wh/(w+h)`.
     pub fn hydraulic_diameter(&self) -> Meters {
-        Meters::new(2.0 * self.width.get() * self.height.get() / (self.width.get() + self.height.get()))
+        Meters::new(
+            2.0 * self.width.get() * self.height.get() / (self.width.get() + self.height.get()),
+        )
     }
 
     /// Hydraulic resistance for a rectangular duct (first-order series
@@ -137,7 +139,10 @@ mod tests {
         let ch = reference_channel();
         let q = ch.flow_rate(Pascals::new(1_000.0), PascalSeconds::new(WATER_VISCOSITY));
         let ul_per_min = q * 1e9 * 60.0;
-        assert!(ul_per_min > 1.0 && ul_per_min < 100.0, "Q = {ul_per_min} ul/min");
+        assert!(
+            ul_per_min > 1.0 && ul_per_min < 100.0,
+            "Q = {ul_per_min} ul/min"
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod prelude {
     pub use crate::error::FluidicsError;
     pub use crate::fabrication::{FabricationProcess, FabricationQuote, ProcessKind};
     pub use crate::flow::{peclet_number, reynolds_number, RectangularChannel};
-    pub use crate::layout::{MaskLayer, MaskLayout, MaskFeature};
+    pub use crate::layout::{MaskFeature, MaskLayer, MaskLayout};
     pub use crate::packaging::{PackagingStack, StackLayer};
     pub use crate::uncertainty::{FluidicParameters, SimulationFidelity};
 }

@@ -145,7 +145,8 @@ fn gaussian_tail(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x.abs() / std::f64::consts::SQRT_2);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let val = 0.5 * poly * (-(x / std::f64::consts::SQRT_2).powi(2)).exp();
     if x >= 0.0 {
         val

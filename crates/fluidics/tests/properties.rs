@@ -2,7 +2,7 @@
 
 use labchip_fluidics::chamber::Microchamber;
 use labchip_fluidics::channel::{ChannelNetwork, NodeId};
-use labchip_fluidics::fabrication::{FabricationProcess, ProcessKind};
+use labchip_fluidics::fabrication::FabricationProcess;
 use labchip_fluidics::flow::RectangularChannel;
 use labchip_fluidics::uncertainty::{FluidicParameters, SimulationFidelity};
 use labchip_units::{Meters, PascalSeconds, Pascals, Uncertain, WATER_VISCOSITY};

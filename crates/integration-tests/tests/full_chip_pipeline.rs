@@ -69,7 +69,9 @@ fn cage_summary_reports_a_usable_trap_on_the_large_array() {
 #[test]
 fn packaged_device_stack_supports_the_chamber_and_the_field_model() {
     let chip = Biochip::date05_reference();
-    chip.packaging().validate().expect("reference stack is valid");
+    chip.packaging()
+        .validate()
+        .expect("reference stack is valid");
     // The lid is conductive, so the field model's counter-electrode
     // assumption holds.
     assert!(chip.packaging().conductive_lid);

@@ -1,0 +1,125 @@
+//! Thread-count determinism of the parallel particle loop.
+//!
+//! `ChipSimulator::run` steps particles in parallel; each particle owns a
+//! ChaCha8 stream derived from `(config.seed, particle index)`, so the
+//! trajectories must be **bit-identical** for every worker count.
+
+use labchip::prelude::*;
+use labchip_units::{GridCoord, Meters, Seconds, Vec3};
+
+fn populated_simulator(threads: usize, seed: u64) -> ChipSimulator {
+    let mut chip = Biochip::small_reference(16);
+    chip.program_single_cage(GridCoord::new(8, 8)).unwrap();
+    let mut sim = ChipSimulator::new(
+        chip,
+        SimulationConfig {
+            dt: Seconds::from_millis(0.5),
+            brownian: true,
+            seed,
+        },
+    )
+    .with_threads(threads);
+    // A mix of trapped and free particles across the array.
+    sim.add_reference_particle_at(GridCoord::new(8, 8)).unwrap();
+    for i in 0..7u32 {
+        let cell = *sim.chip().reference_particle();
+        sim.add_particle(
+            cell,
+            Vec3::new(
+                (30 + 35 * i) as f64 * 1e-6,
+                (290 - 30 * i) as f64 * 1e-6,
+                (20 + 5 * i) as f64 * 1e-6,
+            ),
+        )
+        .unwrap();
+    }
+    sim
+}
+
+fn positions(sim: &ChipSimulator) -> Vec<(f64, f64, f64)> {
+    sim.particles()
+        .iter()
+        .map(|p| (p.state.position.x, p.state.position.y, p.state.position.z))
+        .collect()
+}
+
+#[test]
+fn one_and_four_threads_produce_identical_trajectories() {
+    let mut serial = populated_simulator(1, 42);
+    let mut parallel = populated_simulator(4, 42);
+    for _ in 0..4 {
+        serial.run(100);
+        parallel.run(100);
+        // Bit-identical at every checkpoint, not just the end.
+        assert_eq!(positions(&serial), positions(&parallel));
+    }
+    assert_eq!(serial.elapsed(), parallel.elapsed());
+}
+
+#[test]
+fn auto_thread_count_matches_pinned() {
+    let mut auto = populated_simulator(0, 7);
+    let mut pinned = populated_simulator(2, 7);
+    auto.run(200);
+    pinned.run(200);
+    assert_eq!(positions(&auto), positions(&pinned));
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let mut a = populated_simulator(1, 1);
+    let mut b = populated_simulator(1, 2);
+    a.run(100);
+    b.run(100);
+    assert_ne!(positions(&a), positions(&b));
+}
+
+#[test]
+fn reprogramming_between_runs_stays_deterministic() {
+    // The e3-style drag sequence — settle, shift the cage, settle again —
+    // must also be thread-count independent.
+    let run_sequence = |threads: usize| {
+        let mut sim = populated_simulator(threads, 23);
+        sim.run(200);
+        sim.chip_mut()
+            .program_single_cage(GridCoord::new(9, 8))
+            .unwrap();
+        sim.refresh_field();
+        sim.run(200);
+        positions(&sim)
+    };
+    assert_eq!(run_sequence(1), run_sequence(4));
+}
+
+#[test]
+fn particles_are_clamped_by_their_own_radius() {
+    // Two particles of different radii sediment on a cage-free plane; each
+    // must come to rest at its own radius above the chip floor (the seed
+    // applied one shared clamp from the largest radius to every particle).
+    let mut chip = Biochip::small_reference(16);
+    chip.array_mut().reset();
+    let mut sim = ChipSimulator::new(
+        chip,
+        SimulationConfig {
+            dt: Seconds::from_millis(0.5),
+            brownian: false,
+            seed: 5,
+        },
+    );
+    let big = Particle::viable_cell(Meters::from_micrometers(10.0));
+    let small = Particle::viable_cell(Meters::from_micrometers(4.0));
+    let idx_big = sim
+        .add_particle(big, Vec3::new(120e-6, 120e-6, 50e-6))
+        .unwrap();
+    let idx_small = sim
+        .add_particle(small, Vec3::new(200e-6, 200e-6, 50e-6))
+        .unwrap();
+    sim.run_for(Seconds::new(30.0));
+    let z_big = sim.particles()[idx_big].state.position.z;
+    let z_small = sim.particles()[idx_small].state.position.z;
+    assert!((z_big - 10e-6).abs() < 1e-9, "big cell rests at {z_big}");
+    assert!(
+        (z_small - 4e-6).abs() < 1e-9,
+        "small cell must reach its own floor, rests at {z_small}"
+    );
+}

@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a tracked particle (cell or bead).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ParticleId(pub u64);
 
 /// Occupancy and geometry of the cage layer.
@@ -120,10 +118,7 @@ impl CageGrid {
         if !self.is_free_for(coord, &[]) {
             return Err(ManipulationError::SiteConflict {
                 coord,
-                reason: format!(
-                    "another cage within {} electrodes",
-                    self.min_separation
-                ),
+                reason: format!("another cage within {} electrodes", self.min_separation),
             });
         }
         self.particles.insert(id.0, coord);
@@ -348,7 +343,10 @@ mod tests {
         g.place(ParticleId(2), GridCoord::new(6, 4)).unwrap();
         // Only the left particle moves right: the result would be adjacent.
         let err = g
-            .apply_step(&[(ParticleId(1), GridCoord::new(5, 4)), (ParticleId(2), GridCoord::new(6, 4))])
+            .apply_step(&[
+                (ParticleId(1), GridCoord::new(5, 4)),
+                (ParticleId(2), GridCoord::new(6, 4)),
+            ])
             .unwrap_err();
         assert!(matches!(err, ManipulationError::SiteConflict { .. }));
         // The grid is unchanged after the failed step.

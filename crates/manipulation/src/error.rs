@@ -71,7 +71,9 @@ mod tests {
         }
         .to_string()
         .contains("(9, 9)"));
-        assert!(ManipulationError::UnknownParticle { id: 7 }.to_string().contains("#7"));
+        assert!(ManipulationError::UnknownParticle { id: 7 }
+            .to_string()
+            .contains("#7"));
         assert!(ManipulationError::RoutingFailed {
             unrouted: 3,
             reason: "horizon exceeded".into()

@@ -186,12 +186,14 @@ impl Manipulator {
             .filter(|c| target.chebyshev(*c) == sep && self.grid.is_free_for(*c, &[b]))
             .collect();
         candidates.sort_by_key(|c| c.manhattan(from));
-        let approach = candidates.first().copied().ok_or_else(|| {
-            ManipulationError::SiteConflict {
-                coord: target,
-                reason: "no free approach cage around the merge target".into(),
-            }
-        })?;
+        let approach =
+            candidates
+                .first()
+                .copied()
+                .ok_or_else(|| ManipulationError::SiteConflict {
+                    coord: target,
+                    reason: "no free approach cage around the merge target".into(),
+                })?;
 
         let mut report = self.move_particle(b, approach)?;
 
@@ -227,12 +229,15 @@ impl Manipulator {
         // particle (larger is better).
         let mut best: Option<(u32, GridCoord)> = None;
         for c in dims.iter() {
-            let on_edge =
-                c.x == 0 || c.y == 0 || c.x == dims.cols - 1 || c.y == dims.rows - 1;
+            let on_edge = c.x == 0 || c.y == 0 || c.x == dims.cols - 1 || c.y == dims.rows - 1;
             if !on_edge || !self.grid.is_free_for(c, &[id]) {
                 continue;
             }
-            let clearance = others.iter().map(|o| o.chebyshev(c)).min().unwrap_or(u32::MAX);
+            let clearance = others
+                .iter()
+                .map(|o| o.chebyshev(c))
+                .min()
+                .unwrap_or(u32::MAX);
             if best.is_none_or(|(b, _)| clearance > b) {
                 best = Some((clearance, c));
             }
@@ -265,12 +270,11 @@ impl Manipulator {
             .collect();
         // Assign waste slots along the right edge, spaced by the separation.
         let mut targets = Vec::new();
-        let mut slot_index = 0u32;
-        for id in &discard {
+        for (slot_index, id) in discard.iter().enumerate() {
+            let slot_index = slot_index as u32;
             let column = dims.cols - 1 - (slot_index / (dims.rows / sep)) * sep;
             let row = (slot_index % (dims.rows / sep)) * sep;
             targets.push((*id, GridCoord::new(column, row)));
-            slot_index += 1;
         }
         if targets.is_empty() {
             return Ok(OperationReport {
@@ -301,7 +305,9 @@ mod tests {
     #[test]
     fn move_particle_produces_one_frame_per_step() {
         let mut m = manipulator_with(&[(1, (2, 2))]);
-        let report = m.move_particle(ParticleId(1), GridCoord::new(10, 2)).unwrap();
+        let report = m
+            .move_particle(ParticleId(1), GridCoord::new(10, 2))
+            .unwrap();
         assert_eq!(report.steps, 8);
         assert_eq!(report.frames.len(), report.steps + 1);
         assert_eq!(
@@ -389,7 +395,9 @@ mod tests {
     #[test]
     fn moving_an_unknown_particle_fails() {
         let mut m = manipulator_with(&[(1, (2, 2))]);
-        assert!(m.move_particle(ParticleId(99), GridCoord::new(5, 5)).is_err());
+        assert!(m
+            .move_particle(ParticleId(99), GridCoord::new(5, 5))
+            .is_err());
     }
 
     #[test]

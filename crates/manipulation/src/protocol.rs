@@ -284,10 +284,14 @@ mod tests {
         // slow" observation at assay level.
         assert!(report.time.fluidics > report.time.motion);
         assert!(report.time.motion > report.time.sensing);
-        assert!((report.time.total().get()
-            - (report.time.fluidics.get() + report.time.sensing.get() + report.time.motion.get()))
-        .abs()
-            < 1e-9);
+        assert!(
+            (report.time.total().get()
+                - (report.time.fluidics.get()
+                    + report.time.sensing.get()
+                    + report.time.motion.get()))
+            .abs()
+                < 1e-9
+        );
         // The recovered particle is gone from the grid.
         assert!(manipulator.grid().position(ParticleId(1)).is_err());
         assert_eq!(manipulator.grid().particle_count(), 2);
@@ -313,7 +317,9 @@ mod tests {
             id: ParticleId(3),
             handling_time: Seconds::from_minutes(1.0),
         });
-        assert!(ProtocolExecutor::new(&mut manipulator).run(&protocol).is_err());
+        assert!(ProtocolExecutor::new(&mut manipulator)
+            .run(&protocol)
+            .is_err());
     }
 
     #[test]
@@ -346,7 +352,9 @@ mod tests {
                 keep: ParticleId(0),
                 bring: ParticleId(1),
             });
-        let report = ProtocolExecutor::new(&mut manipulator).run(&protocol).unwrap();
+        let report = ProtocolExecutor::new(&mut manipulator)
+            .run(&protocol)
+            .unwrap();
         assert!(report.cage_steps > 0);
         let a = manipulator.grid().position(ParticleId(0)).unwrap();
         let b = manipulator.grid().position(ParticleId(1)).unwrap();

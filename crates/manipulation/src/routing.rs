@@ -118,10 +118,7 @@ impl ParticlePath {
 
     /// Number of actual moves (steps where the position changes).
     pub fn move_count(&self) -> usize {
-        self.positions
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count()
+        self.positions.windows(2).filter(|w| w[0] != w[1]).count()
     }
 
     /// Number of steps until the final position is first reached.
@@ -385,10 +382,8 @@ fn repair_demote<'a>(
 fn prioritized_astar(problem: &RoutingProblem) -> RoutingOutcome {
     // Stationary requests (start == goal) are hard obstacles: they are
     // trivially "routed" and reserved in every round.
-    let (stationary, moving): (Vec<&RoutingRequest>, Vec<&RoutingRequest>) = problem
-        .requests
-        .iter()
-        .partition(|r| r.start == r.goal);
+    let (stationary, moving): (Vec<&RoutingRequest>, Vec<&RoutingRequest>) =
+        problem.requests.iter().partition(|r| r.start == r.goal);
 
     let mut paths: Vec<ParticlePath> = stationary
         .iter()
@@ -444,8 +439,7 @@ fn space_time_astar(
     let goal = request.goal;
     let sep = problem.min_separation;
 
-    let clear_of_parked =
-        |c: GridCoord| parked_obstacles.iter().all(|p| p.chebyshev(c) >= sep);
+    let clear_of_parked = |c: GridCoord| parked_obstacles.iter().all(|p| p.chebyshev(c) >= sep);
     if !clear_of_parked(goal) {
         return None;
     }
@@ -609,7 +603,11 @@ mod tests {
         let outcome = Router::new(RoutingStrategy::PrioritizedAStar)
             .solve(&problem)
             .unwrap();
-        assert!(outcome.unrouted.is_empty(), "unrouted: {:?}", outcome.unrouted);
+        assert!(
+            outcome.unrouted.is_empty(),
+            "unrouted: {:?}",
+            outcome.unrouted
+        );
         assert!(outcome.is_conflict_free(problem.min_separation));
         // Someone had to detour: total moves exceed the sum of Manhattan
         // distances? (Not necessarily, but makespan is at least the distance.)
@@ -647,9 +645,15 @@ mod tests {
         let astar = Router::new(RoutingStrategy::PrioritizedAStar)
             .solve(&problem)
             .unwrap();
-        let greedy = Router::new(RoutingStrategy::Greedy).solve(&problem).unwrap();
+        let greedy = Router::new(RoutingStrategy::Greedy)
+            .solve(&problem)
+            .unwrap();
         assert!(astar.paths.len() >= greedy.paths.len());
-        assert!(astar.paths.len() >= 3, "A* routed only {}", astar.paths.len());
+        assert!(
+            astar.paths.len() >= 3,
+            "A* routed only {}",
+            astar.paths.len()
+        );
         assert!(astar.is_conflict_free(problem.min_separation));
     }
 
@@ -659,7 +663,9 @@ mod tests {
             GridDims::square(16),
             vec![request(1, (1, 1), (10, 1)), request(2, (1, 8), (10, 8))],
         );
-        let outcome = Router::new(RoutingStrategy::Greedy).solve(&problem).unwrap();
+        let outcome = Router::new(RoutingStrategy::Greedy)
+            .solve(&problem)
+            .unwrap();
         assert!(outcome.unrouted.is_empty());
         assert!(outcome.is_conflict_free(problem.min_separation));
         assert_eq!(outcome.total_moves, 18);

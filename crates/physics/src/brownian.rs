@@ -120,9 +120,14 @@ mod tests {
     #[test]
     fn smaller_particles_diffuse_faster() {
         let medium = Medium::physiological_low_conductivity();
-        let big = BrownianMotion::new(&Particle::viable_cell(Meters::from_micrometers(10.0)), &medium);
-        let small =
-            BrownianMotion::new(&Particle::polystyrene_bead(Meters::from_micrometers(1.0)), &medium);
+        let big = BrownianMotion::new(
+            &Particle::viable_cell(Meters::from_micrometers(10.0)),
+            &medium,
+        );
+        let small = BrownianMotion::new(
+            &Particle::polystyrene_bead(Meters::from_micrometers(1.0)),
+            &medium,
+        );
         assert!(small.diffusion_coefficient() > big.diffusion_coefficient());
     }
 

@@ -117,6 +117,7 @@ impl Mul<f64> for Complex {
 impl Div for Complex {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z * w^-1
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

@@ -146,8 +146,8 @@ fn find_local_minimum<F: FieldModel + ?Sized>(
         let n = 6;
         for iz in 0..=n {
             let z = z_lo + (z_hi - z_lo) * iz as f64 / n as f64;
-            for iy in -(n as i32) / 2..=(n as i32) / 2 {
-                for ix in -(n as i32) / 2..=(n as i32) / 2 {
+            for iy in -n / 2..=n / 2 {
+                for ix in -n / 2..=n / 2 {
                     let p = Vec3::new(
                         best.x + lateral * ix as f64 / n as f64,
                         best.y + lateral * iy as f64 / n as f64,

@@ -53,10 +53,7 @@ impl ComplexPermittivity {
 }
 
 /// Clausius–Mossotti factor `K = (ε_p* − ε_m*) / (ε_p* + 2 ε_m*)`.
-pub fn clausius_mossotti(
-    particle: ComplexPermittivity,
-    medium: ComplexPermittivity,
-) -> Complex {
+pub fn clausius_mossotti(particle: ComplexPermittivity, medium: ComplexPermittivity) -> Complex {
     let p = particle.value();
     let m = medium.value();
     (p - m) / (p + m * 2.0)

@@ -42,9 +42,7 @@ impl StokesDrag {
         let h = self.radius + gap.max(self.radius * 0.01);
         let ratio = self.radius / h;
         // Faxén series for translation parallel to a plane wall.
-        let correction = 1.0
-            - (9.0 / 16.0) * ratio
-            + (1.0 / 8.0) * ratio.powi(3)
+        let correction = 1.0 - (9.0 / 16.0) * ratio + (1.0 / 8.0) * ratio.powi(3)
             - (45.0 / 256.0) * ratio.powi(4)
             - (1.0 / 16.0) * ratio.powi(5);
         self.gamma / correction.max(0.05)
@@ -128,7 +126,10 @@ mod tests {
         let near = drag.coefficient_near_wall(0.5e-6);
         assert!(far >= drag.coefficient() * 0.99);
         assert!(near > far, "near-wall drag must exceed far-wall drag");
-        assert!(near < drag.coefficient() * 10.0, "correction should stay bounded");
+        assert!(
+            near < drag.coefficient() * 10.0,
+            "correction should stay bounded"
+        );
     }
 
     #[test]

@@ -49,19 +49,25 @@ pub struct ForceBalance {
     /// Whether Brownian noise is added during integration.
     pub brownian_enabled: bool,
     brownian: BrownianMotion,
+    /// Cached reciprocal drag coefficient — the force→velocity conversion
+    /// runs once per particle per step, so the division is hoisted here.
+    inv_drag: f64,
 }
 
 impl ForceBalance {
     /// Builds the balance for one particle type in one medium at the given
     /// DEP drive frequency.
     pub fn new(particle: &Particle, medium: &Medium, frequency: labchip_units::Hertz) -> Self {
+        let drag = StokesDrag::new(particle, medium);
+        let inv_drag = 1.0 / drag.coefficient();
         Self {
             dep: DepForceModel::new(particle, medium, frequency),
-            drag: StokesDrag::new(particle, medium),
+            drag,
             sedimentation: sedimentation_force(particle, medium),
             flow_velocity: Vec3::ZERO,
             brownian_enabled: true,
             brownian: BrownianMotion::new(particle, medium),
+            inv_drag,
         }
     }
 
@@ -90,7 +96,7 @@ impl ForceBalance {
 
     /// Deterministic drift velocity at a position.
     pub fn drift_velocity<F: FieldModel + ?Sized>(&self, field: &F, position: Vec3) -> Vec3 {
-        self.net_force(field, position) / self.drag.coefficient()
+        self.net_force(field, position) * self.inv_drag
     }
 }
 

@@ -1,0 +1,413 @@
+//! Sampled-lattice field cache for whole-array simulations.
+//!
+//! [`FieldCache`] samples a [`SuperpositionField`]'s potential, `|E|²` and
+//! `∇|E|²` onto a regular 3-D lattice spanning the chamber and answers
+//! queries by trilinear interpolation. One query costs eight lattice reads —
+//! independent of the electrode cutoff — which is what makes thousand-cage,
+//! thousand-particle runs cheap: the kernel sweep is paid once per lattice
+//! node instead of once per particle per step.
+//!
+//! The cache tracks a **dirty region** in electrode coordinates: after a
+//! reprogram, call [`FieldCache::mark_dirty`] with the changed electrodes
+//! (or [`FieldCache::mark_all_dirty`]) and then [`FieldCache::refresh`].
+//! Only lattice nodes within the superposition cutoff of the dirty
+//! electrodes are recomputed — shifting one cage on a 320×320 array
+//! re-samples a few thousand nodes, not millions.
+//!
+//! Accuracy: values are exact (w.r.t. the analytic model) on lattice nodes
+//! and trilinear between them, so the interpolation error is second order in
+//! the node spacing. Use direct [`SuperpositionField`] evaluation for
+//! accuracy-critical probes (trap stiffness, levitation equilibria); use the
+//! cache for bulk particle stepping. See the module docs of
+//! [`superposition`](super::superposition) for the full trade-off
+//! discussion.
+
+use super::superposition::SuperpositionField;
+use super::FieldModel;
+use labchip_units::{GridRect, Vec3};
+use rayon::prelude::*;
+
+/// Trilinearly interpolated samples of a [`SuperpositionField`].
+#[derive(Debug, Clone)]
+pub struct FieldCache {
+    /// Lattice spacing in x and y (metres).
+    spacing_xy: f64,
+    /// Lattice spacing in z (metres).
+    spacing_z: f64,
+    /// Node counts.
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Sampled potential, index `x + nx*(y + ny*z)`.
+    pot: Vec<f64>,
+    /// Sampled `|E|²`.
+    e2: Vec<f64>,
+    /// Sampled `∇|E|²`.
+    grad: Vec<Vec3>,
+    /// Electrode-coordinate region whose nodes need resampling.
+    dirty: Option<GridRect>,
+    /// Influence radius of one electrode in lattice nodes (cutoff + 1 pitch).
+    influence_nodes: usize,
+    /// Electrode pitch (metres), for dirty-region conversion.
+    pitch: f64,
+}
+
+impl FieldCache {
+    /// Default lateral sampling density.
+    pub const DEFAULT_NODES_PER_PITCH: u32 = 4;
+    /// Default number of z levels.
+    pub const DEFAULT_Z_LEVELS: u32 = 9;
+
+    /// Samples `field` on a lattice with the default resolution.
+    pub fn build(field: &SuperpositionField) -> Self {
+        Self::build_with(field, Self::DEFAULT_NODES_PER_PITCH, Self::DEFAULT_Z_LEVELS)
+    }
+
+    /// Samples `field` with `nodes_per_pitch` lateral nodes per electrode
+    /// pitch and `z_levels` levels spanning the chamber height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes_per_pitch` is zero or `z_levels < 2`.
+    pub fn build_with(field: &SuperpositionField, nodes_per_pitch: u32, z_levels: u32) -> Self {
+        assert!(nodes_per_pitch > 0, "need at least one node per pitch");
+        assert!(z_levels >= 2, "need at least two z levels");
+        let plane = field.plane();
+        let pitch = plane.pitch().get();
+        let dims = plane.dims();
+        let nx = dims.cols as usize * nodes_per_pitch as usize + 1;
+        let ny = dims.rows as usize * nodes_per_pitch as usize + 1;
+        let nz = z_levels as usize;
+        let spacing_xy = pitch / nodes_per_pitch as f64;
+        let spacing_z = plane.chamber_height().get() / (nz - 1) as f64;
+        let node_count = nx * ny * nz;
+        let mut cache = Self {
+            spacing_xy,
+            spacing_z,
+            nx,
+            ny,
+            nz,
+            pot: vec![0.0; node_count],
+            e2: vec![0.0; node_count],
+            grad: vec![Vec3::ZERO; node_count],
+            dirty: None,
+            influence_nodes: ((field.cutoff_cells() as f64 + 1.0) * pitch / spacing_xy).ceil()
+                as usize,
+            pitch,
+        };
+        cache.resample(field, 0, nx, 0, ny);
+        cache
+    }
+
+    /// Node counts in (x, y, z).
+    pub fn node_counts(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Marks an electrode-coordinate region (inclusive) as stale. Regions
+    /// accumulate (as their bounding box) until [`FieldCache::refresh`].
+    pub fn mark_dirty(&mut self, region: GridRect) {
+        self.dirty = Some(match self.dirty {
+            None => region,
+            Some(old) => GridRect {
+                min: labchip_units::GridCoord::new(
+                    old.min.x.min(region.min.x),
+                    old.min.y.min(region.min.y),
+                ),
+                max: labchip_units::GridCoord::new(
+                    old.max.x.max(region.max.x),
+                    old.max.y.max(region.max.y),
+                ),
+            },
+        });
+    }
+
+    /// Marks the whole lattice stale.
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty = Some(GridRect::new(
+            labchip_units::GridCoord::new(0, 0),
+            labchip_units::GridCoord::new(u32::MAX, u32::MAX),
+        ));
+    }
+
+    /// Whether a refresh is pending.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.is_some()
+    }
+
+    /// Re-samples the nodes affected by the accumulated dirty region from
+    /// `field` (which should reflect the *new* programmed state). Returns the
+    /// number of lattice nodes recomputed.
+    pub fn refresh(&mut self, field: &SuperpositionField) -> usize {
+        let Some(region) = self.dirty.take() else {
+            return 0;
+        };
+        // Convert the electrode region to node indices, inflated by the
+        // superposition influence radius.
+        let to_node = |cells: f64| (cells * self.pitch / self.spacing_xy) as isize;
+        let x0 = (to_node(region.min.x as f64) - self.influence_nodes as isize).max(0) as usize;
+        let y0 = (to_node(region.min.y as f64) - self.influence_nodes as isize).max(0) as usize;
+        let x1 = (to_node(region.max.x.saturating_add(1) as f64) + self.influence_nodes as isize)
+            .min(self.nx as isize - 1) as usize
+            + 1;
+        let y1 = (to_node(region.max.y.saturating_add(1) as f64) + self.influence_nodes as isize)
+            .min(self.ny as isize - 1) as usize
+            + 1;
+        self.resample(field, x0, x1, y0, y1);
+        (x1 - x0) * (y1 - y0) * self.nz
+    }
+
+    /// Recomputes the nodes with `x0 <= xi < x1`, `y0 <= yi < y1` (all z),
+    /// in parallel over rows.
+    fn resample(&mut self, field: &SuperpositionField, x0: usize, x1: usize, y0: usize, y1: usize) {
+        let (nx, ny) = (self.nx, self.ny);
+        let (sxy, sz) = (self.spacing_xy, self.spacing_z);
+        // One work item per (z, y) row so the rayon chunks stay balanced.
+        struct Row<'a> {
+            zi: usize,
+            yi: usize,
+            pot: &'a mut [f64],
+            e2: &'a mut [f64],
+            grad: &'a mut [Vec3],
+        }
+        let mut rows: Vec<Row<'_>> = Vec::with_capacity(self.nz * (y1 - y0));
+        {
+            let mut pot_rest: &mut [f64] = &mut self.pot;
+            let mut e2_rest: &mut [f64] = &mut self.e2;
+            let mut grad_rest: &mut [Vec3] = &mut self.grad;
+            let mut offset = 0usize;
+            for zi in 0..self.nz {
+                for yi in 0..ny {
+                    let row_start = nx * (yi + ny * zi);
+                    let keep = yi >= y0 && yi < y1;
+                    let skip = row_start - offset;
+                    let (_, p1) = pot_rest.split_at_mut(skip);
+                    let (row_p, p2) = p1.split_at_mut(nx);
+                    pot_rest = p2;
+                    let (_, e1) = e2_rest.split_at_mut(skip);
+                    let (row_e, e2_tail) = e1.split_at_mut(nx);
+                    e2_rest = e2_tail;
+                    let (_, g1) = grad_rest.split_at_mut(skip);
+                    let (row_g, g2) = g1.split_at_mut(nx);
+                    grad_rest = g2;
+                    offset = row_start + nx;
+                    if keep {
+                        rows.push(Row {
+                            zi,
+                            yi,
+                            pot: &mut row_p[x0..x1],
+                            e2: &mut row_e[x0..x1],
+                            grad: &mut row_g[x0..x1],
+                        });
+                    }
+                }
+            }
+        }
+        rows.par_iter_mut().for_each(|row| {
+            let y = row.yi as f64 * sxy;
+            let z = row.zi as f64 * sz;
+            for (i, xi) in (x0..x1).enumerate() {
+                let p = Vec3::new(xi as f64 * sxy, y, z);
+                let (e2, grad) = field.e_squared_with_gradient(p);
+                row.pot[i] = field.potential(p);
+                row.e2[i] = e2;
+                row.grad[i] = grad;
+            }
+        });
+    }
+
+    #[inline]
+    fn node_index(&self, x: usize, y: usize, z: usize) -> usize {
+        x + self.nx * (y + self.ny * z)
+    }
+
+    /// Trilinear interpolation weights: corner indices plus fractions.
+    #[inline]
+    fn cell_of(&self, p: Vec3) -> ([usize; 3], [usize; 3], [f64; 3]) {
+        let fx = (p.x / self.spacing_xy).clamp(0.0, (self.nx - 1) as f64);
+        let fy = (p.y / self.spacing_xy).clamp(0.0, (self.ny - 1) as f64);
+        let fz = (p.z / self.spacing_z).clamp(0.0, (self.nz - 1) as f64);
+        let x0 = fx as usize;
+        let y0 = fy as usize;
+        let z0 = fz as usize;
+        let x1 = (x0 + 1).min(self.nx - 1);
+        let y1 = (y0 + 1).min(self.ny - 1);
+        let z1 = (z0 + 1).min(self.nz - 1);
+        (
+            [x0, y0, z0],
+            [x1, y1, z1],
+            [fx - x0 as f64, fy - y0 as f64, fz - z0 as f64],
+        )
+    }
+
+    #[inline]
+    fn trilerp_scalar(&self, values: &[f64], p: Vec3) -> f64 {
+        let ([x0, y0, z0], [x1, y1, z1], [tx, ty, tz]) = self.cell_of(p);
+        let lerp = |a: f64, b: f64, t: f64| a + (b - a) * t;
+        let c00 = lerp(
+            values[self.node_index(x0, y0, z0)],
+            values[self.node_index(x1, y0, z0)],
+            tx,
+        );
+        let c10 = lerp(
+            values[self.node_index(x0, y1, z0)],
+            values[self.node_index(x1, y1, z0)],
+            tx,
+        );
+        let c01 = lerp(
+            values[self.node_index(x0, y0, z1)],
+            values[self.node_index(x1, y0, z1)],
+            tx,
+        );
+        let c11 = lerp(
+            values[self.node_index(x0, y1, z1)],
+            values[self.node_index(x1, y1, z1)],
+            tx,
+        );
+        lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz)
+    }
+
+    #[inline]
+    fn trilerp_vec(&self, values: &[Vec3], p: Vec3) -> Vec3 {
+        let ([x0, y0, z0], [x1, y1, z1], [tx, ty, tz]) = self.cell_of(p);
+        let lerp = |a: Vec3, b: Vec3, t: f64| a + (b - a) * t;
+        let c00 = lerp(
+            values[self.node_index(x0, y0, z0)],
+            values[self.node_index(x1, y0, z0)],
+            tx,
+        );
+        let c10 = lerp(
+            values[self.node_index(x0, y1, z0)],
+            values[self.node_index(x1, y1, z0)],
+            tx,
+        );
+        let c01 = lerp(
+            values[self.node_index(x0, y0, z1)],
+            values[self.node_index(x1, y0, z1)],
+            tx,
+        );
+        let c11 = lerp(
+            values[self.node_index(x0, y1, z1)],
+            values[self.node_index(x1, y1, z1)],
+            tx,
+        );
+        lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz)
+    }
+}
+
+impl FieldModel for FieldCache {
+    fn potential(&self, p: Vec3) -> f64 {
+        self.trilerp_scalar(&self.pot, p)
+    }
+
+    fn differentiation_step(&self) -> f64 {
+        self.spacing_xy * 0.5
+    }
+
+    fn e_squared(&self, p: Vec3) -> f64 {
+        self.trilerp_scalar(&self.e2, p)
+    }
+
+    fn grad_e_squared(&self, p: Vec3) -> Vec3 {
+        self.trilerp_vec(&self.grad, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{ElectrodePhase, ElectrodePlane};
+    use labchip_units::{GridCoord, GridDims, Meters, Volts};
+
+    fn cage_field(n: u32, cage: GridCoord) -> SuperpositionField {
+        let mut plane = ElectrodePlane::new(
+            GridDims::square(n),
+            Meters::from_micrometers(20.0),
+            Volts::new(3.3),
+            Meters::from_micrometers(80.0),
+        );
+        plane.set_phase(cage, ElectrodePhase::CounterPhase);
+        SuperpositionField::new(plane)
+    }
+
+    #[test]
+    fn cache_matches_direct_evaluation_on_nodes() {
+        let field = cage_field(9, GridCoord::new(4, 4));
+        let cache = FieldCache::build_with(&field, 2, 5);
+        // Lattice nodes are exact by construction.
+        let p = Vec3::new(40e-6, 60e-6, 40e-6);
+        assert!((cache.e_squared(p) - field.e_squared(p)).abs() <= 1e-6 * field.e_squared(p));
+        assert!((cache.potential(p) - field.potential(p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_interpolates_between_nodes_reasonably() {
+        let field = cage_field(9, GridCoord::new(4, 4));
+        // |E|² decays steeply with z near the cage, so the z resolution
+        // dominates the interpolation error; 17 levels = 5 µm spacing.
+        let cache = FieldCache::build_with(&field, 4, 17);
+        let c = field.plane().electrode_center(GridCoord::new(4, 4));
+        for &(dx, dz) in &[(3.1e-6, 27e-6), (-6.7e-6, 41e-6), (11.3e-6, 59e-6)] {
+            let p = Vec3::new(c.x + dx, c.y + 2.3e-6, dz);
+            let exact = field.e_squared(p);
+            let approx = cache.e_squared(p);
+            assert!(
+                (approx - exact).abs() <= 0.1 * exact.abs().max(1e3),
+                "cache {approx:.4e} vs exact {exact:.4e} at {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_gradient_preserves_trap_restoring_direction() {
+        let field = cage_field(9, GridCoord::new(4, 4));
+        let cache = FieldCache::build_with(&field, 4, 9);
+        let c = field.plane().electrode_center(GridCoord::new(4, 4));
+        let p = Vec3::new(c.x + 6e-6, c.y, 30e-6);
+        assert!(cache.grad_e_squared(p).x > 0.0);
+    }
+
+    #[test]
+    fn dirty_refresh_matches_full_rebuild() {
+        let mut field = cage_field(9, GridCoord::new(2, 2));
+        let mut cache = FieldCache::build_with(&field, 2, 5);
+        // Move the cage from (2,2) to (6,6).
+        {
+            let mut plane = field.plane_mut();
+            plane.set_phase(GridCoord::new(2, 2), ElectrodePhase::InPhase);
+            plane.set_phase(GridCoord::new(6, 6), ElectrodePhase::CounterPhase);
+        }
+        cache.mark_dirty(GridRect::new(GridCoord::new(2, 2), GridCoord::new(2, 2)));
+        cache.mark_dirty(GridRect::new(GridCoord::new(6, 6), GridCoord::new(6, 6)));
+        let recomputed = cache.refresh(&field);
+        assert!(recomputed > 0);
+        assert!(!cache.is_dirty());
+
+        let fresh = FieldCache::build_with(&field, 2, 5);
+        for zi in 0..5usize {
+            for yi in (0..cache.ny).step_by(3) {
+                for xi in (0..cache.nx).step_by(3) {
+                    let i = cache.node_index(xi, yi, zi);
+                    assert!(
+                        (cache.e2[i] - fresh.e2[i]).abs() <= 1e-9 * fresh.e2[i].abs().max(1.0),
+                        "stale node at ({xi},{yi},{zi})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_without_dirty_region_is_a_no_op() {
+        let field = cage_field(7, GridCoord::new(3, 3));
+        let mut cache = FieldCache::build_with(&field, 2, 4);
+        assert_eq!(cache.refresh(&field), 0);
+    }
+
+    #[test]
+    fn build_rejects_degenerate_resolutions() {
+        let field = cage_field(5, GridCoord::new(2, 2));
+        assert!(std::panic::catch_unwind(|| FieldCache::build_with(&field, 0, 5)).is_err());
+        assert!(std::panic::catch_unwind(|| FieldCache::build_with(&field, 2, 1)).is_err());
+    }
+}

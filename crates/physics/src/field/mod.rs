@@ -15,6 +15,7 @@
 //! * [`laplace::LaplaceSolver`] — a finite-difference Laplace solution on a
 //!   3-D grid, used as the accuracy reference for small regions.
 
+pub mod cache;
 pub mod laplace;
 pub mod superposition;
 
@@ -78,7 +79,10 @@ impl ElectrodePlane {
     pub fn new(dims: GridDims, pitch: Meters, amplitude: Volts, chamber_height: Meters) -> Self {
         assert!(dims.count() > 0, "electrode grid must be non-empty");
         assert!(pitch.get() > 0.0, "pitch must be positive");
-        assert!(chamber_height.get() > 0.0, "chamber height must be positive");
+        assert!(
+            chamber_height.get() > 0.0,
+            "chamber height must be positive"
+        );
         Self {
             dims,
             pitch,
@@ -156,6 +160,14 @@ impl ElectrodePlane {
         self.amplitude * self.phase(at).sign()
     }
 
+    /// Row-major phase buffer — the raw storage behind [`ElectrodePlane::phase`].
+    /// Field models use this to precompute flat voltage buffers without
+    /// per-cell coordinate checks.
+    #[inline]
+    pub fn phases_raw(&self) -> &[ElectrodePhase] {
+        &self.phases
+    }
+
     /// Physical centre of an electrode in chip-plane coordinates (z = 0).
     #[inline]
     pub fn electrode_center(&self, at: GridCoord) -> Vec3 {
@@ -205,6 +217,15 @@ impl ElectrodePlane {
 }
 
 /// A model of the spatial electric field produced by an [`ElectrodePlane`].
+///
+/// The `*_fd` methods are the finite-difference evaluation path and always
+/// derive from [`FieldModel::potential`] (respectively
+/// [`FieldModel::e_squared`]); the plain methods default to them but may be
+/// overridden with closed-form implementations — the fast
+/// [`superposition::SuperpositionField`] overrides them with analytic
+/// gradients, while the grid-based [`laplace::LaplaceSolver`] keeps the
+/// defaults. Tests use the `*_fd` path as the accuracy oracle for analytic
+/// overrides.
 pub trait FieldModel {
     /// Spatial (RMS) potential `Φ` at a point, in volts.
     fn potential(&self, p: Vec3) -> f64;
@@ -212,8 +233,9 @@ pub trait FieldModel {
     /// Step used for numerical differentiation, in metres.
     fn differentiation_step(&self) -> f64;
 
-    /// Electric field `E = −∇Φ` at a point, by central differences.
-    fn field(&self, p: Vec3) -> Vec3 {
+    /// Electric field `E = −∇Φ` at a point, by central differences over
+    /// [`FieldModel::potential`].
+    fn field_fd(&self, p: Vec3) -> Vec3 {
         let h = self.differentiation_step();
         let dx = (self.potential(Vec3::new(p.x + h, p.y, p.z))
             - self.potential(Vec3::new(p.x - h, p.y, p.z)))
@@ -227,24 +249,61 @@ pub trait FieldModel {
         Vec3::new(-dx, -dy, -dz)
     }
 
+    /// Squared RMS field magnitude from the finite-difference field.
+    fn e_squared_fd(&self, p: Vec3) -> f64 {
+        self.field_fd(p).norm_squared()
+    }
+
+    /// Gradient of `|E_rms|²` by the pure finite-difference chain: central
+    /// differences over [`FieldModel::e_squared_fd`], which itself central-
+    /// differences the potential — 36 potential evaluations per query. This
+    /// is the seed implementation's exact evaluation path, kept as the
+    /// accuracy oracle and benchmark baseline for analytic overrides.
+    fn grad_e_squared_fd(&self, p: Vec3) -> Vec3 {
+        let h = self.differentiation_step();
+        let gx = (self.e_squared_fd(Vec3::new(p.x + h, p.y, p.z))
+            - self.e_squared_fd(Vec3::new(p.x - h, p.y, p.z)))
+            / (2.0 * h);
+        let gy = (self.e_squared_fd(Vec3::new(p.x, p.y + h, p.z))
+            - self.e_squared_fd(Vec3::new(p.x, p.y - h, p.z)))
+            / (2.0 * h);
+        let gz = (self.e_squared_fd(Vec3::new(p.x, p.y, p.z + h))
+            - self.e_squared_fd(Vec3::new(p.x, p.y, p.z - h)))
+            / (2.0 * h);
+        Vec3::new(gx, gy, gz)
+    }
+
+    /// Electric field `E = −∇Φ` at a point.
+    fn field(&self, p: Vec3) -> Vec3 {
+        self.field_fd(p)
+    }
+
     /// Squared RMS field magnitude `|E_rms|²` at a point, in (V/m)².
     fn e_squared(&self, p: Vec3) -> f64 {
         self.field(p).norm_squared()
     }
 
-    /// Gradient of `|E_rms|²` at a point, by central differences.
+    /// Gradient of `|E_rms|²` at a point.
     fn grad_e_squared(&self, p: Vec3) -> Vec3 {
-        let h = self.differentiation_step();
-        let gx = (self.e_squared(Vec3::new(p.x + h, p.y, p.z))
-            - self.e_squared(Vec3::new(p.x - h, p.y, p.z)))
-            / (2.0 * h);
-        let gy = (self.e_squared(Vec3::new(p.x, p.y + h, p.z))
-            - self.e_squared(Vec3::new(p.x, p.y - h, p.z)))
-            / (2.0 * h);
-        let gz = (self.e_squared(Vec3::new(p.x, p.y, p.z + h))
-            - self.e_squared(Vec3::new(p.x, p.y, p.z - h)))
-            / (2.0 * h);
-        Vec3::new(gx, gy, gz)
+        self.grad_e_squared_fd(p)
+    }
+
+    /// Batched [`FieldModel::e_squared`]: fills `out` with one value per
+    /// probe point (cleared first). The default is a plain loop, so every
+    /// model conforms; implementations with cheaper batch paths (sampled
+    /// caches, SIMD sweeps) may override.
+    fn e_squared_many(&self, points: &[Vec3], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(points.len());
+        out.extend(points.iter().map(|&p| self.e_squared(p)));
+    }
+
+    /// Batched [`FieldModel::grad_e_squared`]; same contract as
+    /// [`FieldModel::e_squared_many`].
+    fn grad_e_squared_many(&self, points: &[Vec3], out: &mut Vec<Vec3>) {
+        out.clear();
+        out.reserve(points.len());
+        out.extend(points.iter().map(|&p| self.grad_e_squared(p)));
     }
 }
 
@@ -283,10 +342,7 @@ mod tests {
         p.set_phase(GridCoord::new(3, 3), ElectrodePhase::CounterPhase);
         assert_eq!(p.phase(GridCoord::new(3, 3)), ElectrodePhase::CounterPhase);
         assert_eq!(p.counter_phase_count(), 1);
-        assert_eq!(
-            p.signed_voltage(GridCoord::new(3, 3)),
-            Volts::new(-3.3)
-        );
+        assert_eq!(p.signed_voltage(GridCoord::new(3, 3)), Volts::new(-3.3));
         p.fill(ElectrodePhase::Floating);
         assert_eq!(p.counter_phase_count(), 0);
         assert_eq!(p.signed_voltage(GridCoord::new(0, 0)), Volts::new(0.0));

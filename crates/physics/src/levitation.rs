@@ -160,7 +160,9 @@ mod tests {
     #[test]
     fn high_voltage_drive_levitates_the_cell() {
         let (field, xy, solver) = solver(3.3);
-        let point = solver.solve(&field, xy).expect("levitation expected at 3.3 V");
+        let point = solver
+            .solve(&field, xy)
+            .expect("levitation expected at 3.3 V");
         // Levitation heights on these chips are in the tens of micrometres.
         assert!(point.height.as_micrometers() > 11.0);
         assert!(point.height.as_micrometers() < 70.0);
@@ -177,7 +179,10 @@ mod tests {
         let hi = solver_hi.solve(&field_hi, xy);
         match (lo, hi) {
             (Some(lo), Some(hi)) => {
-                assert!(hi.height.get() >= lo.height.get(), "stronger drive lifts higher");
+                assert!(
+                    hi.height.get() >= lo.height.get(),
+                    "stronger drive lifts higher"
+                );
             }
             (None, Some(_)) => { /* low voltage cannot levitate at all: also consistent */ }
             other => panic!("unexpected levitation outcome: {other:?}"),

@@ -58,6 +58,7 @@ pub mod prelude {
     pub use crate::drag::StokesDrag;
     pub use crate::dynamics::{ForceBalance, OverdampedIntegrator, ParticleState, Trajectory};
     pub use crate::error::PhysicsError;
+    pub use crate::field::cache::FieldCache;
     pub use crate::field::laplace::LaplaceSolver;
     pub use crate::field::superposition::SuperpositionField;
     pub use crate::field::{ElectrodePhase, ElectrodePlane, FieldModel};

@@ -92,11 +92,7 @@ impl Medium {
     /// Complex permittivity at angular frequency `omega` (rad/s).
     #[inline]
     pub fn complex_permittivity(&self, omega: f64) -> ComplexPermittivity {
-        ComplexPermittivity::new(
-            self.relative_permittivity,
-            self.conductivity.get(),
-            omega,
-        )
+        ComplexPermittivity::new(self.relative_permittivity, self.conductivity.get(), omega)
     }
 
     /// Returns a copy with a different conductivity.

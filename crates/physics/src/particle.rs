@@ -77,9 +77,12 @@ impl ShellModel {
         let r_out = radius.get();
         let r_in = (radius.get() - self.membrane_thickness.get()).max(radius.get() * 1e-3);
         let gamma = r_out / r_in;
-        let eps_mem =
-            ComplexPermittivity::new(self.membrane_permittivity, self.membrane_conductivity, omega)
-                .value();
+        let eps_mem = ComplexPermittivity::new(
+            self.membrane_permittivity,
+            self.membrane_conductivity,
+            omega,
+        )
+        .value();
         let eps_cyt = ComplexPermittivity::new(
             self.cytoplasm_permittivity,
             self.cytoplasm_conductivity,
@@ -227,7 +230,10 @@ mod tests {
         let kv = viable.cm_re(&low_cond_medium(), f);
         let kd = dead.cm_re(&low_cond_medium(), f);
         assert!(kv < 0.0, "viable cell should be nDEP at 10 kHz, got {kv}");
-        assert!(kd > 0.0, "leaky dead cell should be pDEP at 10 kHz, got {kd}");
+        assert!(
+            kd > 0.0,
+            "leaky dead cell should be pDEP at 10 kHz, got {kd}"
+        );
         assert!((kv - kd).abs() > 0.5, "viable {kv} vs dead {kd}");
     }
 

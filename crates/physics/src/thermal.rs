@@ -110,8 +110,10 @@ impl EvaporationModel {
     /// 25 °C, a Clausius–Clapeyron linearisation).
     pub fn evaporated_volume(&self, duration: Seconds, temp: Kelvin) -> CubicMeters {
         let t_factor = (0.07 * (temp.as_celsius() - 25.0)).exp();
-        let mass_rate =
-            self.transfer_coefficient * (1.0 - self.relative_humidity) * self.exposed_area * t_factor;
+        let mass_rate = self.transfer_coefficient
+            * (1.0 - self.relative_humidity)
+            * self.exposed_area
+            * t_factor;
         let volume_rate = mass_rate / 997.0;
         CubicMeters::new(volume_rate * duration.get())
     }
@@ -190,7 +192,10 @@ mod tests {
         // The 4 µl drop of the paper dries out on the tens-of-minutes scale
         // when uncovered — a key packaging constraint.
         let e = EvaporationModel::open_drop_4ul();
-        let t = e.time_to_dry(CubicMeters::from_microliters(4.0), Kelvin::from_celsius(25.0));
+        let t = e.time_to_dry(
+            CubicMeters::from_microliters(4.0),
+            Kelvin::from_celsius(25.0),
+        );
         assert!(
             t.as_minutes() > 2.0 && t.as_minutes() < 600.0,
             "time to dry = {} min",

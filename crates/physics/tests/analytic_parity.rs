@@ -1,0 +1,171 @@
+//! Parity between the analytic derivative engine of `SuperpositionField` and
+//! the finite-difference reference path.
+//!
+//! Central differences carry O(h²) truncation error (~1e-3 relative at the
+//! default pitch/20 step), so the strict comparison uses Richardson
+//! extrapolation — two central differences at `h` and `h/2` combined as
+//! `(4·D(h/2) − D(h))/3` — which cancels the h² term and converges O(h⁴) to
+//! the true model derivative. Against that reference the analytic kernels
+//! must agree to 1e-6 relative, across cage, edge-of-array and uniform-plane
+//! probes.
+
+use labchip_physics::field::superposition::SuperpositionField;
+use labchip_physics::field::{ElectrodePhase, ElectrodePlane, FieldModel};
+use labchip_units::{GridCoord, GridDims, Meters, Vec3, Volts};
+
+const REL_TOL: f64 = 1e-6;
+
+fn cage_plane(n: u32) -> ElectrodePlane {
+    let mut plane = ElectrodePlane::new(
+        GridDims::square(n),
+        Meters::from_micrometers(20.0),
+        Volts::new(3.3),
+        Meters::from_micrometers(80.0),
+    );
+    plane.set_phase(GridCoord::new(n / 2, n / 2), ElectrodePhase::CounterPhase);
+    plane
+}
+
+fn uniform_plane(n: u32) -> ElectrodePlane {
+    ElectrodePlane::new(
+        GridDims::square(n),
+        Meters::from_micrometers(20.0),
+        Volts::new(3.3),
+        Meters::from_micrometers(80.0),
+    )
+}
+
+/// Richardson-extrapolated central-difference gradient of `f`.
+fn richardson_grad(f: impl Fn(Vec3) -> f64, p: Vec3, h: f64) -> Vec3 {
+    let central = |h: f64| {
+        Vec3::new(
+            (f(Vec3::new(p.x + h, p.y, p.z)) - f(Vec3::new(p.x - h, p.y, p.z))) / (2.0 * h),
+            (f(Vec3::new(p.x, p.y + h, p.z)) - f(Vec3::new(p.x, p.y - h, p.z))) / (2.0 * h),
+            (f(Vec3::new(p.x, p.y, p.z + h)) - f(Vec3::new(p.x, p.y, p.z - h))) / (2.0 * h),
+        )
+    };
+    let coarse = central(h);
+    let fine = central(0.5 * h);
+    (fine * 4.0 - coarse) / 3.0
+}
+
+/// Relative deviation of two vectors, floored so near-zero references (the
+/// symmetric lateral components on a uniform plane) compare absolutely
+/// against the overall magnitude.
+fn rel_dev(a: Vec3, b: Vec3, scale_floor: f64) -> f64 {
+    (a - b).norm() / b.norm().max(scale_floor)
+}
+
+/// Probe points: above the cage, off-centre in the cage, at the array edge,
+/// and at mid-chamber.
+fn probes(plane: &ElectrodePlane) -> Vec<Vec3> {
+    let pitch = plane.pitch().get();
+    let n = plane.dims().cols;
+    let c = plane.electrode_center(GridCoord::new(n / 2, n / 2));
+    vec![
+        Vec3::new(c.x, c.y, 1.5 * pitch),
+        Vec3::new(c.x + 0.3 * pitch, c.y - 0.2 * pitch, 1.2 * pitch),
+        Vec3::new(c.x + 7e-6, c.y + 3e-6, 40e-6),
+        // Edge of the array: half a pitch in from the corner.
+        Vec3::new(0.5 * pitch, 0.5 * pitch, 1.5 * pitch),
+        Vec3::new(0.7 * pitch, plane.height() - 0.7 * pitch, 30e-6),
+    ]
+}
+
+fn assert_field_parity(model: &SuperpositionField, label: &str) {
+    let h = model.differentiation_step() / 8.0;
+    for p in probes(model.plane()) {
+        // First derivatives: analytic E = −∇Φ vs Richardson FD of Φ.
+        let analytic_e = model.field(p);
+        let reference_e = -richardson_grad(|q| model.potential(q), p, h);
+        let dev = rel_dev(analytic_e, reference_e, 1e-3 * reference_e.norm().max(1.0));
+        assert!(
+            dev < REL_TOL,
+            "{label}: field deviates {dev:.3e} at {p:?}\n  analytic {analytic_e:?}\n  reference {reference_e:?}"
+        );
+
+        // |E|² consistency between the two paths follows from the above; the
+        // Hessian path is checked directly: analytic ∇|E|² vs Richardson FD
+        // of the analytic |E|².
+        let analytic_g = model.grad_e_squared(p);
+        let reference_g = richardson_grad(|q| model.e_squared(q), p, h);
+        let scale_floor = 1e-3
+            * reference_g
+                .norm()
+                .max(model.e_squared(p) / model.plane().pitch().get());
+        let dev = rel_dev(analytic_g, reference_g, scale_floor);
+        assert!(
+            dev < REL_TOL,
+            "{label}: grad|E|^2 deviates {dev:.3e} at {p:?}\n  analytic {analytic_g:?}\n  reference {reference_g:?}"
+        );
+    }
+}
+
+#[test]
+fn analytic_gradients_match_richardson_fd_on_cage_plane() {
+    let model = SuperpositionField::new(cage_plane(9));
+    assert_field_parity(&model, "cage");
+}
+
+#[test]
+fn analytic_gradients_match_richardson_fd_on_uniform_plane() {
+    let model = SuperpositionField::new(uniform_plane(15));
+    assert_field_parity(&model, "uniform");
+}
+
+#[test]
+fn analytic_gradients_match_richardson_fd_near_array_edge() {
+    // A cage right at the array corner stresses the truncated window.
+    let mut plane = uniform_plane(9);
+    plane.set_phase(GridCoord::new(1, 1), ElectrodePhase::CounterPhase);
+    let model = SuperpositionField::new(plane);
+    let pitch = model.plane().pitch().get();
+    let c = model.plane().electrode_center(GridCoord::new(1, 1));
+    let h = model.differentiation_step() / 8.0;
+    for p in [
+        Vec3::new(c.x, c.y, 1.5 * pitch),
+        Vec3::new(c.x - 0.4 * pitch, c.y + 0.2 * pitch, 1.1 * pitch),
+    ] {
+        let analytic = model.grad_e_squared(p);
+        let reference = richardson_grad(|q| model.e_squared(q), p, h);
+        let dev = rel_dev(analytic, reference, 1e-3 * reference.norm().max(1.0));
+        assert!(dev < REL_TOL, "edge cage: deviation {dev:.3e} at {p:?}");
+    }
+}
+
+#[test]
+fn plain_fd_path_agrees_at_its_own_accuracy() {
+    // The unextrapolated `*_fd` oracle is O(h²): it must sit within ~1e-2 of
+    // the analytic values at the default step — this guards against gross
+    // sign/assembly errors independently of the Richardson machinery.
+    let model = SuperpositionField::new(cage_plane(9));
+    for p in probes(model.plane()) {
+        let dev_e = rel_dev(model.field(p), model.field_fd(p), 1.0);
+        assert!(dev_e < 1e-2, "field_fd deviates {dev_e:.3e} at {p:?}");
+        let dev_g = rel_dev(
+            model.grad_e_squared(p),
+            model.grad_e_squared_fd(p),
+            model.e_squared(p) / model.plane().pitch().get(),
+        );
+        assert!(
+            dev_g < 2e-2,
+            "grad_e_squared_fd deviates {dev_g:.3e} at {p:?}"
+        );
+    }
+}
+
+#[test]
+fn batched_evaluation_matches_scalar_path() {
+    let model = SuperpositionField::new(cage_plane(9));
+    let points = probes(model.plane());
+    let mut e2 = Vec::new();
+    let mut grads = Vec::new();
+    model.e_squared_many(&points, &mut e2);
+    model.grad_e_squared_many(&points, &mut grads);
+    assert_eq!(e2.len(), points.len());
+    assert_eq!(grads.len(), points.len());
+    for (i, &p) in points.iter().enumerate() {
+        assert_eq!(e2[i], model.e_squared(p));
+        assert_eq!(grads[i], model.grad_e_squared(p));
+    }
+}

@@ -36,7 +36,9 @@ impl OffsetCalibration {
     ) -> Self {
         Self {
             dims,
-            offsets: (0..dims.count()).map(|_| noise.sample_offset(rng)).collect(),
+            offsets: (0..dims.count())
+                .map(|_| noise.sample_offset(rng))
+                .collect(),
         }
     }
 
@@ -99,7 +101,10 @@ impl OffsetCalibration {
     pub fn residual_rms(&self, fixed_pattern: &OffsetCalibration) -> Result<f64, SensingError> {
         if self.dims != fixed_pattern.dims {
             return Err(SensingError::ShapeMismatch {
-                what: format!("calibration {} vs pattern {}", self.dims, fixed_pattern.dims),
+                what: format!(
+                    "calibration {} vs pattern {}",
+                    self.dims, fixed_pattern.dims
+                ),
             });
         }
         let n = self.offsets.len() as f64;
@@ -159,7 +164,11 @@ mod tests {
         let residual = cal.residual_rms(&fp).unwrap();
         // The residual must be far below the raw FPN and close to the
         // reference-frame noise floor (1 mV / √64 ≈ 0.125 mV).
-        assert!(residual < fp.rms() / 5.0, "residual {residual} vs raw {}", fp.rms());
+        assert!(
+            residual < fp.rms() / 5.0,
+            "residual {residual} vs raw {}",
+            fp.rms()
+        );
         assert!(residual < 0.5e-3);
     }
 

@@ -65,8 +65,8 @@ impl CapacitiveSensor {
             Occupancy::Empty => Farads::new(0.0),
             Occupancy::Occupied => {
                 let electrode_area = self.electrode_size.get() * self.electrode_size.get();
-                let shadow = (std::f64::consts::PI * self.particle_radius.get().powi(2))
-                    .min(electrode_area);
+                let shadow =
+                    (std::f64::consts::PI * self.particle_radius.get().powi(2)).min(electrode_area);
                 let h = self.chamber_height.get();
                 let t = (2.0 * self.particle_radius.get()).min(h * 0.9);
                 let eps_m = WATER_RELATIVE_PERMITTIVITY;
@@ -74,8 +74,7 @@ impl CapacitiveSensor {
                 // Series combination over the shadowed area: medium of
                 // thickness (h - t) in series with particle of thickness t.
                 let c_medium_full = VACUUM_PERMITTIVITY * eps_m * shadow / h;
-                let c_series = VACUUM_PERMITTIVITY * shadow
-                    / ((h - t) / eps_m + t / eps_p);
+                let c_series = VACUUM_PERMITTIVITY * shadow / ((h - t) / eps_m + t / eps_p);
                 Farads::new(c_series - c_medium_full)
             }
         }
@@ -125,7 +124,10 @@ mod tests {
     fn cell_presence_changes_capacitance_by_femtofarads() {
         let s = CapacitiveSensor::date05_reference();
         let dc = s.delta_capacitance(Occupancy::Occupied);
-        assert!(dc.get() < 0.0, "a low-permittivity cell reduces capacitance");
+        assert!(
+            dc.get() < 0.0,
+            "a low-permittivity cell reduces capacitance"
+        );
         assert!(
             dc.as_femtofarads().abs() > 0.05 && dc.as_femtofarads().abs() < 10.0,
             "dC = {} fF",
@@ -138,7 +140,10 @@ mod tests {
     fn signal_separation_is_millivolt_scale() {
         let s = CapacitiveSensor::date05_reference();
         let sep = s.signal_separation();
-        assert!(sep.as_millivolts() > 0.5 && sep.as_millivolts() < 100.0, "sep = {sep}");
+        assert!(
+            sep.as_millivolts() > 0.5 && sep.as_millivolts() < 100.0,
+            "sep = {sep}"
+        );
     }
 
     #[test]

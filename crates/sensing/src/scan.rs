@@ -68,7 +68,11 @@ mod tests {
         // Reading all 102,400 sensors takes a few milliseconds — fast
         // compared with the ~0.4 s cage step at 50 µm/s.
         let t = ScanTiming::date05_reference().frame_time(GridDims::new(320, 320));
-        assert!(t.as_millis() > 0.5 && t.as_millis() < 20.0, "t = {} ms", t.as_millis());
+        assert!(
+            t.as_millis() > 0.5 && t.as_millis() < 20.0,
+            "t = {} ms",
+            t.as_millis()
+        );
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Workspace-local stand-in for
+//! [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors minimal shims for its external dependencies. This
+//! one is a genuine (if statistically simpler) wall-clock benchmark harness:
+//! each benchmark is warmed up, then timed in adaptive batches until the
+//! group's measurement time is spent, and the median batch ns/iter is
+//! reported on stdout as
+//!
+//! ```text
+//! group/function/param    median 123.4 ns/iter  (n batches)
+//! ```
+//!
+//! Set the `CRITERION_SHIM_JSON` environment variable to a file path to
+//! additionally append one JSON line per benchmark (`{"id": ..,
+//! "ns_per_iter": ..}`) — the workspace's `BENCH_fields.json` generator uses
+//! this hook.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::io::Write;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` for API parity.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Measurement backends (API parity; the shim always measures wall time).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id carrying only a parameter (the group name provides the
+    /// context).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.function.is_empty(), self.parameter.is_empty()) {
+            (false, true) => write!(f, "{}", self.function),
+            (true, false) => write!(f, "{}", self.parameter),
+            _ => write!(f, "{}/{}", self.function, self.parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        Self {
+            function: function.into(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        Self {
+            function,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Filled in by [`Bencher::iter`].
+    result_ns: Option<f64>,
+    batches: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively batching calls until the measurement
+    /// budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + batch-size calibration: grow the batch until it costs at
+        // least ~1 ms, so Instant overhead is negligible.
+        let mut batch: u64 = 1;
+        let calibration_deadline = Instant::now() + self.measurement_time / 10;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || Instant::now() >= calibration_deadline {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+
+        let deadline = Instant::now() + self.measurement_time;
+        let mut samples: Vec<f64> = Vec::new();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            if Instant::now() >= deadline && !samples.is_empty() {
+                break;
+            }
+            if samples.len() >= 5_000 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.batches = samples.len();
+        self.result_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API parity; the shim's batching is adaptive, so the
+    /// requested sample count is not used directly.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity (no-op).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            result_ns: None,
+            batches: 0,
+        };
+        f(&mut bencher);
+        let full_id = format!("{}/{}", self.name, id);
+        match bencher.result_ns {
+            Some(ns) => {
+                println!(
+                    "{full_id:<56} median {ns:>12.1} ns/iter  ({} batches)",
+                    bencher.batches
+                );
+                self.criterion.record(&full_id, ns);
+            }
+            None => println!("{full_id:<56} (no measurement: Bencher::iter never called)"),
+        }
+    }
+
+    /// Benchmarks a routine with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().to_string();
+        self.run_one(id, |b| f(b));
+    }
+
+    /// Benchmarks a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point: collects and reports benchmarks.
+pub struct Criterion {
+    json_sink: Option<std::path::PathBuf>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            json_sink: std::env::var_os("CRITERION_SHIM_JSON").map(Into::into),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API parity; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(2),
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.benchmark_group("");
+        let mut bencher = Bencher {
+            measurement_time: group.measurement_time,
+            result_ns: None,
+            batches: 0,
+        };
+        f(&mut bencher);
+        if let Some(ns) = bencher.result_ns {
+            println!(
+                "{id:<56} median {ns:>12.1} ns/iter  ({} batches)",
+                bencher.batches
+            );
+            group.criterion.record(id, ns);
+        }
+    }
+
+    fn record(&mut self, id: &str, ns: f64) {
+        if let Some(path) = &self.json_sink {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(file, "{{\"id\": \"{id}\", \"ns_per_iter\": {ns:.2}}}");
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_selftest");
+        group.measurement_time(Duration::from_millis(50));
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_measures_something() {
+        sample_bench(&mut Criterion::default());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 320).to_string(), "f/320");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

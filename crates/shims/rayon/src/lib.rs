@@ -1,0 +1,326 @@
+//! Workspace-local stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! Provides genuine multi-core data parallelism via `std::thread::scope`
+//! for the API subset the labchip workspace uses:
+//!
+//! * `slice.par_iter_mut().for_each(..)` / `.enumerate().for_each(..)`
+//! * `slice.par_chunks_mut(n).for_each(..)`
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] to pin the worker count
+//!   (the labchip simulator uses this for its thread-count determinism test)
+//! * [`join`] and [`current_num_threads`]
+//!
+//! Work is split into contiguous chunks, one per worker, which is the right
+//! shape for the embarrassingly parallel particle loops this workspace runs.
+//! There is no work stealing; a chunk is processed sequentially on its
+//! worker. The thread count comes from, in priority order: the innermost
+//! [`ThreadPool::install`] scope, the `RAYON_NUM_THREADS` environment
+//! variable, then `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations will use right now.
+pub fn current_num_threads() -> usize {
+    let overridden = POOL_OVERRIDE.with(Cell::get);
+    if overridden > 0 {
+        return overridden;
+    }
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (never produced by the
+/// shim; present for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the worker count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that pins the worker count for operations run inside
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count in effect.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = POOL_OVERRIDE.with(|c| {
+            let prev = c.get();
+            c.set(if self.num_threads == 0 {
+                prev
+            } else {
+                self.num_threads
+            });
+            prev
+        });
+        let result = f();
+        POOL_OVERRIDE.with(|c| c.set(previous));
+        result
+    }
+
+    /// The pinned thread count (0 = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon-shim join worker panicked");
+        (ra, rb)
+    })
+}
+
+fn run_chunked<'a, T, F>(slice: &'a mut [T], base_offset: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &'a mut T) + Send + Sync,
+{
+    let len = slice.len();
+    if len == 0 {
+        return;
+    }
+    let workers = current_num_threads().min(len).max(1);
+    if workers == 1 {
+        for (i, item) in slice.iter_mut().enumerate() {
+            f(base_offset + i, item);
+        }
+        return;
+    }
+    let chunk_len = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut start = base_offset;
+        for chunk in slice.chunks_mut(chunk_len) {
+            let offset = start;
+            start += chunk.len();
+            scope.spawn(move || {
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    f(offset + i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel iterator over `&mut` slice elements.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+/// Parallel iterator over `(index, &mut element)` pairs.
+pub struct ParIterMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace uses.
+pub trait ParallelIterator: Sized {
+    /// Item produced by the iterator.
+    type Item;
+
+    /// Consumes the iterator, applying `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync;
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs every element with its index.
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { slice: self.slice }
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_chunked(self.slice, 0, &|_, item| f(item));
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for ParIterMutEnumerate<'a, T> {
+    type Item = (usize, &'a mut T);
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_chunked(self.slice, 0, &|i, item| f((i, item)));
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let chunk_size = self.chunk_size.max(1);
+        let mut chunks: Vec<&'a mut [T]> = self.slice.chunks_mut(chunk_size).collect();
+        run_chunked(&mut chunks, 0, &|_, chunk| {
+            f(std::mem::take(chunk));
+        });
+    }
+}
+
+/// Conversion into a parallel iterator over `&mut` elements.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type produced.
+    type Item;
+
+    /// Creates the parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = ParIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = ParIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Parallel chunking of mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into mutable chunks of at most `chunk_size`, in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v = vec![0u64; 1000];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u64 * 2);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 21 * 2, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn par_chunks_mut_partitions_exactly() {
+        let mut v = vec![0u32; 103];
+        v.par_chunks_mut(10).for_each(|chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+}

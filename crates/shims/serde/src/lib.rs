@@ -1,0 +1,24 @@
+//! Workspace-local stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors minimal shims for its external dependencies. The
+//! labchip crates only *derive* `Serialize`/`Deserialize` (no serialisation
+//! is performed anywhere — there is no `serde_json` or other format crate in
+//! the tree), so the traits are empty markers and the derives emit empty
+//! impls. Restoring the real crates requires no source change: the trait
+//! names, derive names and import paths match.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de`, for completeness of common paths.
+pub mod de {
+    /// Stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}

@@ -1,0 +1,67 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! The shim `serde` crate defines `Serialize` and `Deserialize` as empty
+//! marker traits, so the derives only need to find the item name and emit an
+//! empty impl. The parser below handles the shapes that occur in this
+//! workspace: non-generic `struct`s and `enum`s with any number of outer
+//! attributes and doc comments. Generic items are rejected with a clear
+//! error rather than silently mis-expanded.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn item_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Outer attribute: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => return Err(format!("expected item name, found {other:?}")),
+                    };
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return Err(format!(
+                                "the workspace serde shim cannot derive for generic type `{name}`"
+                            ));
+                        }
+                    }
+                    return Ok(name);
+                }
+                // `pub`, `pub(crate)` etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    Err("no struct/enum found in derive input".into())
+}
+
+fn emit(input: TokenStream, make_impl: impl Fn(&str) -> String) -> TokenStream {
+    match item_name(input) {
+        Ok(name) => make_impl(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Derives the shim `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derives the shim `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

@@ -44,6 +44,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the physical ranges
     fn constants_are_physical() {
         assert!(BOLTZMANN > 1e-23 && BOLTZMANN < 2e-23);
         assert!(VACUUM_PERMITTIVITY > 8e-12 && VACUUM_PERMITTIVITY < 9e-12);

@@ -286,8 +286,12 @@ impl Rect {
     /// Minimum edge-to-edge separation from another, non-overlapping
     /// rectangle. Returns 0.0 when they overlap.
     pub fn separation(&self, other: &Rect) -> f64 {
-        let dx = (other.min.x - self.max.x).max(self.min.x - other.max.x).max(0.0);
-        let dy = (other.min.y - self.max.y).max(self.min.y - other.max.y).max(0.0);
+        let dx = (other.min.x - self.max.x)
+            .max(self.min.x - other.max.x)
+            .max(0.0);
+        let dy = (other.min.y - self.max.y)
+            .max(self.min.y - other.max.y)
+            .max(0.0);
         dx.hypot(dy)
     }
 

@@ -128,7 +128,10 @@ impl GridDims {
     #[inline]
     pub fn coord_of(self, index: usize) -> GridCoord {
         assert!(index < self.count() as usize, "index out of range");
-        GridCoord::new((index % self.cols as usize) as u32, (index / self.cols as usize) as u32)
+        GridCoord::new(
+            (index % self.cols as usize) as u32,
+            (index / self.cols as usize) as u32,
+        )
     }
 
     /// Iterator over all coordinates in row-major order.

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let viable = Particle::viable_cell(Meters::from_micrometers(10.0));
     let dead = Particle::nonviable_cell(Meters::from_micrometers(10.0));
     println!("Clausius-Mossotti factor at 10 kHz:");
-    println!("  viable cell    : {:+.3}", viable.cm_re(&medium, frequency));
+    println!(
+        "  viable cell    : {:+.3}",
+        viable.cm_re(&medium, frequency)
+    );
     println!("  non-viable cell: {:+.3}", dead.cm_re(&medium, frequency));
     println!("  -> only the viable cell is held in the cages (negative DEP)");
     println!();

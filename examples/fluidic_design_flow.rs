@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "layout: {} features on {} layer(s), smallest feature {:.0} um",
         layout.features().len(),
         layout.layer_count(),
-        layout.min_feature_size().map(|m| m.as_micrometers()).unwrap_or(0.0)
+        layout
+            .min_feature_size()
+            .map(|m| m.as_micrometers())
+            .unwrap_or(0.0)
     );
     println!(
         "dry-film DRC: {}",
