@@ -1,53 +1,192 @@
-//! `report` — regenerates every experiment table of the DATE'05 reproduction,
-//! and emits the machine-readable field-kernel benchmark file.
+//! `report` — drives the scenario engine of the DATE'05 reproduction, and
+//! emits the machine-readable field-kernel benchmark file.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p labchip-bench --bin report            # all experiments
-//! cargo run --release -p labchip-bench --bin report -- e2 e5   # a subset
-//! cargo run --release -p labchip-bench --bin report -- bench-fields [OUT.json]
+//! report list                          # enumerate the registered scenarios
+//! report run --all                     # every experiment, markdown tables
+//! report run e2 e5                     # a subset
+//! report run --all --json              # one JSON document covering E1..E9
+//! report run e3 --set threads=2        # key=value overrides onto the typed config
+//! report run --all --seed 7 --serial   # derived per-scenario seeds, serial order
+//! report bench-fields [OUT.json]       # field-kernel benchmark trajectory
+//! report [e2 e5 ...]                   # legacy spelling of `run`
 //! ```
 //!
-//! The experiment output is the markdown quoted in `EXPERIMENTS.md`. The
+//! The markdown output is what `EXPERIMENTS.md` quotes; `--json` emits the
+//! same tables (plus full typed outputs, configs, seeds and wall-clock
+//! times) as one JSON document from the same source. While scenarios run,
+//! row-level progress streams to stderr so long runs never go dark. The
 //! `bench-fields` subcommand times the field-evaluation kernels and the
 //! particle-stepping loop and writes `BENCH_fields.json` (one object per
 //! kernel with ns/op, plus simulator step throughput per thread count) so
 //! successive PRs accumulate a perf trajectory.
 
-use labchip::experiments::Experiment;
+use labchip::scenario::{
+    outcomes_to_json, Progress, ProgressEvent, RunOutcome, Runner, ScenarioRegistry,
+};
 use labchip_bench::{cage_field, populated_simulator};
 use labchip_physics::field::cache::FieldCache;
 use labchip_physics::field::FieldModel;
 use labchip_units::Vec3;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("bench-fields") {
-        let out = args
-            .get(1)
-            .cloned()
-            .unwrap_or_else(|| "BENCH_fields.json".into());
-        bench_fields(&out);
-        return;
+    match args.first().map(String::as_str) {
+        Some("bench-fields") => {
+            let out = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_fields.json".into());
+            bench_fields(&out);
+        }
+        Some("list") => list_scenarios(),
+        Some("run") => {
+            if let Err(message) = run_scenarios(&args[1..]) {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        }
+        // Legacy spelling: bare ids (or nothing for everything), markdown.
+        // Long-standing contract: unknown ids warn and are skipped (exit 0),
+        // unlike the `run` subcommand's hard errors.
+        _ => {
+            let registry = ScenarioRegistry::all();
+            let mut legacy: Vec<String> = Vec::with_capacity(args.len());
+            for id in &args {
+                if registry.get(id).is_some() {
+                    legacy.push(id.clone());
+                } else {
+                    eprintln!("unknown experiment id `{id}` (expected E1..E9)");
+                }
+            }
+            if args.is_empty() {
+                legacy.push("--all".into());
+            } else if legacy.is_empty() {
+                // All ids were unknown: keep the legacy empty report.
+                print_markdown_report(&[]);
+                return;
+            }
+            legacy.push("--quiet".into());
+            if let Err(message) = run_scenarios(&legacy) {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// `report list` — one line per registered scenario.
+fn list_scenarios() {
+    let registry = ScenarioRegistry::all();
+    for scenario in registry.iter() {
+        println!("{}  {}", scenario.id(), scenario.describe());
+    }
+    println!("{} scenarios", registry.len());
+}
+
+/// Streams scenario progress to stderr, one line per event.
+struct StderrProgress;
+
+impl Progress for StderrProgress {
+    fn on_event(&self, event: &ProgressEvent) {
+        match event {
+            ProgressEvent::ScenarioStarted { scenario } => {
+                eprintln!("[{scenario}] started");
+            }
+            ProgressEvent::Row {
+                scenario,
+                index,
+                summary,
+            } => {
+                eprintln!("[{scenario}] row {index}: {summary}");
+            }
+            ProgressEvent::SimSteps {
+                scenario,
+                steps,
+                elapsed_s,
+                particles,
+            } => {
+                eprintln!(
+                    "[{scenario}] sim t={elapsed_s:.2} s (+{steps} steps, {particles} particles)"
+                );
+            }
+            ProgressEvent::ScenarioFinished {
+                scenario,
+                rows,
+                wall_ms,
+            } => {
+                eprintln!("[{scenario}] done: {rows} rows in {wall_ms:.1} ms");
+            }
+        }
+    }
+}
+
+/// `report run ...` — executes a scenario subset through the engine.
+fn run_scenarios(args: &[String]) -> Result<(), String> {
+    let mut ids: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut json = false;
+    let mut quiet = false;
+    let mut runner = Runner::new(ScenarioRegistry::all());
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--json" => json = true,
+            "--serial" => {
+                runner.set_parallel(false);
+            }
+            "--quiet" => quiet = true,
+            "--set" => {
+                let spec = iter
+                    .next()
+                    .ok_or_else(|| "--set needs a key=value argument".to_owned())?;
+                runner.set_override(spec).map_err(|e| e.to_string())?;
+            }
+            "--seed" => {
+                let seed = iter
+                    .next()
+                    .ok_or_else(|| "--seed needs an integer argument".to_owned())?;
+                runner.set_base_seed(seed.parse().map_err(|_| format!("invalid seed `{seed}`"))?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            id => ids.push(id.to_owned()),
+        }
+    }
+    if !quiet {
+        runner.set_progress(Arc::new(StderrProgress));
     }
 
-    let selected: Vec<Experiment> = if args.is_empty() {
-        Experiment::all().to_vec()
+    let outcomes = if all {
+        if !ids.is_empty() {
+            return Err("pass either explicit ids or --all, not both".to_owned());
+        }
+        runner.run_all().map_err(|e| e.to_string())?
+    } else if ids.is_empty() {
+        return Err("no scenarios selected (pass ids like `e3`, or --all)".to_owned());
     } else {
-        args.iter()
-            .filter_map(|a| {
-                let parsed = Experiment::from_id(a);
-                if parsed.is_none() {
-                    eprintln!("unknown experiment id `{a}` (expected E1..E9)");
-                }
-                parsed
-            })
-            .collect()
+        runner.run(&ids).map_err(|e| e.to_string())?
     };
 
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcomes_to_json(&outcomes))
+        );
+    } else {
+        print_markdown_report(&outcomes);
+    }
+    Ok(())
+}
+
+fn print_markdown_report(outcomes: &[RunOutcome]) {
     println!("# labchip experiment report");
     println!();
     println!(
@@ -55,9 +194,8 @@ fn main() {
          Microelectronic Biochips\" (Manaresi et al., DATE 2005)."
     );
     println!();
-    for experiment in selected {
-        let table = experiment.run_default();
-        println!("{table}");
+    for outcome in outcomes {
+        println!("{}", outcome.table);
     }
 }
 

@@ -7,6 +7,7 @@
 //! cost.
 
 use crate::experiments::ExperimentTable;
+use crate::scenario::{Scenario, ScenarioContext};
 use labchip_array::addressing::ProgrammingInterface;
 use labchip_array::pattern::{CagePattern, PatternKind};
 use labchip_array::pixel::PixelCell;
@@ -92,43 +93,77 @@ fn cage_field_probe(dims: GridDims, config: &Config) -> f64 {
     field.e_squared(probe).sqrt() * 1e-3
 }
 
-/// Runs the sweep.
-pub fn run(config: &Config) -> Results {
+/// The scale sweep as a first-class engine scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScaleScenario;
+
+impl Scenario for ScaleScenario {
+    type Config = Config;
+    type Output = Results;
+
+    fn id(&self) -> &'static str {
+        "E1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Array scale: electrodes, simultaneous DEP cages, memory and programming time"
+    }
+
+    fn run(&self, config: &Config, ctx: &mut ScenarioContext) -> Results {
+        run_with(config, ctx)
+    }
+}
+
+impl From<Results> for ExperimentTable {
+    fn from(results: Results) -> Self {
+        results.to_table()
+    }
+}
+
+fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     let iface = ProgrammingInterface::date05_reference();
-    let rows = config
-        .sides
-        .iter()
-        .map(|&side| {
-            let dims = GridDims::square(side);
-            let dense = CagePattern::new(
-                dims,
-                PatternKind::Lattice {
-                    period: config.dense_period,
-                    offset: GridCoord::new(1, 1),
-                },
-            )
-            .expect("lattice period >= 2 always fits");
-            let sparse = CagePattern::new(
-                dims,
-                PatternKind::Lattice {
-                    period: config.sparse_period,
-                    offset: GridCoord::new(1, 1),
-                },
-            )
-            .expect("lattice period >= 2 always fits");
-            ScaleRow {
-                side,
-                electrodes: dims.count(),
-                dense_cages: dense.cage_count(),
-                sparse_cages: sparse.cage_count(),
-                memory_bits: dims.count() * PixelCell::MEMORY_BITS as u64,
-                frame_program_ms: iface.full_frame_time(dims).as_millis(),
-                die_cost_euros: config.technology.die_cost(dims.count(), config.pitch).get(),
-                cage_field_kv_m: cage_field_probe(dims, config),
-            }
-        })
-        .collect();
+    let mut rows = Vec::with_capacity(config.sides.len());
+    for &side in &config.sides {
+        let dims = GridDims::square(side);
+        let dense = CagePattern::new(
+            dims,
+            PatternKind::Lattice {
+                period: config.dense_period,
+                offset: GridCoord::new(1, 1),
+            },
+        )
+        .expect("lattice period >= 2 always fits");
+        let sparse = CagePattern::new(
+            dims,
+            PatternKind::Lattice {
+                period: config.sparse_period,
+                offset: GridCoord::new(1, 1),
+            },
+        )
+        .expect("lattice period >= 2 always fits");
+        let row = ScaleRow {
+            side,
+            electrodes: dims.count(),
+            dense_cages: dense.cage_count(),
+            sparse_cages: sparse.cage_count(),
+            memory_bits: dims.count() * PixelCell::MEMORY_BITS as u64,
+            frame_program_ms: iface.full_frame_time(dims).as_millis(),
+            die_cost_euros: config.technology.die_cost(dims.count(), config.pitch).get(),
+            cage_field_kv_m: cage_field_probe(dims, config),
+        };
+        ctx.emit_row(format!(
+            "{side}x{side}: {} electrodes, {} dense cages",
+            row.electrodes, row.dense_cages
+        ));
+        rows.push(row);
+    }
     Results { rows }
+}
+
+/// Runs the sweep. Legacy free-function shim over [`ScaleScenario`] — kept
+/// for one release; prefer the scenario engine.
+pub fn run(config: &Config) -> Results {
+    run_with(config, &mut ScenarioContext::silent("E1"))
 }
 
 impl Results {

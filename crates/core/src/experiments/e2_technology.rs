@@ -10,6 +10,7 @@
 
 use crate::biochip::{Biochip, BiochipBuilder};
 use crate::experiments::ExperimentTable;
+use crate::scenario::{Scenario, ScenarioContext};
 use labchip_array::technology::TechnologyNode;
 use labchip_units::{GridCoord, GridDims};
 use serde::{Deserialize, Serialize};
@@ -93,15 +94,50 @@ fn analyze_node(node: &TechnologyNode, config: &Config) -> TechnologyRow {
     }
 }
 
-/// Runs the sweep.
-pub fn run(config: &Config) -> Results {
-    Results {
-        rows: config
-            .nodes
-            .iter()
-            .map(|n| analyze_node(n, config))
-            .collect(),
+/// The technology sweep as a first-class engine scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TechnologyScenario;
+
+impl Scenario for TechnologyScenario {
+    type Config = Config;
+    type Output = Results;
+
+    fn id(&self) -> &'static str {
+        "E2"
     }
+
+    fn describe(&self) -> &'static str {
+        "Technology sweep: DEP holding force vs supply voltage and node cost"
+    }
+
+    fn run(&self, config: &Config, ctx: &mut ScenarioContext) -> Results {
+        run_with(config, ctx)
+    }
+}
+
+impl From<Results> for ExperimentTable {
+    fn from(results: Results) -> Self {
+        results.to_table()
+    }
+}
+
+fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
+    let mut rows = Vec::with_capacity(config.nodes.len());
+    for node in &config.nodes {
+        let row = analyze_node(node, config);
+        ctx.emit_row(format!(
+            "{}: {:.1} V, {:.1} pN holding force",
+            row.node, row.drive_voltage, row.holding_force_pn
+        ));
+        rows.push(row);
+    }
+    Results { rows }
+}
+
+/// Runs the sweep. Legacy free-function shim over [`TechnologyScenario`] —
+/// kept for one release; prefer the scenario engine.
+pub fn run(config: &Config) -> Results {
+    run_with(config, &mut ScenarioContext::silent("E2"))
 }
 
 impl Results {

@@ -10,6 +10,7 @@
 
 use crate::biochip::Biochip;
 use crate::experiments::ExperimentTable;
+use crate::scenario::{Scenario, ScenarioContext};
 use crate::simulator::{ChipSimulator, SimulationConfig};
 use labchip_array::addressing::ProgrammingInterface;
 use labchip_sensing::scan::ScanTiming;
@@ -74,7 +75,7 @@ pub struct Results {
     pub rows: Vec<MotionRow>,
 }
 
-fn run_speed(config: &Config, speed_um_s: f64) -> MotionRow {
+fn run_speed(config: &Config, speed_um_s: f64, ctx: &ScenarioContext) -> MotionRow {
     let mut chip = Biochip::small_reference(config.array_side);
     let start = GridCoord::new(2, config.array_side / 2);
     chip.program_single_cage(start)
@@ -102,6 +103,8 @@ fn run_speed(config: &Config, speed_um_s: f64) -> MotionRow {
         },
     )
     .with_threads(config.threads);
+    // Long drags report liveness through the scenario progress sink.
+    sim.set_step_observer(ctx.step_observer());
     let idx = sim
         .add_reference_particle_at(start)
         .expect("start site is on the array");
@@ -142,15 +145,50 @@ fn run_speed(config: &Config, speed_um_s: f64) -> MotionRow {
     }
 }
 
-/// Runs the experiment.
-pub fn run(config: &Config) -> Results {
-    Results {
-        rows: config
-            .speeds_um_s
-            .iter()
-            .map(|&s| run_speed(config, s))
-            .collect(),
+/// The motion experiment as a first-class engine scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MotionScenario;
+
+impl Scenario for MotionScenario {
+    type Config = Config;
+    type Output = Results;
+
+    fn id(&self) -> &'static str {
+        "E3"
     }
+
+    fn describe(&self) -> &'static str {
+        "Motion timescales: cage stepping vs electronics time budget"
+    }
+
+    fn run(&self, config: &Config, ctx: &mut ScenarioContext) -> Results {
+        run_with(config, ctx)
+    }
+}
+
+impl From<Results> for ExperimentTable {
+    fn from(results: Results) -> Self {
+        results.to_table()
+    }
+}
+
+fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
+    let mut rows = Vec::with_capacity(config.speeds_um_s.len());
+    for &speed in &config.speeds_um_s {
+        let row = run_speed(config, speed, ctx);
+        ctx.emit_row(format!(
+            "{speed:.0} um/s commanded: achieved {:.1} um/s, tracked = {}",
+            row.achieved_um_s, row.tracked
+        ));
+        rows.push(row);
+    }
+    Results { rows }
+}
+
+/// Runs the experiment. Legacy free-function shim over [`MotionScenario`] —
+/// kept for one release; prefer the scenario engine.
+pub fn run(config: &Config) -> Results {
+    run_with(config, &mut ScenarioContext::silent("E3"))
 }
 
 impl Results {

@@ -8,6 +8,7 @@
 //! the quality is indeed free.
 
 use crate::experiments::ExperimentTable;
+use crate::scenario::{Scenario, ScenarioContext};
 use labchip_sensing::averaging::FrameAverager;
 use labchip_sensing::capacitive::CapacitiveSensor;
 use labchip_sensing::detect::Detector;
@@ -76,8 +77,40 @@ pub struct Results {
     pub rows: Vec<AveragingRow>,
 }
 
-/// Runs the sweep.
+/// The averaging sweep as a first-class engine scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SensingScenario;
+
+impl Scenario for SensingScenario {
+    type Config = Config;
+    type Output = Results;
+
+    fn id(&self) -> &'static str {
+        "E4"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Sensor frame averaging: SNR and detection error vs scan time"
+    }
+
+    fn run(&self, config: &Config, ctx: &mut ScenarioContext) -> Results {
+        run_with(config, ctx)
+    }
+}
+
+impl From<Results> for ExperimentTable {
+    fn from(results: Results) -> Self {
+        results.to_table()
+    }
+}
+
+/// Runs the sweep. Legacy free-function shim over [`SensingScenario`] —
+/// kept for one release; prefer the scenario engine.
 pub fn run(config: &Config) -> Results {
+    run_with(config, &mut ScenarioContext::silent("E4"))
+}
+
+fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let sensor = &config.sensor;
     let detector = Detector::new(
@@ -88,28 +121,30 @@ pub fn run(config: &Config) -> Results {
     )
     .expect("occupied and empty levels always differ");
 
-    let rows = config
-        .frame_counts
-        .iter()
-        .map(|&frames| {
-            let averager = FrameAverager::new(frames);
-            let effective_noise = averager.effective_noise(&sensor.noise);
-            let snr = detector.separation() / effective_noise;
-            let theoretical_error = detector.error_probability(effective_noise);
-            let simulated_error =
-                averager.detection_error_rate(&detector, &sensor.noise, config.trials, &mut rng);
-            let scan_time = config.scan.averaged_scan_time(config.dims, &averager);
-            AveragingRow {
-                frames,
-                effective_noise,
-                snr,
-                theoretical_error,
-                simulated_error,
-                scan_time_ms: scan_time.as_millis(),
-                fits_in_step: scan_time <= config.step_period,
-            }
-        })
-        .collect();
+    let mut rows = Vec::with_capacity(config.frame_counts.len());
+    for &frames in &config.frame_counts {
+        let averager = FrameAverager::new(frames);
+        let effective_noise = averager.effective_noise(&sensor.noise);
+        let snr = detector.separation() / effective_noise;
+        let theoretical_error = detector.error_probability(effective_noise);
+        let simulated_error =
+            averager.detection_error_rate(&detector, &sensor.noise, config.trials, &mut rng);
+        let scan_time = config.scan.averaged_scan_time(config.dims, &averager);
+        let row = AveragingRow {
+            frames,
+            effective_noise,
+            snr,
+            theoretical_error,
+            simulated_error,
+            scan_time_ms: scan_time.as_millis(),
+            fits_in_step: scan_time <= config.step_period,
+        };
+        ctx.emit_row(format!(
+            "{frames} frames: SNR {:.1}, scan {:.1} ms",
+            row.snr, row.scan_time_ms
+        ));
+        rows.push(row);
+    }
     Results { rows }
 }
 

@@ -8,6 +8,7 @@
 //! as parameter knowledge improves the gap narrows.
 
 use crate::experiments::ExperimentTable;
+use crate::scenario::{Scenario as EngineScenario, ScenarioContext};
 use labchip_designflow::flows::FlowParameters;
 use labchip_designflow::montecarlo::MonteCarloComparison;
 use labchip_fluidics::uncertainty::FluidicParameters;
@@ -80,35 +81,69 @@ pub struct Results {
     pub rows: Vec<FlowRow>,
 }
 
-/// Runs the comparison.
-pub fn run(config: &Config) -> Results {
-    let rows = config
-        .scenarios
-        .iter()
-        .map(|scenario| {
-            let mut comparison = MonteCarloComparison {
-                parameters: FlowParameters {
-                    initial_parameters: scenario.parameters,
-                    ..FlowParameters::date05_reference()
-                },
-                trials: config.trials,
-                seed: config.seed,
-            };
-            comparison.parameters.initial_parameters = scenario.parameters;
-            let outcome = comparison.run().expect("reference parameters are valid");
-            FlowRow {
-                scenario: scenario.label.clone(),
-                simulate_first_days: outcome.simulate_first.mean_duration.as_days(),
-                prototype_days: outcome.prototype_in_loop.mean_duration.as_days(),
-                simulate_first_keur: outcome.simulate_first.mean_cost.as_kilo_euros(),
-                prototype_keur: outcome.prototype_in_loop.mean_cost.as_kilo_euros(),
-                simulate_first_iterations: outcome.simulate_first.mean_iterations,
-                prototype_iterations: outcome.prototype_in_loop.mean_iterations,
-                speedup: outcome.speedup(),
-            }
-        })
-        .collect();
+/// The design-flow comparison as a first-class engine scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DesignFlowScenario;
+
+impl EngineScenario for DesignFlowScenario {
+    type Config = Config;
+    type Output = Results;
+
+    fn id(&self) -> &'static str {
+        "E5"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Design-flow comparison (Fig. 1 vs Fig. 2): time and cost to a working fluidic prototype"
+    }
+
+    fn run(&self, config: &Config, ctx: &mut ScenarioContext) -> Results {
+        run_with(config, ctx)
+    }
+}
+
+impl From<Results> for ExperimentTable {
+    fn from(results: Results) -> Self {
+        results.to_table()
+    }
+}
+
+fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
+    let mut rows = Vec::with_capacity(config.scenarios.len());
+    for scenario in &config.scenarios {
+        let comparison = MonteCarloComparison {
+            parameters: FlowParameters {
+                initial_parameters: scenario.parameters,
+                ..FlowParameters::date05_reference()
+            },
+            trials: config.trials,
+            seed: config.seed,
+        };
+        let outcome = comparison.run().expect("reference parameters are valid");
+        let row = FlowRow {
+            scenario: scenario.label.clone(),
+            simulate_first_days: outcome.simulate_first.mean_duration.as_days(),
+            prototype_days: outcome.prototype_in_loop.mean_duration.as_days(),
+            simulate_first_keur: outcome.simulate_first.mean_cost.as_kilo_euros(),
+            prototype_keur: outcome.prototype_in_loop.mean_cost.as_kilo_euros(),
+            simulate_first_iterations: outcome.simulate_first.mean_iterations,
+            prototype_iterations: outcome.prototype_in_loop.mean_iterations,
+            speedup: outcome.speedup(),
+        };
+        ctx.emit_row(format!(
+            "{}: prototype {:.2}x faster",
+            row.scenario, row.speedup
+        ));
+        rows.push(row);
+    }
     Results { rows }
+}
+
+/// Runs the comparison. Legacy free-function shim over
+/// [`DesignFlowScenario`] — kept for one release; prefer the scenario
+/// engine.
+pub fn run(config: &Config) -> Results {
+    run_with(config, &mut ScenarioContext::silent("E5"))
 }
 
 impl Results {

@@ -8,6 +8,7 @@
 //! several batch sizes.
 
 use crate::experiments::ExperimentTable;
+use crate::scenario::{Scenario, ScenarioContext};
 use labchip_fluidics::fabrication::{FabricationProcess, ProcessKind};
 use serde::{Deserialize, Serialize};
 
@@ -61,32 +62,67 @@ pub struct Results {
     pub rows: Vec<FabricationRow>,
 }
 
-/// Runs the comparison.
-pub fn run(config: &Config) -> Results {
-    let rows = config
-        .processes
-        .iter()
-        .map(|&kind| {
-            let process = FabricationProcess::preset(kind);
-            let per_device = config
-                .batch_sizes
-                .iter()
-                .map(|&batch| process.quote(batch, false).cost_per_device().get())
-                .collect();
-            FabricationRow {
-                process: process.name.clone(),
-                turnaround_days: process.turnaround.as_days(),
-                mask_cost_eur: process.mask_cost.get(),
-                setup_cost_keur: process.setup_cost.as_kilo_euros(),
-                min_feature_um: process.min_feature().as_micrometers(),
-                per_device_eur: per_device,
-            }
-        })
-        .collect();
+/// The fabrication comparison as a first-class engine scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FabricationScenario;
+
+impl Scenario for FabricationScenario {
+    type Config = Config;
+    type Output = Results;
+
+    fn id(&self) -> &'static str {
+        "E6"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Fabrication processes: turnaround, mask cost, set-up and per-device cost"
+    }
+
+    fn run(&self, config: &Config, ctx: &mut ScenarioContext) -> Results {
+        run_with(config, ctx)
+    }
+}
+
+impl From<Results> for ExperimentTable {
+    fn from(results: Results) -> Self {
+        results.to_table()
+    }
+}
+
+fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
+    let mut rows = Vec::with_capacity(config.processes.len());
+    for &kind in &config.processes {
+        let process = FabricationProcess::preset(kind);
+        let per_device = config
+            .batch_sizes
+            .iter()
+            .map(|&batch| process.quote(batch, false).cost_per_device().get())
+            .collect();
+        let row = FabricationRow {
+            process: process.name.clone(),
+            turnaround_days: process.turnaround.as_days(),
+            mask_cost_eur: process.mask_cost.get(),
+            setup_cost_keur: process.setup_cost.as_kilo_euros(),
+            min_feature_um: process.min_feature().as_micrometers(),
+            per_device_eur: per_device,
+        };
+        ctx.emit_row(format!(
+            "{}: {:.1} days, {:.0} EUR masks",
+            row.process, row.turnaround_days, row.mask_cost_eur
+        ));
+        rows.push(row);
+    }
     Results {
         batch_sizes: config.batch_sizes.clone(),
         rows,
     }
+}
+
+/// Runs the comparison. Legacy free-function shim over
+/// [`FabricationScenario`] — kept for one release; prefer the scenario
+/// engine.
+pub fn run(config: &Config) -> Results {
+    run_with(config, &mut ScenarioContext::silent("E6"))
 }
 
 impl Results {

@@ -9,6 +9,7 @@
 //! wall-clock time at 50 µm/s), and total cage moves.
 
 use crate::experiments::ExperimentTable;
+use crate::scenario::{Scenario, ScenarioContext};
 use labchip_manipulation::cage::ParticleId;
 use labchip_manipulation::routing::{Router, RoutingProblem, RoutingRequest, RoutingStrategy};
 use labchip_units::{GridCoord, GridDims, Seconds};
@@ -160,18 +161,55 @@ fn run_one(config: &Config, particles: usize, strategy: RoutingStrategy) -> Rout
     }
 }
 
-/// Runs the sweep.
-pub fn run(config: &Config) -> Results {
-    let mut rows = Vec::new();
+/// The routing sweep as a first-class engine scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoutingScenario;
+
+impl Scenario for RoutingScenario {
+    type Config = Config;
+    type Output = Results;
+
+    fn id(&self) -> &'static str {
+        "E7"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Parallel cage routing: space-time A* vs greedy baseline"
+    }
+
+    fn run(&self, config: &Config, ctx: &mut ScenarioContext) -> Results {
+        run_with(config, ctx)
+    }
+}
+
+impl From<Results> for ExperimentTable {
+    fn from(results: Results) -> Self {
+        results.to_table()
+    }
+}
+
+fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
+    let mut rows = Vec::with_capacity(2 * config.particle_counts.len());
     for &particles in &config.particle_counts {
-        rows.push(run_one(
-            config,
-            particles,
-            RoutingStrategy::PrioritizedAStar,
-        ));
-        rows.push(run_one(config, particles, RoutingStrategy::Greedy));
+        for strategy in [RoutingStrategy::PrioritizedAStar, RoutingStrategy::Greedy] {
+            let row = run_one(config, particles, strategy);
+            ctx.emit_row(format!(
+                "{} particles via {}: {:.0}% routed in {} steps",
+                row.particles,
+                row.strategy,
+                row.success_rate * 100.0,
+                row.makespan_steps
+            ));
+            rows.push(row);
+        }
     }
     Results { rows }
+}
+
+/// Runs the sweep. Legacy free-function shim over [`RoutingScenario`] —
+/// kept for one release; prefer the scenario engine.
+pub fn run(config: &Config) -> Results {
+    run_with(config, &mut ScenarioContext::silent("E7"))
 }
 
 impl Results {

@@ -6,6 +6,7 @@
 //! centering" arrow in the paper's electronic design flow.
 
 use crate::experiments::ExperimentTable;
+use crate::scenario::{Scenario, ScenarioContext};
 use labchip_designflow::centering::DesignCentering;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -54,8 +55,41 @@ pub struct Results {
     pub rows: Vec<CenteringRow>,
 }
 
-/// Runs the experiment.
+/// The centering experiment as a first-class engine scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CenteringScenario;
+
+impl Scenario for CenteringScenario {
+    type Config = Config;
+    type Output = Results;
+
+    fn id(&self) -> &'static str {
+        "E8"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Design centering: yield recovery from initial mis-centrings"
+    }
+
+    fn run(&self, config: &Config, ctx: &mut ScenarioContext) -> Results {
+        run_with(config, ctx)
+    }
+}
+
+impl From<Results> for ExperimentTable {
+    fn from(results: Results) -> Self {
+        results.to_table()
+    }
+}
+
+/// Runs the experiment. Legacy free-function shim over
+/// [`CenteringScenario`] — kept for one release; prefer the scenario
+/// engine.
 pub fn run(config: &Config) -> Results {
+    run_with(config, &mut ScenarioContext::silent("E8"))
+}
+
+fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     let centering = DesignCentering::reference(config.spec_halfwidth_sigmas)
         .expect("positive half-width is valid");
     let rows = config
@@ -64,13 +98,19 @@ pub fn run(config: &Config) -> Results {
         .map(|&offset| {
             let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ offset.to_bits());
             let outcome = centering.run(offset, &mut rng);
-            CenteringRow {
+            let row = CenteringRow {
                 initial_offset: offset,
                 initial_yield: outcome.initial_yield(),
                 final_yield: outcome.final_yield,
                 iterations: outcome.iterations.len(),
                 final_nominal: outcome.final_nominal,
-            }
+            };
+            ctx.emit_row(format!(
+                "offset {offset:.1} sigma: yield {:.1}% -> {:.1}%",
+                row.initial_yield * 100.0,
+                row.final_yield * 100.0
+            ));
+            row
         })
         .collect();
     Results { rows }

@@ -8,6 +8,7 @@
 //! the experiment (and that the packaged device has everything it needs).
 
 use crate::experiments::ExperimentTable;
+use crate::scenario::{Scenario, ScenarioContext};
 use labchip_array::pattern::{CagePattern, PatternKind};
 use labchip_fluidics::fabrication::{FabricationProcess, ProcessKind};
 use labchip_fluidics::packaging::PackagingStack;
@@ -67,8 +68,40 @@ pub struct Results {
     pub device_cost_eur: f64,
 }
 
-/// Runs the assay.
+/// The end-to-end assay as a first-class engine scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AssayScenario;
+
+impl Scenario for AssayScenario {
+    type Config = Config;
+    type Output = Results;
+
+    fn id(&self) -> &'static str {
+        "E9"
+    }
+
+    fn describe(&self) -> &'static str {
+        "End-to-end single-cell isolation assay on the packaged device"
+    }
+
+    fn run(&self, config: &Config, ctx: &mut ScenarioContext) -> Results {
+        run_with(config, ctx)
+    }
+}
+
+impl From<Results> for ExperimentTable {
+    fn from(results: Results) -> Self {
+        results.to_table()
+    }
+}
+
+/// Runs the assay. Legacy free-function shim over [`AssayScenario`] — kept
+/// for one release; prefer the scenario engine.
 pub fn run(config: &Config) -> Results {
+    run_with(config, &mut ScenarioContext::silent("E9"))
+}
+
+fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     let dims = GridDims::square(config.array_side);
 
     // Load sites: a lattice in the central region, enough for the requested
@@ -118,7 +151,7 @@ pub fn run(config: &Config) -> Results {
     let stack = PackagingStack::date05_reference();
     let process = FabricationProcess::preset(ProcessKind::DryFilmResist);
 
-    Results {
+    let results = Results {
         cells_loaded: config.cells,
         cells_recovered: report.recovered.len(),
         cage_steps: report.cage_steps,
@@ -127,7 +160,17 @@ pub fn run(config: &Config) -> Results {
         motion: report.time.motion,
         device_turnaround: stack.assembly_turnaround(&process),
         device_cost_eur: stack.assembly_cost(&process).get(),
-    }
+    };
+    ctx.emit_row(format!(
+        "recovered {}/{} cells in {} cage steps",
+        results.cells_recovered, results.cells_loaded, results.cage_steps
+    ));
+    ctx.emit_row(format!(
+        "assay total {:.1} min ({:.1}% fluidics)",
+        results.total_time().as_minutes(),
+        100.0 * results.fluidics.get() / results.total_time().get().max(f64::MIN_POSITIVE)
+    ));
+    results
 }
 
 impl Results {

@@ -81,6 +81,77 @@ impl ExperimentTable {
     pub fn row_count(&self) -> usize {
         self.rows.len()
     }
+
+    /// Renders the table as a `serde_json` value — the payload embedded by
+    /// `report run --json`. The same table feeds
+    /// [`ExperimentTable::to_markdown`], so the JSON output and the
+    /// `EXPERIMENTS.md` tables always come from one source.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self)
+    }
+
+    /// Renders the table as the markdown block quoted in `EXPERIMENTS.md`
+    /// (identical to the `Display` rendering).
+    pub fn to_markdown(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parses a table back from its [`ExperimentTable::to_markdown`]
+    /// rendering (cell padding is not preserved — cells are trimmed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not a rendered table.
+    pub fn from_markdown(text: &str) -> Result<ExperimentTable, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty input")?;
+        let header = header
+            .strip_prefix("## ")
+            .ok_or("missing `## id — title` header line")?;
+        let (id, title) = header
+            .split_once(" — ")
+            .ok_or("header line has no ` — ` separator")?;
+
+        let parse_row = |line: &str| -> Result<Vec<String>, String> {
+            let trimmed = line.trim();
+            let inner = trimmed
+                .strip_prefix('|')
+                .and_then(|l| l.strip_suffix('|'))
+                .ok_or_else(|| format!("table line not `|`-delimited: `{trimmed}`"))?;
+            Ok(inner
+                .split('|')
+                .map(|cell| cell.trim().to_owned())
+                .collect())
+        };
+
+        let columns = parse_row(lines.next().ok_or("missing column header row")?)?;
+        let rule = lines.next().ok_or("missing header rule row")?;
+        if !rule
+            .trim()
+            .chars()
+            .all(|c| c == '|' || c == '-' || c == ' ')
+        {
+            return Err(format!("malformed header rule `{rule}`"));
+        }
+        let mut rows = Vec::new();
+        for line in lines {
+            let row = parse_row(line)?;
+            if row.len() != columns.len() {
+                return Err(format!(
+                    "row has {} cells but the table has {} columns",
+                    row.len(),
+                    columns.len()
+                ));
+            }
+            rows.push(row);
+        }
+        Ok(ExperimentTable {
+            id: id.trim().to_owned(),
+            title: title.trim().to_owned(),
+            columns,
+            rows,
+        })
+    }
 }
 
 impl fmt::Display for ExperimentTable {
@@ -170,26 +241,18 @@ impl Experiment {
 
     /// Runs the experiment with its default (paper-scenario) configuration
     /// and returns the rendered table.
+    ///
+    /// This enum predates the scenario engine and now delegates to it; new
+    /// code should use
+    /// [`ScenarioRegistry`](crate::scenario::ScenarioRegistry) and
+    /// [`Runner`](crate::scenario::Runner) directly.
     pub fn run_default(&self) -> ExperimentTable {
-        match self {
-            Experiment::E1Scale => e1_scale::run(&e1_scale::Config::default()).to_table(),
-            Experiment::E2Technology => {
-                e2_technology::run(&e2_technology::Config::default()).to_table()
-            }
-            Experiment::E3Motion => e3_motion::run(&e3_motion::Config::default()).to_table(),
-            Experiment::E4Sensing => e4_sensing::run(&e4_sensing::Config::default()).to_table(),
-            Experiment::E5DesignFlow => {
-                e5_designflow::run(&e5_designflow::Config::default()).to_table()
-            }
-            Experiment::E6Fabrication => {
-                e6_fabrication::run(&e6_fabrication::Config::default()).to_table()
-            }
-            Experiment::E7Routing => e7_routing::run(&e7_routing::Config::default()).to_table(),
-            Experiment::E8Centering => {
-                e8_centering::run(&e8_centering::Config::default()).to_table()
-            }
-            Experiment::E9Assay => e9_assay::run(&e9_assay::Config::default()).to_table(),
-        }
+        crate::scenario::ScenarioRegistry::all()
+            .get(self.id())
+            .expect("the registry covers E1..E9")
+            .run_default()
+            .expect("default configs always decode")
+            .table
     }
 
     /// Parses an identifier like `"e3"` or `"E3"`.
@@ -228,6 +291,44 @@ mod tests {
             vec!["a".into(), "b".into()],
             vec![vec!["1".into()]],
         );
+    }
+
+    #[test]
+    fn markdown_round_trips() {
+        let table = ExperimentTable::new(
+            "E6",
+            "Fabrication processes: turnaround, mask cost",
+            vec!["process".into(), "EUR/device @10".into()],
+            vec![
+                vec!["dry film resist".into(), "12".into()],
+                vec!["CMOS".into(), "84000".into()],
+            ],
+        );
+        let parsed = ExperimentTable::from_markdown(&table.to_markdown()).unwrap();
+        assert_eq!(parsed, table);
+        // And the re-rendering is byte-identical.
+        assert_eq!(parsed.to_markdown(), table.to_markdown());
+    }
+
+    #[test]
+    fn malformed_markdown_is_rejected() {
+        assert!(ExperimentTable::from_markdown("").is_err());
+        assert!(ExperimentTable::from_markdown("no header").is_err());
+        assert!(ExperimentTable::from_markdown("## E1 no separator\n| a |\n|---|").is_err());
+        assert!(
+            ExperimentTable::from_markdown("## E1 — t\n| a | b |\n|---|---|\n| 1 |").is_err(),
+            "arity mismatch must be rejected"
+        );
+    }
+
+    #[test]
+    fn json_and_markdown_come_from_the_same_table() {
+        let table = ExperimentTable::new("E0", "demo", vec!["a".into()], vec![vec!["1".into()]]);
+        let json = table.to_json();
+        let object = json.as_object().unwrap();
+        assert_eq!(object.get("id").unwrap().as_str(), Some("E0"));
+        let back: ExperimentTable = serde_json::from_value(&json).unwrap();
+        assert_eq!(back.to_markdown(), table.to_markdown());
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! [`labchip_manipulation`] (cage routing and assay protocols) and
 //! [`labchip_designflow`] (Fig. 1 vs Fig. 2 flow comparison). This crate
 //! composes them into a [`Biochip`](biochip::Biochip), a time-stepped
-//! [`ChipSimulator`](simulator::ChipSimulator) and the [`experiments`]
-//! module (E1–E9).
+//! [`ChipSimulator`](simulator::ChipSimulator), the [`experiments`]
+//! module (E1–E9), and the [`scenario`] engine — the unified
+//! trait/registry/runner layer that makes every experiment enumerable,
+//! parameterizable (serde-round-trippable configs, `key=value` overrides)
+//! and runnable in bulk with streaming progress.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@
 pub mod biochip;
 pub mod error;
 pub mod experiments;
+pub mod scenario;
 pub mod simulator;
 
 /// Convenient re-exports of the most commonly used types across the whole
@@ -48,7 +52,13 @@ pub mod prelude {
     pub use crate::biochip::{Biochip, BiochipBuilder, CageSummary};
     pub use crate::error::ChipError;
     pub use crate::experiments::{Experiment, ExperimentTable};
-    pub use crate::simulator::{ChipSimulator, SimulatedParticle, SimulationConfig};
+    pub use crate::scenario::{
+        Progress, ProgressEvent, RunOutcome, Runner, Scenario, ScenarioContext, ScenarioError,
+        ScenarioRegistry,
+    };
+    pub use crate::simulator::{
+        ChipSimulator, SimulatedParticle, SimulationConfig, StepInfo, StepObserver,
+    };
     pub use labchip_array::prelude::*;
     pub use labchip_designflow::prelude::*;
     pub use labchip_fluidics::prelude::*;

@@ -1,0 +1,137 @@
+//! Streaming telemetry for scenario runs.
+//!
+//! A [`Progress`] sink receives structured [`ProgressEvent`]s while
+//! scenarios execute: scenario start/finish from the
+//! [`Runner`](crate::scenario::Runner), one row-level event per result row
+//! from [`ScenarioContext::emit_row`](crate::scenario::ScenarioContext), and
+//! simulator step batches bridged from the
+//! [`ChipSimulator`](crate::simulator::ChipSimulator) step-observer hook.
+//! Sinks must be `Send + Sync`: parallel runs deliver events from worker
+//! threads, interleaved across scenarios.
+
+use crate::simulator::{StepInfo, StepObserver};
+use std::sync::{Arc, Mutex};
+
+/// A telemetry event streamed during a scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// A scenario began executing.
+    ScenarioStarted {
+        /// Scenario identifier.
+        scenario: String,
+    },
+    /// One result row was produced.
+    Row {
+        /// Scenario identifier.
+        scenario: String,
+        /// Zero-based row index within the run.
+        index: usize,
+        /// Short human-readable digest of the row.
+        summary: String,
+    },
+    /// The chip simulator advanced a batch of integration steps.
+    SimSteps {
+        /// Scenario identifier.
+        scenario: String,
+        /// Steps advanced in this batch.
+        steps: usize,
+        /// Simulated time elapsed so far, seconds.
+        elapsed_s: f64,
+        /// Particles being stepped.
+        particles: usize,
+    },
+    /// A scenario finished.
+    ScenarioFinished {
+        /// Scenario identifier.
+        scenario: String,
+        /// Rows streamed during the run.
+        rows: usize,
+        /// Wall-clock duration, milliseconds.
+        wall_ms: f64,
+    },
+}
+
+impl ProgressEvent {
+    /// The identifier of the scenario the event belongs to.
+    pub fn scenario(&self) -> &str {
+        match self {
+            ProgressEvent::ScenarioStarted { scenario }
+            | ProgressEvent::Row { scenario, .. }
+            | ProgressEvent::SimSteps { scenario, .. }
+            | ProgressEvent::ScenarioFinished { scenario, .. } => scenario,
+        }
+    }
+}
+
+/// A sink for [`ProgressEvent`]s.
+pub trait Progress: Send + Sync {
+    /// Receives one event. Called from whichever thread runs the scenario.
+    fn on_event(&self, event: &ProgressEvent);
+}
+
+/// A sink that discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProgress;
+
+impl Progress for NullProgress {
+    fn on_event(&self, _event: &ProgressEvent) {}
+}
+
+/// A sink that records every event — for tests and for callers that want to
+/// post-process the stream.
+#[derive(Debug, Default)]
+pub struct CollectingProgress {
+    events: Mutex<Vec<ProgressEvent>>,
+}
+
+impl CollectingProgress {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the events received so far.
+    pub fn events(&self) -> Vec<ProgressEvent> {
+        self.events.lock().expect("collector lock").clone()
+    }
+
+    /// Events belonging to one scenario.
+    pub fn events_for(&self, scenario: &str) -> Vec<ProgressEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.scenario() == scenario)
+            .collect()
+    }
+}
+
+impl Progress for CollectingProgress {
+    fn on_event(&self, event: &ProgressEvent) {
+        self.events
+            .lock()
+            .expect("collector lock")
+            .push(event.clone());
+    }
+}
+
+/// Bridges the simulator's step-observer hook into a [`Progress`] sink.
+pub(crate) struct ProgressStepObserver {
+    scenario: String,
+    progress: Arc<dyn Progress>,
+}
+
+impl ProgressStepObserver {
+    pub(crate) fn new(scenario: String, progress: Arc<dyn Progress>) -> Self {
+        Self { scenario, progress }
+    }
+}
+
+impl StepObserver for ProgressStepObserver {
+    fn on_steps(&self, info: &StepInfo) {
+        self.progress.on_event(&ProgressEvent::SimSteps {
+            scenario: self.scenario.clone(),
+            steps: info.steps,
+            elapsed_s: info.elapsed.get(),
+            particles: info.particles,
+        });
+    }
+}

@@ -29,6 +29,29 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One batch of integration steps, as reported to a [`StepObserver`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepInfo {
+    /// Steps advanced by this [`ChipSimulator::run`] call.
+    pub steps: usize,
+    /// Total simulated time elapsed after the batch.
+    pub elapsed: Seconds,
+    /// Number of particles being stepped.
+    pub particles: usize,
+}
+
+/// Observer of simulator progress, called once per [`ChipSimulator::run`]
+/// batch (after the particle loop completes, so it never sits on the hot
+/// per-step path). The scenario engine bridges this into its streaming
+/// [`Progress`](crate::scenario::Progress) sink via
+/// [`ScenarioContext::step_observer`](crate::scenario::ScenarioContext::step_observer).
+pub trait StepObserver: Send + Sync {
+    /// Receives one completed step batch.
+    fn on_steps(&self, info: &StepInfo);
+}
 
 /// Configuration of the time-stepped simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -61,7 +84,6 @@ pub struct SimulatedParticle {
 }
 
 /// The time-stepped chip simulator.
-#[derive(Debug)]
 pub struct ChipSimulator {
     chip: Biochip,
     config: SimulationConfig,
@@ -78,6 +100,20 @@ pub struct ChipSimulator {
     /// must not construct a pool per invocation. `None` for 0 (ambient pool)
     /// and 1 (plain serial loop, no parallel machinery at all).
     pool: Option<rayon::ThreadPool>,
+    /// Optional progress hook, notified once per `run` batch.
+    observer: Option<Arc<dyn StepObserver>>,
+}
+
+impl fmt::Debug for ChipSimulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChipSimulator")
+            .field("config", &self.config)
+            .field("particles", &self.particles.len())
+            .field("elapsed", &self.elapsed)
+            .field("threads", &self.threads)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ChipSimulator {
@@ -94,11 +130,21 @@ impl ChipSimulator {
             elapsed: Seconds::ZERO,
             threads: 0,
             pool: None,
+            observer: None,
         }
     }
 
     /// Pins the number of worker threads used by [`ChipSimulator::run`]
-    /// (0 = all cores). Results are identical for every setting.
+    /// (0 = all cores).
+    ///
+    /// # Determinism
+    ///
+    /// The thread count is a pure performance knob: every particle owns an
+    /// independent random stream seeded from `(config.seed, index)`, so
+    /// trajectories are **bit-identical for any setting** — 1 worker, all
+    /// cores, or anything in between (the integration suite asserts
+    /// 1-thread/4-thread equality). This is the single implementation;
+    /// [`ChipSimulator::with_threads`] delegates here.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads;
         self.pool = (threads > 1).then(|| {
@@ -109,10 +155,26 @@ impl ChipSimulator {
         });
     }
 
-    /// Builder-style variant of [`ChipSimulator::set_threads`].
+    /// Builder-style variant of (and a pure delegate to)
+    /// [`ChipSimulator::set_threads`] — the thread count only affects
+    /// wall-clock speed, never the trajectories (see the determinism note
+    /// there).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.set_threads(threads);
         self
+    }
+
+    /// Installs a [`StepObserver`] notified once per [`ChipSimulator::run`]
+    /// batch. Pass the bridge from
+    /// [`ScenarioContext::step_observer`](crate::scenario::ScenarioContext::step_observer)
+    /// to stream simulator liveness into a scenario progress sink.
+    pub fn set_step_observer(&mut self, observer: Arc<dyn StepObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Removes the step observer.
+    pub fn clear_step_observer(&mut self) {
+        self.observer = None;
     }
 
     /// The deterministic random stream of particle `index`: the index is
@@ -276,6 +338,13 @@ impl ChipSimulator {
             }
         }
         self.elapsed += Seconds::new(self.config.dt.get() * steps as f64);
+        if let Some(observer) = &self.observer {
+            observer.on_steps(&StepInfo {
+                steps,
+                elapsed: self.elapsed,
+                particles: self.particles.len(),
+            });
+        }
     }
 
     /// Advances the simulation by a wall-clock duration.
@@ -378,6 +447,33 @@ mod tests {
             distance_old * 1e6
         );
         assert!(distance_new < 20e-6);
+    }
+
+    #[test]
+    fn step_observer_sees_each_batch() {
+        struct Recorder(std::sync::Mutex<Vec<StepInfo>>);
+        impl StepObserver for Recorder {
+            fn on_steps(&self, info: &StepInfo) {
+                self.0.lock().unwrap().push(*info);
+            }
+        }
+        let (mut sim, site) = simulator_with_cage();
+        sim.add_reference_particle_at(site).unwrap();
+        let recorder = Arc::new(Recorder(std::sync::Mutex::new(Vec::new())));
+        sim.set_step_observer(recorder.clone());
+        sim.run(10);
+        sim.run(5);
+        {
+            let seen = recorder.0.lock().unwrap();
+            assert_eq!(seen.len(), 2);
+            assert_eq!(seen[0].steps, 10);
+            assert_eq!(seen[1].steps, 5);
+            assert_eq!(seen[1].particles, 1);
+            assert!(seen[1].elapsed.get() > seen[0].elapsed.get());
+        }
+        sim.clear_step_observer();
+        sim.run(1);
+        assert_eq!(recorder.0.lock().unwrap().len(), 2);
     }
 
     #[test]

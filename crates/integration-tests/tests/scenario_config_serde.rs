@@ -1,0 +1,196 @@
+//! Property tests: every scenario config round-trips through JSON text —
+//! `Config -> serde_json::to_string -> serde_json::from_str -> Config` is
+//! the identity. This is the contract the scenario engine's type-erased
+//! boundary (and the `report run --set/--json` surface) rests on.
+
+use labchip::experiments::{
+    e1_scale, e2_technology, e3_motion, e4_sensing, e5_designflow, e6_fabrication, e7_routing,
+    e8_centering, e9_assay,
+};
+use labchip_array::technology::TechnologyNode;
+use labchip_fluidics::fabrication::ProcessKind;
+use labchip_units::{GridDims, Meters, Seconds};
+use proptest::prelude::*;
+
+fn round_trip<T>(config: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let text = serde_json::to_string(config);
+    serde_json::from_str(&text).expect("config JSON parses back")
+}
+
+proptest! {
+    #[test]
+    fn e1_scale_config_round_trips(
+        sides in proptest::collection::vec(2u32..600, 1..5),
+        dense_period in 2u32..8,
+        sparse_period in 2u32..8,
+        pitch_um in 1.0f64..100.0,
+        node_index in 0usize..5,
+    ) {
+        let config = e1_scale::Config {
+            sides,
+            dense_period,
+            sparse_period,
+            technology: TechnologyNode::ladder()[node_index].clone(),
+            pitch: Meters::from_micrometers(pitch_um),
+        };
+        prop_assert_eq!(round_trip(&config), config);
+    }
+
+    #[test]
+    fn e2_technology_config_round_trips(
+        keep in 1usize..6,
+        use_io_drivers in proptest::bool::ANY,
+        array_side in 5u32..33,
+    ) {
+        let mut nodes = TechnologyNode::ladder();
+        nodes.truncate(keep);
+        let config = e2_technology::Config { nodes, use_io_drivers, array_side };
+        prop_assert_eq!(round_trip(&config), config);
+    }
+
+    #[test]
+    fn e3_motion_config_round_trips(
+        speeds_um_s in proptest::collection::vec(1.0f64..10_000.0, 1..6),
+        travel_steps in 1u32..10,
+        array_side in 8u32..64,
+        dt_ms in 0.1f64..5.0,
+        seed in 0u64..u64::MAX,
+        threads in 0usize..8,
+    ) {
+        let config = e3_motion::Config {
+            speeds_um_s,
+            travel_steps,
+            array_side,
+            dt: Seconds::from_millis(dt_ms),
+            seed,
+            threads,
+        };
+        prop_assert_eq!(round_trip(&config), config);
+    }
+
+    #[test]
+    fn e4_sensing_config_round_trips(
+        frame_counts in proptest::collection::vec(1u32..256, 1..8),
+        side in 8u32..400,
+        trials in 1u32..10_000,
+        step_period_s in 0.01f64..2.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let config = e4_sensing::Config {
+            frame_counts,
+            dims: GridDims::square(side),
+            trials,
+            step_period: Seconds::new(step_period_s),
+            seed,
+            ..e4_sensing::Config::default()
+        };
+        prop_assert_eq!(round_trip(&config), config);
+    }
+
+    #[test]
+    fn e5_designflow_config_round_trips(
+        keep in 1usize..3,
+        trials in 1u32..2_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut config = e5_designflow::Config { trials, seed, ..Default::default() };
+        config.scenarios.truncate(keep);
+        prop_assert_eq!(round_trip(&config), config);
+    }
+
+    #[test]
+    fn e6_fabrication_config_round_trips(
+        process_mask in 1usize..16,
+        batch_sizes in proptest::collection::vec(1u32..1_000, 1..5),
+    ) {
+        let all = [
+            ProcessKind::DryFilmResist,
+            ProcessKind::PdmsSoftLithography,
+            ProcessKind::GlassEtching,
+            ProcessKind::CmosPrototype,
+        ];
+        let processes: Vec<ProcessKind> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| process_mask & (1 << i) != 0)
+            .map(|(_, &p)| p)
+            .collect();
+        let config = e6_fabrication::Config { processes, batch_sizes };
+        prop_assert_eq!(round_trip(&config), config);
+    }
+
+    #[test]
+    fn e7_routing_config_round_trips(
+        array_side in 8u32..128,
+        particle_counts in proptest::collection::vec(1usize..200, 1..5),
+        min_separation in 1u32..4,
+        step_period_s in 0.05f64..2.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let config = e7_routing::Config {
+            array_side,
+            particle_counts,
+            min_separation,
+            step_period: Seconds::new(step_period_s),
+            seed,
+        };
+        prop_assert_eq!(round_trip(&config), config);
+    }
+
+    #[test]
+    fn e8_centering_config_round_trips(
+        spec_halfwidth_sigmas in 0.5f64..6.0,
+        initial_offsets in proptest::collection::vec(-4.0f64..4.0, 1..6),
+        seed in 0u64..u64::MAX,
+    ) {
+        let config = e8_centering::Config { spec_halfwidth_sigmas, initial_offsets, seed };
+        prop_assert_eq!(round_trip(&config), config);
+    }
+
+    #[test]
+    fn e9_assay_config_round_trips(
+        array_side in 8u32..64,
+        cells in 1u32..32,
+        detection_frames in 1u32..128,
+        load_time_s in 1.0f64..600.0,
+        recover_time_s in 1.0f64..600.0,
+    ) {
+        let config = e9_assay::Config {
+            array_side,
+            cells,
+            detection_frames,
+            load_time: Seconds::new(load_time_s),
+            recover_time: Seconds::new(recover_time_s),
+        };
+        prop_assert_eq!(round_trip(&config), config);
+    }
+}
+
+/// The default configs themselves (the paper scenarios) round-trip too —
+/// including through the pretty printer the CLI uses.
+#[test]
+fn default_configs_round_trip_pretty() {
+    macro_rules! check {
+        ($($module:ident),*) => {$(
+            let config = $module::Config::default();
+            let pretty = serde_json::to_string_pretty(&config);
+            let back: $module::Config =
+                serde_json::from_str(&pretty).expect("pretty JSON parses");
+            assert_eq!(back, config, stringify!($module));
+        )*};
+    }
+    check!(
+        e1_scale,
+        e2_technology,
+        e3_motion,
+        e4_sensing,
+        e5_designflow,
+        e6_fabrication,
+        e7_routing,
+        e8_centering,
+        e9_assay
+    );
+}

@@ -1,0 +1,161 @@
+//! Integration: the scenario engine end to end — registry coverage, bulk
+//! runs through the `Runner`, typed `key=value` overrides, the single JSON
+//! document behind `report run --all --json`, and streamed telemetry
+//! (including simulator step batches bridged from the step-observer hook).
+
+use labchip::scenario::{
+    outcomes_to_json, CollectingProgress, ProgressEvent, Runner, ScenarioRegistry,
+};
+use serde_json::Value;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Overrides that shrink the heavy sweeps without changing any scenario's
+/// shape — applied across the full registry so `--all` style runs stay fast
+/// in debug builds.
+fn quick_runner() -> Runner {
+    let mut runner = Runner::new(ScenarioRegistry::all());
+    for spec in [
+        "sides=[64,320]",            // E1: two array sizes still cover the paper point
+        "speeds_um_s=[25.0,5000.0]", // E3: one tracked and one untracked speed
+        "travel_steps=3",            // E3
+        "trials=150",                // E4 + E5 Monte-Carlo trial counts
+        "frame_counts=[1,16]",       // E4
+        "particle_counts=[8]",       // E7
+        "array_side=16",             // E2 + E3 + E7 + E9 working region
+    ] {
+        runner.set_override(spec).expect("spec is well-formed");
+    }
+    runner
+}
+
+#[test]
+fn registry_has_nine_unique_ids_and_default_runs_produce_rows() {
+    let registry = ScenarioRegistry::all();
+    assert_eq!(registry.len(), 9);
+    let unique: HashSet<&str> = registry.iter().map(|s| s.id()).collect();
+    assert_eq!(unique.len(), 9, "scenario ids must be unique");
+
+    // Cheap scenarios run their untouched paper defaults here; the full
+    // default sweep of every scenario is what `report run --all` does in CI.
+    for id in ["E2", "E4", "E5", "E6", "E8"] {
+        let run = registry
+            .get(id)
+            .expect("id registered")
+            .run_default()
+            .expect("default config decodes");
+        assert!(run.table.row_count() >= 1, "{id} produced no rows");
+        assert!(!run.output.is_null());
+    }
+}
+
+#[test]
+fn run_all_covers_e1_through_e9_and_emits_one_valid_json_document() {
+    let outcomes = quick_runner().run_all().expect("bulk run succeeds");
+    let ids: Vec<&str> = outcomes.iter().map(|o| o.id.as_str()).collect();
+    assert_eq!(ids, ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"]);
+    for outcome in &outcomes {
+        assert!(
+            outcome.table.row_count() >= 1,
+            "{} produced no rows",
+            outcome.id
+        );
+    }
+
+    // The document `report run --all --json` prints: one parseable JSON
+    // text covering all nine scenarios, tables included.
+    let document = outcomes_to_json(&outcomes);
+    let text = serde_json::to_string_pretty(&document);
+    let parsed: Value = serde_json::from_str(&text).expect("document is valid JSON");
+    let scenarios = parsed
+        .as_object()
+        .and_then(|o| o.get("scenarios"))
+        .and_then(Value::as_array)
+        .expect("document has a scenarios array");
+    assert_eq!(scenarios.len(), 9);
+    for (entry, outcome) in scenarios.iter().zip(&outcomes) {
+        let entry = entry.as_object().unwrap();
+        assert_eq!(entry.get("id").unwrap().as_str(), Some(outcome.id.as_str()));
+        assert!(entry.get("config").unwrap().as_object().is_some());
+        assert!(entry.get("table").unwrap().as_object().is_some());
+    }
+}
+
+#[test]
+fn typed_overrides_round_trip_onto_configs() {
+    // `report run e3 --set threads=2`: the override lands in the typed
+    // config (visible in the outcome's serialised config) and the run
+    // still produces the narrative result.
+    let mut runner = Runner::new(ScenarioRegistry::all());
+    for spec in [
+        "threads=2",
+        "speeds_um_s=[50.0]",
+        "travel_steps=3",
+        "array_side=16",
+    ] {
+        runner.set_override(spec).unwrap();
+    }
+    let outcomes = runner.run(&["e3"]).unwrap();
+    let config = outcomes[0].config.as_object().unwrap();
+    assert_eq!(config.get("threads").unwrap().as_u64(), Some(2));
+    assert_eq!(outcomes[0].table.row_count(), 1);
+
+    // A wrong-typed value is rejected with the scenario named.
+    let mut bad = Runner::new(ScenarioRegistry::all());
+    bad.set_override("threads=not-a-number").unwrap();
+    let err = bad.run(&["e3"]).unwrap_err().to_string();
+    assert!(err.contains("E3"), "error should name the scenario: {err}");
+}
+
+#[test]
+fn progress_stream_includes_rows_and_simulator_step_batches() {
+    let progress = Arc::new(CollectingProgress::new());
+    let mut runner = Runner::new(ScenarioRegistry::all());
+    for spec in [
+        "speeds_um_s=[25.0,5000.0]",
+        "travel_steps=3",
+        "array_side=16",
+    ] {
+        runner.set_override(spec).unwrap();
+    }
+    runner.set_parallel(false);
+    runner.set_progress(progress.clone());
+    runner.run(&["e3"]).unwrap();
+
+    let events = progress.events_for("E3");
+    assert!(matches!(
+        events.first(),
+        Some(ProgressEvent::ScenarioStarted { .. })
+    ));
+    assert!(matches!(
+        events.last(),
+        Some(ProgressEvent::ScenarioFinished { .. })
+    ));
+    let rows = events
+        .iter()
+        .filter(|e| matches!(e, ProgressEvent::Row { .. }))
+        .count();
+    assert_eq!(rows, 2, "one row per configured speed");
+    // The ChipSimulator step-observer hook feeds the same stream.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ProgressEvent::SimSteps { .. })),
+        "expected simulator step telemetry in the progress stream"
+    );
+}
+
+#[test]
+fn base_seed_changes_stochastic_outputs_deterministically() {
+    let seeded = |seed: u64| {
+        let mut runner = Runner::new(ScenarioRegistry::all());
+        runner.set_base_seed(seed);
+        runner.run(&["e8"]).unwrap().remove(0)
+    };
+    let a = seeded(1);
+    let b = seeded(1);
+    let c = seeded(2);
+    assert_eq!(a.output, b.output, "same base seed, same output");
+    assert_eq!(a.seed, b.seed);
+    assert_ne!(a.seed, c.seed, "different base seed derives a new seed");
+}

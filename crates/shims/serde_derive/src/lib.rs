@@ -1,67 +1,484 @@
 //! Workspace-local stand-in for `serde_derive`.
 //!
-//! The shim `serde` crate defines `Serialize` and `Deserialize` as empty
-//! marker traits, so the derives only need to find the item name and emit an
-//! empty impl. The parser below handles the shapes that occur in this
-//! workspace: non-generic `struct`s and `enum`s with any number of outer
-//! attributes and doc comments. Generic items are rejected with a clear
-//! error rather than silently mis-expanded.
+//! The shim `serde` crate serialises through a single JSON-like `Value` data
+//! model, so the derives generate genuine field-wise implementations:
+//! `Serialize::to_value` renders structs as objects (newtype structs
+//! transparently, tuple structs as arrays) and enums with serde's external
+//! tagging (unit variants as strings, data variants as single-key objects);
+//! `Deserialize::from_value` rebuilds the type, erroring on missing fields,
+//! wrong shapes and unknown variants while ignoring unknown object keys —
+//! the behaviour of a plain real-serde derive.
+//!
+//! The hand-rolled token parser (no `syn` available offline) handles the
+//! shapes that occur in this workspace: non-generic structs and enums with
+//! any number of outer attributes, doc comments, `pub` visibility and
+//! field-level attributes. Generic items are rejected with a clear error
+//! rather than silently mis-expanded.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
 
-fn item_name(input: TokenStream) -> Result<String, String> {
-    let mut tokens = input.into_iter().peekable();
-    while let Some(tt) = tokens.next() {
-        match tt {
-            // Outer attribute: `#` followed by a bracketed group.
-            TokenTree::Punct(p) if p.as_char() == '#' => {
-                let _ = tokens.next();
+/// One named field: its name, and whether its type is `Option<..>` (an
+/// absent key deserialises to `None`, matching real serde derives).
+struct NamedField {
+    name: String,
+    optional: bool,
+}
+
+/// The field layout of a struct or of one enum variant.
+enum FieldsShape {
+    /// `struct Foo;` or a bare enum variant.
+    Unit,
+    /// Named fields: `{ a: T, b: U }`.
+    Named(Vec<NamedField>),
+    /// Tuple fields: `(T, U)` — only the arity matters for codegen.
+    Tuple(usize),
+}
+
+struct VariantShape {
+    name: String,
+    fields: FieldsShape,
+}
+
+enum ItemShape {
+    Struct {
+        name: String,
+        fields: FieldsShape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<VariantShape>,
+    },
+}
+
+/// Consumes one `#[...]` (or `#![...]`) attribute if the iterator is at one.
+fn skip_attributes(tokens: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            return;
+        }
+        tokens.next();
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '!' {
+                tokens.next();
             }
-            TokenTree::Ident(id) => {
-                let word = id.to_string();
-                if word == "struct" || word == "enum" || word == "union" {
-                    let name = match tokens.next() {
-                        Some(TokenTree::Ident(name)) => name.to_string(),
-                        other => return Err(format!("expected item name, found {other:?}")),
-                    };
-                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
-                        if p.as_char() == '<' {
-                            return Err(format!(
-                                "the workspace serde shim cannot derive for generic type `{name}`"
-                            ));
-                        }
-                    }
-                    return Ok(name);
+        }
+        // The bracketed attribute body.
+        tokens.next();
+    }
+}
+
+/// Consumes a `pub` / `pub(crate)` / `pub(in ...)` visibility if present.
+fn skip_visibility(tokens: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
                 }
-                // `pub`, `pub(crate)` etc. — keep scanning.
             }
+        }
+    }
+}
+
+/// Consumes type tokens until a top-level `,` (which is also consumed) or
+/// the end of the stream. Angle brackets are depth-tracked; the `>` of a
+/// `->` is not a closing bracket.
+fn skip_type(tokens: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    while let Some(tt) = tokens.peek() {
+        if let TokenTree::Punct(p) = tt {
+            let c = p.as_char();
+            if c == ',' && angle_depth == 0 {
+                tokens.next();
+                return;
+            }
+            if c == '<' {
+                angle_depth += 1;
+            } else if c == '>' && !prev_dash {
+                angle_depth -= 1;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+        tokens.next();
+    }
+}
+
+/// Parses `{ a: T, b: U, .. }` field names, noting `Option<..>` types.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<NamedField>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(name)) => {
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field name, found {other:?}")),
+                }
+                let optional = matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Ident(head)) if head.to_string() == "Option"
+                );
+                fields.push(NamedField {
+                    name: name.to_string(),
+                    optional,
+                });
+                skip_type(&mut tokens);
+            }
+            None => return Ok(fields),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type(&mut tokens);
+    }
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Result<Vec<VariantShape>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            None => return Ok(variants),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                FieldsShape::Named(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                FieldsShape::Tuple(count_tuple_fields(inner))
+            }
+            _ => FieldsShape::Unit,
+        };
+        variants.push(VariantShape { name, fields });
+        // Consume anything up to the variant separator (covers explicit
+        // discriminants, which do not occur here but cost nothing to allow).
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<ItemShape, String> {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word != "struct" && word != "enum" {
+                    // `pub`, `pub(crate)` etc. — keep scanning.
+                    continue;
+                }
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected item name, found {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "the workspace serde shim cannot derive for generic type `{name}`"
+                        ));
+                    }
+                }
+                if word == "enum" {
+                    let body = match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            g.stream()
+                        }
+                        other => return Err(format!("expected enum body, found {other:?}")),
+                    };
+                    return Ok(ItemShape::Enum {
+                        name,
+                        variants: parse_variants(body)?,
+                    });
+                }
+                let fields = match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner = g.stream();
+                        FieldsShape::Named(parse_named_fields(inner)?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        FieldsShape::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => FieldsShape::Unit,
+                };
+                return Ok(ItemShape::Struct { name, fields });
+            }
+            None => return Err("no struct/enum found in derive input".into()),
             _ => {}
         }
     }
-    Err("no struct/enum found in derive input".into())
 }
 
-fn emit(input: TokenStream, make_impl: impl Fn(&str) -> String) -> TokenStream {
-    match item_name(input) {
-        Ok(name) => make_impl(&name).parse().expect("generated impl parses"),
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// `to_value` body for one set of fields, given an accessor prefix:
+/// `&self.` for structs, plain bindings for enum variants.
+fn serialize_named(fields: &[NamedField], accessor: impl Fn(&str) -> String) -> String {
+    let mut code = String::from("{ let mut map = ::serde::Map::new();");
+    for field in fields {
+        let field = &field.name;
+        code.push_str(&format!(
+            "map.insert(\"{field}\", ::serde::Serialize::to_value({}));",
+            accessor(field)
+        ));
+    }
+    code.push_str("::serde::Value::Object(map) }");
+    code
+}
+
+/// `from_value` field extraction for named fields out of a map binding. A
+/// missing key is a hard error for plain fields and `None` for `Option`
+/// fields — the behaviour of a plain real-serde derive.
+fn deserialize_named(type_name: &str, fields: &[NamedField], map: &str) -> String {
+    fields
+        .iter()
+        .map(|field| {
+            let name = &field.name;
+            if field.optional {
+                format!(
+                    "{name}: ::serde::Deserialize::from_value({map}.get(\"{name}\")\
+                     .unwrap_or(&::serde::Value::Null))?,"
+                )
+            } else {
+                format!(
+                    "{name}: ::serde::Deserialize::from_value({map}.get(\"{name}\")\
+                     .ok_or_else(|| ::serde::Error::custom(\
+                     \"{type_name}: missing field `{name}`\"))?)?,"
+                )
+            }
+        })
+        .collect()
+}
+
+fn generate_serialize(item: &ItemShape) -> String {
+    let (name, body) = match item {
+        ItemShape::Struct { name, fields } => {
+            let body = match fields {
+                FieldsShape::Unit => "::serde::Value::Null".to_string(),
+                FieldsShape::Named(fields) => serialize_named(fields, |f| format!("&self.{f}")),
+                FieldsShape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                FieldsShape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            (name, body)
+        }
+        ItemShape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.fields {
+                    FieldsShape::Unit => {
+                        arms.push_str(&format!(
+                            "Self::{v} => ::serde::Value::String(String::from(\"{v}\")),"
+                        ));
+                    }
+                    FieldsShape::Named(fields) => {
+                        let bindings = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let inner = serialize_named(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "Self::{v} {{ {bindings} }} => {{ \
+                             let mut tagged = ::serde::Map::new(); \
+                             tagged.insert(\"{v}\", {inner}); \
+                             ::serde::Value::Object(tagged) }},"
+                        ));
+                    }
+                    FieldsShape::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "Self::{v}({}) => {{ \
+                             let mut tagged = ::serde::Map::new(); \
+                             tagged.insert(\"{v}\", {inner}); \
+                             ::serde::Value::Object(tagged) }},",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived] \
+         impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn generate_deserialize(item: &ItemShape) -> String {
+    let (name, body) = match item {
+        ItemShape::Struct { name, fields } => {
+            let body = match fields {
+                FieldsShape::Unit => format!(
+                    "if value.is_null() {{ ::core::result::Result::Ok(Self) }} else {{ \
+                     ::core::result::Result::Err(::serde::Error::custom(\
+                     \"{name}: expected null for unit struct\")) }}"
+                ),
+                FieldsShape::Named(fields) => {
+                    let extract = deserialize_named(name, fields, "map");
+                    format!(
+                        "let map = value.as_object().ok_or_else(|| ::serde::Error::custom(\
+                         \"{name}: expected object\"))?; \
+                         ::core::result::Result::Ok(Self {{ {extract} }})"
+                    )
+                }
+                FieldsShape::Tuple(1) => {
+                    "::core::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))"
+                        .to_string()
+                }
+                FieldsShape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let arr = value.as_array().ok_or_else(|| ::serde::Error::custom(\
+                         \"{name}: expected array\"))?; \
+                         if arr.len() != {n} {{ return ::core::result::Result::Err(\
+                         ::serde::Error::custom(\"{name}: expected {n} elements\")); }} \
+                         ::core::result::Result::Ok(Self({}))",
+                        items.join(", ")
+                    )
+                }
+            };
+            (name, body)
+        }
+        ItemShape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.fields {
+                    FieldsShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{v}\" => ::core::result::Result::Ok(Self::{v}),"
+                        ));
+                    }
+                    FieldsShape::Named(fields) => {
+                        let extract = deserialize_named(name, fields, "fields");
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{ \
+                             let fields = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}::{v}: expected object\"))?; \
+                             ::core::result::Result::Ok(Self::{v} {{ {extract} }}) }},"
+                        ));
+                    }
+                    FieldsShape::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => ::core::result::Result::Ok(Self::{v}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        ));
+                    }
+                    FieldsShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{ \
+                             let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}::{v}: expected array\"))?; \
+                             if arr.len() != {n} {{ return ::core::result::Result::Err(\
+                             ::serde::Error::custom(\"{name}::{v}: expected {n} elements\")); }} \
+                             ::core::result::Result::Ok(Self::{v}({})) }},",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match value {{ \
+                 ::serde::Value::String(tag) => match tag.as_str() {{ \
+                 {unit_arms} \
+                 other => ::core::result::Result::Err(::serde::Error::custom(format!(\
+                 \"{name}: unknown variant `{{other}}`\"))), }}, \
+                 ::serde::Value::Object(map) if map.len() == 1 => {{ \
+                 let (tag, inner) = map.iter().next().expect(\"map has one entry\"); \
+                 match tag.as_str() {{ \
+                 {data_arms} \
+                 other => ::core::result::Result::Err(::serde::Error::custom(format!(\
+                 \"{name}: unknown variant `{{other}}`\"))), }} }}, \
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"{name}: expected variant string or single-key object\")), }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived] \
+         impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+         fn from_value(value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
+
+fn emit(input: TokenStream, generate: impl Fn(&ItemShape) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item).parse().expect("generated impl parses"),
         Err(msg) => format!("compile_error!({msg:?});")
             .parse()
             .expect("error parses"),
     }
 }
 
-/// Derives the shim `serde::Serialize` marker impl.
+/// Derives a field-wise `serde::Serialize` impl rendering into the shim's
+/// `Value` data model.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    emit(input, |name| {
-        format!("impl ::serde::Serialize for {name} {{}}")
-    })
+    emit(input, generate_serialize)
 }
 
-/// Derives the shim `serde::Deserialize` marker impl.
+/// Derives a field-wise `serde::Deserialize` impl rebuilding from the shim's
+/// `Value` data model.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    emit(input, |name| {
-        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
-    })
+    emit(input, generate_deserialize)
 }

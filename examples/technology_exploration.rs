@@ -6,18 +6,29 @@
 
 use labchip::experiments::e2_technology;
 use labchip::prelude::*;
+use labchip::scenario::Scenario;
 
 fn main() {
-    // The E2 experiment: sweep the node ladder at core supply voltages.
-    let core_only = e2_technology::run(&e2_technology::Config::default());
+    // The E2 experiment through the scenario engine: sweep the node ladder
+    // at core supply voltages.
+    let scenario = e2_technology::TechnologyScenario;
+    let core_only = scenario.run(
+        &e2_technology::Config::default(),
+        &mut ScenarioContext::silent(scenario.id()),
+    );
     println!("{}", core_only.to_table());
 
     // The same sweep with thick-oxide I/O drivers enabled: part of the force
-    // comes back, at the price of bigger per-pixel drivers.
-    let with_io = e2_technology::run(&e2_technology::Config {
-        use_io_drivers: true,
-        ..e2_technology::Config::default()
-    });
+    // comes back, at the price of bigger per-pixel drivers. A one-field
+    // change like this is what `report run e2 --set use_io_drivers=true`
+    // does from the command line.
+    let with_io = scenario.run(
+        &e2_technology::Config {
+            use_io_drivers: true,
+            ..e2_technology::Config::default()
+        },
+        &mut ScenarioContext::silent(scenario.id()),
+    );
     println!(
         "{}",
         ExperimentTable::new(
