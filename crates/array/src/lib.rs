@@ -41,7 +41,7 @@ pub mod prelude {
     pub use crate::pixel::PixelCell;
     pub use crate::power::PowerModel;
     pub use crate::technology::TechnologyNode;
-    pub use crate::timing::TimingBudget;
+    pub use crate::timing::{TimingBudget, WindowBudget};
 }
 
 pub use error::ArrayError;

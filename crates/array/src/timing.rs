@@ -83,6 +83,79 @@ impl TimingBudget {
     }
 }
 
+/// Programming-clock budget of a window of cage steps, as planned by the
+/// sharded router: per step, only the rows containing changed electrodes are
+/// rewritten (see [`ProgrammingInterface::plan_update`]); the budget
+/// aggregates those partial updates over the window and compares them with
+/// the mechanical step period.
+///
+/// This is the "shard clock budget" of the full-array pipeline: with the
+/// array partitioned into shards, each cage step touches the union of rows
+/// the shards moved, and the electronics must fit every rewrite inside one
+/// cage step — the window is infeasible otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WindowBudget {
+    /// Cage steps accumulated.
+    pub steps: usize,
+    /// Total rows rewritten across the window.
+    pub rows_written: u64,
+    /// Total electrodes whose phase changed.
+    pub electrodes_changed: u64,
+    /// Total programming time across the window.
+    pub programming_time: Seconds,
+    /// The busiest single step's programming time.
+    pub worst_step_time: Seconds,
+}
+
+impl WindowBudget {
+    /// Folds one cage step's update plan into the budget.
+    pub fn record(&mut self, plan: &crate::addressing::UpdatePlan) {
+        self.steps += 1;
+        self.rows_written += u64::from(plan.rows_written);
+        self.electrodes_changed += plan.electrodes_changed as u64;
+        self.programming_time += plan.duration;
+        if plan.duration > self.worst_step_time {
+            self.worst_step_time = plan.duration;
+        }
+    }
+
+    /// Merges another budget (e.g. per-shard budgets into an array budget
+    /// when the shards share the programming interface sequentially).
+    pub fn merge(&mut self, other: &WindowBudget) {
+        self.steps += other.steps;
+        self.rows_written += other.rows_written;
+        self.electrodes_changed += other.electrodes_changed;
+        self.programming_time += other.programming_time;
+        if other.worst_step_time > self.worst_step_time {
+            self.worst_step_time = other.worst_step_time;
+        }
+    }
+
+    /// Mean programming time per cage step.
+    pub fn mean_step_time(&self) -> Seconds {
+        if self.steps == 0 {
+            Seconds::ZERO
+        } else {
+            self.programming_time * (1.0 / self.steps as f64)
+        }
+    }
+
+    /// Whether every step's rewrite fits inside the mechanical step period.
+    pub fn fits_within(&self, step_period: Seconds) -> bool {
+        self.worst_step_time <= step_period
+    }
+
+    /// Fraction of the mechanical step period the busiest rewrite occupies
+    /// (the paper's slack argument, per window: values ≪ 1 are the norm).
+    pub fn utilization(&self, step_period: Seconds) -> f64 {
+        if step_period.get() <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.worst_step_time.get() / step_period.get()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +199,35 @@ mod tests {
         // The electronics alone could sustain millimetres per second; the
         // 10-100 µm/s of the paper is set by the physics, not the chip.
         assert!(vmax.as_micrometers_per_second() > 1_000.0);
+    }
+
+    #[test]
+    fn window_budget_accumulates_partial_updates() {
+        use labchip_units::GridCoord;
+        let iface = ProgrammingInterface::date05_reference();
+        let dims = GridDims::new(320, 320);
+        let mut budget = WindowBudget::default();
+        for step in 0..8u32 {
+            let changed = vec![GridCoord::new(10 + step, 5), GridCoord::new(10 + step, 200)];
+            budget.record(&iface.plan_update(dims, &changed));
+        }
+        assert_eq!(budget.steps, 8);
+        assert_eq!(budget.rows_written, 16);
+        assert_eq!(budget.electrodes_changed, 16);
+        assert!(budget.worst_step_time <= budget.programming_time);
+        assert!(
+            (budget.mean_step_time().get() - budget.programming_time.get() / 8.0).abs() < 1e-15
+        );
+        // Two rows per step is far below one 0.4 s cage step.
+        let step_period = Seconds::new(0.4);
+        assert!(budget.fits_within(step_period));
+        assert!(budget.utilization(step_period) < 1e-3);
+
+        let mut merged = WindowBudget::default();
+        merged.merge(&budget);
+        merged.merge(&budget);
+        assert_eq!(merged.steps, 16);
+        assert_eq!(merged.worst_step_time, budget.worst_step_time);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Criterion benches: one group per paper experiment (E1–E9).
+//! Criterion benches: one group per scenario (E1–E11).
 //!
 //! Each bench runs the corresponding experiment with a reduced configuration
 //! so that `cargo bench` completes in minutes; the `report` binary runs the
@@ -6,10 +6,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use labchip::experiments::{
-    e1_scale, e2_technology, e3_motion, e4_sensing, e5_designflow, e6_fabrication, e7_routing,
-    e8_centering, e9_assay,
+    e10_fullarray, e1_scale, e2_technology, e3_motion, e4_sensing, e5_designflow, e6_fabrication,
+    e7_routing, e8_centering, e9_assay,
 };
+use labchip::workload::sort_problem;
 use labchip_array::technology::TechnologyNode;
+use labchip_manipulation::sharding::IncrementalRouter;
+use labchip_units::GridDims;
 use labchip_units::Seconds;
 use std::hint::black_box;
 use std::time::Duration;
@@ -152,6 +155,40 @@ fn bench_e9_assay(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_e10_fullarray(c: &mut Criterion) {
+    let mut group = configure(c, "e10_full_array_sort");
+    // The planners head-to-head at bench scale (the default E10 sweep is
+    // minutes; this keeps `cargo bench` snappy while tracking the trend).
+    let config = e10_fullarray::Config {
+        array_side: 96,
+        particles: 150,
+        density_steps: vec![1.0],
+        astar_cap: 0,
+        threads: 0,
+        ..e10_fullarray::Config::default()
+    };
+    group.bench_function("greedy_vs_incremental_150", |b| {
+        b.iter(|| black_box(e10_fullarray::run(&config)));
+    });
+    group.finish();
+}
+
+fn bench_incremental_planner(c: &mut Criterion) {
+    let mut group = configure(c, "incremental_sharded_planner");
+    for particles in [250usize, 1000] {
+        let problem = sort_problem(GridDims::square(256), particles, 2, 2005);
+        let router = IncrementalRouter::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(particles),
+            &problem,
+            |b, problem| {
+                b.iter(|| black_box(router.solve(problem).expect("well-formed")));
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     experiments,
     bench_e1_scale,
@@ -162,6 +199,8 @@ criterion_group!(
     bench_e6_fabrication,
     bench_e7_routing,
     bench_e8_centering,
-    bench_e9_assay
+    bench_e9_assay,
+    bench_e10_fullarray,
+    bench_incremental_planner
 );
 criterion_main!(experiments);

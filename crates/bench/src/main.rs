@@ -7,7 +7,7 @@
 //! report list                          # enumerate the registered scenarios
 //! report run --all                     # every experiment, markdown tables
 //! report run e2 e5                     # a subset
-//! report run --all --json              # one JSON document covering E1..E9
+//! report run --all --json              # one JSON document covering E1..E11
 //! report run e3 --set threads=2        # key=value overrides onto the typed config
 //! report run --all --seed 7 --serial   # derived per-scenario seeds, serial order
 //! report bench-fields [OUT.json]       # field-kernel benchmark trajectory
@@ -61,7 +61,7 @@ fn main() {
                 if registry.get(id).is_some() {
                     legacy.push(id.clone());
                 } else {
-                    eprintln!("unknown experiment id `{id}` (expected E1..E9)");
+                    eprintln!("unknown experiment id `{id}` (expected E1..E11)");
                 }
             }
             if args.is_empty() {

@@ -2,7 +2,7 @@
 //! low cost both for the masks (few euros) and overall set-up for fabrication
 //! (tens of thousands euros)".
 //!
-//! Compares the dry-film-resist process of the paper's reference [5] against
+//! Compares the dry-film-resist process of the paper's reference \[5\] against
 //! PDMS soft lithography, wet-etched glass and (for contrast) a CMOS
 //! prototype run: turnaround, mask cost, set-up cost and per-device cost at
 //! several batch sizes.

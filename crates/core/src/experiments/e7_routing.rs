@@ -148,6 +148,7 @@ fn run_one(config: &Config, particles: usize, strategy: RoutingStrategy) -> Rout
         strategy: match strategy {
             RoutingStrategy::PrioritizedAStar => "space-time A*".into(),
             RoutingStrategy::Greedy => "greedy".into(),
+            RoutingStrategy::Incremental => "incremental".into(),
         },
         success_rate: outcome.success_rate(requested),
         makespan_steps: outcome.makespan,

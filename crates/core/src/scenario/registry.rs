@@ -109,8 +109,9 @@ impl ScenarioRegistry {
         Self::default()
     }
 
-    /// Every experiment of the DATE'05 reproduction, E1 through E9, in
-    /// paper order.
+    /// Every registered scenario: the paper experiments E1 through E9 in
+    /// paper order, followed by the full-array pipeline scenarios E10
+    /// (concurrent sort) and E11 (sustained throughput).
     pub fn all() -> Self {
         use crate::experiments::*;
         let mut registry = Self::empty();
@@ -123,6 +124,8 @@ impl ScenarioRegistry {
         registry.register(e7_routing::RoutingScenario);
         registry.register(e8_centering::CenteringScenario);
         registry.register(e9_assay::AssayScenario);
+        registry.register(e10_fullarray::FullArrayScenario);
+        registry.register(e11_throughput::ThroughputScenario);
         registry
     }
 
@@ -176,11 +179,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_enumerates_all_nine_in_order() {
+    fn registry_enumerates_all_scenarios_in_order() {
         let registry = ScenarioRegistry::all();
         assert_eq!(
             registry.ids(),
-            ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"]
+            ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"]
         );
     }
 

@@ -1,0 +1,500 @@
+//! The batch workload driver: complete paper-style assays at full-array
+//! scale.
+//!
+//! The scenario experiments up to E9 exercise one subsystem each; this
+//! module drives the *assembled* pipeline the way the paper's §4 envisions
+//! the chip being used — thousands of cells manipulated concurrently,
+//! cycle after cycle:
+//!
+//! 1. **Load** a batch of particles onto a full-array cage lattice
+//!    (fluidics),
+//! 2. **Route** every particle to its slot in a target pattern with the
+//!    incremental sharded planner
+//!    ([`IncrementalRouter`]), in parallel across shards,
+//! 3. **Check** each planned move against the [`ForceEnvelope`] — the
+//!    maximum cage speed the DEP holding force can sustain against Stokes
+//!    drag, derived once from the *cached* field engine
+//!    ([`FieldCache`](labchip_physics::field::cache::FieldCache)) — and
+//!    against the array's programming-clock budget
+//!    ([`WindowBudget`]),
+//! 4. **Sense**: scan the sensor array and verify the detected occupancy,
+//! 5. **Flush** the batch out (fluidics) and start over.
+//!
+//! Every cycle reports a [`CycleReport`] with a per-phase
+//! [`TimeBreakdown`]; the running [`SustainedThroughput`] splits *chip time*
+//! from *planner wall-clock* — the moves/sec figure of experiment E11.
+
+use crate::biochip::Biochip;
+use labchip_array::addressing::ProgrammingInterface;
+use labchip_array::timing::WindowBudget;
+use labchip_manipulation::cage::CageGrid;
+use labchip_manipulation::cage::ParticleId;
+use labchip_manipulation::metrics::SustainedThroughput;
+use labchip_manipulation::protocol::TimeBreakdown;
+use labchip_manipulation::routing::{RoutingOutcome, RoutingProblem, RoutingRequest};
+use labchip_manipulation::sharding::{IncrementalRouter, ShardConfig};
+use labchip_physics::dep::TrapAnalysis;
+use labchip_physics::drag::StokesDrag;
+use labchip_sensing::averaging::FrameAverager;
+use labchip_sensing::scan::ScanTiming;
+use labchip_units::{GridCoord, GridDims, MetersPerSecond, Newtons, Seconds};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The force-feasibility envelope of cage motion: how fast a cage may be
+/// stepped before the trapped cell falls out of the moving potential well.
+///
+/// Derived once per workload from the cached field engine: the DEP holding
+/// force of a reference cage (sampled on a
+/// [`FieldCache`](labchip_physics::field::cache::FieldCache) lattice)
+/// balanced against Stokes drag gives the maximum speed at which the cell
+/// still follows; every planned move is then a cheap comparison against the
+/// envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForceEnvelope {
+    /// Maximum lateral restoring force of the reference cage.
+    pub holding_force: Newtons,
+    /// Maximum cage speed the holding force can drag a cell at.
+    pub max_speed: MetersPerSecond,
+    /// Electrode pitch of the array the envelope was derived for — one
+    /// cage move covers exactly this distance.
+    pub pitch: labchip_units::Meters,
+}
+
+impl ForceEnvelope {
+    /// Builds the envelope for a chip's reference particle, medium and
+    /// drive, probing a single cage at the centre of a small replica array
+    /// through the cached field engine.
+    pub fn from_reference_cage(side: u32) -> Self {
+        let mut chip = Biochip::small_reference(side.max(8));
+        let site = GridCoord::new(chip.array().dims().cols / 2, chip.array().dims().rows / 2);
+        chip.program_single_cage(site)
+            .expect("centre electrode exists");
+
+        let cache = chip.field_cache();
+        let dep = chip.dep_model();
+        let pitch = chip.array().pitch().get();
+        let center = chip.array().to_electrode_plane().electrode_center(site);
+        let seed = labchip_units::Vec3::new(center.x, center.y, 1.2 * pitch);
+        let chamber = chip.array().chamber_height().get();
+        let analysis = TrapAnalysis::analyze(
+            &cache,
+            &dep,
+            seed,
+            pitch,
+            (0.4 * pitch, chamber - 0.4 * pitch),
+        );
+
+        let drag = StokesDrag::new(chip.reference_particle(), chip.medium());
+        Self {
+            holding_force: analysis.holding_force,
+            max_speed: drag.terminal_velocity(analysis.holding_force),
+            pitch: chip.array().pitch(),
+        }
+    }
+
+    /// The paper's reference envelope (20 µm pitch, 3.3 V, viable cell).
+    pub fn date05_reference() -> Self {
+        Self::from_reference_cage(16)
+    }
+
+    /// Whether a cage step at `speed` keeps the cell trapped.
+    pub fn permits(&self, speed: MetersPerSecond) -> bool {
+        speed <= self.max_speed
+    }
+}
+
+/// Configuration of the batch workload driver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Array side (electrodes).
+    pub array_side: u32,
+    /// Sharding/windowing of the incremental router.
+    pub shards: ShardConfig,
+    /// Minimum cage separation.
+    pub min_separation: u32,
+    /// Cage-step period.
+    pub step_period: Seconds,
+    /// Sensor frames averaged per detection scan.
+    pub detection_frames: u32,
+    /// Fluidic handling time to load one batch.
+    pub load_time: Seconds,
+    /// Fluidic handling time to flush one batch.
+    pub flush_time: Seconds,
+    /// Base RNG seed for batch placement.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            array_side: 128,
+            shards: ShardConfig::default(),
+            min_separation: 2,
+            step_period: Seconds::new(0.4),
+            detection_frames: 16,
+            load_time: Seconds::from_minutes(1.0),
+            flush_time: Seconds::from_minutes(0.5),
+            seed: 2005,
+        }
+    }
+}
+
+/// The record of one load→route→sense→flush cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleReport {
+    /// Zero-based cycle index.
+    pub cycle: usize,
+    /// Particles loaded.
+    pub requested: usize,
+    /// Particles routed to their target slots.
+    pub routed: usize,
+    /// Steps until the last routed particle arrived.
+    pub makespan_steps: usize,
+    /// Individual cage moves across the batch.
+    pub total_moves: usize,
+    /// Planner wall-clock.
+    pub planning: Seconds,
+    /// Simulated chip time by phase.
+    pub time: TimeBreakdown,
+    /// Planned moves checked against the force envelope.
+    pub moves_checked: usize,
+    /// Moves the envelope rejected (0 for a feasible step period).
+    pub infeasible_moves: usize,
+    /// Occupied cages the detection scan found after routing.
+    pub occupancy_detected: usize,
+    /// Programming-clock budget of the executed motion.
+    pub budget: WindowBudget,
+    /// Whether the plan passed the separation invariant.
+    pub conflict_free: bool,
+}
+
+impl CycleReport {
+    /// Fraction of the batch routed.
+    pub fn success_rate(&self) -> f64 {
+        if self.requested == 0 {
+            1.0
+        } else {
+            self.routed as f64 / self.requested as f64
+        }
+    }
+}
+
+/// Generates the full-array sort workload: particles start on a seeded
+/// random subset of a whole-array loading lattice (spacing
+/// `min_separation + 1`, the densest loadable packing) and are sorted into
+/// two target patterns — even-indexed particles to a lattice in the left
+/// third, odd-indexed to the right third. Target lattices use spacing
+/// `min_separation + 2`, which keeps them *traversable while occupied*, so
+/// any arrival order works.
+pub fn sort_problem(
+    dims: GridDims,
+    particles: usize,
+    min_separation: u32,
+    seed: u64,
+) -> RoutingProblem {
+    let load_spacing = min_separation + 1;
+    let target_spacing = min_separation + 2;
+    let lattice = |x_lo: u32, x_hi: u32, spacing: u32| -> Vec<GridCoord> {
+        let mut slots = Vec::new();
+        let mut y = 1;
+        while y < dims.rows - 1 {
+            let mut x = x_lo;
+            while x < x_hi {
+                slots.push(GridCoord::new(x, y));
+                x += spacing;
+            }
+            y += spacing;
+        }
+        slots
+    };
+
+    let left = lattice(1, dims.cols / 3, target_spacing);
+    let right = lattice(2 * dims.cols / 3, dims.cols - 1, target_spacing);
+    let capacity = left.len() + right.len();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ particles as u64);
+    let mut starts = lattice(1, dims.cols - 1, load_spacing);
+    starts.shuffle(&mut rng);
+    starts.truncate(particles.min(capacity));
+    starts.sort_unstable_by_key(|c| (c.y, c.x));
+
+    let mut requests = Vec::with_capacity(starts.len());
+    let (mut li, mut ri) = (0usize, 0usize);
+    for (i, start) in starts.iter().enumerate() {
+        let goal = if i % 2 == 0 && li < left.len() {
+            li += 1;
+            left[li - 1]
+        } else if ri < right.len() {
+            ri += 1;
+            right[ri - 1]
+        } else {
+            li += 1;
+            left[li - 1]
+        };
+        requests.push(RoutingRequest {
+            id: ParticleId(i as u64),
+            start: *start,
+            goal,
+        });
+    }
+    let mut problem = RoutingProblem::new(dims, requests);
+    problem.min_separation = min_separation;
+    problem
+}
+
+/// Executes repeated full-array assay cycles and accumulates throughput.
+#[derive(Debug)]
+pub struct BatchDriver {
+    config: WorkloadConfig,
+    envelope: ForceEnvelope,
+    router: IncrementalRouter,
+    programming: ProgrammingInterface,
+    scan: ScanTiming,
+    totals: SustainedThroughput,
+    cycles_run: usize,
+}
+
+impl BatchDriver {
+    /// Creates a driver; the force envelope is derived once from the cached
+    /// field engine.
+    pub fn new(config: WorkloadConfig) -> Self {
+        Self {
+            envelope: ForceEnvelope::date05_reference(),
+            router: IncrementalRouter::new(config.shards),
+            programming: ProgrammingInterface::date05_reference(),
+            scan: ScanTiming::date05_reference(),
+            totals: SustainedThroughput::default(),
+            cycles_run: 0,
+            config,
+        }
+    }
+
+    /// The driver's configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// The force-feasibility envelope in effect.
+    pub fn envelope(&self) -> &ForceEnvelope {
+        &self.envelope
+    }
+
+    /// Running totals across the cycles executed so far.
+    pub fn totals(&self) -> &SustainedThroughput {
+        &self.totals
+    }
+
+    /// Runs one load→route→sense→flush cycle with `particles` particles
+    /// (clamped to the array's pattern capacity).
+    pub fn run_cycle(&mut self, particles: usize) -> CycleReport {
+        let cycle = self.cycles_run;
+        self.cycles_run += 1;
+        let dims = GridDims::square(self.config.array_side);
+        // A zero separation is physically meaningless (cages would merge)
+        // and the cage grid rejects it; clamp like the routers do rather
+        // than panic on a CLI-supplied `min_separation=0` override.
+        let sep = self.config.min_separation.max(1);
+        let cycle_seed = self
+            .config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(cycle as u64 + 1));
+        let problem = sort_problem(dims, particles, sep, cycle_seed);
+        let requested = problem.requests.len();
+
+        let mut time = TimeBreakdown::default();
+
+        // Load: place the batch on the loading lattice.
+        let mut grid = CageGrid::with_separation(dims, sep);
+        for request in &problem.requests {
+            grid.place(request.id, request.start)
+                .expect("loading lattice sites are mutually separated");
+        }
+        time.fluidics += self.config.load_time;
+
+        // Route with the incremental sharded planner.
+        let started = Instant::now();
+        let outcome = self
+            .router
+            .solve(&problem)
+            .expect("generated problems are always well-formed");
+        let planning = Seconds::new(started.elapsed().as_secs_f64());
+        let conflict_free = outcome.is_conflict_free(sep);
+
+        // Force-feasibility and programming-budget checks on every planned
+        // move. The cage speed is one pitch per step period for every move
+        // of the plan; each changed electrode pair feeds the row-update
+        // budget of its step.
+        let speed = self.envelope.pitch / self.config.step_period;
+        let feasible = self.envelope.permits(speed);
+        let mut moves_checked = 0usize;
+        let mut infeasible_moves = 0usize;
+        let mut budget = WindowBudget::default();
+        let mut changed: Vec<GridCoord> = Vec::new();
+        let all_paths = || outcome.paths.iter().chain(outcome.stranded.iter());
+        let horizon = all_paths().map(|p| p.arrival_step()).max().unwrap_or(0);
+        for t in 1..=horizon {
+            changed.clear();
+            for path in all_paths() {
+                let prev = path.position_at(t - 1);
+                let cur = path.position_at(t);
+                if prev != cur {
+                    moves_checked += 1;
+                    if !feasible {
+                        infeasible_moves += 1;
+                    }
+                    changed.push(prev);
+                    changed.push(cur);
+                }
+            }
+            if !changed.is_empty() {
+                budget.record(&self.programming.plan_update(dims, &changed));
+            }
+        }
+        time.motion += self.config.step_period * outcome.makespan as f64;
+
+        // Execute: routed particles end on their targets, stranded ones
+        // wherever their best-effort trajectory stopped. Lift every moved
+        // particle first, then set the finals — applying moves one at a
+        // time would trip the separation check against particles that have
+        // not been moved yet.
+        let moved = || outcome.paths.iter().chain(outcome.stranded.iter());
+        for path in moved() {
+            grid.remove(path.id).expect("loaded particle");
+        }
+        for path in moved() {
+            let last = *path.positions.last().expect("paths are never empty");
+            grid.place(path.id, last)
+                .expect("final configurations are conflict-free");
+        }
+
+        // Sense: full-array detection scan with averaging; the occupancy
+        // map must match what the grid holds.
+        let scan_time = self
+            .scan
+            .averaged_scan_time(dims, &FrameAverager::new(self.config.detection_frames));
+        time.sensing += scan_time;
+        let occupancy_detected = grid.particle_count();
+
+        // Flush the batch.
+        let ids: Vec<ParticleId> = grid.particles().iter().map(|(id, _)| *id).collect();
+        for id in ids {
+            grid.remove(id).expect("flushing tracked particles");
+        }
+        time.fluidics += self.config.flush_time;
+
+        let report = CycleReport {
+            cycle,
+            requested,
+            routed: outcome.paths.len(),
+            makespan_steps: outcome.makespan,
+            total_moves: outcome.total_moves,
+            planning,
+            time,
+            moves_checked,
+            infeasible_moves,
+            occupancy_detected,
+            budget,
+            conflict_free,
+        };
+        self.totals.record(
+            requested,
+            report.routed,
+            report.total_moves,
+            report.time.total(),
+            planning,
+        );
+        report
+    }
+
+    /// The outcome of routing one generated batch without executing it —
+    /// used by benchmarks probing the planner alone.
+    pub fn plan_only(&self, particles: usize, cycle_seed: u64) -> RoutingOutcome {
+        let dims = GridDims::square(self.config.array_side);
+        let problem = sort_problem(dims, particles, self.config.min_separation, cycle_seed);
+        self.router
+            .solve(&problem)
+            .expect("generated problems are always well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_is_physical() {
+        let envelope = ForceEnvelope::date05_reference();
+        // Tens of piconewtons of holding force, and a max speed comfortably
+        // above the paper's 10–100 µm/s operating range.
+        assert!(envelope.holding_force.get() > 1e-13);
+        assert!(envelope.max_speed.as_micrometers_per_second() > 100.0);
+        assert!(envelope.permits(MetersPerSecond::from_micrometers_per_second(50.0)));
+        assert!(!envelope.permits(MetersPerSecond::new(1.0)));
+    }
+
+    #[test]
+    fn sort_problem_is_valid_and_splits_classes() {
+        let dims = GridDims::square(64);
+        let problem = sort_problem(dims, 60, 2, 7);
+        assert!(problem.validate().is_ok());
+        assert_eq!(problem.requests.len(), 60);
+        let left_goals = problem
+            .requests
+            .iter()
+            .filter(|r| r.goal.x < dims.cols / 3)
+            .count();
+        let right_goals = problem
+            .requests
+            .iter()
+            .filter(|r| r.goal.x >= 2 * dims.cols / 3)
+            .count();
+        assert_eq!(left_goals + right_goals, 60);
+        assert!(left_goals >= 25 && right_goals >= 25);
+    }
+
+    #[test]
+    fn sort_problem_clamps_to_capacity() {
+        let dims = GridDims::square(32);
+        let problem = sort_problem(dims, 100_000, 2, 7);
+        assert!(problem.requests.len() < 100_000);
+        assert!(problem.validate().is_ok());
+    }
+
+    #[test]
+    fn one_small_cycle_end_to_end() {
+        let mut driver = BatchDriver::new(WorkloadConfig {
+            array_side: 48,
+            ..WorkloadConfig::default()
+        });
+        let report = driver.run_cycle(40);
+        assert_eq!(report.cycle, 0);
+        assert_eq!(report.requested, 40);
+        assert!(report.conflict_free);
+        assert!(report.success_rate() > 0.85, "routed {}", report.routed);
+        assert_eq!(report.occupancy_detected, 40);
+        assert_eq!(report.infeasible_moves, 0);
+        assert!(report.moves_checked >= report.total_moves);
+        assert!(report.budget.fits_within(driver.config().step_period));
+        assert!(report.time.fluidics > report.time.sensing);
+        // The planner is far faster than the chip.
+        assert!(driver.totals().planner_headroom() > 1.0);
+    }
+
+    #[test]
+    fn cycles_accumulate_into_totals() {
+        let mut driver = BatchDriver::new(WorkloadConfig {
+            array_side: 48,
+            ..WorkloadConfig::default()
+        });
+        driver.run_cycle(20);
+        driver.run_cycle(20);
+        let totals = driver.totals();
+        assert_eq!(totals.cycles, 2);
+        assert_eq!(totals.requested, 40);
+        assert!(totals.moves_per_planning_second() > 0.0);
+    }
+}

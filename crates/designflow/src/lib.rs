@@ -16,6 +16,24 @@
 //! distributions (experiment E5), and [`centering`] implements the
 //! design-centering loop that the electronic flow uses to buy yield
 //! (experiment E8).
+//!
+//! ## Example: a prototype-in-the-loop project converges
+//!
+//! ```
+//! use labchip_designflow::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let params = FlowParameters::date05_reference();
+//! let flow = DesignFlow::new(FlowKind::PrototypeInLoop, params)?;
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let outcome = flow.run_project(&mut rng);
+//! // Fabrication sits inside the loop, and a dry-film prototype takes
+//! // days — so even several iterations stay well under an electronic
+//! // mask-spin timescale.
+//! assert!(outcome.converged);
+//! assert!(outcome.iterations >= 1);
+//! # Ok::<(), labchip_designflow::DesignFlowError>(())
+//! ```
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

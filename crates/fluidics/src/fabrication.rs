@@ -1,6 +1,6 @@
 //! Fabrication-process models and cost/turnaround quotes.
 //!
-//! The paper's §3 and its reference [5] (Vulto et al., dry film resist) claim
+//! The paper's §3 and its reference \[5\] (Vulto et al., dry film resist) claim
 //! a **2–3 day design-to-device turnaround**, **mask costs of a few euros**
 //! (printed transparencies) and a total set-up of **tens of thousands of
 //! euros** — to be contrasted with clean-room glass etching or even CMOS
@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ProcessKind {
     /// Dry-film photoresist laminated and patterned on the chip/glass
-    /// (the paper's ref [5]).
+    /// (the paper's ref \[5\]).
     DryFilmResist,
     /// PDMS soft lithography cast on an SU-8 master.
     PdmsSoftLithography,

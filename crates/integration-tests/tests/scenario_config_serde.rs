@@ -4,8 +4,8 @@
 //! boundary (and the `report run --set/--json` surface) rests on.
 
 use labchip::experiments::{
-    e1_scale, e2_technology, e3_motion, e4_sensing, e5_designflow, e6_fabrication, e7_routing,
-    e8_centering, e9_assay,
+    e10_fullarray, e11_throughput, e1_scale, e2_technology, e3_motion, e4_sensing, e5_designflow,
+    e6_fabrication, e7_routing, e8_centering, e9_assay,
 };
 use labchip_array::technology::TechnologyNode;
 use labchip_fluidics::fabrication::ProcessKind;
@@ -167,6 +167,68 @@ proptest! {
         };
         prop_assert_eq!(round_trip(&config), config);
     }
+
+    #[test]
+    fn e10_fullarray_config_round_trips(
+        array_side in 16u32..512,
+        particles in 1usize..20_000,
+        density_steps in proptest::collection::vec(0.01f64..1.0, 1..5),
+        min_separation in 1u32..4,
+        step_period_s in 0.05f64..2.0,
+        shard_side in 4u32..64,
+        window in 1u32..32,
+        astar_cap in 0usize..512,
+        astar_max_steps in 16usize..2048,
+        threads in 0usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let config = e10_fullarray::Config {
+            array_side,
+            particles,
+            density_steps,
+            min_separation,
+            step_period: Seconds::new(step_period_s),
+            shard_side,
+            window,
+            astar_cap,
+            astar_max_steps,
+            threads,
+            seed,
+        };
+        prop_assert_eq!(round_trip(&config), config);
+    }
+
+    #[test]
+    fn e11_throughput_config_round_trips(
+        array_side in 16u32..512,
+        particles_per_cycle in 1usize..5_000,
+        cycles in 1usize..16,
+        min_separation in 1u32..4,
+        step_period_s in 0.05f64..2.0,
+        detection_frames in 1u32..128,
+        load_time_s in 1.0f64..600.0,
+        flush_time_s in 1.0f64..600.0,
+        shard_side in 4u32..64,
+        window in 1u32..32,
+        threads in 0usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let config = e11_throughput::Config {
+            array_side,
+            particles_per_cycle,
+            cycles,
+            min_separation,
+            step_period: Seconds::new(step_period_s),
+            detection_frames,
+            load_time: Seconds::new(load_time_s),
+            flush_time: Seconds::new(flush_time_s),
+            shard_side,
+            window,
+            threads,
+            seed,
+        };
+        prop_assert_eq!(round_trip(&config), config);
+    }
 }
 
 /// The default configs themselves (the paper scenarios) round-trip too —
@@ -191,6 +253,8 @@ fn default_configs_round_trip_pretty() {
         e6_fabrication,
         e7_routing,
         e8_centering,
-        e9_assay
+        e9_assay,
+        e10_fullarray,
+        e11_throughput
     );
 }

@@ -22,7 +22,13 @@ fn quick_runner() -> Runner {
         "trials=150",                // E4 + E5 Monte-Carlo trial counts
         "frame_counts=[1,16]",       // E4
         "particle_counts=[8]",       // E7
-        "array_side=16",             // E2 + E3 + E7 + E9 working region
+        "array_side=16",             // E2 + E3 + E7 + E9 + E10 + E11 region
+        "particles=40",              // E10 (clamped to the tiny array)
+        "density_steps=[1.0]",       // E10: one sweep point
+        "astar_cap=8",               // E10: tiny A* subsample
+        "astar_max_steps=128",       // E10
+        "particles_per_cycle=10",    // E11
+        "cycles=1",                  // E11
     ] {
         runner.set_override(spec).expect("spec is well-formed");
     }
@@ -30,11 +36,11 @@ fn quick_runner() -> Runner {
 }
 
 #[test]
-fn registry_has_nine_unique_ids_and_default_runs_produce_rows() {
+fn registry_has_eleven_unique_ids_and_default_runs_produce_rows() {
     let registry = ScenarioRegistry::all();
-    assert_eq!(registry.len(), 9);
+    assert_eq!(registry.len(), 11);
     let unique: HashSet<&str> = registry.iter().map(|s| s.id()).collect();
-    assert_eq!(unique.len(), 9, "scenario ids must be unique");
+    assert_eq!(unique.len(), 11, "scenario ids must be unique");
 
     // Cheap scenarios run their untouched paper defaults here; the full
     // default sweep of every scenario is what `report run --all` does in CI.
@@ -50,10 +56,13 @@ fn registry_has_nine_unique_ids_and_default_runs_produce_rows() {
 }
 
 #[test]
-fn run_all_covers_e1_through_e9_and_emits_one_valid_json_document() {
+fn run_all_covers_e1_through_e11_and_emits_one_valid_json_document() {
     let outcomes = quick_runner().run_all().expect("bulk run succeeds");
     let ids: Vec<&str> = outcomes.iter().map(|o| o.id.as_str()).collect();
-    assert_eq!(ids, ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"]);
+    assert_eq!(
+        ids,
+        ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"]
+    );
     for outcome in &outcomes {
         assert!(
             outcome.table.row_count() >= 1,
@@ -63,7 +72,7 @@ fn run_all_covers_e1_through_e9_and_emits_one_valid_json_document() {
     }
 
     // The document `report run --all --json` prints: one parseable JSON
-    // text covering all nine scenarios, tables included.
+    // text covering all eleven scenarios, tables included.
     let document = outcomes_to_json(&outcomes);
     let text = serde_json::to_string_pretty(&document);
     let parsed: Value = serde_json::from_str(&text).expect("document is valid JSON");
@@ -72,7 +81,7 @@ fn run_all_covers_e1_through_e9_and_emits_one_valid_json_document() {
         .and_then(|o| o.get("scenarios"))
         .and_then(Value::as_array)
         .expect("document has a scenarios array");
-    assert_eq!(scenarios.len(), 9);
+    assert_eq!(scenarios.len(), 11);
     for (entry, outcome) in scenarios.iter().zip(&outcomes) {
         let entry = entry.as_object().unwrap();
         assert_eq!(entry.get("id").unwrap().as_str(), Some(outcome.id.as_str()));

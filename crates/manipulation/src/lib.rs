@@ -14,9 +14,31 @@
 //! * the [`cage`] grid tracking which electrode hosts which particle,
 //! * conflict-free multi-particle [`routing`] (space–time A* with reservation
 //!   tables, plus a greedy baseline),
+//! * the incremental [`sharding`] planner that scales routing to the full
+//!   array — windowed planning over a staggered tile partition, parallel
+//!   across shards,
 //! * high-level [`ops`] (move, merge, isolate, park, wash),
 //! * an assay [`protocol`] description and executor,
 //! * throughput [`metrics`].
+//!
+//! ## Example: route a crossing pair conflict-free
+//!
+//! ```
+//! use labchip_manipulation::prelude::*;
+//! use labchip_units::{GridCoord, GridDims};
+//!
+//! let problem = RoutingProblem::new(
+//!     GridDims::square(16),
+//!     vec![
+//!         RoutingRequest { id: ParticleId(1), start: GridCoord::new(1, 8), goal: GridCoord::new(14, 8) },
+//!         RoutingRequest { id: ParticleId(2), start: GridCoord::new(14, 8), goal: GridCoord::new(1, 8) },
+//!     ],
+//! );
+//! let outcome = Router::new(RoutingStrategy::PrioritizedAStar).solve(&problem)?;
+//! assert!(outcome.unrouted.is_empty());
+//! assert!(outcome.is_conflict_free(problem.min_separation));
+//! # Ok::<(), labchip_manipulation::ManipulationError>(())
+//! ```
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -27,15 +49,19 @@ pub mod metrics;
 pub mod ops;
 pub mod protocol;
 pub mod routing;
+pub mod sharding;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::cage::{CageGrid, ParticleId};
     pub use crate::error::ManipulationError;
-    pub use crate::metrics::ThroughputReport;
+    pub use crate::metrics::{SustainedThroughput, ThroughputReport};
     pub use crate::ops::Manipulator;
     pub use crate::protocol::{Protocol, ProtocolExecutor, ProtocolReport, ProtocolStep};
-    pub use crate::routing::{Router, RoutingOutcome, RoutingProblem, RoutingStrategy};
+    pub use crate::routing::{
+        Router, RoutingOutcome, RoutingProblem, RoutingRequest, RoutingStrategy,
+    };
+    pub use crate::sharding::{IncrementalRouter, ShardConfig};
 }
 
 pub use error::ManipulationError;

@@ -11,7 +11,11 @@
 //! * [`RoutingStrategy::Greedy`] — the obvious baseline: every step, every
 //!   particle moves towards its goal if the next cage is free, otherwise it
 //!   waits. Cheap, but it livelocks as density grows — which is exactly the
-//!   comparison experiment E7 reports.
+//!   comparison experiment E7 reports;
+//! * [`RoutingStrategy::Incremental`] — the full-array planner of
+//!   [`crate::sharding`]: windowed, sharded, parallel across tiles. Use it
+//!   (or [`crate::sharding::IncrementalRouter`] directly, for custom shard
+//!   parameters) when the problem has hundreds to thousands of particles.
 
 use crate::cage::ParticleId;
 use crate::error::ManipulationError;
@@ -98,6 +102,9 @@ pub enum RoutingStrategy {
     PrioritizedAStar,
     /// Step-synchronous greedy motion (the baseline).
     Greedy,
+    /// The incremental sharded planner of [`crate::sharding`], with default
+    /// shard parameters.
+    Incremental,
 }
 
 /// The planned trajectory of one particle. `positions[t]` is the cage at
@@ -139,6 +146,22 @@ impl ParticlePath {
     }
 }
 
+/// Visits every in-bounds cell within Chebyshev distance `< radius` of
+/// `center` — the "blocked zone" induced by a cage under the separation
+/// rule. The single definition of that zone shape; the conflict checker,
+/// the sharded planner's zone counters and its window verifier all walk it
+/// through this helper.
+pub(crate) fn for_each_zone_cell(center: GridCoord, radius: u32, mut f: impl FnMut(GridCoord)) {
+    let r = radius as i32;
+    for dy in -(r - 1)..r {
+        for dx in -(r - 1)..r {
+            if let Some(c) = center.offset(dx, dy) {
+                f(c);
+            }
+        }
+    }
+}
+
 /// Result of solving a routing problem.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoutingOutcome {
@@ -146,6 +169,12 @@ pub struct RoutingOutcome {
     pub paths: Vec<ParticlePath>,
     /// Particles that could not be routed within the horizon.
     pub unrouted: Vec<ParticleId>,
+    /// Best-effort trajectories of unrouted particles that *did* move
+    /// before getting stuck (step-synchronous planners produce these; the
+    /// prioritized planner leaves its unrouted particles parked at their
+    /// starts, so it reports none). Callers executing an outcome must leave
+    /// each stranded particle at its trajectory's final position.
+    pub stranded: Vec<ParticlePath>,
     /// Number of steps until the last routed particle reaches its goal.
     pub makespan: usize,
     /// Total number of individual cage moves across all particles.
@@ -162,17 +191,38 @@ impl RoutingOutcome {
         }
     }
 
-    /// Returns `true` when every pair of routed particles respects the
-    /// separation rule at every step — the correctness invariant of the
-    /// planner.
+    /// Returns `true` when every pair of particles — routed *and* stranded
+    /// — respects the separation rule at every step: the correctness
+    /// invariant of the planner.
+    ///
+    /// Uses a spatial hash per step (`O(paths · makespan · sep²)` instead of
+    /// `O(paths² · makespan)`), so validating full-array outcomes with
+    /// thousands of paths stays cheap.
     pub fn is_conflict_free(&self, min_separation: u32) -> bool {
-        let horizon = self.makespan.max(1);
+        if min_separation == 0 {
+            return true;
+        }
+        let all = || self.paths.iter().chain(self.stranded.iter());
+        let horizon = all()
+            .map(ParticlePath::arrival_step)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let mut occupant: HashMap<GridCoord, usize> = HashMap::with_capacity(self.paths.len());
         for t in 0..=horizon {
-            for (i, a) in self.paths.iter().enumerate() {
-                for b in &self.paths[i + 1..] {
-                    if a.position_at(t).chebyshev(b.position_at(t)) < min_separation {
-                        return false;
-                    }
+            occupant.clear();
+            for (i, path) in all().enumerate() {
+                if occupant.insert(path.position_at(t), i).is_some() {
+                    return false; // two particles in the same cage
+                }
+            }
+            for (i, path) in all().enumerate() {
+                let mut conflicted = false;
+                for_each_zone_cell(path.position_at(t), min_separation, |c| {
+                    conflicted |= occupant.get(&c).is_some_and(|&j| j != i);
+                });
+                if conflicted {
+                    return false;
                 }
             }
         }
@@ -205,17 +255,29 @@ impl Router {
         let outcome = match self.strategy {
             RoutingStrategy::PrioritizedAStar => prioritized_astar(problem),
             RoutingStrategy::Greedy => greedy(problem),
+            RoutingStrategy::Incremental => {
+                return crate::sharding::IncrementalRouter::default().solve(problem)
+            }
         };
         Ok(outcome)
     }
 }
 
-fn finalize(paths: Vec<ParticlePath>, unrouted: Vec<ParticleId>) -> RoutingOutcome {
+fn finalize(
+    paths: Vec<ParticlePath>,
+    unrouted: Vec<ParticleId>,
+    stranded: Vec<ParticlePath>,
+) -> RoutingOutcome {
     let makespan = paths.iter().map(|p| p.arrival_step()).max().unwrap_or(0);
-    let total_moves = paths.iter().map(|p| p.move_count()).sum();
+    let total_moves = paths
+        .iter()
+        .chain(stranded.iter())
+        .map(|p| p.move_count())
+        .sum();
     RoutingOutcome {
         paths,
         unrouted,
+        stranded,
         makespan,
         total_moves,
     }
@@ -424,8 +486,18 @@ fn prioritized_astar(problem: &RoutingProblem) -> RoutingOutcome {
         ids
     };
     paths.sort_by_key(|p| p.id);
-    finalize(paths, unrouted)
+    // Pending requests were never planned: they stay parked at their starts,
+    // so there are no stranded trajectories to report.
+    finalize(paths, unrouted, Vec::new())
 }
+
+/// Node-expansion budget of one [`space_time_astar`] search, per step of
+/// horizon. Uncongested searches stay far below it; a search that exhausts
+/// the budget reports failure (the request lands in
+/// [`RoutingOutcome::unrouted`]) instead of stalling the whole plan — at
+/// thousands of particles an unbounded search in a congested region can
+/// otherwise take minutes for one particle.
+const ASTAR_EXPANSIONS_PER_STEP: usize = 96;
 
 fn space_time_astar(
     problem: &RoutingProblem,
@@ -434,6 +506,7 @@ fn space_time_astar(
     parked_obstacles: &[GridCoord],
 ) -> Option<ParticlePath> {
     let horizon = problem.max_steps;
+    let expansion_cap = horizon.saturating_mul(ASTAR_EXPANSIONS_PER_STEP);
     let dims = problem.dims;
     let start = request.start;
     let goal = request.goal;
@@ -457,7 +530,12 @@ fn space_time_astar(
     });
     best_g.insert((start, 0), 0);
 
+    let mut expansions = 0usize;
     while let Some(OpenNode { t, coord, .. }) = open.pop() {
+        expansions += 1;
+        if expansions > expansion_cap {
+            return None;
+        }
         if coord == goal && reservations.is_free_forever(goal, t) {
             // Reconstruct.
             let mut positions = vec![coord];
@@ -552,18 +630,22 @@ fn greedy(problem: &RoutingProblem) -> RoutingOutcome {
 
     let mut paths = Vec::new();
     let mut unrouted = Vec::new();
+    let mut stranded = Vec::new();
     for (i, request) in problem.requests.iter().enumerate() {
+        let path = ParticlePath {
+            id: request.id,
+            positions: histories[i].clone(),
+        };
         if positions[i] == request.goal {
-            paths.push(ParticlePath {
-                id: request.id,
-                positions: histories[i].clone(),
-            });
+            paths.push(path);
         } else {
             unrouted.push(request.id);
+            stranded.push(path);
         }
     }
     paths.sort_by_key(|p| p.id);
-    finalize(paths, unrouted)
+    stranded.sort_by_key(|p| p.id);
+    finalize(paths, unrouted, stranded)
 }
 
 #[cfg(test)]
@@ -695,6 +777,127 @@ mod tests {
         assert_eq!(outcome.paths.len(), 0);
         assert_eq!(outcome.unrouted, vec![ParticleId(1)]);
         assert_eq!(outcome.success_rate(1), 0.0);
+    }
+
+    #[test]
+    fn zero_request_problems_are_trivially_solved() {
+        let problem = RoutingProblem::new(GridDims::square(16), Vec::new());
+        for strategy in [
+            RoutingStrategy::PrioritizedAStar,
+            RoutingStrategy::Greedy,
+            RoutingStrategy::Incremental,
+        ] {
+            let outcome = Router::new(strategy).solve(&problem).unwrap();
+            assert!(outcome.paths.is_empty());
+            assert!(outcome.unrouted.is_empty());
+            assert_eq!(outcome.makespan, 0);
+            assert_eq!(outcome.total_moves, 0);
+            assert_eq!(outcome.success_rate(0), 1.0);
+            assert!(outcome.is_conflict_free(problem.min_separation));
+        }
+    }
+
+    #[test]
+    fn wide_separation_conflicts_are_detected_and_respected() {
+        // An outcome whose paths pass at Chebyshev 2 is fine for the default
+        // separation but a conflict at min_separation = 3.
+        let outcome = RoutingOutcome {
+            paths: vec![
+                ParticlePath {
+                    id: ParticleId(1),
+                    positions: vec![GridCoord::new(4, 4), GridCoord::new(5, 4)],
+                },
+                ParticlePath {
+                    id: ParticleId(2),
+                    positions: vec![GridCoord::new(8, 4), GridCoord::new(7, 4)],
+                },
+            ],
+            unrouted: vec![],
+            stranded: vec![],
+            makespan: 1,
+            total_moves: 2,
+        };
+        assert!(outcome.is_conflict_free(2));
+        assert!(!outcome.is_conflict_free(3));
+
+        // And a solver told to keep cages 3 apart produces a plan that
+        // passes the stricter check.
+        let mut problem = RoutingProblem::new(
+            GridDims::square(16),
+            vec![request(1, (1, 4), (13, 4)), request(2, (1, 10), (13, 10))],
+        );
+        problem.min_separation = 3;
+        for strategy in [
+            RoutingStrategy::PrioritizedAStar,
+            RoutingStrategy::Incremental,
+        ] {
+            let solved = Router::new(strategy).solve(&problem).unwrap();
+            assert_eq!(solved.paths.len(), 2, "{strategy:?}");
+            assert!(solved.is_conflict_free(3), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn same_cage_occupancy_is_a_conflict() {
+        let outcome = RoutingOutcome {
+            paths: vec![
+                ParticlePath {
+                    id: ParticleId(1),
+                    positions: vec![GridCoord::new(4, 4)],
+                },
+                ParticlePath {
+                    id: ParticleId(2),
+                    positions: vec![GridCoord::new(4, 4)],
+                },
+            ],
+            unrouted: vec![],
+            stranded: vec![],
+            makespan: 0,
+            total_moves: 0,
+        };
+        assert!(!outcome.is_conflict_free(1));
+        assert!(
+            outcome.is_conflict_free(0),
+            "separation 0 disables the rule"
+        );
+    }
+
+    #[test]
+    fn density_sweep_greedy_livelocks_within_bounded_steps_astar_succeeds() {
+        // Head-on traffic at increasing density: the greedy baseline must
+        // terminate (bounded by max_steps, i.e. no unbounded livelock) but
+        // fail some particles, while prioritized A* routes everyone.
+        let dims = GridDims::new(24, 11);
+        for pairs in [2u32, 3, 4] {
+            let mut requests = Vec::new();
+            for k in 0..pairs {
+                let y = 1 + 3 * k;
+                requests.push(request(u64::from(2 * k), (1, y), (22, y)));
+                requests.push(request(u64::from(2 * k + 1), (22, y), (1, y)));
+            }
+            let problem = RoutingProblem::new(dims, requests.clone());
+
+            let greedy = Router::new(RoutingStrategy::Greedy)
+                .solve(&problem)
+                .unwrap();
+            // Livelock is *detected*: the planner returns (it does not spin
+            // past the horizon) and reports who is stuck.
+            assert!(greedy.makespan <= problem.max_steps);
+            assert!(
+                !greedy.unrouted.is_empty(),
+                "greedy should livelock on head-on traffic at {pairs} pairs"
+            );
+
+            let astar = Router::new(RoutingStrategy::PrioritizedAStar)
+                .solve(&problem)
+                .unwrap();
+            assert!(
+                astar.unrouted.is_empty(),
+                "A* failed {:?} at {pairs} pairs",
+                astar.unrouted
+            );
+            assert!(astar.is_conflict_free(problem.min_separation));
+        }
     }
 
     #[test]

@@ -1,0 +1,927 @@
+//! Incremental, sharded space–time routing for full-array workloads.
+//!
+//! The global planner in [`crate::routing`] plans every particle against one
+//! monolithic reservation table spanning the whole array and the whole
+//! horizon. That is exact, but at the paper's scale — thousands of DEP cages
+//! moving concurrently on a 320×320 array — a single A\* pass over a
+//! `(cells × steps)` state space is both slow and needlessly serial. The
+//! [`IncrementalRouter`] plans *incrementally* instead:
+//!
+//! * **Windows** — motion is planned `window` steps at a time; each window
+//!   starts from the executed positions of the previous one, so the plan
+//!   adapts as traffic develops instead of committing to a full-horizon
+//!   schedule up front.
+//! * **Shards** — within a window the grid is partitioned into
+//!   `shard_side`-sized tiles and every shard plans its own particles with a
+//!   bounded space–time A\*, in parallel across shards (rayon). Mobile
+//!   particles are confined to their tile's *interior*: a margin of
+//!   `min_separation / 2` cells along every internal tile boundary is
+//!   off-limits, which makes two mobile particles in different shards
+//!   provably unable to violate the separation rule — no cross-shard
+//!   communication is needed during planning.
+//! * **Cross-shard handoff** — particles cross tile boundaries because the
+//!   partition is *staggered*: successive windows cycle the partition offset
+//!   through four phases (`(0,0)`, `(s/2,0)`, `(0,s/2)`, `(s/2,s/2)`), so
+//!   every cell is interior in at least one phase and traffic ratchets
+//!   between tiles window by window.
+//! * **Re-planning on conflict** — after the per-shard plans are merged the
+//!   window is verified with a spatial hash; any violating particle (none
+//!   are expected by construction, but frozen corner cases are cheap to
+//!   guard) is demoted to wait-in-place and then re-planned serially against
+//!   the merged reservation table.
+//!
+//! The outcome is deterministic — per-shard plans depend only on the
+//! window-start state and are merged in shard order — so results are
+//! bit-identical for any thread count.
+
+use crate::cage::ParticleId;
+use crate::error::ManipulationError;
+use crate::routing::{for_each_zone_cell, ParticlePath, RoutingOutcome, RoutingProblem};
+use labchip_units::{GridCoord, GridDims};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Sharding and windowing knobs of the [`IncrementalRouter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Tile edge length in electrodes (clamped so a tile interior exists).
+    pub shard_side: u32,
+    /// Cage steps planned per window.
+    pub window: u32,
+    /// Give up after this many consecutive windows with no movement (at
+    /// least 4, so every stagger phase gets a chance).
+    pub max_stagnant_windows: u32,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shard_side: 32,
+            window: 8,
+            max_stagnant_windows: 4,
+        }
+    }
+}
+
+/// Bounded node expansions per windowed A\* call; searches that exhaust the
+/// cap settle for the best stopping cell found so far.
+const EXPANSION_CAP: usize = 2048;
+
+/// A staggered partition of the grid into square tiles.
+#[derive(Debug, Clone, Copy)]
+struct Partition {
+    dims: GridDims,
+    side: u32,
+    ox: u32,
+    oy: u32,
+    min_tx: u32,
+    min_ty: u32,
+    tiles_x: u32,
+    tiles_y: u32,
+}
+
+impl Partition {
+    fn new(dims: GridDims, side: u32, ox: u32, oy: u32) -> Self {
+        let raw_tx = |x: u32| (x + side - ox) / side;
+        let raw_ty = |y: u32| (y + side - oy) / side;
+        let min_tx = raw_tx(0);
+        let min_ty = raw_ty(0);
+        Self {
+            dims,
+            side,
+            ox,
+            oy,
+            min_tx,
+            min_ty,
+            tiles_x: raw_tx(dims.cols - 1) - min_tx + 1,
+            tiles_y: raw_ty(dims.rows - 1) - min_ty + 1,
+        }
+    }
+
+    fn tile_count(&self) -> usize {
+        self.tiles_x as usize * self.tiles_y as usize
+    }
+
+    /// Compact tile index of a coordinate.
+    fn tile_of(&self, c: GridCoord) -> usize {
+        let tx = (c.x + self.side - self.ox) / self.side - self.min_tx;
+        let ty = (c.y + self.side - self.oy) / self.side - self.min_ty;
+        (ty * self.tiles_x + tx) as usize
+    }
+
+    /// Unclipped bounds of one axis of the tile containing `v`:
+    /// `(lo, hi)` inclusive, possibly negative / past the edge.
+    fn raw_axis_bounds(v: u32, side: u32, offset: u32) -> (i64, i64) {
+        let t = ((v + side - offset) / side) as i64;
+        let lo = t * side as i64 + offset as i64 - side as i64;
+        (lo, lo + side as i64 - 1)
+    }
+
+    /// Clipped, inclusive bounds of the tile containing `c`.
+    fn tile_bounds(&self, c: GridCoord) -> (GridCoord, GridCoord) {
+        let (lx, hx) = Self::raw_axis_bounds(c.x, self.side, self.ox);
+        let (ly, hy) = Self::raw_axis_bounds(c.y, self.side, self.oy);
+        (
+            GridCoord::new(lx.max(0) as u32, ly.max(0) as u32),
+            GridCoord::new(
+                hx.min(self.dims.cols as i64 - 1) as u32,
+                hy.min(self.dims.rows as i64 - 1) as u32,
+            ),
+        )
+    }
+
+    /// Whether `c` lies within `margin` cells of an *internal* tile boundary
+    /// (array edges need no margin: there is no neighbouring tile there).
+    fn in_margin(&self, c: GridCoord, margin: u32) -> bool {
+        if margin == 0 {
+            return false;
+        }
+        let m = margin as i64;
+        let (lx, hx) = Self::raw_axis_bounds(c.x, self.side, self.ox);
+        let (ly, hy) = Self::raw_axis_bounds(c.y, self.side, self.oy);
+        let x = c.x as i64;
+        let y = c.y as i64;
+        (lx > 0 && x < lx + m)
+            || (hx < self.dims.cols as i64 - 1 && x > hx - m)
+            || (ly > 0 && y < ly + m)
+            || (hy < self.dims.rows as i64 - 1 && y > hy - m)
+    }
+}
+
+/// Counting map of blocked cells: every `add` blocks the Chebyshev-<`radius`
+/// zone around a centre, and `remove` unblocks it exactly (overlapping zones
+/// stay blocked until their last owner is removed).
+#[derive(Debug, Default)]
+struct ZoneCounter {
+    counts: HashMap<GridCoord, u32>,
+}
+
+impl ZoneCounter {
+    fn add(&mut self, center: GridCoord, radius: u32) {
+        for_each_zone_cell(center, radius, |c| {
+            *self.counts.entry(c).or_insert(0) += 1;
+        });
+    }
+
+    fn remove(&mut self, center: GridCoord, radius: u32) {
+        for_each_zone_cell(center, radius, |c| {
+            if let Some(n) = self.counts.get_mut(&c) {
+                *n -= 1;
+                if *n == 0 {
+                    self.counts.remove(&c);
+                }
+            }
+        });
+    }
+
+    fn blocked(&self, c: GridCoord) -> bool {
+        self.counts.contains_key(&c)
+    }
+}
+
+/// Space–time reservations over one window (`window + 1` steps), counting
+/// overlaps so paths can be removed again during repair.
+#[derive(Debug)]
+struct WindowReservations {
+    radius: u32,
+    steps: Vec<ZoneCounter>,
+}
+
+impl WindowReservations {
+    fn new(window: usize, min_separation: u32) -> Self {
+        Self {
+            radius: min_separation,
+            steps: (0..=window).map(|_| ZoneCounter::default()).collect(),
+        }
+    }
+
+    fn window(&self) -> usize {
+        self.steps.len() - 1
+    }
+
+    fn position_at(path: &[GridCoord], t: usize) -> GridCoord {
+        path[t.min(path.len() - 1)]
+    }
+
+    fn add_path(&mut self, path: &[GridCoord]) {
+        for t in 0..self.steps.len() {
+            let pos = Self::position_at(path, t);
+            self.steps[t].add(pos, self.radius);
+        }
+    }
+
+    fn remove_path(&mut self, path: &[GridCoord]) {
+        for t in 0..self.steps.len() {
+            let pos = Self::position_at(path, t);
+            self.steps[t].remove(pos, self.radius);
+        }
+    }
+
+    fn is_free(&self, c: GridCoord, t: usize) -> bool {
+        !self.steps[t.min(self.steps.len() - 1)].blocked(c)
+    }
+
+    /// Whether a particle parked at `c` from step `t` to the end of the
+    /// window stays clear of every reservation.
+    fn is_free_from(&self, c: GridCoord, t: usize) -> bool {
+        (t..self.steps.len()).all(|step| !self.steps[step].blocked(c))
+    }
+}
+
+/// Min-heap node of the windowed A\*. Ties break on `(t, y, x)` so the
+/// expansion order — and therefore the plan — is fully deterministic.
+#[derive(PartialEq, Eq)]
+struct Open {
+    f: u32,
+    t: u16,
+    y: u16,
+    x: u16,
+}
+
+impl Ord for Open {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .f
+            .cmp(&self.f)
+            .then_with(|| other.t.cmp(&self.t))
+            .then_with(|| other.y.cmp(&self.y))
+            .then_with(|| other.x.cmp(&self.x))
+    }
+}
+
+impl PartialOrd for Open {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable flat-array scratch space for the windowed A\* (visited stamps and
+/// parent links indexed by `(cell, t)`), cleared in O(1) via an epoch stamp.
+#[derive(Debug, Default)]
+struct Scratch {
+    visited: Vec<u32>,
+    parent: Vec<u32>,
+    epoch: u32,
+}
+
+impl Scratch {
+    fn begin(&mut self, states: usize) {
+        if self.visited.len() < states {
+            self.visited.resize(states, 0);
+            self.parent.resize(states, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 1;
+        }
+    }
+}
+
+/// Plans the best window path for one particle: a sequence of positions
+/// `[start, ...]` of length ≤ `window + 1` ending on a cell that is safe to
+/// park on for the rest of the window, minimising the Manhattan distance to
+/// `goal` (then arrival time). Falls back to waiting at `start`.
+#[allow(clippy::too_many_arguments)]
+fn window_astar(
+    lo: GridCoord,
+    hi: GridCoord,
+    allowed: impl Fn(GridCoord) -> bool,
+    start: GridCoord,
+    goal: GridCoord,
+    reservations: &WindowReservations,
+    scratch: &mut Scratch,
+    cap: usize,
+) -> Vec<GridCoord> {
+    let window = reservations.window();
+    let bw = (hi.x - lo.x + 1) as usize;
+    let bh = (hi.y - lo.y + 1) as usize;
+    let idx = |c: GridCoord, t: usize| -> usize {
+        (t * bh + (c.y - lo.y) as usize) * bw + (c.x - lo.x) as usize
+    };
+    let coord_of = |state: usize| -> (GridCoord, usize) {
+        let t = state / (bw * bh);
+        let rem = state % (bw * bh);
+        (
+            GridCoord::new(lo.x + (rem % bw) as u32, lo.y + (rem / bw) as u32),
+            t,
+        )
+    };
+    scratch.begin(bw * bh * (window + 1));
+
+    let h = |c: GridCoord| c.manhattan(goal);
+    let mut open = BinaryHeap::new();
+    open.push(Open {
+        f: h(start),
+        t: 0,
+        y: start.y as u16,
+        x: start.x as u16,
+    });
+    scratch.visited[idx(start, 0)] = scratch.epoch;
+
+    // Best parking spot so far: minimise (distance-to-goal, t, y, x). The
+    // best spot *away from the start* is tracked separately: when no
+    // distance progress is possible at all, parking on an equal-distance
+    // sidestep instead of waiting is what lets two head-on particles rotate
+    // around each other across successive windows.
+    let mut best: Option<(u32, usize, GridCoord)> = None;
+    let mut best_moving: Option<(u32, usize, GridCoord)> = None;
+    fn update(slot: &mut Option<(u32, usize, GridCoord)>, key: (u32, usize, GridCoord)) {
+        match slot {
+            Some(existing) if *existing <= key => {}
+            _ => *slot = Some(key),
+        }
+    }
+    let consider = |c: GridCoord,
+                    t: usize,
+                    best: &mut Option<(u32, usize, GridCoord)>,
+                    best_moving: &mut Option<(u32, usize, GridCoord)>| {
+        if !reservations.is_free_from(c, t) {
+            return;
+        }
+        let key = (h(c), t, c);
+        update(best, key);
+        if c != start {
+            update(best_moving, key);
+        }
+    };
+    consider(start, 0, &mut best, &mut best_moving);
+
+    let mut expansions = 0usize;
+    while let Some(Open { t, y, x, .. }) = open.pop() {
+        let c = GridCoord::new(x as u32, y as u32);
+        let t = t as usize;
+        consider(c, t, &mut best, &mut best_moving);
+        if let Some((0, bt, bc)) = best {
+            if bc == c && bt == t {
+                break; // reached the goal and can park there
+            }
+        }
+        expansions += 1;
+        if expansions > cap || t >= window {
+            if expansions > cap {
+                break;
+            }
+            continue;
+        }
+        for (dx, dy) in [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)] {
+            let Some(next) = c.offset(dx, dy) else {
+                continue;
+            };
+            if next.x < lo.x || next.x > hi.x || next.y < lo.y || next.y > hi.y {
+                continue;
+            }
+            if !allowed(next) || !reservations.is_free(next, t + 1) {
+                continue;
+            }
+            let slot = idx(next, t + 1);
+            if scratch.visited[slot] == scratch.epoch {
+                continue;
+            }
+            scratch.visited[slot] = scratch.epoch;
+            scratch.parent[slot] = idx(c, t) as u32;
+            open.push(Open {
+                f: (t + 1) as u32 + h(next),
+                t: (t + 1) as u16,
+                y: next.y as u16,
+                x: next.x as u16,
+            });
+        }
+    }
+
+    // Stall breaking: if the best reachable distance equals the start's
+    // (no progress possible) prefer an equal-distance sidestep over waiting.
+    if let (Some((d, _, _)), Some(moving)) = (best, best_moving) {
+        if d > 0 && d == h(start) && moving.0 == d {
+            best = Some(moving);
+        }
+    }
+    let Some((_, stop_t, stop_c)) = best else {
+        return vec![start]; // defensive: the start always qualifies
+    };
+    let mut positions = vec![stop_c];
+    let mut state = idx(stop_c, stop_t);
+    for _ in 0..stop_t {
+        state = scratch.parent[state] as usize;
+        let (c, _) = coord_of(state);
+        positions.push(c);
+    }
+    positions.reverse();
+    positions
+}
+
+/// The incremental sharded space–time router.
+///
+/// Produces a [`RoutingOutcome`] with the same contract as
+/// [`crate::routing::Router::solve`]: conflict-free paths for the particles
+/// it routed, the rest reported in `unrouted`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IncrementalRouter {
+    /// Sharding and windowing parameters.
+    pub shards: ShardConfig,
+}
+
+impl IncrementalRouter {
+    /// Creates a router with the given shard configuration.
+    pub fn new(shards: ShardConfig) -> Self {
+        Self { shards }
+    }
+
+    /// Solves a routing problem incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of an ill-formed problem; an unsolvable
+    /// but well-formed problem is reported through
+    /// [`RoutingOutcome::unrouted`] instead.
+    pub fn solve(&self, problem: &RoutingProblem) -> Result<RoutingOutcome, ManipulationError> {
+        problem.validate()?;
+        Ok(self.plan(problem))
+    }
+
+    fn plan(&self, problem: &RoutingProblem) -> RoutingOutcome {
+        let n = problem.requests.len();
+        let sep = problem.min_separation.max(1);
+        let margin = sep / 2;
+        // A tile needs an interior, room for the half-tile stagger, and
+        // `side > 4·margin` so the staggered margin strips of successive
+        // phases leave an overlap corridor for the cross-shard handoff.
+        let side = self.shards.shard_side.max(4 * margin + 2).max(4);
+        let window = self.shards.window.max(1) as usize;
+        let phases = [(0, 0), (side / 2, 0), (0, side / 2), (side / 2, side / 2)];
+
+        let goals: Vec<GridCoord> = problem.requests.iter().map(|r| r.goal).collect();
+        let mut positions: Vec<GridCoord> = problem.requests.iter().map(|r| r.start).collect();
+        let mut histories: Vec<Vec<GridCoord>> = positions.iter().map(|p| vec![*p]).collect();
+        let mut pending_stays = vec![0usize; n];
+
+        let mut elapsed = 0usize;
+        let mut stagnant = 0u32;
+        let max_stagnant = self.shards.max_stagnant_windows.max(4);
+        let mut phase = 0usize;
+
+        while elapsed < problem.max_steps && n > 0 {
+            if positions.iter().zip(&goals).all(|(p, g)| p == g) {
+                break;
+            }
+            let part = Partition::new(problem.dims, side, phases[phase].0, phases[phase].1);
+            phase = (phase + 1) % phases.len();
+
+            // Classify: margin dwellers freeze for this window, everyone
+            // else plans within their tile.
+            let mut frozen_zone = ZoneCounter::default();
+            let mut frozen = vec![false; n];
+            for (i, pos) in positions.iter().enumerate() {
+                if part.in_margin(*pos, margin) {
+                    frozen[i] = true;
+                    frozen_zone.add(*pos, sep);
+                }
+            }
+            let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); part.tile_count()];
+            for (i, pos) in positions.iter().enumerate() {
+                if !frozen[i] {
+                    by_shard[part.tile_of(*pos)].push(i);
+                }
+            }
+
+            // Front-runners first: particles closest to their goals plan
+            // first so convoys flow instead of blocking on their leaders.
+            for shard in &mut by_shard {
+                shard.sort_by_key(|&i| (positions[i].manhattan(goals[i]), i));
+            }
+
+            // Plan every shard in parallel; each plan depends only on the
+            // window-start state, so the merge below is deterministic.
+            let mut shard_paths: Vec<Vec<Vec<GridCoord>>> = vec![Vec::new(); part.tile_count()];
+            let positions_ref = &positions;
+            let goals_ref = &goals;
+            let frozen_ref = &frozen_zone;
+            shard_paths
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(tile, out)| {
+                    let indices = &by_shard[tile];
+                    if indices.is_empty() {
+                        return;
+                    }
+                    let (lo, hi) = part.tile_bounds(positions_ref[indices[0]]);
+                    let mut reservations = WindowReservations::new(window, sep);
+                    let mut parked = ZoneCounter::default();
+                    for &i in indices {
+                        parked.add(positions_ref[i], sep);
+                    }
+                    let mut scratch = Scratch::default();
+                    for &i in indices {
+                        parked.remove(positions_ref[i], sep);
+                        let path = window_astar(
+                            lo,
+                            hi,
+                            |c| {
+                                part.tile_of(c) == tile
+                                    && !part.in_margin(c, margin)
+                                    && !frozen_ref.blocked(c)
+                                    && !parked.blocked(c)
+                            },
+                            positions_ref[i],
+                            goals_ref[i],
+                            &reservations,
+                            &mut scratch,
+                            EXPANSION_CAP,
+                        );
+                        reservations.add_path(&path);
+                        out.push(path);
+                    }
+                });
+
+            // Merge into one trajectory per particle (frozen: wait).
+            let mut trajs: Vec<Vec<GridCoord>> = positions.iter().map(|p| vec![*p]).collect();
+            for (tile, indices) in by_shard.iter().enumerate() {
+                for (k, &i) in indices.iter().enumerate() {
+                    trajs[i] = shard_paths[tile][k].clone();
+                }
+            }
+
+            self.verify_and_repair(problem, &positions, &goals, &mut trajs, window, sep);
+
+            // Execute the window (truncated at the global horizon).
+            let steps = window.min(problem.max_steps - elapsed);
+            let mut any_moved = false;
+            for i in 0..n {
+                for t in 1..=steps {
+                    let pos = WindowReservations::position_at(&trajs[i], t);
+                    let last = *histories[i].last().expect("histories are never empty");
+                    if pos == last {
+                        pending_stays[i] += 1;
+                    } else {
+                        any_moved = true;
+                        let stays = pending_stays[i];
+                        histories[i].extend(std::iter::repeat_n(last, stays));
+                        pending_stays[i] = 0;
+                        histories[i].push(pos);
+                    }
+                }
+                positions[i] = WindowReservations::position_at(&trajs[i], steps);
+            }
+            elapsed += steps;
+            if any_moved {
+                stagnant = 0;
+            } else {
+                stagnant += 1;
+                if stagnant >= max_stagnant {
+                    break;
+                }
+            }
+        }
+
+        let mut paths = Vec::new();
+        let mut unrouted: Vec<ParticleId> = Vec::new();
+        let mut stranded = Vec::new();
+        for (i, request) in problem.requests.iter().enumerate() {
+            let path = ParticlePath {
+                id: request.id,
+                positions: std::mem::take(&mut histories[i]),
+            };
+            if positions[i] == goals[i] {
+                paths.push(path);
+            } else {
+                unrouted.push(request.id);
+                stranded.push(path);
+            }
+        }
+        paths.sort_by_key(|p| p.id);
+        stranded.sort_by_key(|p| p.id);
+        unrouted.sort();
+        let makespan = paths.iter().map(|p| p.arrival_step()).max().unwrap_or(0);
+        let total_moves = paths
+            .iter()
+            .chain(stranded.iter())
+            .map(|p| p.move_count())
+            .sum();
+        RoutingOutcome {
+            paths,
+            unrouted,
+            stranded,
+            makespan,
+            total_moves,
+        }
+    }
+
+    /// Verifies a merged window with a spatial hash; conflicting particles
+    /// (none are expected — the margins make cross-shard conflicts
+    /// impossible by construction) are demoted to wait-in-place until the
+    /// window is clean, then re-planned serially against the merged
+    /// reservations.
+    fn verify_and_repair(
+        &self,
+        problem: &RoutingProblem,
+        positions: &[GridCoord],
+        goals: &[GridCoord],
+        trajs: &mut [Vec<GridCoord>],
+        window: usize,
+        sep: u32,
+    ) {
+        let mut demoted: Vec<usize> = Vec::new();
+        loop {
+            let offenders = window_conflicts(trajs, window, sep);
+            if offenders.is_empty() {
+                break;
+            }
+            for (a, b) in offenders {
+                // Demote the particle farther from its goal (ties: higher
+                // index); the other keeps its plan. Two waiting particles
+                // can never conflict (window-start states are valid), so if
+                // the preferred victim already waits, the other one moved.
+                let preferred = if (positions[a].manhattan(goals[a]), a)
+                    >= (positions[b].manhattan(goals[b]), b)
+                {
+                    a
+                } else {
+                    b
+                };
+                let victim = if trajs[preferred].len() > 1 {
+                    preferred
+                } else {
+                    a + b - preferred
+                };
+                if trajs[victim].len() > 1 {
+                    trajs[victim] = vec![positions[victim]];
+                    demoted.push(victim);
+                }
+            }
+        }
+        if demoted.is_empty() {
+            return;
+        }
+        demoted.sort_unstable();
+        demoted.dedup();
+
+        // Re-plan the demoted particles one at a time against everyone
+        // else's merged trajectories.
+        let mut reservations = WindowReservations::new(window, sep);
+        for traj in trajs.iter() {
+            reservations.add_path(traj);
+        }
+        let dims = problem.dims;
+        let lo = GridCoord::new(0, 0);
+        let hi = GridCoord::new(dims.cols - 1, dims.rows - 1);
+        let mut scratch = Scratch::default();
+        for &i in &demoted {
+            reservations.remove_path(&trajs[i]);
+            let path = window_astar(
+                lo,
+                hi,
+                |_| true,
+                positions[i],
+                goals[i],
+                &reservations,
+                &mut scratch,
+                EXPANSION_CAP,
+            );
+            reservations.add_path(&path);
+            trajs[i] = path;
+        }
+        // The re-planned paths respected the reservations, but run one
+        // last wait-demotion sweep as a hard guarantee.
+        loop {
+            let offenders = window_conflicts(trajs, window, sep);
+            if offenders.is_empty() {
+                break;
+            }
+            for (a, b) in offenders {
+                let victim = a.max(b);
+                if trajs[victim].len() > 1 {
+                    trajs[victim] = vec![positions[victim]];
+                } else {
+                    let other = a.min(b);
+                    trajs[other] = vec![positions[other]];
+                }
+            }
+        }
+    }
+}
+
+/// All conflicting particle pairs of a merged window, found with a spatial
+/// hash per step (`O(n · window · sep²)` instead of `O(n² · window)`).
+fn window_conflicts(trajs: &[Vec<GridCoord>], window: usize, sep: u32) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let mut occupant: HashMap<GridCoord, usize> = HashMap::new();
+    for t in 1..=window {
+        occupant.clear();
+        for (i, traj) in trajs.iter().enumerate() {
+            occupant.insert(WindowReservations::position_at(traj, t), i);
+        }
+        for (i, traj) in trajs.iter().enumerate() {
+            for_each_zone_cell(WindowReservations::position_at(traj, t), sep, |c| {
+                if let Some(&j) = occupant.get(&c) {
+                    if j > i {
+                        pairs.push((i, j));
+                    }
+                }
+            });
+        }
+        if !pairs.is_empty() {
+            break; // repair this step first; later steps re-verify after
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{Router, RoutingRequest, RoutingStrategy};
+
+    fn request(id: u64, start: (u32, u32), goal: (u32, u32)) -> RoutingRequest {
+        RoutingRequest {
+            id: ParticleId(id),
+            start: GridCoord::new(start.0, start.1),
+            goal: GridCoord::new(goal.0, goal.1),
+        }
+    }
+
+    fn small_shards() -> IncrementalRouter {
+        IncrementalRouter::new(ShardConfig {
+            shard_side: 8,
+            window: 4,
+            max_stagnant_windows: 4,
+        })
+    }
+
+    #[test]
+    fn single_particle_crosses_the_whole_array() {
+        let problem = RoutingProblem::new(GridDims::square(32), vec![request(1, (1, 1), (30, 30))]);
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert!(outcome.unrouted.is_empty());
+        assert!(outcome.is_conflict_free(problem.min_separation));
+        // Windowed planning may detour around frozen margins but stays close
+        // to the Manhattan distance.
+        assert!(outcome.makespan >= 58);
+        assert!(outcome.makespan <= 2 * 58);
+    }
+
+    #[test]
+    fn crossing_particles_stay_separated() {
+        let problem = RoutingProblem::new(
+            GridDims::square(24),
+            vec![request(1, (1, 10), (22, 10)), request(2, (22, 10), (1, 10))],
+        );
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert!(
+            outcome.unrouted.is_empty(),
+            "unrouted: {:?}",
+            outcome.unrouted
+        );
+        assert!(outcome.is_conflict_free(problem.min_separation));
+    }
+
+    #[test]
+    fn dense_column_routes_conflict_free() {
+        let mut requests = Vec::new();
+        for (i, y) in (1..30).step_by(3).enumerate() {
+            requests.push(request(i as u64, (2, y), (29, y)));
+        }
+        let problem = RoutingProblem::new(GridDims::square(32), requests.clone());
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert_eq!(outcome.paths.len(), requests.len());
+        assert!(outcome.is_conflict_free(problem.min_separation));
+    }
+
+    #[test]
+    fn zero_requests_is_a_trivial_success() {
+        let problem = RoutingProblem::new(GridDims::square(16), Vec::new());
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert!(outcome.paths.is_empty());
+        assert!(outcome.unrouted.is_empty());
+        assert_eq!(outcome.makespan, 0);
+        assert_eq!(outcome.success_rate(0), 1.0);
+    }
+
+    #[test]
+    fn stationary_requests_stay_put() {
+        let problem = RoutingProblem::new(
+            GridDims::square(16),
+            vec![request(1, (4, 4), (4, 4)), request(2, (10, 4), (12, 4))],
+        );
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert_eq!(outcome.paths.len(), 2);
+        assert_eq!(outcome.paths[0].move_count(), 0);
+        assert!(outcome.is_conflict_free(problem.min_separation));
+    }
+
+    #[test]
+    fn respects_larger_separations() {
+        let mut problem = RoutingProblem::new(
+            GridDims::square(24),
+            vec![request(1, (2, 8), (20, 8)), request(2, (2, 14), (20, 14))],
+        );
+        problem.min_separation = 4;
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert_eq!(outcome.paths.len(), 2);
+        assert!(outcome.is_conflict_free(4));
+    }
+
+    #[test]
+    fn horizon_bounds_are_respected() {
+        let mut problem =
+            RoutingProblem::new(GridDims::square(32), vec![request(1, (0, 0), (31, 31))]);
+        problem.max_steps = 10;
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert_eq!(outcome.paths.len(), 0);
+        assert_eq!(outcome.unrouted, vec![ParticleId(1)]);
+    }
+
+    #[test]
+    fn matches_global_planner_quality_on_moderate_traffic() {
+        let mut requests = Vec::new();
+        for i in 0..8u32 {
+            requests.push(request(
+                u64::from(i),
+                (1, 1 + 3 * i),
+                (28, 1 + 3 * ((i + 3) % 8)),
+            ));
+        }
+        let problem = RoutingProblem::new(GridDims::square(32), requests.clone());
+        let incremental = small_shards().solve(&problem).unwrap();
+        let global = Router::new(RoutingStrategy::PrioritizedAStar)
+            .solve(&problem)
+            .unwrap();
+        assert!(incremental.is_conflict_free(problem.min_separation));
+        assert!(incremental.paths.len() >= global.paths.len().saturating_sub(1));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mut requests = Vec::new();
+        for i in 0..20u32 {
+            requests.push(request(
+                u64::from(i),
+                (1 + (i % 4) * 3, 1 + (i / 4) * 3),
+                (28 - (i % 4) * 3, 28 - (i / 4) * 3),
+            ));
+        }
+        let problem = RoutingProblem::new(GridDims::square(32), requests);
+        let router = small_shards();
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| router.solve(&problem).unwrap());
+        let many = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| router.solve(&problem).unwrap());
+        assert_eq!(one, many);
+        assert!(one.is_conflict_free(problem.min_separation));
+    }
+
+    #[test]
+    fn window_astar_advances_toward_a_far_goal() {
+        let reservations = WindowReservations::new(4, 2);
+        let mut scratch = Scratch::default();
+        let path = window_astar(
+            GridCoord::new(0, 9),
+            GridCoord::new(6, 14),
+            |_| true,
+            GridCoord::new(1, 10),
+            GridCoord::new(22, 10),
+            &reservations,
+            &mut scratch,
+            EXPANSION_CAP,
+        );
+        assert_eq!(path.last(), Some(&GridCoord::new(5, 10)), "path: {path:?}");
+        assert_eq!(path.len(), 5);
+    }
+
+    #[test]
+    fn partition_margins_only_on_internal_boundaries() {
+        let part = Partition::new(GridDims::square(16), 8, 0, 0);
+        // Array corner: no internal boundary nearby.
+        assert!(!part.in_margin(GridCoord::new(0, 0), 1));
+        // Cells flanking the internal boundary at x = 8.
+        assert!(part.in_margin(GridCoord::new(7, 4), 1));
+        assert!(part.in_margin(GridCoord::new(8, 4), 1));
+        assert!(!part.in_margin(GridCoord::new(6, 4), 1));
+        // Staggered partition moves the margin.
+        let staggered = Partition::new(GridDims::square(16), 8, 4, 4);
+        assert!(!staggered.in_margin(GridCoord::new(7, 7), 1));
+        assert!(staggered.in_margin(GridCoord::new(4, 7), 1));
+    }
+
+    #[test]
+    fn every_cell_is_mobile_in_some_phase() {
+        let dims = GridDims::square(20);
+        let side = 8u32;
+        let phases = [(0, 0), (4, 0), (0, 4), (4, 4)];
+        for c in dims.iter() {
+            let mobile_somewhere = phases
+                .iter()
+                .any(|&(ox, oy)| !Partition::new(dims, side, ox, oy).in_margin(c, 1));
+            assert!(mobile_somewhere, "cell {c} is frozen in every phase");
+        }
+    }
+}

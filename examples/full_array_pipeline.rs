@@ -1,0 +1,88 @@
+//! Full-array concurrent manipulation pipeline, end to end.
+//!
+//! Runs one complete paper-style assay cycle with the batch workload
+//! driver — load a few hundred particles, sort them across the array with
+//! the incremental sharded planner, scan the sensors, flush — then shows
+//! the same machinery through the scenario engine (E10's planner
+//! comparison).
+//!
+//! ```bash
+//! cargo run --release -p labchip_core --example full_array_pipeline
+//! ```
+
+use labchip::prelude::*;
+use labchip::workload::sort_problem;
+use labchip_units::GridDims;
+
+fn main() {
+    // --- The driver: one load → route → sense → flush cycle. -------------
+    let mut driver = BatchDriver::new(WorkloadConfig {
+        array_side: 128,
+        ..WorkloadConfig::default()
+    });
+    println!(
+        "force envelope: holding force {:.1} pN, max cage speed {:.0} um/s",
+        driver.envelope().holding_force.get() * 1e12,
+        driver.envelope().max_speed.as_micrometers_per_second()
+    );
+
+    let report = driver.run_cycle(400);
+    println!(
+        "cycle {}: routed {}/{} particles, {} moves in {} steps",
+        report.cycle, report.routed, report.requested, report.total_moves, report.makespan_steps
+    );
+    println!(
+        "  plan: {:.0} ms wall ({} moves force-checked, {} infeasible)",
+        report.planning.get() * 1e3,
+        report.moves_checked,
+        report.infeasible_moves
+    );
+    println!(
+        "  chip: motion {:.0} s, sensing {:.2} s, fluidics {:.0} s; \
+         row-rewrite budget used {:.2}% of a step",
+        report.time.motion.get(),
+        report.time.sensing.get(),
+        report.time.fluidics.get(),
+        100.0 * report.budget.utilization(driver.config().step_period)
+    );
+    assert!(
+        report.conflict_free,
+        "plans must satisfy the separation rule"
+    );
+
+    // --- The planners head to head on one problem. ------------------------
+    let problem = sort_problem(GridDims::square(128), 400, 2, 42);
+    for (name, strategy) in [
+        ("greedy", RoutingStrategy::Greedy),
+        ("incremental", RoutingStrategy::Incremental),
+    ] {
+        let outcome = Router::new(strategy)
+            .solve(&problem)
+            .expect("generated problems are well-formed");
+        println!(
+            "{name:>12}: {:.1}% routed, makespan {} steps, {} moves, conflict-free: {}",
+            100.0 * outcome.success_rate(problem.requests.len()),
+            outcome.makespan,
+            outcome.total_moves,
+            outcome.is_conflict_free(problem.min_separation)
+        );
+    }
+
+    // --- The same pipeline through the scenario engine. -------------------
+    let mut runner = Runner::new(ScenarioRegistry::all());
+    for spec in [
+        "array_side=96",
+        "particles=150",
+        "density_steps=[1.0]",
+        "astar_cap=16",
+        "astar_max_steps=256",
+        "particles_per_cycle=150",
+        "cycles=2",
+    ] {
+        runner.set_override(spec).expect("well-formed override");
+    }
+    let outcomes = runner.run(&["e10", "e11"]).expect("scenarios run");
+    for outcome in &outcomes {
+        println!("\n{}", outcome.table);
+    }
+}
