@@ -1,4 +1,4 @@
-//! Criterion benches: one group per scenario (E1–E11).
+//! Criterion benches: one group per scenario (E1–E12).
 //!
 //! Each bench runs the corresponding experiment with a reduced configuration
 //! so that `cargo bench` completes in minutes; the `report` binary runs the

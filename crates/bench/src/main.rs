@@ -7,7 +7,7 @@
 //! report list                          # enumerate the registered scenarios
 //! report run --all                     # every experiment, markdown tables
 //! report run e2 e5                     # a subset
-//! report run --all --json              # one JSON document covering E1..E11
+//! report run --all --json              # one JSON document covering E1..E12
 //! report run e3 --set threads=2        # key=value overrides onto the typed config
 //! report run --all --seed 7 --serial   # derived per-scenario seeds, serial order
 //! report bench-fields [OUT.json]       # field-kernel benchmark trajectory
@@ -61,7 +61,7 @@ fn main() {
                 if registry.get(id).is_some() {
                     legacy.push(id.clone());
                 } else {
-                    eprintln!("unknown experiment id `{id}` (expected E1..E11)");
+                    eprintln!("unknown experiment id `{id}` (expected E1..E12)");
                 }
             }
             if args.is_empty() {
@@ -284,22 +284,43 @@ fn bench_fields(out_path: &str) {
     }
 
     // Simulator step throughput: particle-steps per second, 1000 particles.
-    let mut throughput: Vec<(String, f64)> = Vec::new();
+    // The `threads/1` vs `threads/all_cores` comparison is meaningless
+    // without knowing how many cores "all" resolved to on the machine that
+    // ran it (a 1-core runner legitimately reports a 1.0x speedup), so the
+    // machine's parallelism is recorded alongside every row and in the
+    // document's `meta` block.
+    let available_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut throughput: Vec<(String, f64, usize)> = Vec::new();
     for threads in [1usize, 0] {
         let mut sim = populated_simulator(threads, 1000);
         let ns_per_step = time_ns(|| sim.run(1));
-        let label = if threads == 0 { "all_cores" } else { "1" };
-        entries.push((
+        let resolved = if threads == 0 {
+            available_parallelism
+        } else {
+            threads
+        };
+        let label = if threads == 0 {
+            format!("all_cores({resolved})")
+        } else {
+            threads.to_string()
+        };
+        throughput.push((
             format!("simulator_step_1000_particles/threads/{label}"),
             ns_per_step,
+            resolved,
         ));
         throughput.push((
             format!("particle_steps_per_second/threads/{label}"),
             1000.0 / (ns_per_step * 1e-9),
+            resolved,
         ));
     }
 
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    let mut json = format!(
+        "{{\n  \"meta\": {{\"available_parallelism\": {available_parallelism}}},\n  \"benchmarks\": [\n"
+    );
     for (i, (id, ns)) in entries.iter().enumerate() {
         let sep = if i + 1 < entries.len() || !throughput.is_empty() {
             ","
@@ -310,10 +331,15 @@ fn bench_fields(out_path: &str) {
             "    {{\"id\": \"{id}\", \"ns_per_op\": {ns:.2}}}{sep}\n"
         ));
     }
-    for (i, (id, value)) in throughput.iter().enumerate() {
+    for (i, (id, value, threads)) in throughput.iter().enumerate() {
         let sep = if i + 1 < throughput.len() { "," } else { "" };
+        let key = if id.starts_with("particle_steps") {
+            "value"
+        } else {
+            "ns_per_op"
+        };
         json.push_str(&format!(
-            "    {{\"id\": \"{id}\", \"value\": {value:.1}}}{sep}\n"
+            "    {{\"id\": \"{id}\", \"{key}\": {value:.1}, \"threads\": {threads}}}{sep}\n"
         ));
     }
     json.push_str("  ]\n}\n");

@@ -14,7 +14,7 @@
 
 use crate::experiments::ExperimentTable;
 use crate::scenario::{Scenario, ScenarioContext};
-use crate::workload::{BatchDriver, CycleReport, WorkloadConfig};
+use crate::workload::{BatchDriver, CycleReport, RecoveryPolicy, WorkloadConfig};
 use labchip_manipulation::sharding::ShardConfig;
 use labchip_units::Seconds;
 use serde::{Deserialize, Serialize};
@@ -34,6 +34,8 @@ pub struct Config {
     pub step_period: Seconds,
     /// Sensor frames averaged per detection scan.
     pub detection_frames: u32,
+    /// Scale applied to every sensor noise term (1 = reference channel).
+    pub noise_scale: f64,
     /// Fluidic handling time per batch load.
     pub load_time: Seconds,
     /// Fluidic handling time per batch flush.
@@ -57,6 +59,7 @@ impl Default for Config {
             min_separation: 2,
             step_period: Seconds::new(0.4),
             detection_frames: 16,
+            noise_scale: 1.0,
             load_time: Seconds::from_minutes(1.0),
             flush_time: Seconds::from_minutes(0.5),
             shard_side: 32,
@@ -226,6 +229,8 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
         min_separation: config.min_separation,
         step_period: config.step_period,
         detection_frames: config.detection_frames,
+        noise_scale: config.noise_scale,
+        recovery: RecoveryPolicy::disabled(),
         load_time: config.load_time,
         flush_time: config.flush_time,
         seed: config.seed,

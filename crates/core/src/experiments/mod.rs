@@ -17,11 +17,13 @@
 //! | E9 | the assembled device runs a full assay (Fig. 3) | [`e9_assay`] |
 //! | E10 | full-array concurrent sort, thousands of cages | [`e10_fullarray`] |
 //! | E11 | sustained route→sense→flush assay throughput | [`e11_throughput`] |
+//! | E12 | closed-loop assay under sensor noise | [`e12_closedloop`] |
 //!
-//! E10 and E11 go beyond the paper's individual claims: they exercise the
-//! *assembled* pipeline at the scale §4 envisions, comparing the incremental
-//! sharded planner against the E7 planners and measuring sustained assay
-//! throughput.
+//! E10–E12 go beyond the paper's individual claims: they exercise the
+//! *assembled* pipeline at the scale §4 envisions — comparing the
+//! incremental sharded planner against the E7 planners, measuring sustained
+//! assay throughput, and closing the sense→decide→act loop against a
+//! physically noisy detection path.
 //!
 //! Every experiment exposes a `Config` (with defaults matching the paper's
 //! scenario), a typed result, and a conversion into a generic
@@ -43,6 +45,7 @@
 
 pub mod e10_fullarray;
 pub mod e11_throughput;
+pub mod e12_closedloop;
 pub mod e1_scale;
 pub mod e2_technology;
 pub mod e3_motion;

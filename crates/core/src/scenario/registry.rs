@@ -111,7 +111,8 @@ impl ScenarioRegistry {
 
     /// Every registered scenario: the paper experiments E1 through E9 in
     /// paper order, followed by the full-array pipeline scenarios E10
-    /// (concurrent sort) and E11 (sustained throughput).
+    /// (concurrent sort), E11 (sustained throughput) and E12 (closed-loop
+    /// assay under sensor noise).
     pub fn all() -> Self {
         use crate::experiments::*;
         let mut registry = Self::empty();
@@ -126,6 +127,7 @@ impl ScenarioRegistry {
         registry.register(e9_assay::AssayScenario);
         registry.register(e10_fullarray::FullArrayScenario);
         registry.register(e11_throughput::ThroughputScenario);
+        registry.register(e12_closedloop::ClosedLoopScenario);
         registry
     }
 
@@ -183,7 +185,7 @@ mod tests {
         let registry = ScenarioRegistry::all();
         assert_eq!(
             registry.ids(),
-            ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"]
+            ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
         );
     }
 

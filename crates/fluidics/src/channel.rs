@@ -208,18 +208,26 @@ impl FlowSolution {
 }
 
 /// Dense Gaussian elimination with partial pivoting; returns `None` for a
-/// singular system.
+/// singular system or one contaminated by non-finite coefficients.
 #[allow(clippy::needless_range_loop)] // Gaussian elimination needs two rows of `a` at once
 fn gaussian_elimination(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
-        // Pivot.
-        let pivot_row = (col..n).max_by(|&i, &j| {
-            a[i][col]
-                .abs()
-                .partial_cmp(&a[j][col].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })?;
+        // Pivot. A NaN or infinite candidate would previously win (or lose)
+        // the comparison arbitrarily and poison the back-substitution with a
+        // plausible-looking garbage solution; treat it as singular instead.
+        let mut pivot_row = col;
+        let mut pivot_mag = -1.0f64;
+        for row in col..n {
+            let mag = a[row][col].abs();
+            if !mag.is_finite() {
+                return None;
+            }
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = row;
+            }
+        }
         if a[pivot_row][col].abs() < 1e-30 {
             return None;
         }
@@ -262,6 +270,22 @@ mod tests {
 
     fn viscosity() -> PascalSeconds {
         PascalSeconds::new(WATER_VISCOSITY)
+    }
+
+    #[test]
+    fn nan_contaminated_system_is_rejected_as_singular() {
+        // Regression: a NaN candidate used to win (or lose) the pivot
+        // comparison arbitrarily via `partial_cmp(..).unwrap_or(Equal)`,
+        // and back-substitution then returned a plausible-looking garbage
+        // solution instead of failing.
+        let a = vec![vec![1.0, 2.0], vec![f64::NAN, 1.0]];
+        assert!(gaussian_elimination(a, vec![1.0, 2.0]).is_none());
+        let inf = vec![vec![f64::INFINITY, 0.0], vec![0.0, 1.0]];
+        assert!(gaussian_elimination(inf, vec![1.0, 1.0]).is_none());
+        // A well-posed system still solves.
+        let x = gaussian_elimination(vec![vec![2.0, 0.0], vec![0.0, 4.0]], vec![2.0, 8.0])
+            .expect("regular system solves");
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! boundary (and the `report run --set/--json` surface) rests on.
 
 use labchip::experiments::{
-    e10_fullarray, e11_throughput, e1_scale, e2_technology, e3_motion, e4_sensing, e5_designflow,
-    e6_fabrication, e7_routing, e8_centering, e9_assay,
+    e10_fullarray, e11_throughput, e12_closedloop, e1_scale, e2_technology, e3_motion, e4_sensing,
+    e5_designflow, e6_fabrication, e7_routing, e8_centering, e9_assay,
 };
 use labchip_array::technology::TechnologyNode;
 use labchip_fluidics::fabrication::ProcessKind;
@@ -220,6 +220,43 @@ proptest! {
             min_separation,
             step_period: Seconds::new(step_period_s),
             detection_frames,
+            noise_scale: detection_frames as f64 * 0.25,
+            load_time: Seconds::new(load_time_s),
+            flush_time: Seconds::new(flush_time_s),
+            shard_side,
+            window,
+            threads,
+            seed,
+        };
+        prop_assert_eq!(round_trip(&config), config);
+    }
+
+    #[test]
+    fn e12_closedloop_config_round_trips(
+        array_side in 16u32..512,
+        particles in 1usize..5_000,
+        noise_scales in proptest::collection::vec(0.0f64..16.0, 1..5),
+        frame_counts in proptest::collection::vec(1u32..128, 1..5),
+        rescan_factor in 1u32..16,
+        max_recovery_rounds in 0u32..8,
+        min_separation in 1u32..4,
+        step_period_s in 0.05f64..2.0,
+        load_time_s in 1.0f64..600.0,
+        flush_time_s in 1.0f64..600.0,
+        shard_side in 4u32..64,
+        window in 1u32..32,
+        threads in 0usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let config = e12_closedloop::Config {
+            array_side,
+            particles,
+            noise_scales,
+            frame_counts,
+            rescan_factor,
+            max_recovery_rounds,
+            min_separation,
+            step_period: Seconds::new(step_period_s),
             load_time: Seconds::new(load_time_s),
             flush_time: Seconds::new(flush_time_s),
             shard_side,
@@ -255,6 +292,7 @@ fn default_configs_round_trip_pretty() {
         e8_centering,
         e9_assay,
         e10_fullarray,
-        e11_throughput
+        e11_throughput,
+        e12_closedloop
     );
 }

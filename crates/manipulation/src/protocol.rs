@@ -114,12 +114,16 @@ pub struct TimeBreakdown {
     pub sensing: Seconds,
     /// Cage motion (the mechanics of dragging cells).
     pub motion: Seconds,
+    /// Closed-loop recovery: targeted re-scans of suspect sites and the
+    /// corrective cage moves they trigger when detection disagrees with the
+    /// plan.
+    pub recovery: Seconds,
 }
 
 impl TimeBreakdown {
     /// Total protocol duration.
     pub fn total(&self) -> Seconds {
-        self.fluidics + self.sensing + self.motion
+        self.fluidics + self.sensing + self.motion + self.recovery
     }
 }
 

@@ -1,0 +1,309 @@
+//! Full-array scan synthesis: from true occupancy to a *detected* map.
+//!
+//! Everything else in this crate models one sensing channel at a time; this
+//! module assembles those pieces into the thing the chip actually produces
+//! each cycle — a whole-array [`OccupancyMap`] read through real, noisy
+//! electronics. For every site the synthesizer takes the true occupancy,
+//! produces the noise-free [`CapacitiveSensor`] level, adds the site's
+//! fixed-pattern offset and a seeded per-site noise burst, averages
+//! [`FrameAverager`]-style, subtracts the [`OffsetCalibration`] estimate and
+//! thresholds with the level classifier ([`Detector`]). The result is the
+//! detected map plus the [`DetectionStats`] confusion counts against truth.
+//!
+//! ## Determinism contract
+//!
+//! Each site draws from its own ChaCha8 stream, derived as a pure function
+//! of `(scanner seed, site index, scan pass)` with the same SplitMix64
+//! mixing discipline as the particle simulator. Sites never share a stream,
+//! so a scan is bit-identical however the rows are split across threads —
+//! serial and parallel runs agree exactly, and re-scanning one suspect site
+//! reproduces what a full scan of the same pass would have read there.
+
+use crate::averaging::FrameAverager;
+use crate::calibration::OffsetCalibration;
+use crate::capacitive::CapacitiveSensor;
+use crate::detect::{DetectionStats, Detector, Occupancy, OccupancyMap};
+use crate::noise::NoiseModel;
+use labchip_units::{GridCoord, GridDims};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Stream-salt separating fixed-pattern sampling from scan noise.
+const FIXED_PATTERN_SALT: u64 = 0xF1BE_D0FF_5E75_0001;
+/// Stream-salt separating scan passes from one another.
+const PASS_STRIDE: u64 = 0x517C_C1B7_2722_0A95;
+/// Reference frames averaged to build the offset calibration.
+const CALIBRATION_FRAMES: u32 = 64;
+
+/// The outcome of one synthesized scan: what the readout decided, plus the
+/// confusion counts against the true occupancy it was synthesized from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanResult {
+    /// Per-site decisions of the classifier.
+    pub map: OccupancyMap,
+    /// Confusion-matrix counts versus the true occupancy.
+    pub stats: DetectionStats,
+}
+
+/// Synthesizes whole-array detection scans from true occupancy.
+///
+/// Construction samples the chip's as-fabricated fixed-pattern offsets and
+/// builds the start-of-assay reference-frame calibration, both from the
+/// scanner seed; [`ArrayScanner::scan`] then produces one averaged, noisy,
+/// calibrated, thresholded read of every site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayScanner {
+    dims: GridDims,
+    sensor: CapacitiveSensor,
+    detector: Detector,
+    noise: NoiseModel,
+    fixed_pattern: OffsetCalibration,
+    calibration: OffsetCalibration,
+    seed: u64,
+}
+
+impl ArrayScanner {
+    /// Creates a scanner for a `dims` array read through `sensor`, with
+    /// every noise term scaled by `noise_scale` (0 = ideal electronics) and
+    /// all randomness derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_scale` is negative or not finite.
+    pub fn new(dims: GridDims, sensor: CapacitiveSensor, noise_scale: f64, seed: u64) -> Self {
+        let noise = sensor.noise.scaled(noise_scale);
+        let detector = Detector::new(0.0, sensor.signal_for(Occupancy::Occupied).get())
+            .expect("occupied and empty sensor levels always differ");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ FIXED_PATTERN_SALT);
+        let fixed_pattern = OffsetCalibration::sample_fixed_pattern(dims, &noise, &mut rng);
+        let calibration = OffsetCalibration::from_reference_frames(
+            &fixed_pattern,
+            &noise,
+            CALIBRATION_FRAMES,
+            &mut rng,
+        );
+        Self {
+            dims,
+            sensor,
+            detector,
+            noise,
+            fixed_pattern,
+            calibration,
+            seed,
+        }
+    }
+
+    /// A scanner over the paper's reference channel.
+    pub fn date05_reference(dims: GridDims, noise_scale: f64, seed: u64) -> Self {
+        Self::new(
+            dims,
+            CapacitiveSensor::date05_reference(),
+            noise_scale,
+            seed,
+        )
+    }
+
+    /// Array dimensions scanned.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// The level classifier thresholding the readings.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// The scaled per-frame noise in effect.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Theoretical per-site decision error probability of an `frames`-frame
+    /// averaged read (offset assumed calibrated away — the residual
+    /// calibration error is neglected).
+    pub fn error_probability(&self, frames: u32) -> f64 {
+        self.detector
+            .error_probability(self.noise.averaged_rms_calibrated(frames))
+    }
+
+    /// The per-site ChaCha8 stream: SplitMix64-mix the site index and scan
+    /// pass, fold into the seed — the same separation discipline as the
+    /// particle simulator, so serial and parallel scans agree bit-for-bit.
+    fn site_rng(&self, index: usize, pass: u64) -> ChaCha8Rng {
+        let mut z = (index as u64)
+            .wrapping_add(1)
+            .wrapping_add(pass.wrapping_mul(PASS_STRIDE))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ChaCha8Rng::seed_from_u64(self.seed ^ z)
+    }
+
+    /// One calibrated, averaged measurement of a site with true state
+    /// `truth`.
+    fn measure_site(
+        &self,
+        truth: Occupancy,
+        site: GridCoord,
+        frames: &FrameAverager,
+        pass: u64,
+    ) -> f64 {
+        let index = self.dims.index_of(site);
+        let level = self.sensor.signal_for(truth).get() + self.fixed_pattern.offset(site);
+        let mut rng = self.site_rng(index, pass);
+        let raw = frames.measure(level, &self.noise, &mut rng);
+        self.calibration.correct(site, raw)
+    }
+
+    /// Reads and classifies one site — the targeted re-scan primitive the
+    /// recovery loop uses on suspect sites, typically with more frames than
+    /// the full scan. Deterministic in `(seed, site, pass)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is outside the array or `frames` is zero.
+    pub fn sense_site(
+        &self,
+        truth: Occupancy,
+        site: GridCoord,
+        frames: u32,
+        pass: u64,
+    ) -> Occupancy {
+        let averager = FrameAverager::new(frames);
+        self.detector
+            .classify(self.measure_site(truth, site, &averager, pass))
+    }
+
+    /// Synthesizes one full-array scan of `truth`, averaging `frames` frames
+    /// per site; `pass` separates repeated scans of the same cycle. Sites
+    /// are processed in parallel (rayon) with per-site streams, so the
+    /// result is independent of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth` has different dimensions or `frames` is zero.
+    pub fn scan(&self, truth: &OccupancyMap, frames: u32, pass: u64) -> ScanResult {
+        assert_eq!(
+            truth.dims(),
+            self.dims,
+            "truth map dimensions must match the scanner"
+        );
+        let averager = FrameAverager::new(frames);
+        let mut decisions = vec![Occupancy::Empty; self.dims.count() as usize];
+        decisions
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(index, slot)| {
+                let site = self.dims.coord_of(index);
+                let truth_here = truth.get(site);
+                *slot = self
+                    .detector
+                    .classify(self.measure_site(truth_here, site, &averager, pass));
+            });
+
+        let mut map = OccupancyMap::new(self.dims);
+        let mut stats = DetectionStats::default();
+        for (index, decision) in decisions.into_iter().enumerate() {
+            let site = self.dims.coord_of(index);
+            map.set(site, decision);
+            stats.record(truth.get(site), decision);
+        }
+        ScanResult { map, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth_with(dims: GridDims, occupied: &[(u32, u32)]) -> OccupancyMap {
+        let mut map = OccupancyMap::new(dims);
+        for &(x, y) in occupied {
+            map.set(GridCoord::new(x, y), Occupancy::Occupied);
+        }
+        map
+    }
+
+    #[test]
+    fn zero_noise_scan_reproduces_truth_exactly() {
+        let dims = GridDims::square(24);
+        let truth = truth_with(dims, &[(3, 4), (10, 10), (20, 1), (0, 23)]);
+        let scanner = ArrayScanner::date05_reference(dims, 0.0, 7);
+        let result = scanner.scan(&truth, 1, 0);
+        assert_eq!(result.map, truth);
+        assert_eq!(result.stats.error_rate(), 0.0);
+        assert_eq!(result.stats.true_positives, 4);
+        assert_eq!(result.stats.total(), dims.count());
+    }
+
+    #[test]
+    fn scans_are_deterministic_per_seed_and_pass() {
+        let dims = GridDims::square(16);
+        let truth = truth_with(dims, &[(2, 2), (8, 9)]);
+        let scanner = ArrayScanner::date05_reference(dims, 6.0, 42);
+        let a = scanner.scan(&truth, 4, 1);
+        let b = scanner.scan(&truth, 4, 1);
+        assert_eq!(a, b);
+        // A different pass re-reads with fresh noise.
+        let c = scanner.scan(&truth, 4, 2);
+        assert_ne!(
+            a.map, c.map,
+            "heavy noise should flip some decisions between passes"
+        );
+        // A different seed gives a different chip.
+        let other = ArrayScanner::date05_reference(dims, 6.0, 43);
+        assert_ne!(other.scan(&truth, 4, 1).map, a.map);
+    }
+
+    #[test]
+    fn sense_site_matches_the_full_scan_of_the_same_pass() {
+        let dims = GridDims::square(12);
+        let truth = truth_with(dims, &[(5, 5), (1, 9)]);
+        let scanner = ArrayScanner::date05_reference(dims, 5.0, 11);
+        let full = scanner.scan(&truth, 8, 3);
+        for site in dims.iter() {
+            assert_eq!(
+                scanner.sense_site(truth.get(site), site, 8, 3),
+                full.map.get(site),
+                "site {site} disagrees with the full scan"
+            );
+        }
+    }
+
+    #[test]
+    fn error_rate_tracks_theory_and_falls_with_frames() {
+        let dims = GridDims::square(64);
+        // Half the array occupied so both error kinds are exercised.
+        let mut truth = OccupancyMap::new(dims);
+        for site in dims.iter() {
+            if (site.x + site.y) % 2 == 0 {
+                truth.set(site, Occupancy::Occupied);
+            }
+        }
+        let scanner = ArrayScanner::date05_reference(dims, 8.0, 5);
+        let noisy = scanner.scan(&truth, 2, 0);
+        let averaged = scanner.scan(&truth, 32, 1);
+        assert!(
+            noisy.stats.error_rate() > averaged.stats.error_rate(),
+            "averaging must reduce the observed error rate: {} vs {}",
+            noisy.stats.error_rate(),
+            averaged.stats.error_rate()
+        );
+        let theory = scanner.error_probability(2);
+        let observed = noisy.stats.error_rate();
+        assert!(
+            (observed - theory).abs() < 0.05 + 0.5 * theory,
+            "observed {observed} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn mismatched_truth_dimensions_panic() {
+        let scanner = ArrayScanner::date05_reference(GridDims::square(8), 1.0, 1);
+        let _ = scanner.scan(&OccupancyMap::new(GridDims::square(9)), 1, 0);
+    }
+}

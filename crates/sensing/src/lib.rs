@@ -26,6 +26,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod adc;
+pub mod array_scan;
 pub mod averaging;
 pub mod calibration;
 pub mod capacitive;
@@ -38,6 +39,7 @@ pub mod scan;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::adc::Adc;
+    pub use crate::array_scan::{ArrayScanner, ScanResult};
     pub use crate::averaging::FrameAverager;
     pub use crate::calibration::OffsetCalibration;
     pub use crate::capacitive::CapacitiveSensor;

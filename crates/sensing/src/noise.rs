@@ -48,6 +48,27 @@ impl NoiseModel {
         }
     }
 
+    /// Scales every noise term (thermal, shot, flicker and offset spread) by
+    /// `factor` — the "noise RMS knob" that scenario sweeps turn. A factor of
+    /// zero yields a perfectly quiet channel, so a zero-noise scan reproduces
+    /// the true occupancy bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "noise scale must be finite and non-negative"
+        );
+        Self {
+            thermal_rms: self.thermal_rms * factor,
+            shot_rms: self.shot_rms * factor,
+            flicker_rms: self.flicker_rms * factor,
+            offset_sigma: self.offset_sigma * factor,
+        }
+    }
+
     /// Total RMS of the per-frame random noise (thermal + shot, in
     /// quadrature). Flicker and offset are handled separately because they do
     /// not average down the same way.
@@ -170,5 +191,23 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_frames_rejected() {
         let _ = NoiseModel::default().averaged_rms(0);
+    }
+
+    #[test]
+    fn scaling_multiplies_every_term() {
+        let n = NoiseModel::default().scaled(3.0);
+        assert!((n.thermal_rms - 3.0e-3).abs() < 1e-12);
+        assert!((n.shot_rms - 0.9e-3).abs() < 1e-12);
+        assert!((n.flicker_rms - 0.3e-3).abs() < 1e-12);
+        assert!((n.offset_sigma - 6.0e-3).abs() < 1e-12);
+        let quiet = NoiseModel::default().scaled(0.0);
+        assert_eq!(quiet.random_rms(), 0.0);
+        assert_eq!(quiet.averaged_rms(4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_scale_rejected() {
+        let _ = NoiseModel::default().scaled(-1.0);
     }
 }

@@ -1,13 +1,27 @@
 //! Property-based tests for the sensing crate.
 
 use labchip_sensing::adc::Adc;
+use labchip_sensing::array_scan::ArrayScanner;
 use labchip_sensing::averaging::FrameAverager;
 use labchip_sensing::capacitive::CapacitiveSensor;
-use labchip_sensing::detect::{gaussian_tail, Detector, Occupancy};
+use labchip_sensing::detect::{gaussian_tail, DetectionStats, Detector, Occupancy, OccupancyMap};
 use labchip_sensing::noise::NoiseModel;
 use labchip_sensing::scan::ScanTiming;
-use labchip_units::{GridDims, Meters, Volts};
+use labchip_units::{GridCoord, GridDims, Meters, Volts};
 use proptest::prelude::*;
+
+/// A strategy for arbitrary (truth, decision) trial sequences.
+fn trials() -> impl Strategy<Value = Vec<(bool, bool)>> {
+    proptest::collection::vec((proptest::bool::ANY, proptest::bool::ANY), 0..64)
+}
+
+fn occupancy(v: bool) -> Occupancy {
+    if v {
+        Occupancy::Occupied
+    } else {
+        Occupancy::Empty
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -75,6 +89,82 @@ proptest! {
         let total = timing.averaged_scan_time(dims, &avg);
         let single = timing.frame_time(dims);
         prop_assert!((total.get() / single.get() - n as f64).abs() < 1e-9);
+    }
+
+    /// Merging per-site [`DetectionStats`] is order-independent and agrees
+    /// with recording every trial into one accumulator: the property the
+    /// parallel full-array scan relies on.
+    #[test]
+    fn detection_stats_merge_is_order_independent(a in trials(), b in trials(), c in trials()) {
+        let record_all = |sets: &[&Vec<(bool, bool)>]| {
+            let mut stats = DetectionStats::default();
+            for set in sets {
+                for &(truth, decision) in set.iter() {
+                    stats.record(occupancy(truth), occupancy(decision));
+                }
+            }
+            stats
+        };
+        let stats_of = |set: &Vec<(bool, bool)>| record_all(&[set]);
+
+        // Per-partition stats merged in any order equal the single-pass
+        // accumulation over the concatenation.
+        let (sa, sb, sc) = (stats_of(&a), stats_of(&b), stats_of(&c));
+        let mut abc = sa;
+        abc.merge(&sb);
+        abc.merge(&sc);
+        let mut cba = sc;
+        cba.merge(&sb);
+        cba.merge(&sa);
+        prop_assert_eq!(abc, cba);
+        prop_assert_eq!(abc, record_all(&[&a, &b, &c]));
+        prop_assert_eq!(abc.total() as usize, a.len() + b.len() + c.len());
+    }
+
+    /// A seeded noisy full-array scan is deterministic: the same seed and
+    /// pass reproduce the identical map and stats whatever the thread
+    /// count (per-site streams), and the stats agree with a per-site
+    /// re-read of the same pass.
+    #[test]
+    fn seeded_full_array_scan_is_deterministic(seed in 0u64..u64::MAX, pass in 0u64..1024, side in 4u32..24, noise_scale in 0.0f64..8.0) {
+        let dims = GridDims::square(side);
+        let mut truth = OccupancyMap::new(dims);
+        for site in dims.iter() {
+            if (site.x * 7 + site.y * 13 + (seed % 5) as u32).is_multiple_of(4) {
+                truth.set(site, Occupancy::Occupied);
+            }
+        }
+        let scanner = ArrayScanner::date05_reference(dims, noise_scale, seed);
+        let serial = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let parallel = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let one = serial.install(|| scanner.scan(&truth, 3, pass));
+        let many = parallel.install(|| scanner.scan(&truth, 3, pass));
+        prop_assert_eq!(&one, &many);
+
+        // The stats are consistent with recording each site's decision.
+        let mut recounted = DetectionStats::default();
+        for site in dims.iter() {
+            recounted.record(truth.get(site), one.map.get(site));
+            prop_assert_eq!(
+                scanner.sense_site(truth.get(site), site, 3, pass),
+                one.map.get(site)
+            );
+        }
+        prop_assert_eq!(recounted, one.stats);
+        prop_assert_eq!(one.stats.total(), dims.count());
+    }
+
+    /// Zero noise makes any scan an exact read of the truth.
+    #[test]
+    fn zero_noise_scan_is_exact(seed in 0u64..u64::MAX, side in 4u32..24, frames in 1u32..8) {
+        let dims = GridDims::square(side);
+        let mut truth = OccupancyMap::new(dims);
+        truth.set(GridCoord::new(side / 2, side / 3), Occupancy::Occupied);
+        truth.set(GridCoord::new(side - 1, side - 1), Occupancy::Occupied);
+        let scanner = ArrayScanner::date05_reference(dims, 0.0, seed);
+        let result = scanner.scan(&truth, frames, 0);
+        prop_assert_eq!(&result.map, &truth);
+        prop_assert_eq!(result.stats.error_rate(), 0.0);
     }
 
     /// Bigger particles always give at least as much capacitive signal, and

@@ -2,9 +2,10 @@
 //!
 //! Runs one complete paper-style assay cycle with the batch workload
 //! driver — load a few hundred particles, sort them across the array with
-//! the incremental sharded planner, scan the sensors, flush — then shows
-//! the same machinery through the scenario engine (E10's planner
-//! comparison).
+//! the incremental sharded planner, read the sensors through the *noisy*
+//! detection path and close the loop on what they report, flush — then
+//! shows the same machinery through the scenario engine (E10's planner
+//! comparison and E12's closed-loop sweep).
 //!
 //! ```bash
 //! cargo run --release -p labchip_core --example full_array_pipeline
@@ -15,9 +16,13 @@ use labchip::workload::sort_problem;
 use labchip_units::GridDims;
 
 fn main() {
-    // --- The driver: one load → route → sense → flush cycle. -------------
+    // --- The driver: one load → route → sense → recover → flush cycle, ---
+    // with loud electronics so the detection path has something to fix.
     let mut driver = BatchDriver::new(WorkloadConfig {
         array_side: 128,
+        noise_scale: 6.0,
+        detection_frames: 4,
+        recovery: RecoveryPolicy::date05_reference(),
         ..WorkloadConfig::default()
     });
     println!(
@@ -38,12 +43,24 @@ fn main() {
         report.infeasible_moves
     );
     println!(
-        "  chip: motion {:.0} s, sensing {:.2} s, fluidics {:.0} s; \
+        "  chip: motion {:.0} s, sensing {:.2} s, recovery {:.2} s, fluidics {:.0} s; \
          row-rewrite budget used {:.2}% of a step",
         report.time.motion.get(),
         report.time.sensing.get(),
+        report.time.recovery.get(),
         report.time.fluidics.get(),
         100.0 * report.budget.utilization(driver.config().step_period)
+    );
+    println!(
+        "  sense: {} detected ({} FP / {} FN, error rate {:.2e}); \
+         plan mismatches {} -> {} after {} recovery rounds",
+        report.occupancy_detected,
+        report.detection.false_positives,
+        report.detection.false_negatives,
+        report.detection_error_rate(),
+        report.mismatches_initial,
+        report.mismatches_final,
+        report.recovery_rounds,
     );
     assert!(
         report.conflict_free,
@@ -78,10 +95,12 @@ fn main() {
         "astar_max_steps=256",
         "particles_per_cycle=150",
         "cycles=2",
+        "noise_scales=[0.0,4.0]",
+        "frame_counts=[4]",
     ] {
         runner.set_override(spec).expect("well-formed override");
     }
-    let outcomes = runner.run(&["e10", "e11"]).expect("scenarios run");
+    let outcomes = runner.run(&["e10", "e11", "e12"]).expect("scenarios run");
     for outcome in &outcomes {
         println!("\n{}", outcome.table);
     }
