@@ -173,6 +173,27 @@ fn bench_e10_fullarray(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_workload_driver(c: &mut Criterion) {
+    let mut group = configure(c, "workload_driver_cycle");
+    // Full assay cycles through the phase pipeline vs the retained legacy
+    // monolith — the criterion twin of `report bench-workload`, tracking
+    // that the protocol-runner overhead stays in the noise.
+    let envelope = labchip::workload::ForceEnvelope::date05_reference();
+    let config = labchip::workload::WorkloadConfig {
+        array_side: 96,
+        ..labchip::workload::WorkloadConfig::default()
+    };
+    group.bench_function("protocol_cycle_200", |b| {
+        let mut driver = labchip::workload::BatchDriver::with_envelope(config, envelope);
+        b.iter(|| black_box(driver.run_cycle(200)));
+    });
+    group.bench_function("legacy_cycle_200", |b| {
+        let mut driver = labchip::workload::BatchDriver::with_envelope(config, envelope);
+        b.iter(|| black_box(driver.run_cycle_legacy(200)));
+    });
+    group.finish();
+}
+
 fn bench_incremental_planner(c: &mut Criterion) {
     let mut group = configure(c, "incremental_sharded_planner");
     for particles in [250usize, 1000] {
@@ -201,6 +222,7 @@ criterion_group!(
     bench_e8_centering,
     bench_e9_assay,
     bench_e10_fullarray,
+    bench_workload_driver,
     bench_incremental_planner
 );
 criterion_main!(experiments);

@@ -7,10 +7,11 @@
 //! report list                          # enumerate the registered scenarios
 //! report run --all                     # every experiment, markdown tables
 //! report run e2 e5                     # a subset
-//! report run --all --json              # one JSON document covering E1..E12
+//! report run --all --json              # one JSON document covering E1..E13
 //! report run e3 --set threads=2        # key=value overrides onto the typed config
 //! report run --all --seed 7 --serial   # derived per-scenario seeds, serial order
 //! report bench-fields [OUT.json]       # field-kernel benchmark trajectory
+//! report bench-workload [OUT.json]     # workload/driver benchmark trajectory
 //! report [e2 e5 ...]                   # legacy spelling of `run`
 //! ```
 //!
@@ -44,6 +45,13 @@ fn main() {
                 .unwrap_or_else(|| "BENCH_fields.json".into());
             bench_fields(&out);
         }
+        Some("bench-workload") => {
+            let out = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_workload.json".into());
+            bench_workload(&out);
+        }
         Some("list") => list_scenarios(),
         Some("run") => {
             if let Err(message) = run_scenarios(&args[1..]) {
@@ -61,7 +69,7 @@ fn main() {
                 if registry.get(id).is_some() {
                     legacy.push(id.clone());
                 } else {
-                    eprintln!("unknown experiment id `{id}` (expected E1..E12)");
+                    eprintln!("unknown experiment id `{id}` (expected E1..E13)");
                 }
             }
             if args.is_empty() {
@@ -365,4 +373,120 @@ fn bench_fields(out_path: &str) {
         entries.len() + throughput.len()
     );
     println!("analytic grad_e_squared speedup over finite differences (side 320): {speedup:.1}x");
+}
+
+/// `report bench-workload OUT.json` — the workload-pipeline perf
+/// trajectory: incremental-router planning, full driver cycles, and the
+/// protocol-runner overhead versus the retained legacy monolith.
+///
+/// Both cycle variants run the *identical* deterministic cycle sequence
+/// (same seeds, same routing problems), so their wall-clock totals are
+/// directly comparable; the minimum over repetitions filters scheduler
+/// noise out of the overhead figure.
+fn bench_workload(out_path: &str) {
+    use labchip::workload::{BatchDriver, ForceEnvelope, WorkloadConfig};
+
+    if let Err(err) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out_path)
+    {
+        eprintln!("cannot write benchmark output `{out_path}`: {err}");
+        std::process::exit(1);
+    }
+
+    let envelope = ForceEnvelope::date05_reference();
+    let mut entries: Vec<(String, f64)> = Vec::new();
+
+    // Incremental-router planning alone (no execution, no sensing).
+    for (side, particles) in [(128u32, 500usize), (256, 1000)] {
+        let driver = BatchDriver::with_envelope(
+            WorkloadConfig {
+                array_side: side,
+                ..WorkloadConfig::default()
+            },
+            envelope,
+        );
+        let mut samples = Vec::with_capacity(8);
+        for _ in 0..8 {
+            let t0 = Instant::now();
+            black_box(driver.plan_only(particles, 2005));
+            samples.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        entries.push((
+            format!("workload/incremental_plan/{side}x{particles}"),
+            samples[samples.len() / 2],
+        ));
+    }
+
+    // Full driver cycles: the phase-pipeline `run_cycle` vs the retained
+    // legacy monolith, each running the same deterministic cycle sequence.
+    const CYCLES: usize = 4;
+    const REPS: usize = 3;
+    let cycle_config = WorkloadConfig {
+        array_side: 96,
+        ..WorkloadConfig::default()
+    };
+    let time_cycles = |legacy: bool| -> f64 {
+        // Minimum total over repetitions: identical work each repetition,
+        // so min is the cleanest noise filter.
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let mut driver = BatchDriver::with_envelope(cycle_config, envelope);
+            let t0 = Instant::now();
+            for _ in 0..CYCLES {
+                if legacy {
+                    black_box(driver.run_cycle_legacy(200));
+                } else {
+                    black_box(driver.run_cycle(200));
+                }
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    // Warm both paths once (field caches, allocator) before measuring.
+    time_cycles(false);
+    let protocol_total = time_cycles(false);
+    let legacy_total = time_cycles(true);
+    let per_cycle = |total: f64| total / CYCLES as f64 * 1e9;
+    entries.push((
+        "workload/driver_cycle_protocol/96x200".into(),
+        per_cycle(protocol_total),
+    ));
+    entries.push((
+        "workload/driver_cycle_legacy/96x200".into(),
+        per_cycle(legacy_total),
+    ));
+    let overhead_pct = if legacy_total > 0.0 {
+        100.0 * (protocol_total / legacy_total - 1.0)
+    } else {
+        f64::NAN
+    };
+
+    let available_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut json = format!(
+        "{{\n  \"meta\": {{\"available_parallelism\": {available_parallelism}, \"cycles\": {CYCLES}, \"reps\": {REPS}}},\n  \"benchmarks\": [\n"
+    );
+    for (id, ns) in &entries {
+        json.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"ns_per_op\": {ns:.2}}},\n"
+        ));
+    }
+    json.push_str(&format!(
+        "    {{\"id\": \"workload/protocol_runner_overhead_pct\", \"value\": {overhead_pct:.3}}}\n"
+    ));
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write benchmark json");
+
+    println!("wrote {out_path} ({} entries)", entries.len() + 1);
+    println!(
+        "protocol-runner overhead vs legacy run_cycle: {overhead_pct:+.3}% \
+         ({:.1} ms vs {:.1} ms per cycle)",
+        per_cycle(protocol_total) / 1e6,
+        per_cycle(legacy_total) / 1e6
+    );
 }

@@ -18,12 +18,14 @@
 //! | E10 | full-array concurrent sort, thousands of cages | [`e10_fullarray`] |
 //! | E11 | sustained route→sense→flush assay throughput | [`e11_throughput`] |
 //! | E12 | closed-loop assay under sensor noise | [`e12_closedloop`] |
+//! | E13 | programmable protocols composed from assay phases | [`e13_protocols`] |
 //!
-//! E10–E12 go beyond the paper's individual claims: they exercise the
+//! E10–E13 go beyond the paper's individual claims: they exercise the
 //! *assembled* pipeline at the scale §4 envisions — comparing the
 //! incremental sharded planner against the E7 planners, measuring sustained
-//! assay throughput, and closing the sense→decide→act loop against a
-//! physically noisy detection path.
+//! assay throughput, closing the sense→decide→act loop against a
+//! physically noisy detection path, and running arbitrary protocols
+//! composed from the phase pipeline.
 //!
 //! Every experiment exposes a `Config` (with defaults matching the paper's
 //! scenario), a typed result, and a conversion into a generic
@@ -46,6 +48,7 @@
 pub mod e10_fullarray;
 pub mod e11_throughput;
 pub mod e12_closedloop;
+pub mod e13_protocols;
 pub mod e1_scale;
 pub mod e2_technology;
 pub mod e3_motion;

@@ -15,7 +15,7 @@
 //! [`labchip_designflow`] (Fig. 1 vs Fig. 2 flow comparison). This crate
 //! composes them into a [`Biochip`](biochip::Biochip), a time-stepped
 //! [`ChipSimulator`](simulator::ChipSimulator), the [`experiments`]
-//! module (E1–E12), and the [`scenario`] engine — the unified
+//! module (E1–E13), and the [`scenario`] engine — the unified
 //! trait/registry/runner layer that makes every experiment enumerable,
 //! parameterizable (serde-round-trippable configs, `key=value` overrides)
 //! and runnable in bulk with streaming progress.
@@ -61,7 +61,8 @@ pub mod prelude {
         ChipSimulator, SimulatedParticle, SimulationConfig, StepInfo, StepObserver,
     };
     pub use crate::workload::{
-        BatchDriver, CycleReport, ForceEnvelope, RecoveryPolicy, WorkloadConfig,
+        AssayPhase, BatchDriver, CycleReport, ForceEnvelope, PhaseCtx, PhaseReport, PhaseSpec,
+        ProtocolOutcome, ProtocolRunner, RecoveryPolicy, RouteTarget, WorkloadConfig,
     };
     pub use labchip_array::prelude::*;
     pub use labchip_designflow::prelude::*;

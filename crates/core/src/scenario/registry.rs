@@ -111,8 +111,8 @@ impl ScenarioRegistry {
 
     /// Every registered scenario: the paper experiments E1 through E9 in
     /// paper order, followed by the full-array pipeline scenarios E10
-    /// (concurrent sort), E11 (sustained throughput) and E12 (closed-loop
-    /// assay under sensor noise).
+    /// (concurrent sort), E11 (sustained throughput), E12 (closed-loop
+    /// assay under sensor noise) and E13 (programmable protocols).
     pub fn all() -> Self {
         use crate::experiments::*;
         let mut registry = Self::empty();
@@ -128,6 +128,7 @@ impl ScenarioRegistry {
         registry.register(e10_fullarray::FullArrayScenario);
         registry.register(e11_throughput::ThroughputScenario);
         registry.register(e12_closedloop::ClosedLoopScenario);
+        registry.register(e13_protocols::ProtocolsScenario);
         registry
     }
 
@@ -185,7 +186,7 @@ mod tests {
         let registry = ScenarioRegistry::all();
         assert_eq!(
             registry.ids(),
-            ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
+            ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
         );
     }
 

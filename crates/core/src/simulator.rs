@@ -20,10 +20,11 @@
 
 use crate::biochip::Biochip;
 use crate::error::ChipError;
+use labchip_manipulation::state::ChipState;
 use labchip_physics::dynamics::{ForceBalance, OverdampedIntegrator, ParticleState};
 use labchip_physics::field::superposition::SuperpositionField;
 use labchip_physics::particle::Particle;
-use labchip_sensing::detect::{Occupancy, OccupancyMap};
+use labchip_sensing::detect::OccupancyMap;
 use labchip_units::{GridCoord, Meters, Seconds, Vec3};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -364,13 +365,13 @@ impl ChipSimulator {
     }
 
     /// Builds the ground-truth occupancy map from the particle positions —
-    /// what a perfect sensor would report.
+    /// what a perfect sensor would report. Shares the one truth-map builder
+    /// on [`ChipState`] with the cage-grid-backed workload path.
     pub fn true_occupancy(&self) -> OccupancyMap {
-        let mut map = OccupancyMap::new(self.chip.array().dims());
-        for site in self.particle_sites().into_iter().flatten() {
-            map.set(site, Occupancy::Occupied);
-        }
-        map
+        ChipState::occupancy_from_sites(
+            self.chip.array().dims(),
+            self.particle_sites().into_iter().flatten(),
+        )
     }
 
     /// Lateral distance of particle `index` from the centre of electrode

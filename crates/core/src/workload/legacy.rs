@@ -1,0 +1,327 @@
+//! The retired monolithic cycle, kept verbatim for one release as (a) the
+//! baseline the `BENCH_workload` protocol-runner-overhead figure is measured
+//! against and (b) the oracle of the phase decomposition's equivalence test.
+//!
+//! Do not add features here: new workloads are composed from
+//! [`AssayPhase`](super::phases::AssayPhase) implementations and executed by
+//! the [`ProtocolRunner`](super::protocol::ProtocolRunner). Once a release's
+//! `BENCH_workload.json` trajectory has established the runner overhead,
+//! this module is scheduled for deletion.
+
+use super::phases::pair_nearest;
+use super::{sort_problem, BatchDriver, CycleReport};
+use labchip_array::timing::WindowBudget;
+use labchip_manipulation::cage::{CageGrid, ParticleId};
+use labchip_manipulation::protocol::TimeBreakdown;
+use labchip_manipulation::routing::{RoutingOutcome, RoutingProblem, RoutingRequest};
+use labchip_manipulation::state::ChipState;
+use labchip_sensing::averaging::FrameAverager;
+use labchip_sensing::detect::{Occupancy, OccupancyMap};
+use labchip_units::{GridCoord, GridDims, Seconds};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// The true occupancy map of a cage grid (through the shared builder).
+fn occupancy_of(grid: &CageGrid) -> OccupancyMap {
+    ChipState::occupancy_from_sites(grid.dims(), grid.iter_particles().map(|(_, coord)| coord))
+}
+
+impl BatchDriver {
+    /// The pre-decomposition `run_cycle`: one hard-coded
+    /// load→route→sense→recover→flush flow. Produces the same
+    /// [`CycleReport`] as [`BatchDriver::run_cycle`] (the equivalence is
+    /// asserted bit-for-bit by tests, modulo planner wall-clock); retained
+    /// only as the benchmark baseline. See the module docs.
+    #[doc(hidden)]
+    pub fn run_cycle_legacy(&mut self, particles: usize) -> CycleReport {
+        let cycle = self.cycles_run;
+        self.cycles_run += 1;
+        let dims = GridDims::square(self.config.array_side);
+        let sep = self.config.min_separation.max(1);
+        let cycle_seed = self
+            .config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(cycle as u64 + 1));
+        let problem = sort_problem(dims, particles, sep, cycle_seed);
+        let requested = problem.requests.len();
+
+        let mut time = TimeBreakdown::default();
+
+        // Load: place the batch on the loading lattice.
+        let mut grid = CageGrid::with_separation(dims, sep);
+        for request in &problem.requests {
+            grid.place(request.id, request.start)
+                .expect("loading lattice sites are mutually separated");
+        }
+        time.fluidics += self.config.load_time;
+
+        // Route with the incremental sharded planner.
+        let started = Instant::now();
+        let outcome = self
+            .router
+            .solve(&problem)
+            .expect("generated problems are always well-formed");
+        let planning = Seconds::new(started.elapsed().as_secs_f64());
+        let conflict_free = outcome.is_conflict_free(sep);
+
+        // Force-feasibility and programming-budget checks on every planned
+        // move.
+        let speed = self.envelope.pitch / self.config.step_period;
+        let feasible = self.envelope.permits(speed);
+        let mut moves_checked = 0usize;
+        let mut infeasible_moves = 0usize;
+        let mut budget = WindowBudget::default();
+        self.legacy_check_planned_moves(
+            &outcome,
+            dims,
+            feasible,
+            &mut budget,
+            &mut moves_checked,
+            &mut infeasible_moves,
+        );
+        time.motion += self.config.step_period * outcome.makespan as f64;
+
+        // Execute.
+        let moved = || outcome.paths.iter().chain(outcome.stranded.iter());
+        for path in moved() {
+            grid.remove(path.id).expect("loaded particle");
+        }
+        for path in moved() {
+            let last = *path.positions.last().expect("paths are never empty");
+            grid.place(path.id, last)
+                .expect("final configurations are conflict-free");
+        }
+
+        // Sense.
+        let scan_time = self
+            .scan
+            .averaged_scan_time(dims, &FrameAverager::new(self.config.detection_frames));
+        time.sensing += scan_time;
+        let mut pass = (cycle as u64) << 16;
+        let scan = self
+            .scanner
+            .scan(&occupancy_of(&grid), self.config.detection_frames, pass);
+        pass += 1;
+        let detection = scan.stats;
+        let mut detected = scan.map;
+
+        let mut plan = OccupancyMap::new(dims);
+        for request in &problem.requests {
+            plan.set(request.goal, Occupancy::Occupied);
+        }
+        let mismatches_initial = detected
+            .diff_count(&plan)
+            .expect("plan and detected maps share the array dims");
+
+        // Recover.
+        let policy = self.config.recovery;
+        let rescan_frames = self
+            .config
+            .detection_frames
+            .saturating_mul(policy.rescan_factor.max(1));
+        let mut recovery_rounds = 0usize;
+        let mut recovery_moves = 0usize;
+        for _ in 0..policy.max_rounds {
+            let suspects: Vec<GridCoord> = dims
+                .iter()
+                .filter(|c| detected.get(*c) != plan.get(*c))
+                .collect();
+            if suspects.is_empty() {
+                break;
+            }
+            recovery_rounds += 1;
+
+            let truth = occupancy_of(&grid);
+            let rows: HashSet<u32> = suspects.iter().map(|c| c.y).collect();
+            time.recovery +=
+                self.scan.row_time(dims.cols) * (rows.len() as f64 * rescan_frames as f64);
+            for &site in &suspects {
+                detected.set(
+                    site,
+                    self.scanner
+                        .sense_site(truth.get(site), site, rescan_frames, pass),
+                );
+            }
+            pass += 1;
+
+            let strays: Vec<GridCoord> = suspects
+                .iter()
+                .copied()
+                .filter(|c| {
+                    detected.get(*c) == Occupancy::Occupied && plan.get(*c) == Occupancy::Empty
+                })
+                .collect();
+            let vacancies: Vec<GridCoord> = suspects
+                .iter()
+                .copied()
+                .filter(|c| {
+                    detected.get(*c) == Occupancy::Empty && plan.get(*c) == Occupancy::Occupied
+                })
+                .collect();
+            if strays.is_empty() || vacancies.is_empty() {
+                continue;
+            }
+
+            let pairs = pair_nearest(&strays, &vacancies);
+            let movers = pairs.len();
+            let mut requests: Vec<RoutingRequest> = pairs
+                .iter()
+                .enumerate()
+                .map(|(k, &(from, to))| RoutingRequest {
+                    id: ParticleId(k as u64),
+                    start: from,
+                    goal: to,
+                })
+                .collect();
+            let moving: HashSet<GridCoord> = pairs.iter().map(|&(from, _)| from).collect();
+            for site in dims.iter() {
+                if detected.get(site) == Occupancy::Occupied && !moving.contains(&site) {
+                    requests.push(RoutingRequest {
+                        id: ParticleId(requests.len() as u64),
+                        start: site,
+                        goal: site,
+                    });
+                }
+            }
+            let mut recovery_problem = RoutingProblem::new(dims, requests);
+            recovery_problem.min_separation = sep;
+            if recovery_problem.validate().is_err() {
+                break;
+            }
+            let Ok(recovery_outcome) = self.router.solve(&recovery_problem) else {
+                break;
+            };
+            self.legacy_check_planned_moves(
+                &recovery_outcome,
+                dims,
+                feasible,
+                &mut budget,
+                &mut moves_checked,
+                &mut infeasible_moves,
+            );
+            time.recovery += self.config.step_period * recovery_outcome.makespan as f64;
+            recovery_moves += recovery_outcome.total_moves;
+
+            let occupant: HashMap<GridCoord, ParticleId> =
+                grid.iter_particles().map(|(id, c)| (c, id)).collect();
+            let mut touched: Vec<GridCoord> = Vec::new();
+            let mut moved: Vec<(ParticleId, GridCoord, GridCoord)> = Vec::new();
+            for path in recovery_outcome
+                .paths
+                .iter()
+                .chain(recovery_outcome.stranded.iter())
+            {
+                if path.id.0 >= movers as u64 {
+                    continue; // stationary on-plan particle
+                }
+                let from = path.positions[0];
+                let to = *path.positions.last().expect("paths are never empty");
+                touched.push(from);
+                touched.push(to);
+                if from == to {
+                    continue;
+                }
+                if let Some(&id) = occupant.get(&from) {
+                    moved.push((id, from, to));
+                }
+            }
+            for &(id, _, _) in &moved {
+                grid.remove(id).expect("tracked particle");
+            }
+            for &(id, from, to) in &moved {
+                if grid.place(id, to).is_err() && grid.place(id, from).is_err() {
+                    grid.place_merged(id, from);
+                }
+            }
+
+            let truth = occupancy_of(&grid);
+            let rows: HashSet<u32> = touched.iter().map(|c| c.y).collect();
+            time.recovery +=
+                self.scan.row_time(dims.cols) * (rows.len() as f64 * rescan_frames as f64);
+            for &site in &touched {
+                detected.set(
+                    site,
+                    self.scanner
+                        .sense_site(truth.get(site), site, rescan_frames, pass),
+                );
+            }
+            pass += 1;
+        }
+
+        let mismatches_final = detected
+            .diff_count(&plan)
+            .expect("plan and detected maps share the array dims");
+        let true_mismatches_final = occupancy_of(&grid)
+            .diff_count(&plan)
+            .expect("plan and truth maps share the array dims");
+        let occupancy_detected = detected.occupied_count();
+
+        // Flush the batch.
+        let ids: Vec<ParticleId> = grid.iter_particles().map(|(id, _)| id).collect();
+        for id in ids {
+            grid.remove(id).expect("flushing tracked particles");
+        }
+        time.fluidics += self.config.flush_time;
+
+        let report = CycleReport {
+            cycle,
+            requested,
+            routed: outcome.paths.len(),
+            makespan_steps: outcome.makespan,
+            total_moves: outcome.total_moves,
+            planning,
+            time,
+            moves_checked,
+            infeasible_moves,
+            occupancy_detected,
+            detection,
+            mismatches_initial,
+            mismatches_final,
+            true_mismatches_final,
+            recovery_rounds,
+            recovery_moves,
+            budget,
+            conflict_free,
+        };
+        self.totals.record(
+            requested,
+            report.routed,
+            report.total_moves + report.recovery_moves,
+            report.time.total(),
+            planning,
+        );
+        report
+    }
+
+    fn legacy_check_planned_moves(
+        &self,
+        outcome: &RoutingOutcome,
+        dims: GridDims,
+        feasible: bool,
+        budget: &mut WindowBudget,
+        moves_checked: &mut usize,
+        infeasible_moves: &mut usize,
+    ) {
+        let all_paths = || outcome.paths.iter().chain(outcome.stranded.iter());
+        let horizon = all_paths().map(|p| p.arrival_step()).max().unwrap_or(0);
+        let mut changed: Vec<GridCoord> = Vec::new();
+        for t in 1..=horizon {
+            changed.clear();
+            for path in all_paths() {
+                let prev = path.position_at(t - 1);
+                let cur = path.position_at(t);
+                if prev != cur {
+                    *moves_checked += 1;
+                    if !feasible {
+                        *infeasible_moves += 1;
+                    }
+                    changed.push(prev);
+                    changed.push(cur);
+                }
+            }
+            if !changed.is_empty() {
+                budget.record(&self.programming.plan_update(dims, &changed));
+            }
+        }
+    }
+}

@@ -1,0 +1,938 @@
+//! The composable assay phases: `Load`, `Route`, `Sense`, `Recover`,
+//! `Flush`.
+//!
+//! Each phase is one reusable unit of chip work implementing [`AssayPhase`]:
+//! it mutates the shared [`ChipState`] (grid, plan, time ledger) and the
+//! cycle-scoped [`PhaseCtx`] accumulators, and returns a [`PhaseReport`].
+//! A [`Protocol`](super::protocol::Protocol) is an ordered list of phase
+//! specs; the canned `load → route(sort) → sense → recover → flush` sequence
+//! reproduces the old monolithic `BatchDriver::run_cycle` bit for bit, and
+//! arbitrary other sequences (multi-route, multi-sense — see scenario E13)
+//! compose from the same five pieces.
+
+use super::envelope::ForceEnvelope;
+use super::{RecoveryPolicy, WorkloadConfig};
+use labchip_array::addressing::ProgrammingInterface;
+use labchip_array::timing::WindowBudget;
+use labchip_manipulation::cage::ParticleId;
+use labchip_manipulation::protocol::TimeBreakdown;
+use labchip_manipulation::routing::{RoutingOutcome, RoutingProblem, RoutingRequest};
+use labchip_manipulation::sharding::IncrementalRouter;
+use labchip_manipulation::state::{ChipState, TimeLedger};
+use labchip_sensing::array_scan::ArrayScanner;
+use labchip_sensing::averaging::FrameAverager;
+use labchip_sensing::detect::{DetectionStats, Occupancy, OccupancyMap};
+use labchip_sensing::scan::ScanTiming;
+use labchip_units::{GridCoord, GridDims, Seconds};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
+
+/// One composable unit of assay work.
+///
+/// Phases communicate through two channels: the persistent [`ChipState`]
+/// (particle truth, plan, simulated-time ledger) and the cycle-scoped
+/// [`PhaseCtx`] (detection maps, envelope/budget counters, routing totals).
+/// Implementations must charge all simulated time through
+/// [`ChipState::charge`] so the per-phase ledger the runner reports stays
+/// complete.
+pub trait AssayPhase {
+    /// Short stable name of the phase (for reports and tables).
+    fn name(&self) -> &'static str;
+
+    /// Executes the phase. The returned report's `time` field is
+    /// overwritten by the runner with the measured ledger delta.
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport;
+}
+
+/// What one executed phase did — one row of a protocol's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Phase name (plus a target/knob annotation where relevant).
+    pub phase: String,
+    /// Simulated chip time this phase charged, by ledger (filled in by the
+    /// protocol runner from [`ChipState`] snapshots around the phase).
+    pub time: TimeBreakdown,
+    /// Cage moves this phase commanded.
+    pub moves: usize,
+    /// Particles on the grid after the phase.
+    pub particles_after: usize,
+    /// One-line human summary.
+    pub detail: String,
+}
+
+/// The final plan-vs-reality counts of a protocol, captured while the batch
+/// is still on-chip (just before a flush, or at protocol end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct FinalCounts {
+    pub(crate) mismatches_final: usize,
+    pub(crate) true_mismatches_final: usize,
+    pub(crate) occupancy_detected: usize,
+}
+
+/// Cycle-scoped context handed to every phase: the driver's shared
+/// resources plus the accumulators the final [`CycleReport`](super::CycleReport)
+/// is assembled from.
+pub struct PhaseCtx<'a> {
+    /// Workload knobs in effect.
+    pub config: &'a WorkloadConfig,
+    /// The force-feasibility envelope every planned move is checked against.
+    pub envelope: &'a ForceEnvelope,
+    /// The incremental sharded router.
+    pub router: &'a IncrementalRouter,
+    /// The array's row-update programming model.
+    pub programming: &'a ProgrammingInterface,
+    /// Scan timing model.
+    pub scan: &'a ScanTiming,
+    /// The whole-array scan synthesizer.
+    pub scanner: &'a ArrayScanner,
+    /// Zero-based cycle index.
+    pub cycle: usize,
+    /// Seed of this cycle's batch placement.
+    pub cycle_seed: u64,
+    /// Next scan pass number (separates repeated scans of one cycle).
+    pub pass: u64,
+    /// Particles requested across all load phases.
+    pub requested: usize,
+    /// Requests the routers delivered to their goals.
+    pub routed: usize,
+    /// Cage steps until the last routed particle arrived, summed over
+    /// route phases.
+    pub makespan_steps: usize,
+    /// Individual cage moves across all route phases.
+    pub total_moves: usize,
+    /// Planner wall-clock across all route phases (recovery re-plans are
+    /// deliberately *not* counted, matching the legacy driver).
+    pub planning: Seconds,
+    /// Whether every routed plan passed the separation invariant.
+    pub conflict_free: bool,
+    /// Planned moves checked against the force envelope.
+    pub moves_checked: usize,
+    /// Moves the envelope rejected.
+    pub infeasible_moves: usize,
+    /// Programming-clock budget of the executed motion.
+    pub budget: WindowBudget,
+    /// The latest detected occupancy map (None until a sense phase runs).
+    pub detected: Option<OccupancyMap>,
+    /// Confusion counts accumulated over all full-array scans.
+    pub detection: DetectionStats,
+    /// Detected-vs-plan mismatches of the *first* scan.
+    pub mismatches_initial: Option<usize>,
+    /// Recovery rounds executed.
+    pub recovery_rounds: usize,
+    /// Corrective cage moves commanded by recovery.
+    pub recovery_moves: usize,
+    pub(crate) finals: Option<FinalCounts>,
+}
+
+impl<'a> PhaseCtx<'a> {
+    /// Creates a fresh cycle context over the driver's resources.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        config: &'a WorkloadConfig,
+        envelope: &'a ForceEnvelope,
+        router: &'a IncrementalRouter,
+        programming: &'a ProgrammingInterface,
+        scan: &'a ScanTiming,
+        scanner: &'a ArrayScanner,
+        cycle: usize,
+        cycle_seed: u64,
+    ) -> Self {
+        Self {
+            config,
+            envelope,
+            router,
+            programming,
+            scan,
+            scanner,
+            cycle,
+            cycle_seed,
+            pass: (cycle as u64) << 16,
+            requested: 0,
+            routed: 0,
+            makespan_steps: 0,
+            total_moves: 0,
+            planning: Seconds::ZERO,
+            conflict_free: true,
+            moves_checked: 0,
+            infeasible_moves: 0,
+            budget: WindowBudget::default(),
+            detected: None,
+            detection: DetectionStats::default(),
+            mismatches_initial: None,
+            recovery_rounds: 0,
+            recovery_moves: 0,
+            finals: None,
+        }
+    }
+
+    /// Checks every move of a plan against the force envelope and feeds the
+    /// changed electrode pairs into the row-update budget — shared by route
+    /// phases and the recovery re-plans.
+    pub fn check_planned_moves(&mut self, outcome: &RoutingOutcome, dims: GridDims) {
+        let speed = self.envelope.pitch / self.config.step_period;
+        let feasible = self.envelope.permits(speed);
+        let all_paths = || outcome.paths.iter().chain(outcome.stranded.iter());
+        let horizon = all_paths().map(|p| p.arrival_step()).max().unwrap_or(0);
+        let mut changed: Vec<GridCoord> = Vec::new();
+        for t in 1..=horizon {
+            changed.clear();
+            for path in all_paths() {
+                let prev = path.position_at(t - 1);
+                let cur = path.position_at(t);
+                if prev != cur {
+                    self.moves_checked += 1;
+                    if !feasible {
+                        self.infeasible_moves += 1;
+                    }
+                    changed.push(prev);
+                    changed.push(cur);
+                }
+            }
+            if !changed.is_empty() {
+                self.budget
+                    .record(&self.programming.plan_update(dims, &changed));
+            }
+        }
+    }
+
+    /// Captures the final plan-vs-reality counts from the current state
+    /// (overwriting any earlier capture — the *last* on-chip snapshot wins).
+    pub(crate) fn capture_finals(&mut self, state: &mut ChipState) {
+        let mismatches_final = match &self.detected {
+            Some(map) => map
+                .diff_count(state.plan())
+                .expect("detected and plan maps share the array dims"),
+            None => state.plan().occupied_count(),
+        };
+        let occupancy_detected = self
+            .detected
+            .as_ref()
+            .map(OccupancyMap::occupied_count)
+            .unwrap_or(0);
+        self.finals = Some(FinalCounts {
+            mismatches_final,
+            true_mismatches_final: state.true_mismatches(),
+            occupancy_detected,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload geometry: loading lattices and sort targets.
+// ---------------------------------------------------------------------------
+
+/// A sparse lattice of sites over `x_lo..x_hi`, rows `1..rows-1`, with the
+/// given spacing — the building block of loading and target patterns.
+pub(crate) fn lattice(dims: GridDims, x_lo: u32, x_hi: u32, spacing: u32) -> Vec<GridCoord> {
+    let mut slots = Vec::new();
+    let mut y = 1;
+    while y < dims.rows - 1 {
+        let mut x = x_lo;
+        while x < x_hi {
+            slots.push(GridCoord::new(x, y));
+            x += spacing;
+        }
+        y += spacing;
+    }
+    slots
+}
+
+/// The two sort-target lattices of the full-array sort workload: one in the
+/// left third, one in the right, spaced `min_separation + 2` so they stay
+/// traversable while occupied.
+pub(crate) fn sort_lattices(
+    dims: GridDims,
+    min_separation: u32,
+) -> (Vec<GridCoord>, Vec<GridCoord>) {
+    let spacing = min_separation + 2;
+    let left = lattice(dims, 1, dims.cols / 3, spacing);
+    let right = lattice(dims, 2 * dims.cols / 3, dims.cols - 1, spacing);
+    (left, right)
+}
+
+/// Capacity of the canned sort workload (both target lattices together) —
+/// the load clamp of the canned cycle.
+pub fn sort_capacity(dims: GridDims, min_separation: u32) -> usize {
+    let (left, right) = sort_lattices(dims, min_separation);
+    left.len() + right.len()
+}
+
+/// The seeded batch placement: a random subset of the whole-array loading
+/// lattice (spacing `min_separation + 1`, the densest loadable packing),
+/// truncated to `particles` (and `capacity_clamp` if given) and sorted
+/// row-major. The RNG stream is a pure function of
+/// `(seed, particles, min_separation via the lattice)`, unchanged from the
+/// original `sort_problem` so seeded placements stay bit-identical.
+pub fn loading_sites(
+    dims: GridDims,
+    particles: usize,
+    min_separation: u32,
+    seed: u64,
+    capacity_clamp: Option<usize>,
+) -> Vec<GridCoord> {
+    let load_spacing = min_separation + 1;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ particles as u64);
+    let mut starts = lattice(dims, 1, dims.cols - 1, load_spacing);
+    starts.shuffle(&mut rng);
+    starts.truncate(particles.min(capacity_clamp.unwrap_or(usize::MAX)));
+    starts.sort_unstable_by_key(|c| (c.y, c.x));
+    starts
+}
+
+/// Assigns the alternating sort goals: even-indexed particles to the left
+/// lattice, odd-indexed to the right, overflowing into whichever side still
+/// has slots — exactly the original `sort_problem` assignment.
+pub(crate) fn assign_sort_goals(
+    particles: &[(ParticleId, GridCoord)],
+    left: &[GridCoord],
+    right: &[GridCoord],
+) -> Vec<RoutingRequest> {
+    let mut requests = Vec::with_capacity(particles.len());
+    let (mut li, mut ri) = (0usize, 0usize);
+    for (i, (id, start)) in particles.iter().enumerate() {
+        let goal = if i % 2 == 0 && li < left.len() {
+            li += 1;
+            left[li - 1]
+        } else if ri < right.len() {
+            ri += 1;
+            right[ri - 1]
+        } else if li < left.len() {
+            li += 1;
+            left[li - 1]
+        } else {
+            // Both target lattices are full — only reachable when the
+            // population was loaded without the sort-capacity clamp (the
+            // canned cycle always clamps); the overflow holds position.
+            *start
+        };
+        requests.push(RoutingRequest {
+            id: *id,
+            start: *start,
+            goal,
+        });
+    }
+    requests
+}
+
+/// Greedily pairs each stray with its nearest (Chebyshev) unused vacancy;
+/// leftover strays or vacancies stay unpaired for a later round.
+pub(crate) fn pair_nearest(
+    strays: &[GridCoord],
+    vacancies: &[GridCoord],
+) -> Vec<(GridCoord, GridCoord)> {
+    let mut used = vec![false; vacancies.len()];
+    let mut pairs = Vec::with_capacity(strays.len().min(vacancies.len()));
+    for &from in strays {
+        let mut best: Option<(u32, usize)> = None;
+        for (j, &slot) in vacancies.iter().enumerate() {
+            if used[j] {
+                continue;
+            }
+            let d = from.chebyshev(slot);
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, j));
+            }
+        }
+        let Some((_, j)) = best else { break };
+        used[j] = true;
+        pairs.push((from, vacancies[j]));
+    }
+    pairs
+}
+
+// ---------------------------------------------------------------------------
+// The five phases.
+// ---------------------------------------------------------------------------
+
+/// Loads a seeded batch onto the loading lattice (fluidics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Load {
+    /// Particles requested (the placement truncates to the lattice and the
+    /// optional capacity clamp).
+    pub particles: usize,
+    /// Optional cap on placed particles (the canned cycle clamps to the
+    /// sort targets' capacity, as the monolithic driver did).
+    pub capacity_clamp: Option<usize>,
+}
+
+impl AssayPhase for Load {
+    fn name(&self) -> &'static str {
+        "load"
+    }
+
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport {
+        let dims = state.dims();
+        let sep = state.grid().min_separation();
+        // Ids continue after the largest already on the grid so repeated
+        // loads stay unique.
+        let first_id = state
+            .grid()
+            .iter_particles()
+            .last()
+            .map(|(id, _)| id.0 + 1)
+            .unwrap_or(0);
+        // Salt the placement stream with the id offset so a repeated load
+        // draws a *fresh* batch instead of replaying the first one (whose
+        // sites are all occupied by now). The first load of a cycle has
+        // `first_id == 0` and keeps the exact historical stream.
+        let seed = ctx.cycle_seed ^ first_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let starts = loading_sites(dims, self.particles, sep, seed, self.capacity_clamp);
+        let mut placed = 0usize;
+        {
+            let grid = state.grid_mut();
+            for start in &starts {
+                // On an empty grid every lattice site is placeable (they are
+                // mutually separated); a repeated load skips sites an earlier
+                // batch already crowds.
+                if grid
+                    .place(ParticleId(first_id + placed as u64), *start)
+                    .is_ok()
+                {
+                    placed += 1;
+                }
+            }
+        }
+        ctx.requested += placed;
+        state.charge(TimeLedger::Fluidics, ctx.config.load_time);
+        PhaseReport {
+            phase: self.name().to_owned(),
+            time: TimeBreakdown::default(),
+            moves: 0,
+            particles_after: state.particle_count(),
+            detail: format!("{placed} particles loaded (requested {})", self.particles),
+        }
+    }
+}
+
+/// Where a route phase sends the current population.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteTarget {
+    /// The canned full-array sort: even-indexed particles to a lattice in
+    /// the left third, odd-indexed to the right third.
+    SortSplit,
+    /// Pairs consecutive particles (by id) and routes each pair to adjacent
+    /// slots — separated by exactly the minimum cage separation, the closest
+    /// legal approach — on a central lattice. The protocol-level "bring
+    /// these two populations together" step the monolithic driver could not
+    /// express.
+    MergePairs,
+    /// Every particle holds its position (stationary obstacle routing; a
+    /// no-op that still exercises the planner).
+    Hold,
+}
+
+impl RouteTarget {
+    /// Short annotation for reports.
+    fn label(&self) -> &'static str {
+        match self {
+            RouteTarget::SortSplit => "sort-split",
+            RouteTarget::MergePairs => "merge-pairs",
+            RouteTarget::Hold => "hold",
+        }
+    }
+
+    /// Builds the routing requests for the current population (in id
+    /// order, so seeded runs are deterministic).
+    fn requests(&self, state: &ChipState, sep: u32) -> Vec<RoutingRequest> {
+        let dims = state.dims();
+        let particles: Vec<(ParticleId, GridCoord)> = state.grid().iter_particles().collect();
+        match self {
+            RouteTarget::SortSplit => {
+                let (left, right) = sort_lattices(dims, sep);
+                assign_sort_goals(&particles, &left, &right)
+            }
+            RouteTarget::MergePairs => {
+                // Anchor slots on a central lattice wide enough that pairs
+                // stay mutually separated: each anchor hosts a pair at
+                // (anchor, anchor + sep·x̂).
+                let pitch = 2 * sep + 2;
+                let x_lo = dims.cols / 3 + 1;
+                let x_hi = (2 * dims.cols / 3).saturating_sub(sep + 1);
+                let mut anchors = Vec::new();
+                let mut y = 1;
+                while y < dims.rows - 1 {
+                    let mut x = x_lo;
+                    while x < x_hi {
+                        anchors.push(GridCoord::new(x, y));
+                        x += pitch;
+                    }
+                    y += pitch;
+                }
+                let mut requests = Vec::with_capacity(particles.len());
+                for (pair, chunk) in particles.chunks(2).enumerate() {
+                    match (chunk, anchors.get(pair)) {
+                        ([(id_a, start_a), (id_b, start_b)], Some(anchor)) => {
+                            requests.push(RoutingRequest {
+                                id: *id_a,
+                                start: *start_a,
+                                goal: *anchor,
+                            });
+                            requests.push(RoutingRequest {
+                                id: *id_b,
+                                start: *start_b,
+                                goal: GridCoord::new(anchor.x + sep, anchor.y),
+                            });
+                        }
+                        _ => {
+                            // Unpaired leftover or anchors exhausted: hold.
+                            for (id, start) in chunk {
+                                requests.push(RoutingRequest {
+                                    id: *id,
+                                    start: *start,
+                                    goal: *start,
+                                });
+                            }
+                        }
+                    }
+                }
+                requests
+            }
+            RouteTarget::Hold => particles
+                .iter()
+                .map(|(id, start)| RoutingRequest {
+                    id: *id,
+                    start: *start,
+                    goal: *start,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Routes the population to a [`RouteTarget`] with the incremental sharded
+/// planner, checks every planned move against the force envelope and the
+/// programming budget, executes the plan, and replaces the plan map with
+/// the target goals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Where to send the population.
+    pub target: RouteTarget,
+}
+
+impl AssayPhase for Route {
+    fn name(&self) -> &'static str {
+        "route"
+    }
+
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport {
+        let dims = state.dims();
+        let sep = state.grid().min_separation();
+        let requests = self.target.requests(state, sep);
+        if requests.is_empty() {
+            return PhaseReport {
+                phase: format!("{}:{}", self.name(), self.target.label()),
+                time: TimeBreakdown::default(),
+                moves: 0,
+                particles_after: state.particle_count(),
+                detail: "nothing to route".into(),
+            };
+        }
+        let goals: Vec<GridCoord> = requests.iter().map(|r| r.goal).collect();
+        let mut problem = RoutingProblem::new(dims, requests);
+        problem.min_separation = sep;
+
+        // Protocols are data and can demand the impossible (e.g. sorting a
+        // population larger than the target capacity): an unroutable target
+        // degrades into a skipped motion phase, never a panic. The canned
+        // cycle clamps its load to the sort capacity, so this branch is
+        // unreachable on the legacy-equivalent path. The solver validates
+        // internally, so its error *is* the degrade signal.
+        let started = Instant::now();
+        let Ok(outcome) = ctx.router.solve(&problem) else {
+            return PhaseReport {
+                phase: format!("{}:{}", self.name(), self.target.label()),
+                time: TimeBreakdown::default(),
+                moves: 0,
+                particles_after: state.particle_count(),
+                detail: format!(
+                    "target unroutable for {} particles; routing skipped",
+                    problem.requests.len()
+                ),
+            };
+        };
+        ctx.planning += Seconds::new(started.elapsed().as_secs_f64());
+        ctx.conflict_free &= outcome.is_conflict_free(sep);
+        ctx.check_planned_moves(&outcome, dims);
+        state.charge(
+            TimeLedger::Motion,
+            ctx.config.step_period * outcome.makespan as f64,
+        );
+
+        // Execute: routed particles end on their targets, stranded ones
+        // wherever their best-effort trajectory stopped. Lift every moved
+        // particle first, then set the finals — applying moves one at a
+        // time would trip the separation check against particles that have
+        // not been moved yet.
+        {
+            let grid = state.grid_mut();
+            let moved = || outcome.paths.iter().chain(outcome.stranded.iter());
+            for path in moved() {
+                grid.remove(path.id).expect("loaded particle");
+            }
+            for path in moved() {
+                let last = *path.positions.last().expect("paths are never empty");
+                grid.place(path.id, last)
+                    .expect("final configurations are conflict-free");
+            }
+        }
+        state.set_plan_from_goals(goals);
+
+        ctx.routed += outcome.paths.len();
+        ctx.makespan_steps += outcome.makespan;
+        ctx.total_moves += outcome.total_moves;
+        PhaseReport {
+            phase: format!("{}:{}", self.name(), self.target.label()),
+            time: TimeBreakdown::default(),
+            moves: outcome.total_moves,
+            particles_after: state.particle_count(),
+            detail: format!(
+                "{}/{} routed in {} steps",
+                outcome.paths.len(),
+                problem.requests.len(),
+                outcome.makespan
+            ),
+        }
+    }
+}
+
+/// Synthesizes one full-array detection scan through the noisy sensor chain
+/// and diffs the decisions against the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sense {
+    /// Frames averaged (None = the workload's `detection_frames`).
+    pub frames: Option<u32>,
+}
+
+impl AssayPhase for Sense {
+    fn name(&self) -> &'static str {
+        "sense"
+    }
+
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport {
+        let dims = state.dims();
+        let frames = self.frames.unwrap_or(ctx.config.detection_frames).max(1);
+        let scan_time = ctx
+            .scan
+            .averaged_scan_time(dims, &FrameAverager::new(frames));
+        state.charge(TimeLedger::Sensing, scan_time);
+        let result = ctx.scanner.scan_source(state, frames, ctx.pass);
+        ctx.pass += 1;
+        ctx.detection.merge(&result.stats);
+        let mismatches = result
+            .map
+            .diff_count(state.plan())
+            .expect("plan and detected maps share the array dims");
+        if ctx.mismatches_initial.is_none() {
+            ctx.mismatches_initial = Some(mismatches);
+        }
+        let occupied = result.map.occupied_count();
+        ctx.detected = Some(result.map);
+        PhaseReport {
+            phase: self.name().to_owned(),
+            time: TimeBreakdown::default(),
+            moves: 0,
+            particles_after: state.particle_count(),
+            detail: format!(
+                "{occupied} occupied detected, {mismatches} mismatches vs plan ({frames} frames)"
+            ),
+        }
+    }
+}
+
+/// The bounded closed-loop recovery: re-scan suspect sites with heavier
+/// averaging, pair confirmed strays with vacant plan slots, re-route them
+/// with the incremental router, and verify the touched sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recover {
+    /// Policy override (None = the workload's configured policy).
+    pub policy: Option<RecoveryPolicy>,
+}
+
+impl AssayPhase for Recover {
+    fn name(&self) -> &'static str {
+        "recover"
+    }
+
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport {
+        let dims = state.dims();
+        let sep = state.grid().min_separation();
+        let policy = self.policy.unwrap_or(ctx.config.recovery);
+        let scanner = ctx.scanner;
+        let scan = ctx.scan;
+        let rescan_frames = ctx
+            .config
+            .detection_frames
+            .saturating_mul(policy.rescan_factor.max(1));
+        let Some(mut detected) = ctx.detected.take() else {
+            // No scan to recover against: nothing to do.
+            return PhaseReport {
+                phase: self.name().to_owned(),
+                time: TimeBreakdown::default(),
+                moves: 0,
+                particles_after: state.particle_count(),
+                detail: "no detection map (sense phase missing)".into(),
+            };
+        };
+
+        let moves_before = ctx.recovery_moves;
+        let rounds_before = ctx.recovery_rounds;
+        for _ in 0..policy.max_rounds {
+            let suspects: Vec<GridCoord> = dims
+                .iter()
+                .filter(|c| detected.get(*c) != state.plan().get(*c))
+                .collect();
+            if suspects.is_empty() {
+                break;
+            }
+            ctx.recovery_rounds += 1;
+
+            // Re-scan every suspect with heavier averaging; most detection
+            // errors dissolve here. Charge the rows actually re-read.
+            let rows: HashSet<u32> = suspects.iter().map(|c| c.y).collect();
+            state.charge(
+                TimeLedger::Recovery,
+                scan.row_time(dims.cols) * (rows.len() as f64 * rescan_frames as f64),
+            );
+            let truth = state.occupancy();
+            for &site in &suspects {
+                detected.set(
+                    site,
+                    scanner.sense_site(truth.get(site), site, rescan_frames, ctx.pass),
+                );
+            }
+            ctx.pass += 1;
+
+            // Decide: confirmed strays are detected particles off the plan;
+            // vacancies are plan slots the readout still reports empty.
+            let strays: Vec<GridCoord> = suspects
+                .iter()
+                .copied()
+                .filter(|c| {
+                    detected.get(*c) == Occupancy::Occupied
+                        && state.plan().get(*c) == Occupancy::Empty
+                })
+                .collect();
+            let vacancies: Vec<GridCoord> = suspects
+                .iter()
+                .copied()
+                .filter(|c| {
+                    detected.get(*c) == Occupancy::Empty
+                        && state.plan().get(*c) == Occupancy::Occupied
+                })
+                .collect();
+            if strays.is_empty() || vacancies.is_empty() {
+                // Nothing actionable; the re-scan may already have cleared
+                // the suspects — the next round re-checks and exits.
+                continue;
+            }
+
+            // Act: pair each stray with the nearest vacancy and re-route.
+            // Every other site the scanner reports occupied — particles on
+            // plan *and* strays left unpaired when strays outnumber the
+            // vacancies — enters the problem as a stationary request, so
+            // corrective paths are planned around every known particle, not
+            // just the ones being moved.
+            let pairs = pair_nearest(&strays, &vacancies);
+            let movers = pairs.len();
+            let mut requests: Vec<RoutingRequest> = pairs
+                .iter()
+                .enumerate()
+                .map(|(k, &(from, to))| RoutingRequest {
+                    id: ParticleId(k as u64),
+                    start: from,
+                    goal: to,
+                })
+                .collect();
+            let moving: HashSet<GridCoord> = pairs.iter().map(|&(from, _)| from).collect();
+            for site in dims.iter() {
+                if detected.get(site) == Occupancy::Occupied && !moving.contains(&site) {
+                    requests.push(RoutingRequest {
+                        id: ParticleId(requests.len() as u64),
+                        start: site,
+                        goal: site,
+                    });
+                }
+            }
+            let mut recovery_problem = RoutingProblem::new(dims, requests);
+            recovery_problem.min_separation = sep;
+            if recovery_problem.validate().is_err() {
+                // A surviving false positive sits too close to a real
+                // particle: no conflict-free plan exists for this reading.
+                break;
+            }
+            let Ok(recovery_outcome) = ctx.router.solve(&recovery_problem) else {
+                break;
+            };
+            ctx.check_planned_moves(&recovery_outcome, dims);
+            state.charge(
+                TimeLedger::Recovery,
+                ctx.config.step_period * recovery_outcome.makespan as f64,
+            );
+            ctx.recovery_moves += recovery_outcome.total_moves;
+
+            // Execute on the particles actually present. A commanded move of
+            // a phantom detection drags an empty cage — time passes, nothing
+            // relocates, and the next verification scan still flags it.
+            let occupant: BTreeMap<GridCoord, ParticleId> = state
+                .grid()
+                .iter_particles()
+                .map(|(id, c)| (c, id))
+                .collect();
+            let mut touched: Vec<GridCoord> = Vec::new();
+            let mut moved: Vec<(ParticleId, GridCoord, GridCoord)> = Vec::new();
+            for path in recovery_outcome
+                .paths
+                .iter()
+                .chain(recovery_outcome.stranded.iter())
+            {
+                if path.id.0 >= movers as u64 {
+                    continue; // stationary on-plan particle
+                }
+                let from = path.positions[0];
+                let to = *path.positions.last().expect("paths are never empty");
+                touched.push(from);
+                touched.push(to);
+                if from == to {
+                    continue;
+                }
+                if let Some(&id) = occupant.get(&from) {
+                    moved.push((id, from, to));
+                }
+            }
+            {
+                let grid = state.grid_mut();
+                for &(id, _, _) in &moved {
+                    grid.remove(id).expect("tracked particle");
+                }
+                for &(id, from, to) in &moved {
+                    if grid.place(id, to).is_err() {
+                        // An undetected particle blocks the slot; the cell
+                        // stays where it was (its own cage is still free).
+                        if grid.place(id, from).is_err() {
+                            grid.place_merged(id, from);
+                        }
+                    }
+                }
+            }
+
+            // Verify the sites the moves touched so the loop (and the final
+            // report) sees the post-move readout, not a stale map.
+            let rows: HashSet<u32> = touched.iter().map(|c| c.y).collect();
+            state.charge(
+                TimeLedger::Recovery,
+                scan.row_time(dims.cols) * (rows.len() as f64 * rescan_frames as f64),
+            );
+            let truth = state.occupancy();
+            for &site in &touched {
+                detected.set(
+                    site,
+                    scanner.sense_site(truth.get(site), site, rescan_frames, ctx.pass),
+                );
+            }
+            ctx.pass += 1;
+        }
+        let moves = ctx.recovery_moves - moves_before;
+        let rounds = ctx.recovery_rounds - rounds_before;
+        ctx.detected = Some(detected);
+        PhaseReport {
+            phase: self.name().to_owned(),
+            time: TimeBreakdown::default(),
+            moves,
+            particles_after: state.particle_count(),
+            detail: format!("{rounds} rounds, {moves} corrective moves"),
+        }
+    }
+}
+
+/// Flushes the batch out through the outlet (fluidics), snapshotting the
+/// final plan-vs-reality counts just before the chip empties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flush;
+
+impl AssayPhase for Flush {
+    fn name(&self) -> &'static str {
+        "flush"
+    }
+
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport {
+        ctx.capture_finals(state);
+        let flushed = state.particle_count();
+        let ids: Vec<ParticleId> = state.grid().iter_particles().map(|(id, _)| id).collect();
+        {
+            let grid = state.grid_mut();
+            for id in ids {
+                grid.remove(id).expect("flushing tracked particles");
+            }
+        }
+        state.charge(TimeLedger::Fluidics, ctx.config.flush_time);
+        PhaseReport {
+            phase: self.name().to_owned(),
+            time: TimeBreakdown::default(),
+            moves: 0,
+            particles_after: 0,
+            detail: format!("{flushed} particles flushed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_nearest_matches_each_stray_to_its_closest_slot() {
+        let strays = [GridCoord::new(0, 0), GridCoord::new(10, 10)];
+        let vacancies = [GridCoord::new(9, 9), GridCoord::new(1, 1)];
+        let pairs = pair_nearest(&strays, &vacancies);
+        assert_eq!(
+            pairs,
+            vec![
+                (GridCoord::new(0, 0), GridCoord::new(1, 1)),
+                (GridCoord::new(10, 10), GridCoord::new(9, 9)),
+            ]
+        );
+        // Leftovers stay unpaired.
+        assert_eq!(pair_nearest(&strays, &vacancies[..1]).len(), 1);
+        assert_eq!(pair_nearest(&[], &vacancies).len(), 0);
+    }
+
+    #[test]
+    fn loading_sites_are_deterministic_and_clamped() {
+        let dims = GridDims::square(32);
+        let a = loading_sites(dims, 20, 2, 7, None);
+        let b = loading_sites(dims, 20, 2, 7, None);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        let clamped = loading_sites(dims, 20, 2, 7, Some(5));
+        assert_eq!(clamped.len(), 5);
+        // Row-major order.
+        for pair in a.windows(2) {
+            assert!((pair[0].y, pair[0].x) < (pair[1].y, pair[1].x));
+        }
+    }
+
+    #[test]
+    fn merge_pairs_targets_put_partners_at_minimum_separation() {
+        let dims = GridDims::square(48);
+        let mut state = ChipState::with_separation(dims, 2);
+        for (i, site) in loading_sites(dims, 8, 2, 3, None).iter().enumerate() {
+            state.grid_mut().place(ParticleId(i as u64), *site).unwrap();
+        }
+        let requests = RouteTarget::MergePairs.requests(&state, 2);
+        assert_eq!(requests.len(), 8);
+        let mut problem = RoutingProblem::new(dims, requests.clone());
+        problem.min_separation = 2;
+        assert!(problem.validate().is_ok(), "merge goals must be routable");
+        for chunk in requests.chunks(2) {
+            if let [a, b] = chunk {
+                if a.goal != a.start {
+                    assert_eq!(a.goal.chebyshev(b.goal), 2, "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Protocols as data: serde-round-trippable phase lists and the thin
+//! runner that executes them.
+//!
+//! A [`Protocol`] is an ordered list of [`PhaseSpec`]s with per-phase knobs
+//! — the declarative form of an assay. [`ProtocolRunner`] is deliberately
+//! thin: it materialises each spec into its [`AssayPhase`], runs the phases
+//! in order over one shared [`ChipState`], snapshots the time ledger around
+//! each phase (so every [`PhaseReport`] carries exactly what that phase
+//! cost), and assembles the final [`CycleReport`] from the accumulated
+//! [`PhaseCtx`]. The canned cycle ([`Protocol::canned_cycle`]) reproduces
+//! the retired monolithic `run_cycle` bit for bit; anything else — repeated
+//! sense/route rounds, merge assays, wash-free cycles — is just a different
+//! list.
+
+use super::envelope::ForceEnvelope;
+use super::phases::{
+    sort_capacity, AssayPhase, Flush, Load, PhaseCtx, PhaseReport, Recover, Route, RouteTarget,
+    Sense,
+};
+use super::{CycleReport, RecoveryPolicy, WorkloadConfig};
+use labchip_array::addressing::ProgrammingInterface;
+use labchip_manipulation::sharding::IncrementalRouter;
+use labchip_manipulation::state::ChipState;
+use labchip_sensing::array_scan::ArrayScanner;
+use labchip_sensing::scan::ScanTiming;
+use labchip_units::GridDims;
+use serde::{Deserialize, Serialize};
+
+/// One declarative phase of a [`Protocol`], with its knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhaseSpec {
+    /// Load a seeded batch (see [`Load`]).
+    Load {
+        /// Particles requested.
+        particles: usize,
+        /// Optional cap on placed particles.
+        capacity_clamp: Option<usize>,
+    },
+    /// Route the population to a target (see [`Route`]).
+    Route {
+        /// Where to send the population.
+        target: RouteTarget,
+    },
+    /// Scan the whole array (see [`Sense`]).
+    Sense {
+        /// Frames averaged (None = the workload's `detection_frames`).
+        frames: Option<u32>,
+    },
+    /// Close the loop on detection/plan mismatches (see [`Recover`]).
+    Recover {
+        /// Policy override (None = the workload's configured policy).
+        policy: Option<RecoveryPolicy>,
+    },
+    /// Flush the batch (see [`Flush`]).
+    Flush,
+}
+
+impl PhaseSpec {
+    /// Materialises the spec into its executable phase.
+    pub fn build(&self) -> Box<dyn AssayPhase> {
+        match self {
+            PhaseSpec::Load {
+                particles,
+                capacity_clamp,
+            } => Box::new(Load {
+                particles: *particles,
+                capacity_clamp: *capacity_clamp,
+            }),
+            PhaseSpec::Route { target } => Box::new(Route {
+                target: target.clone(),
+            }),
+            PhaseSpec::Sense { frames } => Box::new(Sense { frames: *frames }),
+            PhaseSpec::Recover { policy } => Box::new(Recover { policy: *policy }),
+            PhaseSpec::Flush => Box::new(Flush),
+        }
+    }
+}
+
+/// A named, ordered, serde-round-trippable list of assay phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Protocol {
+    /// Human-readable protocol name.
+    pub name: String,
+    /// The phases, executed in order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl Protocol {
+    /// Creates an empty protocol.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Appends a phase (builder style).
+    pub fn with_phase(mut self, phase: PhaseSpec) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// `true` when the protocol has no phases.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The canned `load → route(sort) → sense → recover → flush` cycle the
+    /// [`BatchDriver`](super::BatchDriver) has always run — now expressed
+    /// as data. `dims`/`min_separation` fix the sort-capacity load clamp
+    /// exactly as the monolithic driver clamped it.
+    pub fn canned_cycle(dims: GridDims, min_separation: u32, particles: usize) -> Self {
+        Self {
+            name: "canned-cycle".into(),
+            phases: vec![
+                PhaseSpec::Load {
+                    particles,
+                    capacity_clamp: Some(sort_capacity(dims, min_separation)),
+                },
+                PhaseSpec::Route {
+                    target: RouteTarget::SortSplit,
+                },
+                PhaseSpec::Sense { frames: None },
+                PhaseSpec::Recover { policy: None },
+                PhaseSpec::Flush,
+            ],
+        }
+    }
+}
+
+/// The record of one executed protocol: the assembled cycle report, the
+/// per-phase ledger, and the final chip state (for inspection and
+/// invariant checks).
+#[derive(Debug)]
+pub struct ProtocolOutcome {
+    /// The cycle-level report (same shape the monolithic driver produced).
+    pub report: CycleReport,
+    /// One report per executed phase, in order.
+    pub phases: Vec<PhaseReport>,
+    /// The chip state after the last phase.
+    pub state: ChipState,
+}
+
+/// The thin executor: phases in, reports out.
+///
+/// Borrows the driver's shared resources; all per-cycle state lives in the
+/// [`ChipState`] and [`PhaseCtx`] it creates per run.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolRunner<'a> {
+    pub(super) config: &'a WorkloadConfig,
+    pub(super) envelope: &'a ForceEnvelope,
+    pub(super) router: &'a IncrementalRouter,
+    pub(super) programming: &'a ProgrammingInterface,
+    pub(super) scan: &'a ScanTiming,
+    pub(super) scanner: &'a ArrayScanner,
+}
+
+impl ProtocolRunner<'_> {
+    /// Executes `protocol` as cycle number `cycle` (the cycle index fixes
+    /// the batch seed and the scan-pass numbering, exactly as the driver's
+    /// repeated cycles always did).
+    pub fn run(&self, protocol: &Protocol, cycle: usize) -> ProtocolOutcome {
+        let dims = GridDims::square(self.config.array_side);
+        // A zero separation is physically meaningless (cages would merge)
+        // and the cage grid rejects it; clamp like the routers do rather
+        // than panic on a CLI-supplied `min_separation=0` override.
+        let sep = self.config.min_separation.max(1);
+        let cycle_seed = self
+            .config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(cycle as u64 + 1));
+        let mut state = ChipState::with_separation(dims, sep);
+        let mut ctx = PhaseCtx::new(
+            self.config,
+            self.envelope,
+            self.router,
+            self.programming,
+            self.scan,
+            self.scanner,
+            cycle,
+            cycle_seed,
+        );
+
+        let mut phases = Vec::with_capacity(protocol.phases.len());
+        for spec in &protocol.phases {
+            let phase = spec.build();
+            let ledger_before = *state.time();
+            let mut report = phase.run(&mut state, &mut ctx);
+            report.time = state.time().delta_since(&ledger_before);
+            phases.push(report);
+        }
+        // A flush snapshots the finals itself (pre-clear); protocols that
+        // end with the batch still on-chip are snapshotted here.
+        if !matches!(protocol.phases.last(), Some(PhaseSpec::Flush)) {
+            ctx.capture_finals(&mut state);
+        }
+
+        let finals = ctx.finals.unwrap_or_default();
+        let report = CycleReport {
+            cycle,
+            requested: ctx.requested,
+            routed: ctx.routed,
+            makespan_steps: ctx.makespan_steps,
+            total_moves: ctx.total_moves,
+            planning: ctx.planning,
+            time: *state.time(),
+            moves_checked: ctx.moves_checked,
+            infeasible_moves: ctx.infeasible_moves,
+            occupancy_detected: finals.occupancy_detected,
+            detection: ctx.detection,
+            mismatches_initial: ctx.mismatches_initial.unwrap_or(0),
+            mismatches_final: finals.mismatches_final,
+            true_mismatches_final: finals.true_mismatches_final,
+            recovery_rounds: ctx.recovery_rounds,
+            recovery_moves: ctx.recovery_moves,
+            budget: ctx.budget,
+            conflict_free: ctx.conflict_free,
+        };
+        ProtocolOutcome {
+            report,
+            phases,
+            state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json;
+
+    #[test]
+    fn protocols_round_trip_through_serde() {
+        let protocol = Protocol::canned_cycle(GridDims::square(48), 2, 40)
+            .with_phase(PhaseSpec::Sense { frames: Some(8) })
+            .with_phase(PhaseSpec::Route {
+                target: RouteTarget::MergePairs,
+            })
+            .with_phase(PhaseSpec::Recover {
+                policy: Some(RecoveryPolicy::date05_reference()),
+            });
+        let value = serde_json::to_value(&protocol);
+        let back: Protocol = serde_json::from_value(&value).expect("round trip");
+        assert_eq!(back, protocol);
+        assert_eq!(back.len(), 8);
+        assert!(!back.is_empty());
+    }
+
+    #[test]
+    fn canned_cycle_has_the_five_monolith_phases() {
+        let protocol = Protocol::canned_cycle(GridDims::square(64), 2, 100);
+        assert_eq!(protocol.len(), 5);
+        assert!(matches!(
+            protocol.phases[0],
+            PhaseSpec::Load {
+                particles: 100,
+                capacity_clamp: Some(_)
+            }
+        ));
+        assert!(matches!(
+            protocol.phases[1],
+            PhaseSpec::Route {
+                target: RouteTarget::SortSplit
+            }
+        ));
+        assert!(matches!(
+            protocol.phases[2],
+            PhaseSpec::Sense { frames: None }
+        ));
+        assert!(matches!(
+            protocol.phases[3],
+            PhaseSpec::Recover { policy: None }
+        ));
+        assert!(matches!(protocol.phases[4], PhaseSpec::Flush));
+    }
+}

@@ -1,0 +1,138 @@
+//! Golden-snapshot regression lock for the full-array pipeline scenarios.
+//!
+//! `report run e10 e11 e12 --json` at a fixed seed and reduced sizes is
+//! captured once into `tests/golden/pipeline_e10_e11_e12.json` and asserted
+//! bit-identical forever after — the safety net under any refactor of the
+//! workload driver (the ChipState / assay-phase decomposition rode on top of
+//! exactly this lock). Only wall-clock-derived values are scrubbed before
+//! comparison: planner wall time is real time, not simulated time, and
+//! legitimately differs between runs.
+//!
+//! To regenerate after an *intentional* output change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p labchip-integration-tests --test golden_pipeline
+//! ```
+
+use labchip::scenario::{outcomes_to_json, Runner, ScenarioRegistry};
+use serde_json::Value;
+
+/// JSON keys whose values derive from wall-clock time and are therefore
+/// removed (recursively) before the snapshot comparison.
+const VOLATILE_KEYS: &[&str] = &[
+    "wall_ms",
+    "plan_wall_ms",
+    "moves_per_second",
+    "planning",
+    "sustained_moves_per_second",
+    "planner_headroom",
+];
+
+/// Rendered-table columns holding formatted wall-clock figures; their cells
+/// are blanked instead of dropped so the table shape stays locked.
+const VOLATILE_COLUMNS: &[&str] = &["plan [ms]", "moves/s"];
+
+fn scrub(value: &mut Value) {
+    match value {
+        Value::Object(map) => {
+            for key in VOLATILE_KEYS {
+                map.remove(key);
+            }
+            // A rendered ExperimentTable: blank the wall-clock columns.
+            let volatile_columns: Vec<usize> = map
+                .get("columns")
+                .and_then(Value::as_array)
+                .map(|columns| {
+                    columns
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.as_str().is_some_and(|c| VOLATILE_COLUMNS.contains(&c)))
+                        .map(|(i, _)| i)
+                        .collect()
+                })
+                .unwrap_or_default();
+            if !volatile_columns.is_empty() {
+                if let Some(rows) = map.get_mut("rows").and_then(Value::as_array_mut) {
+                    for row in rows.iter_mut().filter_map(Value::as_array_mut) {
+                        for &index in &volatile_columns {
+                            if let Some(cell) = row.get_mut(index) {
+                                *cell = Value::String("-".to_owned());
+                            }
+                        }
+                    }
+                }
+            }
+            for entry in map.values_mut() {
+                scrub(entry);
+            }
+        }
+        Value::Array(items) => {
+            for item in items {
+                scrub(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The locked run: `report run e10 e11 e12 --json --serial --seed 20050307`
+/// with size-reduction overrides (shared keys apply to every scenario that
+/// has them, exactly as the CLI applies `--set`).
+fn locked_document() -> Value {
+    let mut runner = Runner::new(ScenarioRegistry::all());
+    runner.set_parallel(false);
+    runner.set_base_seed(20_050_307);
+    for spec in [
+        "array_side=64",          // E10 + E11 + E12
+        "particles=60",           // E10 + E12
+        "density_steps=[1.0]",    // E10: one sweep point
+        "astar_cap=16",           // E10: small A* subsample
+        "astar_max_steps=256",    // E10
+        "particles_per_cycle=60", // E11
+        "cycles=2",               // E11
+        "noise_scales=[0.0,4.0]", // E12
+        "frame_counts=[2]",       // E12
+        "threads=1",              // all three (results are thread-invariant)
+    ] {
+        runner.set_override(spec).expect("spec is well-formed");
+    }
+    let outcomes = runner
+        .run(&["e10", "e11", "e12"])
+        .expect("locked scenarios run");
+    let mut document = outcomes_to_json(&outcomes);
+    scrub(&mut document);
+    document
+}
+
+#[test]
+fn pipeline_json_output_is_bit_identical_to_the_golden_snapshot() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/pipeline_e10_e11_e12.json"
+    );
+    let document = locked_document();
+    let text = serde_json::to_string_pretty(&document);
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, text + "\n").expect("write golden snapshot");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden snapshot exists (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        text + "\n",
+        golden,
+        "E10/E11/E12 JSON output drifted from the golden snapshot; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn locked_document_is_itself_deterministic() {
+    // The lock is only meaningful if the scrubbed document is reproducible
+    // within one build: two runs must serialise identically.
+    let a = serde_json::to_string(&locked_document());
+    let b = serde_json::to_string(&locked_document());
+    assert_eq!(a, b);
+}

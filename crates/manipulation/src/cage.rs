@@ -10,18 +10,22 @@ use crate::error::ManipulationError;
 use labchip_array::pattern::{CagePattern, PatternKind};
 use labchip_units::{GridCoord, GridDims};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a tracked particle (cell or bead).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ParticleId(pub u64);
 
 /// Occupancy and geometry of the cage layer.
+///
+/// Particles are stored in an ordered map keyed by id, so every iteration —
+/// [`CageGrid::iter_particles`] included — is deterministic (ascending id)
+/// without collecting and sorting first.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CageGrid {
     dims: GridDims,
     min_separation: u32,
-    particles: HashMap<u64, GridCoord>,
+    particles: BTreeMap<u64, GridCoord>,
 }
 
 impl CageGrid {
@@ -44,7 +48,7 @@ impl CageGrid {
         Self {
             dims,
             min_separation,
-            particles: HashMap::new(),
+            particles: BTreeMap::new(),
         }
     }
 
@@ -76,14 +80,21 @@ impl CageGrid {
     }
 
     /// All `(particle, position)` pairs, sorted by particle id.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths that only need to walk
+    /// the particles should prefer the borrowing
+    /// [`CageGrid::iter_particles`].
     pub fn particles(&self) -> Vec<(ParticleId, GridCoord)> {
-        let mut list: Vec<_> = self
-            .particles
+        self.iter_particles().collect()
+    }
+
+    /// Borrowing iterator over `(particle, position)` pairs in ascending id
+    /// order — no allocation, same deterministic order as
+    /// [`CageGrid::particles`].
+    pub fn iter_particles(&self) -> impl Iterator<Item = (ParticleId, GridCoord)> + '_ {
+        self.particles
             .iter()
             .map(|(id, pos)| (ParticleId(*id), *pos))
-            .collect();
-        list.sort_by_key(|(id, _)| *id);
-        list
     }
 
     /// Returns `true` when `coord` is free for a new cage: inside the grid
@@ -181,7 +192,7 @@ impl CageGrid {
         moves: &[(ParticleId, GridCoord)],
     ) -> Result<(), ManipulationError> {
         // Build the proposed configuration.
-        let mut proposed: HashMap<u64, GridCoord> = self.particles.clone();
+        let mut proposed: BTreeMap<u64, GridCoord> = self.particles.clone();
         for (id, to) in moves {
             let from = self.position(*id)?;
             if from.chebyshev(*to) > 1 {

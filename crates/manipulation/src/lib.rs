@@ -12,6 +12,10 @@
 //! protocols. This crate provides:
 //!
 //! * the [`cage`] grid tracking which electrode hosts which particle,
+//! * the unified [`state`] model ([`state::ChipState`]): the cage grid plus
+//!   its cached, dirty-tracked derivations (electrode pattern, ground-truth
+//!   occupancy), the plan map and the per-phase time ledger — one chip-state
+//!   owner shared by simulator, router, scanner and driver,
 //! * conflict-free multi-particle [`routing`] (space–time A* with reservation
 //!   tables, plus a greedy baseline),
 //! * the incremental [`sharding`] planner that scales routing to the full
@@ -50,6 +54,7 @@ pub mod ops;
 pub mod protocol;
 pub mod routing;
 pub mod sharding;
+pub mod state;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
@@ -62,6 +67,7 @@ pub mod prelude {
         Router, RoutingOutcome, RoutingProblem, RoutingRequest, RoutingStrategy,
     };
     pub use crate::sharding::{IncrementalRouter, ShardConfig};
+    pub use crate::state::{ChipState, TimeLedger};
 }
 
 pub use error::ManipulationError;

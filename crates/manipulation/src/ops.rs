@@ -94,7 +94,7 @@ impl Manipulator {
         }
         // Particles that are not being moved are static obstacles: model them
         // as zero-length requests so the router keeps everyone apart.
-        for (id, pos) in self.grid.particles() {
+        for (id, pos) in self.grid.iter_particles() {
             if !targets.iter().any(|(t, _)| *t == id) {
                 requests.push(RoutingRequest {
                     id,
@@ -220,10 +220,9 @@ impl Manipulator {
         let dims = self.grid.dims();
         let others: Vec<GridCoord> = self
             .grid
-            .particles()
-            .iter()
+            .iter_particles()
             .filter(|(other, _)| *other != id)
-            .map(|(_, pos)| *pos)
+            .map(|(_, pos)| pos)
             .collect();
         // Candidate edge cages, scored by distance to the nearest other
         // particle (larger is better).
@@ -263,9 +262,8 @@ impl Manipulator {
         let sep = self.grid.min_separation();
         let discard: Vec<ParticleId> = self
             .grid
-            .particles()
-            .iter()
-            .map(|(id, _)| *id)
+            .iter_particles()
+            .map(|(id, _)| id)
             .filter(|id| !keep.contains(id))
             .collect();
         // Assign waste slots along the right edge, spaced by the separation.

@@ -125,6 +125,17 @@ impl TimeBreakdown {
     pub fn total(&self) -> Seconds {
         self.fluidics + self.sensing + self.motion + self.recovery
     }
+
+    /// Field-wise difference `self - earlier`: the ledger charged between
+    /// two snapshots (what one assay phase cost).
+    pub fn delta_since(&self, earlier: &TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            fluidics: self.fluidics - earlier.fluidics,
+            sensing: self.sensing - earlier.sensing,
+            motion: self.motion - earlier.motion,
+            recovery: self.recovery - earlier.recovery,
+        }
+    }
 }
 
 /// Result of executing a protocol.

@@ -1,0 +1,305 @@
+//! The unified chip-state model: one owner for the cage grid and every view
+//! derived from it.
+//!
+//! Before this module existed, each layer of the stack kept its own private
+//! copy of "where the particles are": the workload driver held a
+//! [`CageGrid`], the sensing path rebuilt a ground-truth
+//! [`OccupancyMap`] from scratch before every scan, the actuation layer
+//! re-exported a fresh [`CagePattern`] per step, and the simulator had yet
+//! another truth-map builder of its own — all the same information, stitched
+//! together by ad-hoc converters that re-ran on every phase of every cycle.
+//!
+//! [`ChipState`] collapses those copies into one model:
+//!
+//! * the [`CageGrid`] is the single source of truth for particle positions;
+//! * the electrode [`CagePattern`] and the ground-truth [`OccupancyMap`] are
+//!   **cached, dirty-tracked derivations** — rebuilt lazily only after the
+//!   grid actually changed (every `&mut` access to the grid marks the caches
+//!   stale), so repeated reads inside a phase are free;
+//! * the *plan* map (the occupancy the current protocol intends) and the
+//!   per-phase [`TimeBreakdown`] ledger live alongside, because every
+//!   consumer of the state needs them together: the sense phase diffs
+//!   detected-vs-plan, the recovery loop diffs truth-vs-plan, the report
+//!   charges time per phase.
+//!
+//! The sensing crate's [`TruthSource`] is implemented here, so an
+//! [`ArrayScanner`](labchip_sensing::array_scan::ArrayScanner) reads the
+//! chip state directly (`scanner.scan_source(&mut state, …)`) instead of
+//! forcing callers to materialise a truth map per scan.
+
+use crate::cage::CageGrid;
+use crate::protocol::TimeBreakdown;
+use labchip_array::pattern::CagePattern;
+use labchip_sensing::array_scan::TruthSource;
+use labchip_sensing::detect::{Occupancy, OccupancyMap};
+use labchip_units::{GridCoord, GridDims, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// The phase of an assay a time charge belongs to — the four ledgers of
+/// [`TimeBreakdown`], addressable as data so composable phases can charge
+/// time without hand-picking struct fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeLedger {
+    /// Fluidic handling (loading, flushing, recovery through the outlet).
+    Fluidics,
+    /// Sensor scanning and averaging.
+    Sensing,
+    /// Cage motion.
+    Motion,
+    /// Closed-loop recovery (targeted re-scans and corrective moves).
+    Recovery,
+}
+
+/// One chip-state model shared by the simulator, router, scanner and driver:
+/// the cage grid plus cached derivations, the plan map and the time ledger.
+///
+/// See the [module docs](self) for the ownership story.
+#[derive(Debug, Clone)]
+pub struct ChipState {
+    grid: CageGrid,
+    plan: OccupancyMap,
+    time: TimeBreakdown,
+    /// Lazily rebuilt electrode pattern (`None` = stale).
+    pattern: Option<CagePattern>,
+    /// Lazily rebuilt ground-truth occupancy (`None` = stale).
+    occupancy: Option<OccupancyMap>,
+}
+
+impl ChipState {
+    /// Creates an empty state over a `dims` array with the default cage
+    /// separation.
+    pub fn new(dims: GridDims) -> Self {
+        Self::from_grid(CageGrid::new(dims))
+    }
+
+    /// Creates an empty state with an explicit minimum cage separation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_separation` is zero (see
+    /// [`CageGrid::with_separation`]).
+    pub fn with_separation(dims: GridDims, min_separation: u32) -> Self {
+        Self::from_grid(CageGrid::with_separation(dims, min_separation))
+    }
+
+    /// Wraps an existing grid (its particles become the state's truth).
+    pub fn from_grid(grid: CageGrid) -> Self {
+        let dims = grid.dims();
+        Self {
+            grid,
+            plan: OccupancyMap::new(dims),
+            time: TimeBreakdown::default(),
+            pattern: None,
+            occupancy: None,
+        }
+    }
+
+    /// Array dimensions.
+    pub fn dims(&self) -> GridDims {
+        self.grid.dims()
+    }
+
+    /// Read access to the cage grid (does not disturb the caches).
+    pub fn grid(&self) -> &CageGrid {
+        &self.grid
+    }
+
+    /// Mutable access to the cage grid. Marks both derived caches stale —
+    /// call this (not interior mutation tricks) for *every* change, or the
+    /// pattern/occupancy views will serve outdated data.
+    pub fn grid_mut(&mut self) -> &mut CageGrid {
+        self.pattern = None;
+        self.occupancy = None;
+        &mut self.grid
+    }
+
+    /// Number of particles on the grid.
+    pub fn particle_count(&self) -> usize {
+        self.grid.particle_count()
+    }
+
+    /// The electrode cage pattern of the current occupancy — cached;
+    /// rebuilt only if the grid changed since the last call.
+    pub fn pattern(&mut self) -> &CagePattern {
+        if self.pattern.is_none() {
+            self.pattern = Some(self.grid.to_pattern());
+        }
+        self.pattern.as_ref().expect("just rebuilt")
+    }
+
+    /// The ground-truth occupancy map of the current grid — what a perfect
+    /// sensor would report. Cached; rebuilt only if the grid changed since
+    /// the last call.
+    pub fn occupancy(&mut self) -> &OccupancyMap {
+        if self.occupancy.is_none() {
+            self.occupancy = Some(Self::occupancy_from_sites(
+                self.grid.dims(),
+                self.grid.iter_particles().map(|(_, coord)| coord),
+            ));
+        }
+        self.occupancy.as_ref().expect("just rebuilt")
+    }
+
+    /// Whether the derived caches are currently populated (for tests and
+    /// instrumentation; consumers should just call the accessors).
+    pub fn caches_warm(&self) -> (bool, bool) {
+        (self.pattern.is_some(), self.occupancy.is_some())
+    }
+
+    /// The single shared truth-map builder: an occupancy map with the given
+    /// sites occupied. Both the grid-backed cache above and the simulator's
+    /// particle-position truth map go through here.
+    pub fn occupancy_from_sites(
+        dims: GridDims,
+        sites: impl IntoIterator<Item = GridCoord>,
+    ) -> OccupancyMap {
+        let mut map = OccupancyMap::new(dims);
+        for site in sites {
+            map.set(site, Occupancy::Occupied);
+        }
+        map
+    }
+
+    /// The occupancy the current protocol intends (every goal slot
+    /// occupied). Starts all-empty.
+    pub fn plan(&self) -> &OccupancyMap {
+        &self.plan
+    }
+
+    /// Replaces the plan with `goals` occupied (everything else empty).
+    pub fn set_plan_from_goals(&mut self, goals: impl IntoIterator<Item = GridCoord>) {
+        self.plan = Self::occupancy_from_sites(self.grid.dims(), goals);
+    }
+
+    /// Mutable access to the plan map (for incremental plan edits).
+    pub fn plan_mut(&mut self) -> &mut OccupancyMap {
+        &mut self.plan
+    }
+
+    /// The accumulated per-phase time ledger.
+    pub fn time(&self) -> &TimeBreakdown {
+        &self.time
+    }
+
+    /// Charges `duration` of simulated chip time to a ledger.
+    pub fn charge(&mut self, ledger: TimeLedger, duration: Seconds) {
+        match ledger {
+            TimeLedger::Fluidics => self.time.fluidics += duration,
+            TimeLedger::Sensing => self.time.sensing += duration,
+            TimeLedger::Motion => self.time.motion += duration,
+            TimeLedger::Recovery => self.time.recovery += duration,
+        }
+    }
+
+    /// Sites where the ground truth disagrees with the plan.
+    ///
+    /// # Panics
+    ///
+    /// Never: truth and plan always share the grid's dimensions.
+    pub fn true_mismatches(&mut self) -> usize {
+        // Refresh the cache first; the borrow checker wants the two maps
+        // taken in sequence.
+        self.occupancy();
+        self.occupancy
+            .as_ref()
+            .expect("just refreshed")
+            .diff_count(&self.plan)
+            .expect("truth and plan share the grid dimensions")
+    }
+}
+
+impl TruthSource for ChipState {
+    fn truth_occupancy(&mut self) -> &OccupancyMap {
+        self.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cage::ParticleId;
+    use labchip_sensing::array_scan::ArrayScanner;
+
+    #[test]
+    fn caches_rebuild_only_after_grid_mutation() {
+        let mut state = ChipState::new(GridDims::square(16));
+        state
+            .grid_mut()
+            .place(ParticleId(1), GridCoord::new(4, 4))
+            .unwrap();
+        assert_eq!(state.caches_warm(), (false, false));
+
+        assert_eq!(state.occupancy().occupied_count(), 1);
+        assert_eq!(state.pattern().cage_count(), 1);
+        assert_eq!(state.caches_warm(), (true, true));
+
+        // Read-only access keeps the caches warm.
+        assert_eq!(state.grid().particle_count(), 1);
+        assert_eq!(state.caches_warm(), (true, true));
+
+        // Mutation invalidates; the next read sees the new truth.
+        state
+            .grid_mut()
+            .place(ParticleId(2), GridCoord::new(10, 10))
+            .unwrap();
+        assert_eq!(state.caches_warm(), (false, false));
+        assert_eq!(state.occupancy().occupied_count(), 2);
+        assert_eq!(state.pattern().cage_count(), 2);
+    }
+
+    #[test]
+    fn pattern_and_occupancy_always_match_the_grid() {
+        let mut state = ChipState::with_separation(GridDims::square(12), 2);
+        for (id, x) in [(0u64, 2u32), (1, 6), (2, 10)] {
+            state
+                .grid_mut()
+                .place(ParticleId(id), GridCoord::new(x, 5))
+                .unwrap();
+        }
+        let sites: Vec<GridCoord> = state.grid().iter_particles().map(|(_, c)| c).collect();
+        assert_eq!(state.pattern().cage_sites(), &sites);
+        for site in &sites {
+            assert_eq!(state.occupancy().get(*site), Occupancy::Occupied);
+        }
+        assert_eq!(state.occupancy().occupied_count(), sites.len());
+    }
+
+    #[test]
+    fn plan_and_ledger_live_with_the_state() {
+        let mut state = ChipState::new(GridDims::square(8));
+        state
+            .grid_mut()
+            .place(ParticleId(0), GridCoord::new(1, 1))
+            .unwrap();
+        state.set_plan_from_goals([GridCoord::new(5, 5)]);
+        // One particle off the plan slot and one plan slot unfilled.
+        assert_eq!(state.true_mismatches(), 2);
+
+        state.charge(TimeLedger::Motion, Seconds::new(2.0));
+        state.charge(TimeLedger::Sensing, Seconds::new(0.5));
+        assert!((state.time().total().get() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scanner_reads_the_state_directly() {
+        let dims = GridDims::square(10);
+        let mut state = ChipState::new(dims);
+        state
+            .grid_mut()
+            .place(ParticleId(7), GridCoord::new(3, 3))
+            .unwrap();
+        let scanner = ArrayScanner::date05_reference(dims, 0.0, 99);
+        let result = scanner.scan_source(&mut state, 1, 0);
+        assert_eq!(result.map, *state.occupancy());
+        assert_eq!(result.stats.true_positives, 1);
+    }
+
+    #[test]
+    fn occupancy_from_sites_is_the_shared_builder() {
+        let dims = GridDims::square(6);
+        let map =
+            ChipState::occupancy_from_sites(dims, [GridCoord::new(0, 0), GridCoord::new(5, 5)]);
+        assert_eq!(map.occupied_count(), 2);
+        assert_eq!(map.get(GridCoord::new(5, 5)), Occupancy::Occupied);
+    }
+}

@@ -47,6 +47,25 @@ pub struct ScanResult {
     pub stats: DetectionStats,
 }
 
+/// Anything that can hand the scanner a ground-truth occupancy to read.
+///
+/// The plain [`OccupancyMap`] implements it trivially; state holders with
+/// cached, dirty-tracked derivations (the manipulation layer's `ChipState`)
+/// implement it by refreshing their cache on demand — so the scanner reads
+/// whatever *owns* the truth instead of callers rebuilding a fresh map for
+/// every scan. The accessor takes `&mut self` precisely so such caches can
+/// refresh lazily.
+pub trait TruthSource {
+    /// The current ground-truth occupancy, refreshed if stale.
+    fn truth_occupancy(&mut self) -> &OccupancyMap;
+}
+
+impl TruthSource for OccupancyMap {
+    fn truth_occupancy(&mut self) -> &OccupancyMap {
+        self
+    }
+}
+
 /// Synthesizes whole-array detection scans from true occupancy.
 ///
 /// Construction samples the chip's as-fabricated fixed-pattern offsets and
@@ -175,6 +194,16 @@ impl ArrayScanner {
         let averager = FrameAverager::new(frames);
         self.detector
             .classify(self.measure_site(truth, site, &averager, pass))
+    }
+
+    /// [`ArrayScanner::scan`] against any [`TruthSource`] — the entry point
+    /// state holders use so the scanner reads their cached truth directly.
+    ///
+    /// # Panics
+    ///
+    /// See [`ArrayScanner::scan`].
+    pub fn scan_source(&self, source: &mut impl TruthSource, frames: u32, pass: u64) -> ScanResult {
+        self.scan(source.truth_occupancy(), frames, pass)
     }
 
     /// Synthesizes one full-array scan of `truth`, averaging `frames` frames

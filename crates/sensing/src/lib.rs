@@ -39,7 +39,7 @@ pub mod scan;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::adc::Adc;
-    pub use crate::array_scan::{ArrayScanner, ScanResult};
+    pub use crate::array_scan::{ArrayScanner, ScanResult, TruthSource};
     pub use crate::averaging::FrameAverager;
     pub use crate::calibration::OffsetCalibration;
     pub use crate::capacitive::CapacitiveSensor;

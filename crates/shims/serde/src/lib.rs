@@ -216,6 +216,23 @@ impl Map {
     pub fn keys(&self) -> impl Iterator<Item = &String> {
         self.entries.iter().map(|(k, _)| k)
     }
+
+    /// Removes a key, returning its value if it was present. Insertion order
+    /// of the remaining entries is preserved.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let index = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(index).1)
+    }
+
+    /// Iterates entries mutably in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut Value)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
+    /// Values, mutably, in insertion order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut Value> {
+        self.entries.iter_mut().map(|(_, v)| v)
+    }
 }
 
 /// A JSON-like value tree — the single data model of the shimmed serde
@@ -280,6 +297,14 @@ impl Value {
 
     /// The value as an array, if it is one.
     pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a mutable array, if it is one.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
         match self {
             Value::Array(a) => Some(a),
             _ => None,
