@@ -9,6 +9,7 @@ use labchip::experiments::{
     e10_fullarray, e1_scale, e2_technology, e3_motion, e4_sensing, e5_designflow, e6_fabrication,
     e7_routing, e8_centering, e9_assay,
 };
+use labchip::scenario::{Scenario, ScenarioContext};
 use labchip::workload::sort_problem;
 use labchip_array::technology::TechnologyNode;
 use labchip_manipulation::sharding::IncrementalRouter;
@@ -16,6 +17,12 @@ use labchip_units::GridDims;
 use labchip_units::Seconds;
 use std::hint::black_box;
 use std::time::Duration;
+
+/// Runs a scenario with a silent context — the trait-based spelling of the
+/// retired `module::run(&config)` shims.
+fn run_scenario<S: Scenario>(scenario: S, config: &S::Config) -> S::Output {
+    scenario.run(config, &mut ScenarioContext::silent(scenario.id()))
+}
 
 fn configure<'a>(
     c: &'a mut Criterion,
@@ -36,7 +43,7 @@ fn bench_e1_scale(c: &mut Criterion) {
             ..e1_scale::Config::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(side), &config, |b, cfg| {
-            b.iter(|| black_box(e1_scale::run(cfg)));
+            b.iter(|| black_box(run_scenario(e1_scale::ScaleScenario, cfg)));
         });
     }
     group.finish();
@@ -53,7 +60,7 @@ fn bench_e2_technology(c: &mut Criterion) {
             ..e2_technology::Config::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
-            b.iter(|| black_box(e2_technology::run(cfg)));
+            b.iter(|| black_box(run_scenario(e2_technology::TechnologyScenario, cfg)));
         });
     }
     group.finish();
@@ -72,7 +79,7 @@ fn bench_e3_motion(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{speed}um_s")),
             &config,
             |b, cfg| {
-                b.iter(|| black_box(e3_motion::run(cfg)));
+                b.iter(|| black_box(run_scenario(e3_motion::MotionScenario, cfg)));
             },
         );
     }
@@ -88,7 +95,7 @@ fn bench_e4_sensing(c: &mut Criterion) {
             ..e4_sensing::Config::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(frames), &config, |b, cfg| {
-            b.iter(|| black_box(e4_sensing::run(cfg)));
+            b.iter(|| black_box(run_scenario(e4_sensing::SensingScenario, cfg)));
         });
     }
     group.finish();
@@ -102,7 +109,7 @@ fn bench_e5_designflow(c: &mut Criterion) {
             ..e5_designflow::Config::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(trials), &config, |b, cfg| {
-            b.iter(|| black_box(e5_designflow::run(cfg)));
+            b.iter(|| black_box(run_scenario(e5_designflow::DesignFlowScenario, cfg)));
         });
     }
     group.finish();
@@ -112,7 +119,7 @@ fn bench_e6_fabrication(c: &mut Criterion) {
     let mut group = configure(c, "e6_fabrication_cost");
     let config = e6_fabrication::Config::default();
     group.bench_function("all_processes", |b| {
-        b.iter(|| black_box(e6_fabrication::run(&config)));
+        b.iter(|| black_box(run_scenario(e6_fabrication::FabricationScenario, &config)));
     });
     group.finish();
 }
@@ -126,7 +133,7 @@ fn bench_e7_routing(c: &mut Criterion) {
             ..e7_routing::Config::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(particles), &config, |b, cfg| {
-            b.iter(|| black_box(e7_routing::run(cfg)));
+            b.iter(|| black_box(run_scenario(e7_routing::RoutingScenario, cfg)));
         });
     }
     group.finish();
@@ -136,7 +143,7 @@ fn bench_e8_centering(c: &mut Criterion) {
     let mut group = configure(c, "e8_design_centering");
     let config = e8_centering::Config::default();
     group.bench_function("yield_recovery", |b| {
-        b.iter(|| black_box(e8_centering::run(&config)));
+        b.iter(|| black_box(run_scenario(e8_centering::CenteringScenario, &config)));
     });
     group.finish();
 }
@@ -149,7 +156,7 @@ fn bench_e9_assay(c: &mut Criterion) {
             ..e9_assay::Config::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(cells), &config, |b, cfg| {
-            b.iter(|| black_box(e9_assay::run(cfg)));
+            b.iter(|| black_box(run_scenario(e9_assay::AssayScenario, cfg)));
         });
     }
     group.finish();
@@ -168,28 +175,42 @@ fn bench_e10_fullarray(c: &mut Criterion) {
         ..e10_fullarray::Config::default()
     };
     group.bench_function("greedy_vs_incremental_150", |b| {
-        b.iter(|| black_box(e10_fullarray::run(&config)));
+        b.iter(|| black_box(run_scenario(e10_fullarray::FullArrayScenario, &config)));
     });
     group.finish();
 }
 
 fn bench_workload_driver(c: &mut Criterion) {
     let mut group = configure(c, "workload_driver_cycle");
-    // Full assay cycles through the phase pipeline vs the retained legacy
-    // monolith — the criterion twin of `report bench-workload`, tracking
-    // that the protocol-runner overhead stays in the noise.
+    // Full assay cycles live vs journaled, plus journal replay — the
+    // criterion twin of `report bench-workload`, tracking that the journal
+    // write overhead stays in the noise and replay stays far cheaper than
+    // live execution.
     let envelope = labchip::workload::ForceEnvelope::date05_reference();
     let config = labchip::workload::WorkloadConfig {
         array_side: 96,
         ..labchip::workload::WorkloadConfig::default()
     };
-    group.bench_function("protocol_cycle_200", |b| {
-        let mut driver = labchip::workload::BatchDriver::with_envelope(config, envelope);
-        b.iter(|| black_box(driver.run_cycle(200)));
+    let dims = GridDims::square(config.array_side);
+    let sep = config.min_separation.max(1);
+    let protocol = labchip::workload::Protocol::canned_cycle(dims, sep, 200);
+    group.bench_function("live_cycle_200", |b| {
+        let driver = labchip::workload::BatchDriver::with_envelope(config, envelope);
+        b.iter(|| black_box(driver.runner().run(&protocol, 0)));
     });
-    group.bench_function("legacy_cycle_200", |b| {
-        let mut driver = labchip::workload::BatchDriver::with_envelope(config, envelope);
-        b.iter(|| black_box(driver.run_cycle_legacy(200)));
+    group.bench_function("journaled_cycle_200", |b| {
+        let driver = labchip::workload::BatchDriver::with_envelope(config, envelope);
+        b.iter(|| black_box(driver.runner().run_journaled(&protocol, 0)));
+    });
+    group.bench_function("replay_cycle_200", |b| {
+        let driver = labchip::workload::BatchDriver::with_envelope(config, envelope);
+        let (_, journal) = driver.runner().run_journaled(&protocol, 0);
+        b.iter(|| {
+            black_box(
+                labchip_manipulation::journal::replay(&journal, dims, sep)
+                    .expect("recorded journals replay cleanly"),
+            )
+        });
     });
     group.finish();
 }

@@ -7,11 +7,13 @@
 //! report list                          # enumerate the registered scenarios
 //! report run --all                     # every experiment, markdown tables
 //! report run e2 e5                     # a subset
-//! report run --all --json              # one JSON document covering E1..E13
+//! report run --all --json              # one JSON document covering E1..E14
 //! report run e3 --set threads=2        # key=value overrides onto the typed config
 //! report run --all --seed 7 --serial   # derived per-scenario seeds, serial order
 //! report bench-fields [OUT.json]       # field-kernel benchmark trajectory
 //! report bench-workload [OUT.json]     # workload/driver benchmark trajectory
+//! report journal-diff A.json B.json    # first divergence between two journals
+//! report journal-diff --demo [--seed N] [--noise X] [--side N] [--particles N] [--save PREFIX]
 //! report [e2 e5 ...]                   # legacy spelling of `run`
 //! ```
 //!
@@ -52,6 +54,12 @@ fn main() {
                 .unwrap_or_else(|| "BENCH_workload.json".into());
             bench_workload(&out);
         }
+        Some("journal-diff") => {
+            if let Err(message) = journal_diff(&args[1..]) {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        }
         Some("list") => list_scenarios(),
         Some("run") => {
             if let Err(message) = run_scenarios(&args[1..]) {
@@ -69,7 +77,7 @@ fn main() {
                 if registry.get(id).is_some() {
                     legacy.push(id.clone());
                 } else {
-                    eprintln!("unknown experiment id `{id}` (expected E1..E13)");
+                    eprintln!("unknown experiment id `{id}` (expected E1..E14)");
                 }
             }
             if args.is_empty() {
@@ -376,15 +384,20 @@ fn bench_fields(out_path: &str) {
 }
 
 /// `report bench-workload OUT.json` — the workload-pipeline perf
-/// trajectory: incremental-router planning, full driver cycles, and the
-/// protocol-runner overhead versus the retained legacy monolith.
+/// trajectory: incremental-router planning, full driver cycles with and
+/// without the event journal attached, and journal replay.
 ///
-/// Both cycle variants run the *identical* deterministic cycle sequence
+/// All cycle variants run the *identical* deterministic cycle sequence
 /// (same seeds, same routing problems), so their wall-clock totals are
 /// directly comparable; the minimum over repetitions filters scheduler
-/// noise out of the overhead figure.
+/// noise out of the overhead figures. CI bounds the journal write overhead
+/// (< 2% of a live cycle) and requires replay to be faster than live
+/// execution — the property that makes the journal a usable crash-recovery
+/// and debugging artifact.
 fn bench_workload(out_path: &str) {
-    use labchip::workload::{BatchDriver, ForceEnvelope, WorkloadConfig};
+    use labchip::workload::{BatchDriver, ForceEnvelope, Protocol, WorkloadConfig};
+    use labchip_manipulation::journal::{replay, Journal};
+    use labchip_units::GridDims;
 
     if let Err(err) = std::fs::OpenOptions::new()
         .create(true)
@@ -420,47 +433,79 @@ fn bench_workload(out_path: &str) {
         ));
     }
 
-    // Full driver cycles: the phase-pipeline `run_cycle` vs the retained
-    // legacy monolith, each running the same deterministic cycle sequence.
+    // Full driver cycles: live (no journal) vs journaled, the same
+    // deterministic cycle sequence each way, then replay of the recorded
+    // journals back into chip states.
     const CYCLES: usize = 4;
     const REPS: usize = 3;
     let cycle_config = WorkloadConfig {
         array_side: 96,
         ..WorkloadConfig::default()
     };
-    let time_cycles = |legacy: bool| -> f64 {
+    let dims = GridDims::square(cycle_config.array_side);
+    let sep = cycle_config.min_separation.max(1);
+    let protocol = Protocol::canned_cycle(dims, sep, 200);
+    let time_cycles = |journaled: bool| -> (f64, Vec<Journal>) {
         // Minimum total over repetitions: identical work each repetition,
         // so min is the cleanest noise filter.
         let mut best = f64::INFINITY;
+        let mut journals = Vec::new();
         for _ in 0..REPS {
-            let mut driver = BatchDriver::with_envelope(cycle_config, envelope);
+            let driver = BatchDriver::with_envelope(cycle_config, envelope);
+            let mut run_journals = Vec::with_capacity(CYCLES);
             let t0 = Instant::now();
-            for _ in 0..CYCLES {
-                if legacy {
-                    black_box(driver.run_cycle_legacy(200));
+            for cycle in 0..CYCLES {
+                if journaled {
+                    let (outcome, journal) = driver.runner().run_journaled(&protocol, cycle);
+                    black_box(outcome);
+                    run_journals.push(journal);
                 } else {
-                    black_box(driver.run_cycle(200));
+                    black_box(driver.runner().run(&protocol, cycle));
                 }
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            if elapsed < best {
+                best = elapsed;
+                journals = run_journals;
+            }
+        }
+        (best, journals)
+    };
+    // Warm both paths once (field caches, allocator) before measuring.
+    time_cycles(false);
+    let (live_total, _) = time_cycles(false);
+    let (journaled_total, journals) = time_cycles(true);
+    let replay_total = {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            for journal in &journals {
+                black_box(replay(journal, dims, sep).expect("recorded journals replay cleanly"));
             }
             best = best.min(t0.elapsed().as_secs_f64());
         }
         best
     };
-    // Warm both paths once (field caches, allocator) before measuring.
-    time_cycles(false);
-    let protocol_total = time_cycles(false);
-    let legacy_total = time_cycles(true);
     let per_cycle = |total: f64| total / CYCLES as f64 * 1e9;
     entries.push((
-        "workload/driver_cycle_protocol/96x200".into(),
-        per_cycle(protocol_total),
+        "workload/driver_cycle_live/96x200".into(),
+        per_cycle(live_total),
     ));
     entries.push((
-        "workload/driver_cycle_legacy/96x200".into(),
-        per_cycle(legacy_total),
+        "workload/driver_cycle_journaled/96x200".into(),
+        per_cycle(journaled_total),
     ));
-    let overhead_pct = if legacy_total > 0.0 {
-        100.0 * (protocol_total / legacy_total - 1.0)
+    entries.push((
+        "workload/cycle_replay/96x200".into(),
+        per_cycle(replay_total),
+    ));
+    let journal_overhead_pct = if live_total > 0.0 {
+        100.0 * (journaled_total / live_total - 1.0)
+    } else {
+        f64::NAN
+    };
+    let replay_vs_live_pct = if live_total > 0.0 {
+        100.0 * (replay_total / live_total - 1.0)
     } else {
         f64::NAN
     };
@@ -477,16 +522,133 @@ fn bench_workload(out_path: &str) {
         ));
     }
     json.push_str(&format!(
-        "    {{\"id\": \"workload/protocol_runner_overhead_pct\", \"value\": {overhead_pct:.3}}}\n"
+        "    {{\"id\": \"workload/journal_overhead_pct\", \"value\": {journal_overhead_pct:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "    {{\"id\": \"workload/replay_vs_live_pct\", \"value\": {replay_vs_live_pct:.3}}}\n"
     ));
     json.push_str("  ]\n}\n");
     std::fs::write(out_path, &json).expect("write benchmark json");
 
-    println!("wrote {out_path} ({} entries)", entries.len() + 1);
+    println!("wrote {out_path} ({} entries)", entries.len() + 2);
     println!(
-        "protocol-runner overhead vs legacy run_cycle: {overhead_pct:+.3}% \
-         ({:.1} ms vs {:.1} ms per cycle)",
-        per_cycle(protocol_total) / 1e6,
-        per_cycle(legacy_total) / 1e6
+        "journal write overhead vs live cycle: {journal_overhead_pct:+.3}% \
+         ({:.1} ms journaled vs {:.1} ms live per cycle)",
+        per_cycle(journaled_total) / 1e6,
+        per_cycle(live_total) / 1e6
     );
+    println!(
+        "journal replay vs live execution: {replay_vs_live_pct:+.3}% \
+         ({:.3} ms replay per cycle)",
+        per_cycle(replay_total) / 1e6
+    );
+}
+
+/// `report journal-diff` — where do two chip-state journals first diverge?
+///
+/// File mode (`report journal-diff A.json B.json`) compares two saved
+/// journals event by event and prints the common-prefix length and the
+/// first divergent pair. Demo mode (`--demo`) runs the canned cycle twice
+/// at the *same* seed — open-loop (recovery disabled) versus closed-loop
+/// (the DATE'05 reference policy) — and diffs the two journals: the
+/// divergence point is exactly where the recovery loop first acted on a
+/// detection mismatch, the E12 debugging question the journal was built to
+/// answer. `--save PREFIX` writes both demo journals for later file-mode
+/// diffs.
+fn journal_diff(args: &[String]) -> Result<(), String> {
+    use labchip::workload::{BatchDriver, Protocol, RecoveryPolicy, WorkloadConfig};
+    use labchip_manipulation::journal::{diff, Journal};
+    use labchip_units::GridDims;
+
+    if args.first().map(String::as_str) != Some("--demo") {
+        let [path_a, path_b] = args else {
+            return Err(
+                "usage: report journal-diff A.json B.json  |  report journal-diff --demo \
+                 [--seed N] [--noise X] [--side N] [--particles N] [--save PREFIX]"
+                    .into(),
+            );
+        };
+        let load = |path: &String| -> Result<Journal, String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|err| format!("cannot read journal `{path}`: {err}"))?;
+            serde_json::from_str(&text)
+                .map_err(|err| format!("`{path}` is not a journal JSON: {err}"))
+        };
+        let a = load(path_a)?;
+        let b = load(path_b)?;
+        println!("{}", diff(&a, &b));
+        return Ok(());
+    }
+
+    // Demo mode: open- vs closed-loop at the same seed.
+    let mut seed = 2005u64;
+    let mut noise = 8.0f64;
+    let mut side = 48u32;
+    let mut particles = 60usize;
+    let mut save: Option<String> = None;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            rest.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--noise" => {
+                noise = value("--noise")?
+                    .parse()
+                    .map_err(|e| format!("--noise: {e}"))?;
+            }
+            "--side" => {
+                side = value("--side")?
+                    .parse()
+                    .map_err(|e| format!("--side: {e}"))?
+            }
+            "--particles" => {
+                particles = value("--particles")?
+                    .parse()
+                    .map_err(|e| format!("--particles: {e}"))?;
+            }
+            "--save" => save = Some(value("--save")?.clone()),
+            other => return Err(format!("unknown journal-diff flag `{other}`")),
+        }
+    }
+
+    let base = WorkloadConfig {
+        array_side: side,
+        seed,
+        noise_scale: noise,
+        detection_frames: 2,
+        recovery: RecoveryPolicy::disabled(),
+        ..WorkloadConfig::default()
+    };
+    let dims = GridDims::square(side);
+    let sep = base.min_separation.max(1);
+    let protocol = Protocol::canned_cycle(dims, sep, particles);
+    let run = |config: WorkloadConfig| {
+        let driver = BatchDriver::new(config);
+        driver.runner().run_journaled(&protocol, 0).1
+    };
+    let open = run(base);
+    let closed = run(WorkloadConfig {
+        recovery: RecoveryPolicy::date05_reference(),
+        ..base
+    });
+    println!(
+        "canned cycle, seed {seed}, noise {noise}, {side}x{side}, {particles} particles:\n\
+         open-loop (recovery off) vs closed-loop (DATE'05 reference policy)\n"
+    );
+    println!("{}", diff(&open, &closed));
+    if let Some(prefix) = save {
+        for (suffix, journal) in [("open", &open), ("closed", &closed)] {
+            let path = format!("{prefix}-{suffix}.json");
+            std::fs::write(&path, serde_json::to_string(journal))
+                .map_err(|err| format!("cannot write `{path}`: {err}"))?;
+            println!("wrote {path} ({} events)", journal.len());
+        }
+    }
+    Ok(())
 }

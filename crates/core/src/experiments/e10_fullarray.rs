@@ -294,15 +294,13 @@ impl Scenario for FullArrayScenario {
     }
 }
 
-/// Runs the sweep with a silent context (library convenience; the scenario
-/// engine is the primary entry point).
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E10"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E10"))
+    }
 
     fn quick_config() -> Config {
         Config {

@@ -304,15 +304,13 @@ impl Scenario for ThroughputScenario {
     }
 }
 
-/// Runs the assay with a silent context (library convenience; the scenario
-/// engine is the primary entry point).
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E11"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E11"))
+    }
 
     fn quick_config() -> Config {
         Config {

@@ -290,15 +290,13 @@ impl Scenario for ClosedLoopScenario {
     }
 }
 
-/// Runs the sweep with a silent context (library convenience; the scenario
-/// engine is the primary entry point).
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E12"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E12"))
+    }
 
     fn quick_config() -> Config {
         Config {

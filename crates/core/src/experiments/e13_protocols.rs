@@ -303,15 +303,13 @@ impl Scenario for ProtocolsScenario {
     }
 }
 
-/// Runs the scenario with a silent context (library convenience; the
-/// scenario engine is the primary entry point).
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E13"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E13"))
+    }
 
     fn quick_config() -> Config {
         Config {

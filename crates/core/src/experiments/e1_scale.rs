@@ -160,12 +160,6 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     Results { rows }
 }
 
-/// Runs the sweep. Legacy free-function shim over [`ScaleScenario`] — kept
-/// for one release; prefer the scenario engine.
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E1"))
-}
-
 impl Results {
     /// The row matching the paper's 320×320 chip, if it was swept.
     pub fn paper_scale_row(&self) -> Option<&ScaleRow> {
@@ -209,6 +203,10 @@ impl Results {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E1"))
+    }
 
     #[test]
     fn paper_scale_claims_hold() {

@@ -134,12 +134,6 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     Results { rows }
 }
 
-/// Runs the sweep. Legacy free-function shim over [`TechnologyScenario`] —
-/// kept for one release; prefer the scenario engine.
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E2"))
-}
-
 impl Results {
     /// Finds a row by (partial) node name.
     pub fn row_for(&self, name_fragment: &str) -> Option<&TechnologyRow> {
@@ -189,6 +183,10 @@ impl Results {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E2"))
+    }
 
     #[test]
     fn holding_force_falls_as_technology_advances() {

@@ -185,12 +185,6 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     Results { rows }
 }
 
-/// Runs the experiment. Legacy free-function shim over [`MotionScenario`] —
-/// kept for one release; prefer the scenario engine.
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E3"))
-}
-
 impl Results {
     /// Highest commanded speed at which the cell still tracked its cage.
     pub fn max_tracked_speed(&self) -> Option<f64> {
@@ -236,6 +230,10 @@ impl Results {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E3"))
+    }
 
     fn quick_config() -> Config {
         Config {

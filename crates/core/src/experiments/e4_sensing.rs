@@ -104,12 +104,6 @@ impl From<Results> for ExperimentTable {
     }
 }
 
-/// Runs the sweep. Legacy free-function shim over [`SensingScenario`] —
-/// kept for one release; prefer the scenario engine.
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E4"))
-}
-
 fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let sensor = &config.sensor;
@@ -197,6 +191,10 @@ impl Results {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E4"))
+    }
 
     fn quick_config() -> Config {
         Config {

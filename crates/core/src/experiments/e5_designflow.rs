@@ -139,13 +139,6 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     Results { rows }
 }
 
-/// Runs the comparison. Legacy free-function shim over
-/// [`DesignFlowScenario`] — kept for one release; prefer the scenario
-/// engine.
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E5"))
-}
-
 impl Results {
     /// Renders the result as a report table.
     pub fn to_table(&self) -> ExperimentTable {
@@ -184,6 +177,10 @@ impl Results {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E5"))
+    }
 
     fn quick_config() -> Config {
         Config {

@@ -118,13 +118,6 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     }
 }
 
-/// Runs the comparison. Legacy free-function shim over
-/// [`FabricationScenario`] — kept for one release; prefer the scenario
-/// engine.
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E6"))
-}
-
 impl Results {
     /// The dry-film-resist row (the paper's process), if swept.
     pub fn dry_film_row(&self) -> Option<&FabricationRow> {
@@ -170,6 +163,10 @@ impl Results {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E6"))
+    }
 
     #[test]
     fn dry_film_matches_the_papers_numbers() {

@@ -207,12 +207,6 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     Results { rows }
 }
 
-/// Runs the sweep. Legacy free-function shim over [`RoutingScenario`] —
-/// kept for one release; prefer the scenario engine.
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E7"))
-}
-
 impl Results {
     /// Rows of one strategy.
     pub fn rows_for(&self, strategy_fragment: &str) -> Vec<&RoutingRow> {
@@ -257,6 +251,10 @@ impl Results {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E7"))
+    }
 
     fn quick_config() -> Config {
         Config {

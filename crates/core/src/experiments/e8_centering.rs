@@ -82,13 +82,6 @@ impl From<Results> for ExperimentTable {
     }
 }
 
-/// Runs the experiment. Legacy free-function shim over
-/// [`CenteringScenario`] — kept for one release; prefer the scenario
-/// engine.
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E8"))
-}
-
 fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     let centering = DesignCentering::reference(config.spec_halfwidth_sigmas)
         .expect("positive half-width is valid");
@@ -148,6 +141,10 @@ impl Results {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E8"))
+    }
 
     #[test]
     fn centering_recovers_yield_for_every_offset() {

@@ -95,12 +95,6 @@ impl From<Results> for ExperimentTable {
     }
 }
 
-/// Runs the assay. Legacy free-function shim over [`AssayScenario`] — kept
-/// for one release; prefer the scenario engine.
-pub fn run(config: &Config) -> Results {
-    run_with(config, &mut ScenarioContext::silent("E9"))
-}
-
 fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
     let dims = GridDims::square(config.array_side);
 
@@ -243,6 +237,10 @@ impl Results {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(config: &Config) -> Results {
+        run_with(config, &mut ScenarioContext::silent("E9"))
+    }
 
     #[test]
     fn assay_completes_and_recovers_the_target() {

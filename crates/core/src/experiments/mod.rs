@@ -19,36 +19,40 @@
 //! | E11 | sustained route→sense→flush assay throughput | [`e11_throughput`] |
 //! | E12 | closed-loop assay under sensor noise | [`e12_closedloop`] |
 //! | E13 | programmable protocols composed from assay phases | [`e13_protocols`] |
+//! | E14 | fault-injection sweep: replay + checkpoint/resume equivalence | [`e14_faults`] |
 //!
-//! E10–E13 go beyond the paper's individual claims: they exercise the
+//! E10–E14 go beyond the paper's individual claims: they exercise the
 //! *assembled* pipeline at the scale §4 envisions — comparing the
 //! incremental sharded planner against the E7 planners, measuring sustained
 //! assay throughput, closing the sense→decide→act loop against a
-//! physically noisy detection path, and running arbitrary protocols
-//! composed from the phase pipeline.
+//! physically noisy detection path, running arbitrary protocols composed
+//! from the phase pipeline, and proving the event-sourced pipeline
+//! crash-safe under a seeded kill-point sweep.
 //!
 //! Every experiment exposes a `Config` (with defaults matching the paper's
 //! scenario), a typed result, and a conversion into a generic
 //! [`ExperimentTable`] that the `report` binary prints and `EXPERIMENTS.md`
 //! quotes.
 //!
-//! ## Deprecation: the per-module `run(&Config)` shims
+//! ## Entry point: the scenario engine
 //!
-//! Before the scenario engine, each module's free `run(&Config)` function
-//! was the entry point, and [`Experiment`] enumerated the harness for the
-//! `report` binary. Both remain as thin shims — `run` executes with a
-//! silent context, `Experiment::run_default` delegates to the registry —
-//! but new code should go through
+//! All experiments run through
 //! [`ScenarioRegistry`](crate::scenario::ScenarioRegistry) and
 //! [`Runner`](crate::scenario::Runner), which add typed config overrides,
-//! seeds, progress streaming and JSON output. The shims will be removed
-//! once nothing in-tree calls them; [`Experiment`] deliberately still
+//! seeds, progress streaming and JSON output. The pre-engine free
+//! `run(&Config)` shims (every module, E1–E13) are **deleted** — callers
+//! construct the module's `Scenario` handle (e.g.
+//! [`e1_scale::ScaleScenario`]) and call
+//! [`Scenario::run`](crate::scenario::Scenario::run) with a
+//! [`ScenarioContext`](crate::scenario::ScenarioContext).
+//! [`Experiment`] (which delegates to the registry) deliberately still
 //! covers only the paper's E1–E9.
 
 pub mod e10_fullarray;
 pub mod e11_throughput;
 pub mod e12_closedloop;
 pub mod e13_protocols;
+pub mod e14_faults;
 pub mod e1_scale;
 pub mod e2_technology;
 pub mod e3_motion;

@@ -1,5 +1,5 @@
 //! The unified scenario engine: one trait, a registry, and a streaming
-//! runner for the E1–E13 scenarios.
+//! runner for the E1–E14 scenarios.
 //!
 //! The experiment modules under [`crate::experiments`] each expose a
 //! typed `Config` and a typed result; this module gives them one shared
@@ -26,7 +26,7 @@
 //! use labchip::scenario::{Runner, ScenarioRegistry};
 //!
 //! let registry = ScenarioRegistry::all();
-//! assert_eq!(registry.len(), 13);
+//! assert_eq!(registry.len(), 14);
 //!
 //! let mut runner = Runner::new(ScenarioRegistry::all());
 //! runner.set_override("batch_sizes=[1,5]").unwrap();
@@ -187,7 +187,7 @@ impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScenarioError::UnknownScenario { id } => {
-                write!(f, "unknown scenario id `{id}` (expected E1..E13)")
+                write!(f, "unknown scenario id `{id}` (expected E1..E14)")
             }
             ScenarioError::Config { scenario, message } => {
                 write!(f, "invalid config for {scenario}: {message}")

@@ -112,7 +112,8 @@ impl ScenarioRegistry {
     /// Every registered scenario: the paper experiments E1 through E9 in
     /// paper order, followed by the full-array pipeline scenarios E10
     /// (concurrent sort), E11 (sustained throughput), E12 (closed-loop
-    /// assay under sensor noise) and E13 (programmable protocols).
+    /// assay under sensor noise), E13 (programmable protocols) and E14
+    /// (fault-injection sweep over the event-sourced pipeline).
     pub fn all() -> Self {
         use crate::experiments::*;
         let mut registry = Self::empty();
@@ -129,6 +130,7 @@ impl ScenarioRegistry {
         registry.register(e11_throughput::ThroughputScenario);
         registry.register(e12_closedloop::ClosedLoopScenario);
         registry.register(e13_protocols::ProtocolsScenario);
+        registry.register(e14_faults::FaultsScenario);
         registry
     }
 
@@ -186,7 +188,10 @@ mod tests {
         let registry = ScenarioRegistry::all();
         assert_eq!(
             registry.ids(),
-            ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
+            [
+                "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+                "E14"
+            ]
         );
     }
 

@@ -25,14 +25,21 @@
 //!   (multi-route merges, repeated sense rounds, wash-free cycles;
 //!   scenario E13) compose from the same verified pieces.
 //!
-//! [`BatchDriver::run_cycle`] is now literally the canned
+//! [`BatchDriver::run_cycle`] is literally the canned
 //! `load → route(sort) → sense → recover → flush` protocol
-//! ([`Protocol::canned_cycle`](protocol::Protocol::canned_cycle)); it
-//! reproduces the retired 1000-line monolithic implementation **bit for
-//! bit** at every seed — locked in by the golden-snapshot integration test
-//! and by a direct equivalence test against the retained `legacy` baseline
-//! (`BatchDriver::run_cycle_legacy`, which exists only to be measured
-//! against and is scheduled for deletion).
+//! ([`Protocol::canned_cycle`](protocol::Protocol::canned_cycle)). The
+//! pipeline is **event-sourced**: every chip-state mutation is recorded as
+//! a typed [`Event`](labchip_manipulation::journal::Event) in an
+//! append-only [`Journal`](labchip_manipulation::journal::Journal) when
+//! one is attached ([`ProtocolRunner::run_journaled`]), and
+//! [`replay`](labchip_manipulation::journal::replay) of that journal
+//! reconstructs the final [`ChipState`](labchip_manipulation::state::ChipState)
+//! bit-for-bit — the equivalence oracle that retired the old monolithic
+//! `legacy` baseline for good. A [`Checkpoint`] (state snapshot + journal
+//! offset + cycle accumulators) lets [`ProtocolRunner::resume`] continue a
+//! killed run to the same final state; scenario E14 sweeps seeded
+//! [`FaultPlan`](labchip_manipulation::journal::FaultPlan) kill points to
+//! prove it.
 //!
 //! Every cycle reports a [`CycleReport`] with a per-phase
 //! [`TimeBreakdown`]; the running [`SustainedThroughput`] splits *chip time*
@@ -48,13 +55,14 @@
 //! knob and closes the loop with recovery.
 
 mod envelope;
-mod legacy;
 pub mod phases;
 pub mod protocol;
 
 pub use envelope::ForceEnvelope;
-pub use phases::{AssayPhase, PhaseCtx, PhaseReport, RouteTarget};
-pub use protocol::{PhaseSpec, Protocol, ProtocolOutcome, ProtocolRunner};
+pub use phases::{AssayPhase, CtxSnapshot, PhaseCtx, PhaseError, PhaseReport, RouteTarget};
+pub use protocol::{
+    Checkpoint, InterruptedRun, PhaseSpec, Protocol, ProtocolOutcome, ProtocolRunner,
+};
 
 use labchip_array::addressing::ProgrammingInterface;
 use labchip_array::timing::WindowBudget;
@@ -433,11 +441,14 @@ mod tests {
     }
 
     #[test]
-    fn canned_protocol_reproduces_the_legacy_monolith_bit_for_bit() {
-        // The decomposition's contract: the phase pipeline is the same
-        // cycle the 1000-line monolith ran, at any seed and any noise
-        // point. Planner wall-clock is real time, not simulated time, so
-        // it is the one field aligned before comparing.
+    fn journal_replay_is_the_equivalence_oracle_bit_for_bit() {
+        // The event-sourcing contract, at the same seed/noise grid the old
+        // legacy-equivalence test used: a journaled run produces the exact
+        // report a plain run does (planner wall-clock is real time, so it
+        // is the one field aligned), and replaying its journal into a
+        // fresh chip reconstructs the final state bit-for-bit.
+        use labchip_manipulation::journal::replay;
+
         for (seed, noise_scale, recovery) in [
             (2005u64, 1.0, RecoveryPolicy::disabled()),
             (7, 0.0, RecoveryPolicy::date05_reference()),
@@ -453,13 +464,23 @@ mod tests {
                 ..WorkloadConfig::default()
             };
             let envelope = ForceEnvelope::date05_reference();
-            let mut new_driver = BatchDriver::with_envelope(config, envelope);
-            let mut old_driver = BatchDriver::with_envelope(config, envelope);
-            for particles in [40usize, 90] {
-                let new_report = new_driver.run_cycle(particles);
-                let mut old_report = old_driver.run_cycle_legacy(particles);
-                old_report.planning = new_report.planning;
-                assert_eq!(new_report, old_report, "seed {seed} noise {noise_scale}");
+            let driver = BatchDriver::with_envelope(config, envelope);
+            let dims = GridDims::square(config.array_side);
+            let sep = config.min_separation.max(1);
+            for (cycle, particles) in [40usize, 90].into_iter().enumerate() {
+                let protocol = Protocol::canned_cycle(dims, sep, particles);
+                let plain = driver.runner().run(&protocol, cycle);
+                let (journaled, journal) = driver.runner().run_journaled(&protocol, cycle);
+                assert!(!journal.is_empty());
+
+                let mut plain_report = plain.report.clone();
+                plain_report.planning = journaled.report.planning;
+                assert_eq!(journaled.report, plain_report, "seed {seed}");
+                assert_eq!(journaled.state, plain.state, "seed {seed}");
+
+                let replayed = replay(&journal, dims, sep).expect("journal replays cleanly");
+                assert_eq!(replayed, journaled.state, "seed {seed} noise {noise_scale}");
+                assert_eq!(replayed.state_hash(), journaled.state.state_hash());
             }
         }
     }

@@ -6,9 +6,16 @@
 //! cycle-scoped [`PhaseCtx`] accumulators, and returns a [`PhaseReport`].
 //! A [`Protocol`](super::protocol::Protocol) is an ordered list of phase
 //! specs; the canned `load → route(sort) → sense → recover → flush` sequence
-//! reproduces the old monolithic `BatchDriver::run_cycle` bit for bit, and
-//! arbitrary other sequences (multi-route, multi-sense — see scenario E13)
-//! compose from the same five pieces.
+//! is the driver's standard cycle (its replay equivalence is locked in by
+//! the journal oracle), and arbitrary other sequences (multi-route,
+//! multi-sense — see scenario E13) compose from the same five pieces.
+//!
+//! Phases are **fallible and interruptible**: [`AssayPhase::run`] returns
+//! `Result<PhaseReport, PhaseError>`, never panics on grid-state surprises,
+//! and polls [`ChipState::fault_tripped`] at its mutation boundaries so an
+//! armed [`FaultPlan`](labchip_manipulation::journal::FaultPlan) kills
+//! execution cooperatively — the hook the checkpoint/resume sweep (E14)
+//! injects crashes through.
 
 use super::envelope::ForceEnvelope;
 use super::{RecoveryPolicy, WorkloadConfig};
@@ -45,8 +52,71 @@ pub trait AssayPhase {
 
     /// Executes the phase. The returned report's `time` field is
     /// overwritten by the runner with the measured ledger delta.
-    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport;
+    ///
+    /// # Errors
+    ///
+    /// [`PhaseError::Interrupted`] when an armed fault plan tripped at one
+    /// of the phase's poll points; [`PhaseError::Invariant`] when the grid
+    /// rejected an operation the phase's own bookkeeping says must succeed
+    /// (a bug or corrupted state — reported, never panicked). Either way
+    /// the runner journals a `PhaseAborted` marker and the protocol can be
+    /// resumed from the checkpoint taken before the phase.
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> Result<PhaseReport, PhaseError>;
 }
+
+/// Why a phase stopped without completing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseError {
+    /// An armed [`FaultPlan`](labchip_manipulation::journal::FaultPlan)
+    /// kill point tripped at one of the phase's poll points.
+    Interrupted {
+        /// Name of the interrupted phase.
+        phase: &'static str,
+    },
+    /// A grid operation the phase's bookkeeping guarantees was rejected —
+    /// an internal inconsistency, surfaced instead of panicking.
+    Invariant {
+        /// Name of the failing phase.
+        phase: &'static str,
+        /// What was violated.
+        reason: String,
+    },
+}
+
+impl PhaseError {
+    /// Name of the phase that stopped.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            PhaseError::Interrupted { phase } | PhaseError::Invariant { phase, .. } => phase,
+        }
+    }
+
+    fn interrupted(phase: &'static str) -> Self {
+        PhaseError::Interrupted { phase }
+    }
+
+    fn invariant(phase: &'static str, reason: impl Into<String>) -> Self {
+        PhaseError::Invariant {
+            phase,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhaseError::Interrupted { phase } => {
+                write!(f, "{phase} interrupted by injected fault")
+            }
+            PhaseError::Invariant { phase, reason } => {
+                write!(f, "{phase} invariant violated: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhaseError {}
 
 /// What one executed phase did — one row of a protocol's outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,11 +136,14 @@ pub struct PhaseReport {
 
 /// The final plan-vs-reality counts of a protocol, captured while the batch
 /// is still on-chip (just before a flush, or at protocol end).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub(crate) struct FinalCounts {
-    pub(crate) mismatches_final: usize,
-    pub(crate) true_mismatches_final: usize,
-    pub(crate) occupancy_detected: usize,
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FinalCounts {
+    /// Sites where the final detected map disagrees with the plan.
+    pub mismatches_final: usize,
+    /// Sites where the true occupancy disagrees with the plan.
+    pub true_mismatches_final: usize,
+    /// Occupied cages the detection scan decided it saw.
+    pub occupancy_detected: usize,
 }
 
 /// Cycle-scoped context handed to every phase: the driver's shared
@@ -128,6 +201,53 @@ pub struct PhaseCtx<'a> {
     pub(crate) finals: Option<FinalCounts>,
 }
 
+/// A serde-round-trippable snapshot of every [`PhaseCtx`] accumulator —
+/// the second half of a [`Checkpoint`](super::protocol::Checkpoint)
+/// (the first being the [`ChipStateSnapshot`](labchip_manipulation::state::ChipStateSnapshot)).
+/// Restoring it into a fresh ctx over the same driver resources makes a
+/// resumed run bit-identical to an uninterrupted one: the scan-pass
+/// counter and cycle seed pin every RNG stream, the rest pins the final
+/// [`CycleReport`](super::CycleReport) assembly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CtxSnapshot {
+    /// Zero-based cycle index.
+    pub cycle: usize,
+    /// Seed of this cycle's batch placement.
+    pub cycle_seed: u64,
+    /// Next scan pass number.
+    pub pass: u64,
+    /// Particles requested across all load phases.
+    pub requested: usize,
+    /// Requests the routers delivered to their goals.
+    pub routed: usize,
+    /// Cage steps until the last routed particle arrived.
+    pub makespan_steps: usize,
+    /// Individual cage moves across all route phases.
+    pub total_moves: usize,
+    /// Planner wall-clock accumulated so far.
+    pub planning: Seconds,
+    /// Whether every routed plan passed the separation invariant.
+    pub conflict_free: bool,
+    /// Planned moves checked against the force envelope.
+    pub moves_checked: usize,
+    /// Moves the envelope rejected.
+    pub infeasible_moves: usize,
+    /// Programming-clock budget of the executed motion.
+    pub budget: WindowBudget,
+    /// The latest detected occupancy map.
+    pub detected: Option<OccupancyMap>,
+    /// Confusion counts accumulated over all full-array scans.
+    pub detection: DetectionStats,
+    /// Detected-vs-plan mismatches of the first scan.
+    pub mismatches_initial: Option<usize>,
+    /// Recovery rounds executed.
+    pub recovery_rounds: usize,
+    /// Corrective cage moves commanded by recovery.
+    pub recovery_moves: usize,
+    /// Final plan-vs-reality counts, if already captured.
+    pub finals: Option<FinalCounts>,
+}
+
 impl<'a> PhaseCtx<'a> {
     /// Creates a fresh cycle context over the driver's resources.
     #[allow(clippy::too_many_arguments)]
@@ -167,6 +287,53 @@ impl<'a> PhaseCtx<'a> {
             recovery_moves: 0,
             finals: None,
         }
+    }
+
+    /// Snapshots every accumulator for a checkpoint.
+    pub fn snapshot(&self) -> CtxSnapshot {
+        CtxSnapshot {
+            cycle: self.cycle,
+            cycle_seed: self.cycle_seed,
+            pass: self.pass,
+            requested: self.requested,
+            routed: self.routed,
+            makespan_steps: self.makespan_steps,
+            total_moves: self.total_moves,
+            planning: self.planning,
+            conflict_free: self.conflict_free,
+            moves_checked: self.moves_checked,
+            infeasible_moves: self.infeasible_moves,
+            budget: self.budget,
+            detected: self.detected.clone(),
+            detection: self.detection,
+            mismatches_initial: self.mismatches_initial,
+            recovery_rounds: self.recovery_rounds,
+            recovery_moves: self.recovery_moves,
+            finals: self.finals,
+        }
+    }
+
+    /// Restores every accumulator from a checkpoint snapshot (the borrowed
+    /// driver resources are supplied by [`PhaseCtx::new`]).
+    pub fn restore(&mut self, snapshot: &CtxSnapshot) {
+        self.cycle = snapshot.cycle;
+        self.cycle_seed = snapshot.cycle_seed;
+        self.pass = snapshot.pass;
+        self.requested = snapshot.requested;
+        self.routed = snapshot.routed;
+        self.makespan_steps = snapshot.makespan_steps;
+        self.total_moves = snapshot.total_moves;
+        self.planning = snapshot.planning;
+        self.conflict_free = snapshot.conflict_free;
+        self.moves_checked = snapshot.moves_checked;
+        self.infeasible_moves = snapshot.infeasible_moves;
+        self.budget = snapshot.budget;
+        self.detected = snapshot.detected.clone();
+        self.detection = snapshot.detection;
+        self.mismatches_initial = snapshot.mismatches_initial;
+        self.recovery_rounds = snapshot.recovery_rounds;
+        self.recovery_moves = snapshot.recovery_moves;
+        self.finals = snapshot.finals;
     }
 
     /// Checks every move of a plan against the force envelope and feeds the
@@ -364,7 +531,10 @@ impl AssayPhase for Load {
         "load"
     }
 
-    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport {
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> Result<PhaseReport, PhaseError> {
+        if state.fault_tripped() {
+            return Err(PhaseError::interrupted(self.name()));
+        }
         let dims = state.dims();
         let sep = state.grid().min_separation();
         // Ids continue after the largest already on the grid so repeated
@@ -382,29 +552,29 @@ impl AssayPhase for Load {
         let seed = ctx.cycle_seed ^ first_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let starts = loading_sites(dims, self.particles, sep, seed, self.capacity_clamp);
         let mut placed = 0usize;
-        {
-            let grid = state.grid_mut();
-            for start in &starts {
-                // On an empty grid every lattice site is placeable (they are
-                // mutually separated); a repeated load skips sites an earlier
-                // batch already crowds.
-                if grid
-                    .place(ParticleId(first_id + placed as u64), *start)
-                    .is_ok()
-                {
-                    placed += 1;
-                }
+        for start in &starts {
+            // On an empty grid every lattice site is placeable (they are
+            // mutually separated); a repeated load skips sites an earlier
+            // batch already crowds.
+            if state
+                .place(ParticleId(first_id + placed as u64), *start)
+                .is_ok()
+            {
+                placed += 1;
+            }
+            if state.fault_tripped() {
+                return Err(PhaseError::interrupted(self.name()));
             }
         }
         ctx.requested += placed;
         state.charge(TimeLedger::Fluidics, ctx.config.load_time);
-        PhaseReport {
+        Ok(PhaseReport {
             phase: self.name().to_owned(),
             time: TimeBreakdown::default(),
             moves: 0,
             particles_after: state.particle_count(),
             detail: format!("{placed} particles loaded (requested {})", self.particles),
-        }
+        })
     }
 }
 
@@ -518,18 +688,21 @@ impl AssayPhase for Route {
         "route"
     }
 
-    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport {
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> Result<PhaseReport, PhaseError> {
+        if state.fault_tripped() {
+            return Err(PhaseError::interrupted(self.name()));
+        }
         let dims = state.dims();
         let sep = state.grid().min_separation();
         let requests = self.target.requests(state, sep);
         if requests.is_empty() {
-            return PhaseReport {
+            return Ok(PhaseReport {
                 phase: format!("{}:{}", self.name(), self.target.label()),
                 time: TimeBreakdown::default(),
                 moves: 0,
                 particles_after: state.particle_count(),
                 detail: "nothing to route".into(),
-            };
+            });
         }
         let goals: Vec<GridCoord> = requests.iter().map(|r| r.goal).collect();
         let mut problem = RoutingProblem::new(dims, requests);
@@ -543,7 +716,7 @@ impl AssayPhase for Route {
         // internally, so its error *is* the degrade signal.
         let started = Instant::now();
         let Ok(outcome) = ctx.router.solve(&problem) else {
-            return PhaseReport {
+            return Ok(PhaseReport {
                 phase: format!("{}:{}", self.name(), self.target.label()),
                 time: TimeBreakdown::default(),
                 moves: 0,
@@ -552,7 +725,7 @@ impl AssayPhase for Route {
                     "target unroutable for {} particles; routing skipped",
                     problem.requests.len()
                 ),
-            };
+            });
         };
         ctx.planning += Seconds::new(started.elapsed().as_secs_f64());
         ctx.conflict_free &= outcome.is_conflict_free(sep);
@@ -567,16 +740,24 @@ impl AssayPhase for Route {
         // particle first, then set the finals — applying moves one at a
         // time would trip the separation check against particles that have
         // not been moved yet.
-        {
-            let grid = state.grid_mut();
-            let moved = || outcome.paths.iter().chain(outcome.stranded.iter());
-            for path in moved() {
-                grid.remove(path.id).expect("loaded particle");
+        let moved = || outcome.paths.iter().chain(outcome.stranded.iter());
+        for path in moved() {
+            state.remove(path.id).map_err(|e| {
+                PhaseError::invariant(self.name(), format!("lifting routed particle: {e}"))
+            })?;
+            if state.fault_tripped() {
+                return Err(PhaseError::interrupted(self.name()));
             }
-            for path in moved() {
-                let last = *path.positions.last().expect("paths are never empty");
-                grid.place(path.id, last)
-                    .expect("final configurations are conflict-free");
+        }
+        for path in moved() {
+            let last = *path.positions.last().ok_or_else(|| {
+                PhaseError::invariant(self.name(), "router produced an empty path")
+            })?;
+            state.place(path.id, last).map_err(|e| {
+                PhaseError::invariant(self.name(), format!("settling routed particle: {e}"))
+            })?;
+            if state.fault_tripped() {
+                return Err(PhaseError::interrupted(self.name()));
             }
         }
         state.set_plan_from_goals(goals);
@@ -584,7 +765,7 @@ impl AssayPhase for Route {
         ctx.routed += outcome.paths.len();
         ctx.makespan_steps += outcome.makespan;
         ctx.total_moves += outcome.total_moves;
-        PhaseReport {
+        Ok(PhaseReport {
             phase: format!("{}:{}", self.name(), self.target.label()),
             time: TimeBreakdown::default(),
             moves: outcome.total_moves,
@@ -595,7 +776,7 @@ impl AssayPhase for Route {
                 problem.requests.len(),
                 outcome.makespan
             ),
-        }
+        })
     }
 }
 
@@ -612,26 +793,32 @@ impl AssayPhase for Sense {
         "sense"
     }
 
-    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport {
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> Result<PhaseReport, PhaseError> {
+        if state.fault_tripped() {
+            return Err(PhaseError::interrupted(self.name()));
+        }
         let dims = state.dims();
         let frames = self.frames.unwrap_or(ctx.config.detection_frames).max(1);
         let scan_time = ctx
             .scan
             .averaged_scan_time(dims, &FrameAverager::new(frames));
         state.charge(TimeLedger::Sensing, scan_time);
+        if state.fault_tripped() {
+            return Err(PhaseError::interrupted(self.name()));
+        }
         let result = ctx.scanner.scan_source(state, frames, ctx.pass);
         ctx.pass += 1;
         ctx.detection.merge(&result.stats);
         let mismatches = result
             .map
             .diff_count(state.plan())
-            .expect("plan and detected maps share the array dims");
+            .map_err(|e| PhaseError::invariant(self.name(), e.to_string()))?;
         if ctx.mismatches_initial.is_none() {
             ctx.mismatches_initial = Some(mismatches);
         }
         let occupied = result.map.occupied_count();
         ctx.detected = Some(result.map);
-        PhaseReport {
+        Ok(PhaseReport {
             phase: self.name().to_owned(),
             time: TimeBreakdown::default(),
             moves: 0,
@@ -639,7 +826,7 @@ impl AssayPhase for Sense {
             detail: format!(
                 "{occupied} occupied detected, {mismatches} mismatches vs plan ({frames} frames)"
             ),
-        }
+        })
     }
 }
 
@@ -657,7 +844,10 @@ impl AssayPhase for Recover {
         "recover"
     }
 
-    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport {
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> Result<PhaseReport, PhaseError> {
+        if state.fault_tripped() {
+            return Err(PhaseError::interrupted(self.name()));
+        }
         let dims = state.dims();
         let sep = state.grid().min_separation();
         let policy = self.policy.unwrap_or(ctx.config.recovery);
@@ -669,18 +859,21 @@ impl AssayPhase for Recover {
             .saturating_mul(policy.rescan_factor.max(1));
         let Some(mut detected) = ctx.detected.take() else {
             // No scan to recover against: nothing to do.
-            return PhaseReport {
+            return Ok(PhaseReport {
                 phase: self.name().to_owned(),
                 time: TimeBreakdown::default(),
                 moves: 0,
                 particles_after: state.particle_count(),
                 detail: "no detection map (sense phase missing)".into(),
-            };
+            });
         };
 
         let moves_before = ctx.recovery_moves;
         let rounds_before = ctx.recovery_rounds;
         for _ in 0..policy.max_rounds {
+            if state.fault_tripped() {
+                return Err(PhaseError::interrupted(self.name()));
+            }
             let suspects: Vec<GridCoord> = dims
                 .iter()
                 .filter(|c| detected.get(*c) != state.plan().get(*c))
@@ -793,7 +986,9 @@ impl AssayPhase for Recover {
                     continue; // stationary on-plan particle
                 }
                 let from = path.positions[0];
-                let to = *path.positions.last().expect("paths are never empty");
+                let to = *path.positions.last().ok_or_else(|| {
+                    PhaseError::invariant(self.name(), "router produced an empty path")
+                })?;
                 touched.push(from);
                 touched.push(to);
                 if from == to {
@@ -803,19 +998,24 @@ impl AssayPhase for Recover {
                     moved.push((id, from, to));
                 }
             }
-            {
-                let grid = state.grid_mut();
-                for &(id, _, _) in &moved {
-                    grid.remove(id).expect("tracked particle");
+            for &(id, _, _) in &moved {
+                state.remove(id).map_err(|e| {
+                    PhaseError::invariant(self.name(), format!("lifting tracked particle: {e}"))
+                })?;
+                if state.fault_tripped() {
+                    return Err(PhaseError::interrupted(self.name()));
                 }
-                for &(id, from, to) in &moved {
-                    if grid.place(id, to).is_err() {
-                        // An undetected particle blocks the slot; the cell
-                        // stays where it was (its own cage is still free).
-                        if grid.place(id, from).is_err() {
-                            grid.place_merged(id, from);
-                        }
+            }
+            for &(id, from, to) in &moved {
+                if state.place(id, to).is_err() {
+                    // An undetected particle blocks the slot; the cell
+                    // stays where it was (its own cage is still free).
+                    if state.place(id, from).is_err() {
+                        state.place_merged(id, from);
                     }
+                }
+                if state.fault_tripped() {
+                    return Err(PhaseError::interrupted(self.name()));
                 }
             }
 
@@ -838,13 +1038,13 @@ impl AssayPhase for Recover {
         let moves = ctx.recovery_moves - moves_before;
         let rounds = ctx.recovery_rounds - rounds_before;
         ctx.detected = Some(detected);
-        PhaseReport {
+        Ok(PhaseReport {
             phase: self.name().to_owned(),
             time: TimeBreakdown::default(),
             moves,
             particles_after: state.particle_count(),
             detail: format!("{rounds} rounds, {moves} corrective moves"),
-        }
+        })
     }
 }
 
@@ -858,24 +1058,29 @@ impl AssayPhase for Flush {
         "flush"
     }
 
-    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> PhaseReport {
+    fn run(&self, state: &mut ChipState, ctx: &mut PhaseCtx) -> Result<PhaseReport, PhaseError> {
+        if state.fault_tripped() {
+            return Err(PhaseError::interrupted(self.name()));
+        }
         ctx.capture_finals(state);
         let flushed = state.particle_count();
         let ids: Vec<ParticleId> = state.grid().iter_particles().map(|(id, _)| id).collect();
-        {
-            let grid = state.grid_mut();
-            for id in ids {
-                grid.remove(id).expect("flushing tracked particles");
+        for id in ids {
+            state.remove(id).map_err(|e| {
+                PhaseError::invariant(self.name(), format!("flushing tracked particle: {e}"))
+            })?;
+            if state.fault_tripped() {
+                return Err(PhaseError::interrupted(self.name()));
             }
         }
         state.charge(TimeLedger::Fluidics, ctx.config.flush_time);
-        PhaseReport {
+        Ok(PhaseReport {
             phase: self.name().to_owned(),
             time: TimeBreakdown::default(),
             moves: 0,
             particles_after: 0,
             detail: format!("{flushed} particles flushed"),
-        }
+        })
     }
 }
 
@@ -920,7 +1125,7 @@ mod tests {
         let dims = GridDims::square(48);
         let mut state = ChipState::with_separation(dims, 2);
         for (i, site) in loading_sites(dims, 8, 2, 3, None).iter().enumerate() {
-            state.grid_mut().place(ParticleId(i as u64), *site).unwrap();
+            state.place(ParticleId(i as u64), *site).unwrap();
         }
         let requests = RouteTarget::MergePairs.requests(&state, 2);
         assert_eq!(requests.len(), 8);

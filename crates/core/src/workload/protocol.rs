@@ -7,20 +7,39 @@
 //! in order over one shared [`ChipState`], snapshots the time ledger around
 //! each phase (so every [`PhaseReport`] carries exactly what that phase
 //! cost), and assembles the final [`CycleReport`] from the accumulated
-//! [`PhaseCtx`]. The canned cycle ([`Protocol::canned_cycle`]) reproduces
-//! the retired monolithic `run_cycle` bit for bit; anything else — repeated
-//! sense/route rounds, merge assays, wash-free cycles — is just a different
-//! list.
+//! [`PhaseCtx`]. The canned cycle ([`Protocol::canned_cycle`]) is the
+//! driver's standard `load → route → sense → recover → flush` sequence;
+//! anything else — repeated sense/route rounds, merge assays, wash-free
+//! cycles — is just a different list.
+//!
+//! ## Journal, checkpoint, resume
+//!
+//! [`ProtocolRunner::run_journaled`] attaches an event
+//! [`Journal`] to the chip state, so every mutation
+//! of the run is recorded and
+//! [`replay`](labchip_manipulation::journal::replay) reconstructs the
+//! final state bit-for-bit — the equivalence oracle that replaced the
+//! retired legacy monolith. [`ProtocolRunner::run_with_fault`] arms a
+//! seeded [`FaultPlan`] kill point on top; when it
+//! trips, the run dies cooperatively and returns the [`Checkpoint`] taken
+//! at the start of the interrupted phase (chip snapshot + ctx snapshot +
+//! journal offset). [`ProtocolRunner::resume`] restores the checkpoint
+//! and finishes the protocol; because every RNG stream is a pure function
+//! of seeds and counters captured in the checkpoint, the resumed run
+//! reaches a final state **bit-identical** to an uninterrupted execution
+//! — the property scenario E14 sweeps across ≥50 kill points.
 
 use super::envelope::ForceEnvelope;
 use super::phases::{
-    sort_capacity, AssayPhase, Flush, Load, PhaseCtx, PhaseReport, Recover, Route, RouteTarget,
-    Sense,
+    sort_capacity, AssayPhase, CtxSnapshot, Flush, Load, PhaseCtx, PhaseError, PhaseReport,
+    Recover, Route, RouteTarget, Sense,
 };
 use super::{CycleReport, RecoveryPolicy, WorkloadConfig};
 use labchip_array::addressing::ProgrammingInterface;
+use labchip_manipulation::journal::{FaultPlan, Journal};
+use labchip_manipulation::protocol::TimeBreakdown;
 use labchip_manipulation::sharding::IncrementalRouter;
-use labchip_manipulation::state::ChipState;
+use labchip_manipulation::state::{ChipState, ChipStateSnapshot};
 use labchip_sensing::array_scan::ArrayScanner;
 use labchip_sensing::scan::ScanTiming;
 use labchip_units::GridDims;
@@ -146,6 +165,73 @@ pub struct ProtocolOutcome {
     pub state: ChipState,
 }
 
+/// A resumable point in a protocol execution: everything needed to
+/// continue from the start of phase `next_phase` — the durable chip state,
+/// every [`PhaseCtx`] accumulator, the journal offset the run had reached,
+/// and the reports of the phases already completed.
+///
+/// Serde-round-trippable: [`Checkpoint::to_json`] /
+/// [`Checkpoint::from_json`] are the on-disk form a chip-farm worker
+/// would persist between assays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The protocol being executed.
+    pub protocol: Protocol,
+    /// Zero-based cycle index of the run.
+    pub cycle: usize,
+    /// Index of the next phase to execute (the interrupted phase re-runs
+    /// from its start — phase-internal determinism makes that exact).
+    pub next_phase: usize,
+    /// The durable chip state at the start of `next_phase`.
+    pub state: ChipStateSnapshot,
+    /// Every cycle accumulator at the start of `next_phase`.
+    pub ctx: CtxSnapshot,
+    /// Journal length when the checkpoint was taken: replaying the journal
+    /// truncated to this offset reconstructs `state` exactly.
+    pub journal_offset: usize,
+    /// Reports of the phases completed before the checkpoint.
+    pub completed: Vec<PhaseReport>,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/shape error for malformed input — including
+    /// non-finite ledger floats, which the JSON writer encodes as `null`
+    /// and the typed reader rejects rather than resurrecting as NaN.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+/// A run killed by an injected fault: the resume point, the journal up to
+/// the kill, and what tripped.
+#[derive(Debug)]
+pub struct InterruptedRun {
+    /// The checkpoint taken at the start of the interrupted phase.
+    pub checkpoint: Checkpoint,
+    /// The journal of everything executed before the kill (its prefix of
+    /// length [`Checkpoint::journal_offset`] replays to the checkpoint
+    /// state; the tail is the interrupted phase's partial work).
+    pub journal: Journal,
+    /// The error that stopped the run.
+    pub error: PhaseError,
+}
+
+/// Outcome of [`ProtocolRunner::execute`]: `Err` carries the interruption
+/// point when a phase stopped early.
+struct Interruption {
+    error: PhaseError,
+    checkpoint: Option<Box<Checkpoint>>,
+}
+
 /// The thin executor: phases in, reports out.
 ///
 /// Borrows the driver's shared resources; all per-cycle state lives in the
@@ -160,22 +246,29 @@ pub struct ProtocolRunner<'a> {
     pub(super) scanner: &'a ArrayScanner,
 }
 
-impl ProtocolRunner<'_> {
-    /// Executes `protocol` as cycle number `cycle` (the cycle index fixes
-    /// the batch seed and the scan-pass numbering, exactly as the driver's
-    /// repeated cycles always did).
-    pub fn run(&self, protocol: &Protocol, cycle: usize) -> ProtocolOutcome {
+impl<'a> ProtocolRunner<'a> {
+    /// The cycle seed: a pure function of the base seed and the cycle
+    /// index, unchanged across every driver generation so seeded runs stay
+    /// bit-identical.
+    fn cycle_seed(&self, cycle: usize) -> u64 {
+        self.config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(cycle as u64 + 1))
+    }
+
+    /// A fresh chip state for one run of this runner's configuration.
+    fn fresh_state(&self) -> ChipState {
         let dims = GridDims::square(self.config.array_side);
         // A zero separation is physically meaningless (cages would merge)
         // and the cage grid rejects it; clamp like the routers do rather
         // than panic on a CLI-supplied `min_separation=0` override.
         let sep = self.config.min_separation.max(1);
-        let cycle_seed = self
-            .config
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(cycle as u64 + 1));
-        let mut state = ChipState::with_separation(dims, sep);
-        let mut ctx = PhaseCtx::new(
+        ChipState::with_separation(dims, sep)
+    }
+
+    /// A fresh cycle context over this runner's borrowed resources.
+    fn fresh_ctx(&self, cycle: usize, cycle_seed: u64) -> PhaseCtx<'a> {
+        PhaseCtx::new(
             self.config,
             self.envelope,
             self.router,
@@ -184,22 +277,68 @@ impl ProtocolRunner<'_> {
             self.scanner,
             cycle,
             cycle_seed,
-        );
+        )
+    }
 
-        let mut phases = Vec::with_capacity(protocol.phases.len());
-        for spec in &protocol.phases {
+    /// The phase loop shared by every entry point: runs
+    /// `protocol.phases[start_phase..]` over the given state and ctx,
+    /// appending one report per completed phase. With `capture` on, a
+    /// [`Checkpoint`] is taken at the start of every phase and the latest
+    /// one rides along in the `Err` when a phase stops early.
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &self,
+        protocol: &Protocol,
+        cycle: usize,
+        start_phase: usize,
+        state: &mut ChipState,
+        ctx: &mut PhaseCtx<'_>,
+        phases: &mut Vec<PhaseReport>,
+        capture: bool,
+    ) -> Result<(), Interruption> {
+        for (index, spec) in protocol.phases.iter().enumerate().skip(start_phase) {
+            let checkpoint = capture.then(|| {
+                Box::new(Checkpoint {
+                    protocol: protocol.clone(),
+                    cycle,
+                    next_phase: index,
+                    state: state.snapshot(),
+                    ctx: ctx.snapshot(),
+                    journal_offset: state.journal().map_or(0, Journal::len),
+                    completed: phases.clone(),
+                })
+            });
             let phase = spec.build();
+            state.note_phase_started(index, phase.name());
             let ledger_before = *state.time();
-            let mut report = phase.run(&mut state, &mut ctx);
-            report.time = state.time().delta_since(&ledger_before);
-            phases.push(report);
+            match phase.run(state, ctx) {
+                Ok(mut report) => {
+                    report.time = state.time().delta_since(&ledger_before);
+                    state.note_phase_finished(index);
+                    phases.push(report);
+                }
+                Err(error) => {
+                    state.note_phase_aborted(index, &error.to_string());
+                    return Err(Interruption { error, checkpoint });
+                }
+            }
         }
         // A flush snapshots the finals itself (pre-clear); protocols that
         // end with the batch still on-chip are snapshotted here.
         if !matches!(protocol.phases.last(), Some(PhaseSpec::Flush)) {
-            ctx.capture_finals(&mut state);
+            ctx.capture_finals(state);
         }
+        Ok(())
+    }
 
+    /// Assembles the final outcome from the consumed per-run state.
+    fn assemble(
+        &self,
+        cycle: usize,
+        state: ChipState,
+        ctx: PhaseCtx<'_>,
+        phases: Vec<PhaseReport>,
+    ) -> ProtocolOutcome {
         let finals = ctx.finals.unwrap_or_default();
         let report = CycleReport {
             cycle,
@@ -227,6 +366,120 @@ impl ProtocolRunner<'_> {
             state,
         }
     }
+
+    /// The report row appended when a phase aborted: zero work, the abort
+    /// reason as the detail.
+    fn aborted_report(error: &PhaseError, state: &ChipState) -> PhaseReport {
+        PhaseReport {
+            phase: format!("aborted:{}", error.phase()),
+            time: TimeBreakdown::default(),
+            moves: 0,
+            particles_after: state.particle_count(),
+            detail: error.to_string(),
+        }
+    }
+
+    /// Executes `protocol` as cycle number `cycle` (the cycle index fixes
+    /// the batch seed and the scan-pass numbering, exactly as the driver's
+    /// repeated cycles always did).
+    ///
+    /// A phase error (an internal invariant violation — impossible on the
+    /// canned path) aborts the remaining phases and surfaces as an
+    /// `aborted:` report row instead of a panic.
+    pub fn run(&self, protocol: &Protocol, cycle: usize) -> ProtocolOutcome {
+        let mut state = self.fresh_state();
+        let mut ctx = self.fresh_ctx(cycle, self.cycle_seed(cycle));
+        let mut phases = Vec::with_capacity(protocol.phases.len());
+        if let Err(interruption) =
+            self.execute(protocol, cycle, 0, &mut state, &mut ctx, &mut phases, false)
+        {
+            phases.push(Self::aborted_report(&interruption.error, &state));
+        }
+        self.assemble(cycle, state, ctx, phases)
+    }
+
+    /// Like [`run`](Self::run), with an event journal attached: every
+    /// chip-state mutation of the run is recorded, and
+    /// [`replay`](labchip_manipulation::journal::replay) of the returned
+    /// journal reconstructs `outcome.state` bit-for-bit.
+    pub fn run_journaled(&self, protocol: &Protocol, cycle: usize) -> (ProtocolOutcome, Journal) {
+        let mut state = self.fresh_state();
+        state.attach_journal();
+        let mut ctx = self.fresh_ctx(cycle, self.cycle_seed(cycle));
+        let mut phases = Vec::with_capacity(protocol.phases.len());
+        if let Err(interruption) =
+            self.execute(protocol, cycle, 0, &mut state, &mut ctx, &mut phases, false)
+        {
+            phases.push(Self::aborted_report(&interruption.error, &state));
+        }
+        let journal = state.take_journal().expect("journal attached above");
+        (self.assemble(cycle, state, ctx, phases), journal)
+    }
+
+    /// Runs `protocol` with a journal and an armed [`FaultPlan`] kill
+    /// point. If the kill point lies beyond the run's event count the run
+    /// completes normally (`Ok`); otherwise execution dies at the fault's
+    /// poll point and the [`InterruptedRun`] carries the checkpoint to
+    /// [`resume`](Self::resume) from.
+    ///
+    /// # Errors
+    ///
+    /// `Err` is the interrupted run — the expected outcome of a fault
+    /// sweep, boxed because it carries the full resume state.
+    pub fn run_with_fault(
+        &self,
+        protocol: &Protocol,
+        cycle: usize,
+        fault: FaultPlan,
+    ) -> Result<(ProtocolOutcome, Journal), Box<InterruptedRun>> {
+        let mut state = self.fresh_state();
+        state.attach_journal_with_fault(fault);
+        let mut ctx = self.fresh_ctx(cycle, self.cycle_seed(cycle));
+        let mut phases = Vec::with_capacity(protocol.phases.len());
+        match self.execute(protocol, cycle, 0, &mut state, &mut ctx, &mut phases, true) {
+            Ok(()) => {
+                let journal = state.take_journal().expect("journal attached above");
+                Ok((self.assemble(cycle, state, ctx, phases), journal))
+            }
+            Err(interruption) => {
+                let journal = state.take_journal().expect("journal attached above");
+                let checkpoint = interruption
+                    .checkpoint
+                    .expect("checkpoint capture enabled for fault runs");
+                Err(Box::new(InterruptedRun {
+                    checkpoint: *checkpoint,
+                    journal,
+                    error: interruption.error,
+                }))
+            }
+        }
+    }
+
+    /// Continues an interrupted protocol from a [`Checkpoint`]: restores
+    /// the chip state and every ctx accumulator, then executes the
+    /// remaining phases (the interrupted one re-runs from its start).
+    /// Every RNG stream is a pure function of the captured seeds and
+    /// counters, so the final state is bit-identical to an uninterrupted
+    /// run of the same protocol — planner wall-clock aside, so is the
+    /// report.
+    pub fn resume(&self, checkpoint: &Checkpoint) -> ProtocolOutcome {
+        let mut state = ChipState::from_snapshot(checkpoint.state.clone());
+        let mut ctx = self.fresh_ctx(checkpoint.cycle, checkpoint.ctx.cycle_seed);
+        ctx.restore(&checkpoint.ctx);
+        let mut phases = checkpoint.completed.clone();
+        if let Err(interruption) = self.execute(
+            &checkpoint.protocol,
+            checkpoint.cycle,
+            checkpoint.next_phase,
+            &mut state,
+            &mut ctx,
+            &mut phases,
+            false,
+        ) {
+            phases.push(Self::aborted_report(&interruption.error, &state));
+        }
+        self.assemble(checkpoint.cycle, state, ctx, phases)
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +502,70 @@ mod tests {
         assert_eq!(back, protocol);
         assert_eq!(back.len(), 8);
         assert!(!back.is_empty());
+    }
+
+    #[test]
+    fn fault_kill_and_resume_reach_the_uninterrupted_state() {
+        // One mid-protocol kill point, end to end: the interrupted run's
+        // journal prefix replays to the checkpoint state, and resume from
+        // the checkpoint lands on the exact state (and report, modulo
+        // planner wall-clock) of an uninterrupted run.
+        use crate::workload::{BatchDriver, WorkloadConfig};
+        use labchip_manipulation::journal::{replay, FaultPlan};
+
+        let config = WorkloadConfig {
+            array_side: 32,
+            noise_scale: 1.0,
+            detection_frames: 2,
+            recovery: RecoveryPolicy::date05_reference(),
+            ..WorkloadConfig::default()
+        };
+        let driver = BatchDriver::new(config);
+        let dims = GridDims::square(config.array_side);
+        let sep = config.min_separation.max(1);
+        let protocol = Protocol::canned_cycle(dims, sep, 20);
+        let (baseline, baseline_journal) = driver.runner().run_journaled(&protocol, 0);
+        let total_events = baseline_journal.len() as u64;
+        assert!(
+            total_events > 10,
+            "probe run journaled {total_events} events"
+        );
+
+        // A kill point mid-journal must interrupt...
+        let interrupted = driver
+            .runner()
+            .run_with_fault(&protocol, 0, FaultPlan::after(total_events / 2))
+            .expect_err("mid-journal kill point must interrupt the run");
+        assert!(interrupted.journal.len() as u64 >= total_events / 2);
+        let checkpoint = &interrupted.checkpoint;
+        assert!(checkpoint.next_phase < protocol.len());
+
+        // ...its journal-at-checkpoint prefix replays to the snapshot...
+        let prefix = interrupted.journal.truncated(checkpoint.journal_offset);
+        let replayed = replay(&prefix, dims, sep).expect("prefix replays cleanly");
+        assert_eq!(
+            replayed.state_hash(),
+            ChipState::from_snapshot(checkpoint.state.clone()).state_hash()
+        );
+
+        // ...the checkpoint survives its JSON round trip...
+        let restored = Checkpoint::from_json(&checkpoint.to_json()).expect("round trip");
+        assert_eq!(&restored, checkpoint);
+
+        // ...and resume finishes to the uninterrupted state and report.
+        let resumed = driver.runner().resume(&restored);
+        assert_eq!(resumed.state, baseline.state);
+        assert_eq!(resumed.state.state_hash(), baseline.state.state_hash());
+        let mut resumed_report = resumed.report.clone();
+        resumed_report.planning = baseline.report.planning;
+        assert_eq!(resumed_report, baseline.report);
+
+        // A kill point past the end never fires: the run completes.
+        let (outcome, _) = driver
+            .runner()
+            .run_with_fault(&protocol, 0, FaultPlan::after(total_events + 1))
+            .expect("kill point past the journal end must not interrupt");
+        assert_eq!(outcome.state, baseline.state);
     }
 
     #[test]

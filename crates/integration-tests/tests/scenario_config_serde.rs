@@ -4,8 +4,9 @@
 //! boundary (and the `report run --set/--json` surface) rests on.
 
 use labchip::experiments::{
-    e10_fullarray, e11_throughput, e12_closedloop, e13_protocols, e1_scale, e2_technology,
-    e3_motion, e4_sensing, e5_designflow, e6_fabrication, e7_routing, e8_centering, e9_assay,
+    e10_fullarray, e11_throughput, e12_closedloop, e13_protocols, e14_faults, e1_scale,
+    e2_technology, e3_motion, e4_sensing, e5_designflow, e6_fabrication, e7_routing, e8_centering,
+    e9_assay,
 };
 use labchip::workload::RecoveryPolicy;
 use labchip_array::technology::TechnologyNode;
@@ -294,6 +295,33 @@ proptest! {
         };
         prop_assert_eq!(round_trip(&config), config);
     }
+
+    #[test]
+    fn e14_faults_config_round_trips(
+        array_side in 16u32..512,
+        particles in 1usize..5_000,
+        kill_points in 0usize..200,
+        noise_scale in 0.0f64..16.0,
+        detection_frames in 1u32..128,
+        max_rounds in 0u32..8,
+        min_separation in 1u32..4,
+        threads in 0usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let config = e14_faults::Config {
+            array_side,
+            particles,
+            kill_points,
+            min_separation,
+            detection_frames,
+            noise_scale,
+            recovery: RecoveryPolicy { max_rounds, rescan_factor: 4 },
+            threads,
+            seed,
+            ..e14_faults::Config::default()
+        };
+        prop_assert_eq!(round_trip(&config), config);
+    }
 }
 
 /// The default configs themselves (the paper scenarios) round-trip too —
@@ -322,6 +350,7 @@ fn default_configs_round_trip_pretty() {
         e10_fullarray,
         e11_throughput,
         e12_closedloop,
-        e13_protocols
+        e13_protocols,
+        e14_faults
     );
 }

@@ -30,6 +30,7 @@ fn quick_runner() -> Runner {
         "particles_per_cycle=10",    // E11
         "cycles=1",                  // E11
         "noise_scales=[0.0,6.0]",    // E12: one quiet and one loud point
+        "kill_points=4",             // E14: a token fault sweep
     ] {
         runner.set_override(spec).expect("spec is well-formed");
     }
@@ -37,11 +38,11 @@ fn quick_runner() -> Runner {
 }
 
 #[test]
-fn registry_has_thirteen_unique_ids_and_default_runs_produce_rows() {
+fn registry_has_fourteen_unique_ids_and_default_runs_produce_rows() {
     let registry = ScenarioRegistry::all();
-    assert_eq!(registry.len(), 13);
+    assert_eq!(registry.len(), 14);
     let unique: HashSet<&str> = registry.iter().map(|s| s.id()).collect();
-    assert_eq!(unique.len(), 13, "scenario ids must be unique");
+    assert_eq!(unique.len(), 14, "scenario ids must be unique");
 
     // Cheap scenarios run their untouched paper defaults here; the full
     // default sweep of every scenario is what `report run --all` does in CI.
@@ -57,12 +58,12 @@ fn registry_has_thirteen_unique_ids_and_default_runs_produce_rows() {
 }
 
 #[test]
-fn run_all_covers_e1_through_e13_and_emits_one_valid_json_document() {
+fn run_all_covers_e1_through_e14_and_emits_one_valid_json_document() {
     let outcomes = quick_runner().run_all().expect("bulk run succeeds");
     let ids: Vec<&str> = outcomes.iter().map(|o| o.id.as_str()).collect();
     assert_eq!(
         ids,
-        ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
+        ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"]
     );
     for outcome in &outcomes {
         assert!(
@@ -73,7 +74,7 @@ fn run_all_covers_e1_through_e13_and_emits_one_valid_json_document() {
     }
 
     // The document `report run --all --json` prints: one parseable JSON
-    // text covering all thirteen scenarios, tables included.
+    // text covering all fourteen scenarios, tables included.
     let document = outcomes_to_json(&outcomes);
     let text = serde_json::to_string_pretty(&document);
     let parsed: Value = serde_json::from_str(&text).expect("document is valid JSON");
@@ -82,7 +83,7 @@ fn run_all_covers_e1_through_e13_and_emits_one_valid_json_document() {
         .and_then(|o| o.get("scenarios"))
         .and_then(Value::as_array)
         .expect("document has a scenarios array");
-    assert_eq!(scenarios.len(), 13);
+    assert_eq!(scenarios.len(), 14);
     for (entry, outcome) in scenarios.iter().zip(&outcomes) {
         let entry = entry.as_object().unwrap();
         assert_eq!(entry.get("id").unwrap().as_str(), Some(outcome.id.as_str()));

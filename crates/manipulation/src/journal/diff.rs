@@ -1,0 +1,148 @@
+//! Journal diffing: where do two executions first part ways?
+//!
+//! The debugging tool for recovery-loop anomalies: record the same
+//! protocol open-loop and closed-loop at the same seed, diff the
+//! journals, and the first divergence pinpoints the exact event where the
+//! recovery controller changed the execution.
+
+use crate::journal::event::Event;
+use crate::journal::log::Journal;
+use std::fmt;
+
+/// The first point where two journals disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergencePoint {
+    /// Index of the first differing event.
+    pub index: usize,
+    /// The event in journal A at that index (`None` if A ended first).
+    pub a: Option<Event>,
+    /// The event in journal B at that index (`None` if B ended first).
+    pub b: Option<Event>,
+}
+
+/// Result of comparing two journals event-by-event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalDiff {
+    /// Length of the shared event prefix.
+    pub common_prefix: usize,
+    /// Total events in journal A.
+    pub len_a: usize,
+    /// Total events in journal B.
+    pub len_b: usize,
+    /// First divergence, if any.
+    pub divergence: Option<DivergencePoint>,
+}
+
+impl JournalDiff {
+    /// `true` when the two journals are event-for-event identical.
+    pub fn identical(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+impl fmt::Display for JournalDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "journal A: {} events, journal B: {} events, common prefix: {}",
+            self.len_a, self.len_b, self.common_prefix
+        )?;
+        match &self.divergence {
+            None => write!(f, "journals are identical"),
+            Some(point) => {
+                writeln!(f, "first divergence at event #{}:", point.index)?;
+                match &point.a {
+                    Some(event) => writeln!(f, "  A: {event}")?,
+                    None => writeln!(f, "  A: <end of journal>")?,
+                }
+                match &point.b {
+                    Some(event) => write!(f, "  B: {event}"),
+                    None => write!(f, "  B: <end of journal>"),
+                }
+            }
+        }
+    }
+}
+
+/// Compares two journals event-by-event.
+pub fn diff(a: &Journal, b: &Journal) -> JournalDiff {
+    let events_a = a.events();
+    let events_b = b.events();
+    let common_prefix = events_a
+        .iter()
+        .zip(events_b.iter())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let divergence = if common_prefix == events_a.len() && common_prefix == events_b.len() {
+        None
+    } else {
+        Some(DivergencePoint {
+            index: common_prefix,
+            a: events_a.get(common_prefix).cloned(),
+            b: events_b.get(common_prefix).cloned(),
+        })
+    };
+    JournalDiff {
+        common_prefix,
+        len_a: events_a.len(),
+        len_b: events_b.len(),
+        divergence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cage::ParticleId;
+    use labchip_units::GridCoord;
+
+    fn placed(id: u64, x: u32) -> Event {
+        Event::Placed {
+            id: ParticleId(id),
+            at: GridCoord::new(x, 1),
+        }
+    }
+
+    #[test]
+    fn identical_journals_diff_clean() {
+        let mut a = Journal::new();
+        a.record(placed(1, 2));
+        a.record(placed(2, 6));
+        let d = diff(&a, &a.clone());
+        assert!(d.identical());
+        assert_eq!(d.common_prefix, 2);
+        assert!(d.to_string().contains("identical"));
+    }
+
+    #[test]
+    fn diverging_journals_report_the_first_difference() {
+        let mut a = Journal::new();
+        a.record(placed(1, 2));
+        a.record(placed(2, 6));
+        let mut b = Journal::new();
+        b.record(placed(1, 2));
+        b.record(placed(2, 7));
+        b.record(placed(3, 9));
+        let d = diff(&a, &b);
+        assert!(!d.identical());
+        assert_eq!(d.common_prefix, 1);
+        let point = d.divergence.as_ref().unwrap();
+        assert_eq!(point.index, 1);
+        assert_eq!(point.a, Some(placed(2, 6)));
+        assert_eq!(point.b, Some(placed(2, 7)));
+        assert!(d.to_string().contains("first divergence at event #1"));
+    }
+
+    #[test]
+    fn prefix_journals_diverge_at_the_shorter_end() {
+        let mut a = Journal::new();
+        a.record(placed(1, 2));
+        let mut b = a.clone();
+        b.record(placed(2, 6));
+        let d = diff(&a, &b);
+        assert_eq!(d.common_prefix, 1);
+        let point = d.divergence.unwrap();
+        assert_eq!(point.a, None);
+        assert_eq!(point.b, Some(placed(2, 6)));
+    }
+}

@@ -1,0 +1,184 @@
+//! The typed event vocabulary of the chip-state journal.
+
+use crate::cage::ParticleId;
+use crate::state::TimeLedger;
+use labchip_units::{GridCoord, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One chip-state mutation (or phase marker) in the append-only journal.
+///
+/// State events ([`Placed`](Event::Placed), [`Removed`](Event::Removed),
+/// [`PlacedMerged`](Event::PlacedMerged), [`PlanReplaced`](Event::PlanReplaced),
+/// [`Charged`](Event::Charged)) are recorded by the
+/// [`ChipState`](crate::state::ChipState) mutators themselves, *after* the
+/// mutation succeeded — a journal never contains a rejected operation.
+/// Marker events carry no state and are ignored by
+/// [`replay`](crate::journal::replay); they delimit assay phases so the
+/// journal doubles as an execution trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// An assay phase began (marker).
+    PhaseStarted {
+        /// Zero-based index of the phase within its protocol.
+        index: usize,
+        /// Phase name as reported by the phase itself.
+        name: String,
+    },
+    /// An assay phase completed normally (marker).
+    PhaseFinished {
+        /// Zero-based index of the phase within its protocol.
+        index: usize,
+    },
+    /// An assay phase aborted without completing (marker).
+    PhaseAborted {
+        /// Zero-based index of the phase within its protocol.
+        index: usize,
+        /// Human-readable abort reason.
+        reason: String,
+    },
+    /// A particle was placed on an empty, conflict-free cage.
+    Placed {
+        /// The particle.
+        id: ParticleId,
+        /// Where it was trapped.
+        at: GridCoord,
+    },
+    /// A particle was removed from the grid.
+    Removed {
+        /// The particle.
+        id: ParticleId,
+        /// The cage it occupied when removed.
+        from: GridCoord,
+    },
+    /// A particle was placed into an already-occupied cage (merge).
+    PlacedMerged {
+        /// The particle.
+        id: ParticleId,
+        /// The shared cage.
+        at: GridCoord,
+    },
+    /// The plan map was replaced wholesale with these goal sites occupied.
+    PlanReplaced {
+        /// The intended occupancy sites.
+        goals: Vec<GridCoord>,
+    },
+    /// Simulated chip time was charged to a ledger.
+    Charged {
+        /// Which ledger.
+        ledger: TimeLedger,
+        /// How much time.
+        seconds: Seconds,
+    },
+}
+
+impl Event {
+    /// `true` for phase markers — events that carry no chip state and are
+    /// skipped by replay.
+    pub fn is_marker(&self) -> bool {
+        matches!(
+            self,
+            Event::PhaseStarted { .. } | Event::PhaseFinished { .. } | Event::PhaseAborted { .. }
+        )
+    }
+
+    /// Short kind tag, for diff summaries and coverage counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::PhaseStarted { .. } => "phase_started",
+            Event::PhaseFinished { .. } => "phase_finished",
+            Event::PhaseAborted { .. } => "phase_aborted",
+            Event::Placed { .. } => "placed",
+            Event::Removed { .. } => "removed",
+            Event::PlacedMerged { .. } => "placed_merged",
+            Event::PlanReplaced { .. } => "plan_replaced",
+            Event::Charged { .. } => "charged",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::PhaseStarted { index, name } => write!(f, "phase[{index}] started: {name}"),
+            Event::PhaseFinished { index } => write!(f, "phase[{index}] finished"),
+            Event::PhaseAborted { index, reason } => {
+                write!(f, "phase[{index}] aborted: {reason}")
+            }
+            Event::Placed { id, at } => write!(f, "place #{} at {at}", id.0),
+            Event::Removed { id, from } => write!(f, "remove #{} from {from}", id.0),
+            Event::PlacedMerged { id, at } => write!(f, "merge #{} into {at}", id.0),
+            Event::PlanReplaced { goals } => write!(f, "plan replaced ({} goals)", goals.len()),
+            Event::Charged { ledger, seconds } => {
+                write!(f, "charge {ledger:?} {:.6} s", seconds.get())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markers_are_markers_and_state_events_are_not() {
+        assert!(Event::PhaseStarted {
+            index: 0,
+            name: "load".into()
+        }
+        .is_marker());
+        assert!(Event::PhaseFinished { index: 0 }.is_marker());
+        assert!(Event::PhaseAborted {
+            index: 1,
+            reason: "fault".into()
+        }
+        .is_marker());
+        assert!(!Event::Placed {
+            id: ParticleId(1),
+            at: GridCoord::new(2, 3)
+        }
+        .is_marker());
+        assert!(!Event::Charged {
+            ledger: TimeLedger::Motion,
+            seconds: Seconds::new(1.0)
+        }
+        .is_marker());
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let events = vec![
+            Event::PhaseStarted {
+                index: 0,
+                name: "load".into(),
+            },
+            Event::Placed {
+                id: ParticleId(42),
+                at: GridCoord::new(7, 9),
+            },
+            Event::Removed {
+                id: ParticleId(42),
+                from: GridCoord::new(7, 9),
+            },
+            Event::PlacedMerged {
+                id: ParticleId(3),
+                at: GridCoord::new(1, 1),
+            },
+            Event::PlanReplaced {
+                goals: vec![GridCoord::new(0, 0), GridCoord::new(4, 4)],
+            },
+            Event::Charged {
+                ledger: TimeLedger::Recovery,
+                seconds: Seconds::new(0.125),
+            },
+            Event::PhaseAborted {
+                index: 2,
+                reason: "injected fault".into(),
+            },
+            Event::PhaseFinished { index: 2 },
+        ];
+        let json = serde_json::to_string(&events);
+        let back: Vec<Event> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, events);
+    }
+}

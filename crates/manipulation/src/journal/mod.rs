@@ -1,0 +1,40 @@
+//! Event-sourced chip state: the append-only journal, deterministic replay
+//! and seeded fault injection.
+//!
+//! The paper's chip runs individual-cell assays that take hours of wall
+//! time; a crash anywhere in a protocol used to lose the whole run. This
+//! module turns [`ChipState`](crate::state::ChipState) into an
+//! event-sourced model:
+//!
+//! * every state mutation — grid ops, plan replacement, time-ledger
+//!   charges — is a typed, serde-round-trippable [`Event`] appended to a
+//!   [`Journal`]. Events are emitted from *inside* the state's mutation
+//!   choke points ([`ChipState::place`](crate::state::ChipState::place),
+//!   [`remove`](crate::state::ChipState::remove), …), so no phase can
+//!   mutate the chip behind the journal's back;
+//! * [`replay`] folds a journal back into a `ChipState` that is
+//!   **bit-identical** to the live run that produced it — the equivalence
+//!   oracle that retired the legacy monolith;
+//! * [`FaultPlan`] is the seeded, deterministic fault-injection harness:
+//!   it arms a kill point after the Nth event, the phases poll
+//!   [`ChipState::fault_tripped`](crate::state::ChipState::fault_tripped)
+//!   and abort cleanly, and the workload layer's checkpoint/resume proves
+//!   it reaches the same final state as an uninterrupted run (scenario
+//!   E14);
+//! * [`diff`] compares two journals event-by-event — the debugging tool
+//!   for recovery-loop anomalies (e.g. open- vs closed-loop at the same
+//!   seed, surfaced as `report journal-diff`).
+//!
+//! The phase markers ([`Event::PhaseStarted`] and friends) carry no state
+//! and are skipped by [`replay`]; they exist so a journal reads as an
+//! execution trace and so two journals can be diffed phase-by-phase.
+
+mod diff;
+mod event;
+mod log;
+mod replay;
+
+pub use diff::{diff, DivergencePoint, JournalDiff};
+pub use event::Event;
+pub use log::{FaultPlan, Journal};
+pub use replay::{replay, ReplayError};

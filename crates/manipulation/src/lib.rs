@@ -16,6 +16,9 @@
 //!   its cached, dirty-tracked derivations (electrode pattern, ground-truth
 //!   occupancy), the plan map and the per-phase time ledger — one chip-state
 //!   owner shared by simulator, router, scanner and driver,
+//! * the event-sourced [`journal`]: every state mutation recorded as a
+//!   typed event at the `ChipState` choke points, with bit-identical
+//!   replay, journal diffing and seeded fault injection,
 //! * conflict-free multi-particle [`routing`] (space–time A* with reservation
 //!   tables, plus a greedy baseline),
 //! * the incremental [`sharding`] planner that scales routing to the full
@@ -49,6 +52,7 @@
 
 pub mod cage;
 pub mod error;
+pub mod journal;
 pub mod metrics;
 pub mod ops;
 pub mod protocol;
@@ -60,6 +64,7 @@ pub mod state;
 pub mod prelude {
     pub use crate::cage::{CageGrid, ParticleId};
     pub use crate::error::ManipulationError;
+    pub use crate::journal::{Event, FaultPlan, Journal};
     pub use crate::metrics::{SustainedThroughput, ThroughputReport};
     pub use crate::ops::Manipulator;
     pub use crate::protocol::{Protocol, ProtocolExecutor, ProtocolReport, ProtocolStep};

@@ -11,23 +11,37 @@
 //!
 //! [`ChipState`] collapses those copies into one model:
 //!
-//! * the [`CageGrid`] is the single source of truth for particle positions;
+//! * the [`CageGrid`] is the single source of truth for particle positions,
+//!   mutated **only** through the typed operations on the state
+//!   ([`place`](ChipState::place), [`remove`](ChipState::remove),
+//!   [`place_merged`](ChipState::place_merged)) — the choke points that
+//!   invalidate the caches *and* feed the event journal;
 //! * the electrode [`CagePattern`] and the ground-truth [`OccupancyMap`] are
 //!   **cached, dirty-tracked derivations** — rebuilt lazily only after the
-//!   grid actually changed (every `&mut` access to the grid marks the caches
-//!   stale), so repeated reads inside a phase are free;
+//!   grid actually changed, so repeated reads inside a phase are free;
 //! * the *plan* map (the occupancy the current protocol intends) and the
 //!   per-phase [`TimeBreakdown`] ledger live alongside, because every
 //!   consumer of the state needs them together: the sense phase diffs
 //!   detected-vs-plan, the recovery loop diffs truth-vs-plan, the report
 //!   charges time per phase.
 //!
+//! When a [`Journal`] is attached ([`attach_journal`](ChipState::attach_journal)),
+//! every successful mutation is appended as a typed
+//! [`crate::journal::Event`]; because the journal hangs off the same
+//! choke points no phase can mutate the chip behind its back, and
+//! [`replay`](crate::journal::replay) reconstructs the state bit-for-bit.
+//! An armed [`FaultPlan`] latches [`fault_tripped`](ChipState::fault_tripped)
+//! once the journal reaches the kill point — the hook the fault-injection
+//! harness (E14) uses to kill execution mid-phase.
+//!
 //! The sensing crate's [`TruthSource`] is implemented here, so an
 //! [`ArrayScanner`](labchip_sensing::array_scan::ArrayScanner) reads the
 //! chip state directly (`scanner.scan_source(&mut state, …)`) instead of
 //! forcing callers to materialise a truth map per scan.
 
-use crate::cage::CageGrid;
+use crate::cage::{CageGrid, ParticleId};
+use crate::error::ManipulationError;
+use crate::journal::{Event, FaultPlan, Journal};
 use crate::protocol::TimeBreakdown;
 use labchip_array::pattern::CagePattern;
 use labchip_sensing::array_scan::TruthSource;
@@ -50,6 +64,19 @@ pub enum TimeLedger {
     Recovery,
 }
 
+/// A serde-round-trippable snapshot of the durable chip state: grid, plan
+/// and time ledger (the derived caches are rebuilt on demand, the journal
+/// is stored separately by the checkpoint that owns the snapshot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipStateSnapshot {
+    /// The cage grid (positions, dims, separation).
+    pub grid: CageGrid,
+    /// The plan map.
+    pub plan: OccupancyMap,
+    /// The accumulated time ledger.
+    pub time: TimeBreakdown,
+}
+
 /// One chip-state model shared by the simulator, router, scanner and driver:
 /// the cage grid plus cached derivations, the plan map and the time ledger.
 ///
@@ -63,6 +90,21 @@ pub struct ChipState {
     pattern: Option<CagePattern>,
     /// Lazily rebuilt ground-truth occupancy (`None` = stale).
     occupancy: Option<OccupancyMap>,
+    /// Event journal (opt-in; `None` = mutations are not recorded).
+    journal: Option<Journal>,
+    /// Armed kill point for fault injection.
+    fault: Option<FaultPlan>,
+    /// Latched once the journal reaches the armed kill point.
+    tripped: bool,
+}
+
+/// Equality over the durable state — grid, plan and time ledger. The lazy
+/// caches and the journal are bookkeeping, not state: a replayed chip with
+/// cold caches and no journal still compares equal to the live one.
+impl PartialEq for ChipState {
+    fn eq(&self, other: &Self) -> bool {
+        self.grid == other.grid && self.plan == other.plan && self.time == other.time
+    }
 }
 
 impl ChipState {
@@ -91,6 +133,9 @@ impl ChipState {
             time: TimeBreakdown::default(),
             pattern: None,
             occupancy: None,
+            journal: None,
+            fault: None,
+            tripped: false,
         }
     }
 
@@ -104,13 +149,69 @@ impl ChipState {
         &self.grid
     }
 
-    /// Mutable access to the cage grid. Marks both derived caches stale —
-    /// call this (not interior mutation tricks) for *every* change, or the
-    /// pattern/occupancy views will serve outdated data.
-    pub fn grid_mut(&mut self) -> &mut CageGrid {
+    /// Marks the derived caches stale. Every mutator below calls this;
+    /// there is deliberately no public `&mut CageGrid` accessor — typed
+    /// mutations are the choke points the cache tracking *and* the event
+    /// journal depend on.
+    fn invalidate(&mut self) {
         self.pattern = None;
         self.occupancy = None;
-        &mut self.grid
+    }
+
+    /// Appends an event to the journal (if one is attached) and latches
+    /// the fault flag when an armed kill point is reached.
+    fn record(&mut self, event: Event) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.record(event);
+            if let Some(fault) = self.fault {
+                if journal.len() as u64 >= fault.kill_after_events {
+                    self.tripped = true;
+                }
+            }
+        }
+    }
+
+    /// Places a particle on an empty, conflict-free cage.
+    ///
+    /// This is the journaled choke point for trapping: on success the
+    /// caches are invalidated and an [`Event::Placed`] is recorded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CageGrid::place`] rejections (out of bounds, site
+    /// conflict, duplicate id); a rejected placement mutates nothing and
+    /// records nothing.
+    pub fn place(&mut self, id: ParticleId, at: GridCoord) -> Result<(), ManipulationError> {
+        self.grid.place(id, at)?;
+        self.invalidate();
+        self.record(Event::Placed { id, at });
+        Ok(())
+    }
+
+    /// Removes a particle, returning the cage it occupied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManipulationError::UnknownParticle`] if the particle is
+    /// not on the grid; nothing is mutated or recorded.
+    pub fn remove(&mut self, id: ParticleId) -> Result<GridCoord, ManipulationError> {
+        let from = self.grid.remove(id)?;
+        self.invalidate();
+        self.record(Event::Removed { id, from });
+        Ok(from)
+    }
+
+    /// Places a particle into a cage that may already be occupied (merge) —
+    /// the journaled counterpart of [`CageGrid::place_merged`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is outside the grid (see
+    /// [`CageGrid::place_merged`]).
+    pub fn place_merged(&mut self, id: ParticleId, at: GridCoord) {
+        self.grid.place_merged(id, at);
+        self.invalidate();
+        self.record(Event::PlacedMerged { id, at });
     }
 
     /// Number of particles on the grid.
@@ -166,14 +267,12 @@ impl ChipState {
         &self.plan
     }
 
-    /// Replaces the plan with `goals` occupied (everything else empty).
+    /// Replaces the plan with `goals` occupied (everything else empty) —
+    /// the journaled choke point for plan changes.
     pub fn set_plan_from_goals(&mut self, goals: impl IntoIterator<Item = GridCoord>) {
-        self.plan = Self::occupancy_from_sites(self.grid.dims(), goals);
-    }
-
-    /// Mutable access to the plan map (for incremental plan edits).
-    pub fn plan_mut(&mut self) -> &mut OccupancyMap {
-        &mut self.plan
+        let goals: Vec<GridCoord> = goals.into_iter().collect();
+        self.plan = Self::occupancy_from_sites(self.grid.dims(), goals.iter().copied());
+        self.record(Event::PlanReplaced { goals });
     }
 
     /// The accumulated per-phase time ledger.
@@ -181,7 +280,8 @@ impl ChipState {
         &self.time
     }
 
-    /// Charges `duration` of simulated chip time to a ledger.
+    /// Charges `duration` of simulated chip time to a ledger — the
+    /// journaled choke point for time accounting.
     pub fn charge(&mut self, ledger: TimeLedger, duration: Seconds) {
         match ledger {
             TimeLedger::Fluidics => self.time.fluidics += duration,
@@ -189,6 +289,125 @@ impl ChipState {
             TimeLedger::Motion => self.time.motion += duration,
             TimeLedger::Recovery => self.time.recovery += duration,
         }
+        self.record(Event::Charged {
+            ledger,
+            seconds: duration,
+        });
+    }
+
+    /// Attaches an empty journal: every subsequent mutation is recorded.
+    pub fn attach_journal(&mut self) {
+        self.journal = Some(Journal::new());
+        self.fault = None;
+        self.tripped = false;
+    }
+
+    /// Attaches an empty journal with an armed kill point: once the
+    /// journal reaches `fault.kill_after_events` events,
+    /// [`fault_tripped`](Self::fault_tripped) latches and cooperative
+    /// phases abort at their next poll.
+    pub fn attach_journal_with_fault(&mut self, fault: FaultPlan) {
+        self.journal = Some(Journal::new());
+        self.fault = Some(fault);
+        self.tripped = false;
+    }
+
+    /// Read access to the attached journal, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Detaches and returns the journal (recording stops).
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.fault = None;
+        self.tripped = false;
+        self.journal.take()
+    }
+
+    /// `true` once an armed [`FaultPlan`] kill point has been reached.
+    /// Latches until the journal is detached or re-attached.
+    pub fn fault_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Records a phase-start marker (no state change).
+    pub fn note_phase_started(&mut self, index: usize, name: &str) {
+        self.record(Event::PhaseStarted {
+            index,
+            name: name.to_string(),
+        });
+    }
+
+    /// Records a phase-completion marker (no state change).
+    pub fn note_phase_finished(&mut self, index: usize) {
+        self.record(Event::PhaseFinished { index });
+    }
+
+    /// Records a phase-abort marker (no state change).
+    pub fn note_phase_aborted(&mut self, index: usize, reason: &str) {
+        self.record(Event::PhaseAborted {
+            index,
+            reason: reason.to_string(),
+        });
+    }
+
+    /// Snapshots the durable state (grid, plan, ledger) for a checkpoint.
+    pub fn snapshot(&self) -> ChipStateSnapshot {
+        ChipStateSnapshot {
+            grid: self.grid.clone(),
+            plan: self.plan.clone(),
+            time: self.time,
+        }
+    }
+
+    /// Rebuilds a state from a checkpoint snapshot (cold caches, no
+    /// journal — re-attach one to keep recording).
+    pub fn from_snapshot(snapshot: ChipStateSnapshot) -> Self {
+        Self {
+            grid: snapshot.grid,
+            plan: snapshot.plan,
+            time: snapshot.time,
+            pattern: None,
+            occupancy: None,
+            journal: None,
+            fault: None,
+            tripped: false,
+        }
+    }
+
+    /// A 64-bit FNV-1a digest of the durable state: dims, separation,
+    /// every particle position, the plan sites and the raw ledger bits.
+    /// Two states compare equal iff their hashes match (modulo the usual
+    /// 64-bit collision caveat) — the cheap fingerprint the resume
+    /// equivalence sweep compares across hundreds of kill points.
+    pub fn state_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hash = OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        let dims = self.grid.dims();
+        mix(u64::from(dims.cols));
+        mix(u64::from(dims.rows));
+        mix(u64::from(self.grid.min_separation()));
+        for (id, coord) in self.grid.iter_particles() {
+            mix(id.0);
+            mix(u64::from(coord.x));
+            mix(u64::from(coord.y));
+        }
+        for site in self.plan.occupied_sites() {
+            mix(u64::from(site.x));
+            mix(u64::from(site.y));
+        }
+        mix(self.time.fluidics.get().to_bits());
+        mix(self.time.sensing.get().to_bits());
+        mix(self.time.motion.get().to_bits());
+        mix(self.time.recovery.get().to_bits());
+        hash
     }
 
     /// Sites where the ground truth disagrees with the plan.
@@ -223,10 +442,7 @@ mod tests {
     #[test]
     fn caches_rebuild_only_after_grid_mutation() {
         let mut state = ChipState::new(GridDims::square(16));
-        state
-            .grid_mut()
-            .place(ParticleId(1), GridCoord::new(4, 4))
-            .unwrap();
+        state.place(ParticleId(1), GridCoord::new(4, 4)).unwrap();
         assert_eq!(state.caches_warm(), (false, false));
 
         assert_eq!(state.occupancy().occupied_count(), 1);
@@ -238,10 +454,7 @@ mod tests {
         assert_eq!(state.caches_warm(), (true, true));
 
         // Mutation invalidates; the next read sees the new truth.
-        state
-            .grid_mut()
-            .place(ParticleId(2), GridCoord::new(10, 10))
-            .unwrap();
+        state.place(ParticleId(2), GridCoord::new(10, 10)).unwrap();
         assert_eq!(state.caches_warm(), (false, false));
         assert_eq!(state.occupancy().occupied_count(), 2);
         assert_eq!(state.pattern().cage_count(), 2);
@@ -251,10 +464,7 @@ mod tests {
     fn pattern_and_occupancy_always_match_the_grid() {
         let mut state = ChipState::with_separation(GridDims::square(12), 2);
         for (id, x) in [(0u64, 2u32), (1, 6), (2, 10)] {
-            state
-                .grid_mut()
-                .place(ParticleId(id), GridCoord::new(x, 5))
-                .unwrap();
+            state.place(ParticleId(id), GridCoord::new(x, 5)).unwrap();
         }
         let sites: Vec<GridCoord> = state.grid().iter_particles().map(|(_, c)| c).collect();
         assert_eq!(state.pattern().cage_sites(), &sites);
@@ -267,10 +477,7 @@ mod tests {
     #[test]
     fn plan_and_ledger_live_with_the_state() {
         let mut state = ChipState::new(GridDims::square(8));
-        state
-            .grid_mut()
-            .place(ParticleId(0), GridCoord::new(1, 1))
-            .unwrap();
+        state.place(ParticleId(0), GridCoord::new(1, 1)).unwrap();
         state.set_plan_from_goals([GridCoord::new(5, 5)]);
         // One particle off the plan slot and one plan slot unfilled.
         assert_eq!(state.true_mismatches(), 2);
@@ -284,10 +491,7 @@ mod tests {
     fn scanner_reads_the_state_directly() {
         let dims = GridDims::square(10);
         let mut state = ChipState::new(dims);
-        state
-            .grid_mut()
-            .place(ParticleId(7), GridCoord::new(3, 3))
-            .unwrap();
+        state.place(ParticleId(7), GridCoord::new(3, 3)).unwrap();
         let scanner = ArrayScanner::date05_reference(dims, 0.0, 99);
         let result = scanner.scan_source(&mut state, 1, 0);
         assert_eq!(result.map, *state.occupancy());
@@ -301,5 +505,61 @@ mod tests {
             ChipState::occupancy_from_sites(dims, [GridCoord::new(0, 0), GridCoord::new(5, 5)]);
         assert_eq!(map.occupied_count(), 2);
         assert_eq!(map.get(GridCoord::new(5, 5)), Occupancy::Occupied);
+    }
+
+    #[test]
+    fn mutations_journal_only_when_attached_and_rejections_record_nothing() {
+        let mut state = ChipState::new(GridDims::square(8));
+        // No journal attached: mutations succeed silently.
+        state.place(ParticleId(0), GridCoord::new(1, 1)).unwrap();
+        assert!(state.journal().is_none());
+
+        state.attach_journal();
+        state.place(ParticleId(1), GridCoord::new(5, 5)).unwrap();
+        // A rejected placement (occupied site) records nothing.
+        assert!(state.place(ParticleId(2), GridCoord::new(5, 5)).is_err());
+        state.charge(TimeLedger::Fluidics, Seconds::new(1.0));
+        state.set_plan_from_goals([GridCoord::new(5, 5)]);
+        state.remove(ParticleId(1)).unwrap();
+
+        let journal = state.take_journal().unwrap();
+        let kinds: Vec<&str> = journal.events().iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, ["placed", "charged", "plan_replaced", "removed"]);
+    }
+
+    #[test]
+    fn fault_plan_latches_at_the_kill_point() {
+        let mut state = ChipState::new(GridDims::square(8));
+        state.attach_journal_with_fault(FaultPlan::after(2));
+        state.place(ParticleId(0), GridCoord::new(0, 0)).unwrap();
+        assert!(!state.fault_tripped());
+        state.place(ParticleId(1), GridCoord::new(4, 4)).unwrap();
+        assert!(state.fault_tripped());
+        // Latches: further reads keep reporting the trip.
+        state.charge(TimeLedger::Motion, Seconds::new(0.1));
+        assert!(state.fault_tripped());
+        // Detaching clears the latch.
+        let journal = state.take_journal().unwrap();
+        assert_eq!(journal.len(), 3);
+        assert!(!state.fault_tripped());
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_hash_tracks_equality() {
+        let mut state = ChipState::with_separation(GridDims::square(10), 2);
+        state.place(ParticleId(3), GridCoord::new(2, 2)).unwrap();
+        state.set_plan_from_goals([GridCoord::new(8, 8)]);
+        state.charge(TimeLedger::Recovery, Seconds::new(0.25));
+
+        let restored = ChipState::from_snapshot(state.snapshot());
+        assert_eq!(restored, state);
+        assert_eq!(restored.state_hash(), state.state_hash());
+        // Caches start cold but rebuild to the same truth.
+        assert_eq!(restored.caches_warm(), (false, false));
+
+        let mut other = restored.clone();
+        other.charge(TimeLedger::Motion, Seconds::new(1e-9));
+        assert_ne!(other, state);
+        assert_ne!(other.state_hash(), state.state_hash());
     }
 }

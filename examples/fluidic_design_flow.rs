@@ -7,6 +7,7 @@
 
 use labchip::experiments::e5_designflow;
 use labchip::prelude::*;
+use labchip::scenario::{Scenario, ScenarioContext};
 use labchip_units::Meters;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -76,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (2005 literature): {:.0}%",
         uncertainty.combined_relative_sigma() * 100.0
     );
-    let comparison = e5_designflow::run(&e5_designflow::Config::default());
+    let comparison = e5_designflow::DesignFlowScenario.run(
+        &e5_designflow::Config::default(),
+        &mut ScenarioContext::silent("E5"),
+    );
     println!();
     println!("{}", comparison.to_table());
     let first = &comparison.rows[0];
