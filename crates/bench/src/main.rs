@@ -7,13 +7,18 @@
 //! report list                          # enumerate the registered scenarios
 //! report run --all                     # every experiment, markdown tables
 //! report run e2 e5                     # a subset
-//! report run --all --json              # one JSON document covering E1..E14
+//! report run --all --json              # one JSON document covering every scenario
 //! report run e3 --set threads=2        # key=value overrides onto the typed config
 //! report run --all --seed 7 --serial   # derived per-scenario seeds, serial order
 //! report bench-fields [OUT.json]       # field-kernel benchmark trajectory
-//! report bench-workload [OUT.json]     # workload/driver benchmark trajectory
+//! report bench-workload [OUT.json]     # workload/driver/farm benchmark trajectory
 //! report journal-diff A.json B.json    # first divergence between two journals
 //! report journal-diff --demo [--seed N] [--noise X] [--side N] [--particles N] [--save PREFIX]
+//! report journal-diff --farm DIR JOB   # saved farm job vs a fresh baseline run
+//! report farm demo [...]               # run a demo workload on an in-process farm
+//! report farm submit P.json [...]      # run one protocol JSON as a farm job
+//! report farm status --dir DIR JOB     # one saved job record, as JSON
+//! report farm history --dir DIR [...]  # saved job records, filtered, as JSON
 //! report [e2 e5 ...]                   # legacy spelling of `run`
 //! ```
 //!
@@ -26,10 +31,9 @@
 //! kernel with ns/op, plus simulator step throughput per thread count) so
 //! successive PRs accumulate a perf trajectory.
 
-use labchip::scenario::{
-    outcomes_to_json, Progress, ProgressEvent, RunOutcome, Runner, ScenarioRegistry,
-};
+use labchip::scenario::{outcomes_to_json, Progress, ProgressEvent, RunOutcome, Runner};
 use labchip_bench::{cage_field, populated_simulator};
+use labchip_farm::full_registry;
 use labchip_physics::field::cache::FieldCache;
 use labchip_physics::field::FieldModel;
 use labchip_units::Vec3;
@@ -60,6 +64,12 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        Some("farm") => {
+            if let Err(message) = farm_command(&args[1..]) {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        }
         Some("list") => list_scenarios(),
         Some("run") => {
             if let Err(message) = run_scenarios(&args[1..]) {
@@ -71,13 +81,16 @@ fn main() {
         // Long-standing contract: unknown ids warn and are skipped (exit 0),
         // unlike the `run` subcommand's hard errors.
         _ => {
-            let registry = ScenarioRegistry::all();
+            let registry = full_registry();
             let mut legacy: Vec<String> = Vec::with_capacity(args.len());
             for id in &args {
                 if registry.get(id).is_some() {
                     legacy.push(id.clone());
                 } else {
-                    eprintln!("unknown experiment id `{id}` (expected E1..E14)");
+                    eprintln!(
+                        "unknown experiment id `{id}` (expected {})",
+                        registry.id_range()
+                    );
                 }
             }
             if args.is_empty() {
@@ -98,7 +111,7 @@ fn main() {
 
 /// `report list` — one line per registered scenario.
 fn list_scenarios() {
-    let registry = ScenarioRegistry::all();
+    let registry = full_registry();
     for scenario in registry.iter() {
         println!("{}  {}", scenario.id(), scenario.describe());
     }
@@ -148,7 +161,7 @@ fn run_scenarios(args: &[String]) -> Result<(), String> {
     let mut all = false;
     let mut json = false;
     let mut quiet = false;
-    let mut runner = Runner::new(ScenarioRegistry::all());
+    let mut runner = Runner::new(full_registry());
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -433,6 +446,41 @@ fn bench_workload(out_path: &str) {
         ));
     }
 
+    // Thread-pinned planning: the same problem under explicit rayon pools,
+    // so the trajectory records a measured scaling curve (threads + speedup
+    // per row) instead of whatever pool the ambient environment happened to
+    // provide.
+    let pinned: Vec<(String, f64, usize)> = {
+        let driver = BatchDriver::with_envelope(
+            WorkloadConfig {
+                array_side: 128,
+                ..WorkloadConfig::default()
+            },
+            envelope,
+        );
+        [1usize, 2, 4, 8]
+            .iter()
+            .map(|&threads| {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("thread pool construction is infallible");
+                let mut samples = Vec::with_capacity(8);
+                for _ in 0..8 {
+                    let t0 = Instant::now();
+                    pool.install(|| black_box(driver.plan_only(500, 2005)));
+                    samples.push(t0.elapsed().as_secs_f64() * 1e9);
+                }
+                samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+                (
+                    format!("workload/incremental_plan_pinned/128x500/threads/{threads}"),
+                    samples[samples.len() / 2],
+                    threads,
+                )
+            })
+            .collect()
+    };
+
     // Full driver cycles: live (no journal) vs journaled, the same
     // deterministic cycle sequence each way, then replay of the recorded
     // journals back into chip states.
@@ -510,6 +558,40 @@ fn bench_workload(out_path: &str) {
         f64::NAN
     };
 
+    // Farm fleet benchmark: the E15 scenario's worker-count sweep, folded
+    // into the same trajectory file — jobs/sec and latency percentiles per
+    // fleet size, plus the sweep's divergence tripwire.
+    let farm_rows: Vec<(String, f64, usize)> = {
+        use labchip::scenario::{Scenario, ScenarioContext};
+        let scenario = labchip_farm::FarmScenario;
+        let config = labchip_farm::scenario::Config::default();
+        let results = scenario.run(&config, &mut ScenarioContext::silent("E15"));
+        let mut rows = Vec::new();
+        for row in &results.fleet {
+            rows.push((
+                format!("workload/farm/jobs_per_sec/workers/{}", row.workers),
+                row.jobs_per_sec,
+                row.workers,
+            ));
+            rows.push((
+                format!("workload/farm/latency_p50_ms/workers/{}", row.workers),
+                row.latency_p50_ms,
+                row.workers,
+            ));
+            rows.push((
+                format!("workload/farm/latency_p99_ms/workers/{}", row.workers),
+                row.latency_p99_ms,
+                row.workers,
+            ));
+        }
+        rows.push((
+            "workload/farm/divergences".into(),
+            results.total_divergences as f64,
+            0,
+        ));
+        rows
+    };
+
     let available_parallelism = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -521,6 +603,18 @@ fn bench_workload(out_path: &str) {
             "    {{\"id\": \"{id}\", \"ns_per_op\": {ns:.2}}},\n"
         ));
     }
+    let pinned_baseline = pinned.first().map(|(_, ns, _)| *ns).unwrap_or(f64::NAN);
+    for (id, ns, threads) in &pinned {
+        let speedup = pinned_baseline / ns;
+        json.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"ns_per_op\": {ns:.2}, \"threads\": {threads}, \"speedup\": {speedup:.3}}},\n"
+        ));
+    }
+    for (id, value, workers) in &farm_rows {
+        json.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"value\": {value:.3}, \"threads\": {workers}}},\n"
+        ));
+    }
     json.push_str(&format!(
         "    {{\"id\": \"workload/journal_overhead_pct\", \"value\": {journal_overhead_pct:.3}}},\n"
     ));
@@ -530,7 +624,25 @@ fn bench_workload(out_path: &str) {
     json.push_str("  ]\n}\n");
     std::fs::write(out_path, &json).expect("write benchmark json");
 
-    println!("wrote {out_path} ({} entries)", entries.len() + 2);
+    println!(
+        "wrote {out_path} ({} entries)",
+        entries.len() + pinned.len() + farm_rows.len() + 2
+    );
+    if let Some((_, _, _)) = pinned.last() {
+        let curve: Vec<String> = pinned
+            .iter()
+            .map(|(_, ns, threads)| format!("{threads}t {:.2}x", pinned_baseline / ns))
+            .collect();
+        println!(
+            "pinned incremental-plan scaling (128x500): {}",
+            curve.join(", ")
+        );
+    }
+    for (id, value, _) in &farm_rows {
+        if id.contains("jobs_per_sec") || id.ends_with("divergences") {
+            println!("{id}: {value:.2}");
+        }
+    }
     println!(
         "journal write overhead vs live cycle: {journal_overhead_pct:+.3}% \
          ({:.1} ms journaled vs {:.1} ms live per cycle)",
@@ -560,11 +672,43 @@ fn journal_diff(args: &[String]) -> Result<(), String> {
     use labchip_manipulation::journal::{diff, Journal};
     use labchip_units::GridDims;
 
+    // Farm mode: a saved job's committed journal vs a fresh baseline run
+    // of the same record. The record carries protocol + effective config,
+    // so a `Done` job must diff clean — any divergence localises exactly
+    // where the farm's execution (including any kill/resume history)
+    // departed from a straight-through run.
+    if args.first().map(String::as_str) == Some("--farm") {
+        let [_, dir, job] = args else {
+            return Err("usage: report journal-diff --farm DIR JOB".into());
+        };
+        let id = labchip_farm::JobId::parse(job)
+            .ok_or_else(|| format!("`{job}` is not a job id (expected `7` or `job-7`)"))?;
+        let store = labchip_farm::HistoryStore::new(dir.as_str());
+        let record = store
+            .load_record(id)
+            .map_err(|err| format!("cannot load {id} from `{dir}`: {err}"))?;
+        let saved = store
+            .load_journal(id)
+            .map_err(|err| format!("cannot load {id}'s journal from `{dir}`: {err}"))?;
+        let driver = BatchDriver::new(record.config);
+        let (_, baseline) = driver.runner().run_journaled(&record.protocol, 0);
+        println!(
+            "{id} (`{}`, tenant {}, status {}, {} resumes): committed journal vs fresh baseline\n",
+            record.protocol.name,
+            record.tenant,
+            record.status.label(),
+            record.resumes
+        );
+        println!("{}", diff(&saved, &baseline));
+        return Ok(());
+    }
+
     if args.first().map(String::as_str) != Some("--demo") {
         let [path_a, path_b] = args else {
             return Err(
                 "usage: report journal-diff A.json B.json  |  report journal-diff --demo \
-                 [--seed N] [--noise X] [--side N] [--particles N] [--save PREFIX]"
+                 [--seed N] [--noise X] [--side N] [--particles N] [--save PREFIX]  |  \
+                 report journal-diff --farm DIR JOB"
                     .into(),
             );
         };
@@ -650,5 +794,314 @@ fn journal_diff(args: &[String]) -> Result<(), String> {
             println!("wrote {path} ({} events)", journal.len());
         }
     }
+    Ok(())
+}
+
+/// `report farm ...` — job control against an in-process chip farm.
+///
+/// The farm is a library service, not a daemon, so `demo` and `submit`
+/// spin a fleet up, drive it to drain and tear it down in one invocation;
+/// `--out DIR` persists every terminal job's record + committed journal
+/// through the [`HistoryStore`](labchip_farm::HistoryStore), and `status`
+/// / `history` read such a directory back — the same files
+/// `report journal-diff --farm` consumes.
+fn farm_command(args: &[String]) -> Result<(), String> {
+    use labchip_farm::{Farm, FarmConfig, HistoryFilter, HistoryStore, JobId, JobSpec};
+
+    let usage = "usage: report farm demo [--workers N] [--tenants N] [--jobs-per-tenant N] \
+                 [--kill N] [--side N] [--particles N] [--seed N] [--out DIR]  |  \
+                 report farm submit PROTOCOL.json [--tenant T] [--workers N] [--seed N] \
+                 [--side N] [--out DIR]  |  report farm status --dir DIR JOB  |  \
+                 report farm history --dir DIR [--tenant T] [--depth N] [--terminal]";
+    match args.first().map(String::as_str) {
+        Some("demo") => {
+            let mut workers = 2usize;
+            let mut tenants = 3usize;
+            let mut jobs_per_tenant = 2usize;
+            let mut kill = 1usize;
+            let mut side = 32u32;
+            let mut particles = 24usize;
+            let mut seed = 2005u64;
+            let mut out: Option<String> = None;
+            let mut rest = args[1..].iter();
+            while let Some(flag) = rest.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    rest.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--workers" => workers = parse_flag(value("--workers")?, "--workers")?,
+                    "--tenants" => tenants = parse_flag(value("--tenants")?, "--tenants")?,
+                    "--jobs-per-tenant" => {
+                        jobs_per_tenant =
+                            parse_flag(value("--jobs-per-tenant")?, "--jobs-per-tenant")?;
+                    }
+                    "--kill" => kill = parse_flag(value("--kill")?, "--kill")?,
+                    "--side" => side = parse_flag(value("--side")?, "--side")?,
+                    "--particles" => particles = parse_flag(value("--particles")?, "--particles")?,
+                    "--seed" => seed = parse_flag(value("--seed")?, "--seed")?,
+                    "--out" => out = Some(value("--out")?.clone()),
+                    other => return Err(format!("unknown farm demo flag `{other}`\n{usage}")),
+                }
+            }
+            run_farm_demo(
+                workers,
+                tenants.max(1),
+                jobs_per_tenant.max(1),
+                kill,
+                side,
+                particles,
+                seed,
+                out.as_deref(),
+            )
+        }
+        Some("submit") => {
+            let path = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| format!("submit needs a PROTOCOL.json path\n{usage}"))?;
+            let mut tenant = "cli".to_owned();
+            let mut workers = 1usize;
+            let mut side = 32u32;
+            let mut seed: Option<u64> = None;
+            let mut out: Option<String> = None;
+            let mut rest = args[2..].iter();
+            while let Some(flag) = rest.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    rest.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--tenant" => tenant = value("--tenant")?.clone(),
+                    "--workers" => workers = parse_flag(value("--workers")?, "--workers")?,
+                    "--side" => side = parse_flag(value("--side")?, "--side")?,
+                    "--seed" => seed = Some(parse_flag(value("--seed")?, "--seed")?),
+                    "--out" => out = Some(value("--out")?.clone()),
+                    other => return Err(format!("unknown farm submit flag `{other}`\n{usage}")),
+                }
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|err| format!("cannot read protocol `{path}`: {err}"))?;
+            let protocol: labchip::workload::Protocol = serde_json::from_str(&text)
+                .map_err(|err| format!("`{path}` is not a protocol JSON: {err}"))?;
+            let farm = Farm::new(FarmConfig {
+                workers,
+                workload: labchip::workload::WorkloadConfig {
+                    array_side: side,
+                    ..labchip::workload::WorkloadConfig::default()
+                },
+                ..FarmConfig::default()
+            });
+            let mut spec = JobSpec::tenant(tenant);
+            if let Some(seed) = seed {
+                spec = spec.with_seed(seed);
+            }
+            let id = farm
+                .submit(protocol, spec)
+                .map_err(|err| format!("submit failed: {err}"))?;
+            farm.wait_idle();
+            let record = farm.record(id).expect("submitted job has a record");
+            println!("{}", serde_json::to_string_pretty(&record));
+            if let Some(dir) = out {
+                save_farm_history(&farm, &HistoryStore::new(dir.as_str()))?;
+            }
+            farm.shutdown();
+            Ok(())
+        }
+        Some("status") => {
+            let (dir, positional) = take_dir_flag(&args[1..])?;
+            let dir = dir.ok_or_else(|| format!("status needs --dir DIR\n{usage}"))?;
+            let [job] = positional.as_slice() else {
+                return Err(format!("status needs exactly one JOB id\n{usage}"));
+            };
+            let id = JobId::parse(job)
+                .ok_or_else(|| format!("`{job}` is not a job id (expected `7` or `job-7`)"))?;
+            let record = HistoryStore::new(dir.as_str())
+                .load_record(id)
+                .map_err(|err| format!("cannot load {id} from `{dir}`: {err}"))?;
+            println!("{}", serde_json::to_string_pretty(&record));
+            Ok(())
+        }
+        Some("history") => {
+            let mut dir: Option<String> = None;
+            let mut filter = HistoryFilter::all();
+            let mut depth = 0usize;
+            let mut rest = args[1..].iter();
+            while let Some(flag) = rest.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    rest.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--dir" => dir = Some(value("--dir")?.clone()),
+                    "--tenant" => filter.tenant = Some(value("--tenant")?.clone()),
+                    "--depth" => depth = parse_flag(value("--depth")?, "--depth")?,
+                    "--terminal" => filter.terminal_only = true,
+                    other => return Err(format!("unknown farm history flag `{other}`\n{usage}")),
+                }
+            }
+            let dir = dir.ok_or_else(|| format!("history needs --dir DIR\n{usage}"))?;
+            let store = HistoryStore::new(dir.as_str());
+            let ids = store
+                .list()
+                .map_err(|err| format!("cannot list `{dir}`: {err}"))?;
+            let mut records = Vec::new();
+            for id in ids.into_iter().rev() {
+                let record = store
+                    .load_record(id)
+                    .map_err(|err| format!("cannot load {id} from `{dir}`: {err}"))?;
+                if filter.matches(&record) {
+                    records.push(record);
+                }
+                if depth > 0 && records.len() == depth {
+                    break;
+                }
+            }
+            println!("{}", serde_json::to_string_pretty(&records));
+            Ok(())
+        }
+        _ => Err(usage.into()),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(text: &str, name: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    text.parse()
+        .map_err(|err| format!("{name}: invalid value `{text}`: {err}"))
+}
+
+fn take_dir_flag(args: &[String]) -> Result<(Option<String>, Vec<String>), String> {
+    let mut dir = None;
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--dir" {
+            dir = Some(
+                iter.next()
+                    .ok_or_else(|| "--dir needs a value".to_owned())?
+                    .clone(),
+            );
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((dir, positional))
+}
+
+fn save_farm_history(
+    farm: &labchip_farm::Farm,
+    store: &labchip_farm::HistoryStore,
+) -> Result<(), String> {
+    let records = farm.history(&labchip_farm::HistoryFilter::all(), 0);
+    for record in &records {
+        let journal = farm
+            .accumulated_journal(record.id)
+            .expect("recorded jobs have journals");
+        store.save(record, &journal).map_err(|err| {
+            format!(
+                "cannot save {} to `{}`: {err}",
+                record.id,
+                store.dir().display()
+            )
+        })?;
+    }
+    println!(
+        "saved {} job records to {}",
+        records.len(),
+        store.dir().display()
+    );
+    Ok(())
+}
+
+/// `report farm demo` — a multi-tenant workload with an injected mid-run
+/// kill, printed as a job table.
+#[allow(clippy::too_many_arguments)]
+fn run_farm_demo(
+    workers: usize,
+    tenants: usize,
+    jobs_per_tenant: usize,
+    kill: usize,
+    side: u32,
+    particles: usize,
+    seed: u64,
+    out: Option<&str>,
+) -> Result<(), String> {
+    use labchip::workload::{BatchDriver, WorkloadConfig};
+    use labchip_farm::{
+        scenario::protocol_mix, Farm, FarmConfig, HistoryFilter, HistoryStore, JobSpec,
+    };
+    use labchip_manipulation::journal::FaultPlan;
+    use labchip_units::GridDims;
+
+    let workload = WorkloadConfig {
+        array_side: side,
+        seed,
+        ..WorkloadConfig::default()
+    };
+    let dims = GridDims::square(side);
+    let sep = workload.min_separation.max(1);
+    let mix = protocol_mix(dims, sep, particles);
+    let farm = Farm::new(FarmConfig {
+        workers,
+        workload,
+        start_paused: true,
+        ..FarmConfig::default()
+    });
+    let total = tenants * jobs_per_tenant;
+    println!(
+        "farm demo: {workers} workers, {tenants} tenants x {jobs_per_tenant} jobs, \
+         {} protocols, {kill} injected kill(s)\n",
+        mix.len()
+    );
+    for index in 0..total {
+        let protocol = mix[index % mix.len()].clone();
+        let job_seed = seed + index as u64;
+        let mut spec =
+            JobSpec::tenant(format!("tenant-{}", index / jobs_per_tenant)).with_seed(job_seed);
+        if index < kill {
+            // Arm the kill at half the job's uninterrupted journal so the
+            // demo always exercises the checkpoint-resume path.
+            let mut config = workload;
+            config.seed = job_seed;
+            let (_, journal) = BatchDriver::new(config)
+                .runner()
+                .run_journaled(&protocol, 0);
+            spec = spec.with_fault(FaultPlan::after((journal.len() as u64 / 2).max(1)));
+        }
+        farm.submit(protocol, spec)
+            .map_err(|err| format!("submit failed: {err}"))?;
+    }
+    let started = std::time::Instant::now();
+    farm.start();
+    farm.wait_idle();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    println!("| job | tenant | protocol | status | phases | resumes | latency ms | state hash |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let records = farm.history(&HistoryFilter::all(), 0);
+    for record in records.iter().rev() {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.1} | {} |",
+            record.id,
+            record.tenant,
+            record.protocol.name,
+            record.status.label(),
+            record.phases_completed,
+            record.resumes,
+            record.latency_ms(),
+            record.state_hash.as_deref().unwrap_or("-")
+        );
+    }
+    let done = records
+        .iter()
+        .filter(|r| matches!(r.status, labchip_farm::JobStatus::Done))
+        .count();
+    println!(
+        "\n{done}/{total} jobs done in {wall_ms:.0} ms ({:.1} jobs/s)",
+        done as f64 / (wall_ms / 1e3)
+    );
+    if let Some(dir) = out {
+        save_farm_history(&farm, &HistoryStore::new(dir))?;
+    }
+    farm.shutdown();
     Ok(())
 }

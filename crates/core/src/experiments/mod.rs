@@ -20,6 +20,7 @@
 //! | E12 | closed-loop assay under sensor noise | [`e12_closedloop`] |
 //! | E13 | programmable protocols composed from assay phases | [`e13_protocols`] |
 //! | E14 | fault-injection sweep: replay + checkpoint/resume equivalence | [`e14_faults`] |
+//! | E15 | multi-tenant chip-farm fleet benchmark | `labchip_farm::scenario` (sits above this crate) |
 //!
 //! E10–E14 go beyond the paper's individual claims: they exercise the
 //! *assembled* pipeline at the scale §4 envisions — comparing the

@@ -168,6 +168,9 @@ pub enum ScenarioError {
     UnknownScenario {
         /// The offending identifier.
         id: String,
+        /// The registry's identifier span (e.g. `"E1..E14"`), derived
+        /// from the live registrations.
+        expected: String,
     },
     /// A config value failed to decode onto the scenario's typed config.
     Config {
@@ -186,8 +189,8 @@ pub enum ScenarioError {
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScenarioError::UnknownScenario { id } => {
-                write!(f, "unknown scenario id `{id}` (expected E1..E14)")
+            ScenarioError::UnknownScenario { id, expected } => {
+                write!(f, "unknown scenario id `{id}` (expected {expected})")
             }
             ScenarioError::Config { scenario, message } => {
                 write!(f, "invalid config for {scenario}: {message}")

@@ -177,6 +177,19 @@ impl ScenarioRegistry {
     pub fn ids(&self) -> Vec<&'static str> {
         self.entries.iter().map(|s| s.id()).collect()
     }
+
+    /// The registry's identifier span, rendered `"E1..E14"` — derived
+    /// from the actual registrations so user-facing messages can never
+    /// drift when a new scenario lands.
+    pub fn id_range(&self) -> String {
+        match (self.entries.first(), self.entries.last()) {
+            (Some(first), Some(last)) if first.id() != last.id() => {
+                format!("{}..{}", first.id(), last.id())
+            }
+            (Some(only), _) => only.id().to_owned(),
+            _ => "none registered".to_owned(),
+        }
+    }
 }
 
 #[cfg(test)]

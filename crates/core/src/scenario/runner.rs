@@ -147,6 +147,7 @@ impl Runner {
                     .get(id.as_ref())
                     .ok_or_else(|| ScenarioError::UnknownScenario {
                         id: id.as_ref().trim().to_owned(),
+                        expected: self.registry.id_range(),
                     })?;
             selected.push(Arc::clone(scenario));
         }
@@ -308,9 +309,13 @@ mod tests {
         assert_eq!(
             err,
             ScenarioError::UnknownScenario {
-                id: "e42".to_owned()
+                id: "e42".to_owned(),
+                expected: ScenarioRegistry::all().id_range(),
             }
         );
+        // The expected-range hint is derived from the registry, never
+        // hardcoded, so it tracks new scenario registrations.
+        assert!(err.to_string().contains("expected E1..E"));
     }
 
     #[test]

@@ -61,7 +61,8 @@ pub mod protocol;
 pub use envelope::ForceEnvelope;
 pub use phases::{AssayPhase, CtxSnapshot, PhaseCtx, PhaseError, PhaseReport, RouteTarget};
 pub use protocol::{
-    Checkpoint, InterruptedRun, PhaseSpec, Protocol, ProtocolOutcome, ProtocolRunner,
+    Checkpoint, InterruptedRun, NeverStop, PhaseSpec, Protocol, ProtocolOutcome, ProtocolRunner,
+    RunControl, StopCause, StoppedRun,
 };
 
 use labchip_array::addressing::ProgrammingInterface;

@@ -225,11 +225,99 @@ pub struct InterruptedRun {
     pub error: PhaseError,
 }
 
+/// Cooperative control over a long-running protocol execution, polled at
+/// every phase boundary by [`ProtocolRunner::run_controlled`] and
+/// [`ProtocolRunner::resume_controlled`].
+///
+/// This is the hook a job service (the chip farm) hangs cancellation and
+/// per-phase progress on: `should_stop` lets an external flag end the run
+/// at the next boundary — with a [`Checkpoint`] in hand, so the job can be
+/// resumed later or discarded — and the phase callbacks stream job-level
+/// telemetry without the runner knowing who is listening.
+pub trait RunControl {
+    /// Polled at the start of every phase, before it runs. Returning
+    /// `true` stops the run at this boundary; the [`StoppedRun`] carries
+    /// the checkpoint taken there.
+    fn should_stop(&self, next_phase: usize) -> bool;
+
+    /// A phase is about to run.
+    fn on_phase_started(&self, _index: usize, _name: &str) {}
+
+    /// A phase completed, with its report.
+    fn on_phase_finished(&self, _index: usize, _report: &PhaseReport) {}
+}
+
+/// A [`RunControl`] that never stops the run and ignores all telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverStop;
+
+impl RunControl for NeverStop {
+    fn should_stop(&self, _next_phase: usize) -> bool {
+        false
+    }
+}
+
+/// Why a controlled run stopped early.
+#[derive(Debug)]
+pub enum StopCause {
+    /// [`RunControl::should_stop`] returned `true` at a phase boundary —
+    /// a cooperative cancellation, not a failure.
+    Cancelled {
+        /// The phase that was about to run when the stop was requested.
+        next_phase: usize,
+    },
+    /// A phase aborted mid-flight: an armed fault kill point tripped, or
+    /// an internal invariant was violated.
+    Phase(PhaseError),
+}
+
+impl StopCause {
+    /// Whether the stop was a cooperative cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, StopCause::Cancelled { .. })
+    }
+
+    /// Whether the stop was an injected-fault kill (the resumable case).
+    pub fn is_fault(&self) -> bool {
+        matches!(self, StopCause::Phase(PhaseError::Interrupted { .. }))
+    }
+}
+
+/// A controlled run that ended before its final phase: the resume point,
+/// the journal of everything executed, and why it stopped.
+///
+/// The journal prefix of length [`Checkpoint::journal_offset`] replays to
+/// the checkpoint state; the tail is the stopped phase's partial work,
+/// which [`ProtocolRunner::resume_controlled`] re-executes from the phase
+/// start.
+#[derive(Debug)]
+pub struct StoppedRun {
+    /// The checkpoint taken at the boundary of the stopped phase.
+    pub checkpoint: Checkpoint,
+    /// The journal recorded up to the stop.
+    pub journal: Journal,
+    /// Why the run stopped.
+    pub cause: StopCause,
+}
+
 /// Outcome of [`ProtocolRunner::execute`]: `Err` carries the interruption
 /// point when a phase stopped early.
 struct Interruption {
-    error: PhaseError,
+    cause: StopCause,
     checkpoint: Option<Box<Checkpoint>>,
+}
+
+impl Interruption {
+    /// The phase error of a non-cancelled interruption; uncontrolled runs
+    /// can only stop through a phase error.
+    fn expect_phase_error(self) -> PhaseError {
+        match self.cause {
+            StopCause::Phase(error) => error,
+            StopCause::Cancelled { .. } => {
+                unreachable!("cancellation requires a RunControl, none was supplied")
+            }
+        }
+    }
 }
 
 /// The thin executor: phases in, reports out.
@@ -284,7 +372,8 @@ impl<'a> ProtocolRunner<'a> {
     /// `protocol.phases[start_phase..]` over the given state and ctx,
     /// appending one report per completed phase. With `capture` on, a
     /// [`Checkpoint`] is taken at the start of every phase and the latest
-    /// one rides along in the `Err` when a phase stops early.
+    /// one rides along in the `Err` when a phase stops early. A `control`
+    /// is polled at every phase boundary and may stop the run there.
     #[allow(clippy::too_many_arguments)]
     fn execute(
         &self,
@@ -295,6 +384,7 @@ impl<'a> ProtocolRunner<'a> {
         ctx: &mut PhaseCtx<'_>,
         phases: &mut Vec<PhaseReport>,
         capture: bool,
+        control: Option<&dyn RunControl>,
     ) -> Result<(), Interruption> {
         for (index, spec) in protocol.phases.iter().enumerate().skip(start_phase) {
             let checkpoint = capture.then(|| {
@@ -308,18 +398,35 @@ impl<'a> ProtocolRunner<'a> {
                     completed: phases.clone(),
                 })
             });
+            if let Some(control) = control {
+                if control.should_stop(index) {
+                    return Err(Interruption {
+                        cause: StopCause::Cancelled { next_phase: index },
+                        checkpoint,
+                    });
+                }
+            }
             let phase = spec.build();
+            if let Some(control) = control {
+                control.on_phase_started(index, phase.name());
+            }
             state.note_phase_started(index, phase.name());
             let ledger_before = *state.time();
             match phase.run(state, ctx) {
                 Ok(mut report) => {
                     report.time = state.time().delta_since(&ledger_before);
                     state.note_phase_finished(index);
+                    if let Some(control) = control {
+                        control.on_phase_finished(index, &report);
+                    }
                     phases.push(report);
                 }
                 Err(error) => {
                     state.note_phase_aborted(index, &error.to_string());
-                    return Err(Interruption { error, checkpoint });
+                    return Err(Interruption {
+                        cause: StopCause::Phase(error),
+                        checkpoint,
+                    });
                 }
             }
         }
@@ -390,10 +497,20 @@ impl<'a> ProtocolRunner<'a> {
         let mut state = self.fresh_state();
         let mut ctx = self.fresh_ctx(cycle, self.cycle_seed(cycle));
         let mut phases = Vec::with_capacity(protocol.phases.len());
-        if let Err(interruption) =
-            self.execute(protocol, cycle, 0, &mut state, &mut ctx, &mut phases, false)
-        {
-            phases.push(Self::aborted_report(&interruption.error, &state));
+        if let Err(interruption) = self.execute(
+            protocol,
+            cycle,
+            0,
+            &mut state,
+            &mut ctx,
+            &mut phases,
+            false,
+            None,
+        ) {
+            phases.push(Self::aborted_report(
+                &interruption.expect_phase_error(),
+                &state,
+            ));
         }
         self.assemble(cycle, state, ctx, phases)
     }
@@ -407,10 +524,20 @@ impl<'a> ProtocolRunner<'a> {
         state.attach_journal();
         let mut ctx = self.fresh_ctx(cycle, self.cycle_seed(cycle));
         let mut phases = Vec::with_capacity(protocol.phases.len());
-        if let Err(interruption) =
-            self.execute(protocol, cycle, 0, &mut state, &mut ctx, &mut phases, false)
-        {
-            phases.push(Self::aborted_report(&interruption.error, &state));
+        if let Err(interruption) = self.execute(
+            protocol,
+            cycle,
+            0,
+            &mut state,
+            &mut ctx,
+            &mut phases,
+            false,
+            None,
+        ) {
+            phases.push(Self::aborted_report(
+                &interruption.expect_phase_error(),
+                &state,
+            ));
         }
         let journal = state.take_journal().expect("journal attached above");
         (self.assemble(cycle, state, ctx, phases), journal)
@@ -436,20 +563,138 @@ impl<'a> ProtocolRunner<'a> {
         state.attach_journal_with_fault(fault);
         let mut ctx = self.fresh_ctx(cycle, self.cycle_seed(cycle));
         let mut phases = Vec::with_capacity(protocol.phases.len());
-        match self.execute(protocol, cycle, 0, &mut state, &mut ctx, &mut phases, true) {
+        match self.execute(
+            protocol,
+            cycle,
+            0,
+            &mut state,
+            &mut ctx,
+            &mut phases,
+            true,
+            None,
+        ) {
             Ok(()) => {
                 let journal = state.take_journal().expect("journal attached above");
                 Ok((self.assemble(cycle, state, ctx, phases), journal))
             }
             Err(interruption) => {
                 let journal = state.take_journal().expect("journal attached above");
-                let checkpoint = interruption
-                    .checkpoint
-                    .expect("checkpoint capture enabled for fault runs");
+                let Interruption { cause, checkpoint } = interruption;
+                let checkpoint = checkpoint.expect("checkpoint capture enabled for fault runs");
+                let error = match cause {
+                    StopCause::Phase(error) => error,
+                    StopCause::Cancelled { .. } => {
+                        unreachable!("cancellation requires a RunControl, none was supplied")
+                    }
+                };
                 Err(Box::new(InterruptedRun {
                     checkpoint: *checkpoint,
                     journal,
-                    error: interruption.error,
+                    error,
+                }))
+            }
+        }
+    }
+
+    /// Runs `protocol` journaled, with checkpoints captured at every phase
+    /// boundary, an optional armed [`FaultPlan`] kill point, and a
+    /// [`RunControl`] polled between phases — the execution mode a farm
+    /// worker drives a job in.
+    ///
+    /// On success returns the outcome plus the full journal of the run.
+    ///
+    /// # Errors
+    ///
+    /// `Err` is the stopped run: either the control requested a stop at a
+    /// phase boundary ([`StopCause::Cancelled`]) or a phase aborted
+    /// mid-flight ([`StopCause::Phase`] — an injected kill, or an internal
+    /// invariant violation). Both carry the checkpoint to
+    /// [`resume_controlled`](Self::resume_controlled) from.
+    pub fn run_controlled(
+        &self,
+        protocol: &Protocol,
+        cycle: usize,
+        fault: Option<FaultPlan>,
+        control: &dyn RunControl,
+    ) -> Result<(ProtocolOutcome, Journal), Box<StoppedRun>> {
+        let mut state = self.fresh_state();
+        match fault {
+            Some(fault) => state.attach_journal_with_fault(fault),
+            None => state.attach_journal(),
+        }
+        let mut ctx = self.fresh_ctx(cycle, self.cycle_seed(cycle));
+        let mut phases = Vec::with_capacity(protocol.phases.len());
+        let outcome = self.execute(
+            protocol,
+            cycle,
+            0,
+            &mut state,
+            &mut ctx,
+            &mut phases,
+            true,
+            Some(control),
+        );
+        self.finish_controlled(outcome, state, ctx, phases, cycle)
+    }
+
+    /// Continues a stopped controlled run from its [`Checkpoint`], with a
+    /// fresh journal attached (its events are the continuation — appending
+    /// them to the stopped run's committed prefix of length
+    /// [`Checkpoint::journal_offset`] yields a journal identical to an
+    /// uninterrupted run's) and the same boundary-polled [`RunControl`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_controlled`](Self::run_controlled): the run may be
+    /// stopped again, by the control or by a freshly armed `fault`.
+    pub fn resume_controlled(
+        &self,
+        checkpoint: &Checkpoint,
+        fault: Option<FaultPlan>,
+        control: &dyn RunControl,
+    ) -> Result<(ProtocolOutcome, Journal), Box<StoppedRun>> {
+        let mut state = ChipState::from_snapshot(checkpoint.state.clone());
+        match fault {
+            Some(fault) => state.attach_journal_with_fault(fault),
+            None => state.attach_journal(),
+        }
+        let mut ctx = self.fresh_ctx(checkpoint.cycle, checkpoint.ctx.cycle_seed);
+        ctx.restore(&checkpoint.ctx);
+        let mut phases = checkpoint.completed.clone();
+        let outcome = self.execute(
+            &checkpoint.protocol,
+            checkpoint.cycle,
+            checkpoint.next_phase,
+            &mut state,
+            &mut ctx,
+            &mut phases,
+            true,
+            Some(control),
+        );
+        self.finish_controlled(outcome, state, ctx, phases, checkpoint.cycle)
+    }
+
+    /// Shared tail of the controlled entry points: detach the journal and
+    /// assemble either the outcome or the [`StoppedRun`].
+    fn finish_controlled(
+        &self,
+        outcome: Result<(), Interruption>,
+        mut state: ChipState,
+        ctx: PhaseCtx<'_>,
+        phases: Vec<PhaseReport>,
+        cycle: usize,
+    ) -> Result<(ProtocolOutcome, Journal), Box<StoppedRun>> {
+        let journal = state.take_journal().expect("journal attached above");
+        match outcome {
+            Ok(()) => Ok((self.assemble(cycle, state, ctx, phases), journal)),
+            Err(interruption) => {
+                let checkpoint = interruption
+                    .checkpoint
+                    .expect("checkpoint capture enabled for controlled runs");
+                Err(Box::new(StoppedRun {
+                    checkpoint: *checkpoint,
+                    journal,
+                    cause: interruption.cause,
                 }))
             }
         }
@@ -475,8 +720,12 @@ impl<'a> ProtocolRunner<'a> {
             &mut ctx,
             &mut phases,
             false,
+            None,
         ) {
-            phases.push(Self::aborted_report(&interruption.error, &state));
+            phases.push(Self::aborted_report(
+                &interruption.expect_phase_error(),
+                &state,
+            ));
         }
         self.assemble(checkpoint.cycle, state, ctx, phases)
     }

@@ -1,0 +1,362 @@
+//! Integration: the chip-farm job service end to end — tenant-fair
+//! scheduling, bounded-queue backpressure, cancellation at every phase
+//! boundary, and the kill-anywhere × resume == uninterrupted equivalence,
+//! checked against the journal/replay oracle.
+//!
+//! The queue properties run against [`TenantQueue`] directly (it is a pure
+//! data structure); the cancellation boundary sweep runs against the core
+//! [`ProtocolRunner`] with a scripted [`RunControl`]; the kill/resume
+//! properties go through the full [`Farm`] service with `pause_on_fault`
+//! as the deterministic rendezvous.
+
+use labchip::scenario::Runner;
+use labchip::workload::{
+    BatchDriver, NeverStop, Protocol, ProtocolRunner, RunControl, StopCause, WorkloadConfig,
+};
+use labchip_farm::{full_registry, Farm, FarmConfig, JobSpec, JobStatus, TenantQueue};
+use labchip_manipulation::journal::{replay, FaultPlan, Journal};
+use labchip_units::GridDims;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, VecDeque};
+
+fn workload(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        array_side: 16,
+        seed,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn protocol(config: &WorkloadConfig, particles: usize) -> Protocol {
+    Protocol::canned_cycle(
+        GridDims::square(config.array_side),
+        config.min_separation,
+        particles,
+    )
+}
+
+/// Uninterrupted baseline: final state hash and full journal.
+fn baseline(config: &WorkloadConfig, protocol: &Protocol) -> (u64, Journal) {
+    let driver = BatchDriver::new(*config);
+    let (outcome, journal) = driver.runner().run_journaled(protocol, 0);
+    (outcome.state.state_hash(), journal)
+}
+
+/// A scripted [`RunControl`] that cancels exactly at one phase boundary.
+struct StopAt {
+    boundary: usize,
+}
+
+impl RunControl for StopAt {
+    fn should_stop(&self, next_phase: usize) -> bool {
+        next_phase == self.boundary
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round-robin fairness: while a tenant has queued work, it is served
+    /// at least once in any window of `active tenants` consecutive pops —
+    /// a tenant that floods the queue cannot starve the others. FIFO
+    /// order within each tenant is checked on the same drain.
+    #[test]
+    fn tenant_rotation_never_starves_an_active_tenant(
+        pushes in proptest::collection::vec((0u8..4, 0u32..1000), 1..40)
+    ) {
+        let mut queue = TenantQueue::new(64);
+        let mut model: BTreeMap<String, VecDeque<u32>> = BTreeMap::new();
+        for (tenant, item) in &pushes {
+            let tenant = format!("t{tenant}");
+            queue.push(&tenant, *item).expect("capacity covers every push");
+            model.entry(tenant).or_default().push_back(*item);
+        }
+        // Distinct other tenants served since each active tenant was last
+        // served (or admitted). Round-robin means no other tenant is ever
+        // served *twice* inside that window — the no-starvation bound
+        // (service within `#active tenants` pops) follows directly.
+        let mut since_served: BTreeMap<String, Vec<String>> = model
+            .keys()
+            .map(|tenant| (tenant.clone(), Vec::new()))
+            .collect();
+        while let Some((tenant, item)) = queue.pop() {
+            let expected = model.get_mut(&tenant).and_then(VecDeque::pop_front);
+            prop_assert_eq!(expected, Some(item), "FIFO within tenant {}", &tenant);
+            if model.get(&tenant).is_some_and(VecDeque::is_empty) {
+                model.remove(&tenant);
+                since_served.remove(&tenant);
+            } else {
+                since_served.insert(tenant.clone(), Vec::new());
+            }
+            for (waiting, served) in &mut since_served {
+                if *waiting != tenant {
+                    prop_assert!(
+                        !served.contains(&tenant),
+                        "tenant {} starved: {} was served twice while it waited",
+                        waiting, &tenant
+                    );
+                    served.push(tenant.clone());
+                }
+            }
+        }
+        prop_assert!(model.is_empty(), "drain covers every pushed item");
+    }
+
+    /// The queue depth is a hard bound: `push` fails exactly when the
+    /// queue is at capacity, the length never exceeds it, and a pop
+    /// re-opens a slot.
+    #[test]
+    fn queue_depth_is_a_hard_bound_until_a_slot_frees(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec((proptest::bool::ANY, 0u8..3), 1..60)
+    ) {
+        let mut queue = TenantQueue::new(capacity);
+        let mut len = 0usize;
+        for (index, (push, tenant)) in ops.into_iter().enumerate() {
+            if push {
+                let accepted = queue.push(&format!("t{tenant}"), index).is_ok();
+                prop_assert_eq!(accepted, len < capacity);
+                if accepted {
+                    len += 1;
+                }
+            } else {
+                let popped = queue.pop().is_some();
+                prop_assert_eq!(popped, len > 0);
+                if popped {
+                    len -= 1;
+                }
+            }
+            prop_assert_eq!(queue.len(), len);
+            prop_assert!(queue.len() <= capacity);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cancelling at *every* phase boundary and resuming reaches the
+    /// uninterrupted final state, and the committed journal prefix plus
+    /// the continuation journal is bit-identical to the uninterrupted
+    /// journal — the core guarantee the farm's cooperative cancel and
+    /// re-queue path is built on.
+    #[test]
+    fn cancel_at_any_boundary_then_resume_matches_the_baseline(
+        particles in 4usize..12,
+        seed in 1u64..1000
+    ) {
+        let config = workload(seed);
+        let protocol = protocol(&config, particles);
+        let driver = BatchDriver::new(config);
+        let runner: ProtocolRunner<'_> = driver.runner();
+        let (base_hash, base_journal) = {
+            let (outcome, journal) = runner.run_journaled(&protocol, 0);
+            (outcome.state.state_hash(), journal)
+        };
+        for boundary in 0..protocol.len() {
+            let stopped = runner
+                .run_controlled(&protocol, 0, None, &StopAt { boundary })
+                .expect_err("the scripted control stops before the final phase");
+            prop_assert!(
+                matches!(stopped.cause, StopCause::Cancelled { next_phase } if next_phase == boundary)
+            );
+            prop_assert_eq!(stopped.checkpoint.completed.len(), boundary);
+            let committed = stopped.journal.truncated(stopped.checkpoint.journal_offset);
+            let (outcome, continuation) = runner
+                .resume_controlled(&stopped.checkpoint, None, &NeverStop)
+                .expect("an uncontested resume runs to completion");
+            prop_assert_eq!(
+                outcome.state.state_hash(), base_hash,
+                "resume from boundary {} missed the baseline hash", boundary
+            );
+            let mut accumulated = committed;
+            for event in continuation.events() {
+                accumulated.record(event.clone());
+            }
+            prop_assert_eq!(
+                &accumulated, &base_journal,
+                "committed prefix + continuation diverged at boundary {}", boundary
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Kill-anywhere equivalence through the full farm service: a job
+    /// killed by an injected fault anywhere in its run is re-queued with
+    /// its checkpoint and resumes to the exact uninterrupted state — hash,
+    /// journal length, and replay of the accumulated journal all match.
+    #[test]
+    fn a_kill_anywhere_in_the_run_resumes_to_the_uninterrupted_state(
+        kill_tenths in 1u64..10,
+        seed in 1u64..1000
+    ) {
+        let config = workload(seed);
+        let protocol = protocol(&config, 10);
+        let (base_hash, base_journal) = baseline(&config, &protocol);
+        let events = base_journal.len() as u64;
+        prop_assume!(events >= 10);
+        let kill = (events * kill_tenths / 10).clamp(1, events - 1);
+        let farm = Farm::new(FarmConfig {
+            workers: 1,
+            workload: config,
+            pause_on_fault: true,
+            ..FarmConfig::default()
+        });
+        let id = farm
+            .submit(
+                protocol,
+                JobSpec::tenant("chaos").with_fault(FaultPlan::after(kill)),
+            )
+            .expect("the queue has room");
+        // The injected kill fires mid-run; pause_on_fault holds the fleet
+        // so the re-queued checkpointed job is observable before resume.
+        farm.wait_paused();
+        let record = farm.record(id).expect("job exists");
+        prop_assert_eq!(&record.status, &JobStatus::Queued, "{}", &record.detail);
+        prop_assert!(record.journal_events < events as usize);
+        farm.start();
+        farm.wait_idle();
+        let record = farm.record(id).expect("job exists");
+        prop_assert_eq!(&record.status, &JobStatus::Done, "{}", &record.detail);
+        prop_assert_eq!(record.resumes, 1);
+        prop_assert_eq!(record.state_hash, Some(format!("{base_hash:#018x}")));
+        let accumulated = farm.accumulated_journal(id).expect("job exists");
+        prop_assert_eq!(&accumulated, &base_journal);
+        // Replay oracle: the accumulated journal reconstructs the final
+        // chip state bit-for-bit from an empty chip.
+        let replayed = replay(
+            &accumulated,
+            GridDims::square(config.array_side),
+            config.min_separation,
+        )
+        .expect("the accumulated journal replays cleanly");
+        prop_assert_eq!(replayed.state_hash(), base_hash);
+    }
+
+    /// Cancel-before-start versus run-to-completion: jobs cancelled while
+    /// queued never execute a phase or touch a chip, and their departure
+    /// does not disturb the surviving jobs' determinism.
+    #[test]
+    fn cancel_before_start_leaves_no_trace_and_survivors_stay_deterministic(
+        jobs in 2usize..6,
+        cancel_index in 0usize..6,
+        seed in 1u64..1000
+    ) {
+        let cancel_index = cancel_index % jobs;
+        let config = workload(seed);
+        let protocol = protocol(&config, 8);
+        let (base_hash, base_journal) = baseline(&config, &protocol);
+        let farm = Farm::new(FarmConfig {
+            workers: 2,
+            workload: config,
+            start_paused: true,
+            ..FarmConfig::default()
+        });
+        let ids: Vec<_> = (0..jobs)
+            .map(|index| {
+                farm.submit(
+                    protocol.clone(),
+                    JobSpec::tenant(if index % 2 == 0 { "even" } else { "odd" }),
+                )
+                .expect("the queue has room")
+            })
+            .collect();
+        prop_assert!(farm.cancel(ids[cancel_index]));
+        farm.start();
+        farm.wait_idle();
+        for (index, id) in ids.iter().enumerate() {
+            let record = farm.record(*id).expect("job exists");
+            if index == cancel_index {
+                prop_assert_eq!(&record.status, &JobStatus::Cancelled);
+                prop_assert_eq!(record.phases_completed, 0);
+                prop_assert_eq!(record.journal_events, 0);
+                prop_assert_eq!(record.state_hash, None);
+            } else {
+                prop_assert_eq!(&record.status, &JobStatus::Done, "{}", &record.detail);
+                prop_assert_eq!(record.state_hash, Some(format!("{base_hash:#018x}")));
+                prop_assert_eq!(record.journal_events, base_journal.len());
+            }
+        }
+    }
+}
+
+/// E15 runs through the scenario engine like any other scenario: the
+/// full registry resolves it, `key=value` overrides land on its typed
+/// config, and the shrunk sweep completes with zero divergences.
+#[test]
+fn e15_runs_through_the_engine_with_shrunk_overrides() {
+    let mut runner = Runner::new(full_registry());
+    for spec in [
+        "tenants=2",
+        "jobs_per_tenant=2",
+        "worker_counts=[1,2]",
+        "kill_jobs=1",
+        "cancel_jobs=1",
+        "array_side=16",
+        "particles=8",
+    ] {
+        runner.set_override(spec).expect("spec is well-formed");
+    }
+    let outcomes = runner.run(&["e15"]).expect("E15 resolves and runs");
+    assert_eq!(outcomes[0].id, "E15");
+    let config = outcomes[0].config.as_object().expect("config serialises");
+    assert_eq!(config.get("tenants").and_then(|v| v.as_u64()), Some(2));
+    // One row per worker count plus the summary row.
+    assert_eq!(outcomes[0].table.row_count(), 3);
+    let output = outcomes[0].output.as_object().expect("output serialises");
+    assert_eq!(
+        output.get("total_divergences").and_then(|v| v.as_u64()),
+        Some(0),
+        "the fleet sweep must reproduce every baseline"
+    );
+    assert_eq!(
+        output.get("queue_full_rejections").and_then(|v| v.as_u64()),
+        Some(2),
+        "4 submissions into a depth-2 queue reject exactly 2"
+    );
+}
+
+/// Scheduling fairness through the live service: with one worker and a
+/// flooding tenant, interleaved single jobs from other tenants are all
+/// served — completion order respects the round-robin rotation, so no
+/// tenant waits behind the flood.
+#[test]
+fn a_flooding_tenant_cannot_starve_the_others() {
+    let config = workload(5);
+    let protocol = protocol(&config, 6);
+    let farm = Farm::new(FarmConfig {
+        workers: 1,
+        workload: config,
+        start_paused: true,
+        ..FarmConfig::default()
+    });
+    // Tenant "flood" swamps the queue before "a" and "b" each submit one.
+    let flood: Vec<_> = (0..4)
+        .map(|_| {
+            farm.submit(protocol.clone(), JobSpec::tenant("flood"))
+                .expect("the queue has room")
+        })
+        .collect();
+    let a = farm.submit(protocol.clone(), JobSpec::tenant("a")).unwrap();
+    let b = farm.submit(protocol.clone(), JobSpec::tenant("b")).unwrap();
+    farm.start();
+    farm.wait_idle();
+    for id in flood.iter().chain([&a, &b]) {
+        assert_eq!(farm.status(*id), Some(JobStatus::Done));
+    }
+    // Everyone finished; the rotation guarantee itself (a and b are
+    // served after at most one flood job each) is proptested on
+    // TenantQueue above — here we assert the service end of it: queue_ms
+    // for a and b is bounded by three executions, not the whole flood.
+    let flood_tail = farm.record(flood[3]).expect("job exists");
+    let single = farm.record(b).expect("job exists");
+    assert!(
+        single.queue_ms <= flood_tail.queue_ms,
+        "the single-job tenant ({:.1} ms) outwaited the flood tail ({:.1} ms)",
+        single.queue_ms,
+        flood_tail.queue_ms
+    );
+}

@@ -1,0 +1,103 @@
+//! Integration: the scenario count is single-sourced from the registry.
+//!
+//! Every place that talks about "E1..E<n>" — README, architecture docs,
+//! the `report` binary's usage text — must keep up when a new scenario
+//! registers. These tests derive the expected span from the live
+//! registries ([`ScenarioRegistry::all`] for core, [`full_registry`] for
+//! the whole workspace) and scan the prose for stale ranges, so an E16
+//! that forgets the docs fails CI instead of silently drifting.
+
+use labchip::scenario::ScenarioRegistry;
+use labchip_farm::full_registry;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("the workspace root exists")
+}
+
+/// Extracts every standalone `E<digits>` token (word-boundary on both
+/// sides, value capped to two digits so hex strings and scientific
+/// notation never match) and returns the largest scenario number
+/// mentioned.
+fn max_scenario_token(text: &str) -> Option<u32> {
+    let bytes = text.as_bytes();
+    let mut max = None;
+    for (index, _) in text.match_indices('E') {
+        if index > 0 && (bytes[index - 1].is_ascii_alphanumeric() || bytes[index - 1] == b'_') {
+            continue;
+        }
+        let digits: String = text[index + 1..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .take(2)
+            .collect();
+        if digits.is_empty() {
+            continue;
+        }
+        let after = index + 1 + digits.len();
+        if bytes
+            .get(after)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            continue;
+        }
+        let value: u32 = digits.parse().expect("digits parse");
+        if value >= 1 && value > max.unwrap_or(0) {
+            max = Some(value);
+        }
+    }
+    max
+}
+
+#[test]
+fn full_registry_is_core_plus_the_farm_scenario_with_contiguous_ids() {
+    let core = ScenarioRegistry::all();
+    let full = full_registry();
+    assert_eq!(
+        full.len(),
+        core.len() + 1,
+        "the farm crate adds exactly E15"
+    );
+
+    // Ids are contiguous E1..E<n> in registration order, and id_range()
+    // (what `report` prints on an unknown id) reports exactly that span.
+    let expected: Vec<String> = (1..=full.len()).map(|n| format!("E{n}")).collect();
+    let actual: Vec<&str> = full.iter().map(|scenario| scenario.id()).collect();
+    assert_eq!(actual, expected);
+    assert_eq!(full.id_range(), format!("E1..E{}", full.len()));
+    assert_eq!(core.id_range(), format!("E1..E{}", core.len()));
+}
+
+#[test]
+fn docs_mention_the_current_scenario_span_not_a_stale_one() {
+    let top = full_registry().len() as u32;
+    let root = repo_root();
+    for relative in [
+        "README.md",
+        "docs/ARCHITECTURE.md",
+        "crates/bench/src/main.rs",
+    ] {
+        let path = root.join(relative);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|error| panic!("reading {}: {error}", path.display()));
+        let mentioned = max_scenario_token(&text)
+            .unwrap_or_else(|| panic!("{relative} mentions no scenario ids at all"));
+        assert_eq!(
+            mentioned, top,
+            "{relative}: highest scenario mentioned is E{mentioned}, but the registry \
+             tops out at E{top} — update the doc (or register the missing scenario)"
+        );
+    }
+}
+
+#[test]
+fn scenario_token_scan_has_word_boundaries() {
+    assert_eq!(max_scenario_token("runs E1 through E15"), Some(15));
+    assert_eq!(max_scenario_token("E2E tests and 1E9 floats"), None);
+    assert_eq!(max_scenario_token("0xE15 is hex"), None);
+    assert_eq!(max_scenario_token("the E13–E14 pair"), Some(14));
+    assert_eq!(max_scenario_token("no ids here"), None);
+}

@@ -38,11 +38,11 @@ fn quick_runner() -> Runner {
 }
 
 #[test]
-fn registry_has_fourteen_unique_ids_and_default_runs_produce_rows() {
+fn registry_ids_are_unique_and_default_runs_produce_rows() {
     let registry = ScenarioRegistry::all();
-    assert_eq!(registry.len(), 14);
+    assert!(registry.len() >= 14, "core scenarios must not disappear");
     let unique: HashSet<&str> = registry.iter().map(|s| s.id()).collect();
-    assert_eq!(unique.len(), 14, "scenario ids must be unique");
+    assert_eq!(unique.len(), registry.len(), "scenario ids must be unique");
 
     // Cheap scenarios run their untouched paper defaults here; the full
     // default sweep of every scenario is what `report run --all` does in CI.
@@ -58,13 +58,16 @@ fn registry_has_fourteen_unique_ids_and_default_runs_produce_rows() {
 }
 
 #[test]
-fn run_all_covers_e1_through_e14_and_emits_one_valid_json_document() {
+fn run_all_covers_the_whole_registry_and_emits_one_valid_json_document() {
+    // Expectations derive from the registry itself — registering E15+ in
+    // core must not require editing this test.
+    let expected: Vec<String> = ScenarioRegistry::all()
+        .iter()
+        .map(|s| s.id().to_owned())
+        .collect();
     let outcomes = quick_runner().run_all().expect("bulk run succeeds");
     let ids: Vec<&str> = outcomes.iter().map(|o| o.id.as_str()).collect();
-    assert_eq!(
-        ids,
-        ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"]
-    );
+    assert_eq!(ids, expected);
     for outcome in &outcomes {
         assert!(
             outcome.table.row_count() >= 1,
@@ -74,7 +77,7 @@ fn run_all_covers_e1_through_e14_and_emits_one_valid_json_document() {
     }
 
     // The document `report run --all --json` prints: one parseable JSON
-    // text covering all fourteen scenarios, tables included.
+    // text covering every scenario, tables included.
     let document = outcomes_to_json(&outcomes);
     let text = serde_json::to_string_pretty(&document);
     let parsed: Value = serde_json::from_str(&text).expect("document is valid JSON");
@@ -83,7 +86,7 @@ fn run_all_covers_e1_through_e14_and_emits_one_valid_json_document() {
         .and_then(|o| o.get("scenarios"))
         .and_then(Value::as_array)
         .expect("document has a scenarios array");
-    assert_eq!(scenarios.len(), 14);
+    assert_eq!(scenarios.len(), outcomes.len());
     for (entry, outcome) in scenarios.iter().zip(&outcomes) {
         let entry = entry.as_object().unwrap();
         assert_eq!(entry.get("id").unwrap().as_str(), Some(outcome.id.as_str()));
