@@ -408,8 +408,9 @@ fn bench_fields(out_path: &str) {
 /// execution — the property that makes the journal a usable crash-recovery
 /// and debugging artifact.
 fn bench_workload(out_path: &str) {
-    use labchip::workload::{BatchDriver, ForceEnvelope, Protocol, WorkloadConfig};
+    use labchip::workload::{sort_problem, BatchDriver, ForceEnvelope, Protocol, WorkloadConfig};
     use labchip_manipulation::journal::{replay, Journal};
+    use labchip_manipulation::sharding::{IncrementalRouter, RouterCache, ShardConfig};
     use labchip_units::GridDims;
 
     if let Err(err) = std::fs::OpenOptions::new()
@@ -445,6 +446,53 @@ fn bench_workload(out_path: &str) {
             samples[samples.len() / 2],
         ));
     }
+
+    // Warm-start replanning at full chip scale: one cold solve of the
+    // 320²/10k sort (the E10 headline problem) on a pinned single-thread
+    // pool, then warm re-solves of the identical problem against the primed
+    // plan cache. Warm output is bit-identical to cold by the cache's
+    // content-key construction, so the ratio row is a pure speed figure.
+    let warm_cold_ratio = {
+        let problem = sort_problem(GridDims::square(320), 10_000, 2, 2005);
+        let router = IncrementalRouter::new(ShardConfig::default());
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("thread pool construction is infallible");
+        let mut cache = RouterCache::new();
+        let t0 = Instant::now();
+        pool.install(|| {
+            black_box(
+                router
+                    .solve_cached(&problem, &mut cache)
+                    .expect("generated problems are always well-formed"),
+            )
+        });
+        let cold = t0.elapsed().as_secs_f64();
+        let mut samples = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            pool.install(|| {
+                black_box(
+                    router
+                        .solve_cached(&problem, &mut cache)
+                        .expect("generated problems are always well-formed"),
+                )
+            });
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let warm = samples[samples.len() / 2];
+        entries.push((
+            "workload/incremental_plan_cold/320x10000".into(),
+            cold * 1e9,
+        ));
+        entries.push((
+            "workload/incremental_plan_warm/320x10000".into(),
+            warm * 1e9,
+        ));
+        warm / cold
+    };
 
     // Thread-pinned planning: the same problem under explicit rayon pools,
     // so the trajectory records a measured scaling curve (threads + speedup
@@ -616,6 +664,9 @@ fn bench_workload(out_path: &str) {
         ));
     }
     json.push_str(&format!(
+        "    {{\"id\": \"workload/plan_warm_cold_ratio\", \"value\": {warm_cold_ratio:.4}}},\n"
+    ));
+    json.push_str(&format!(
         "    {{\"id\": \"workload/journal_overhead_pct\", \"value\": {journal_overhead_pct:.3}}},\n"
     ));
     json.push_str(&format!(
@@ -626,8 +677,9 @@ fn bench_workload(out_path: &str) {
 
     println!(
         "wrote {out_path} ({} entries)",
-        entries.len() + pinned.len() + farm_rows.len() + 2
+        entries.len() + pinned.len() + farm_rows.len() + 3
     );
+    println!("warm/cold replan ratio (320x10000, 1 thread): {warm_cold_ratio:.4}");
     if let Some((_, _, _)) = pinned.last() {
         let curve: Vec<String> = pinned
             .iter()

@@ -25,7 +25,7 @@ use crate::experiments::ExperimentTable;
 use crate::scenario::{Scenario, ScenarioContext};
 use crate::workload::sort_problem;
 use labchip_manipulation::routing::{Router, RoutingOutcome, RoutingProblem, RoutingStrategy};
-use labchip_manipulation::sharding::{IncrementalRouter, ShardConfig};
+use labchip_manipulation::sharding::{IncrementalRouter, RouterCache, ShardConfig};
 use labchip_units::{GridDims, Seconds};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -56,6 +56,9 @@ pub struct Config {
     pub astar_max_steps: usize,
     /// Worker threads for the sharded planner (0 = all cores).
     pub threads: usize,
+    /// Keep the incremental planner's per-shard plan cache warm across the
+    /// density sweep (bit-identical rows either way).
+    pub reuse_plans: bool,
     /// RNG seed for particle placement.
     pub seed: u64,
 }
@@ -73,6 +76,7 @@ impl Default for Config {
             astar_cap: 96,
             astar_max_steps: 768,
             threads: 0,
+            reuse_plans: false,
             seed: 2005,
         }
     }
@@ -200,6 +204,7 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
         .num_threads(config.threads)
         .build()
         .expect("thread pool construction is infallible");
+    let mut cache = config.reuse_plans.then(RouterCache::new);
 
     let mut rows = Vec::new();
     for &fraction in &config.density_steps {
@@ -244,10 +249,13 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
 
         // The incremental sharded planner.
         let started = Instant::now();
-        let outcome = pool.install(|| {
-            incremental
+        let outcome = pool.install(|| match cache.as_mut() {
+            Some(cache) => incremental
+                .solve_cached(&problem, cache)
+                .expect("generated problems are always well-formed"),
+            None => incremental
                 .solve(&problem)
-                .expect("generated problems are always well-formed")
+                .expect("generated problems are always well-formed"),
         });
         let row = row_from_outcome(
             "incremental".into(),
@@ -347,6 +355,23 @@ mod tests {
         let results = run(&config);
         assert_eq!(results.rows.len(), 4);
         assert!(results.rows_for("A*").is_empty());
+    }
+
+    #[test]
+    fn plan_reuse_leaves_every_row_bit_identical() {
+        let cold = run(&quick_config());
+        let warm = run(&Config {
+            reuse_plans: true,
+            ..quick_config()
+        });
+        assert_eq!(cold.rows.len(), warm.rows.len());
+        for (c, w) in cold.rows.iter().zip(&warm.rows) {
+            // Wall-clock columns are the only thing the cache may change.
+            let mut w = w.clone();
+            w.plan_wall_ms = c.plan_wall_ms;
+            w.moves_per_second = c.moves_per_second;
+            assert_eq!(*c, w);
+        }
     }
 
     #[test]

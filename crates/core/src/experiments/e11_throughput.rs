@@ -46,6 +46,8 @@ pub struct Config {
     pub window: u32,
     /// Worker threads for the sharded planner (0 = all cores).
     pub threads: usize,
+    /// Reuse per-shard plans across cycles (bit-identical output either way).
+    pub reuse_plans: bool,
     /// Base RNG seed for batch placement.
     pub seed: u64,
 }
@@ -65,6 +67,7 @@ impl Default for Config {
             shard_side: 32,
             window: 8,
             threads: 0,
+            reuse_plans: false,
             seed: 2005,
         }
     }
@@ -233,6 +236,7 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
         recovery: RecoveryPolicy::disabled(),
         load_time: config.load_time,
         flush_time: config.flush_time,
+        reuse_plans: config.reuse_plans,
         seed: config.seed,
     };
     let pool = rayon::ThreadPoolBuilder::new()

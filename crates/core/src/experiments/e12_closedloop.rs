@@ -57,6 +57,8 @@ pub struct Config {
     pub window: u32,
     /// Worker threads for the sharded planner (0 = all cores).
     pub threads: usize,
+    /// Reuse per-shard plans across cycles (bit-identical output either way).
+    pub reuse_plans: bool,
     /// Base RNG seed (batch placement and sensor noise).
     pub seed: u64,
 }
@@ -77,6 +79,7 @@ impl Default for Config {
             shard_side: 32,
             window: 8,
             threads: 0,
+            reuse_plans: false,
             seed: 2005,
         }
     }
@@ -190,6 +193,7 @@ fn workload(
         recovery,
         load_time: config.load_time,
         flush_time: config.flush_time,
+        reuse_plans: config.reuse_plans,
         seed: config.seed,
     }
 }

@@ -200,6 +200,7 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
         recovery: config.recovery,
         load_time: config.load_time,
         flush_time: config.flush_time,
+        reuse_plans: false,
         seed: config.seed,
     };
     let pool = rayon::ThreadPoolBuilder::new()

@@ -71,12 +71,13 @@ use labchip_manipulation::cage::ParticleId;
 use labchip_manipulation::metrics::SustainedThroughput;
 use labchip_manipulation::protocol::TimeBreakdown;
 use labchip_manipulation::routing::{RoutingOutcome, RoutingProblem};
-use labchip_manipulation::sharding::{IncrementalRouter, ShardConfig};
+use labchip_manipulation::sharding::{CacheStats, IncrementalRouter, RouterCache, ShardConfig};
 use labchip_sensing::array_scan::ArrayScanner;
 use labchip_sensing::detect::DetectionStats;
 use labchip_sensing::scan::ScanTiming;
 use labchip_units::{GridDims, Seconds};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// The bounded closed-loop recovery policy: what the driver does when the
 /// detected occupancy disagrees with the plan.
@@ -151,6 +152,12 @@ pub struct WorkloadConfig {
     pub flush_time: Seconds,
     /// Base RNG seed for batch placement.
     pub seed: u64,
+    /// Route phases through the driver's warm-start
+    /// [`RouterCache`]:
+    /// per-shard window plans are memoized across solves and invalidated
+    /// from the chip state's dirty regions. Outcomes are bit-identical
+    /// either way; this knob only trades memory for planning time.
+    pub reuse_plans: bool,
 }
 
 impl Default for WorkloadConfig {
@@ -166,6 +173,7 @@ impl Default for WorkloadConfig {
             load_time: Seconds::from_minutes(1.0),
             flush_time: Seconds::from_minutes(0.5),
             seed: 2005,
+            reuse_plans: false,
         }
     }
 }
@@ -278,6 +286,10 @@ pub struct BatchDriver {
     scanner: ArrayScanner,
     totals: SustainedThroughput,
     cycles_run: usize,
+    /// Warm-start plan cache shared across this driver's cycles; consulted
+    /// only when [`WorkloadConfig::reuse_plans`] is set. Behind a mutex so
+    /// the borrowed [`ProtocolRunner`] stays `Copy + Sync`.
+    route_cache: Mutex<RouterCache>,
 }
 
 /// Stream-salt separating the sensor synthesis from batch placement.
@@ -317,6 +329,7 @@ impl BatchDriver {
             ),
             totals: SustainedThroughput::default(),
             cycles_run: 0,
+            route_cache: Mutex::new(RouterCache::new()),
             config,
         }
     }
@@ -345,7 +358,17 @@ impl BatchDriver {
             programming: &self.programming,
             scan: &self.scan,
             scanner: &self.scanner,
+            route_cache: self.config.reuse_plans.then_some(&self.route_cache),
         }
+    }
+
+    /// Hit/miss counters of the warm-start plan cache (all zero unless
+    /// [`WorkloadConfig::reuse_plans`] is set).
+    pub fn route_cache_stats(&self) -> CacheStats {
+        self.route_cache
+            .lock()
+            .expect("route cache poisoned")
+            .stats()
     }
 
     /// Executes an arbitrary protocol as the next cycle, recording its

@@ -22,10 +22,11 @@ use super::{RecoveryPolicy, WorkloadConfig};
 use labchip_array::addressing::ProgrammingInterface;
 use labchip_array::timing::WindowBudget;
 use labchip_manipulation::cage::ParticleId;
+use labchip_manipulation::error::ManipulationError;
 use labchip_manipulation::protocol::TimeBreakdown;
 use labchip_manipulation::routing::{RoutingOutcome, RoutingProblem, RoutingRequest};
-use labchip_manipulation::sharding::IncrementalRouter;
-use labchip_manipulation::state::{ChipState, TimeLedger};
+use labchip_manipulation::sharding::{IncrementalRouter, RouterCache};
+use labchip_manipulation::state::{ChipState, DirtyRegions, TimeLedger};
 use labchip_sensing::array_scan::ArrayScanner;
 use labchip_sensing::averaging::FrameAverager;
 use labchip_sensing::detect::{DetectionStats, Occupancy, OccupancyMap};
@@ -36,6 +37,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// One composable unit of assay work.
@@ -162,6 +164,10 @@ pub struct PhaseCtx<'a> {
     pub scan: &'a ScanTiming,
     /// The whole-array scan synthesizer.
     pub scanner: &'a ArrayScanner,
+    /// Warm-start plan cache (`Some` iff [`WorkloadConfig::reuse_plans`]);
+    /// phases route through [`PhaseCtx::solve_routing`] so caching stays
+    /// transparent to them.
+    pub route_cache: Option<&'a Mutex<RouterCache>>,
     /// Zero-based cycle index.
     pub cycle: usize,
     /// Seed of this cycle's batch placement.
@@ -258,6 +264,7 @@ impl<'a> PhaseCtx<'a> {
         programming: &'a ProgrammingInterface,
         scan: &'a ScanTiming,
         scanner: &'a ArrayScanner,
+        route_cache: Option<&'a Mutex<RouterCache>>,
         cycle: usize,
         cycle_seed: u64,
     ) -> Self {
@@ -268,6 +275,7 @@ impl<'a> PhaseCtx<'a> {
             programming,
             scan,
             scanner,
+            route_cache,
             cycle,
             cycle_seed,
             pass: (cycle as u64) << 16,
@@ -334,6 +342,35 @@ impl<'a> PhaseCtx<'a> {
         self.recovery_rounds = snapshot.recovery_rounds;
         self.recovery_moves = snapshot.recovery_moves;
         self.finals = snapshot.finals;
+    }
+
+    /// Routes a problem through the shared router, warm-starting from the
+    /// driver's [`RouterCache`] when [`WorkloadConfig::reuse_plans`] is set.
+    /// Before solving, the state's dirty regions are drained and the
+    /// affected staggered tiles invalidated, so the cache never retains
+    /// entries for shards whose cells changed. Outcomes are bit-identical
+    /// with and without the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the router's validation error for ill-formed problems.
+    pub fn solve_routing(
+        &self,
+        state: &mut ChipState,
+        problem: &RoutingProblem,
+    ) -> Result<RoutingOutcome, ManipulationError> {
+        let Some(cache) = self.route_cache else {
+            return self.router.solve(problem);
+        };
+        let mut cache = cache.lock().expect("route cache poisoned");
+        match state.take_dirty() {
+            DirtyRegions::All => cache.invalidate_all(),
+            DirtyRegions::Cells(cells) => {
+                let side = self.router.effective_side(problem.min_separation);
+                cache.invalidate_cells(problem.dims, side, &cells);
+            }
+        }
+        self.router.solve_cached(problem, &mut cache)
     }
 
     /// Checks every move of a plan against the force envelope and feeds the
@@ -715,7 +752,7 @@ impl AssayPhase for Route {
         // unreachable on the legacy-equivalent path. The solver validates
         // internally, so its error *is* the degrade signal.
         let started = Instant::now();
-        let Ok(outcome) = ctx.router.solve(&problem) else {
+        let Ok(outcome) = ctx.solve_routing(state, &problem) else {
             return Ok(PhaseReport {
                 phase: format!("{}:{}", self.name(), self.target.label()),
                 time: TimeBreakdown::default(),
@@ -957,7 +994,7 @@ impl AssayPhase for Recover {
                 // particle: no conflict-free plan exists for this reading.
                 break;
             }
-            let Ok(recovery_outcome) = ctx.router.solve(&recovery_problem) else {
+            let Ok(recovery_outcome) = ctx.solve_routing(state, &recovery_problem) else {
                 break;
             };
             ctx.check_planned_moves(&recovery_outcome, dims);

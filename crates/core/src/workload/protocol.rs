@@ -38,12 +38,13 @@ use super::{CycleReport, RecoveryPolicy, WorkloadConfig};
 use labchip_array::addressing::ProgrammingInterface;
 use labchip_manipulation::journal::{FaultPlan, Journal};
 use labchip_manipulation::protocol::TimeBreakdown;
-use labchip_manipulation::sharding::IncrementalRouter;
+use labchip_manipulation::sharding::{IncrementalRouter, RouterCache};
 use labchip_manipulation::state::{ChipState, ChipStateSnapshot};
 use labchip_sensing::array_scan::ArrayScanner;
 use labchip_sensing::scan::ScanTiming;
 use labchip_units::GridDims;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// One declarative phase of a [`Protocol`], with its knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -332,6 +333,9 @@ pub struct ProtocolRunner<'a> {
     pub(super) programming: &'a ProgrammingInterface,
     pub(super) scan: &'a ScanTiming,
     pub(super) scanner: &'a ArrayScanner,
+    /// The driver's warm-start plan cache; `Some` iff
+    /// [`WorkloadConfig::reuse_plans`] is set.
+    pub(super) route_cache: Option<&'a Mutex<RouterCache>>,
 }
 
 impl<'a> ProtocolRunner<'a> {
@@ -363,6 +367,7 @@ impl<'a> ProtocolRunner<'a> {
             self.programming,
             self.scan,
             self.scanner,
+            self.route_cache,
             cycle,
             cycle_seed,
         )

@@ -15,7 +15,7 @@
 //!
 //! * [`queue`] — the pure scheduling structure: FIFO within tenant,
 //!   round-robin across tenants, bounded with explicit
-//!   [`QueueFull`](queue::QueueFull) backpressure;
+//!   [`QueueFull`] backpressure;
 //! * [`job`] — the public job model: [`JobId`], [`JobSpec`],
 //!   [`JobStatus`], the durable [`JobRecord`] and [`HistoryFilter`], all
 //!   JSON-serialisable;

@@ -1,5 +1,5 @@
 //! E15 — chip-farm fleet benchmark: multi-tenant throughput, job-control
-//! latency and kill-recovery of the [`Farm`](crate::Farm).
+//! latency and kill-recovery of the [`Farm`].
 //!
 //! The scenario drives a heterogeneous protocol mix (the canned sort
 //! cycle, the E13 two-population merge, and a sense-heavy QC protocol)

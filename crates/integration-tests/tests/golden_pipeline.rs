@@ -15,6 +15,9 @@
 //! ```
 
 use labchip::scenario::{outcomes_to_json, Runner, ScenarioRegistry};
+use labchip::workload::{BatchDriver, Protocol, WorkloadConfig};
+use labchip_manipulation::journal::replay;
+use labchip_units::GridDims;
 use serde_json::Value;
 
 /// JSON keys whose values derive from wall-clock time and are therefore
@@ -78,7 +81,7 @@ fn scrub(value: &mut Value) {
 /// The locked run: `report run e10 e11 e12 --json --serial --seed 20050307`
 /// with size-reduction overrides (shared keys apply to every scenario that
 /// has them, exactly as the CLI applies `--set`).
-fn locked_document() -> Value {
+fn locked_document_with(extra_overrides: &[&str]) -> Value {
     let mut runner = Runner::new(ScenarioRegistry::all());
     runner.set_parallel(false);
     runner.set_base_seed(20_050_307);
@@ -93,7 +96,10 @@ fn locked_document() -> Value {
         "noise_scales=[0.0,4.0]", // E12
         "frame_counts=[2]",       // E12
         "threads=1",              // all three (results are thread-invariant)
-    ] {
+    ]
+    .iter()
+    .chain(extra_overrides)
+    {
         runner.set_override(spec).expect("spec is well-formed");
     }
     let outcomes = runner
@@ -102,6 +108,10 @@ fn locked_document() -> Value {
     let mut document = outcomes_to_json(&outcomes);
     scrub(&mut document);
     document
+}
+
+fn locked_document() -> Value {
+    locked_document_with(&[])
 }
 
 #[test]
@@ -135,4 +145,99 @@ fn locked_document_is_itself_deterministic() {
     let a = serde_json::to_string(&locked_document());
     let b = serde_json::to_string(&locked_document());
     assert_eq!(a, b);
+}
+
+/// Recursively forces every `"reuse_plans"` value to `false`, so a
+/// warm-start document can be compared against the cold golden snapshot:
+/// the config echo is the *only* place the knob is allowed to show up.
+fn mask_reuse_plans(value: &mut Value) {
+    match value {
+        Value::Object(map) => {
+            if let Some(flag) = map.get_mut("reuse_plans") {
+                *flag = Value::Bool(false);
+            }
+            for entry in map.values_mut() {
+                mask_reuse_plans(entry);
+            }
+        }
+        Value::Array(items) => {
+            for item in items {
+                mask_reuse_plans(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn warm_start_pipeline_matches_the_golden_snapshot() {
+    // The plan cache's contract is bit-identical output: the same locked
+    // run with `reuse_plans=true` must reproduce the golden snapshot
+    // exactly, config echo aside.
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/pipeline_e10_e11_e12.json"
+    );
+    let golden: Value = serde_json::from_str(
+        &std::fs::read_to_string(golden_path)
+            .expect("golden snapshot exists (regenerate with UPDATE_GOLDEN=1)"),
+    )
+    .expect("golden snapshot parses");
+
+    let mut warm = locked_document_with(&["reuse_plans=true"]);
+    mask_reuse_plans(&mut warm);
+    assert_eq!(
+        warm, golden,
+        "reuse_plans=true changed the E10/E11/E12 output — the plan cache \
+         must be invisible outside wall-clock columns"
+    );
+}
+
+#[test]
+fn plan_reuse_leaves_the_journal_event_stream_identical() {
+    // The event journal sees every chip-state mutation in order, so an
+    // identical stream is a much stronger statement than matching reports:
+    // the cached planner made the *same moves at the same times*.
+    let config = WorkloadConfig {
+        array_side: 48,
+        seed: 20_050_307,
+        ..WorkloadConfig::default()
+    };
+    let dims = GridDims::square(config.array_side);
+    let sep = config.min_separation;
+    let protocol = Protocol::canned_cycle(dims, sep, 40);
+
+    let cold_driver = BatchDriver::new(config);
+    let warm_driver = BatchDriver::new(WorkloadConfig {
+        reuse_plans: true,
+        ..config
+    });
+
+    for cycle in 0..2 {
+        let (cold, cold_journal) = cold_driver.runner().run_journaled(&protocol, cycle);
+        let (warm, warm_journal) = warm_driver.runner().run_journaled(&protocol, cycle);
+        assert_eq!(
+            cold_journal.events(),
+            warm_journal.events(),
+            "cycle {cycle}: warm and cold runs recorded different event streams"
+        );
+        assert_eq!(cold.state, warm.state, "cycle {cycle}");
+
+        // And the shared journal replays to the same final chip state.
+        let replayed = replay(&warm_journal, dims, sep).expect("journal replays");
+        assert_eq!(replayed, warm.state, "cycle {cycle}: replay drifted");
+    }
+
+    // Repeat a cycle the cache has already seen: the rerun must be served
+    // from cache (so the guard above is not vacuously passing on an idle
+    // cache) and still record the exact same event stream.
+    let before = warm_driver.route_cache_stats();
+    let (_, first) = warm_driver.runner().run_journaled(&protocol, 0);
+    let (_, second) = warm_driver.runner().run_journaled(&protocol, 0);
+    assert_eq!(first.events(), second.events());
+    let after = warm_driver.route_cache_stats();
+    assert!(
+        after.hits > before.hits,
+        "rerunning an identical cycle never hit the plan cache ({before:?} -> {after:?})"
+    );
 }

@@ -182,6 +182,7 @@ proptest! {
         astar_cap in 0usize..512,
         astar_max_steps in 16usize..2048,
         threads in 0usize..8,
+        reuse_plans in proptest::bool::ANY,
         seed in 0u64..u64::MAX,
     ) {
         let config = e10_fullarray::Config {
@@ -195,6 +196,7 @@ proptest! {
             astar_cap,
             astar_max_steps,
             threads,
+            reuse_plans,
             seed,
         };
         prop_assert_eq!(round_trip(&config), config);
@@ -213,6 +215,7 @@ proptest! {
         shard_side in 4u32..64,
         window in 1u32..32,
         threads in 0usize..8,
+        reuse_plans in proptest::bool::ANY,
         seed in 0u64..u64::MAX,
     ) {
         let config = e11_throughput::Config {
@@ -228,6 +231,7 @@ proptest! {
             shard_side,
             window,
             threads,
+            reuse_plans,
             seed,
         };
         prop_assert_eq!(round_trip(&config), config);
@@ -248,6 +252,7 @@ proptest! {
         shard_side in 4u32..64,
         window in 1u32..32,
         threads in 0usize..8,
+        reuse_plans in proptest::bool::ANY,
         seed in 0u64..u64::MAX,
     ) {
         let config = e12_closedloop::Config {
@@ -264,6 +269,7 @@ proptest! {
             shard_side,
             window,
             threads,
+            reuse_plans,
             seed,
         };
         prop_assert_eq!(round_trip(&config), config);

@@ -23,7 +23,8 @@
 //!   tables, plus a greedy baseline),
 //! * the incremental [`sharding`] planner that scales routing to the full
 //!   array — windowed planning over a staggered tile partition, parallel
-//!   across shards,
+//!   across shards, with warm-start plan caching keyed by shard content
+//!   hashes and fed by the state's dirty-region tracking,
 //! * high-level [`ops`] (move, merge, isolate, park, wash),
 //! * an assay [`protocol`] description and executor,
 //! * throughput [`metrics`].
@@ -71,8 +72,8 @@ pub mod prelude {
     pub use crate::routing::{
         Router, RoutingOutcome, RoutingProblem, RoutingRequest, RoutingStrategy,
     };
-    pub use crate::sharding::{IncrementalRouter, ShardConfig};
-    pub use crate::state::{ChipState, TimeLedger};
+    pub use crate::sharding::{CacheStats, IncrementalRouter, RouterCache, ShardConfig};
+    pub use crate::state::{ChipState, DirtyRegions, TimeLedger};
 }
 
 pub use error::ManipulationError;

@@ -1,0 +1,524 @@
+//! Struct-of-arrays hot paths for the windowed space–time A\*.
+//!
+//! The per-shard planning loop used to allocate a fresh `HashMap`-backed
+//! reservation table and scratch buffer inside the rayon closure for every
+//! shard of every window — the allocation traffic was what made the pinned
+//! thread-scaling curve go *backwards*. Everything here is flat arrays over
+//! a dense `(cell, step)` index space, cleared in O(1) with an epoch stamp,
+//! and bundled into an [`Arena`] that an [`ArenaPool`] recycles across
+//! shards, windows, and (through [`super::RouterCache`]) whole solves.
+//!
+//! The sparse [`ZoneCounter`] / [`WindowReservations`] pair is kept for the
+//! rare serial repair path, which plans against the whole grid where a dense
+//! table would be needlessly large; [`window_astar`] is generic over the
+//! [`ReservationView`] trait so both back-ends share one search.
+
+use crate::routing::for_each_zone_cell;
+use labchip_units::GridCoord;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Mutex;
+
+/// The position of a window path at step `t` (paths park on their last
+/// cell for the remainder of the window).
+pub(crate) fn position_at(path: &[GridCoord], t: usize) -> GridCoord {
+    path[t.min(path.len() - 1)]
+}
+
+/// Read access to a space–time reservation table over one window.
+pub(crate) trait ReservationView {
+    /// Number of planned steps (the table covers steps `0..=window()`).
+    fn window(&self) -> usize;
+    /// Whether `c` is unreserved at step `t` (clamped to the window end).
+    fn is_free(&self, c: GridCoord, t: usize) -> bool;
+    /// Whether a particle parked at `c` from step `t` to the end of the
+    /// window stays clear of every reservation.
+    fn is_free_from(&self, c: GridCoord, t: usize) -> bool;
+}
+
+/// Counting map of blocked cells: every `add` blocks the Chebyshev-<`radius`
+/// zone around a centre, and `remove` unblocks it exactly (overlapping zones
+/// stay blocked until their last owner is removed).
+#[derive(Debug, Default)]
+pub(crate) struct ZoneCounter {
+    counts: HashMap<GridCoord, u32>,
+}
+
+impl ZoneCounter {
+    pub(crate) fn add(&mut self, center: GridCoord, radius: u32) {
+        for_each_zone_cell(center, radius, |c| {
+            *self.counts.entry(c).or_insert(0) += 1;
+        });
+    }
+
+    pub(crate) fn remove(&mut self, center: GridCoord, radius: u32) {
+        for_each_zone_cell(center, radius, |c| {
+            if let Some(n) = self.counts.get_mut(&c) {
+                *n -= 1;
+                if *n == 0 {
+                    self.counts.remove(&c);
+                }
+            }
+        });
+    }
+
+    pub(crate) fn blocked(&self, c: GridCoord) -> bool {
+        self.counts.contains_key(&c)
+    }
+}
+
+/// Sparse space–time reservations over one window (`window + 1` steps),
+/// counting overlaps so paths can be removed again during repair.
+#[derive(Debug)]
+pub(crate) struct WindowReservations {
+    radius: u32,
+    steps: Vec<ZoneCounter>,
+}
+
+impl WindowReservations {
+    pub(crate) fn new(window: usize, min_separation: u32) -> Self {
+        Self {
+            radius: min_separation,
+            steps: (0..=window).map(|_| ZoneCounter::default()).collect(),
+        }
+    }
+
+    pub(crate) fn add_path(&mut self, path: &[GridCoord]) {
+        for t in 0..self.steps.len() {
+            let pos = position_at(path, t);
+            self.steps[t].add(pos, self.radius);
+        }
+    }
+
+    pub(crate) fn remove_path(&mut self, path: &[GridCoord]) {
+        for t in 0..self.steps.len() {
+            let pos = position_at(path, t);
+            self.steps[t].remove(pos, self.radius);
+        }
+    }
+}
+
+impl ReservationView for WindowReservations {
+    fn window(&self) -> usize {
+        self.steps.len() - 1
+    }
+
+    fn is_free(&self, c: GridCoord, t: usize) -> bool {
+        !self.steps[t.min(self.steps.len() - 1)].blocked(c)
+    }
+
+    fn is_free_from(&self, c: GridCoord, t: usize) -> bool {
+        (t..self.steps.len()).all(|step| !self.steps[step].blocked(c))
+    }
+}
+
+/// Dense zone counter over a fixed cell box, epoch-cleared in O(1).
+///
+/// Writes outside the box are dropped; that is sound because every query
+/// the router makes is for a cell inside the box the structure was begun
+/// with (tile interiors for `parked`, the whole grid for the frozen zone).
+#[derive(Debug, Default)]
+pub(crate) struct DenseZone {
+    lo_x: u32,
+    lo_y: u32,
+    bw: usize,
+    bh: usize,
+    counts: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl DenseZone {
+    /// Re-targets the counter to the inclusive cell box `[lo, hi]` and
+    /// clears it (lazily, via the epoch stamp).
+    pub(crate) fn begin(&mut self, lo: GridCoord, hi: GridCoord) {
+        self.lo_x = lo.x;
+        self.lo_y = lo.y;
+        self.bw = (hi.x - lo.x + 1) as usize;
+        self.bh = (hi.y - lo.y + 1) as usize;
+        let cells = self.bw * self.bh;
+        if self.counts.len() < cells {
+            self.counts.resize(cells, 0);
+            self.stamp.resize(cells, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    pub(crate) fn add(&mut self, center: GridCoord, radius: u32) {
+        let (lx, ly, bw, bh, epoch) = (self.lo_x, self.lo_y, self.bw, self.bh, self.epoch);
+        let counts = &mut self.counts;
+        let stamp = &mut self.stamp;
+        for_each_zone_cell(center, radius, |c| {
+            if c.x < lx || c.y < ly {
+                return;
+            }
+            let (x, y) = ((c.x - lx) as usize, (c.y - ly) as usize);
+            if x >= bw || y >= bh {
+                return;
+            }
+            let k = y * bw + x;
+            if stamp[k] != epoch {
+                stamp[k] = epoch;
+                counts[k] = 0;
+            }
+            counts[k] += 1;
+        });
+    }
+
+    pub(crate) fn remove(&mut self, center: GridCoord, radius: u32) {
+        let (lx, ly, bw, bh, epoch) = (self.lo_x, self.lo_y, self.bw, self.bh, self.epoch);
+        let counts = &mut self.counts;
+        let stamp = &mut self.stamp;
+        for_each_zone_cell(center, radius, |c| {
+            if c.x < lx || c.y < ly {
+                return;
+            }
+            let (x, y) = ((c.x - lx) as usize, (c.y - ly) as usize);
+            if x >= bw || y >= bh {
+                return;
+            }
+            let k = y * bw + x;
+            if stamp[k] == epoch && counts[k] > 0 {
+                counts[k] -= 1;
+            }
+        });
+    }
+
+    pub(crate) fn blocked(&self, c: GridCoord) -> bool {
+        if c.x < self.lo_x || c.y < self.lo_y {
+            return false;
+        }
+        let (x, y) = ((c.x - self.lo_x) as usize, (c.y - self.lo_y) as usize);
+        if x >= self.bw || y >= self.bh {
+            return false;
+        }
+        let k = y * self.bw + x;
+        self.stamp[k] == self.epoch && self.counts[k] > 0
+    }
+}
+
+/// Dense space–time reservations over one window and one tile box: a flat
+/// `(window + 1) × bh × bw` array of zone counts, epoch-cleared in O(1).
+///
+/// Functionally equivalent to [`WindowReservations`] for queries inside the
+/// box (the only queries the per-shard A\* makes); zone cells spilling
+/// outside the box are dropped because they can never be queried.
+#[derive(Debug, Default)]
+pub(crate) struct DenseReservations {
+    radius: u32,
+    window: usize,
+    lo_x: u32,
+    lo_y: u32,
+    bw: usize,
+    bh: usize,
+    counts: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl DenseReservations {
+    /// Re-targets the table to `window` steps over the inclusive box
+    /// `[lo, hi]` and clears it.
+    pub(crate) fn begin(
+        &mut self,
+        window: usize,
+        min_separation: u32,
+        lo: GridCoord,
+        hi: GridCoord,
+    ) {
+        self.radius = min_separation;
+        self.window = window;
+        self.lo_x = lo.x;
+        self.lo_y = lo.y;
+        self.bw = (hi.x - lo.x + 1) as usize;
+        self.bh = (hi.y - lo.y + 1) as usize;
+        let cells = self.bw * self.bh * (window + 1);
+        if self.counts.len() < cells {
+            self.counts.resize(cells, 0);
+            self.stamp.resize(cells, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    pub(crate) fn add_path(&mut self, path: &[GridCoord]) {
+        let (lx, ly, bw, bh, epoch) = (self.lo_x, self.lo_y, self.bw, self.bh, self.epoch);
+        for t in 0..=self.window {
+            let pos = position_at(path, t);
+            let counts = &mut self.counts;
+            let stamp = &mut self.stamp;
+            for_each_zone_cell(pos, self.radius, |c| {
+                if c.x < lx || c.y < ly {
+                    return;
+                }
+                let (x, y) = ((c.x - lx) as usize, (c.y - ly) as usize);
+                if x >= bw || y >= bh {
+                    return;
+                }
+                let k = (t * bh + y) * bw + x;
+                if stamp[k] != epoch {
+                    stamp[k] = epoch;
+                    counts[k] = 0;
+                }
+                counts[k] += 1;
+            });
+        }
+    }
+
+    fn blocked(&self, c: GridCoord, t: usize) -> bool {
+        if c.x < self.lo_x || c.y < self.lo_y {
+            return false;
+        }
+        let (x, y) = ((c.x - self.lo_x) as usize, (c.y - self.lo_y) as usize);
+        if x >= self.bw || y >= self.bh {
+            return false;
+        }
+        let k = (t * self.bh + y) * self.bw + x;
+        self.stamp[k] == self.epoch && self.counts[k] > 0
+    }
+}
+
+impl ReservationView for DenseReservations {
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn is_free(&self, c: GridCoord, t: usize) -> bool {
+        !self.blocked(c, t.min(self.window))
+    }
+
+    fn is_free_from(&self, c: GridCoord, t: usize) -> bool {
+        (t..=self.window).all(|step| !self.blocked(c, step))
+    }
+}
+
+/// Min-heap node of the windowed A\*. Ties break on `(t, y, x)` so the
+/// expansion order — and therefore the plan — is fully deterministic.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct Open {
+    f: u32,
+    t: u16,
+    y: u16,
+    x: u16,
+}
+
+impl Ord for Open {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .f
+            .cmp(&self.f)
+            .then_with(|| other.t.cmp(&self.t))
+            .then_with(|| other.y.cmp(&self.y))
+            .then_with(|| other.x.cmp(&self.x))
+    }
+}
+
+impl PartialOrd for Open {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable flat-array scratch space for the windowed A\*: visited stamps
+/// and parent links indexed by `(cell, t)` — cleared in O(1) via an epoch
+/// stamp — plus the open heap, whose allocation is reused across calls.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    visited: Vec<u32>,
+    parent: Vec<u32>,
+    epoch: u32,
+    open: BinaryHeap<Open>,
+}
+
+impl Scratch {
+    fn begin(&mut self, states: usize) {
+        if self.visited.len() < states {
+            self.visited.resize(states, 0);
+            self.parent.resize(states, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 1;
+        }
+        self.open.clear();
+    }
+}
+
+/// One shard's worth of reusable planning state: A\* scratch, the dense
+/// reservation table, and the parked-neighbour zone counter. Checked out of
+/// an [`ArenaPool`] at the top of each shard task instead of being allocated
+/// inside the rayon closure.
+#[derive(Debug, Default)]
+pub(crate) struct Arena {
+    pub(crate) scratch: Scratch,
+    pub(crate) reservations: DenseReservations,
+    pub(crate) parked: DenseZone,
+}
+
+/// A mutex-guarded free list of [`Arena`]s shared by all shard tasks of a
+/// window. The pool never holds more arenas than ran concurrently, and the
+/// arenas are content-agnostic (epoch-cleared on checkout-side `begin`), so
+/// checkout order cannot affect results.
+#[derive(Debug, Default)]
+pub(crate) struct ArenaPool {
+    free: Mutex<Vec<Arena>>,
+}
+
+/// Upper bound on pooled arenas; anything beyond this is dropped on restore.
+const MAX_POOLED_ARENAS: usize = 32;
+
+impl ArenaPool {
+    pub(crate) fn checkout(&self) -> Arena {
+        self.free
+            .lock()
+            .ok()
+            .and_then(|mut free| free.pop())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn restore(&self, arena: Arena) {
+        if let Ok(mut free) = self.free.lock() {
+            if free.len() < MAX_POOLED_ARENAS {
+                free.push(arena);
+            }
+        }
+    }
+}
+
+/// Plans the best window path for one particle: a sequence of positions
+/// `[start, ...]` of length ≤ `window + 1` ending on a cell that is safe to
+/// park on for the rest of the window, minimising the Manhattan distance to
+/// `goal` (then arrival time). Falls back to waiting at `start`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn window_astar(
+    lo: GridCoord,
+    hi: GridCoord,
+    allowed: impl Fn(GridCoord) -> bool,
+    start: GridCoord,
+    goal: GridCoord,
+    reservations: &impl ReservationView,
+    scratch: &mut Scratch,
+    cap: usize,
+) -> Vec<GridCoord> {
+    let window = reservations.window();
+    let bw = (hi.x - lo.x + 1) as usize;
+    let bh = (hi.y - lo.y + 1) as usize;
+    let idx = |c: GridCoord, t: usize| -> usize {
+        (t * bh + (c.y - lo.y) as usize) * bw + (c.x - lo.x) as usize
+    };
+    let coord_of = |state: usize| -> (GridCoord, usize) {
+        let t = state / (bw * bh);
+        let rem = state % (bw * bh);
+        (
+            GridCoord::new(lo.x + (rem % bw) as u32, lo.y + (rem / bw) as u32),
+            t,
+        )
+    };
+    scratch.begin(bw * bh * (window + 1));
+
+    let h = |c: GridCoord| c.manhattan(goal);
+    scratch.open.push(Open {
+        f: h(start),
+        t: 0,
+        y: start.y as u16,
+        x: start.x as u16,
+    });
+    scratch.visited[idx(start, 0)] = scratch.epoch;
+
+    // Best parking spot so far: minimise (distance-to-goal, t, y, x). The
+    // best spot *away from the start* is tracked separately: when no
+    // distance progress is possible at all, parking on an equal-distance
+    // sidestep instead of waiting is what lets two head-on particles rotate
+    // around each other across successive windows.
+    let mut best: Option<(u32, usize, GridCoord)> = None;
+    let mut best_moving: Option<(u32, usize, GridCoord)> = None;
+    fn update(slot: &mut Option<(u32, usize, GridCoord)>, key: (u32, usize, GridCoord)) {
+        match slot {
+            Some(existing) if *existing <= key => {}
+            _ => *slot = Some(key),
+        }
+    }
+    let consider = |c: GridCoord,
+                    t: usize,
+                    best: &mut Option<(u32, usize, GridCoord)>,
+                    best_moving: &mut Option<(u32, usize, GridCoord)>| {
+        if !reservations.is_free_from(c, t) {
+            return;
+        }
+        let key = (h(c), t, c);
+        update(best, key);
+        if c != start {
+            update(best_moving, key);
+        }
+    };
+    consider(start, 0, &mut best, &mut best_moving);
+
+    let mut expansions = 0usize;
+    while let Some(Open { t, y, x, .. }) = scratch.open.pop() {
+        let c = GridCoord::new(x as u32, y as u32);
+        let t = t as usize;
+        consider(c, t, &mut best, &mut best_moving);
+        if let Some((0, bt, bc)) = best {
+            if bc == c && bt == t {
+                break; // reached the goal and can park there
+            }
+        }
+        expansions += 1;
+        if expansions > cap || t >= window {
+            if expansions > cap {
+                break;
+            }
+            continue;
+        }
+        for (dx, dy) in [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)] {
+            let Some(next) = c.offset(dx, dy) else {
+                continue;
+            };
+            if next.x < lo.x || next.x > hi.x || next.y < lo.y || next.y > hi.y {
+                continue;
+            }
+            if !allowed(next) || !reservations.is_free(next, t + 1) {
+                continue;
+            }
+            let slot = idx(next, t + 1);
+            if scratch.visited[slot] == scratch.epoch {
+                continue;
+            }
+            scratch.visited[slot] = scratch.epoch;
+            scratch.parent[slot] = idx(c, t) as u32;
+            scratch.open.push(Open {
+                f: (t + 1) as u32 + h(next),
+                t: (t + 1) as u16,
+                y: next.y as u16,
+                x: next.x as u16,
+            });
+        }
+    }
+
+    // Stall breaking: if the best reachable distance equals the start's
+    // (no progress possible) prefer an equal-distance sidestep over waiting.
+    if let (Some((d, _, _)), Some(moving)) = (best, best_moving) {
+        if d > 0 && d == h(start) && moving.0 == d {
+            best = Some(moving);
+        }
+    }
+    let Some((_, stop_t, stop_c)) = best else {
+        return vec![start]; // defensive: the start always qualifies
+    };
+    let mut positions = vec![stop_c];
+    let mut state = idx(stop_c, stop_t);
+    for _ in 0..stop_t {
+        state = scratch.parent[state] as usize;
+        let (c, _) = coord_of(state);
+        positions.push(c);
+    }
+    positions.reverse();
+    positions
+}

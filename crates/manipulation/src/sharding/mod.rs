@@ -1,0 +1,688 @@
+//! Incremental, sharded space–time routing for full-array workloads.
+//!
+//! The global planner in [`crate::routing`] plans every particle against one
+//! monolithic reservation table spanning the whole array and the whole
+//! horizon. That is exact, but at the paper's scale — thousands of DEP cages
+//! moving concurrently on a 320×320 array — a single A\* pass over a
+//! `(cells × steps)` state space is both slow and needlessly serial. The
+//! [`IncrementalRouter`] plans *incrementally* instead:
+//!
+//! * **Windows** — motion is planned `window` steps at a time; each window
+//!   starts from the executed positions of the previous one, so the plan
+//!   adapts as traffic develops instead of committing to a full-horizon
+//!   schedule up front.
+//! * **Shards** — within a window the grid is partitioned into
+//!   `shard_side`-sized tiles and every shard plans its own particles with a
+//!   bounded space–time A\*, in parallel across shards (rayon). Mobile
+//!   particles are confined to their tile's *interior*: a margin of
+//!   `min_separation / 2` cells along every internal tile boundary is
+//!   off-limits, which makes two mobile particles in different shards
+//!   provably unable to violate the separation rule — no cross-shard
+//!   communication is needed during planning.
+//! * **Cross-shard handoff** — particles cross tile boundaries because the
+//!   partition is *staggered*: successive windows cycle the partition offset
+//!   through four phases (`(0,0)`, `(s/2,0)`, `(0,s/2)`, `(s/2,s/2)`), so
+//!   every cell is interior in at least one phase and traffic ratchets
+//!   between tiles window by window.
+//! * **Re-planning on conflict** — after the per-shard plans are merged the
+//!   window is verified with a dense occupancy scan; any violating particle
+//!   (none are expected by construction, but frozen corner cases are cheap
+//!   to guard) is demoted to wait-in-place and then re-planned serially
+//!   against the merged reservation table.
+//! * **Warm starts** — [`IncrementalRouter::solve_cached`] memoizes each
+//!   shard's window plan in a [`RouterCache`] keyed by a content hash of
+//!   everything the shard planner reads. Re-solving an unchanged (or mostly
+//!   unchanged) problem replays cached paths instead of searching, and
+//!   because the key covers the planner's *entire* input, a hit is
+//!   bit-identical to a recompute by construction.
+//!
+//! The hot loops are struct-of-arrays throughout (`astar_soa`): flat
+//! epoch-stamped arrays for reservations, zones, and A\* scratch, pooled in
+//! reusable arenas instead of being allocated per shard inside the rayon
+//! closure.
+//!
+//! The outcome is deterministic — per-shard plans depend only on the
+//! window-start state and are merged in shard order — so results are
+//! bit-identical for any thread count, and identical between cold and
+//! cached solves.
+
+mod astar_soa;
+mod cache;
+mod partition;
+mod verify;
+
+pub use cache::{covering_tiles, CacheStats, RouterCache};
+
+use crate::cage::ParticleId;
+use crate::error::ManipulationError;
+use crate::routing::{ParticlePath, RoutingOutcome, RoutingProblem};
+use astar_soa::{position_at, window_astar, Arena, ArenaPool, DenseZone};
+use cache::shard_key;
+use labchip_units::GridCoord;
+use partition::{stagger_phases, Partition};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use verify::{verify_and_repair, ConflictScan};
+
+/// Sharding and windowing knobs of the [`IncrementalRouter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Tile edge length in electrodes (clamped so a tile interior exists).
+    pub shard_side: u32,
+    /// Cage steps planned per window.
+    pub window: u32,
+    /// Give up after this many consecutive windows with no movement (at
+    /// least 4, so every stagger phase gets a chance).
+    pub max_stagnant_windows: u32,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shard_side: 32,
+            window: 8,
+            max_stagnant_windows: 4,
+        }
+    }
+}
+
+/// Bounded node expansions per windowed A\* call; searches that exhaust the
+/// cap settle for the best stopping cell found so far.
+const EXPANSION_CAP: usize = 2048;
+
+/// The incremental sharded space–time router.
+///
+/// Produces a [`RoutingOutcome`] with the same contract as
+/// [`crate::routing::Router::solve`]: conflict-free paths for the particles
+/// it routed, the rest reported in `unrouted`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IncrementalRouter {
+    /// Sharding and windowing parameters.
+    pub shards: ShardConfig,
+}
+
+impl IncrementalRouter {
+    /// Creates a router with the given shard configuration.
+    pub fn new(shards: ShardConfig) -> Self {
+        Self { shards }
+    }
+
+    /// The tile edge length actually used for a problem with the given
+    /// separation: the configured `shard_side`, clamped so a tile interior
+    /// exists, there is room for the half-tile stagger, and the staggered
+    /// margin strips of successive phases leave an overlap corridor for the
+    /// cross-shard handoff. Cache invalidation must use this value when
+    /// mapping dirty cells to staggered tiles (see [`covering_tiles`]).
+    pub fn effective_side(&self, min_separation: u32) -> u32 {
+        let margin = min_separation.max(1) / 2;
+        self.shards.shard_side.max(4 * margin + 2).max(4)
+    }
+
+    /// Solves a routing problem incrementally, from a cold start.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of an ill-formed problem; an unsolvable
+    /// but well-formed problem is reported through
+    /// [`RoutingOutcome::unrouted`] instead.
+    pub fn solve(&self, problem: &RoutingProblem) -> Result<RoutingOutcome, ManipulationError> {
+        problem.validate()?;
+        Ok(self.plan(problem, None))
+    }
+
+    /// Solves a routing problem, reading and populating `cache` so that
+    /// repeated or overlapping solves replay unchanged shards instead of
+    /// re-searching them. The outcome is bit-identical to [`Self::solve`]
+    /// regardless of the cache's contents.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::solve`].
+    pub fn solve_cached(
+        &self,
+        problem: &RoutingProblem,
+        cache: &mut RouterCache,
+    ) -> Result<RoutingOutcome, ManipulationError> {
+        problem.validate()?;
+        Ok(self.plan(problem, Some(cache)))
+    }
+
+    fn plan(
+        &self,
+        problem: &RoutingProblem,
+        mut cache: Option<&mut RouterCache>,
+    ) -> RoutingOutcome {
+        let n = problem.requests.len();
+        let sep = problem.min_separation.max(1);
+        let margin = sep / 2;
+        let side = self.effective_side(problem.min_separation);
+        let window = self.shards.window.max(1) as usize;
+        let phases = stagger_phases(side);
+
+        let goals: Vec<GridCoord> = problem.requests.iter().map(|r| r.goal).collect();
+        let mut positions: Vec<GridCoord> = problem.requests.iter().map(|r| r.start).collect();
+        let mut histories: Vec<Vec<GridCoord>> = positions.iter().map(|p| vec![*p]).collect();
+        let mut pending_stays = vec![0usize; n];
+
+        // Per-window scratch, reused across windows — and, when a cache is
+        // supplied, across whole solves (the pool lives in the cache and is
+        // swapped in here for the duration of the plan).
+        let pool: ArenaPool = cache
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.arenas))
+            .unwrap_or_default();
+        let mut frozen_zone = DenseZone::default();
+        let mut scan = ConflictScan::default();
+        let mut frozen_touch: Vec<(u32, GridCoord)> = Vec::new();
+        let grid_lo = GridCoord::new(0, 0);
+        let grid_hi = GridCoord::new(problem.dims.cols - 1, problem.dims.rows - 1);
+
+        let mut elapsed = 0usize;
+        let mut stagnant = 0u32;
+        let max_stagnant = self.shards.max_stagnant_windows.max(4);
+        let mut phase = 0usize;
+
+        while elapsed < problem.max_steps && n > 0 {
+            if positions.iter().zip(&goals).all(|(p, g)| p == g) {
+                break;
+            }
+            let (ox, oy) = phases[phase];
+            let part = Partition::new(problem.dims, side, ox, oy);
+            phase = (phase + 1) % phases.len();
+
+            // Classify: margin dwellers freeze for this window, everyone
+            // else plans within their tile.
+            frozen_zone.begin(grid_lo, grid_hi);
+            let mut frozen = vec![false; n];
+            for (i, pos) in positions.iter().enumerate() {
+                if part.in_margin(*pos, margin) {
+                    frozen[i] = true;
+                    frozen_zone.add(*pos, sep);
+                }
+            }
+            let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); part.tile_count()];
+            for (i, pos) in positions.iter().enumerate() {
+                if !frozen[i] {
+                    by_shard[part.tile_of(*pos)].push(i);
+                }
+            }
+
+            // Front-runners first: particles closest to their goals plan
+            // first so convoys flow instead of blocking on their leaders.
+            for shard in &mut by_shard {
+                shard.sort_by_key(|&i| (positions[i].manhattan(goals[i]), i));
+            }
+
+            // Cache lookup: a shard whose full planning input hashes to a
+            // stored key replays its paths; the rest plan fresh below.
+            let mut shard_paths: Vec<Vec<Vec<GridCoord>>> = vec![Vec::new(); part.tile_count()];
+            let mut needs_plan: Vec<bool> = vec![false; part.tile_count()];
+            let mut keys: Vec<u128> = Vec::new();
+            match cache.as_deref_mut() {
+                Some(cache_ref) => {
+                    keys = vec![0u128; part.tile_count()];
+                    frozen_touch.clear();
+                    let reach = sep.saturating_sub(1);
+                    for (i, pos) in positions.iter().enumerate() {
+                        if !frozen[i] {
+                            continue;
+                        }
+                        let lo = GridCoord::new(
+                            pos.x.saturating_sub(reach),
+                            pos.y.saturating_sub(reach),
+                        );
+                        let hi = GridCoord::new(pos.x + reach, pos.y + reach);
+                        for tile in part.tiles_in_box(lo, hi) {
+                            frozen_touch.push((tile as u32, *pos));
+                        }
+                    }
+                    // Stable by tile: particle order within a tile is kept.
+                    frozen_touch.sort_by_key(|&(tile, _)| tile);
+                    for (tile, indices) in by_shard.iter().enumerate() {
+                        if indices.is_empty() {
+                            continue;
+                        }
+                        let lo_idx = frozen_touch.partition_point(|&(t, _)| (t as usize) < tile);
+                        let hi_idx = frozen_touch.partition_point(|&(t, _)| (t as usize) <= tile);
+                        let key = shard_key(
+                            problem.dims,
+                            side,
+                            ox,
+                            oy,
+                            tile,
+                            sep,
+                            window,
+                            indices.iter().map(|&i| (positions[i], goals[i])),
+                            &frozen_touch[lo_idx..hi_idx],
+                        );
+                        keys[tile] = key;
+                        needs_plan[tile] = !cache_ref.fetch(key, &mut shard_paths[tile]);
+                    }
+                }
+                None => {
+                    for (tile, indices) in by_shard.iter().enumerate() {
+                        needs_plan[tile] = !indices.is_empty();
+                    }
+                }
+            }
+
+            // Plan the missing shards in parallel; each plan depends only
+            // on the window-start state, so the merge below is
+            // deterministic regardless of the hit/miss pattern.
+            let positions_ref = &positions;
+            let goals_ref = &goals;
+            let frozen_ref = &frozen_zone;
+            let by_shard_ref = &by_shard;
+            let needs_ref = &needs_plan;
+            let pool_ref = &pool;
+            shard_paths
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(tile, out)| {
+                    if !needs_ref[tile] {
+                        return;
+                    }
+                    let indices = &by_shard_ref[tile];
+                    let (lo, hi) = part.tile_bounds(positions_ref[indices[0]]);
+                    let mut arena = pool_ref.checkout();
+                    let Arena {
+                        scratch,
+                        reservations,
+                        parked,
+                    } = &mut arena;
+                    reservations.begin(window, sep, lo, hi);
+                    parked.begin(lo, hi);
+                    for &i in indices {
+                        parked.add(positions_ref[i], sep);
+                    }
+                    for &i in indices {
+                        parked.remove(positions_ref[i], sep);
+                        let parked_view = &*parked;
+                        let path = window_astar(
+                            lo,
+                            hi,
+                            |c| {
+                                part.tile_of(c) == tile
+                                    && !part.in_margin(c, margin)
+                                    && !frozen_ref.blocked(c)
+                                    && !parked_view.blocked(c)
+                            },
+                            positions_ref[i],
+                            goals_ref[i],
+                            &*reservations,
+                            scratch,
+                            EXPANSION_CAP,
+                        );
+                        reservations.add_path(&path);
+                        out.push(path);
+                    }
+                    pool_ref.restore(arena);
+                });
+
+            // Store the freshly planned shards under their content keys.
+            if let Some(cache_ref) = cache.as_deref_mut() {
+                for (tile, indices) in by_shard.iter().enumerate() {
+                    if !indices.is_empty() && needs_plan[tile] {
+                        cache_ref.insert(keys[tile], ox, oy, tile, &shard_paths[tile]);
+                    }
+                }
+            }
+
+            // Merge into one trajectory per particle (frozen: wait).
+            let mut trajs: Vec<Vec<GridCoord>> = positions.iter().map(|p| vec![*p]).collect();
+            for (tile, indices) in by_shard.iter().enumerate() {
+                for (k, &i) in indices.iter().enumerate() {
+                    trajs[i] = shard_paths[tile][k].clone();
+                }
+            }
+
+            verify_and_repair(
+                problem, &positions, &goals, &mut trajs, window, sep, &mut scan,
+            );
+
+            // Execute the window (truncated at the global horizon).
+            let steps = window.min(problem.max_steps - elapsed);
+            let mut any_moved = false;
+            for i in 0..n {
+                for t in 1..=steps {
+                    let pos = position_at(&trajs[i], t);
+                    let last = *histories[i].last().expect("histories are never empty");
+                    if pos == last {
+                        pending_stays[i] += 1;
+                    } else {
+                        any_moved = true;
+                        let stays = pending_stays[i];
+                        histories[i].extend(std::iter::repeat_n(last, stays));
+                        pending_stays[i] = 0;
+                        histories[i].push(pos);
+                    }
+                }
+                positions[i] = position_at(&trajs[i], steps);
+            }
+            elapsed += steps;
+            if any_moved {
+                stagnant = 0;
+            } else {
+                stagnant += 1;
+                if stagnant >= max_stagnant {
+                    break;
+                }
+            }
+        }
+
+        if let Some(cache_ref) = cache.as_mut() {
+            cache_ref.arenas = pool;
+            cache_ref.end_solve();
+        }
+
+        let mut paths = Vec::new();
+        let mut unrouted: Vec<ParticleId> = Vec::new();
+        let mut stranded = Vec::new();
+        for (i, request) in problem.requests.iter().enumerate() {
+            let path = ParticlePath {
+                id: request.id,
+                positions: std::mem::take(&mut histories[i]),
+            };
+            if positions[i] == goals[i] {
+                paths.push(path);
+            } else {
+                unrouted.push(request.id);
+                stranded.push(path);
+            }
+        }
+        paths.sort_by_key(|p| p.id);
+        stranded.sort_by_key(|p| p.id);
+        unrouted.sort();
+        let makespan = paths.iter().map(|p| p.arrival_step()).max().unwrap_or(0);
+        let total_moves = paths
+            .iter()
+            .chain(stranded.iter())
+            .map(|p| p.move_count())
+            .sum();
+        RoutingOutcome {
+            paths,
+            unrouted,
+            stranded,
+            makespan,
+            total_moves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::astar_soa::{Scratch, WindowReservations};
+    use super::*;
+    use crate::routing::{Router, RoutingRequest, RoutingStrategy};
+    use labchip_units::GridDims;
+
+    fn request(id: u64, start: (u32, u32), goal: (u32, u32)) -> RoutingRequest {
+        RoutingRequest {
+            id: ParticleId(id),
+            start: GridCoord::new(start.0, start.1),
+            goal: GridCoord::new(goal.0, goal.1),
+        }
+    }
+
+    fn small_shards() -> IncrementalRouter {
+        IncrementalRouter::new(ShardConfig {
+            shard_side: 8,
+            window: 4,
+            max_stagnant_windows: 4,
+        })
+    }
+
+    #[test]
+    fn single_particle_crosses_the_whole_array() {
+        let problem = RoutingProblem::new(GridDims::square(32), vec![request(1, (1, 1), (30, 30))]);
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert!(outcome.unrouted.is_empty());
+        assert!(outcome.is_conflict_free(problem.min_separation));
+        // Windowed planning may detour around frozen margins but stays close
+        // to the Manhattan distance.
+        assert!(outcome.makespan >= 58);
+        assert!(outcome.makespan <= 2 * 58);
+    }
+
+    #[test]
+    fn crossing_particles_stay_separated() {
+        let problem = RoutingProblem::new(
+            GridDims::square(24),
+            vec![request(1, (1, 10), (22, 10)), request(2, (22, 10), (1, 10))],
+        );
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert!(
+            outcome.unrouted.is_empty(),
+            "unrouted: {:?}",
+            outcome.unrouted
+        );
+        assert!(outcome.is_conflict_free(problem.min_separation));
+    }
+
+    #[test]
+    fn dense_column_routes_conflict_free() {
+        let mut requests = Vec::new();
+        for (i, y) in (1..30).step_by(3).enumerate() {
+            requests.push(request(i as u64, (2, y), (29, y)));
+        }
+        let problem = RoutingProblem::new(GridDims::square(32), requests.clone());
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert_eq!(outcome.paths.len(), requests.len());
+        assert!(outcome.is_conflict_free(problem.min_separation));
+    }
+
+    #[test]
+    fn zero_requests_is_a_trivial_success() {
+        let problem = RoutingProblem::new(GridDims::square(16), Vec::new());
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert!(outcome.paths.is_empty());
+        assert!(outcome.unrouted.is_empty());
+        assert_eq!(outcome.makespan, 0);
+        assert_eq!(outcome.success_rate(0), 1.0);
+    }
+
+    #[test]
+    fn stationary_requests_stay_put() {
+        let problem = RoutingProblem::new(
+            GridDims::square(16),
+            vec![request(1, (4, 4), (4, 4)), request(2, (10, 4), (12, 4))],
+        );
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert_eq!(outcome.paths.len(), 2);
+        assert_eq!(outcome.paths[0].move_count(), 0);
+        assert!(outcome.is_conflict_free(problem.min_separation));
+    }
+
+    #[test]
+    fn respects_larger_separations() {
+        let mut problem = RoutingProblem::new(
+            GridDims::square(24),
+            vec![request(1, (2, 8), (20, 8)), request(2, (2, 14), (20, 14))],
+        );
+        problem.min_separation = 4;
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert_eq!(outcome.paths.len(), 2);
+        assert!(outcome.is_conflict_free(4));
+    }
+
+    #[test]
+    fn horizon_bounds_are_respected() {
+        let mut problem =
+            RoutingProblem::new(GridDims::square(32), vec![request(1, (0, 0), (31, 31))]);
+        problem.max_steps = 10;
+        let outcome = small_shards().solve(&problem).unwrap();
+        assert_eq!(outcome.paths.len(), 0);
+        assert_eq!(outcome.unrouted, vec![ParticleId(1)]);
+    }
+
+    #[test]
+    fn matches_global_planner_quality_on_moderate_traffic() {
+        let mut requests = Vec::new();
+        for i in 0..8u32 {
+            requests.push(request(
+                u64::from(i),
+                (1, 1 + 3 * i),
+                (28, 1 + 3 * ((i + 3) % 8)),
+            ));
+        }
+        let problem = RoutingProblem::new(GridDims::square(32), requests.clone());
+        let incremental = small_shards().solve(&problem).unwrap();
+        let global = Router::new(RoutingStrategy::PrioritizedAStar)
+            .solve(&problem)
+            .unwrap();
+        assert!(incremental.is_conflict_free(problem.min_separation));
+        assert!(incremental.paths.len() >= global.paths.len().saturating_sub(1));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mut requests = Vec::new();
+        for i in 0..20u32 {
+            requests.push(request(
+                u64::from(i),
+                (1 + (i % 4) * 3, 1 + (i / 4) * 3),
+                (28 - (i % 4) * 3, 28 - (i / 4) * 3),
+            ));
+        }
+        let problem = RoutingProblem::new(GridDims::square(32), requests);
+        let router = small_shards();
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| router.solve(&problem).unwrap());
+        let many = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| router.solve(&problem).unwrap());
+        assert_eq!(one, many);
+        assert!(one.is_conflict_free(problem.min_separation));
+    }
+
+    #[test]
+    fn window_astar_advances_toward_a_far_goal() {
+        let reservations = WindowReservations::new(4, 2);
+        let mut scratch = Scratch::default();
+        let path = window_astar(
+            GridCoord::new(0, 9),
+            GridCoord::new(6, 14),
+            |_| true,
+            GridCoord::new(1, 10),
+            GridCoord::new(22, 10),
+            &reservations,
+            &mut scratch,
+            EXPANSION_CAP,
+        );
+        assert_eq!(path.last(), Some(&GridCoord::new(5, 10)), "path: {path:?}");
+        assert_eq!(path.len(), 5);
+    }
+
+    #[test]
+    fn partition_margins_only_on_internal_boundaries() {
+        let part = Partition::new(GridDims::square(16), 8, 0, 0);
+        // Array corner: no internal boundary nearby.
+        assert!(!part.in_margin(GridCoord::new(0, 0), 1));
+        // Cells flanking the internal boundary at x = 8.
+        assert!(part.in_margin(GridCoord::new(7, 4), 1));
+        assert!(part.in_margin(GridCoord::new(8, 4), 1));
+        assert!(!part.in_margin(GridCoord::new(6, 4), 1));
+        // Staggered partition moves the margin.
+        let staggered = Partition::new(GridDims::square(16), 8, 4, 4);
+        assert!(!staggered.in_margin(GridCoord::new(7, 7), 1));
+        assert!(staggered.in_margin(GridCoord::new(4, 7), 1));
+    }
+
+    #[test]
+    fn every_cell_is_mobile_in_some_phase() {
+        let dims = GridDims::square(20);
+        let side = 8u32;
+        let phases = stagger_phases(8);
+        for c in dims.iter() {
+            let mobile_somewhere = phases
+                .iter()
+                .any(|&(ox, oy)| !Partition::new(dims, side, ox, oy).in_margin(c, 1));
+            assert!(mobile_somewhere, "cell {c} is frozen in every phase");
+        }
+    }
+
+    fn moderate_problem() -> RoutingProblem {
+        let mut requests = Vec::new();
+        for i in 0..24u32 {
+            requests.push(request(
+                u64::from(i),
+                (1 + (i % 6) * 5, 1 + (i / 6) * 7),
+                (29 - (i % 6) * 4, 29 - (i / 6) * 6),
+            ));
+        }
+        RoutingProblem::new(GridDims::square(32), requests)
+    }
+
+    #[test]
+    fn cached_solve_is_bit_identical_to_cold() {
+        let problem = moderate_problem();
+        let router = small_shards();
+        let cold = router.solve(&problem).unwrap();
+        let mut cache = RouterCache::new();
+        let first = router.solve_cached(&problem, &mut cache).unwrap();
+        assert_eq!(cold, first, "cold cache must not change the outcome");
+        // Even the first cached solve may hit intra-solve (a shard whose
+        // state recurs across windows replays itself) — but it must miss at
+        // least once per planned shard.
+        let after_first = cache.stats();
+        assert!(after_first.misses > 0);
+        assert!(after_first.entries > 0);
+
+        let warm = router.solve_cached(&problem, &mut cache).unwrap();
+        assert_eq!(cold, warm, "warm replay must be bit-identical");
+        let after_warm = cache.stats();
+        assert_eq!(
+            after_warm.misses, after_first.misses,
+            "an identical re-solve hits on every shard"
+        );
+        assert!(after_warm.hits > 0);
+    }
+
+    #[test]
+    fn cached_solve_survives_invalidation_and_mutation() {
+        let mut problem = moderate_problem();
+        let router = small_shards();
+        let mut cache = RouterCache::new();
+        router.solve_cached(&problem, &mut cache).unwrap();
+
+        // Mutate one request's goal; the cached solve must match a cold
+        // solve of the mutated problem exactly.
+        problem.requests[5].goal = GridCoord::new(3, 27);
+        let side = router.effective_side(problem.min_separation);
+        cache.invalidate_cells(problem.dims, side, &[problem.requests[5].start]);
+        let warm = router.solve_cached(&problem, &mut cache).unwrap();
+        let cold = router.solve(&problem).unwrap();
+        assert_eq!(warm, cold);
+        assert!(warm.is_conflict_free(problem.min_separation));
+    }
+
+    #[test]
+    fn cached_solve_is_deterministic_across_thread_counts() {
+        let problem = moderate_problem();
+        let router = small_shards();
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| {
+                let mut cache = RouterCache::new();
+                router.solve_cached(&problem, &mut cache).unwrap();
+                router.solve_cached(&problem, &mut cache).unwrap()
+            });
+        let many = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| {
+                let mut cache = RouterCache::new();
+                router.solve_cached(&problem, &mut cache).unwrap();
+                router.solve_cached(&problem, &mut cache).unwrap()
+            });
+        assert_eq!(one, many);
+    }
+}

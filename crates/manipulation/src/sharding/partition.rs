@@ -1,0 +1,116 @@
+//! Staggered square-tile partitions of the electrode grid.
+//!
+//! A [`Partition`] divides the array into `side`-sized tiles anchored at a
+//! stagger offset `(ox, oy)`. Successive routing windows cycle the offset
+//! through the four [`stagger_phases`] so every cell is interior to some
+//! tile in at least one phase — that is what lets traffic ratchet across
+//! tile boundaries without any cross-shard communication.
+
+use labchip_units::{GridCoord, GridDims};
+
+/// The four stagger offsets cycled across successive windows:
+/// `(0,0)`, `(s/2,0)`, `(0,s/2)`, `(s/2,s/2)`.
+pub(crate) fn stagger_phases(side: u32) -> [(u32, u32); 4] {
+    [(0, 0), (side / 2, 0), (0, side / 2), (side / 2, side / 2)]
+}
+
+/// A staggered partition of the grid into square tiles.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Partition {
+    dims: GridDims,
+    side: u32,
+    ox: u32,
+    oy: u32,
+    min_tx: u32,
+    min_ty: u32,
+    tiles_x: u32,
+    tiles_y: u32,
+}
+
+impl Partition {
+    pub(crate) fn new(dims: GridDims, side: u32, ox: u32, oy: u32) -> Self {
+        let raw_tx = |x: u32| (x + side - ox) / side;
+        let raw_ty = |y: u32| (y + side - oy) / side;
+        let min_tx = raw_tx(0);
+        let min_ty = raw_ty(0);
+        Self {
+            dims,
+            side,
+            ox,
+            oy,
+            min_tx,
+            min_ty,
+            tiles_x: raw_tx(dims.cols - 1) - min_tx + 1,
+            tiles_y: raw_ty(dims.rows - 1) - min_ty + 1,
+        }
+    }
+
+    pub(crate) fn tile_count(&self) -> usize {
+        self.tiles_x as usize * self.tiles_y as usize
+    }
+
+    /// Tile grid coordinates `(tx, ty)` of the tile containing `c`.
+    fn tile_xy(&self, c: GridCoord) -> (u32, u32) {
+        (
+            (c.x + self.side - self.ox) / self.side - self.min_tx,
+            (c.y + self.side - self.oy) / self.side - self.min_ty,
+        )
+    }
+
+    /// Compact tile index of a coordinate.
+    pub(crate) fn tile_of(&self, c: GridCoord) -> usize {
+        let (tx, ty) = self.tile_xy(c);
+        (ty * self.tiles_x + tx) as usize
+    }
+
+    /// Compact indices of every tile overlapping the inclusive cell box
+    /// `[lo, hi]` (the box is clipped to the grid).
+    pub(crate) fn tiles_in_box(
+        &self,
+        lo: GridCoord,
+        hi: GridCoord,
+    ) -> impl Iterator<Item = usize> + '_ {
+        let (tx0, ty0) = self.tile_xy(lo);
+        let clipped = GridCoord::new(hi.x.min(self.dims.cols - 1), hi.y.min(self.dims.rows - 1));
+        let (tx1, ty1) = self.tile_xy(clipped);
+        (ty0..=ty1).flat_map(move |ty| (tx0..=tx1).map(move |tx| (ty * self.tiles_x + tx) as usize))
+    }
+
+    /// Unclipped bounds of one axis of the tile containing `v`:
+    /// `(lo, hi)` inclusive, possibly negative / past the edge.
+    fn raw_axis_bounds(v: u32, side: u32, offset: u32) -> (i64, i64) {
+        let t = ((v + side - offset) / side) as i64;
+        let lo = t * side as i64 + offset as i64 - side as i64;
+        (lo, lo + side as i64 - 1)
+    }
+
+    /// Clipped, inclusive bounds of the tile containing `c`.
+    pub(crate) fn tile_bounds(&self, c: GridCoord) -> (GridCoord, GridCoord) {
+        let (lx, hx) = Self::raw_axis_bounds(c.x, self.side, self.ox);
+        let (ly, hy) = Self::raw_axis_bounds(c.y, self.side, self.oy);
+        (
+            GridCoord::new(lx.max(0) as u32, ly.max(0) as u32),
+            GridCoord::new(
+                hx.min(self.dims.cols as i64 - 1) as u32,
+                hy.min(self.dims.rows as i64 - 1) as u32,
+            ),
+        )
+    }
+
+    /// Whether `c` lies within `margin` cells of an *internal* tile boundary
+    /// (array edges need no margin: there is no neighbouring tile there).
+    pub(crate) fn in_margin(&self, c: GridCoord, margin: u32) -> bool {
+        if margin == 0 {
+            return false;
+        }
+        let m = margin as i64;
+        let (lx, hx) = Self::raw_axis_bounds(c.x, self.side, self.ox);
+        let (ly, hy) = Self::raw_axis_bounds(c.y, self.side, self.oy);
+        let x = c.x as i64;
+        let y = c.y as i64;
+        (lx > 0 && x < lx + m)
+            || (hx < self.dims.cols as i64 - 1 && x > hx - m)
+            || (ly > 0 && y < ly + m)
+            || (hy < self.dims.rows as i64 - 1 && y > hy - m)
+    }
+}

@@ -1,0 +1,181 @@
+//! Merged-window verification and serial repair.
+//!
+//! After the per-shard plans are merged the window is verified with a dense
+//! per-step occupancy scan; any violating particle (none are expected by
+//! construction — the margins make cross-shard conflicts impossible — but
+//! frozen corner cases are cheap to guard) is demoted to wait-in-place and
+//! then re-planned serially against the merged reservation table.
+
+use super::astar_soa::{position_at, window_astar, Scratch, WindowReservations};
+use super::EXPANSION_CAP;
+use crate::routing::{for_each_zone_cell, RoutingProblem};
+use labchip_units::{GridCoord, GridDims};
+
+/// Reusable dense occupancy scan for [`ConflictScan::window_conflicts`]:
+/// one `u32` occupant id and epoch stamp per grid cell, re-stamped per
+/// step instead of rebuilding a hash map (the scan runs every window, so
+/// at full-array scale the hash-map version dominated the warm path).
+#[derive(Debug, Default)]
+pub(crate) struct ConflictScan {
+    cols: usize,
+    rows: usize,
+    occupant: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl ConflictScan {
+    fn begin(&mut self, dims: GridDims) {
+        self.cols = dims.cols as usize;
+        self.rows = dims.rows as usize;
+        let cells = self.cols * self.rows;
+        if self.occupant.len() < cells {
+            self.occupant.resize(cells, 0);
+            self.stamp.resize(cells, 0);
+        }
+    }
+
+    fn bump(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// All conflicting particle pairs of a merged window
+    /// (`O(n · window · sep²)` instead of `O(n² · window)`); stops at the
+    /// first conflicting step so repair can fix it before re-verifying.
+    pub(crate) fn window_conflicts(
+        &mut self,
+        dims: GridDims,
+        trajs: &[Vec<GridCoord>],
+        window: usize,
+        sep: u32,
+    ) -> Vec<(usize, usize)> {
+        self.begin(dims);
+        let mut pairs = Vec::new();
+        for t in 1..=window {
+            self.bump();
+            for (i, traj) in trajs.iter().enumerate() {
+                let pos = position_at(traj, t);
+                let k = pos.y as usize * self.cols + pos.x as usize;
+                self.occupant[k] = i as u32;
+                self.stamp[k] = self.epoch;
+            }
+            let scan = &*self;
+            for (i, traj) in trajs.iter().enumerate() {
+                for_each_zone_cell(position_at(traj, t), sep, |c| {
+                    let (x, y) = (c.x as usize, c.y as usize);
+                    if x >= scan.cols || y >= scan.rows {
+                        return;
+                    }
+                    let k = y * scan.cols + x;
+                    if scan.stamp[k] == scan.epoch {
+                        let j = scan.occupant[k] as usize;
+                        if j > i {
+                            pairs.push((i, j));
+                        }
+                    }
+                });
+            }
+            if !pairs.is_empty() {
+                break; // repair this step first; later steps re-verify after
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+}
+
+/// Verifies a merged window; conflicting particles are demoted to
+/// wait-in-place until the window is clean, then re-planned serially
+/// against the merged reservations.
+pub(crate) fn verify_and_repair(
+    problem: &RoutingProblem,
+    positions: &[GridCoord],
+    goals: &[GridCoord],
+    trajs: &mut [Vec<GridCoord>],
+    window: usize,
+    sep: u32,
+    scan: &mut ConflictScan,
+) {
+    let mut demoted: Vec<usize> = Vec::new();
+    loop {
+        let offenders = scan.window_conflicts(problem.dims, trajs, window, sep);
+        if offenders.is_empty() {
+            break;
+        }
+        for (a, b) in offenders {
+            // Demote the particle farther from its goal (ties: higher
+            // index); the other keeps its plan. Two waiting particles
+            // can never conflict (window-start states are valid), so if
+            // the preferred victim already waits, the other one moved.
+            let preferred =
+                if (positions[a].manhattan(goals[a]), a) >= (positions[b].manhattan(goals[b]), b) {
+                    a
+                } else {
+                    b
+                };
+            let victim = if trajs[preferred].len() > 1 {
+                preferred
+            } else {
+                a + b - preferred
+            };
+            if trajs[victim].len() > 1 {
+                trajs[victim] = vec![positions[victim]];
+                demoted.push(victim);
+            }
+        }
+    }
+    if demoted.is_empty() {
+        return;
+    }
+    demoted.sort_unstable();
+    demoted.dedup();
+
+    // Re-plan the demoted particles one at a time against everyone
+    // else's merged trajectories. This is a cold path, so the sparse
+    // whole-grid reservation table is the right trade-off here.
+    let mut reservations = WindowReservations::new(window, sep);
+    for traj in trajs.iter() {
+        reservations.add_path(traj);
+    }
+    let dims = problem.dims;
+    let lo = GridCoord::new(0, 0);
+    let hi = GridCoord::new(dims.cols - 1, dims.rows - 1);
+    let mut scratch = Scratch::default();
+    for &i in &demoted {
+        reservations.remove_path(&trajs[i]);
+        let path = window_astar(
+            lo,
+            hi,
+            |_| true,
+            positions[i],
+            goals[i],
+            &reservations,
+            &mut scratch,
+            EXPANSION_CAP,
+        );
+        reservations.add_path(&path);
+        trajs[i] = path;
+    }
+    // The re-planned paths respected the reservations, but run one
+    // last wait-demotion sweep as a hard guarantee.
+    loop {
+        let offenders = scan.window_conflicts(problem.dims, trajs, window, sep);
+        if offenders.is_empty() {
+            break;
+        }
+        for (a, b) in offenders {
+            let victim = a.max(b);
+            if trajs[victim].len() > 1 {
+                trajs[victim] = vec![positions[victim]];
+            } else {
+                let other = a.min(b);
+                trajs[other] = vec![positions[other]];
+            }
+        }
+    }
+}
