@@ -15,6 +15,8 @@
 //! report journal-diff A.json B.json    # first divergence between two journals
 //! report journal-diff --demo [--seed N] [--noise X] [--side N] [--particles N] [--save PREFIX]
 //! report journal-diff --farm DIR JOB   # saved farm job vs a fresh baseline run
+//! report journal-diff --fleet [--seed N] [--side N] [--particles N] [--grid CxR]
+//!                                      # monolithic vs sharded global journal (E16)
 //! report farm demo [...]               # run a demo workload on an in-process farm
 //! report farm submit P.json [...]      # run one protocol JSON as a farm job
 //! report farm status --dir DIR JOB     # one saved job record, as JSON
@@ -494,6 +496,30 @@ fn bench_workload(out_path: &str) {
         warm / cold
     };
 
+    // The SoA tile-membership build alone: the per-window counting sort
+    // over the 320²/10k scatter (margin freezing included), isolated from
+    // the A* so the partition-build lever of the cold solve is tracked.
+    {
+        let problem = sort_problem(GridDims::square(320), 10_000, 2, 2005);
+        let positions: Vec<_> = problem
+            .requests
+            .iter()
+            .map(|request| request.start)
+            .collect();
+        let router = IncrementalRouter::new(ShardConfig::default());
+        let mut samples = Vec::with_capacity(16);
+        for _ in 0..16 {
+            let t0 = Instant::now();
+            black_box(router.partition_build_probe(GridDims::square(320), 2, &positions));
+            samples.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        entries.push((
+            "workload/partition_build/320x10000".into(),
+            samples[samples.len() / 2],
+        ));
+    }
+
     // Thread-pinned planning: the same problem under explicit rayon pools,
     // so the trajectory records a measured scaling curve (threads + speedup
     // per row) instead of whatever pool the ambient environment happened to
@@ -640,6 +666,39 @@ fn bench_workload(out_path: &str) {
         rows
     };
 
+    // Sharded-fleet benchmark: a reduced E16 sweep (the default 320²/10k
+    // sweep belongs to `report run e16`), recording wall clock and handoff
+    // traffic per shard grid plus the equivalence tripwire.
+    let fleet_rows: Vec<(String, f64, usize)> = {
+        use labchip::scenario::{Scenario, ScenarioContext};
+        let scenario = labchip_farm::FleetScenario;
+        let config = labchip_farm::fleet_scenario::Config {
+            array_side: 96,
+            particles: 200,
+            ..labchip_farm::fleet_scenario::Config::default()
+        };
+        let results = scenario.run(&config, &mut ScenarioContext::silent("E16"));
+        let mut rows = Vec::new();
+        for row in &results.grids {
+            rows.push((
+                format!("workload/fleet/wall_ms/grid/{}", row.grid),
+                row.wall_ms,
+                row.shards,
+            ));
+            rows.push((
+                format!("workload/fleet/handoffs/grid/{}", row.grid),
+                row.handoffs as f64,
+                row.shards,
+            ));
+        }
+        rows.push((
+            "workload/fleet/divergences".into(),
+            results.total_divergences as f64,
+            0,
+        ));
+        rows
+    };
+
     let available_parallelism = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -658,7 +717,7 @@ fn bench_workload(out_path: &str) {
             "    {{\"id\": \"{id}\", \"ns_per_op\": {ns:.2}, \"threads\": {threads}, \"speedup\": {speedup:.3}}},\n"
         ));
     }
-    for (id, value, workers) in &farm_rows {
+    for (id, value, workers) in farm_rows.iter().chain(&fleet_rows) {
         json.push_str(&format!(
             "    {{\"id\": \"{id}\", \"value\": {value:.3}, \"threads\": {workers}}},\n"
         ));
@@ -677,7 +736,7 @@ fn bench_workload(out_path: &str) {
 
     println!(
         "wrote {out_path} ({} entries)",
-        entries.len() + pinned.len() + farm_rows.len() + 3
+        entries.len() + pinned.len() + farm_rows.len() + fleet_rows.len() + 3
     );
     println!("warm/cold replan ratio (320x10000, 1 thread): {warm_cold_ratio:.4}");
     if let Some((_, _, _)) = pinned.last() {
@@ -690,8 +749,8 @@ fn bench_workload(out_path: &str) {
             curve.join(", ")
         );
     }
-    for (id, value, _) in &farm_rows {
-        if id.contains("jobs_per_sec") || id.ends_with("divergences") {
+    for (id, value, _) in farm_rows.iter().chain(&fleet_rows) {
+        if id.contains("jobs_per_sec") || id.contains("wall_ms") || id.ends_with("divergences") {
             println!("{id}: {value:.2}");
         }
     }
@@ -718,7 +777,10 @@ fn bench_workload(out_path: &str) {
 /// divergence point is exactly where the recovery loop first acted on a
 /// detection mismatch, the E12 debugging question the journal was built to
 /// answer. `--save PREFIX` writes both demo journals for later file-mode
-/// diffs.
+/// diffs. Fleet mode (`--fleet`) runs the canned cycle monolithic and
+/// sharded at the same seed and diffs the two *global* journals — the E16
+/// contract says they are byte-identical, so anything but "journals are
+/// identical" is a sharding bug, localised to its first event.
 fn journal_diff(args: &[String]) -> Result<(), String> {
     use labchip::workload::{BatchDriver, Protocol, RecoveryPolicy, WorkloadConfig};
     use labchip_manipulation::journal::{diff, Journal};
@@ -755,12 +817,81 @@ fn journal_diff(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
+    // Fleet mode: the same canned cycle run monolithic and sharded; the
+    // sharded run's global journal must be byte-identical (the E16
+    // equivalence contract), so this diff is expected to print
+    // "journals are identical" — CI greps for exactly that.
+    if args.first().map(String::as_str) == Some("--fleet") {
+        use labchip_manipulation::fleet::{FleetTopology, ShardedState};
+        let mut seed = 2005u64;
+        let mut side = 48u32;
+        let mut particles = 60usize;
+        let mut grid = (2u32, 1u32);
+        let mut rest = args[1..].iter();
+        while let Some(flag) = rest.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                rest.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--seed" => {
+                    seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--side" => {
+                    side = value("--side")?
+                        .parse()
+                        .map_err(|e| format!("--side: {e}"))?
+                }
+                "--particles" => {
+                    particles = value("--particles")?
+                        .parse()
+                        .map_err(|e| format!("--particles: {e}"))?;
+                }
+                "--grid" => {
+                    let raw = value("--grid")?;
+                    let (cols, rows) = raw
+                        .split_once('x')
+                        .ok_or_else(|| format!("--grid expects COLSxROWS, got `{raw}`"))?;
+                    grid = (
+                        cols.parse().map_err(|e| format!("--grid cols: {e}"))?,
+                        rows.parse().map_err(|e| format!("--grid rows: {e}"))?,
+                    );
+                }
+                other => return Err(format!("unknown journal-diff --fleet flag `{other}`")),
+            }
+        }
+        let config = WorkloadConfig {
+            array_side: side,
+            seed,
+            ..WorkloadConfig::default()
+        };
+        let dims = GridDims::square(side);
+        let sep = config.min_separation.max(1);
+        let protocol = Protocol::canned_cycle(dims, sep, particles);
+        let driver = BatchDriver::new(config);
+        let (_, monolithic) = driver.runner().run_journaled(&protocol, 0);
+        let fleet = ShardedState::new(FleetTopology::new(dims, sep, grid.0, grid.1));
+        let (_, sharded, fleet) = driver.runner().run_sharded(&protocol, 0, fleet);
+        let outcome = fleet.into_outcome();
+        println!(
+            "canned cycle, seed {seed}, {side}x{side}, {particles} particles:\n\
+             monolithic global journal vs sharded ({}x{} grid, {} handoffs) global journal\n",
+            grid.0,
+            grid.1,
+            outcome.handoffs()
+        );
+        println!("{}", diff(&monolithic, &sharded));
+        return Ok(());
+    }
+
     if args.first().map(String::as_str) != Some("--demo") {
         let [path_a, path_b] = args else {
             return Err(
                 "usage: report journal-diff A.json B.json  |  report journal-diff --demo \
                  [--seed N] [--noise X] [--side N] [--particles N] [--save PREFIX]  |  \
-                 report journal-diff --farm DIR JOB"
+                 report journal-diff --farm DIR JOB  |  report journal-diff --fleet \
+                 [--seed N] [--side N] [--particles N] [--grid CxR]"
                     .into(),
             );
         };

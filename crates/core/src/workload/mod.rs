@@ -59,7 +59,9 @@ pub mod phases;
 pub mod protocol;
 
 pub use envelope::ForceEnvelope;
-pub use phases::{AssayPhase, CtxSnapshot, PhaseCtx, PhaseError, PhaseReport, RouteTarget};
+pub use phases::{
+    AssayPhase, CtxSnapshot, PhaseCtx, PhaseError, PhaseReport, RouteTarget, StateView,
+};
 pub use protocol::{
     Checkpoint, InterruptedRun, NeverStop, PhaseSpec, Protocol, ProtocolOutcome, ProtocolRunner,
     RunControl, StopCause, StoppedRun,

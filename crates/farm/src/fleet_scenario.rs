@@ -1,0 +1,420 @@
+//! E16 — sharded chip fleets: one logical array over many shards, with
+//! cross-shard handoff and sharded-vs-monolithic equivalence.
+//!
+//! The scenario sweeps shard grids over one protocol at one seed:
+//!
+//! 1. run the **monolithic baseline** once, journaled — its event stream
+//!    and final state hash are the oracle;
+//! 2. for every shard grid: run the same protocol **sharded**
+//!    ([`ProtocolRunner::run_sharded`](labchip::workload::ProtocolRunner::run_sharded)),
+//!    measuring wall clock, handoff counts, per-shard load imbalance and
+//!    warm-start cache traffic;
+//! 3. oracles, all of which **must hold** (CI asserts zero divergences):
+//!    the sharded run's global journal is byte-identical to the
+//!    monolithic journal; the shards compose back to the monolithic
+//!    state hash; every shard journal replays to its live shard state;
+//!    the [`ShardGroup`] worker gang (one worker per shard, barrier
+//!    rendezvous at phase boundaries) reproduces every live shard hash;
+//! 4. on every multi-shard grid, one shard worker is **killed** at an
+//!    interior phase boundary and the whole group resumed from its
+//!    [`GroupCheckpoint`](crate::group::GroupCheckpoint) — the resumed
+//!    hashes must equal the uninterrupted run's.
+//!
+//! Wall-clock vs the 1-shard row measures the mirroring + per-shard
+//! planning overhead; the sweep's point is the measured equivalence at
+//! scale, not a speedup claim (the global run still executes the full
+//! algorithm).
+
+use labchip::experiments::ExperimentTable;
+use labchip::scenario::{Scenario, ScenarioContext};
+use labchip::workload::{BatchDriver, Protocol, RecoveryPolicy, WorkloadConfig};
+use labchip_manipulation::fleet::{FleetTopology, ShardedState};
+use labchip_units::{GridDims, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::group::{GroupKill, ShardGroup};
+
+/// Configuration of the sharded-fleet equivalence sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Array side (electrodes).
+    pub array_side: u32,
+    /// Particles loaded per cycle.
+    pub particles: usize,
+    /// Shard grids swept, `[cols, rows]` each; the first is the
+    /// wall-clock reference.
+    pub grids: Vec<[u32; 2]>,
+    /// Minimum cage separation (the halo margin is `sep / 2`).
+    pub min_separation: u32,
+    /// Cage-step period.
+    pub step_period: Seconds,
+    /// Sensor frames averaged per detection scan.
+    pub detection_frames: u32,
+    /// Scale applied to every sensor noise term.
+    pub noise_scale: f64,
+    /// Closed-loop recovery policy.
+    pub recovery: RecoveryPolicy,
+    /// RNG seed of the swept run.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            array_side: 320,
+            particles: 10_000,
+            grids: vec![[1, 1], [2, 1], [2, 2]],
+            min_separation: 2,
+            step_period: Seconds::new(0.4),
+            detection_frames: 2,
+            noise_scale: 8.0,
+            recovery: RecoveryPolicy::date05_reference(),
+            seed: 1606,
+        }
+    }
+}
+
+/// One shard-grid sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridRow {
+    /// Shard grid, rendered `colsxrows`.
+    pub grid: String,
+    /// Shards in the fleet.
+    pub shards: usize,
+    /// Sharded-run wall clock, milliseconds.
+    pub wall_ms: f64,
+    /// Wall-clock ratio of the sweep's first grid to this one.
+    pub speedup: f64,
+    /// Cross-shard handoffs (export halves).
+    pub handoffs: u64,
+    /// Handoff import halves landed.
+    pub imports: u64,
+    /// Phase-boundary barriers the fleet rendezvoused at.
+    pub barriers: u64,
+    /// Per-shard local routing windows solved.
+    pub local_solves: u64,
+    /// Local windows skipped (no goal in shard, or degenerate geometry).
+    pub local_skips: u64,
+    /// Warm-start cache hits summed over shards.
+    pub cache_hits: u64,
+    /// Warm-start cache misses summed over shards.
+    pub cache_misses: u64,
+    /// Per-shard journal lengths — the distributed work.
+    pub journal_events: Vec<usize>,
+    /// Final per-shard populations.
+    pub populations: Vec<usize>,
+    /// Load imbalance: max over mean of the per-shard journal lengths
+    /// (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Whether the global journal missed byte-identity with the
+    /// monolithic baseline.
+    pub journal_divergence: bool,
+    /// Whether the composed fleet missed the baseline state hash.
+    pub compose_divergence: bool,
+    /// Shards whose journal replay missed their live state hash.
+    pub shard_replay_divergences: usize,
+    /// Group-run replica shards that missed their live state hash.
+    pub group_divergences: usize,
+    /// Kill-one-worker group recovery: `None` on single-shard grids,
+    /// otherwise whether the resumed group matched the uninterrupted
+    /// hashes.
+    pub kill_recovered: Option<bool>,
+    /// Total divergences of this row — must be zero.
+    pub divergences: usize,
+}
+
+/// Result of the sharded-fleet equivalence sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Results {
+    /// Monolithic-baseline final state hash.
+    pub baseline_hash: String,
+    /// Monolithic-baseline journal length.
+    pub baseline_events: usize,
+    /// Monolithic-baseline wall clock, milliseconds.
+    pub baseline_wall_ms: f64,
+    /// One row per swept shard grid.
+    pub grids: Vec<GridRow>,
+    /// Divergences summed over the sweep — must be zero.
+    pub total_divergences: usize,
+}
+
+impl Results {
+    /// Renders the sweep as a report table.
+    pub fn to_table(&self) -> ExperimentTable {
+        let mut rows: Vec<Vec<String>> = self
+            .grids
+            .iter()
+            .map(|row| {
+                vec![
+                    row.grid.clone(),
+                    format!("{:.0}", row.wall_ms),
+                    format!("{:.2}", row.speedup),
+                    row.handoffs.to_string(),
+                    format!("{:.2}", row.imbalance),
+                    row.divergences.to_string(),
+                    format!(
+                        "{} barriers, {} local solves ({} skips), cache {}/{} hit/miss{}",
+                        row.barriers,
+                        row.local_solves,
+                        row.local_skips,
+                        row.cache_hits,
+                        row.cache_misses,
+                        match row.kill_recovered {
+                            Some(true) => ", kill+resume ok",
+                            Some(false) => ", kill+resume DIVERGED",
+                            None => "",
+                        }
+                    ),
+                ]
+            })
+            .collect();
+        rows.push(vec![
+            "-".into(),
+            format!("{:.0}", self.baseline_wall_ms),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            self.total_divergences.to_string(),
+            format!(
+                "monolithic baseline {} ({} events)",
+                self.baseline_hash, self.baseline_events
+            ),
+        ]);
+        ExperimentTable::new(
+            "E16",
+            "Sharded chip fleets: cross-shard handoff and sharded-vs-monolithic equivalence",
+            vec![
+                "grid".into(),
+                "wall ms".into(),
+                "speedup".into(),
+                "handoffs".into(),
+                "imbalance".into(),
+                "divergences".into(),
+                "detail".into(),
+            ],
+            rows,
+        )
+    }
+}
+
+impl From<Results> for ExperimentTable {
+    fn from(results: Results) -> Self {
+        results.to_table()
+    }
+}
+
+fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
+    let workload = WorkloadConfig {
+        array_side: config.array_side,
+        min_separation: config.min_separation,
+        step_period: config.step_period,
+        detection_frames: config.detection_frames,
+        noise_scale: config.noise_scale,
+        recovery: config.recovery,
+        seed: config.seed,
+        ..WorkloadConfig::default()
+    };
+    let dims = GridDims::square(workload.array_side);
+    let sep = workload.min_separation.max(1);
+    let protocol = Protocol::canned_cycle(dims, sep, config.particles);
+    let driver = BatchDriver::new(workload);
+
+    let started = std::time::Instant::now();
+    let (baseline, baseline_journal) = driver.runner().run_journaled(&protocol, 0);
+    let baseline_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let baseline_hash = baseline.state.state_hash();
+    ctx.emit_row(format!(
+        "monolithic baseline: {:#018x}, {} events, {:.0} ms",
+        baseline_hash,
+        baseline_journal.len(),
+        baseline_wall_ms
+    ));
+
+    let mut rows: Vec<GridRow> = Vec::new();
+    let mut total_divergences = 0usize;
+    for (index, &[cols, rows_]) in config.grids.iter().enumerate() {
+        let topology = FleetTopology::new(dims, sep, cols, rows_);
+        let shards = topology.shard_count();
+        let started = std::time::Instant::now();
+        let (outcome, journal, fleet) =
+            driver
+                .runner()
+                .run_sharded(&protocol, 0, ShardedState::new(topology));
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let journal_divergence = journal.events() != baseline_journal.events()
+            || outcome.state.state_hash() != baseline_hash;
+        let group = ShardGroup::from_outcome(fleet.into_outcome(), outcome.state.state_hash());
+        let compose_divergence = group.fleet().compose().state_hash() != baseline_hash;
+        let shard_replay_divergences = group.fleet().replay_divergences();
+        let expected = group.expected_hashes();
+        let group_run = group.run();
+        let group_divergences = group_run
+            .state_hashes()
+            .iter()
+            .zip(&expected)
+            .filter(|(replica, live)| replica != live)
+            .count();
+        // Kill one shard worker (rotating which, so the sweep covers
+        // different shards) at an interior boundary and resume the group.
+        let kill_recovered = (shards > 1 && group.segment_count() > 1).then(|| {
+            let kill = GroupKill {
+                shard: index % shards,
+                boundary: (group.segment_count() / 2).clamp(1, group.segment_count() - 1),
+            };
+            let (_stopped, checkpoint) = group.run_killed(kill);
+            group.resume(&checkpoint).state_hashes() == expected
+        });
+
+        let stats = group.stats();
+        let journal_events = group.journal_lengths();
+        let mean = journal_events.iter().sum::<usize>() as f64 / journal_events.len() as f64;
+        let imbalance = if mean > 0.0 {
+            journal_events.iter().copied().max().unwrap_or(0) as f64 / mean
+        } else {
+            1.0
+        };
+        let (cache_hits, cache_misses) = group
+            .cache_stats()
+            .iter()
+            .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
+        let divergences = usize::from(journal_divergence)
+            + usize::from(compose_divergence)
+            + shard_replay_divergences
+            + group_divergences
+            + usize::from(kill_recovered == Some(false));
+        total_divergences += divergences;
+        let row = GridRow {
+            grid: format!("{cols}x{rows_}"),
+            shards,
+            wall_ms,
+            speedup: rows.first().map_or(1.0, |first: &GridRow| {
+                if wall_ms > 0.0 {
+                    first.wall_ms / wall_ms
+                } else {
+                    1.0
+                }
+            }),
+            handoffs: stats.exports,
+            imports: stats.imports,
+            barriers: stats.barriers,
+            local_solves: stats.local_solves,
+            local_skips: stats.local_skips,
+            cache_hits,
+            cache_misses,
+            populations: group
+                .fleet()
+                .states
+                .iter()
+                .map(|s| s.particle_count())
+                .collect(),
+            journal_events,
+            imbalance,
+            journal_divergence,
+            compose_divergence,
+            shard_replay_divergences,
+            group_divergences,
+            kill_recovered,
+            divergences,
+        };
+        ctx.emit_row(format!(
+            "{}: {:.0} ms (x{:.2}), {} handoffs, imbalance {:.2}, {} divergences{}",
+            row.grid,
+            row.wall_ms,
+            row.speedup,
+            row.handoffs,
+            row.imbalance,
+            row.divergences,
+            match row.kill_recovered {
+                Some(true) => ", kill+resume ok",
+                Some(false) => ", kill+resume DIVERGED",
+                None => "",
+            }
+        ));
+        rows.push(row);
+    }
+
+    Results {
+        baseline_hash: format!("{baseline_hash:#018x}"),
+        baseline_events: baseline_journal.len(),
+        baseline_wall_ms,
+        grids: rows,
+        total_divergences,
+    }
+}
+
+/// The sharded-fleet equivalence sweep as a first-class engine scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetScenario;
+
+impl Scenario for FleetScenario {
+    type Config = Config;
+    type Output = Results;
+
+    fn id(&self) -> &'static str {
+        "E16"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Sharded chip fleets: cross-shard handoff and sharded-vs-monolithic equivalence"
+    }
+
+    fn run(&self, config: &Config, ctx: &mut ScenarioContext) -> Results {
+        run_with(config, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> Config {
+        Config {
+            array_side: 32,
+            particles: 24,
+            grids: vec![[1, 1], [2, 1], [2, 2]],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn fleet_sweep_is_equivalent_and_hands_off() {
+        let config = quick_config();
+        let results = run_with(&config, &mut ScenarioContext::silent("E16"));
+        assert_eq!(results.total_divergences, 0, "{results:?}");
+        assert_eq!(results.grids.len(), 3);
+        assert_eq!(results.grids[0].shards, 1);
+        assert_eq!(results.grids[0].handoffs, 0);
+        assert!(results.grids[0].kill_recovered.is_none());
+        for row in &results.grids[1..] {
+            assert!(row.handoffs > 0, "{row:?}");
+            assert_eq!(row.imports, row.handoffs);
+            assert_eq!(row.kill_recovered, Some(true), "{row:?}");
+            assert!(row.barriers > 0);
+            assert!(row.imbalance >= 1.0);
+            assert_eq!(row.journal_events.len(), row.shards);
+            assert_eq!(
+                row.populations.iter().sum::<usize>(),
+                results.grids[0].populations[0],
+                "sharding never loses a particle"
+            );
+        }
+    }
+
+    #[test]
+    fn results_render_as_a_table_and_round_trip() {
+        let config = Config {
+            array_side: 24,
+            particles: 10,
+            grids: vec![[1, 1], [2, 1]],
+            ..Config::default()
+        };
+        let results = run_with(&config, &mut ScenarioContext::silent("E16"));
+        let table = results.to_table();
+        assert_eq!(table.id, "E16");
+        assert_eq!(table.rows.len(), results.grids.len() + 1);
+        let json = serde_json::to_string(&results);
+        let back: Results = serde_json::from_str(&json).expect("results round trip");
+        assert_eq!(back, results);
+    }
+}

@@ -24,18 +24,28 @@
 //!   `history`);
 //! * [`history`] — on-disk persistence of job records and journals for
 //!   offline inspection and `report journal-diff`;
+//! * [`group`] — a sharded chip as a job *group*: one worker per shard
+//!   folding its shard's journal segments, barrier rendezvous at phase
+//!   boundaries, and whole-group checkpoint/resume (kill any shard
+//!   worker → the group resumes bit-identically);
 //! * [`scenario`] — experiment E15 (`e15_farm`): fleet-throughput and
-//!   recovery benchmarking of the farm, plus [`full_registry`] — the
-//!   complete E1..E15 scenario registry (core's registry stays E1..E14
-//!   because this crate sits above it in the dependency order).
+//!   recovery benchmarking of the farm; and [`fleet_scenario`] —
+//!   experiment E16 (`e16_fleet`): sharded-vs-monolithic equivalence
+//!   sweeps; plus [`full_registry`] — the complete E1..E16 scenario
+//!   registry (core's registry stays E1..E14 because this crate sits
+//!   above it in the dependency order).
 
 pub mod farm;
+pub mod fleet_scenario;
+pub mod group;
 pub mod history;
 pub mod job;
 pub mod queue;
 pub mod scenario;
 
 pub use farm::{Farm, FarmConfig};
+pub use fleet_scenario::FleetScenario;
+pub use group::{GroupCheckpoint, GroupKill, GroupOutcome, ShardGroup};
 pub use history::HistoryStore;
 pub use job::{HistoryFilter, JobId, JobRecord, JobSpec, JobStatus, SubmitError};
 pub use queue::{QueueFull, TenantQueue};

@@ -37,16 +37,17 @@ use serde::{Deserialize, Serialize};
 use crate::farm::{Farm, FarmConfig};
 use crate::job::{HistoryFilter, JobId, JobSpec, JobStatus, SubmitError};
 
-/// The complete scenario registry, E1 through E15.
+/// The complete scenario registry, E1 through E16.
 ///
 /// Core's [`ScenarioRegistry::all`] stops at E14 because the farm crate
 /// sits *above* `labchip` in the dependency order — E15 exercises the
-/// farm service, so it registers here. Binaries and tests that want every
-/// scenario (the `report` CLI, the smoke suites) call this instead of
-/// `ScenarioRegistry::all()`.
+/// farm service and E16 the sharded fleet, so they register here.
+/// Binaries and tests that want every scenario (the `report` CLI, the
+/// smoke suites) call this instead of `ScenarioRegistry::all()`.
 pub fn full_registry() -> ScenarioRegistry {
     let mut registry = ScenarioRegistry::all();
     registry.register(FarmScenario);
+    registry.register(crate::fleet_scenario::FleetScenario);
     registry
 }
 
@@ -541,11 +542,12 @@ mod tests {
     }
 
     #[test]
-    fn full_registry_extends_core_with_e15() {
+    fn full_registry_extends_core_with_e15_and_e16() {
         let registry = full_registry();
-        assert_eq!(registry.len(), ScenarioRegistry::all().len() + 1);
+        assert_eq!(registry.len(), ScenarioRegistry::all().len() + 2);
         assert!(registry.get("E15").is_some());
-        assert!(registry.get("e15").is_some(), "lookup is case-insensitive");
+        assert!(registry.get("E16").is_some());
+        assert!(registry.get("e16").is_some(), "lookup is case-insensitive");
     }
 
     #[test]

@@ -53,13 +53,13 @@ fn max_scenario_token(text: &str) -> Option<u32> {
 }
 
 #[test]
-fn full_registry_is_core_plus_the_farm_scenario_with_contiguous_ids() {
+fn full_registry_is_core_plus_the_farm_scenarios_with_contiguous_ids() {
     let core = ScenarioRegistry::all();
     let full = full_registry();
     assert_eq!(
         full.len(),
-        core.len() + 1,
-        "the farm crate adds exactly E15"
+        core.len() + 2,
+        "the farm crate adds exactly E15 and E16"
     );
 
     // Ids are contiguous E1..E<n> in registration order, and id_range()

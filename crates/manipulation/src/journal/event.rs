@@ -70,6 +70,30 @@ pub enum Event {
         /// How much time.
         seconds: Seconds,
     },
+    /// A particle left this shard across a fleet boundary (cross-shard
+    /// handoff, export half). Recorded only in per-shard journals; on
+    /// replay it behaves exactly like [`Removed`](Event::Removed),
+    /// including the origin cross-check.
+    HandoffExported {
+        /// The particle.
+        id: ParticleId,
+        /// The cage it occupied in this shard when exported.
+        from: GridCoord,
+        /// Index of the destination shard in the fleet topology.
+        to_shard: usize,
+    },
+    /// A particle arrived in this shard across a fleet boundary
+    /// (cross-shard handoff, import half). Recorded only in per-shard
+    /// journals; on replay it behaves exactly like
+    /// [`Placed`](Event::Placed).
+    HandoffImported {
+        /// The particle.
+        id: ParticleId,
+        /// The cage it was trapped in on arrival.
+        at: GridCoord,
+        /// Index of the source shard in the fleet topology.
+        from_shard: usize,
+    },
 }
 
 impl Event {
@@ -93,7 +117,18 @@ impl Event {
             Event::PlacedMerged { .. } => "placed_merged",
             Event::PlanReplaced { .. } => "plan_replaced",
             Event::Charged { .. } => "charged",
+            Event::HandoffExported { .. } => "handoff_exported",
+            Event::HandoffImported { .. } => "handoff_imported",
         }
+    }
+
+    /// `true` for the cross-shard handoff pair — the events that only a
+    /// fleet shard journal can contain.
+    pub fn is_handoff(&self) -> bool {
+        matches!(
+            self,
+            Event::HandoffExported { .. } | Event::HandoffImported { .. }
+        )
     }
 }
 
@@ -111,6 +146,12 @@ impl fmt::Display for Event {
             Event::PlanReplaced { goals } => write!(f, "plan replaced ({} goals)", goals.len()),
             Event::Charged { ledger, seconds } => {
                 write!(f, "charge {ledger:?} {:.6} s", seconds.get())
+            }
+            Event::HandoffExported { id, from, to_shard } => {
+                write!(f, "handoff #{} out of {from} to shard {to_shard}", id.0)
+            }
+            Event::HandoffImported { id, at, from_shard } => {
+                write!(f, "handoff #{} into {at} from shard {from_shard}", id.0)
             }
         }
     }
@@ -143,6 +184,21 @@ mod tests {
             seconds: Seconds::new(1.0)
         }
         .is_marker());
+        let exported = Event::HandoffExported {
+            id: ParticleId(1),
+            from: GridCoord::new(2, 3),
+            to_shard: 1,
+        };
+        let imported = Event::HandoffImported {
+            id: ParticleId(1),
+            at: GridCoord::new(0, 3),
+            from_shard: 0,
+        };
+        assert!(!exported.is_marker() && !imported.is_marker());
+        assert!(exported.is_handoff() && imported.is_handoff());
+        assert!(!Event::PhaseFinished { index: 0 }.is_handoff());
+        assert_eq!(exported.kind(), "handoff_exported");
+        assert_eq!(imported.kind(), "handoff_imported");
     }
 
     #[test]
@@ -170,6 +226,16 @@ mod tests {
             Event::Charged {
                 ledger: TimeLedger::Recovery,
                 seconds: Seconds::new(0.125),
+            },
+            Event::HandoffExported {
+                id: ParticleId(5),
+                from: GridCoord::new(9, 2),
+                to_shard: 1,
+            },
+            Event::HandoffImported {
+                id: ParticleId(5),
+                at: GridCoord::new(0, 2),
+                from_shard: 0,
             },
             Event::PhaseAborted {
                 index: 2,

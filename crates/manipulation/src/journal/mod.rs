@@ -37,4 +37,4 @@ mod replay;
 pub use diff::{diff, DivergencePoint, JournalDiff};
 pub use event::Event;
 pub use log::{FaultPlan, Journal};
-pub use replay::{replay, ReplayError};
+pub use replay::{apply_event, replay, ReplayError};

@@ -83,33 +83,47 @@ pub fn replay(
 ) -> Result<ChipState, ReplayError> {
     let mut state = ChipState::with_separation(dims, min_separation);
     for (index, event) in journal.events().iter().enumerate() {
-        match event {
-            Event::PhaseStarted { .. }
-            | Event::PhaseFinished { .. }
-            | Event::PhaseAborted { .. } => {}
-            Event::Placed { id, at } => {
-                state
-                    .place(*id, *at)
-                    .map_err(|source| ReplayError::Apply { index, source })?;
-            }
-            Event::Removed { id, from } => {
-                let actual = state
-                    .remove(*id)
-                    .map_err(|source| ReplayError::Apply { index, source })?;
-                if actual != *from {
-                    return Err(ReplayError::RemovedMismatch {
-                        index,
-                        expected: *from,
-                        actual,
-                    });
-                }
-            }
-            Event::PlacedMerged { id, at } => state.place_merged(*id, *at),
-            Event::PlanReplaced { goals } => state.set_plan_from_goals(goals.iter().copied()),
-            Event::Charged { ledger, seconds } => state.charge(*ledger, *seconds),
-        }
+        apply_event(&mut state, event, index)?;
     }
     Ok(state)
+}
+
+/// Applies one journal event to a state under reconstruction — the single
+/// fold step [`replay`] iterates. Exposed so incremental consumers (the
+/// fleet shard-group workers, which fold per-phase event segments between
+/// rendezvous barriers) share the exact replay semantics: markers are
+/// skipped, removals and handoff exports cross-check their recorded
+/// origin, and handoff import/export behave as place/remove.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] tagged with `index` if the event cannot be
+/// applied to `state`.
+pub fn apply_event(state: &mut ChipState, event: &Event, index: usize) -> Result<(), ReplayError> {
+    match event {
+        Event::PhaseStarted { .. } | Event::PhaseFinished { .. } | Event::PhaseAborted { .. } => {}
+        Event::Placed { id, at } | Event::HandoffImported { id, at, .. } => {
+            state
+                .place(*id, *at)
+                .map_err(|source| ReplayError::Apply { index, source })?;
+        }
+        Event::Removed { id, from } | Event::HandoffExported { id, from, .. } => {
+            let actual = state
+                .remove(*id)
+                .map_err(|source| ReplayError::Apply { index, source })?;
+            if actual != *from {
+                return Err(ReplayError::RemovedMismatch {
+                    index,
+                    expected: *from,
+                    actual,
+                });
+            }
+        }
+        Event::PlacedMerged { id, at } => state.place_merged(*id, *at),
+        Event::PlanReplaced { goals } => state.set_plan_from_goals(goals.iter().copied()),
+        Event::Charged { ledger, seconds } => state.charge(*ledger, *seconds),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -205,5 +219,46 @@ mod tests {
         });
         let state = replay(&journal, dims, 1).unwrap();
         assert_eq!(state.particle_count(), 1);
+    }
+
+    #[test]
+    fn handoff_events_replay_as_remove_and_place() {
+        let dims = GridDims::square(8);
+        let mut journal = Journal::new();
+        journal.record(Event::Placed {
+            id: ParticleId(4),
+            at: GridCoord::new(6, 3),
+        });
+        journal.record(Event::HandoffExported {
+            id: ParticleId(4),
+            from: GridCoord::new(6, 3),
+            to_shard: 1,
+        });
+        journal.record(Event::HandoffImported {
+            id: ParticleId(4),
+            at: GridCoord::new(1, 3),
+            from_shard: 0,
+        });
+        let state = replay(&journal, dims, 1).unwrap();
+        assert_eq!(state.particle_count(), 1);
+        assert_eq!(
+            state.grid().position(ParticleId(4)).unwrap(),
+            GridCoord::new(1, 3)
+        );
+
+        // An export whose recorded origin disagrees with the grid is a
+        // divergence, exactly like a plain removal.
+        let mut journal = Journal::new();
+        journal.record(Event::Placed {
+            id: ParticleId(4),
+            at: GridCoord::new(6, 3),
+        });
+        journal.record(Event::HandoffExported {
+            id: ParticleId(4),
+            from: GridCoord::new(5, 3),
+            to_shard: 1,
+        });
+        let err = replay(&journal, dims, 1).unwrap_err();
+        assert!(matches!(err, ReplayError::RemovedMismatch { index: 1, .. }));
     }
 }

@@ -19,6 +19,9 @@
 //! * the event-sourced [`journal`]: every state mutation recorded as a
 //!   typed event at the `ChipState` choke points, with bit-identical
 //!   replay, journal diffing and seeded fault injection,
+//! * the sharded [`fleet`]: one logical array decomposed over many
+//!   `ChipState`s with halo margins and a typed cross-shard handoff
+//!   event family, composing back to the monolithic state bit-for-bit,
 //! * conflict-free multi-particle [`routing`] (space–time A* with reservation
 //!   tables, plus a greedy baseline),
 //! * the incremental [`sharding`] planner that scales routing to the full
@@ -53,6 +56,7 @@
 
 pub mod cage;
 pub mod error;
+pub mod fleet;
 pub mod journal;
 pub mod metrics;
 pub mod ops;
@@ -65,6 +69,7 @@ pub mod state;
 pub mod prelude {
     pub use crate::cage::{CageGrid, ParticleId};
     pub use crate::error::ManipulationError;
+    pub use crate::fleet::{FleetOutcome, FleetStats, FleetTopology, ShardedState};
     pub use crate::journal::{Event, FaultPlan, Journal};
     pub use crate::metrics::{SustainedThroughput, ThroughputReport};
     pub use crate::ops::Manipulator;

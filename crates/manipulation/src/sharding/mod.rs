@@ -59,7 +59,7 @@ use crate::routing::{ParticlePath, RoutingOutcome, RoutingProblem};
 use astar_soa::{position_at, window_astar, Arena, ArenaPool, DenseZone};
 use cache::shard_key;
 use labchip_units::GridCoord;
-use partition::{stagger_phases, Partition};
+use partition::{stagger_phases, Partition, TileMembership};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use verify::{verify_and_repair, ConflictScan};
@@ -147,6 +147,31 @@ impl IncrementalRouter {
         Ok(self.plan(problem, Some(cache)))
     }
 
+    /// Benchmark probe for the per-window partition build: classifies
+    /// `positions` against a fresh staggered partition (margin
+    /// freezing included) and builds the structure-of-arrays tile
+    /// membership exactly as one planning window does. Returns
+    /// `(occupied_tiles, mobile_particles)` so the work is observable.
+    pub fn partition_build_probe(
+        &self,
+        dims: labchip_units::GridDims,
+        min_separation: u32,
+        positions: &[GridCoord],
+    ) -> (usize, usize) {
+        let sep = min_separation.max(1);
+        let margin = sep / 2;
+        let side = self.effective_side(min_separation);
+        let part = Partition::new(dims, side, 0, 0);
+        let frozen: Vec<bool> = positions
+            .iter()
+            .map(|pos| part.in_margin(*pos, margin))
+            .collect();
+        let mut membership = TileMembership::build(&part, positions, &frozen);
+        membership.sort_each_tile_by_key(|i| i);
+        let mobile = frozen.iter().filter(|f| !**f).count();
+        (membership.occupied_tiles(), mobile)
+    }
+
     fn plan(
         &self,
         problem: &RoutingProblem,
@@ -200,18 +225,14 @@ impl IncrementalRouter {
                     frozen_zone.add(*pos, sep);
                 }
             }
-            let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); part.tile_count()];
-            for (i, pos) in positions.iter().enumerate() {
-                if !frozen[i] {
-                    by_shard[part.tile_of(*pos)].push(i);
-                }
-            }
+            let mut membership = TileMembership::build(&part, &positions, &frozen);
 
             // Front-runners first: particles closest to their goals plan
             // first so convoys flow instead of blocking on their leaders.
-            for shard in &mut by_shard {
-                shard.sort_by_key(|&i| (positions[i].manhattan(goals[i]), i));
-            }
+            membership.sort_each_tile_by_key(|i| {
+                let i = i as usize;
+                (positions[i].manhattan(goals[i]), i)
+            });
 
             // Cache lookup: a shard whose full planning input hashes to a
             // stored key replays its paths; the rest plan fresh below.
@@ -238,7 +259,8 @@ impl IncrementalRouter {
                     }
                     // Stable by tile: particle order within a tile is kept.
                     frozen_touch.sort_by_key(|&(tile, _)| tile);
-                    for (tile, indices) in by_shard.iter().enumerate() {
+                    for tile in 0..part.tile_count() {
+                        let indices = membership.members(tile);
                         if indices.is_empty() {
                             continue;
                         }
@@ -252,7 +274,9 @@ impl IncrementalRouter {
                             tile,
                             sep,
                             window,
-                            indices.iter().map(|&i| (positions[i], goals[i])),
+                            indices
+                                .iter()
+                                .map(|&i| (positions[i as usize], goals[i as usize])),
                             &frozen_touch[lo_idx..hi_idx],
                         );
                         keys[tile] = key;
@@ -260,8 +284,8 @@ impl IncrementalRouter {
                     }
                 }
                 None => {
-                    for (tile, indices) in by_shard.iter().enumerate() {
-                        needs_plan[tile] = !indices.is_empty();
+                    for (tile, needs) in needs_plan.iter_mut().enumerate() {
+                        *needs = !membership.members(tile).is_empty();
                     }
                 }
             }
@@ -272,7 +296,7 @@ impl IncrementalRouter {
             let positions_ref = &positions;
             let goals_ref = &goals;
             let frozen_ref = &frozen_zone;
-            let by_shard_ref = &by_shard;
+            let membership_ref = &membership;
             let needs_ref = &needs_plan;
             let pool_ref = &pool;
             shard_paths
@@ -282,8 +306,8 @@ impl IncrementalRouter {
                     if !needs_ref[tile] {
                         return;
                     }
-                    let indices = &by_shard_ref[tile];
-                    let (lo, hi) = part.tile_bounds(positions_ref[indices[0]]);
+                    let indices = membership_ref.members(tile);
+                    let (lo, hi) = part.tile_bounds(positions_ref[indices[0] as usize]);
                     let mut arena = pool_ref.checkout();
                     let Arena {
                         scratch,
@@ -293,9 +317,10 @@ impl IncrementalRouter {
                     reservations.begin(window, sep, lo, hi);
                     parked.begin(lo, hi);
                     for &i in indices {
-                        parked.add(positions_ref[i], sep);
+                        parked.add(positions_ref[i as usize], sep);
                     }
                     for &i in indices {
+                        let i = i as usize;
                         parked.remove(positions_ref[i], sep);
                         let parked_view = &*parked;
                         let path = window_astar(
@@ -321,8 +346,8 @@ impl IncrementalRouter {
 
             // Store the freshly planned shards under their content keys.
             if let Some(cache_ref) = cache.as_deref_mut() {
-                for (tile, indices) in by_shard.iter().enumerate() {
-                    if !indices.is_empty() && needs_plan[tile] {
+                for tile in 0..part.tile_count() {
+                    if !membership.members(tile).is_empty() && needs_plan[tile] {
                         cache_ref.insert(keys[tile], ox, oy, tile, &shard_paths[tile]);
                     }
                 }
@@ -330,9 +355,9 @@ impl IncrementalRouter {
 
             // Merge into one trajectory per particle (frozen: wait).
             let mut trajs: Vec<Vec<GridCoord>> = positions.iter().map(|p| vec![*p]).collect();
-            for (tile, indices) in by_shard.iter().enumerate() {
-                for (k, &i) in indices.iter().enumerate() {
-                    trajs[i] = shard_paths[tile][k].clone();
+            for (tile, paths) in shard_paths.iter().enumerate() {
+                for (k, &i) in membership.members(tile).iter().enumerate() {
+                    trajs[i as usize] = paths[k].clone();
                 }
             }
 

@@ -114,3 +114,123 @@ impl Partition {
             || (hy < self.dims.rows as i64 - 1 && y > hy - m)
     }
 }
+
+/// Structure-of-arrays tile membership: which particle indices plan in
+/// which tile this window.
+///
+/// Replaces the per-window `Vec<Vec<usize>>` nested build with two flat
+/// arrays — `starts` (prefix offsets, `tile_count + 1` long) into
+/// `members` (particle indices grouped by tile) — built by a two-pass
+/// counting sort. One allocation pair per window instead of one `Vec`
+/// per tile, contiguous per-tile slices for the planner's hot loops, and
+/// the same deterministic within-tile order (ascending particle index)
+/// the nested build produced.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TileMembership {
+    starts: Vec<u32>,
+    members: Vec<u32>,
+}
+
+impl TileMembership {
+    /// Counting-sort build: count per tile, prefix-sum, place. Frozen
+    /// particles are left out, exactly like the nested build skipped
+    /// them.
+    pub(crate) fn build(part: &Partition, positions: &[GridCoord], frozen: &[bool]) -> Self {
+        let tiles = part.tile_count();
+        let mut starts = vec![0u32; tiles + 1];
+        for (i, pos) in positions.iter().enumerate() {
+            if !frozen[i] {
+                starts[part.tile_of(*pos) + 1] += 1;
+            }
+        }
+        for tile in 0..tiles {
+            starts[tile + 1] += starts[tile];
+        }
+        let mut members = vec![0u32; starts[tiles] as usize];
+        let mut cursor = starts.clone();
+        for (i, pos) in positions.iter().enumerate() {
+            if !frozen[i] {
+                let tile = part.tile_of(*pos);
+                members[cursor[tile] as usize] = i as u32;
+                cursor[tile] += 1;
+            }
+        }
+        Self { starts, members }
+    }
+
+    /// Number of tiles (occupied or not).
+    pub(crate) fn tile_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The particle indices planning in `tile`, in build order.
+    pub(crate) fn members(&self, tile: usize) -> &[u32] {
+        &self.members[self.starts[tile] as usize..self.starts[tile + 1] as usize]
+    }
+
+    /// Sorts every tile's members by `key` — the planner's
+    /// front-runners-first ordering, applied per contiguous slice.
+    pub(crate) fn sort_each_tile_by_key<K: Ord>(&mut self, mut key: impl FnMut(u32) -> K) {
+        for tile in 0..self.tile_count() {
+            let (lo, hi) = (self.starts[tile] as usize, self.starts[tile + 1] as usize);
+            self.members[lo..hi].sort_by_key(|&i| key(i));
+        }
+    }
+
+    /// Tiles with at least one member.
+    pub(crate) fn occupied_tiles(&self) -> usize {
+        (0..self.tile_count())
+            .filter(|&tile| self.starts[tile] != self.starts[tile + 1])
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sort_matches_the_nested_build() {
+        let dims = GridDims::new(40, 40);
+        let part = Partition::new(dims, 8, 4, 0);
+        // A deterministic scatter, some frozen.
+        let positions: Vec<GridCoord> = (0..60)
+            .map(|i| GridCoord::new((i * 7) % 40, (i * 13) % 40))
+            .collect();
+        let frozen: Vec<bool> = (0..60).map(|i| i % 5 == 0).collect();
+
+        let mut nested: Vec<Vec<u32>> = vec![Vec::new(); part.tile_count()];
+        for (i, pos) in positions.iter().enumerate() {
+            if !frozen[i] {
+                nested[part.tile_of(*pos)].push(i as u32);
+            }
+        }
+        let soa = TileMembership::build(&part, &positions, &frozen);
+        assert_eq!(soa.tile_count(), part.tile_count());
+        for (tile, expected) in nested.iter().enumerate() {
+            assert_eq!(soa.members(tile), expected.as_slice(), "tile {tile}");
+        }
+        assert_eq!(
+            soa.occupied_tiles(),
+            nested.iter().filter(|members| !members.is_empty()).count()
+        );
+    }
+
+    #[test]
+    fn per_tile_sort_orders_within_tiles_only() {
+        let dims = GridDims::new(16, 16);
+        let part = Partition::new(dims, 8, 0, 0);
+        let positions = vec![
+            GridCoord::new(1, 1),
+            GridCoord::new(2, 2),
+            GridCoord::new(9, 9),
+            GridCoord::new(10, 10),
+        ];
+        let mut soa = TileMembership::build(&part, &positions, &[false; 4]);
+        // Reverse-index keys flip the order inside each tile but never
+        // move a member across tiles.
+        soa.sort_each_tile_by_key(std::cmp::Reverse);
+        assert_eq!(soa.members(part.tile_of(positions[0])), &[1, 0]);
+        assert_eq!(soa.members(part.tile_of(positions[2])), &[3, 2]);
+    }
+}

@@ -276,6 +276,51 @@ impl ChipState {
         self.record(Event::PlacedMerged { id, at });
     }
 
+    /// Removes a particle that is crossing a fleet-shard boundary — the
+    /// journaled choke point for the export half of a cross-shard handoff.
+    /// Grid-wise this is exactly [`remove`](Self::remove); the journal
+    /// records an [`Event::HandoffExported`] tagged with the destination
+    /// shard instead of a plain removal, so a shard journal reads as a
+    /// handoff trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManipulationError::UnknownParticle`] if the particle is
+    /// not on the grid; nothing is mutated or recorded.
+    pub fn export_particle(
+        &mut self,
+        id: ParticleId,
+        to_shard: usize,
+    ) -> Result<GridCoord, ManipulationError> {
+        let from = self.grid.remove(id)?;
+        self.invalidate();
+        self.mark_dirty(from);
+        self.record(Event::HandoffExported { id, from, to_shard });
+        Ok(from)
+    }
+
+    /// Places a particle that arrived across a fleet-shard boundary — the
+    /// journaled choke point for the import half of a cross-shard handoff.
+    /// Grid-wise this is exactly [`place`](Self::place); the journal
+    /// records an [`Event::HandoffImported`] tagged with the source shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CageGrid::place`] rejections; a rejected import
+    /// mutates nothing and records nothing.
+    pub fn import_particle(
+        &mut self,
+        id: ParticleId,
+        at: GridCoord,
+        from_shard: usize,
+    ) -> Result<(), ManipulationError> {
+        self.grid.place(id, at)?;
+        self.invalidate();
+        self.mark_dirty(at);
+        self.record(Event::HandoffImported { id, at, from_shard });
+        Ok(())
+    }
+
     /// Number of particles on the grid.
     pub fn particle_count(&self) -> usize {
         self.grid.particle_count()
@@ -597,6 +642,29 @@ mod tests {
         let journal = state.take_journal().unwrap();
         let kinds: Vec<&str> = journal.events().iter().map(|e| e.kind()).collect();
         assert_eq!(kinds, ["placed", "charged", "plan_replaced", "removed"]);
+    }
+
+    #[test]
+    fn handoff_choke_points_mutate_like_remove_and_place() {
+        let mut state = ChipState::with_separation(GridDims::square(8), 2);
+        state.attach_journal();
+        state.place(ParticleId(1), GridCoord::new(6, 3)).unwrap();
+        let from = state.export_particle(ParticleId(1), 1).unwrap();
+        assert_eq!(from, GridCoord::new(6, 3));
+        assert_eq!(state.particle_count(), 0);
+        state
+            .import_particle(ParticleId(1), GridCoord::new(0, 3), 0)
+            .unwrap();
+        assert_eq!(state.particle_count(), 1);
+        // Rejections record nothing: exporting an unknown particle,
+        // importing onto a conflicting site.
+        assert!(state.export_particle(ParticleId(9), 1).is_err());
+        assert!(state
+            .import_particle(ParticleId(2), GridCoord::new(0, 3), 0)
+            .is_err());
+        let journal = state.take_journal().unwrap();
+        let kinds: Vec<&str> = journal.events().iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, ["placed", "handoff_exported", "handoff_imported"]);
     }
 
     #[test]
