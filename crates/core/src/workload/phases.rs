@@ -437,13 +437,20 @@ impl<'a> PhaseCtx<'a> {
 
     /// Declares the `(id, from, to)` transfers of the upcoming motion
     /// window to the sharded view and plans each shard's local window
-    /// through the per-shard router caches. A no-op on the monolithic
-    /// path.
+    /// through the per-shard router caches — serially, or concurrently
+    /// over the live planner's handoff channels when
+    /// [`WorkloadConfig::live_planning`] is set. A no-op on the
+    /// monolithic path.
     pub fn begin_transfers(&mut self, transfers: &[(ParticleId, GridCoord, GridCoord)]) {
         let router = self.router;
+        let live = self.config.live_planning;
         if let Some(fleet) = self.view.as_sharded_mut() {
             fleet.begin_transfers(transfers);
-            fleet.route_windows(router);
+            if live {
+                fleet.route_windows_live(router);
+            } else {
+                fleet.route_windows(router);
+            }
         }
     }
 

@@ -930,6 +930,56 @@ mod tests {
     }
 
     #[test]
+    fn live_planned_sharded_run_is_bit_identical_too() {
+        // The live parallel per-shard planner is advisory exactly like
+        // the serial one: at the same seed, the global journal, final
+        // state, composition and per-shard replays all match the
+        // monolithic run — and the live path actually ran (live_windows
+        // counted, seam messages on multi-shard grids).
+        use crate::workload::{BatchDriver, WorkloadConfig};
+        use labchip_manipulation::fleet::{FleetTopology, ShardedState};
+
+        let config = WorkloadConfig {
+            array_side: 32,
+            noise_scale: 1.0,
+            detection_frames: 2,
+            recovery: RecoveryPolicy::date05_reference(),
+            live_planning: true,
+            ..WorkloadConfig::default()
+        };
+        let driver = BatchDriver::new(config);
+        let dims = GridDims::square(config.array_side);
+        let sep = config.min_separation.max(1);
+        let protocol = Protocol::canned_cycle(dims, sep, 24);
+        let (baseline, baseline_journal) = driver.runner().run_journaled(&protocol, 0);
+
+        for (gx, gy) in [(1u32, 1u32), (2, 1), (2, 2)] {
+            let topology = FleetTopology::new(dims, sep, gx, gy);
+            let fleet = ShardedState::new(topology);
+            let (outcome, journal, fleet) = driver.runner().run_sharded(&protocol, 0, fleet);
+            assert_eq!(
+                journal.events(),
+                baseline_journal.events(),
+                "{gx}x{gy}: live-planned global journal must be byte-identical"
+            );
+            assert_eq!(outcome.state, baseline.state);
+            assert_eq!(fleet.compose().state_hash(), baseline.state.state_hash());
+            let stats = fleet.stats();
+            assert!(stats.live_windows > 0, "{gx}x{gy}: live planner never ran");
+            if gx * gy > 1 {
+                assert!(
+                    stats.seam_messages > 0,
+                    "{gx}x{gy}: seam traffic must cross the handoff channels"
+                );
+            } else {
+                assert_eq!(stats.seam_messages, 0);
+            }
+            let fleet_outcome = fleet.into_outcome();
+            assert_eq!(fleet_outcome.replay_divergences(), 0);
+        }
+    }
+
+    #[test]
     fn canned_cycle_has_the_five_monolith_phases() {
         let protocol = Protocol::canned_cycle(GridDims::square(64), 2, 100);
         assert_eq!(protocol.len(), 5);

@@ -24,11 +24,20 @@
 //! planning overhead; the sweep's point is the measured equivalence at
 //! scale, not a speedup claim (the global run still executes the full
 //! algorithm).
+//!
+//! With [`Config::live_planning`] the sweep instead plans every routing
+//! window **live and in parallel** — one planner thread per shard over
+//! seam handoff channels
+//! ([`LiveFleetPlanner`](labchip_manipulation::fleet::LiveFleetPlanner))
+//! — and runs the worker gang in live mode too. Every oracle above must
+//! hold unchanged; the dedicated `workload/fleet_live` bench rows
+//! measure the window-planning speedup itself.
 
 use labchip::experiments::ExperimentTable;
 use labchip::scenario::{Scenario, ScenarioContext};
 use labchip::workload::{BatchDriver, Protocol, RecoveryPolicy, WorkloadConfig};
 use labchip_manipulation::fleet::{FleetTopology, ShardedState};
+use labchip_manipulation::sharding::IncrementalRouter;
 use labchip_units::{GridDims, Seconds};
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +63,10 @@ pub struct Config {
     pub noise_scale: f64,
     /// Closed-loop recovery policy.
     pub recovery: RecoveryPolicy,
+    /// Plan routing windows live and in parallel (one planner per shard
+    /// over seam handoff channels) instead of serially shard-by-shard.
+    /// The journal/compose oracles must hold either way.
+    pub live_planning: bool,
     /// RNG seed of the swept run.
     pub seed: u64,
 }
@@ -69,6 +82,7 @@ impl Default for Config {
             detection_frames: 2,
             noise_scale: 8.0,
             recovery: RecoveryPolicy::date05_reference(),
+            live_planning: false,
             seed: 1606,
         }
     }
@@ -95,6 +109,11 @@ pub struct GridRow {
     pub local_solves: u64,
     /// Local windows skipped (no goal in shard, or degenerate geometry).
     pub local_skips: u64,
+    /// Live (parallel) planning windows the fleet executed — 0 unless
+    /// [`Config::live_planning`] is set.
+    pub live_windows: u64,
+    /// Seam handoff messages exchanged over the live planner's channels.
+    pub seam_messages: u64,
     /// Warm-start cache hits summed over shards.
     pub cache_hits: u64,
     /// Warm-start cache misses summed over shards.
@@ -153,12 +172,20 @@ impl Results {
                     format!("{:.2}", row.imbalance),
                     row.divergences.to_string(),
                     format!(
-                        "{} barriers, {} local solves ({} skips), cache {}/{} hit/miss{}",
+                        "{} barriers, {} local solves ({} skips), cache {}/{} hit/miss{}{}",
                         row.barriers,
                         row.local_solves,
                         row.local_skips,
                         row.cache_hits,
                         row.cache_misses,
+                        if row.live_windows > 0 {
+                            format!(
+                                ", {} live windows ({} seam msgs)",
+                                row.live_windows, row.seam_messages
+                            )
+                        } else {
+                            String::new()
+                        },
                         match row.kill_recovered {
                             Some(true) => ", kill+resume ok",
                             Some(false) => ", kill+resume DIVERGED",
@@ -211,6 +238,7 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
         detection_frames: config.detection_frames,
         noise_scale: config.noise_scale,
         recovery: config.recovery,
+        live_planning: config.live_planning,
         seed: config.seed,
         ..WorkloadConfig::default()
     };
@@ -245,6 +273,11 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
         let journal_divergence = journal.events() != baseline_journal.events()
             || outcome.state.state_hash() != baseline_hash;
         let group = ShardGroup::from_outcome(fleet.into_outcome(), outcome.state.state_hash());
+        let group = if workload.live_planning {
+            group.with_live_planning(IncrementalRouter::new(workload.shards))
+        } else {
+            group
+        };
         let compose_divergence = group.fleet().compose().state_hash() != baseline_hash;
         let shard_replay_divergences = group.fleet().replay_divergences();
         let expected = group.expected_hashes();
@@ -300,6 +333,8 @@ fn run_with(config: &Config, ctx: &mut ScenarioContext) -> Results {
             barriers: stats.barriers,
             local_solves: stats.local_solves,
             local_skips: stats.local_skips,
+            live_windows: stats.live_windows,
+            seam_messages: stats.seam_messages,
             cache_hits,
             cache_misses,
             populations: group
@@ -398,6 +433,26 @@ mod tests {
                 results.grids[0].populations[0],
                 "sharding never loses a particle"
             );
+        }
+    }
+
+    #[test]
+    fn live_planned_sweep_holds_every_oracle() {
+        let config = Config {
+            live_planning: true,
+            ..quick_config()
+        };
+        let results = run_with(&config, &mut ScenarioContext::silent("E16"));
+        assert_eq!(results.total_divergences, 0, "{results:?}");
+        for row in &results.grids {
+            assert!(row.live_windows > 0, "{row:?}");
+            assert!(!row.journal_divergence);
+            assert!(!row.compose_divergence);
+        }
+        assert_eq!(results.grids[0].seam_messages, 0);
+        for row in &results.grids[1..] {
+            assert!(row.seam_messages > 0, "{row:?}");
+            assert_eq!(row.kill_recovered, Some(true), "{row:?}");
         }
     }
 

@@ -33,6 +33,20 @@
 //!   transfer window locally through the existing
 //!   [`IncrementalRouter`]/[`RouterCache`] pair, one warm-startable cache
 //!   per shard.
+//! * [`LiveFleetPlanner`] /
+//!   [`ShardedState::route_windows_live`] — the *parallel* variant:
+//!   one worker thread per shard plans its own window concurrently, and
+//!   seam crossings are exchanged through typed [`HandoffMsg`] `mpsc`
+//!   channels in a two-phase export→import protocol. Each worker first
+//!   announces every declared transfer leaving its shard, all workers
+//!   rendezvous on a barrier, then each drains its inbox **sorted by
+//!   particle id** — so the set of requests a shard plans depends only
+//!   on the window-start state, never on channel arrival order, and the
+//!   result is deterministic for any thread interleaving. Like the
+//!   serial path, the live plans are advisory warm-ups of the per-shard
+//!   caches: neither touches the global state, RNG or any journal, so
+//!   the global journal stays byte-identical to the monolithic run by
+//!   construction.
 //!
 //! Transfers are declared up front
 //! ([`ShardedState::begin_transfers`]) so each mutation can be journaled
@@ -47,7 +61,9 @@ use crate::sharding::{CacheStats, IncrementalRouter, RouterCache};
 use crate::state::{ChipState, TimeLedger};
 use labchip_units::{GridCoord, GridDims, GridRect, Seconds};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc;
+use std::sync::Barrier;
 
 /// Partition of a logical array into a `gx × gy` grid of shard
 /// rectangles with halo (ghost) margins.
@@ -219,6 +235,14 @@ pub struct FleetStats {
     /// Per-shard local windows skipped because the local problem failed
     /// validation (e.g. merged cages at the window start).
     pub local_skips: u64,
+    /// Live (parallel) planning windows executed.
+    pub live_windows: u64,
+    /// Seam-crossing [`HandoffMsg`]es sent over the live planner's
+    /// export→import channels.
+    pub seam_messages: u64,
+    /// Seam messages a destination shard folded into its local planning
+    /// problem (announcements whose seam entry cell was free).
+    pub seam_imports: u64,
 }
 
 /// A transfer declared for the current window: where the particle is
@@ -228,6 +252,41 @@ pub struct FleetStats {
 struct PendingTransfer {
     to: GridCoord,
     exported_from: Option<usize>,
+}
+
+/// A typed seam-crossing announcement exchanged over the live planner's
+/// handoff channels: "particle `id`, currently at `from` in shard
+/// `from_shard`, is declared to land at `to` in shard `to_shard` this
+/// window". Receivers sort their inbox by `id` before planning, which
+/// makes the exchange deterministic for any channel arrival order (a
+/// particle has at most one declared transfer per window, so `id` is a
+/// total order on the inbox).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HandoffMsg {
+    /// The crossing particle.
+    pub id: ParticleId,
+    /// Shard currently hosting the particle.
+    pub from_shard: usize,
+    /// Shard owning the declared destination cell.
+    pub to_shard: usize,
+    /// Global cell the particle occupies at the window start.
+    pub from: GridCoord,
+    /// Global destination cell of the declared transfer.
+    pub to: GridCoord,
+}
+
+/// Per-window report of one [`LiveFleetPlanner::plan_window`] call,
+/// summed over the shard workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveWindowReport {
+    /// Shard windows solved.
+    pub solves: u64,
+    /// Shard windows skipped (no goal, or local validation failure).
+    pub skips: u64,
+    /// Seam messages sent across the handoff channels.
+    pub seam_messages: u64,
+    /// Seam messages folded into a destination shard's problem.
+    pub seam_imports: u64,
 }
 
 /// A fleet of per-shard [`ChipState`]s maintained as an exact, journaled
@@ -378,6 +437,17 @@ impl ShardedState {
                 Err(_) => self.stats.local_skips += 1,
             }
         }
+    }
+
+    /// The parallel variant of [`route_windows`](Self::route_windows):
+    /// one worker thread per shard plans its window concurrently,
+    /// resolving seam crossings through the [`LiveFleetPlanner`]'s
+    /// two-phase export→import channel protocol. Bit-equivalent in
+    /// journal terms (neither path touches any journal); the live path
+    /// additionally folds announced seam arrivals into the destination
+    /// shard's window problem.
+    pub fn route_windows_live(&mut self, router: &IncrementalRouter) -> LiveWindowReport {
+        LiveFleetPlanner::new(*router).plan_window(self)
     }
 
     /// Mirrors a successful global placement into the owning shard. A
@@ -575,6 +645,178 @@ impl ShardedState {
             stats: self.stats,
             cache_stats,
         }
+    }
+}
+
+/// Live parallel per-shard window planner.
+///
+/// Where [`ShardedState::route_windows`] walks the shards in a serial
+/// loop, the live planner spawns **one worker thread per shard**, each
+/// owning its shard's [`RouterCache`] (and therefore its pooled A\*
+/// arenas) for the duration of the window. Seam traffic is exchanged in
+/// a two-phase protocol over typed [`mpsc`] channels:
+///
+/// 1. **Export** — every worker scans the declared transfers of the
+///    particles it hosts and sends a [`HandoffMsg`] to the destination
+///    shard's channel for each one leaving its shard, then waits on a
+///    [`Barrier`].
+/// 2. **Import** — past the barrier every send has happened-before every
+///    drain, so each worker drains its inbox completely, sorts it by
+///    particle id, and folds the announced arrivals into its local
+///    window problem (seam entry cell = the sender's position clamped
+///    into the receiver's halo rect; arrivals whose entry cell is
+///    already taken are deferred to a later window).
+///
+/// The sorted drain is the determinism argument: the request set each
+/// shard plans is a pure function of the window-start state and the
+/// declared transfers, never of channel arrival order or thread
+/// interleaving, so cache contents and planning outcomes are
+/// bit-identical across runs and thread schedules.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveFleetPlanner {
+    router: IncrementalRouter,
+}
+
+impl LiveFleetPlanner {
+    /// Creates a live planner over the given incremental router.
+    pub fn new(router: IncrementalRouter) -> Self {
+        Self { router }
+    }
+
+    /// Plans every shard's declared-transfer window concurrently and
+    /// returns the summed per-worker report. Updates the fleet's
+    /// [`FleetStats`] counters (`local_solves`, `local_skips`,
+    /// `live_windows`, `seam_messages`, `seam_imports`).
+    pub fn plan_window(&self, fleet: &mut ShardedState) -> LiveWindowReport {
+        let router = self.router;
+        let topology = &fleet.topology;
+        let pending = &fleet.pending;
+        let workers = fleet.shards.len();
+        let barrier = Barrier::new(workers);
+        let (txs, rxs): (Vec<_>, Vec<_>) =
+            (0..workers).map(|_| mpsc::channel::<HandoffMsg>()).unzip();
+        let reports: Vec<LiveWindowReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = fleet
+                .shards
+                .iter()
+                .zip(fleet.caches.iter_mut())
+                .zip(rxs)
+                .enumerate()
+                .map(|(s, ((shard, cache), rx))| {
+                    let txs = txs.clone();
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        let mut report = LiveWindowReport::default();
+                        let members: Vec<(ParticleId, GridCoord)> =
+                            shard.grid().iter_particles().collect();
+                        // Phase 1 — export: announce every declared
+                        // transfer leaving this shard to its destination.
+                        for &(id, start) in &members {
+                            if let Some(transfer) = pending.get(&id) {
+                                let destination = topology.owner(transfer.to);
+                                if destination != s {
+                                    let msg = HandoffMsg {
+                                        id,
+                                        from_shard: s,
+                                        to_shard: destination,
+                                        from: topology.to_global(s, start),
+                                        to: transfer.to,
+                                    };
+                                    txs[destination]
+                                        .send(msg)
+                                        .expect("live planner receivers outlive the export phase");
+                                    report.seam_messages += 1;
+                                }
+                            }
+                        }
+                        drop(txs);
+                        barrier.wait();
+                        // Phase 2 — import: every send happened before
+                        // the barrier, so the drain is complete; the
+                        // sort pins a deterministic order.
+                        let mut inbox: Vec<HandoffMsg> = rx.try_iter().collect();
+                        inbox.sort_by_key(|msg| msg.id);
+
+                        let mut any_goal = false;
+                        let mut requests: Vec<RoutingRequest> = members
+                            .iter()
+                            .map(|&(id, start)| {
+                                let goal = match pending.get(&id) {
+                                    Some(transfer) if topology.owner(transfer.to) == s => {
+                                        let local = topology.to_local(s, transfer.to);
+                                        if local != start {
+                                            any_goal = true;
+                                        }
+                                        local
+                                    }
+                                    _ => start,
+                                };
+                                RoutingRequest { id, start, goal }
+                            })
+                            .collect();
+                        // Announced arrivals: plan each from its seam
+                        // entry cell toward its destination. An entry
+                        // cell already taken (a resident, or an earlier
+                        // arrival in id order) defers the crossing to a
+                        // later window.
+                        let rect = topology.halo_rect(s);
+                        let mut taken: HashSet<GridCoord> =
+                            members.iter().map(|&(_, at)| at).collect();
+                        for msg in &inbox {
+                            let entry_global = GridCoord::new(
+                                msg.from.x.clamp(rect.min.x, rect.max.x),
+                                msg.from.y.clamp(rect.min.y, rect.max.y),
+                            );
+                            let entry = topology.to_local(s, entry_global);
+                            if !taken.insert(entry) {
+                                continue;
+                            }
+                            let goal = topology.to_local(s, msg.to);
+                            if entry != goal {
+                                any_goal = true;
+                            }
+                            report.seam_imports += 1;
+                            requests.push(RoutingRequest {
+                                id: msg.id,
+                                start: entry,
+                                goal,
+                            });
+                        }
+                        if !any_goal || requests.is_empty() {
+                            return report;
+                        }
+                        let mut problem = RoutingProblem::new(topology.local_dims(s), requests);
+                        problem.min_separation = topology.min_separation();
+                        // One planner window per call, exactly like the
+                        // serial path: advisory shard-local lookahead,
+                        // not a re-derivation of the global trajectory.
+                        problem.max_steps = router.shards.window.max(1) as usize;
+                        match router.solve_cached(&problem, cache) {
+                            Ok(_) => report.solves += 1,
+                            Err(_) => report.skips += 1,
+                        }
+                        report
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("live shard planner panicked"))
+                .collect()
+        });
+        let mut total = LiveWindowReport::default();
+        for report in reports {
+            total.solves += report.solves;
+            total.skips += report.skips;
+            total.seam_messages += report.seam_messages;
+            total.seam_imports += report.seam_imports;
+        }
+        fleet.stats.local_solves += total.solves;
+        fleet.stats.local_skips += total.skips;
+        fleet.stats.live_windows += 1;
+        fleet.stats.seam_messages += total.seam_messages;
+        fleet.stats.seam_imports += total.seam_imports;
+        total
     }
 }
 
@@ -778,6 +1020,89 @@ mod tests {
             .map(Event::kind)
             .collect();
         assert_eq!(kinds, ["placed", "removed", "placed"]);
+    }
+
+    /// Builds a 2×1 fleet with one declared seam crossing and one
+    /// in-shard move, for the live-planner tests.
+    fn seam_fleet() -> ShardedState {
+        let dims = GridDims::square(24);
+        let topo = FleetTopology::new(dims, 2, 2, 1);
+        let mut fleet = ShardedState::new(topo);
+        fleet.mirror_place(ParticleId(1), GridCoord::new(10, 10));
+        fleet.mirror_place(ParticleId(2), GridCoord::new(20, 4));
+        fleet.begin_transfers(&[
+            // Crosses the x = 12 boundary: shard 0 exports, shard 1 imports.
+            (
+                ParticleId(1),
+                GridCoord::new(10, 10),
+                GridCoord::new(16, 10),
+            ),
+            // Stays in shard 1.
+            (ParticleId(2), GridCoord::new(20, 4), GridCoord::new(20, 8)),
+        ]);
+        fleet
+    }
+
+    #[test]
+    fn live_planner_exchanges_seam_traffic_and_plans_in_parallel() {
+        let mut fleet = seam_fleet();
+        let router = IncrementalRouter::default();
+        let report = fleet.route_windows_live(&router);
+        assert_eq!(report.seam_messages, 1, "{report:?}");
+        assert_eq!(report.seam_imports, 1, "{report:?}");
+        // Shard 1 plans both its resident and the announced arrival;
+        // shard 0's only resident is leaving, so it has no local goal.
+        assert_eq!(report.solves, 1, "{report:?}");
+        assert_eq!(report.skips, 0, "{report:?}");
+        let stats = fleet.stats();
+        assert_eq!(stats.live_windows, 1);
+        assert_eq!(stats.seam_messages, 1);
+        assert_eq!(stats.seam_imports, 1);
+        assert_eq!(stats.local_solves, 1);
+        // The window warmed shard 1's cache.
+        assert!(fleet.cache_stats(1).misses > 0);
+        // Re-planning the identical window warm-starts from the cache
+        // and reports identically — the protocol is deterministic.
+        let hits_before = fleet.cache_stats(1).hits;
+        let again = fleet.route_windows_live(&router);
+        assert_eq!(again, report);
+        assert!(fleet.cache_stats(1).hits > hits_before);
+    }
+
+    #[test]
+    fn live_planner_leaves_journals_untouched() {
+        let mut fleet = seam_fleet();
+        let router = IncrementalRouter::default();
+        let serial_lengths: Vec<usize> = {
+            let mut serial = seam_fleet();
+            serial.route_windows(&router);
+            serial
+                .into_outcome()
+                .journals
+                .iter()
+                .map(Journal::len)
+                .collect()
+        };
+        fleet.route_windows_live(&router);
+        let live_lengths: Vec<usize> = fleet
+            .into_outcome()
+            .journals
+            .iter()
+            .map(Journal::len)
+            .collect();
+        assert_eq!(live_lengths, serial_lengths, "planning never journals");
+    }
+
+    #[test]
+    fn live_planner_on_a_single_shard_degenerates_to_the_serial_window() {
+        let dims = GridDims::square(16);
+        let mut fleet = ShardedState::new(FleetTopology::new(dims, 2, 1, 1));
+        fleet.mirror_place(ParticleId(9), GridCoord::new(2, 2));
+        fleet.begin_transfers(&[(ParticleId(9), GridCoord::new(2, 2), GridCoord::new(9, 9))]);
+        let report = fleet.route_windows_live(&IncrementalRouter::default());
+        assert_eq!(report.seam_messages, 0);
+        assert_eq!(report.seam_imports, 0);
+        assert_eq!(report.solves, 1);
     }
 
     #[test]
